@@ -1,0 +1,213 @@
+//! Shared infrastructure for the application ports: the unified-buffer
+//! abstraction implementing the paper's Figure 2 code transformation.
+
+use gh_sim::{Buffer, Machine, MemMode, Node};
+
+/// A data buffer under one of the three memory-management strategies.
+///
+/// * `Explicit`: a host (`malloc`) / device (`cudaMalloc`) pair with
+///   explicit `cudaMemcpy` at phase boundaries — the original pattern;
+/// * `System` / `Managed`: one unified buffer; uploads/downloads become
+///   no-ops (plus the device synchronization the paper adds to preserve
+///   semantics).
+pub struct UBuf {
+    mode: MemMode,
+    host: Option<Buffer>,
+    dev: Buffer,
+    /// Requested (un-rounded) size: allocators round up to their page
+    /// granularity, but copies and host access use the logical size.
+    bytes: u64,
+}
+
+impl UBuf {
+    /// Allocates `bytes` under `mode`.
+    pub fn alloc(m: &mut Machine, mode: MemMode, bytes: u64, tag: &str) -> UBuf {
+        match mode {
+            MemMode::Explicit => {
+                let host = m.rt.malloc_system(bytes, &format!("{tag}.host"));
+                let dev = m
+                    .rt
+                    .cuda_malloc(bytes, &format!("{tag}.dev"))
+                    .expect("explicit version assumes the buffer fits in GPU memory");
+                UBuf {
+                    mode,
+                    host: Some(host),
+                    dev,
+                    bytes,
+                }
+            }
+            MemMode::System => UBuf {
+                mode,
+                host: None,
+                dev: m.rt.malloc_system(bytes, tag),
+                bytes,
+            },
+            MemMode::Managed => UBuf {
+                mode,
+                host: None,
+                dev: m.rt.cuda_malloc_managed(bytes, tag),
+                bytes,
+            },
+        }
+    }
+
+    /// Allocates a buffer that the original code kept GPU-only (never
+    /// copied to/from the host). The paper's unified ports still convert
+    /// these when they are *initialized by a GPU kernel* and later read
+    /// through unified access (the SRAD derivative arrays); explicit mode
+    /// keeps plain `cudaMalloc`.
+    pub fn alloc_gpu_scratch(m: &mut Machine, mode: MemMode, bytes: u64, tag: &str) -> UBuf {
+        match mode {
+            MemMode::Explicit => UBuf {
+                mode,
+                host: None,
+                dev: m
+                    .rt
+                    .cuda_malloc(bytes, tag)
+                    .expect("explicit version assumes scratch fits in GPU memory"),
+                bytes,
+            },
+            _ => UBuf::alloc(m, mode, bytes, tag),
+        }
+    }
+
+    /// The buffer GPU kernels should access.
+    pub fn gpu(&self) -> &Buffer {
+        &self.dev
+    }
+
+    /// The buffer the CPU should access (host side for explicit mode).
+    pub fn cpu(&self) -> &Buffer {
+        self.host.as_ref().unwrap_or(&self.dev)
+    }
+
+    /// Logical length in bytes (the requested size, before page
+    /// rounding).
+    pub fn len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether the buffer is zero-length (never for live buffers).
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// CPU-side sequential initialization of `[off, off+len)`.
+    pub fn cpu_init(&self, m: &mut Machine, off: u64, len: u64) {
+        m.rt.cpu_write(self.cpu(), off, len);
+    }
+
+    /// Makes CPU-written data visible to the GPU: `cudaMemcpy` H2D for
+    /// explicit mode, nothing for unified modes.
+    pub fn upload(&self, m: &mut Machine) {
+        if let Some(host) = &self.host {
+            m.rt.memcpy(&self.dev, 0, host, 0, self.len());
+        }
+    }
+
+    /// Makes GPU results visible to the CPU: `cudaMemcpy` D2H for
+    /// explicit mode, a direct CPU read for unified modes (which the
+    /// paper precedes with `cudaDeviceSynchronize`).
+    pub fn download(&self, m: &mut Machine, off: u64, len: u64) {
+        match &self.host {
+            Some(host) => {
+                m.rt.memcpy(host, off, &self.dev, off, len);
+            }
+            None => {
+                m.rt.device_synchronize();
+                m.rt.cpu_read(&self.dev, off, len);
+            }
+        }
+    }
+
+    /// Frees the buffer(s).
+    pub fn free(self, m: &mut Machine) {
+        if let Some(host) = self.host {
+            m.rt.free(host);
+        }
+        m.rt.free(self.dev);
+    }
+
+    /// Prefetches the whole buffer to a node (managed memory only).
+    pub fn prefetch(&self, m: &mut Machine, to: Node) {
+        assert_eq!(self.mode, MemMode::Managed, "prefetch needs managed memory");
+        m.rt.prefetch(&self.dev, 0, self.len(), to);
+    }
+}
+
+/// Merges a sorted sequence of `(offset, len)` touches into maximal
+/// contiguous spans, so irregular-but-clustered gathers (BFS frontiers)
+/// are metered as the coalesced transactions a GPU would issue.
+pub fn coalesce(mut touches: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    gh_par::par_sort_unstable(&mut touches);
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(touches.len());
+    for (off, len) in touches {
+        if len == 0 {
+            continue;
+        }
+        match out.last_mut() {
+            Some((o, l)) if *o + *l >= off => {
+                let end = (off + len).max(*o + *l);
+                *l = end - *o;
+            }
+            _ => out.push((off, len)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_mem::params::MIB;
+    use gh_sim::BufKind;
+
+    #[test]
+    fn explicit_mode_allocates_pair() {
+        let mut m = Machine::default_gh200();
+        let b = UBuf::alloc(&mut m, MemMode::Explicit, MIB, "x");
+        assert_eq!(b.cpu().kind, BufKind::System);
+        assert_eq!(b.gpu().kind, BufKind::Device);
+        assert_ne!(b.cpu().id(), b.gpu().id());
+        b.free(&mut m);
+    }
+
+    #[test]
+    fn unified_modes_share_one_buffer() {
+        for mode in [MemMode::System, MemMode::Managed] {
+            let mut m = Machine::default_gh200();
+            let b = UBuf::alloc(&mut m, mode, MIB, "x");
+            assert_eq!(b.cpu().id(), b.gpu().id());
+            b.free(&mut m);
+        }
+    }
+
+    #[test]
+    fn upload_copies_only_in_explicit_mode() {
+        let mut m = Machine::default_gh200();
+        let b = UBuf::alloc(&mut m, MemMode::Explicit, MIB, "x");
+        b.cpu_init(&mut m, 0, MIB);
+        let before = m.rt.link().bytes_h2d();
+        b.upload(&mut m);
+        assert_eq!(m.rt.link().bytes_h2d() - before, MIB);
+
+        let mut m2 = Machine::default_gh200();
+        let b2 = UBuf::alloc(&mut m2, MemMode::System, MIB, "x");
+        b2.cpu_init(&mut m2, 0, MIB);
+        let before = m2.rt.link().bytes_h2d();
+        b2.upload(&mut m2);
+        assert_eq!(m2.rt.link().bytes_h2d(), before, "no copy in system mode");
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_and_overlapping() {
+        let spans = coalesce(vec![(0, 8), (8, 8), (32, 4), (100, 8), (30, 4)]);
+        assert_eq!(spans, vec![(0, 16), (30, 6), (100, 8)]);
+    }
+
+    #[test]
+    fn coalesce_drops_empty_and_sorts() {
+        let spans = coalesce(vec![(50, 0), (10, 2), (4, 2)]);
+        assert_eq!(spans, vec![(4, 2), (10, 2)]);
+    }
+}

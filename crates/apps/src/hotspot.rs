@@ -1,0 +1,240 @@
+//! Hotspot: iterative thermal-simulation stencil (Rodinia).
+//!
+//! A regular, dense access pattern: every iteration reads the whole
+//! temperature and power grids and writes the next temperature grid.
+//! CPU-initialized — the canonical "init on CPU, compute on GPU" HPC
+//! shape the paper's §5.1.1 discusses (Fig 4 plots this application's
+//! memory profile).
+
+use gh_par::par_chunks_mut;
+use gh_profiler::Phase;
+use gh_sim::{Machine, MemMode, RunReport};
+
+use crate::common::UBuf;
+
+/// Input parameters.
+#[derive(Debug, Clone)]
+pub struct HotspotParams {
+    /// Grid side (paper: 16k; scaled default 1k).
+    pub size: usize,
+    /// Stencil iterations.
+    pub iterations: usize,
+    /// RNG seed for the initial grids.
+    pub seed: u64,
+}
+
+impl Default for HotspotParams {
+    fn default() -> Self {
+        Self {
+            size: 1024,
+            // Rodinia's hotspot runs a handful of pyramid iterations
+            // (sim_time); the paper's Fig 4 profile shows a compute phase
+            // of the same order as the migration transient.
+            iterations: 6,
+            seed: 7,
+        }
+    }
+}
+
+/// Physical constants of the Rodinia kernel (values as in hotspot.cu).
+const CAP: f32 = 0.5;
+const RX: f32 = 1.0;
+const RY: f32 = 1.0;
+const RZ: f32 = 4.0;
+const AMB: f32 = 80.0;
+
+fn seeded(seed: u64, i: u64) -> f32 {
+    // Deterministic pseudo-random initial condition in [0, 1).
+    let x = (seed ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((x >> 11) as f64 / (1u64 << 53) as f64) as f32
+}
+
+/// One stencil update of row `r` into `out`.
+fn stencil_row(t: &[f32], p: &[f32], out: &mut [f32], n: usize, r: usize) {
+    for c in 0..n {
+        let idx = r * n + c;
+        let center = t[idx];
+        let north = if r > 0 { t[idx - n] } else { center };
+        let south = if r + 1 < n { t[idx + n] } else { center };
+        let west = if c > 0 { t[idx - 1] } else { center };
+        let east = if c + 1 < n { t[idx + 1] } else { center };
+        let delta = (p[idx]
+            + (north + south - 2.0 * center) / RY
+            + (east + west - 2.0 * center) / RX
+            + (AMB - center) / RZ)
+            / CAP;
+        out[c] = center + 0.001 * delta;
+    }
+}
+
+/// Sequential reference implementation (for correctness tests).
+pub fn reference(p: &HotspotParams) -> Vec<f32> {
+    let n = p.size;
+    let mut temp: Vec<f32> = (0..n * n).map(|i| seeded(p.seed, i as u64)).collect();
+    let power: Vec<f32> = (0..n * n).map(|i| seeded(p.seed + 1, i as u64)).collect();
+    let mut next = vec![0.0f32; n * n];
+    for _ in 0..p.iterations {
+        for r in 0..n {
+            let (row, rest);
+            // Split to satisfy the borrow checker: copy into next.
+            let mut tmp = vec![0.0f32; n];
+            stencil_row(&temp, &power, &mut tmp, n, r);
+            row = r;
+            rest = tmp;
+            next[row * n..row * n + n].copy_from_slice(&rest);
+        }
+        std::mem::swap(&mut temp, &mut next);
+    }
+    temp
+}
+
+/// Runs hotspot under `mode`, returning the full report (checksum = sum
+/// of the final temperature grid).
+pub fn run(mut m: Machine, mode: MemMode, p: &HotspotParams) -> RunReport {
+    let n = p.size;
+    let bytes = (n * n * 4) as u64;
+
+    // ---- real data ----
+    let mut temp_h: Vec<f32> = (0..n * n).map(|i| seeded(p.seed, i as u64)).collect();
+    let power_h: Vec<f32> = (0..n * n).map(|i| seeded(p.seed + 1, i as u64)).collect();
+    let mut next_h = vec![0.0f32; n * n];
+
+    // ---- GPU context initialization + argument parsing (phase 1) ----
+    m.phase(Phase::CtxInit);
+    m.rt.cuda_init();
+
+    // ---- allocation ----
+    m.phase(Phase::Alloc);
+    let temp = UBuf::alloc(&mut m, mode, bytes, "hotspot.temp");
+    let power = UBuf::alloc(&mut m, mode, bytes, "hotspot.power");
+    // Ping-pong partner: GPU-only scratch in every version (the paper
+    // keeps GPU-only intermediates in cudaMalloc).
+    let scratch = m
+        .rt
+        .cuda_malloc(bytes, "hotspot.scratch")
+        .expect("scaled hotspot fits in GPU memory");
+
+    // ---- CPU-side initialization ----
+    m.phase(Phase::CpuInit);
+    temp.cpu_init(&mut m, 0, bytes);
+    power.cpu_init(&mut m, 0, bytes);
+
+    // ---- compute ----
+    m.phase(Phase::Compute);
+    temp.upload(&mut m);
+    power.upload(&mut m);
+    for it in 0..p.iterations {
+        // Real stencil, row-parallel.
+        par_chunks_mut(&mut next_h, n, |r, out| {
+            stencil_row(&temp_h, &power_h, out, n, r);
+        });
+        std::mem::swap(&mut temp_h, &mut next_h);
+
+        // Metered accesses: ping-pong between temp and scratch.
+        let (src, dst) = if it % 2 == 0 {
+            (*temp.gpu(), scratch)
+        } else {
+            (scratch, *temp.gpu())
+        };
+        let mut k = m.rt.launch("hotspot");
+        k.read(&src, 0, bytes);
+        k.read(power.gpu(), 0, bytes);
+        k.write(&dst, 0, bytes);
+        k.compute((n * n * 12) as u64);
+        k.finish();
+    }
+    // If the final grid landed in the scratch buffer, copy it back.
+    if p.iterations % 2 == 1 {
+        let mut k = m.rt.launch("hotspot_copyback");
+        k.read(&scratch, 0, bytes);
+        k.write(temp.gpu(), 0, bytes);
+        k.finish();
+    }
+    temp.download(&mut m, 0, bytes);
+
+    let checksum = temp_h.iter().map(|&x| x as f64).sum::<f64>();
+    m.set_checksum(checksum);
+
+    // ---- de-allocation ----
+    m.phase(Phase::Dealloc);
+    m.rt.free(scratch);
+    temp.free(&mut m);
+    power.free(&mut m);
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_sim::MemMode;
+
+    fn small() -> HotspotParams {
+        HotspotParams {
+            size: 64,
+            iterations: 5,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn all_modes_agree_with_reference() {
+        let p = small();
+        let expected: f64 = reference(&p).iter().map(|&x| x as f64).sum();
+        for mode in MemMode::ALL {
+            let r = run(Machine::default_gh200(), mode, &p);
+            assert!(
+                (r.checksum - expected).abs() < 1e-3 * expected.abs().max(1.0),
+                "{mode}: {} vs {expected}",
+                r.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn stencil_converges_toward_ambient() {
+        // Starting from 0 everywhere with zero power, temperatures must
+        // move toward the ambient value.
+        let n = 16;
+        let temp = vec![0.0f32; n * n];
+        let power = vec![0.0f32; n * n];
+        let mut out = vec![0.0f32; n];
+        stencil_row(&temp, &power, &mut out, n, 4);
+        assert!(out.iter().all(|&x| x > 0.0), "heating toward ambient");
+    }
+
+    #[test]
+    fn phases_are_populated() {
+        let r = run(Machine::default_gh200(), MemMode::System, &small());
+        assert!(r.phases.alloc > 0);
+        assert!(r.phases.cpu_init > 0);
+        assert!(r.phases.compute > 0);
+        assert!(r.phases.dealloc > 0);
+    }
+
+    #[test]
+    fn explicit_mode_copies_managed_migrates() {
+        let p = small();
+        let re = run(Machine::default_gh200(), MemMode::Explicit, &p);
+        let rm = run(Machine::default_gh200(), MemMode::Managed, &p);
+        // Explicit: no faults, no migrations. Managed: migrations, no copies.
+        assert_eq!(re.traffic.gpu_faults, 0);
+        assert_eq!(re.traffic.bytes_migrated_in, 0);
+        assert!(rm.traffic.bytes_migrated_in > 0);
+    }
+
+    #[test]
+    fn system_mode_reads_remotely_with_migration_off() {
+        let p = small();
+        let mut machine = Machine::new(
+            gh_sim::CostParams::default(),
+            gh_sim::RuntimeOptions {
+                auto_migration: false,
+                ..Default::default()
+            },
+        );
+        let _ = &mut machine;
+        let r = run(machine, MemMode::System, &p);
+        assert!(r.traffic.c2c_read > 0, "CPU-resident data read over C2C");
+        assert_eq!(r.traffic.bytes_migrated_in, 0);
+    }
+}

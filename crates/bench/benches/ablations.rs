@@ -1,0 +1,36 @@
+//! `cargo bench -p gh-bench --bench ablations` — design-choice sweeps
+//! beyond the paper's figures.
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    gh_bench::emit(
+        "Ablation: access-counter notification threshold (SRAD, system)",
+        &gh_bench::ablations::threshold_sweep(fast),
+        &["paper default 256; higher thresholds delay or suppress migration"],
+    );
+    gh_bench::emit(
+        "Ablation: driver migration budget per kernel (SRAD, system)",
+        &gh_bench::ablations::budget_sweep(fast),
+        &["bounds how fast the hot working set migrates (Fig 10 pace)"],
+    );
+    gh_bench::emit(
+        "Ablation: UVM fault-batch service cost (SRAD, managed)",
+        &gh_bench::ablations::fault_batch_sweep(fast),
+        &["literature range 20-50 us"],
+    );
+    gh_bench::emit(
+        "Ablation: cudaHostRegister pre-population (SRAD, system; paper 5.1.2)",
+        &gh_bench::ablations::host_register(fast),
+        &["pre-populating PTEs trades a bulk registration cost against ATS faults"],
+    );
+    gh_bench::emit(
+        "Ablation: NUMA placement policies (hotspot, system, migration off)",
+        &gh_bench::ablations::numa_placement(fast),
+        &["binding CPU-initialized data to the GPU node trades init time for HBM-local compute"],
+    );
+    gh_bench::emit(
+        "Ablation: Aer-style gate fusion (Quantum Volume)",
+        &gh_bench::ablations::fusion_sweep(fast),
+        &["QV circuits rarely repeat qubit pairs, so fusion is a mild win here; it never hurts"],
+    );
+}

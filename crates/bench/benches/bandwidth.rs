@@ -1,0 +1,12 @@
+//! `cargo bench -p gh-bench --bench bandwidth` — §2.1 STREAM + Comm|Scope.
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::bandwidth::run(fast);
+    gh_bench::emit(
+        "Section 2.1: memory and interconnect bandwidths",
+        &csv,
+        &["paper: HBM 3.4 TB/s, LPDDR 486 GB/s, C2C 375/297 GB/s"],
+    );
+    gh_bench::bandwidth::validate(&csv).expect("bandwidths within 15% of the calibration targets");
+}

@@ -1,0 +1,7 @@
+//! `cargo bench -p gh-bench --bench fig03_overview` — regenerates Figure 3: unified-memory speedup vs explicit copies (in-memory, migration off).
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::fig03_overview::run(fast);
+    gh_bench::emit("Figure 3: unified-memory speedup vs explicit copies (in-memory, migration off)", &csv, &["speedup > 1 means the unified version beats the explicit-copy original", "paper: system wins for needle/pathfinder/hotspot/bfs; managed wins for srad and 21-23 qubit QV"]);
+}

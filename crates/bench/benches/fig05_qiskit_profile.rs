@@ -1,0 +1,37 @@
+//! `cargo bench -p gh-bench --bench fig05_qiskit_profile` — regenerates Figure 5: Quantum Volume memory usage over time (system vs managed).
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::fig05_qiskit_profile::run(fast);
+    // ASCII rendering of the two memory profiles.
+    for mode in ["system", "managed"] {
+        let text = csv.render();
+        let rows: Vec<(f64, f64, f64)> = text
+            .lines()
+            .skip(1)
+            .filter(|l| l.starts_with(mode))
+            .map(|l| {
+                let c: Vec<&str> = l.split(',').collect();
+                (
+                    c[1].parse().unwrap(),
+                    c[2].parse().unwrap(),
+                    c[3].parse().unwrap(),
+                )
+            })
+            .collect();
+        let t: Vec<f64> = rows.iter().map(|r| r.0).collect();
+        let rss: Vec<f64> = rows.iter().map(|r| r.1).collect();
+        let gpu: Vec<f64> = rows.iter().map(|r| r.2).collect();
+        println!(
+            "{}",
+            gh_profiler::ascii_chart(
+                &format!("quantum volume memory profile ({mode})"),
+                &t,
+                &[("RSS MiB", '*', rss), ("GPU MiB", 'o', gpu)],
+                72,
+                12,
+            )
+        );
+    }
+    gh_bench::emit("Figure 5: Quantum Volume memory usage over time (system vs managed)", &csv, &["paper: GPU usage ramps slowly in system version (CPU-serviced ATS faults), jumps in managed"]);
+}

@@ -1,0 +1,7 @@
+//! `cargo bench -p gh-bench --bench fig07_pagesize_compute` — regenerates Figure 7: compute time, 4 KB vs 64 KB system pages (system version, migration on).
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::fig07_pagesize_compute::run(fast);
+    gh_bench::emit("Figure 7: compute time, 4 KB vs 64 KB system pages (system version, migration on)", &csv, &["paper: 4 KB pages are 1.1x-2.1x faster in compute for all apps except srad (migration amplification)"]);
+}

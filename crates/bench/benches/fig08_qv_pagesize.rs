@@ -1,0 +1,7 @@
+//! `cargo bench -p gh-bench --bench fig08_qv_pagesize` — regenerates Figure 8: QV speedup of 64 KB over 4 KB system pages.
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::fig08_qv_pagesize::run(fast);
+    gh_bench::emit("Figure 8: QV speedup of 64 KB over 4 KB system pages", &csv, &["paper: system-version speedup grows with qubits (to ~4x); managed flattens past 25 qubits"]);
+}

@@ -1,0 +1,7 @@
+//! `cargo bench -p gh-bench --bench fig10_srad_migration` — regenerates Figure 10: SRAD per-iteration time and read traffic (system vs managed).
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::fig10_srad_migration::run(fast);
+    gh_bench::emit("Figure 10: SRAD per-iteration time and read traffic (system vs managed)", &csv, &["paper: managed pays iteration 1; system migrates over iterations 1-4 then wins from iteration ~5"]);
+}

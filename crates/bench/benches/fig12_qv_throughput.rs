@@ -1,0 +1,7 @@
+//! `cargo bench -p gh-bench --bench fig12_qv_throughput` — regenerates Figure 12: memory-tier throughput, paper-34q QV at 130% oversubscription.
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::fig12_qv_throughput::run(fast);
+    gh_bench::emit("Figure 12: memory-tier throughput, paper-34q QV at 130% oversubscription", &csv, &["paper: un-prefetched managed is throttled by C2C; prefetching makes traffic HBM-local"]);
+}

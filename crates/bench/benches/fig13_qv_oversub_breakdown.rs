@@ -1,0 +1,7 @@
+//! `cargo bench -p gh-bench --bench fig13_qv_oversub_breakdown` — regenerates Figure 13: init/compute breakdown under oversubscription (paper 30q simulated, 34q natural).
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::fig13_qv_oversub_breakdown::run(fast);
+    gh_bench::emit("Figure 13: init/compute breakdown under oversubscription (paper 30q simulated, 34q natural)", &csv, &["paper: prefetch restores performance at 34q; page size matters for managed under pressure"]);
+}

@@ -1,0 +1,16 @@
+//! `cargo bench -p gh-bench --bench future_work` — the paper's §9 future
+//! work: access-counter migration across diverse workloads.
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::future_work::run(fast);
+    gh_bench::emit(
+        "Future work (paper 9): access-counter migration across diverse workloads",
+        &csv,
+        &[
+            "stream/kmeans/srad: dense or iterative -> working set migrates, remote traffic drains",
+            "pointer_chase: only the hot subset migrates",
+            "gups_sparse: uniform sparse traffic never crosses the threshold (with counter aging)",
+        ],
+    );
+}

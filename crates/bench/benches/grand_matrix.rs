@@ -1,0 +1,12 @@
+//! `cargo bench -p gh-bench --bench grand_matrix` — every workload ×
+//! mode × page size, one table.
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::grand_matrix::run(fast);
+    gh_bench::emit(
+        "Grand matrix: workload x memory mode x page size (migration on)",
+        &csv,
+        &["the summary view the paper's figures slice; see EXPERIMENTS.md for the per-figure analysis"],
+    );
+}

@@ -1,0 +1,234 @@
+//! Criterion micro-benchmarks of the simulator's hot primitives: page
+//! table operations, TLB lookups, the radix map, kernel span metering,
+//! statevector gate application and the parallel substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use gh_mem::pagetable::PageTable;
+use gh_mem::phys::{Node, PhysMem};
+use gh_mem::radix::RadixTable;
+use gh_mem::tlb::Tlb;
+use gh_qsim::{Gate2, StateVector};
+use gh_sim::{Machine, MemMode};
+
+fn bench_radix(c: &mut Criterion) {
+    c.bench_function("radix_insert_get_4k", |b| {
+        b.iter_batched(
+            RadixTable::new,
+            |mut t| {
+                for k in 0..4096u64 {
+                    t.insert(k, k);
+                }
+                let mut acc = 0;
+                for k in 0..4096u64 {
+                    acc += *t.get(k).unwrap();
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pagetable(c: &mut Criterion) {
+    c.bench_function("pagetable_populate_translate_4k_pages", |b| {
+        b.iter_batched(
+            || PageTable::new(4096),
+            |mut pt| {
+                for v in 0..2048 {
+                    pt.populate(v, Node::Cpu, v + 1);
+                }
+                let mut hits = 0;
+                for v in 0..2048 {
+                    if pt.translate(v).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_streaming_miss_fill", |b| {
+        b.iter_batched(
+            || Tlb::new(3072),
+            |mut tlb| {
+                let mut misses = 0;
+                for v in 0..10_000u64 {
+                    if !tlb.lookup(v) {
+                        tlb.fill(v);
+                        misses += 1;
+                    }
+                }
+                black_box(misses)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_physmem(c: &mut Criterion) {
+    c.bench_function("physmem_alloc_release", |b| {
+        b.iter_batched(
+            || PhysMem::new(1 << 30, 1 << 27, 0),
+            |mut pm| {
+                for _ in 0..1000 {
+                    let f = pm.alloc(Node::Gpu, 65536).unwrap();
+                    black_box(f);
+                    pm.release(Node::Gpu, 65536);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kernel_span(c: &mut Criterion) {
+    c.bench_function("kernel_dense_span_64MiB_system", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::default_gh200();
+                let buf = m.rt.malloc_system(64 << 20, "x");
+                m.rt.cpu_write(&buf, 0, 64 << 20);
+                (m, buf)
+            },
+            |(mut m, buf)| {
+                let mut k = m.rt.launch("bench");
+                k.read(&buf, 0, 64 << 20);
+                black_box(k.finish().time)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_gate_apply(c: &mut Criterion) {
+    c.bench_function("statevector_gate2_apply_16q", |b| {
+        let g = Gate2::random_su4(1);
+        b.iter_batched(
+            || StateVector::zero_state(16),
+            |mut s| {
+                s.apply_gate2(&g, 3, 11);
+                black_box(s.amp(0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_setcache(c: &mut Criterion) {
+    c.bench_function("setcache_stream_64k_lines", |b| {
+        b.iter_batched(
+            || gh_mem::SetCache::new(40 << 20, 128, 16),
+            |mut l2| {
+                let mut misses = 0;
+                for i in 0..65_536u64 {
+                    if !l2.access(i * 128) {
+                        misses += 1;
+                    }
+                }
+                black_box(misses)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_par_sort(c: &mut Criterion) {
+    c.bench_function("par_sort_unstable_1M_u64", |b| {
+        b.iter_batched(
+            || {
+                (0..1_000_000u64)
+                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .collect::<Vec<_>>()
+            },
+            |mut v| {
+                gh_par::par_sort_unstable(&mut v);
+                black_box(v[0])
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    c.bench_function("gate_fusion_qv_200", |b| {
+        let circuit = gh_qsim::QvCircuit::generate(20, 3);
+        b.iter(|| black_box(gh_qsim::fuse(&circuit).len()))
+    });
+}
+
+fn bench_replay_parse(c: &mut Criterion) {
+    // 50 uniquely-named alloc/init/kernel/free blocks.
+    let trace: String = (0..50)
+        .map(|i| {
+            format!(
+                "alloc b{i} system 1m
+cpu_write b{i} 0 1m
+kernel k{i}
+  read b{i} 0 1m
+end
+free b{i}
+"
+            )
+        })
+        .collect();
+    c.bench_function("replay_50_blocks", |b| {
+        b.iter(|| {
+            let r = gh_sim::replay(gh_sim::Machine::default_gh200(), &trace, None).unwrap();
+            black_box(r.reported_total())
+        })
+    });
+}
+
+fn bench_par(c: &mut Criterion) {
+    c.bench_function("par_map_reduce_1M", |b| {
+        b.iter(|| {
+            black_box(gh_par::par_map_reduce(
+                0..1_000_000,
+                0u64,
+                |i| i as u64,
+                |a, x| a.wrapping_add(x),
+            ))
+        })
+    });
+}
+
+fn bench_app_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apps_small");
+    g.sample_size(10);
+    for mode in MemMode::ALL {
+        g.bench_function(format!("hotspot_small_{mode}"), |b| {
+            b.iter(|| {
+                let p = gh_apps::hotspot::HotspotParams {
+                    size: 128,
+                    iterations: 5,
+                    seed: 1,
+                };
+                black_box(gh_apps::hotspot::run(Machine::default_gh200(), mode, &p).checksum)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_radix,
+    bench_pagetable,
+    bench_tlb,
+    bench_physmem,
+    bench_kernel_span,
+    bench_gate_apply,
+    bench_setcache,
+    bench_par_sort,
+    bench_fusion,
+    bench_replay_parse,
+    bench_par,
+    bench_app_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! `cargo bench -p gh-bench --bench scoreboard` — re-verifies every
+//! paper claim in one run.
+
+fn main() {
+    let claims = gh_bench::scoreboard::run();
+    let csv = gh_bench::scoreboard::render(&claims);
+    gh_bench::emit("Reproduction scoreboard", &csv, &[]);
+    let failed = claims.iter().filter(|c| !c.holds).count();
+    println!("{} / {} claims hold", claims.len() - failed, claims.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,15 @@
+//! `cargo bench -p gh-bench --bench tables` — Tables 1 and 2.
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    gh_bench::emit(
+        "Table 1: memory management types (behaviour probed on the simulator)",
+        &gh_bench::tables::table1(),
+        &[],
+    );
+    gh_bench::emit(
+        "Table 2: application suite with measured peak GPU footprints",
+        &gh_bench::tables::table2(fast),
+        &[],
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 8: Quantum Volume speedup of 64 KB system pages relative to
+//! 4 KB, for the system and managed versions, at increasing qubit count.
+
+use gh_apps::MemMode;
+use gh_profiler::Csv;
+use gh_qsim::{paper_qubits, run_qv, QsimParams};
+
+use crate::util::machine;
+
+/// Sweep range (simulated qubits; paper = +10).
+pub fn qubit_range(fast: bool) -> Vec<u32> {
+    if fast {
+        vec![14, 17]
+    } else {
+        (13..=23).collect()
+    }
+}
+
+/// Rows: (paper_qubits, mode, t4k_ms, t64k_ms, speedup_64k).
+pub fn run(fast: bool) -> Csv {
+    let mut csv = Csv::new(["paper_qubits", "mode", "t4k_ms", "t64k_ms", "speedup_64k"]);
+    for q in qubit_range(fast) {
+        for mode in [MemMode::System, MemMode::Managed] {
+            let p = QsimParams {
+                sim_qubits: q,
+                compute_amplitudes: false,
+                ..Default::default()
+            };
+            let t4 = run_qv(machine(true, false), mode, &p).reported_total();
+            let t64 = run_qv(machine(false, false), mode, &p).reported_total();
+            csv.row([
+                paper_qubits(q).to_string(),
+                mode.label().to_string(),
+                format!("{:.3}", t4 as f64 / 1e6),
+                format!("{:.3}", t64 as f64 / 1e6),
+                format!("{:.3}", t4 as f64 / t64 as f64),
+            ]);
+        }
+    }
+    csv
+}
+
+/// Extracts the 64 KB speedup for (paper qubits, mode).
+pub fn speedup(csv: &Csv, paper_q: u32, mode: &str) -> f64 {
+    csv.render()
+        .lines()
+        .find(|l| l.starts_with(&format!("{paper_q},{mode},")))
+        .and_then(|l| l.split(',').nth(4))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_speedup_grows_with_problem_size() {
+        // Paper Fig 8: the 64 KB speedup of the system version increases
+        // with qubit count (up to ~4×), as GPU-side first-touch fault
+        // counts scale with page count.
+        let csv = run(true);
+        let small = speedup(&csv, 24, "system");
+        let large = speedup(&csv, 27, "system");
+        assert!(
+            large > small,
+            "system speedup must grow: {small} → {large}\n{}",
+            csv.render()
+        );
+        assert!(large > 1.5, "large sizes must clearly favour 64 KB");
+    }
+
+    #[test]
+    fn managed_is_less_page_size_sensitive_at_scale() {
+        // Paper: from 25 qubits on, managed runs similarly under both
+        // page sizes (GPU-resident managed pages use the 2 MB GPU page
+        // table regardless of the system page size).
+        let csv = run(true);
+        let sys = speedup(&csv, 27, "system");
+        let man = speedup(&csv, 27, "managed");
+        assert!(
+            sys > man,
+            "system must be more page-size sensitive: sys {sys} vs man {man}"
+        );
+        assert!(man < 2.0, "managed sensitivity should stay mild: {man}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 9: initialization/computation time breakdown of the 33-qubit
+//! (paper scale) Quantum Volume run, system and managed versions, 4 KB
+//! and 64 KB system pages.
+
+use gh_apps::MemMode;
+use gh_profiler::Csv;
+use gh_qsim::{run_qv, QsimParams};
+
+use crate::util::machine;
+
+/// Rows: (mode, page, init_ms, compute_ms, total_ms).
+pub fn run(fast: bool) -> Csv {
+    let p = QsimParams {
+        sim_qubits: if fast { 17 } else { 23 }, // paper 33q
+        compute_amplitudes: false,
+        ..Default::default()
+    };
+    let mut csv = Csv::new(["mode", "page", "init_ms", "compute_ms", "total_ms"]);
+    for mode in [MemMode::System, MemMode::Managed] {
+        for (page4k, label) in [(true, "4k"), (false, "64k")] {
+            let r = run_qv(machine(page4k, false), mode, &p);
+            let init = r.kernel_time_named("qv_init");
+            let gates = r.kernel_time_named("qv_gate") + r.kernel_time_named("qv_norm");
+            csv.row([
+                mode.label().to_string(),
+                label.to_string(),
+                format!("{:.3}", init as f64 / 1e6),
+                format!("{:.3}", gates as f64 / 1e6),
+                format!("{:.3}", (init + gates) as f64 / 1e6),
+            ]);
+        }
+    }
+    csv
+}
+
+fn cell(csv: &Csv, mode: &str, page: &str, col: usize) -> f64 {
+    csv.render()
+        .lines()
+        .find(|l| l.starts_with(&format!("{mode},{page},")))
+        .and_then(|l| l.split(',').nth(col))
+        .and_then(|s| s.parse().ok())
+        .unwrap()
+}
+
+/// Init-phase duration (ms).
+pub fn init_ms(csv: &Csv, mode: &str, page: &str) -> f64 {
+    cell(csv, mode, page, 2)
+}
+
+/// Total duration (ms).
+pub fn total_ms(csv: &Csv, mode: &str, page: &str) -> f64 {
+    cell(csv, mode, page, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_init_improves_about_5x_with_64k_pages() {
+        // Paper Fig 9: the system version's init shrinks ~5× at 64 KB;
+        // overall runtime improves ~2.9×.
+        let csv = run(true);
+        let ratio = init_ms(&csv, "system", "4k") / init_ms(&csv, "system", "64k");
+        assert!(
+            (3.0..=30.0).contains(&ratio),
+            "system init 4k/64k ratio {ratio}\n{}",
+            csv.render()
+        );
+        let total = total_ms(&csv, "system", "4k") / total_ms(&csv, "system", "64k");
+        assert!(total > 1.5, "overall 4k/64k ratio {total}");
+    }
+
+    #[test]
+    fn managed_total_is_mildly_page_size_sensitive() {
+        // Paper: managed 64 KB total is ~10% lower than 4 KB.
+        let csv = run(true);
+        let ratio = total_ms(&csv, "managed", "4k") / total_ms(&csv, "managed", "64k");
+        assert!(
+            (0.9..=1.6).contains(&ratio),
+            "managed 4k/64k ratio {ratio}\n{}",
+            csv.render()
+        );
+    }
+
+    #[test]
+    fn system_compute_is_stable_across_page_sizes() {
+        // Paper: "the computation time remains stable between page sizes".
+        let csv = run(true);
+        let c4 = cell(&csv, "system", "4k", 3);
+        let c64 = cell(&csv, "system", "64k", 3);
+        let rel = (c4 - c64).abs() / c64;
+        assert!(rel < 0.5, "system compute varies too much: {c4} vs {c64}");
+    }
+}

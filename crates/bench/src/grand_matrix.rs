@@ -1,0 +1,78 @@
+//! The grand matrix: every application × memory mode × page size in one
+//! table — the summary view the paper's individual figures slice.
+
+use gh_apps::{AppId, MemMode};
+use gh_profiler::Csv;
+use gh_qsim::{run_qv, QsimParams};
+
+use crate::util::{machine, run_app};
+
+/// Rows: (workload, mode, page, reported_ms, c2c_mib, migrated_mib,
+/// faults). Auto-migration on (the machine's default configuration).
+pub fn run(fast: bool) -> Csv {
+    let mut csv = Csv::new([
+        "workload",
+        "mode",
+        "page",
+        "reported_ms",
+        "c2c_mib",
+        "migrated_mib",
+        "faults",
+    ]);
+    for app in AppId::ALL {
+        for mode in MemMode::ALL {
+            for (page_4k, page) in [(false, "64k"), (true, "4k")] {
+                let r = run_app(app, mode, page_4k, true, fast);
+                push(&mut csv, app.name(), mode, page, &r);
+            }
+        }
+    }
+    let q = if fast { 14 } else { 20 };
+    for mode in MemMode::ALL {
+        for (page_4k, page) in [(false, "64k"), (true, "4k")] {
+            let p = QsimParams {
+                sim_qubits: q,
+                compute_amplitudes: false,
+                ..Default::default()
+            };
+            let r = run_qv(machine(page_4k, true), mode, &p);
+            push(&mut csv, "qiskit-qv", mode, page, &r);
+        }
+    }
+    csv
+}
+
+fn push(csv: &mut Csv, name: &str, mode: MemMode, page: &str, r: &gh_sim::RunReport) {
+    csv.row([
+        name.to_string(),
+        mode.label().to_string(),
+        page.to_string(),
+        format!("{:.3}", r.reported_total() as f64 / 1e6),
+        format!(
+            "{}",
+            (r.traffic.c2c_read + r.traffic.c2c_write) >> 20
+        ),
+        format!("{}", r.traffic.bytes_migrated_in >> 20),
+        format!("{}", r.traffic.gpu_faults + r.traffic.ats_faults),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_covers_all_cells() {
+        let csv = run(true);
+        assert_eq!(csv.len(), (AppId::ALL.len() + 1) * 3 * 2);
+        let text = csv.render();
+        // Spot-check the structural signals: explicit rows never fault,
+        // managed rows never read over C2C in-memory for CPU-init apps.
+        for line in text.lines().skip(1) {
+            let c: Vec<&str> = line.split(',').collect();
+            if c[1] == "explicit" {
+                assert_eq!(c[6], "0", "explicit never faults: {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared harness utilities.
+
+use gh_apps::{AppId, MemMode};
+use gh_mem::clock::Ns;
+use gh_sim::{CostParams, Machine, RunReport, RuntimeOptions};
+
+/// Builds a machine with the given page size and migration switch.
+pub fn machine(page_4k: bool, auto_migration: bool) -> Machine {
+    let params = if page_4k {
+        CostParams::with_4k_pages()
+    } else {
+        CostParams::with_64k_pages()
+    };
+    Machine::new(
+        params,
+        RuntimeOptions {
+            auto_migration,
+            ..Default::default()
+        },
+    )
+}
+
+/// Builds a machine with fully custom parameters/options.
+pub fn machine_with(params: CostParams, opts: RuntimeOptions) -> Machine {
+    Machine::new(params, opts)
+}
+
+/// Runs one application (default or shrunk input) on a fresh machine.
+pub fn run_app(
+    app: AppId,
+    mode: MemMode,
+    page_4k: bool,
+    auto_migration: bool,
+    fast: bool,
+) -> RunReport {
+    let m = machine(page_4k, auto_migration);
+    if fast {
+        app.run_small(m, mode)
+    } else {
+        app.run(m, mode)
+    }
+}
+
+/// Measures an application's peak GPU usage (above the driver baseline)
+/// in a non-oversubscribed managed run — the §3.2 recipe for computing
+/// simulated-oversubscription ratios.
+pub fn peak_gpu_usage(app: AppId, fast: bool) -> u64 {
+    let r = run_app(app, MemMode::Managed, false, true, fast);
+    r.peak_gpu
+        .saturating_sub(CostParams::default().gpu_driver_baseline)
+}
+
+/// Formats a virtual duration in milliseconds with three decimals.
+pub fn ms(t: Ns) -> String {
+    format!("{:.3}", t as f64 / 1e6)
+}
+
+/// Ratio `a/b` with three decimals; `inf` when `b` is 0.
+pub fn ratio(a: Ns, b: Ns) -> String {
+    if b == 0 {
+        "inf".into()
+    } else {
+        format!("{:.3}", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_page_sizes() {
+        assert_eq!(machine(true, true).rt.params().system_page_size, 4096);
+        assert_eq!(machine(false, true).rt.params().system_page_size, 65536);
+    }
+
+    #[test]
+    fn run_app_smoke() {
+        let r = run_app(AppId::Hotspot, MemMode::System, false, true, true);
+        assert!(r.checksum != 0.0);
+    }
+
+    #[test]
+    fn peak_usage_is_positive() {
+        assert!(peak_gpu_usage(AppId::Hotspot, true) > 0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(1_500_000), "1.500");
+        assert_eq!(ratio(3, 2), "1.500");
+        assert_eq!(ratio(1, 0), "inf");
+    }
+}

@@ -1,0 +1,216 @@
+//! Memory-mode advisor: the paper's conclusions, operationalized.
+//!
+//! The paper ends with guidance — system-allocated memory benefits most
+//! use cases with minimal porting effort, managed memory wins for
+//! GPU-initialized data, page size is a first-order knob. This module
+//! turns that into a tool: run a workload (as a replay trace) under
+//! every (mode × page size) combination and report the ranking together
+//! with the behavioural signals that explain it.
+
+use crate::machine::Machine;
+use crate::mode::MemMode;
+use crate::replay;
+use crate::report::RunReport;
+use gh_cuda::RuntimeOptions;
+use gh_mem::params::CostParams;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct AdvisorRow {
+    /// Memory-management strategy.
+    pub mode: MemMode,
+    /// System page size in bytes.
+    pub page_size: u64,
+    /// Reported total (ns, paper convention).
+    pub total_ns: u64,
+    /// The full report for deeper inspection.
+    pub report: RunReport,
+}
+
+/// Result of an advisory run: rows sorted fastest-first plus derived
+/// observations.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// All evaluated configurations, fastest first.
+    pub rows: Vec<AdvisorRow>,
+    /// Human-readable observations derived from the signals.
+    pub notes: Vec<String>,
+}
+
+impl Advice {
+    /// The winning configuration.
+    pub fn best(&self) -> &AdvisorRow {
+        &self.rows[0]
+    }
+
+    /// Renders a compact report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("mode      page   total_ms   c2c_mib  migrated_mib  faults\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<9} {:<6} {:<10.3} {:<8} {:<13} {}\n",
+                r.mode.label(),
+                if r.page_size == 4096 { "4k" } else { "64k" },
+                r.total_ns as f64 / 1e6,
+                (r.report.traffic.c2c_read + r.report.traffic.c2c_write) >> 20,
+                r.report.traffic.bytes_migrated_in >> 20,
+                r.report.traffic.gpu_faults + r.report.traffic.ats_faults,
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Evaluates `trace` under every (mode × page size) combination.
+pub fn advise(trace: &str) -> Result<Advice, replay::ReplayError> {
+    let mut rows = Vec::new();
+    for mode in MemMode::ALL {
+        for page_4k in [false, true] {
+            let params = if page_4k {
+                CostParams::with_4k_pages()
+            } else {
+                CostParams::with_64k_pages()
+            };
+            let machine = Machine::new(params.clone(), RuntimeOptions::default());
+            let report = replay::replay(machine, trace, Some(mode))?;
+            rows.push(AdvisorRow {
+                mode,
+                page_size: params.system_page_size,
+                total_ns: report.reported_total(),
+                report,
+            });
+        }
+    }
+    rows.sort_by_key(|r| r.total_ns);
+    let notes = derive_notes(&rows);
+    Ok(Advice { rows, notes })
+}
+
+fn derive_notes(rows: &[AdvisorRow]) -> Vec<String> {
+    let mut notes = Vec::new();
+    let best = &rows[0];
+    notes.push(format!(
+        "best configuration: {} memory with {} pages",
+        best.mode.label(),
+        if best.page_size == 4096 { "4 KiB" } else { "64 KiB" }
+    ));
+    if best.mode == MemMode::System {
+        notes.push(
+            "system-allocated memory wins: coherent NVLink-C2C access avoids \
+             fault-driven migration (the paper's headline result)"
+                .into(),
+        );
+    }
+    if let Some(r) = rows.iter().find(|r| r.mode == MemMode::System) {
+        if r.report.traffic.ats_faults > 0 {
+            notes.push(format!(
+                "system memory pays {} GPU-first-touch (ATS) faults — consider \
+                 cudaHostRegister pre-population or 64 KiB pages (paper 5.1.2)",
+                r.report.traffic.ats_faults
+            ));
+        }
+    }
+    if let Some(r) = rows.iter().find(|r| r.mode == MemMode::Managed) {
+        if r.report.traffic.pages_migrated_out > 0 {
+            notes.push(
+                "managed memory evicted under GPU memory pressure — expect \
+                 oversubscription churn; system memory degrades more gracefully \
+                 (paper Fig 11)"
+                    .into(),
+            );
+        }
+    }
+    let sys64 = rows
+        .iter()
+        .find(|r| r.mode == MemMode::System && r.page_size == 65536);
+    let sys4 = rows
+        .iter()
+        .find(|r| r.mode == MemMode::System && r.page_size == 4096);
+    if let (Some(a), Some(b)) = (sys64, sys4) {
+        let ratio = b.total_ns as f64 / a.total_ns.max(1) as f64;
+        if ratio > 1.5 {
+            notes.push(format!(
+                "64 KiB pages are {ratio:.1}x faster for the system version \
+                 (fault-count dominated, paper Fig 8/9)"
+            ));
+        } else if ratio < 0.67 {
+            notes.push(format!(
+                "4 KiB pages are {:.1}x faster for the system version \
+                 (migration amplification, paper Fig 7)",
+                1.0 / ratio
+            ));
+        }
+    }
+    notes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CPU_INIT_TRACE: &str = "
+alloc data system 16m
+cpu_write data 0 16m
+kernel sweep
+  read data 0 16m
+end
+";
+
+    const GPU_INIT_TRACE: &str = "
+alloc sv system 16m
+kernel init
+  write sv 0 16m
+end
+kernel gate
+  read sv 0 16m
+  write sv 0 16m
+end
+";
+
+    #[test]
+    fn cpu_initialized_workload_prefers_system_memory() {
+        let advice = advise(CPU_INIT_TRACE).unwrap();
+        assert_eq!(advice.rows.len(), 6);
+        assert_eq!(advice.best().mode, MemMode::System, "\n{}", advice.render());
+        assert!(advice.notes.iter().any(|n| n.contains("system")));
+    }
+
+    #[test]
+    fn gpu_initialized_workload_flags_ats_faults() {
+        let advice = advise(GPU_INIT_TRACE).unwrap();
+        assert!(
+            advice.notes.iter().any(|n| n.contains("ATS")),
+            "\n{}",
+            advice.render()
+        );
+        // The system-4K row must be the slowest system row.
+        let sys: Vec<_> = advice
+            .rows
+            .iter()
+            .filter(|r| r.mode == MemMode::System)
+            .collect();
+        assert!(sys[0].page_size > sys[1].page_size || sys[0].total_ns <= sys[1].total_ns);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let advice = advise(CPU_INIT_TRACE).unwrap();
+        let text = advice.render();
+        assert_eq!(text.matches("system").count() >= 2, true);
+        assert!(text.contains("managed"));
+        assert!(text.contains("explicit"));
+        assert!(text.contains("note:"));
+    }
+
+    #[test]
+    fn rows_are_sorted_fastest_first() {
+        let advice = advise(CPU_INIT_TRACE).unwrap();
+        assert!(advice
+            .rows
+            .windows(2)
+            .all(|w| w[0].total_ns <= w[1].total_ns));
+    }
+}

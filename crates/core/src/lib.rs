@@ -1,0 +1,47 @@
+//! `gh-sim` — the top-level API of the Grace Hopper unified-memory
+//! characterization framework.
+//!
+//! This facade ties the hardware model (`gh-mem`), the OS model (`gh-os`),
+//! the CUDA runtime model (`gh-cuda`) and the profiler (`gh-profiler`)
+//! into the object experiments program against: a [`Machine`].
+//!
+//! ```
+//! use gh_sim::{Machine, MemMode};
+//! use gh_profiler::Phase;
+//!
+//! let mut m = Machine::default_gh200();
+//! m.phase(Phase::Alloc);
+//! let buf = m.rt.malloc_system(1 << 20, "data");
+//! m.phase(Phase::CpuInit);
+//! m.rt.cpu_write(&buf, 0, 1 << 20);
+//! m.phase(Phase::Compute);
+//! let mut k = m.rt.launch("saxpy");
+//! k.read(&buf, 0, 1 << 20);
+//! k.compute(1 << 18);
+//! k.finish();
+//! m.phase(Phase::Dealloc);
+//! m.rt.free(buf);
+//! let report = m.finish();
+//! assert!(report.phases.compute > 0);
+//! ```
+//!
+//! The paper's three application variants map to [`MemMode`]:
+//! `Explicit` (original `cudaMalloc` + `cudaMemcpy`), `System`
+//! (`malloc`), and `Managed` (`cudaMallocManaged`) — see Figure 2 of the
+//! paper for the code transformation this corresponds to.
+
+pub mod advisor;
+pub mod machine;
+pub mod mode;
+pub mod replay;
+pub mod report;
+
+pub use gh_cuda::{BufKind, Buffer, Kernel, KernelReport, Runtime, RuntimeOptions, StreamId};
+pub use gh_mem::params::{CostParams, KIB, MIB};
+pub use gh_mem::phys::Node;
+pub use gh_profiler::{Phase, PhaseTimes, Sample};
+pub use advisor::{advise, Advice};
+pub use machine::Machine;
+pub use mode::MemMode;
+pub use replay::{replay, replay_on, ReplayError};
+pub use report::RunReport;

@@ -1,0 +1,171 @@
+//! The `Machine`: one simulated GH200 plus experiment bookkeeping.
+
+use gh_cuda::{Buffer, Runtime, RuntimeOptions};
+use gh_mem::clock::Ns;
+use gh_mem::params::CostParams;
+use gh_profiler::{Phase, PhaseTimer};
+
+use crate::report::RunReport;
+
+/// A simulated Grace Hopper node with the paper's experiment conveniences:
+/// phase timing, the oversubscription balloon, and report extraction.
+pub struct Machine {
+    /// The underlying runtime — all allocation/copy/launch APIs live here.
+    pub rt: Runtime,
+    timer: PhaseTimer,
+    balloon: Option<Buffer>,
+    checksum: f64,
+}
+
+impl Machine {
+    /// Boots a machine with explicit parameters and options.
+    pub fn new(params: CostParams, opts: RuntimeOptions) -> Self {
+        Self {
+            rt: Runtime::new(params, opts),
+            timer: PhaseTimer::new(),
+            balloon: None,
+            checksum: 0.0,
+        }
+    }
+
+    /// Boots the calibrated default GH200 (64 KiB pages, migration on).
+    pub fn default_gh200() -> Self {
+        Self::new(CostParams::default(), RuntimeOptions::default())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ns {
+        self.rt.now()
+    }
+
+    /// Enters an experiment phase (closes the previous one).
+    pub fn phase(&mut self, p: Phase) {
+        let now = self.rt.now();
+        self.timer.enter(p, now);
+    }
+
+    /// Records the application's correctness checksum.
+    pub fn set_checksum(&mut self, c: f64) {
+        self.checksum = c;
+    }
+
+    /// Creates the paper's *simulated oversubscription* setup (§3.2):
+    /// a `cudaMalloc` balloon sized so that the free GPU memory equals
+    /// `peak_usage / ratio`. `ratio == 1.0` means the working set exactly
+    /// fits; larger ratios oversubscribe. Returns the free bytes left.
+    ///
+    /// Call before the application allocates anything on the GPU.
+    pub fn oversubscribe(&mut self, peak_usage: u64, ratio: f64) -> u64 {
+        assert!(ratio >= 1.0, "oversubscription ratio must be ≥ 1");
+        assert!(self.balloon.is_none(), "balloon already installed");
+        let target_free = (peak_usage as f64 / ratio) as u64;
+        let free_now = self.rt.gpu_free();
+        if free_now > target_free {
+            let gp = self.rt.params().gpu_page_size;
+            // Round *down*: the balloon may not take more than the excess.
+            let balloon_bytes = (free_now - target_free) / gp * gp;
+            if balloon_bytes > 0 {
+                let b = self
+                    .rt
+                    .cuda_malloc(balloon_bytes, "balloon")
+                    .expect("balloon fits in free memory by construction");
+                self.balloon = Some(b);
+            }
+        }
+        self.rt.gpu_free()
+    }
+
+    /// Releases the balloon (end of an oversubscription experiment).
+    pub fn release_balloon(&mut self) {
+        if let Some(b) = self.balloon.take() {
+            self.rt.free(b);
+        }
+    }
+
+    /// Closes the run and extracts the report. Consumes the machine.
+    pub fn finish(mut self) -> RunReport {
+        self.release_balloon();
+        let now = self.rt.now();
+        let phases = self.timer.finish(now);
+        let peak_gpu = self.rt.peak_gpu();
+        let kernel_times = self.rt.kernel_times().to_vec();
+        let kernel_history = self.rt.traffic.history().to_vec();
+        let traffic = *self.rt.traffic.totals();
+        let checksum = self.checksum;
+        let peak_rss = self.rt.peak_rss();
+        let samples = self.rt.into_samples();
+        RunReport {
+            phases,
+            samples,
+            peak_gpu,
+            peak_rss,
+            traffic,
+            kernel_history,
+            kernel_times,
+            checksum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_mem::params::MIB;
+
+    #[test]
+    fn phases_are_recorded() {
+        let mut m = Machine::default_gh200();
+        m.phase(Phase::Alloc);
+        let b = m.rt.malloc_system(MIB, "x");
+        m.phase(Phase::CpuInit);
+        m.rt.cpu_write(&b, 0, MIB);
+        m.phase(Phase::Dealloc);
+        m.rt.free(b);
+        let r = m.finish();
+        assert!(r.phases.alloc > 0);
+        assert!(r.phases.cpu_init > 0);
+        assert!(r.phases.dealloc > 0);
+        assert_eq!(r.phases.compute, 0);
+    }
+
+    #[test]
+    fn oversubscription_balloon_shrinks_free_memory() {
+        let mut m = Machine::default_gh200();
+        let peak = 20 * MIB;
+        let free = m.oversubscribe(peak, 2.0);
+        assert!(free <= 10 * MIB + m.rt.params().gpu_page_size);
+        assert!(free >= 10 * MIB - 2 * m.rt.params().gpu_page_size);
+    }
+
+    #[test]
+    fn ratio_one_keeps_working_set_fitting() {
+        let mut m = Machine::default_gh200();
+        let peak = 30 * MIB;
+        let free = m.oversubscribe(peak, 1.0);
+        assert!(free >= peak - 2 * m.rt.params().gpu_page_size);
+    }
+
+    #[test]
+    fn finish_releases_balloon() {
+        let mut m = Machine::default_gh200();
+        m.oversubscribe(10 * MIB, 4.0);
+        let used_with_balloon = m.rt.gpu_used();
+        assert!(used_with_balloon > 50 * MIB);
+        let r = m.finish();
+        assert!(r.peak_gpu >= used_with_balloon);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be")]
+    fn ratio_below_one_panics() {
+        let mut m = Machine::default_gh200();
+        m.oversubscribe(MIB, 0.5);
+    }
+
+    #[test]
+    fn checksum_propagates() {
+        let mut m = Machine::default_gh200();
+        m.set_checksum(42.5);
+        assert_eq!(m.finish().checksum, 42.5);
+    }
+}

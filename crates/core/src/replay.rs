@@ -1,0 +1,469 @@
+//! Workload replay: drive the simulated machine from a text trace.
+//!
+//! Downstream users can characterize *their* application's memory
+//! behaviour without porting it to the kernel API: dump its allocation
+//! and access pattern as a trace and replay it under any memory mode,
+//! page size, or oversubscription setting.
+//!
+//! Format (line-oriented; `#` starts a comment):
+//!
+//! ```text
+//! alloc   <name> <system|managed|device|pinned> <size>
+//! cpu_write <name> <offset> <len>
+//! cpu_read  <name> <offset> <len>
+//! kernel  <label>                 # begins a kernel body
+//!   read    <name> <offset> <len>
+//!   write   <name> <offset> <len>
+//!   strided <name> <offset> <seg> <stride> <count> [w]
+//!   compute <units>
+//! end
+//! prefetch <name> <cpu|gpu> <offset> <len>
+//! host_register <name>
+//! memcpy  <dst> <dst_off> <src> <src_off> <len>
+//! sync
+//! free    <name>
+//! ```
+//!
+//! Sizes accept `k`/`m`/`g` binary suffixes (`64k`, `8m`). Buffers not
+//! freed explicitly are freed at the end of the replay.
+//!
+//! ```
+//! use gh_sim::{replay, Machine, MemMode};
+//!
+//! let trace = "
+//! alloc data system 4m
+//! cpu_write data 0 4m
+//! kernel sweep
+//!   read data 0 4m
+//! end
+//! ";
+//! let report = replay(Machine::default_gh200(), trace, Some(MemMode::System)).unwrap();
+//! assert_eq!(report.traffic.c2c_read, 4 << 20);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::machine::Machine;
+use crate::mode::MemMode;
+use crate::report::RunReport;
+use gh_cuda::Buffer;
+use gh_mem::phys::Node;
+use gh_profiler::Phase;
+
+/// A parse or execution error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+fn err(line: usize, msg: impl Into<String>) -> ReplayError {
+    ReplayError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses a size literal: plain bytes or `k`/`m`/`g` (binary) suffix.
+pub fn parse_size(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    let (num, mult) = match s.chars().last()? {
+        'k' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' => (&s[..s.len() - 1], 1u64 << 20),
+        'g' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (&s[..], 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+/// Replays `trace` on `machine` and extracts the run report. `mode`
+/// substitutes the trace's `system|managed` unified allocations when
+/// given (so one trace can be compared across strategies);
+/// `device`/`pinned` lines are unaffected.
+pub fn replay(
+    mut machine: Machine,
+    trace: &str,
+    mode: Option<MemMode>,
+) -> Result<RunReport, ReplayError> {
+    replay_on(&mut machine, trace, mode)?;
+    Ok(machine.finish())
+}
+
+/// A replay buffer: unified modes hold one allocation; the explicit
+/// substitution holds a host/device pair with dirty tracking, so
+/// `cpu_write → kernel` sequences insert the `cudaMemcpy` the original
+/// code would have had (the paper's Fig 2 transformation, reversed).
+#[derive(Clone, Copy)]
+struct RBuf {
+    host: Option<Buffer>,
+    dev: Buffer,
+    host_dirty: bool,
+    dev_dirty: bool,
+}
+
+impl RBuf {
+    fn unified(dev: Buffer) -> Self {
+        RBuf {
+            host: None,
+            dev,
+            host_dirty: false,
+            dev_dirty: false,
+        }
+    }
+}
+
+/// Like [`replay`] but leaves the machine alive afterwards, so callers
+/// can inspect runtime state (timeline export, smaps, counters).
+pub fn replay_on(
+    machine: &mut Machine,
+    trace: &str,
+    mode: Option<MemMode>,
+) -> Result<(), ReplayError> {
+    let mut bufs: HashMap<String, RBuf> = HashMap::new();
+    let mut lines = trace.lines().enumerate().peekable();
+    machine.phase(Phase::Compute);
+
+    while let Some((idx, raw)) = lines.next() {
+        let n = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        let get_buf = |bufs: &HashMap<String, RBuf>, name: &str| -> Result<RBuf, ReplayError> {
+            bufs.get(name)
+                .copied()
+                .ok_or_else(|| err(n, format!("unknown buffer '{name}'")))
+        };
+        let size_at = |i: usize| -> Result<u64, ReplayError> {
+            tok.get(i)
+                .and_then(|s| parse_size(s))
+                .ok_or_else(|| err(n, format!("bad size in '{line}'")))
+        };
+        match tok[0] {
+            "alloc" => {
+                if tok.len() != 4 {
+                    return Err(err(n, "alloc <name> <kind> <size>"));
+                }
+                let name = tok[1].to_string();
+                if bufs.contains_key(&name) {
+                    return Err(err(n, format!("buffer '{name}' already exists")));
+                }
+                let bytes = size_at(3)?;
+                let kind = match (tok[2], mode) {
+                    ("system", Some(MemMode::Managed)) | ("managed", Some(MemMode::Managed)) => {
+                        "managed"
+                    }
+                    ("system", Some(MemMode::System)) | ("managed", Some(MemMode::System)) => {
+                        "system"
+                    }
+                    ("system", Some(MemMode::Explicit))
+                    | ("managed", Some(MemMode::Explicit)) => "explicit_pair",
+                    (k, _) => k,
+                };
+                let buf = match kind {
+                    "system" => RBuf::unified(machine.rt.malloc_system(bytes, &name)),
+                    "managed" => RBuf::unified(machine.rt.cuda_malloc_managed(bytes, &name)),
+                    "pinned" => RBuf::unified(machine.rt.cuda_malloc_host(bytes, &name)),
+                    "device" => RBuf::unified(
+                        machine
+                            .rt
+                            .cuda_malloc(bytes, &name)
+                            .map_err(|e| err(n, format!("cudaMalloc failed: {e}")))?,
+                    ),
+                    "explicit_pair" => RBuf {
+                        host: Some(machine.rt.malloc_system(bytes, &format!("{name}.host"))),
+                        dev: machine
+                            .rt
+                            .cuda_malloc(bytes, &format!("{name}.dev"))
+                            .map_err(|e| err(n, format!("cudaMalloc failed: {e}")))?,
+                        host_dirty: false,
+                        dev_dirty: false,
+                    },
+                    other => return Err(err(n, format!("unknown kind '{other}'"))),
+                };
+                bufs.insert(name, buf);
+            }
+            "cpu_write" | "cpu_read" => {
+                if tok.len() != 4 {
+                    return Err(err(n, "cpu_write <name> <offset> <len>"));
+                }
+                let b = get_buf(&bufs, tok[1])?;
+                let (off, len) = (size_at(2)?, size_at(3)?);
+                let host_side = b.host.unwrap_or(b.dev);
+                if off + len > host_side.len() {
+                    return Err(err(n, "out of range"));
+                }
+                if tok[0] == "cpu_write" {
+                    machine.rt.cpu_write(&host_side, off, len);
+                    if b.host.is_some() {
+                        bufs.get_mut(tok[1]).unwrap().host_dirty = true;
+                    }
+                } else {
+                    if let (Some(h), true) = (b.host, b.dev_dirty) {
+                        // Explicit pair: results come back via cudaMemcpy.
+                        machine.rt.memcpy(&h, 0, &b.dev, 0, b.dev.len().min(h.len()));
+                        bufs.get_mut(tok[1]).unwrap().dev_dirty = false;
+                    }
+                    machine.rt.cpu_read(&host_side, off, len);
+                }
+            }
+            "kernel" => {
+                let label = tok.get(1).copied().unwrap_or("kernel");
+                // Explicit pairs: upload any host-dirty buffer first (the
+                // cudaMemcpy the original code would perform).
+                let dirty: Vec<String> = bufs
+                    .iter()
+                    .filter(|(_, b)| b.host.is_some() && b.host_dirty)
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for name in dirty {
+                    let b = bufs[&name];
+                    let h = b.host.unwrap();
+                    machine.rt.memcpy(&b.dev, 0, &h, 0, h.len().min(b.dev.len()));
+                    bufs.get_mut(&name).unwrap().host_dirty = false;
+                }
+                let mut k = machine.rt.launch(label);
+                let mut closed = false;
+                let mut body_err: Option<ReplayError> = None;
+                for (jdx, kraw) in lines.by_ref() {
+                    let m = jdx + 1;
+                    let kline = kraw.split('#').next().unwrap_or("").trim();
+                    if kline.is_empty() {
+                        continue;
+                    }
+                    let kt: Vec<&str> = kline.split_whitespace().collect();
+                    let ksize = |i: usize| -> Result<u64, ReplayError> {
+                        kt.get(i)
+                            .and_then(|s| parse_size(s))
+                            .ok_or_else(|| err(m, format!("bad size in '{kline}'")))
+                    };
+                    match kt[0] {
+                        "end" => {
+                            closed = true;
+                            break;
+                        }
+                        "read" | "write" => {
+                            let step = (|| -> Result<(), ReplayError> {
+                                let b = get_buf(&bufs, kt[1])?;
+                                let (off, len) = (ksize(2)?, ksize(3)?);
+                                if off + len > b.dev.len() {
+                                    return Err(err(m, "out of range"));
+                                }
+                                if kt[0] == "read" {
+                                    k.read(&b.dev, off, len);
+                                } else {
+                                    k.write(&b.dev, off, len);
+                                }
+                                Ok(())
+                            })();
+                            match step {
+                                Err(e) => {
+                                    body_err = Some(e);
+                                    break;
+                                }
+                                Ok(()) => {
+                                    if kt[0] == "write" {
+                                        if let Some(rb) = bufs.get_mut(kt[1]) {
+                                            rb.dev_dirty = true;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        "strided" => {
+                            let step = (|| -> Result<(), ReplayError> {
+                                if kt.len() < 6 {
+                                    return Err(err(
+                                        m,
+                                        "strided <name> <off> <seg> <stride> <count> [w]",
+                                    ));
+                                }
+                                let b = get_buf(&bufs, kt[1])?;
+                                let (off, seg, stride, count) =
+                                    (ksize(2)?, ksize(3)?, ksize(4)?, ksize(5)?);
+                                if kt.get(6) == Some(&"w") {
+                                    k.write_strided(&b.dev, off, seg, stride, count);
+                                } else {
+                                    k.read_strided(&b.dev, off, seg, stride, count);
+                                }
+                                Ok(())
+                            })();
+                            if let Err(e) = step {
+                                body_err = Some(e);
+                                break;
+                            }
+                        }
+                        "compute" => match ksize(1) {
+                            Ok(u) => k.compute(u),
+                            Err(e) => {
+                                body_err = Some(e);
+                                break;
+                            }
+                        },
+                        other => {
+                            body_err = Some(err(m, format!("unknown kernel op '{other}'")));
+                            break;
+                        }
+                    }
+                }
+                // Always close the recording before propagating errors —
+                // an unfinished kernel is a simulator-usage bug.
+                k.finish();
+                if let Some(e) = body_err {
+                    return Err(e);
+                }
+                if !closed {
+                    return Err(err(n, "kernel body not closed with 'end'"));
+                }
+            }
+            "prefetch" => {
+                if tok.len() != 5 {
+                    return Err(err(n, "prefetch <name> <cpu|gpu> <offset> <len>"));
+                }
+                let b = get_buf(&bufs, tok[1])?;
+                if b.dev.kind != gh_cuda::BufKind::Managed {
+                    // Prefetch is a managed-memory API; under substitution
+                    // to other modes the directive is a no-op.
+                    continue;
+                }
+                let node = match tok[2] {
+                    "cpu" => Node::Cpu,
+                    "gpu" => Node::Gpu,
+                    other => return Err(err(n, format!("bad node '{other}'"))),
+                };
+                machine.rt.prefetch(&b.dev, size_at(3)?, size_at(4)?, node);
+            }
+            "host_register" => {
+                let b = get_buf(&bufs, tok[1])?;
+                let target = b.host.unwrap_or(b.dev);
+                if target.kind == gh_cuda::BufKind::System {
+                    machine.rt.cuda_host_register(&target);
+                }
+            }
+            "memcpy" => {
+                if tok.len() != 6 {
+                    return Err(err(n, "memcpy <dst> <dst_off> <src> <src_off> <len>"));
+                }
+                let dst = get_buf(&bufs, tok[1])?;
+                let src = get_buf(&bufs, tok[3])?;
+                machine
+                    .rt
+                    .memcpy(&dst.dev, size_at(2)?, &src.dev, size_at(4)?, size_at(5)?);
+            }
+            "sync" => machine.rt.device_synchronize(),
+            "free" => {
+                let name = tok[1];
+                let b = bufs
+                    .remove(name)
+                    .ok_or_else(|| err(n, format!("unknown buffer '{name}'")))?;
+                if let Some(h) = b.host {
+                    machine.rt.free(h);
+                }
+                machine.rt.free(b.dev);
+            }
+            other => return Err(err(n, format!("unknown directive '{other}'"))),
+        }
+    }
+    machine.phase(Phase::Dealloc);
+    // Deterministic teardown order.
+    let mut leftovers: Vec<(String, RBuf)> = bufs.drain().collect();
+    leftovers.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, b) in leftovers {
+        if let Some(h) = b.host {
+            machine.rt.free(h);
+        }
+        machine.rt.free(b.dev);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = "
+# a CPU-init-then-GPU-compute workload
+alloc data system 4m
+alloc out device 2m
+cpu_write data 0 4m
+kernel step
+  read data 0 4m
+  write out 0 1m
+  strided data 0 1k 64k 16
+  compute 100000
+end
+sync
+free out
+";
+
+    #[test]
+    fn parse_size_suffixes() {
+        assert_eq!(parse_size("123"), Some(123));
+        assert_eq!(parse_size("4k"), Some(4096));
+        assert_eq!(parse_size("8M"), Some(8 << 20));
+        assert_eq!(parse_size("1g"), Some(1 << 30));
+        assert_eq!(parse_size("x"), None);
+    }
+
+    #[test]
+    fn replays_a_trace_end_to_end() {
+        let r = replay(Machine::default_gh200(), TRACE, None).unwrap();
+        assert!(r.phases.compute > 0);
+        assert_eq!(r.traffic.c2c_read >> 20, 4, "data read remotely");
+        assert!(r.kernel_times.iter().any(|(n, _)| n.starts_with("step")));
+    }
+
+    #[test]
+    fn mode_substitution_changes_behaviour() {
+        let sys = replay(Machine::default_gh200(), TRACE, Some(MemMode::System)).unwrap();
+        let man = replay(Machine::default_gh200(), TRACE, Some(MemMode::Managed)).unwrap();
+        assert!(sys.traffic.c2c_read > 0);
+        assert!(man.traffic.bytes_migrated_in > 0, "managed migrates");
+    }
+
+    #[test]
+    fn unknown_buffer_is_an_error() {
+        let e = replay(Machine::default_gh200(), "free nope\n", None).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("nope"));
+    }
+
+    #[test]
+    fn unclosed_kernel_is_an_error() {
+        let t = "alloc a system 1m\nkernel k\n  read a 0 1m\n";
+        let e = replay(Machine::default_gh200(), t, None).unwrap_err();
+        assert!(e.msg.contains("not closed"));
+    }
+
+    #[test]
+    fn out_of_range_access_is_an_error() {
+        let t = "alloc a system 1m\ncpu_write a 0 2m\n";
+        let e = replay(Machine::default_gh200(), t, None).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let t = "\n# nothing\n   \nalloc a system 64k # trailing\nfree a\n";
+        replay(Machine::default_gh200(), t, None).unwrap();
+    }
+
+    #[test]
+    fn leftover_buffers_are_freed() {
+        let t = "alloc a system 1m\nalloc b managed 1m\ncpu_write a 0 1m\n";
+        let r = replay(Machine::default_gh200(), t, None).unwrap();
+        let last = r.samples.last().unwrap();
+        assert_eq!(last.rss, 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Per-run experiment reports.
+
+use gh_mem::clock::Ns;
+use gh_mem::traffic::KernelTraffic;
+use gh_profiler::{PhaseTimes, Sample};
+
+/// Everything a finished run produced, for figure harnesses and tests.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunReport {
+    /// Per-phase virtual durations.
+    pub phases: PhaseTimes,
+    /// Memory-profiler series (virtual time, RSS, GPU used).
+    pub samples: Vec<Sample>,
+    /// Peak GPU used memory observed (driver baseline included).
+    pub peak_gpu: u64,
+    /// Peak RSS observed.
+    pub peak_rss: u64,
+    /// Cumulative traffic over every kernel.
+    pub traffic: KernelTraffic,
+    /// Per-kernel traffic history `(name, traffic)` in launch order.
+    pub kernel_history: Vec<(String, KernelTraffic)>,
+    /// Per-kernel durations `(name, ns)` in launch order.
+    pub kernel_times: Vec<(String, Ns)>,
+    /// Application-defined checksum for correctness verification.
+    pub checksum: f64,
+}
+
+impl RunReport {
+    /// Reported total (paper convention: CPU init excluded).
+    pub fn reported_total(&self) -> Ns {
+        self.phases.reported_total()
+    }
+
+    /// Sums durations of kernels whose name starts with `prefix`.
+    pub fn kernel_time_named(&self, prefix: &str) -> Ns {
+        self.kernel_times
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, t)| t)
+            .sum()
+    }
+
+    /// Traffic records of kernels whose name starts with `prefix`.
+    pub fn kernel_traffic_named(&self, prefix: &str) -> Vec<&KernelTraffic> {
+        self.kernel_history
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, t)| t)
+            .collect()
+    }
+
+    /// Serializes the full report as pretty JSON (phases, samples,
+    /// traffic, per-kernel history).
+    pub fn to_json(&self) -> String {
+        // Hand-rolled pretty printing is avoided: serde_json is not in
+        // the offline dependency set, so serialize via the compact
+        // internal writer below.
+        crate::report::json::to_json_value(self)
+    }
+}
+
+/// Minimal JSON serialization (the offline crate set has serde but not
+/// serde_json, so a compact serializer is provided here; it supports the
+/// subset of shapes `RunReport` uses).
+pub mod json {
+    use serde::ser::{self, Serialize};
+
+    /// Serializes any `Serialize` value to a JSON string using a small
+    /// built-in serializer (objects, arrays, strings, numbers, bools).
+    pub fn to_json_value<T: Serialize>(v: &T) -> String {
+        let mut out = String::new();
+        v.serialize(Ser { out: &mut out }).expect("JSON serialization");
+        out
+    }
+
+    struct Ser<'a> {
+        out: &'a mut String,
+    }
+
+    /// Serialization error (should not occur for `RunReport` shapes).
+    #[derive(Debug)]
+    pub struct Error(String);
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl ser::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    fn esc(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    macro_rules! num {
+        ($($f:ident: $t:ty),*) => {
+            $(fn $f(self, v: $t) -> Result<(), Error> {
+                self.out.push_str(&v.to_string());
+                Ok(())
+            })*
+        };
+    }
+
+    impl<'a> ser::Serializer for Ser<'a> {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = SeqSer<'a>;
+        type SerializeTuple = SeqSer<'a>;
+        type SerializeTupleStruct = SeqSer<'a>;
+        type SerializeTupleVariant = SeqSer<'a>;
+        type SerializeMap = MapSer<'a>;
+        type SerializeStruct = MapSer<'a>;
+        type SerializeStructVariant = MapSer<'a>;
+
+        num!(serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+             serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64);
+
+        fn serialize_f32(self, v: f32) -> Result<(), Error> {
+            self.serialize_f64(v as f64)
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            if v.is_finite() {
+                self.out.push_str(&v.to_string());
+            } else {
+                self.out.push_str("null");
+            }
+            Ok(())
+        }
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push_str(if v { "true" } else { "false" });
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            esc(self.out, &v.to_string());
+            Ok(())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            esc(self.out, v);
+            Ok(())
+        }
+        fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+            use serde::ser::SerializeSeq;
+            let mut seq = self.serialize_seq(Some(v.len()))?;
+            for b in v {
+                seq.serialize_element(b)?;
+            }
+            seq.end()
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+            self.serialize_unit()
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+        ) -> Result<(), Error> {
+            esc(self.out, variant);
+            Ok(())
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            self.out.push('{');
+            esc(self.out, variant);
+            self.out.push(':');
+            v.serialize(Ser { out: self.out })?;
+            self.out.push('}');
+            Ok(())
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<SeqSer<'a>, Error> {
+            self.out.push('[');
+            Ok(SeqSer {
+                out: self.out,
+                first: true,
+            })
+        }
+        fn serialize_tuple(self, len: usize) -> Result<SeqSer<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_struct(self, _: &'static str, len: usize) -> Result<SeqSer<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            len: usize,
+        ) -> Result<SeqSer<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<MapSer<'a>, Error> {
+            self.out.push('{');
+            Ok(MapSer {
+                out: self.out,
+                first: true,
+            })
+        }
+        fn serialize_struct(self, _: &'static str, len: usize) -> Result<MapSer<'a>, Error> {
+            self.serialize_map(Some(len))
+        }
+        fn serialize_struct_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            len: usize,
+        ) -> Result<MapSer<'a>, Error> {
+            self.serialize_map(Some(len))
+        }
+    }
+
+    pub struct SeqSer<'a> {
+        out: &'a mut String,
+        first: bool,
+    }
+    impl<'a> ser::SerializeSeq for SeqSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            if !self.first {
+                self.out.push(',');
+            }
+            self.first = false;
+            v.serialize(Ser { out: self.out })
+        }
+        fn end(self) -> Result<(), Error> {
+            self.out.push(']');
+            Ok(())
+        }
+    }
+    impl<'a> ser::SerializeTuple for SeqSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+    impl<'a> ser::SerializeTupleStruct for SeqSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+    impl<'a> ser::SerializeTupleVariant for SeqSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+
+    pub struct MapSer<'a> {
+        out: &'a mut String,
+        first: bool,
+    }
+    impl<'a> ser::SerializeMap for MapSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Error> {
+            if !self.first {
+                self.out.push(',');
+            }
+            self.first = false;
+            k.serialize(Ser { out: self.out })
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
+            self.out.push(':');
+            v.serialize(Ser { out: self.out })
+        }
+        fn end(self) -> Result<(), Error> {
+            self.out.push('}');
+            Ok(())
+        }
+    }
+    impl<'a> ser::SerializeStruct for MapSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            ser::SerializeMap::serialize_key(self, key)?;
+            ser::SerializeMap::serialize_value(self, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeMap::end(self)
+        }
+    }
+    impl<'a> ser::SerializeStructVariant for MapSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            ser::SerializeStruct::serialize_field(self, key, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.out.push('}');
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_filters_by_prefix() {
+        let r = RunReport {
+            phases: PhaseTimes::default(),
+            samples: vec![],
+            peak_gpu: 0,
+            peak_rss: 0,
+            traffic: KernelTraffic::default(),
+            kernel_history: vec![
+                ("srad1#1".into(), KernelTraffic::default()),
+                ("srad2#2".into(), KernelTraffic::default()),
+            ],
+            kernel_times: vec![("srad1#1".into(), 10), ("srad2#2".into(), 20)],
+            checksum: 0.0,
+        };
+        assert_eq!(r.kernel_time_named("srad1"), 10);
+        assert_eq!(r.kernel_time_named("srad"), 30);
+        assert_eq!(r.kernel_traffic_named("srad2").len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            phases: PhaseTimes {
+                ctx_init: 1,
+                alloc: 2,
+                cpu_init: 3,
+                compute: 4,
+                dealloc: 5,
+            },
+            samples: vec![Sample { t: 0, rss: 10, gpu_used: 20 }],
+            peak_gpu: 20,
+            peak_rss: 10,
+            traffic: KernelTraffic::default(),
+            kernel_history: vec![("k \"x\"#1".into(), KernelTraffic::default())],
+            kernel_times: vec![("k \"x\"#1".into(), 7)],
+            checksum: 1.5,
+        }
+    }
+
+    #[test]
+    fn to_json_produces_valid_structure() {
+        let j = report().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"phases\""));
+        assert!(j.contains("\"compute\":4"));
+        assert!(j.contains("\"checksum\":1.5"));
+        assert!(j.contains("\\\"x\\\""), "quotes escaped: {j}");
+        // Balanced braces/brackets (cheap sanity check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_serializes_floats_and_arrays() {
+        let j = super::json::to_json_value(&vec![1.25f64, 2.5]);
+        assert_eq!(j, "[1.25,2.5]");
+        let j = super::json::to_json_value(&("a", 1u32, true));
+        assert_eq!(j, "[\"a\",1,true]");
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        let j = super::json::to_json_value(&"line\nbreak\tand\u{1}ctl");
+        assert!(j.contains("\\n"), "{j}");
+        assert!(j.contains("\\u0009") || j.contains("\\t"), "{j}");
+        assert!(j.contains("\\u0001"), "{j}");
+    }
+}

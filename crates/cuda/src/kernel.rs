@@ -1,0 +1,980 @@
+//! Kernel launch recording: the access-metering API and the
+//! access-counter migration driver.
+//!
+//! A [`Kernel`] is what the `<<<grid, block>>>` launch returns in this
+//! model. The application's *real* compute runs outside (on `gh-par`);
+//! the kernel object receives a description of the memory accesses the
+//! compute performed — dense spans, strided segments, gathers — plus a
+//! compute-work declaration, and turns them into:
+//!
+//! * translation activity (GPU TLB, ATS requests to the SMMU);
+//! * first-touch fault service (system memory → expensive CPU-serviced
+//!   ATS faults; managed memory → cheap GPU-block population);
+//! * on-demand managed migration with speculative prefetch and eviction;
+//! * remote cacheline traffic over NVLink-C2C with access counting;
+//! * local HBM traffic;
+//! * and finally a kernel duration: serial fault/migration time (charged
+//!   as it happens, so the profiler sees ramps) plus
+//!   `max(compute, memory)` for the pipelined part.
+//!
+//! At [`Kernel::finish`], the access-counter migration driver services up
+//! to `counter_budget_per_kernel` pending notifications (paper §2.2.1),
+//! migrating the *touched* CPU-resident pages of hot regions to the GPU —
+//! the delayed migration behaviour of Fig 10.
+
+use gh_mem::clock::Ns;
+use gh_mem::link::Direction;
+use gh_mem::params::CostParams;
+use gh_mem::phys::Node;
+use gh_mem::traffic::KernelTraffic;
+use gh_os::VaRange;
+
+use crate::buffer::{BufKind, Buffer};
+use crate::runtime::Runtime;
+use crate::uvm::{block_of, block_range};
+
+/// TLB key namespace for system-page-table translations.
+pub(crate) fn tlb_key_sys(vpn: u64) -> u64 {
+    vpn
+}
+
+/// TLB key namespace for GPU-exclusive-page-table translations
+/// (2 MiB-grain entries).
+pub(crate) fn tlb_key_gpu(vpn: u64) -> u64 {
+    vpn | (1 << 63)
+}
+
+/// How many translation requests the GPU keeps in flight; ATS latency is
+/// amortized by this factor for streaming access. The H100's many TBUs
+/// and deep translation queues hide nearly all miss latency for regular
+/// sweeps — the paper's Fig 9 shows the system version's *compute* time
+/// to be page-size independent even with 16M live 4 KiB translations.
+const XLAT_OUTSTANDING: u64 = 4096;
+
+/// Per-buffer traffic attribution within one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferTraffic {
+    /// Buffer tag (from allocation).
+    pub tag: String,
+    /// Remote NVLink-C2C bytes (read + write) this buffer caused.
+    pub c2c: u64,
+    /// Local HBM bytes this buffer caused.
+    pub hbm: u64,
+}
+
+/// Result of a finished kernel.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// Total kernel duration in virtual ns (launch overhead excluded,
+    /// fault/migration service included).
+    pub time: Ns,
+    /// Traffic and event counts.
+    pub traffic: KernelTraffic,
+    /// Traffic attribution per buffer, sorted by remote bytes (the
+    /// "top talkers" a tuning session looks for first).
+    pub by_buffer: Vec<BufferTraffic>,
+}
+
+/// An in-flight kernel recording.
+pub struct Kernel<'r> {
+    rt: &'r mut Runtime,
+    name: String,
+    start: Ns,
+    compute_units: u64,
+    hbm_stream: u64,
+    hbm_random: u64,
+    c2c_read_lines: u64,
+    c2c_write_lines: u64,
+    c2c_read_lines_rand: u64,
+    c2c_write_lines_rand: u64,
+    xlat_misses: u64,
+    t: KernelTraffic,
+    /// Per-buffer (c2c, hbm) byte attribution.
+    by_buffer: std::collections::HashMap<u32, (u64, u64)>,
+    /// GPU L2 model for irregular remote accesses: a line fetched once
+    /// this kernel is served from cache on re-touch.
+    l2: gh_mem::SetCache,
+    finished: bool,
+}
+
+impl<'r> Kernel<'r> {
+    pub(crate) fn new(rt: &'r mut Runtime, name: &str) -> Self {
+        rt.uvm.migrated_this_kernel.clear();
+        let start = rt.now();
+        let l2 = gh_mem::SetCache::new(rt.params.gpu_l2_bytes, rt.params.gpu_cacheline, 16);
+        Self {
+            rt,
+            name: name.to_string(),
+            start,
+            compute_units: 0,
+            hbm_stream: 0,
+            hbm_random: 0,
+            c2c_read_lines: 0,
+            c2c_write_lines: 0,
+            c2c_read_lines_rand: 0,
+            c2c_write_lines_rand: 0,
+            xlat_misses: 0,
+            t: KernelTraffic::default(),
+            by_buffer: std::collections::HashMap::new(),
+            l2,
+            finished: false,
+        }
+    }
+
+    /// Declares `units` of compute work (≈ simple arithmetic ops across
+    /// all threads). Overlapped with memory traffic at finish.
+    pub fn compute(&mut self, units: u64) {
+        self.compute_units += units;
+    }
+
+    /// Dense streaming read of `[off, off+len)`.
+    pub fn read(&mut self, buf: &Buffer, off: u64, len: u64) {
+        self.span(buf, off, len, false, false);
+    }
+
+    /// Dense streaming write.
+    pub fn write(&mut self, buf: &Buffer, off: u64, len: u64) {
+        self.span(buf, off, len, true, false);
+    }
+
+    /// Strided access: `count` segments of `seg_len` bytes, `stride`
+    /// bytes apart, starting at `off`. Random-access efficiency applies.
+    pub fn read_strided(&mut self, buf: &Buffer, off: u64, seg_len: u64, stride: u64, count: u64) {
+        self.strided(buf, off, seg_len, stride, count, false);
+    }
+
+    /// Strided write; see [`Kernel::read_strided`].
+    pub fn write_strided(&mut self, buf: &Buffer, off: u64, seg_len: u64, stride: u64, count: u64) {
+        self.strided(buf, off, seg_len, stride, count, true);
+    }
+
+    fn strided(&mut self, buf: &Buffer, off: u64, seg_len: u64, stride: u64, count: u64, write: bool) {
+        assert!(stride > 0, "stride must be positive");
+        for i in 0..count {
+            self.span(buf, off + i * stride, seg_len, write, true);
+        }
+    }
+
+    /// 2-D sub-grid read: `rows` rows of `row_bytes`, `pitch` bytes
+    /// apart (the `cudaMemcpy2D` addressing convention). Dense within
+    /// rows; the stride classifies it as irregular when rows are narrow
+    /// relative to the pitch.
+    pub fn read_2d(&mut self, buf: &Buffer, off: u64, row_bytes: u64, pitch: u64, rows: u64) {
+        if row_bytes == pitch {
+            self.read(buf, off, row_bytes * rows);
+        } else {
+            self.read_strided(buf, off, row_bytes, pitch, rows);
+        }
+    }
+
+    /// 2-D sub-grid write; see [`Kernel::read_2d`].
+    pub fn write_2d(&mut self, buf: &Buffer, off: u64, row_bytes: u64, pitch: u64, rows: u64) {
+        if row_bytes == pitch {
+            self.write(buf, off, row_bytes * rows);
+        } else {
+            self.write_strided(buf, off, row_bytes, pitch, rows);
+        }
+    }
+
+    /// Irregular gather: reads `bytes_each` at each byte offset.
+    pub fn gather_read<I: IntoIterator<Item = u64>>(&mut self, buf: &Buffer, offsets: I, bytes_each: u64) {
+        for off in offsets {
+            self.span(buf, off, bytes_each, false, true);
+        }
+    }
+
+    /// Irregular scatter: writes `bytes_each` at each byte offset.
+    pub fn scatter_write<I: IntoIterator<Item = u64>>(&mut self, buf: &Buffer, offsets: I, bytes_each: u64) {
+        for off in offsets {
+            self.span(buf, off, bytes_each, true, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn span(&mut self, buf: &Buffer, off: u64, len: u64, write: bool, random: bool) {
+        if len == 0 {
+            return;
+        }
+        assert!(off + len <= buf.len(), "kernel access out of range");
+        let span = buf.range.slice(off, len);
+        let before = (
+            self.t.c2c_read + self.t.c2c_write,
+            self.t.hbm_read + self.t.hbm_write,
+        );
+        match buf.kind {
+            BufKind::Device => self.span_device(span, write, random),
+            BufKind::Pinned => self.span_pinned(span, write, random),
+            BufKind::System => self.span_system(span, write, random),
+            BufKind::Managed => self.span_managed(buf.range, span, write, random),
+        }
+        let entry = self.by_buffer.entry(buf.id()).or_insert((0, 0));
+        entry.0 += self.t.c2c_read + self.t.c2c_write - before.0;
+        entry.1 += self.t.hbm_read + self.t.hbm_write - before.1;
+    }
+
+    fn account_local(&mut self, bytes: u64, write: bool, random: bool) {
+        if random {
+            self.hbm_random += bytes;
+        } else {
+            self.hbm_stream += bytes;
+        }
+        if write {
+            self.t.hbm_write += bytes;
+        } else {
+            self.t.hbm_read += bytes;
+        }
+        self.t.l1l2 += bytes;
+    }
+
+    fn account_remote(&mut self, addr: u64, bytes: u64, write: bool, random: bool) {
+        let line = self.rt.params.gpu_cacheline;
+        // GPU L2 model for small irregular touches: a line fetched once
+        // this kernel is served from cache on re-touch. Dense streams
+        // bypass (no reuse; streaming loads are marked non-allocating).
+        if random && bytes < 4 * line {
+            let missed = self.l2.access_range(addr, bytes.max(1));
+            if missed == 0 {
+                self.t.l1l2 += bytes; // pure cache hit
+                return;
+            }
+            let miss_bytes = missed * line;
+            match write {
+                false => {
+                    self.c2c_read_lines_rand += missed;
+                    self.t.c2c_read += miss_bytes;
+                }
+                true => {
+                    self.c2c_write_lines_rand += missed;
+                    self.t.c2c_write += miss_bytes;
+                }
+            }
+            self.t.l1l2 += bytes;
+            return;
+        }
+        let lines = bytes.div_ceil(line);
+        match (write, random) {
+            (false, false) => self.c2c_read_lines += lines,
+            (false, true) => self.c2c_read_lines_rand += lines,
+            (true, false) => self.c2c_write_lines += lines,
+            (true, true) => self.c2c_write_lines_rand += lines,
+        }
+        if write {
+            self.t.c2c_write += lines * line;
+        } else {
+            self.t.c2c_read += lines * line;
+        }
+        self.t.l1l2 += bytes;
+    }
+
+    /// GPU TLB lookup; charges nothing directly, counts misses (latency is
+    /// amortized at finish).
+    fn translate(&mut self, key: u64) {
+        if !self.rt.gpu_tlb.lookup(key) {
+            self.rt.gpu_tlb.fill(key);
+            self.xlat_misses += 1;
+            self.t.tlb_misses += 1;
+        }
+    }
+
+    fn span_device(&mut self, span: VaRange, write: bool, random: bool) {
+        let gp = self.rt.params.gpu_page_size;
+        let mut addr = span.addr;
+        while addr < span.end() {
+            let page_end = (addr / gp + 1) * gp;
+            let portion = page_end.min(span.end()) - addr;
+            let vpn = addr / gp;
+            debug_assert!(
+                self.rt.gpu_pt.is_populated(vpn),
+                "access to unmapped device page"
+            );
+            self.translate(tlb_key_gpu(vpn));
+            self.account_local(portion, write, random);
+            addr = page_end;
+        }
+    }
+
+    fn span_pinned(&mut self, span: VaRange, write: bool, random: bool) {
+        // Pinned memory is always CPU-resident: pure remote traffic.
+        let spt = self.rt.os.system_pt.page_size();
+        for vpn in self.rt.os.system_pt.vpn_range(span.addr, span.len) {
+            self.translate(tlb_key_sys(vpn));
+            if write {
+                self.rt.os.system_pt.mark_dirty(vpn);
+            }
+        }
+        self.account_remote(span.addr, span.len.max(spt.min(span.len)), write, random);
+    }
+
+    fn span_system(&mut self, span: VaRange, write: bool, random: bool) {
+        let spt = self.rt.os.system_pt.page_size();
+        let line = self.rt.params.gpu_cacheline;
+        let mut fault_cost: Ns = 0;
+        let mut addr = span.addr;
+        while addr < span.end() {
+            let page_end = (addr / spt + 1) * spt;
+            let portion = page_end.min(span.end()) - addr;
+            let vpn = addr / spt;
+            self.translate(tlb_key_sys(vpn));
+            let node = match self.rt.os.system_pt.translate(vpn) {
+                Some(pte) => pte.node,
+                None => {
+                    // GPU first touch of a system page: SMMU raises a
+                    // fault, the OS services it on the CPU (§5.1.2).
+                    self.rt.smmu.raise_fault();
+                    let o = self.rt.os.ats_fault(vpn, &mut self.rt.phys);
+                    fault_cost += o.cost;
+                    self.t.ats_faults += 1;
+                    o.placed
+                }
+            };
+            match node {
+                Node::Gpu => self.account_local(portion, write, random),
+                Node::Cpu => {
+                    self.account_remote(addr, portion, write, random);
+                    // Hardware access counters see remote GPU accesses.
+                    let region = self.rt.counters.region_of(addr);
+                    let lines = portion.div_ceil(line);
+                    if self.rt.counters.enabled() {
+                        self.rt
+                            .remote_touched
+                            .entry(region)
+                            .or_default()
+                            .insert(vpn);
+                        if let Some(n) = self.rt.counters.record(region, lines) {
+                            self.rt.pending_notifs.push_back(n.region);
+                            self.t.notifications += 1;
+                        }
+                    }
+                }
+            }
+            if write {
+                self.rt.os.system_pt.mark_dirty(vpn);
+            }
+            addr = page_end;
+            // Serial fault service is visible to the profiler as it
+            // happens: flush accumulated cost every 256 KiB of pages so
+            // init ramps resolve in the memory profile.
+            if fault_cost > 0 && addr % (256 * 1024) == 0 {
+                self.rt.tick(fault_cost);
+                fault_cost = 0;
+            }
+        }
+        if fault_cost > 0 {
+            self.rt.tick(fault_cost);
+        }
+    }
+
+    fn span_managed(&mut self, buf_range: VaRange, span: VaRange, write: bool, random: bool) {
+        let spt = self.rt.os.system_pt.page_size();
+        // Thrash-pinned or ReadMostly/CPU-preferred-advised allocations
+        // are served entirely by coherent remote access (no faults, no
+        // migration attempts) once their pages exist.
+        if self.rt.migration_advised_off(buf_range.addr) {
+            let vpns = self.rt.os.system_pt.vpn_range(span.addr, span.len);
+            let cpu = self.rt.os.system_pt.count_resident_in(vpns.clone(), Node::Cpu);
+            let gpu = self.rt.os.system_pt.count_resident_in(vpns.clone(), Node::Gpu);
+            if cpu + gpu == vpns.end - vpns.start {
+                for vpn in vpns {
+                    self.translate(tlb_key_sys(vpn));
+                    if write {
+                        self.rt.os.system_pt.mark_dirty(vpn);
+                    }
+                }
+                let gpu_bytes = (gpu * spt).min(span.len);
+                if gpu_bytes > 0 {
+                    self.account_local(gpu_bytes, write, random);
+                }
+                if span.len > gpu_bytes {
+                    self.account_remote(span.addr, span.len - gpu_bytes, write, random);
+                }
+                return;
+            }
+        }
+        if self.rt.uvm.is_pinned_cpu(buf_range) {
+            for vpn in self.rt.os.system_pt.vpn_range(span.addr, span.len) {
+                self.translate(tlb_key_sys(vpn));
+                if write {
+                    self.rt.os.system_pt.mark_dirty(vpn);
+                }
+            }
+            self.account_remote(span.addr, span.len, write, random);
+            return;
+        }
+        let first = block_of(span.addr);
+        let last = block_of(span.end() - 1);
+        for block in first..=last {
+            let clip = block_range(block, span);
+            if clip.len == 0 {
+                continue;
+            }
+            let vpns = self.rt.os.system_pt.vpn_range(clip.addr, clip.len);
+            let n_pages = vpns.end - vpns.start;
+            let populated = self
+                .rt
+                .os
+                .system_pt
+                .count_resident_in(vpns.clone(), Node::Cpu)
+                + self
+                    .rt
+                    .os
+                    .system_pt
+                    .count_resident_in(vpns.clone(), Node::Gpu);
+            if populated < n_pages {
+                // GPU first touch: block-granularity population, directly
+                // in GPU memory — the *fast* managed init path (§5.1.2).
+                let (cost, on_gpu, _) = self.rt.uvm_first_touch_block(block, buf_range);
+                self.rt.tick(cost);
+                self.t.gpu_faults += 1;
+                self.t.bytes_migrated_in += 0; // population, not migration
+                let _ = on_gpu;
+            }
+            let cpu_pages = self
+                .rt
+                .os
+                .system_pt
+                .count_resident_in(vpns.clone(), Node::Cpu);
+            if cpu_pages > 0 {
+                // Replayable GPU fault → driver migrates the block in
+                // (or falls back to remote mapping under self-eviction).
+                let fault = self.rt.params.uvm_fault_batch;
+                self.rt.tick(fault);
+                self.t.gpu_faults += 1;
+                // Pass the *whole* allocation range: the driver refuses to
+                // evict this same allocation to serve its own fault.
+                let (cost, migrated) = self.rt.uvm_migrate_block_in(block, buf_range);
+                self.rt.tick(cost);
+                if migrated > 0 {
+                    self.t.pages_migrated_in += migrated;
+                    self.t.bytes_migrated_in += migrated * spt;
+                    // Speculative sequential prefetch: after two
+                    // consecutive migrated blocks, pull the next one in
+                    // without waiting for its fault.
+                    if self.rt.opts.uvm_prefetch
+                        && self.rt.uvm.migrated_this_kernel.contains(&(block.wrapping_sub(1)))
+                        && block_range(block + 1, buf_range).len > 0
+                    {
+                        let (pcost, pmigrated) =
+                            self.rt.uvm_migrate_block_in(block + 1, buf_range);
+                        self.rt.tick(pcost);
+                        self.t.pages_migrated_in += pmigrated;
+                        self.t.bytes_migrated_in += pmigrated * spt;
+                    }
+                } else {
+                    // Remote mapping: cacheline-grain access to the
+                    // CPU-resident pages of this block.
+                    let remote_bytes =
+                        (cpu_pages * spt).min(clip.len);
+                    self.account_remote(clip.addr, remote_bytes, write, random);
+                    for vpn in vpns.clone() {
+                        self.translate(tlb_key_sys(vpn));
+                    }
+                }
+            }
+            // Whatever is GPU-resident now is read/written locally.
+            let gpu_pages = self
+                .rt
+                .os
+                .system_pt
+                .count_resident_in(vpns.clone(), Node::Gpu);
+            if gpu_pages > 0 {
+                let local_bytes = (gpu_pages * spt).min(clip.len);
+                self.account_local(local_bytes, write, random);
+                self.translate(tlb_key_gpu(block));
+                self.rt.uvm.touch_lru(block);
+            }
+            if write {
+                for vpn in vpns {
+                    self.rt.os.system_pt.mark_dirty(vpn);
+                }
+            }
+        }
+    }
+
+    /// Ends the kernel: runs the access-counter migration driver, charges
+    /// pipelined memory/compute time, records traffic, and returns the
+    /// report.
+    pub fn finish(mut self) -> KernelReport {
+        self.finished = true;
+        // --- access-counter migration driver (system memory, §2.2.1) ---
+        let budget = self.rt.params.counter_budget_per_kernel;
+        let mut serviced = 0;
+        while serviced < budget {
+            let Some(region) = self.rt.pending_notifs.pop_front() else {
+                break;
+            };
+            serviced += 1;
+            let dt = self.drain_notification(region);
+            self.rt.tick(dt);
+        }
+
+        // Counter aging at the kernel boundary (see
+        // AccessCounters::age): sparse traffic does not accumulate
+        // across kernels.
+        self.rt.counters.age();
+
+        // --- pipelined memory time ---
+        let p = &self.rt.params;
+        let mut mem: Ns = 0;
+        mem += CostParams::transfer_ns(self.hbm_stream, p.hbm_bw);
+        mem += CostParams::transfer_ns(self.hbm_random, p.hbm_bw * p.hbm_random_eff);
+        let line = p.gpu_cacheline;
+        let (s_eff, r_eff) = (p.c2c_stream_eff, p.c2c_random_eff);
+        mem += self
+            .rt
+            .link
+            .cacheline_stream_eff(self.c2c_read_lines, line, Direction::H2D, s_eff);
+        mem += self
+            .rt
+            .link
+            .cacheline_stream_eff(self.c2c_write_lines, line, Direction::D2H, s_eff);
+        mem += self
+            .rt
+            .link
+            .cacheline_stream_eff(self.c2c_read_lines_rand, line, Direction::H2D, r_eff);
+        mem += self
+            .rt
+            .link
+            .cacheline_stream_eff(self.c2c_write_lines_rand, line, Direction::D2H, r_eff);
+        mem += self.xlat_misses * p.ats_translate / XLAT_OUTSTANDING;
+        let compute = (self.compute_units as f64 / p.gpu_throughput).ceil() as Ns;
+        self.rt.tick(mem.max(compute));
+
+        let time = self.rt.now() - self.start;
+        let name = format!("{}#{}", self.name, self.rt.kernel_seq);
+        self.rt.traffic.push(&name, self.t);
+        self.rt.kernel_times.push((name.clone(), time));
+        self.rt.trace(&name, "kernel", self.start);
+        let mut by_buffer: Vec<BufferTraffic> = self
+            .by_buffer
+            .iter()
+            .map(|(&id, &(c2c, hbm))| BufferTraffic {
+                tag: self
+                    .rt
+                    .buffer_tag(id)
+                    .unwrap_or("<freed>")
+                    .to_string(),
+                c2c,
+                hbm,
+            })
+            .collect();
+        by_buffer.sort_by(|a, b| b.c2c.cmp(&a.c2c).then(b.hbm.cmp(&a.hbm)));
+        KernelReport {
+            name,
+            time,
+            traffic: self.t,
+            by_buffer,
+        }
+    }
+
+    /// Services one notification: migrate the touched, still-CPU-resident
+    /// pages of the hot region to the GPU, up to the driver's DMA depth
+    /// (`counter_service_max_pages`). Leftover touched pages stay queued:
+    /// the region re-arms and re-fires on further remote access. System
+    /// memory never evicts to make room — if the GPU is full the
+    /// notification is dropped and the region stays CPU-resident.
+    fn drain_notification(&mut self, region: u64) -> Ns {
+        let spt = self.rt.os.system_pt.page_size();
+        // cudaMemAdvise: ranges advised CPU-preferred or read-mostly are
+        // never migrated by the counter engine.
+        let region_addr = region * self.rt.params.counter_region;
+        if self.rt.migration_advised_off(region_addr) {
+            self.rt.remote_touched.remove(&region);
+            self.rt.counters.clear(region);
+            return 0;
+        }
+        let touched = match self.rt.remote_touched.get_mut(&region) {
+            Some(t) => t,
+            None => {
+                self.rt.counters.clear(region);
+                return 0;
+            }
+        };
+        let cap = self.rt.params.counter_service_max_pages as usize;
+        let take: Vec<u64> = touched.iter().copied().take(cap).collect();
+        for vpn in &take {
+            touched.remove(vpn);
+        }
+        if touched.is_empty() {
+            self.rt.remote_touched.remove(&region);
+        }
+        self.rt.counters.clear(region);
+        let movable: Vec<u64> = take
+            .into_iter()
+            .filter(|&vpn| {
+                self.rt
+                    .os
+                    .system_pt
+                    .translate(vpn)
+                    .is_some_and(|pte| pte.node == Node::Cpu)
+            })
+            .collect();
+        let bytes = movable.len() as u64 * spt;
+        if bytes == 0 || self.rt.phys.free(Node::Gpu) < bytes {
+            return 0;
+        }
+        for &vpn in &movable {
+            self.rt.move_page(vpn, Node::Gpu);
+        }
+        self.t.pages_migrated_in += movable.len() as u64;
+        self.t.bytes_migrated_in += bytes;
+        let transfer = self.rt.link.bulk(bytes, Direction::H2D);
+        // In-flight stall (see CostParams::counter_stall_factor): grows
+        // with the migration-unit (system page) size.
+        let stall = (transfer as f64
+            * ((spt as f64 / 4096.0) - 1.0).max(0.0)
+            * self.rt.params.counter_stall_factor) as Ns;
+        self.rt.params.counter_region_fixed
+            + movable.len() as u64 * self.rt.params.counter_migrate_fixed
+            + transfer
+            + stall
+    }
+}
+
+impl Drop for Kernel<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !std::thread::panicking() {
+            panic!("kernel '{}' dropped without finish()", self.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeOptions;
+    use gh_mem::params::{CostParams, KIB, MIB};
+
+    fn rt() -> Runtime {
+        Runtime::new(CostParams::default(), RuntimeOptions::default())
+    }
+
+    fn rt_nomig() -> Runtime {
+        Runtime::new(
+            CostParams::default(),
+            RuntimeOptions {
+                auto_migration: false,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn device_access_is_local_hbm() {
+        let mut r = rt();
+        let d = r.cuda_malloc(4 * MIB, "d").unwrap();
+        let mut k = r.launch("k");
+        k.read(&d, 0, 4 * MIB);
+        k.write(&d, 0, MIB);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.hbm_read, 4 * MIB);
+        assert_eq!(rep.traffic.hbm_write, MIB);
+        assert_eq!(rep.traffic.c2c_read, 0);
+        assert_eq!(rep.traffic.l1l2, 5 * MIB);
+    }
+
+    #[test]
+    fn system_cpu_resident_access_goes_over_c2c_without_migration() {
+        let mut r = rt_nomig();
+        let b = r.malloc_system(4 * MIB, "s");
+        r.cpu_write(&b, 0, 4 * MIB);
+        let rss_before = r.rss();
+        let mut k = r.launch("k");
+        k.read(&b, 0, 4 * MIB);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.c2c_read, 4 * MIB);
+        assert_eq!(rep.traffic.hbm_read, 0);
+        assert_eq!(rep.traffic.ats_faults, 0);
+        assert_eq!(r.rss(), rss_before, "no migration with counters off");
+    }
+
+    #[test]
+    fn system_gpu_first_touch_raises_ats_faults() {
+        let mut r = rt_nomig();
+        let b = r.malloc_system(MIB, "s");
+        let pages = MIB / r.params().system_page_size;
+        let mut k = r.launch("init");
+        k.write(&b, 0, MIB);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.ats_faults, pages);
+        assert_eq!(r.os().ats_faults(), pages);
+        // First touch came from the GPU → pages live in HBM.
+        assert_eq!(rep.traffic.hbm_write, MIB);
+        assert_eq!(r.gpu_used() - r.params().gpu_driver_baseline, MIB);
+    }
+
+    #[test]
+    fn system_gpu_init_slower_than_managed_gpu_init() {
+        // The §5.1.2 effect: GPU-side first touch of system memory is
+        // far more expensive than managed memory's block population.
+        let sz = 16 * MIB;
+        let mut rs = rt_nomig();
+        let bs = rs.malloc_system(sz, "s");
+        let t0 = rs.now();
+        let mut k = rs.launch("init");
+        k.write(&bs, 0, sz);
+        k.finish();
+        let system_time = rs.now() - t0;
+
+        let mut rm = rt_nomig();
+        let bm = rm.cuda_malloc_managed(sz, "m");
+        let t0 = rm.now();
+        let mut k = rm.launch("init");
+        k.write(&bm, 0, sz);
+        k.finish();
+        let managed_time = rm.now() - t0;
+        assert!(
+            system_time > managed_time * 3,
+            "system {system_time} vs managed {managed_time}"
+        );
+    }
+
+    #[test]
+    fn managed_cpu_resident_pages_migrate_on_gpu_access() {
+        let mut r = rt();
+        let b = r.cuda_malloc_managed(8 * MIB, "m");
+        r.cpu_write(&b, 0, 8 * MIB);
+        assert_eq!(r.rss(), 8 * MIB);
+        let mut k = r.launch("k");
+        k.read(&b, 0, 8 * MIB);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.bytes_migrated_in, 8 * MIB);
+        assert!(rep.traffic.gpu_faults > 0);
+        assert_eq!(r.rss(), 0, "all pages migrated to GPU");
+        // Second kernel reads locally.
+        let mut k = r.launch("k2");
+        k.read(&b, 0, 8 * MIB);
+        let rep2 = k.finish();
+        assert_eq!(rep2.traffic.hbm_read, 8 * MIB);
+        assert_eq!(rep2.traffic.bytes_migrated_in, 0);
+        assert!(rep2.time < rep.time);
+    }
+
+    #[test]
+    fn counter_migration_is_delayed_and_budgeted() {
+        let mut params = CostParams::default();
+        params.counter_budget_per_kernel = 1;
+        let mut r = Runtime::new(params, RuntimeOptions::default());
+        let b = r.malloc_system(8 * MIB, "s"); // 4 regions
+        r.cpu_write(&b, 0, 8 * MIB);
+        // Each kernel re-reads everything: regions get hot, driver
+        // migrates one region per kernel.
+        let mut migrated_total = 0;
+        let mut times = Vec::new();
+        for i in 0..6 {
+            let mut k = r.launch(&format!("iter{i}"));
+            k.read(&b, 0, 8 * MIB);
+            let rep = k.finish();
+            migrated_total += rep.traffic.bytes_migrated_in;
+            times.push(rep.time);
+        }
+        assert_eq!(migrated_total, 8 * MIB, "whole working set migrated");
+        // Last iterations are faster than the first (local reads).
+        assert!(times[5] < times[0]);
+        // Migration happened over several kernels, not all at once.
+        assert!(r.traffic.kernels_named("iter0").len() == 1);
+        let first = r.traffic.kernels_named("iter0")[0].bytes_migrated_in;
+        assert!(first < 8 * MIB);
+    }
+
+    #[test]
+    fn counter_migration_disabled_means_no_movement() {
+        let mut r = rt_nomig();
+        let b = r.malloc_system(8 * MIB, "s");
+        r.cpu_write(&b, 0, 8 * MIB);
+        for _ in 0..3 {
+            let mut k = r.launch("k");
+            k.read(&b, 0, 8 * MIB);
+            let rep = k.finish();
+            assert_eq!(rep.traffic.bytes_migrated_in, 0);
+        }
+        assert_eq!(r.rss(), 8 * MIB);
+    }
+
+    #[test]
+    fn strided_access_marks_random_and_touches_pages() {
+        let mut r = rt_nomig();
+        let b = r.malloc_system(8 * MIB, "s");
+        r.cpu_write(&b, 0, 8 * MIB);
+        let mut k = r.launch("k");
+        // 1 KiB segments every 64 KiB: touches every 64K page but only
+        // 1/64 of the bytes.
+        k.read_strided(&b, 0, KIB, 64 * KIB, 128);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.c2c_read, 128 * KIB);
+    }
+
+    #[test]
+    fn gather_touches_individual_lines() {
+        let mut r = rt_nomig();
+        let b = r.malloc_system(MIB, "s");
+        r.cpu_write(&b, 0, MIB);
+        let mut k = r.launch("k");
+        k.gather_read(&b, (0..100).map(|i| i * 8 * KIB), 8);
+        let rep = k.finish();
+        // Each 8-byte gather costs one full 128 B line remotely.
+        assert_eq!(rep.traffic.c2c_read, 100 * 128);
+    }
+
+    #[test]
+    fn compute_bound_kernel_time_tracks_compute() {
+        let mut r = rt();
+        let t0 = {
+            let mut k = r.launch("c");
+            k.compute(9_000_000_000); // 1 ms at 9000 units/ns
+            k.finish().time
+        };
+        assert!((900_000..1_200_000).contains(&t0), "got {t0}");
+    }
+
+    #[test]
+    fn memory_and_compute_overlap() {
+        let mut r = rt();
+        let d = r.cuda_malloc(34 * MIB, "d").unwrap();
+        let mut k = r.launch("k");
+        k.read(&d, 0, 34 * MIB); // ~10 µs at 3.4 TB/s
+        k.compute(900_000_000); // 100 µs
+        let rep = k.finish();
+        assert!(
+            rep.time >= 100_000 && rep.time < 120_000,
+            "compute-bound kernel, got {}",
+            rep.time
+        );
+    }
+
+    #[test]
+    fn pinned_access_is_always_remote() {
+        let mut r = rt();
+        let b = r.cuda_malloc_host(MIB, "p");
+        let mut k = r.launch("k");
+        k.read(&b, 0, MIB);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.c2c_read, MIB);
+        assert_eq!(rep.traffic.hbm_read, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without finish")]
+    fn dropping_unfinished_kernel_panics() {
+        let mut r = rt();
+        let _k = r.launch("oops");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kernel_access_oob_panics() {
+        let mut r = rt();
+        let b = r.malloc_system(KIB, "s"); // rounds up to one 64 KiB page
+        let mut k = r.launch("k");
+        k.read(&b, 0, 128 * KIB);
+        k.finish();
+    }
+
+    #[test]
+    fn mem_advise_read_mostly_blocks_counter_migration() {
+        let mut r = rt();
+        let b = r.malloc_system(6 * MIB, "shared");
+        r.cpu_write(&b, 0, 6 * MIB);
+        r.cuda_mem_advise(&b, crate::runtime::MemAdvise::ReadMostly);
+        for _ in 0..8 {
+            let mut k = r.launch("reader");
+            k.read(&b, 0, 6 * MIB);
+            let rep = k.finish();
+            assert_eq!(rep.traffic.bytes_migrated_in, 0);
+        }
+        assert_eq!(r.rss(), 6 * MIB, "data stays CPU-resident");
+        // Clearing the advice re-enables migration.
+        r.cuda_mem_advise(&b, crate::runtime::MemAdvise::Clear);
+        let mut moved = 0;
+        for _ in 0..8 {
+            let mut k = r.launch("reader");
+            k.read(&b, 0, 6 * MIB);
+            moved += k.finish().traffic.bytes_migrated_in;
+        }
+        assert!(moved > 0);
+    }
+
+    #[test]
+    fn mem_advise_read_mostly_keeps_managed_remote() {
+        let mut r = rt();
+        let b = r.cuda_malloc_managed(4 * MIB, "shared");
+        r.cpu_write(&b, 0, 4 * MIB);
+        r.cuda_mem_advise(&b, crate::runtime::MemAdvise::ReadMostly);
+        let mut k = r.launch("reader");
+        k.read(&b, 0, 4 * MIB);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.bytes_migrated_in, 0, "no on-demand migration");
+        assert_eq!(rep.traffic.gpu_faults, 0);
+        assert_eq!(rep.traffic.c2c_read, 4 * MIB);
+        assert_eq!(r.rss(), 4 * MIB);
+    }
+
+    #[test]
+    fn mem_advise_preferred_gpu_steers_first_touch() {
+        let mut r = rt();
+        let b = r.malloc_system(2 * MIB, "pref");
+        r.cuda_mem_advise(
+            &b,
+            crate::runtime::MemAdvise::PreferredLocation(Node::Gpu),
+        );
+        r.cpu_write(&b, 0, 2 * MIB);
+        assert_eq!(r.rss(), 0, "CPU writes landed on the GPU node");
+        assert_eq!(
+            r.gpu_used() - r.params().gpu_driver_baseline,
+            2 * MIB
+        );
+    }
+
+    #[test]
+    fn read_2d_full_pitch_equals_dense() {
+        let mut r = rt_nomig();
+        let b = r.malloc_system(MIB, "s");
+        r.cpu_write(&b, 0, MIB);
+        let mut k = r.launch("dense");
+        k.read_2d(&b, 0, 1024, 1024, 64);
+        let dense = k.finish().traffic;
+        let mut k = r.launch("sub");
+        k.read_2d(&b, 0, 256, 1024, 64);
+        let sub = k.finish().traffic;
+        assert_eq!(dense.l1l2, 64 * 1024);
+        assert_eq!(sub.l1l2, 64 * 256);
+        assert!(sub.c2c_read >= 64 * 256, "line-rounded remote traffic");
+    }
+
+    #[test]
+    fn per_buffer_attribution_identifies_top_talker() {
+        let mut r = rt_nomig();
+        let remote = r.malloc_system(2 * MIB, "remote_buf");
+        r.cpu_write(&remote, 0, 2 * MIB);
+        let local = r.cuda_malloc(4 * MIB, "local_buf").unwrap();
+        let mut k = r.launch("k");
+        k.read(&remote, 0, 2 * MIB);
+        k.read(&local, 0, 4 * MIB);
+        let rep = k.finish();
+        assert_eq!(rep.by_buffer.len(), 2);
+        assert_eq!(rep.by_buffer[0].tag, "remote_buf");
+        assert_eq!(rep.by_buffer[0].c2c, 2 * MIB);
+        assert_eq!(rep.by_buffer[0].hbm, 0);
+        let local_row = rep.by_buffer.iter().find(|b| b.tag == "local_buf").unwrap();
+        assert_eq!(local_row.hbm, 4 * MIB);
+        assert_eq!(local_row.c2c, 0);
+    }
+
+    #[test]
+    fn l1l2_includes_local_and_remote() {
+        let mut r = rt_nomig();
+        let b = r.malloc_system(2 * MIB, "s");
+        r.cpu_write(&b, 0, MIB); // half CPU-resident
+        let mut k = r.launch("init_rest");
+        k.write(&b, MIB, MIB); // half GPU first-touch
+        k.finish();
+        let mut k = r.launch("k");
+        k.read(&b, 0, 2 * MIB);
+        let rep = k.finish();
+        assert_eq!(rep.traffic.l1l2, 2 * MIB);
+        assert_eq!(rep.traffic.c2c_read, MIB);
+        assert_eq!(rep.traffic.hbm_read, MIB);
+    }
+}

@@ -1,0 +1,860 @@
+//! The simulated GH200 runtime: allocators, explicit copies, host-side
+//! access, context management.
+
+use gh_mem::clock::{Clock, Ns};
+use gh_mem::counters::AccessCounters;
+use gh_mem::link::{Direction, Link};
+use gh_mem::pagetable::PageTable;
+use gh_mem::params::CostParams;
+use gh_mem::phys::{Node, OutOfMemory, PhysMem};
+use gh_mem::smmu::Smmu;
+use gh_mem::tlb::Tlb;
+use gh_mem::traffic::TrafficTotals;
+use gh_os::{Os, OsConfig, VmaKind};
+use gh_profiler::MemProfiler;
+
+use crate::buffer::{BufKind, Buffer};
+
+/// `cudaMemAdvise` advice values (subset relevant to the model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAdvise {
+    /// Prefer placing (and keeping) the range on this node.
+    PreferredLocation(Node),
+    /// The range is read-shared: do not migrate it.
+    ReadMostly,
+    /// Remove previous advice.
+    Clear,
+}
+use crate::kernel::Kernel;
+use crate::uvm::UvmState;
+use std::collections::HashMap;
+
+/// Behavioural switches for a simulated run.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Enable the access-counter automatic migration engine for
+    /// system-allocated memory (the paper disables it for the Fig 3
+    /// overview, enables it for §5.2/§6).
+    pub auto_migration: bool,
+    /// Enable the UVM speculative sequential prefetcher for managed
+    /// memory (hardware prefetcher, on by default on real systems).
+    pub uvm_prefetch: bool,
+    /// OS-level switches (AutoNUMA, init_on_alloc).
+    pub os: OsConfig,
+    /// Memory-profiler sampling period in virtual ns.
+    pub profiler_period: Ns,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        Self {
+            auto_migration: true,
+            uvm_prefetch: true,
+            os: OsConfig::default(),
+            profiler_period: 100_000, // 100 µs of virtual time
+        }
+    }
+}
+
+/// The simulated Grace Hopper node: one process, one GPU.
+pub struct Runtime {
+    pub(crate) params: CostParams,
+    pub(crate) clock: Clock,
+    pub(crate) phys: PhysMem,
+    pub(crate) os: Os,
+    pub(crate) link: Link,
+    pub(crate) smmu: Smmu,
+    pub(crate) gpu_tlb: Tlb,
+    /// GPU-exclusive page table (2 MiB pages) for `cudaMalloc` memory.
+    pub(crate) gpu_pt: PageTable,
+    pub(crate) counters: AccessCounters,
+    /// Per-kernel and cumulative traffic (public for experiment harnesses).
+    pub traffic: TrafficTotals,
+    pub(crate) profiler: MemProfiler,
+    pub(crate) uvm: UvmState,
+    pub(crate) streams: crate::streams::State,
+    allocs: HashMap<u32, (Buffer, String)>,
+    /// Access-counter notifications waiting for driver service (FIFO,
+    /// drained `counter_budget_per_kernel` at a time at kernel end).
+    pub(crate) pending_notifs: std::collections::VecDeque<u64>,
+    /// Allocations with migration advised off (`cudaMemAdvise`).
+    pub(crate) advise_no_migrate: std::collections::HashSet<u64>,
+    /// Remotely-touched system pages per counter region, accumulated
+    /// across kernels; the migration driver moves exactly these (touched)
+    /// pages, which is what produces 64 KiB-page amplification for
+    /// sparse access patterns (Fig 7).
+    pub(crate) remote_touched: HashMap<u64, std::collections::BTreeSet<u64>>,
+    /// Per-kernel durations `(name, ns)` in launch order.
+    pub(crate) kernel_times: Vec<(String, gh_mem::clock::Ns)>,
+    /// Timeline events for Chrome-trace export.
+    pub(crate) timeline: Vec<gh_profiler::TraceEvent>,
+    next_buf: u32,
+    ctx_ready: bool,
+    pub(crate) kernel_seq: u64,
+    pub(crate) opts: RuntimeOptions,
+}
+
+impl Runtime {
+    /// Boots a simulated machine.
+    pub fn new(params: CostParams, opts: RuntimeOptions) -> Self {
+        params.validate().expect("invalid cost parameters");
+        let phys = PhysMem::new(
+            params.cpu_mem_bytes,
+            params.gpu_mem_bytes,
+            params.gpu_driver_baseline,
+        );
+        let os = Os::new(params.clone(), opts.os.clone());
+        let link = Link::new(
+            params.c2c_h2d_bw,
+            params.c2c_d2h_bw,
+            params.c2c_random_eff,
+            params.c2c_latency,
+        );
+        let smmu = Smmu::new(params.smmu_walk, params.ats_translate);
+        let gpu_tlb = Tlb::new(params.gpu_tlb_entries);
+        let gpu_pt = PageTable::new(params.gpu_page_size);
+        let counters = AccessCounters::new(
+            params.counter_region,
+            params.counter_threshold,
+            opts.auto_migration,
+        );
+        let profiler = MemProfiler::new(opts.profiler_period);
+        Self {
+            params,
+            clock: Clock::new(),
+            phys,
+            os,
+            link,
+            smmu,
+            gpu_tlb,
+            gpu_pt,
+            counters,
+            traffic: TrafficTotals::new(),
+            profiler,
+            uvm: UvmState::new(),
+            streams: crate::streams::State::default(),
+            allocs: HashMap::new(),
+            advise_no_migrate: std::collections::HashSet::new(),
+            pending_notifs: std::collections::VecDeque::new(),
+            remote_touched: HashMap::new(),
+            kernel_times: Vec::new(),
+            timeline: Vec::new(),
+            next_buf: 1,
+            ctx_ready: false,
+            kernel_seq: 0,
+            opts,
+        }
+    }
+
+    /// Boots with the calibrated defaults and default options.
+    pub fn default_gh200() -> Self {
+        Self::new(CostParams::default(), RuntimeOptions::default())
+    }
+
+    // ---------------------------------------------------------- queries --
+
+    /// Current virtual time (ns).
+    pub fn now(&self) -> Ns {
+        self.clock.now()
+    }
+
+    /// The cost model in force.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Options in force.
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.opts
+    }
+
+    /// Process RSS (CPU-resident system pages), as the profiler reports.
+    pub fn rss(&self) -> u64 {
+        self.os.rss()
+    }
+
+    /// GPU used memory, `nvidia-smi` style (driver baseline included).
+    pub fn gpu_used(&self) -> u64 {
+        self.phys.used(Node::Gpu)
+    }
+
+    /// Free GPU memory.
+    pub fn gpu_free(&self) -> u64 {
+        self.phys.free(Node::Gpu)
+    }
+
+    /// Immutable view of the OS (page table inspection in tests).
+    pub fn os(&self) -> &Os {
+        &self.os
+    }
+
+    /// Immutable view of the interconnect (cumulative byte counters).
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Immutable view of the SMMU counters.
+    pub fn smmu(&self) -> &Smmu {
+        &self.smmu
+    }
+
+    /// Immutable view of the GPU TLB counters.
+    pub fn gpu_tlb(&self) -> &Tlb {
+        &self.gpu_tlb
+    }
+
+    /// Per-kernel durations in launch order.
+    pub fn kernel_times(&self) -> &[(String, Ns)] {
+        &self.kernel_times
+    }
+
+    /// Timeline events recorded so far (kernels, copies, context init).
+    pub fn timeline(&self) -> &[gh_profiler::TraceEvent] {
+        &self.timeline
+    }
+
+    /// Exports the timeline as Chrome-trace JSON (open in
+    /// chrome://tracing or Perfetto).
+    pub fn export_chrome_trace(&self) -> String {
+        gh_profiler::to_chrome_json(&self.timeline)
+    }
+
+    pub(crate) fn trace(&mut self, name: &str, cat: &'static str, start: Ns) {
+        let dur = self.now().saturating_sub(start);
+        self.timeline.push(gh_profiler::TraceEvent {
+            name: name.to_string(),
+            cat,
+            start,
+            dur,
+        });
+    }
+
+    /// Total access-counter notifications raised so far.
+    pub fn notifications(&self) -> u64 {
+        self.counters.total_notifications()
+    }
+
+    /// Consumes the runtime, returning the profiler sample series.
+    pub fn into_samples(self) -> Vec<gh_profiler::Sample> {
+        self.profiler.finish()
+    }
+
+    /// Peak GPU usage observed by the profiler so far.
+    pub fn peak_gpu(&self) -> u64 {
+        self.profiler.peak_gpu()
+    }
+
+    /// Peak RSS observed by the profiler so far.
+    pub fn peak_rss(&self) -> u64 {
+        self.profiler.peak_rss()
+    }
+
+    // ------------------------------------------------------- time/profile --
+
+    /// Advances the clock and feeds the profiler.
+    pub(crate) fn tick(&mut self, dt: Ns) {
+        self.clock.advance(dt);
+        self.observe();
+    }
+
+    pub(crate) fn observe(&mut self) {
+        self.profiler
+            .observe(self.clock.now(), self.os.rss(), self.phys.used(Node::Gpu));
+    }
+
+    /// Charges the one-time GPU context initialization if not yet paid.
+    /// Called from every CUDA API entry point; system-allocated memory
+    /// never calls CUDA APIs, so pure-system applications pay this at
+    /// their first kernel launch (paper §4).
+    pub(crate) fn ensure_ctx(&mut self) {
+        if !self.ctx_ready {
+            self.ctx_ready = true;
+            let start = self.now();
+            let dt = self.params.ctx_init;
+            self.tick(dt);
+            self.trace("cuda context init", "runtime", start);
+        }
+    }
+
+    /// Whether the GPU context has been initialized yet.
+    pub fn ctx_ready(&self) -> bool {
+        self.ctx_ready
+    }
+
+    /// Explicit GPU context initialization (the `cudaFree(0)` idiom).
+    /// The Rodinia harness does this during its first phase in every
+    /// version; pure system-memory applications that skip it pay the
+    /// cost at their first kernel launch instead (paper §4).
+    pub fn cuda_init(&mut self) {
+        self.ensure_ctx();
+    }
+
+    // ------------------------------------------------------- allocation --
+
+    fn register(&mut self, range: gh_os::VaRange, kind: BufKind, tag: &str) -> Buffer {
+        let id = self.next_buf;
+        self.next_buf += 1;
+        let buf = Buffer { id, range, kind };
+        self.allocs.insert(id, (buf, tag.to_string()));
+        buf
+    }
+
+    /// `malloc`: system-allocated memory. Lazy; no CUDA context involved.
+    pub fn malloc_system(&mut self, bytes: u64, tag: &str) -> Buffer {
+        let (range, cost) = self.os.mmap(bytes, VmaKind::System, tag);
+        self.tick(cost);
+        self.register(range, BufKind::System, tag)
+    }
+
+    /// `malloc` + `set_mempolicy`: system-allocated memory with an
+    /// explicit NUMA placement policy (e.g. `numactl --membind=gpu`).
+    pub fn malloc_system_with_policy(
+        &mut self,
+        bytes: u64,
+        policy: gh_os::NumaPolicy,
+        tag: &str,
+    ) -> Buffer {
+        let (range, cost) = self
+            .os
+            .mmap_with_policy(bytes, VmaKind::System, policy, tag);
+        self.tick(cost);
+        self.register(range, BufKind::System, tag)
+    }
+
+    /// `numa_alloc_onnode`: system memory eagerly populated on `node`
+    /// (Table 1's NUMA allocation interface).
+    pub fn numa_alloc_onnode(&mut self, bytes: u64, node: Node, tag: &str) -> Buffer {
+        let (range, cost) = self.os.numa_alloc_onnode(bytes, node, tag, &mut self.phys);
+        self.tick(cost);
+        self.register(range, BufKind::System, tag)
+    }
+
+    /// `cudaMallocManaged`: unified managed memory. Lazy.
+    pub fn cuda_malloc_managed(&mut self, bytes: u64, tag: &str) -> Buffer {
+        self.ensure_ctx();
+        let (range, cost) = self.os.mmap(bytes, VmaKind::Managed, tag);
+        self.tick(cost + self.params.cuda_malloc_managed_fixed);
+        self.register(range, BufKind::Managed, tag)
+    }
+
+    /// `cudaMalloc`: GPU-only memory, eagerly backed by HBM frames in the
+    /// GPU-exclusive page table (2 MiB pages).
+    pub fn cuda_malloc(&mut self, bytes: u64, tag: &str) -> Result<Buffer, OutOfMemory> {
+        self.ensure_ctx();
+        let gpu_page = self.params.gpu_page_size;
+        let rounded = bytes.div_ceil(gpu_page) * gpu_page;
+        if self.phys.free(Node::Gpu) < rounded {
+            return Err(OutOfMemory {
+                node: Node::Gpu,
+                requested: rounded,
+                free: self.phys.free(Node::Gpu),
+            });
+        }
+        let (range, _) = self.os.mmap(rounded, VmaKind::DeviceOnly, tag);
+        let vpns = self.gpu_pt.vpn_range(range.addr, range.len);
+        let n_pages = vpns.end - vpns.start;
+        for vpn in vpns {
+            let frame = self
+                .phys
+                .alloc(Node::Gpu, gpu_page)
+                .expect("free space was checked above");
+            self.gpu_pt.populate(vpn, Node::Gpu, frame);
+        }
+        let dt = self.params.cuda_malloc_fixed + n_pages * self.params.cuda_malloc_per_page;
+        self.tick(dt);
+        Ok(self.register(range, BufKind::Device, tag))
+    }
+
+    /// `cudaMallocHost`: pinned CPU memory, populated eagerly.
+    pub fn cuda_malloc_host(&mut self, bytes: u64, tag: &str) -> Buffer {
+        self.ensure_ctx();
+        let (range, mmap_cost) = self.os.mmap(bytes, VmaKind::Pinned, tag);
+        let (pin_cost, _) = self.os.host_register(range, &mut self.phys);
+        self.tick(mmap_cost + pin_cost + self.params.cuda_malloc_fixed);
+        self.register(range, BufKind::Pinned, tag)
+    }
+
+    /// Frees any buffer, dispatching on its kind. Returns the
+    /// de-allocation time (also charged to the clock).
+    pub fn free(&mut self, buf: Buffer) -> Ns {
+        self.allocs
+            .remove(&buf.id)
+            .unwrap_or_else(|| panic!("double free or unknown buffer {}", buf.id));
+        let dt = match buf.kind {
+            BufKind::Device => {
+                let gpu_page = self.params.gpu_page_size;
+                let vpns = self.gpu_pt.vpn_range(buf.range.addr, buf.range.len);
+                let removed = self.gpu_pt.unmap_range(vpns);
+                for (vpn, pte) in &removed {
+                    self.phys.release(pte.node, gpu_page);
+                    self.gpu_tlb.invalidate(crate::kernel::tlb_key_gpu(*vpn));
+                }
+                // Release the VA without system-page teardown (no system
+                // PTEs were ever created for a device-only VMA).
+                self.os.munmap(buf.range, &mut self.phys);
+                self.params.cuda_free_fixed
+            }
+            BufKind::System => self.os.munmap(buf.range, &mut self.phys),
+            BufKind::Managed | BufKind::Pinned => {
+                self.uvm.forget_range(buf.range);
+                let os_cost = self.os.munmap(buf.range, &mut self.phys);
+                let spt = self.os.system_pt.page_size();
+                self.gpu_tlb
+                    .invalidate_range(buf.range.addr / spt..buf.range.end().div_ceil(spt));
+                os_cost + self.params.cuda_free_fixed
+            }
+        };
+        self.tick(dt);
+        dt
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocs(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Tag of a live buffer.
+    pub fn buffer_tag(&self, id: u32) -> Option<&str> {
+        self.allocs.get(&id).map(|(_, t)| t.as_str())
+    }
+
+    // ------------------------------------------------------------ copies --
+
+    /// `cudaMemcpy`-style explicit copy between a host-side buffer
+    /// (system/pinned/managed) and a device buffer, in either direction.
+    /// `len` bytes from `src_off` in `src` to `dst_off` in `dst`.
+    pub fn memcpy(
+        &mut self,
+        dst: &Buffer,
+        dst_off: u64,
+        src: &Buffer,
+        src_off: u64,
+        len: u64,
+    ) -> Ns {
+        self.ensure_ctx();
+        assert!(src_off + len <= src.len(), "memcpy src out of range");
+        assert!(dst_off + len <= dst.len(), "memcpy dst out of range");
+        let dir = match (src.kind, dst.kind) {
+            (BufKind::Device, BufKind::Device) => None,
+            (_, BufKind::Device) => Some(Direction::H2D),
+            (BufKind::Device, _) => Some(Direction::D2H),
+            _ => None, // host-to-host
+        };
+        let mut dt = self.params.memcpy_fixed;
+        // Source/destination host pages must exist; copying from an
+        // untouched region faults it in first (reads zeros), copying *to*
+        // an untouched host region first-touches it on the CPU.
+        for b in [src, dst] {
+            if b.kind != BufKind::Device {
+                let off = if std::ptr::eq(b, src) { src_off } else { dst_off };
+                let (fault_cost, _) = self
+                    .os
+                    .touch_cpu_range(b.range.slice(off, len), &mut self.phys);
+                dt += fault_cost;
+            }
+        }
+        dt += match dir {
+            Some(d) => self.link.bulk(len, d),
+            None => CostParams::transfer_ns(len, self.params.hbm_bw)
+                .max(CostParams::transfer_ns(len, self.params.lpddr_bw)),
+        };
+        let start = self.now();
+        self.tick(dt);
+        let label = match dir {
+            Some(Direction::H2D) => "memcpy H2D",
+            Some(Direction::D2H) => "memcpy D2H",
+            None => "memcpy",
+        };
+        self.trace(label, "copy", start);
+        dt
+    }
+
+    /// `cudaMemAdvise` hints (the software guidance evaluated by Chien
+    /// et al., reference 6 of the paper's related work). Hints steer the two
+    /// migration engines:
+    ///
+    /// * `PreferredLocation(node)` — sets the VMA's NUMA policy so first
+    ///   touches land on `node`, and (for `Cpu`) suppresses
+    ///   counter-based migration away from it;
+    /// * `ReadMostly` — suppresses migration entirely (coherent remote
+    ///   reads are cheap; migrating a read-shared range would thrash).
+    pub fn cuda_mem_advise(&mut self, buf: &Buffer, advice: MemAdvise) {
+        assert!(
+            matches!(buf.kind, BufKind::System | BufKind::Managed),
+            "cudaMemAdvise applies to unified memory"
+        );
+        match advice {
+            MemAdvise::PreferredLocation(node) => {
+                self.os
+                    .set_policy(buf.range, gh_os::NumaPolicy::Preferred(node));
+                if node == Node::Cpu {
+                    self.advise_no_migrate.insert(buf.range.addr);
+                }
+            }
+            MemAdvise::ReadMostly => {
+                self.advise_no_migrate.insert(buf.range.addr);
+            }
+            MemAdvise::Clear => {
+                self.os
+                    .set_policy(buf.range, gh_os::NumaPolicy::FirstTouch);
+                self.advise_no_migrate.remove(&buf.range.addr);
+            }
+        }
+        self.tick(1_500);
+    }
+
+    /// Whether migration is advised off for the allocation containing
+    /// `addr`.
+    pub(crate) fn migration_advised_off(&self, addr: u64) -> bool {
+        self.os
+            .vma_at(addr)
+            .is_some_and(|v| self.advise_no_migrate.contains(&v.range.addr))
+    }
+
+    /// `cudaMemcpy2D`: copies `rows` rows of `row_bytes` with independent
+    /// source/destination pitches. Cost equals the dense copy of the
+    /// payload plus a per-row fixed overhead when rows are strided.
+    #[allow(clippy::too_many_arguments)]
+    pub fn memcpy_2d(
+        &mut self,
+        dst: &Buffer,
+        dst_off: u64,
+        dst_pitch: u64,
+        src: &Buffer,
+        src_off: u64,
+        src_pitch: u64,
+        row_bytes: u64,
+        rows: u64,
+    ) -> Ns {
+        assert!(row_bytes <= dst_pitch && row_bytes <= src_pitch, "pitch < row");
+        assert!(
+            dst_off + dst_pitch * rows.saturating_sub(1) + row_bytes <= dst.len(),
+            "memcpy_2d dst out of range"
+        );
+        assert!(
+            src_off + src_pitch * rows.saturating_sub(1) + row_bytes <= src.len(),
+            "memcpy_2d src out of range"
+        );
+        let payload = row_bytes * rows;
+        let mut dt = self.memcpy(dst, dst_off, src, src_off, payload.min(src.len() - src_off));
+        if row_bytes != src_pitch || row_bytes != dst_pitch {
+            let per_row = 200 * rows; // DMA descriptor per strided row
+            self.tick(per_row);
+            dt += per_row;
+        }
+        dt
+    }
+
+    /// `cudaMemset`: fills `[off, off+len)` of a device buffer at HBM
+    /// bandwidth (runs on the copy/compute engines synchronously here).
+    pub fn cuda_memset(&mut self, buf: &Buffer, off: u64, len: u64) -> Ns {
+        self.ensure_ctx();
+        assert_eq!(buf.kind, BufKind::Device, "cuda_memset is a device API");
+        assert!(off + len <= buf.len(), "memset out of range");
+        let dt = self.params.memcpy_fixed / 2 + CostParams::transfer_ns(len, self.params.hbm_bw);
+        let start = self.now();
+        self.tick(dt);
+        self.trace("memset", "copy", start);
+        dt
+    }
+
+    /// `cudaHostRegister`: pre-populates (and pins) a system buffer's
+    /// pages on the CPU so GPU access never ATS-faults (§5.1.2 strategy).
+    pub fn cuda_host_register(&mut self, buf: &Buffer) -> Ns {
+        self.ensure_ctx();
+        let (cost, _) = self.os.host_register(buf.range, &mut self.phys);
+        self.tick(cost);
+        cost
+    }
+
+    /// `cudaDeviceSynchronize`: waits for every stream, then pays the
+    /// fixed synchronization cost.
+    pub fn device_synchronize(&mut self) {
+        self.all_streams_synchronize();
+        self.tick(2_000);
+    }
+
+    // -------------------------------------------------------- host access --
+
+    /// CPU-side sequential write of `[off, off+len)` (initialization
+    /// phase). First touch faults pages onto the CPU node; writes to
+    /// GPU-resident pages go remotely over NVLink-C2C (system) or migrate
+    /// the block back (managed).
+    pub fn cpu_write(&mut self, buf: &Buffer, off: u64, len: u64) {
+        self.host_access(buf, off, len, true);
+    }
+
+    /// CPU-side sequential read (e.g. result verification).
+    pub fn cpu_read(&mut self, buf: &Buffer, off: u64, len: u64) {
+        self.host_access(buf, off, len, false);
+    }
+
+    fn host_access(&mut self, buf: &Buffer, off: u64, len: u64, write: bool) {
+        assert!(off + len <= buf.len(), "host access out of range");
+        assert!(
+            buf.kind != BufKind::Device,
+            "host cannot access cudaMalloc memory"
+        );
+        if len == 0 {
+            return;
+        }
+        let span = buf.range.slice(off, len);
+        let block = self.params.counter_region; // 2 MiB processing chunks
+        let mut addr = span.addr;
+        while addr < span.end() {
+            let chunk_end = ((addr / block) + 1) * block;
+            let chunk = gh_os::VaRange {
+                addr,
+                len: chunk_end.min(span.end()) - addr,
+            };
+            let dt = self.host_access_chunk(buf, chunk, write);
+            self.tick(dt);
+            addr = chunk.end();
+        }
+    }
+
+    fn host_access_chunk(&mut self, buf: &Buffer, chunk: gh_os::VaRange, write: bool) -> Ns {
+        let mut dt = 0;
+        let line = self.params.cpu_cacheline;
+        match buf.kind {
+            BufKind::Managed => {
+                // CPU access to GPU-resident managed memory retrieves the
+                // pages (on-demand migration back to CPU).
+                let vpns = self.os.system_pt.vpn_range(chunk.addr, chunk.len);
+                let gpu_pages = self.os.system_pt.count_resident_in(vpns, Node::Gpu);
+                if gpu_pages > 0 {
+                    dt += self.uvm_retrieve_to_cpu(chunk);
+                }
+                let (fault, _) = self.os.touch_cpu_range(chunk, &mut self.phys);
+                dt += fault;
+                dt += CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw);
+            }
+            BufKind::System => {
+                // Faults only for unpopulated pages; GPU-resident pages
+                // (including pages a NUMA policy just placed there) are
+                // accessed remotely at 64 B granularity, *without*
+                // migration (coherent C2C).
+                let spt = self.os.system_pt.page_size();
+                let mut remote_bytes = 0;
+                for vpn in self.os.system_pt.vpn_range(chunk.addr, chunk.len) {
+                    match self.os.system_pt.translate(vpn) {
+                        Some(pte) if pte.node == Node::Gpu => remote_bytes += spt,
+                        Some(_) => {}
+                        None => {
+                            let o = self.os.touch_cpu(vpn, &mut self.phys);
+                            dt += o.cost;
+                            if o.placed == Node::Gpu {
+                                remote_bytes += spt;
+                            }
+                        }
+                    }
+                    if write {
+                        self.os.system_pt.mark_dirty(vpn);
+                    }
+                }
+                if remote_bytes > 0 {
+                    let dir = if write { Direction::H2D } else { Direction::D2H };
+                    dt += self.link.cacheline_stream(remote_bytes / line, line, dir);
+                }
+                // The single-threaded host loop generates/consumes every
+                // byte at cpu_init_bw regardless of where pages live; the
+                // remote line traffic above is additional stall.
+                dt += CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw);
+            }
+            BufKind::Pinned => {
+                dt += CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw);
+            }
+            BufKind::Device => unreachable!("checked above"),
+        }
+        dt
+    }
+
+    // ----------------------------------------------------------- kernels --
+
+    /// Launches a kernel: returns a recorder the kernel body uses to
+    /// declare its memory accesses and compute work. The launch overhead
+    /// and (for the first launch) context initialization are charged here.
+    pub fn launch(&mut self, name: &str) -> Kernel<'_> {
+        self.ensure_ctx();
+        let launch_cost = self.params.kernel_launch;
+        self.tick(launch_cost);
+        self.kernel_seq += 1;
+        Kernel::new(self, name)
+    }
+
+    // -------------------------------------------------------- prefetch --
+
+    /// `cudaMemPrefetchAsync`: bulk-migrates a managed range toward a
+    /// node, evicting LRU managed blocks if the GPU is full. No fault
+    /// costs — this is the §6/§7 optimization path.
+    pub fn prefetch(&mut self, buf: &Buffer, off: u64, len: u64, to: Node) -> Ns {
+        self.ensure_ctx();
+        assert_eq!(
+            buf.kind,
+            BufKind::Managed,
+            "prefetch is a managed-memory API"
+        );
+        let span = buf.range.slice(off, len);
+        let dt = self.uvm_prefetch_range(span, to);
+        dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_mem::params::{KIB, MIB};
+
+    fn rt() -> Runtime {
+        Runtime::default_gh200()
+    }
+
+    #[test]
+    fn malloc_system_skips_ctx_init() {
+        let mut r = rt();
+        let b = r.malloc_system(MIB, "x");
+        assert!(!r.ctx_ready());
+        assert!(r.now() < 1_000_000, "no 250 ms ctx charge");
+        assert_eq!(b.kind, BufKind::System);
+        assert_eq!(b.len(), MIB);
+    }
+
+    #[test]
+    fn cuda_apis_charge_ctx_once() {
+        let mut r = rt();
+        let t0 = r.now();
+        r.cuda_malloc_managed(MIB, "a");
+        let after_first = r.now();
+        assert!(after_first - t0 >= r.params().ctx_init);
+        r.cuda_malloc_managed(MIB, "b");
+        assert!(r.now() - after_first < r.params().ctx_init);
+    }
+
+    #[test]
+    fn cuda_malloc_backs_with_hbm_eagerly() {
+        let mut r = rt();
+        let before = r.gpu_used();
+        let b = r.cuda_malloc(10 * MIB, "d").unwrap();
+        assert_eq!(r.gpu_used() - before, 10 * MIB);
+        assert_eq!(b.kind, BufKind::Device);
+        r.free(b);
+        assert_eq!(r.gpu_used(), before);
+    }
+
+    #[test]
+    fn cuda_malloc_oom_is_an_error() {
+        let mut r = rt();
+        let free = r.gpu_free();
+        let b = r.cuda_malloc(free - 2 * MIB, "big").unwrap();
+        assert!(r.cuda_malloc(4 * MIB, "more").is_err());
+        r.free(b);
+        assert!(r.cuda_malloc(4 * MIB, "now fits").is_ok());
+    }
+
+    #[test]
+    fn gpu_used_includes_driver_baseline() {
+        let r = rt();
+        assert_eq!(r.gpu_used(), r.params().gpu_driver_baseline);
+    }
+
+    #[test]
+    fn cpu_write_populates_system_pages() {
+        let mut r = rt();
+        let b = r.malloc_system(256 * KIB, "x");
+        assert_eq!(r.rss(), 0);
+        r.cpu_write(&b, 0, 256 * KIB);
+        assert_eq!(r.rss(), 256 * KIB);
+        assert!(!r.ctx_ready(), "pure host work never initializes CUDA");
+    }
+
+    #[test]
+    fn memcpy_h2d_moves_bytes_over_link() {
+        let mut r = rt();
+        let h = r.malloc_system(MIB, "h");
+        r.cpu_write(&h, 0, MIB);
+        let d = r.cuda_malloc(MIB, "d").unwrap();
+        let before = r.link().bytes_h2d();
+        r.memcpy(&d, 0, &h, 0, MIB);
+        assert_eq!(r.link().bytes_h2d() - before, MIB);
+    }
+
+    #[test]
+    fn memcpy_faults_in_untouched_host_source() {
+        let mut r = rt();
+        let h = r.malloc_system(MIB, "h");
+        let d = r.cuda_malloc(MIB, "d").unwrap();
+        r.memcpy(&d, 0, &h, 0, MIB); // no prior cpu_write
+        assert_eq!(r.rss(), MIB, "memcpy populated the source pages");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn memcpy_oob_panics() {
+        let mut r = rt();
+        let h = r.malloc_system(MIB, "h");
+        let d = r.cuda_malloc(MIB, "d").unwrap();
+        r.memcpy(&d, 0, &h, 512 * KIB, MIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut r = rt();
+        let b = r.malloc_system(KIB, "x");
+        r.free(b);
+        r.free(b);
+    }
+
+    #[test]
+    fn free_system_scales_with_touched_pages() {
+        let mut r4 = Runtime::new(CostParams::with_4k_pages(), RuntimeOptions::default());
+        let b = r4.malloc_system(16 * MIB, "x");
+        r4.cpu_write(&b, 0, 16 * MIB);
+        let dt_4k = r4.free(b);
+
+        let mut r64 = Runtime::new(CostParams::with_64k_pages(), RuntimeOptions::default());
+        let b = r64.malloc_system(16 * MIB, "x");
+        r64.cpu_write(&b, 0, 16 * MIB);
+        let dt_64k = r64.free(b);
+        let ratio = dt_4k as f64 / dt_64k as f64;
+        assert!(ratio > 8.0, "Fig 6 dealloc ratio, got {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "host cannot access")]
+    fn host_access_to_device_buffer_panics() {
+        let mut r = rt();
+        let d = r.cuda_malloc(MIB, "d").unwrap();
+        r.cpu_write(&d, 0, 16);
+    }
+
+    #[test]
+    fn host_register_prevents_later_faults() {
+        let mut r = rt();
+        let b = r.malloc_system(4 * MIB, "x");
+        r.cuda_host_register(&b);
+        assert_eq!(r.rss(), 4 * MIB);
+        assert_eq!(r.os().cpu_faults(), 0, "bulk path, not the fault path");
+    }
+
+    #[test]
+    fn pinned_alloc_is_cpu_resident() {
+        let mut r = rt();
+        let b = r.cuda_malloc_host(MIB, "pinned");
+        assert_eq!(b.kind, BufKind::Pinned);
+        assert_eq!(r.rss(), MIB);
+    }
+
+    #[test]
+    fn profiler_sees_rss_ramp() {
+        let mut r = rt();
+        let b = r.malloc_system(8 * MIB, "x");
+        r.cpu_write(&b, 0, 8 * MIB);
+        let peak = r.profiler.peak_rss();
+        assert_eq!(peak, 8 * MIB);
+        let samples = r.into_samples();
+        assert!(samples.len() > 1, "ramp must produce multiple samples");
+        // RSS is non-decreasing during a pure init phase.
+        assert!(samples.windows(2).all(|w| w[0].rss <= w[1].rss));
+    }
+}

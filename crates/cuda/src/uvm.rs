@@ -1,0 +1,567 @@
+//! The CUDA managed-memory (UVM) driver model.
+//!
+//! Managed memory on Grace Hopper (paper §2.3) keeps pages in the system
+//! page table while CPU-resident and in the GPU page table while
+//! GPU-resident, migrating on demand:
+//!
+//! * **GPU first touch** maps pages directly into GPU memory at 2 MiB
+//!   block granularity — this is why GPU-side initialization is *fast*
+//!   under managed memory (§5.1.2) while it is slow for system memory;
+//! * **GPU access to CPU-resident pages** raises a replayable GPU page
+//!   fault; the driver migrates the whole 2 MiB VA block (plus
+//!   speculatively prefetched neighbours) to HBM;
+//! * under memory pressure the driver **evicts** least-recently-used
+//!   blocks to CPU memory;
+//! * a fault that could only be served by evicting blocks of the *same
+//!   allocation* (self-eviction, i.e. guaranteed thrash) is instead served
+//!   by a **remote mapping** over NVLink-C2C — this reproduces the
+//!   behaviour the paper observed for the 34-qubit Qiskit run (§7): after
+//!   the initial eviction phase no further migration happens and all data
+//!   is accessed over the link, unless explicit prefetching intervenes;
+//! * **CPU access to GPU-resident pages** retrieves them back.
+//!
+//! Residency is tracked at system-page granularity in the OS page table
+//! (which matches the paper's observation that *evicted* managed pages
+//! land on the CPU at the system page size), while all driver operations
+//! — fault service, migration, eviction, first touch — work on 2 MiB VA
+//! blocks, matching the managed-memory granularities of Table 1.
+
+use gh_mem::clock::Ns;
+use gh_mem::link::Direction;
+use gh_mem::params::CostParams;
+use gh_mem::phys::Node;
+use gh_os::VaRange;
+use std::collections::VecDeque;
+
+use crate::kernel::tlb_key_sys;
+use crate::runtime::Runtime;
+
+/// Driver-side state for managed memory.
+#[derive(Debug, Default)]
+pub struct UvmState {
+    /// 2 MiB blocks holding at least one GPU-resident managed page, in
+    /// LRU order (front = coldest).
+    lru: VecDeque<u64>,
+    /// Blocks migrated in during the current kernel (sequential-prefetch
+    /// detection).
+    pub(crate) migrated_this_kernel: Vec<u64>,
+    /// Statistics: blocks served by remote mapping instead of migration.
+    pub(crate) remote_fallbacks: u64,
+    /// Statistics: eviction events.
+    pub(crate) evictions: u64,
+    /// Thrash detection: remote fallbacks per allocation (keyed by the
+    /// allocation's base address).
+    pub(crate) fallback_counts: std::collections::HashMap<u64, u32>,
+    /// Allocations the driver has pinned CPU-side after repeated
+    /// thrashing (the `uvm_perf_thrashing` behaviour: all access remote
+    /// until an explicit prefetch pulls data back).
+    pub(crate) pinned_cpu: std::collections::HashSet<u64>,
+}
+
+impl UvmState {
+    /// Fresh driver state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `block` most-recently-used (inserting it if absent).
+    pub(crate) fn touch_lru(&mut self, block: u64) {
+        if let Some(pos) = self.lru.iter().position(|&b| b == block) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(block);
+    }
+
+    fn drop_block(&mut self, block: u64) {
+        if let Some(pos) = self.lru.iter().position(|&b| b == block) {
+            self.lru.remove(pos);
+        }
+    }
+
+    /// Forgets all blocks overlapping `range` (allocation freed).
+    pub(crate) fn forget_range(&mut self, range: VaRange) {
+        self.lru
+            .retain(|&b| b * BLOCK >= range.end() || (b + 1) * BLOCK <= range.addr);
+        self.fallback_counts.remove(&range.addr);
+        self.pinned_cpu.remove(&range.addr);
+    }
+
+    /// Whether the driver pinned this allocation to CPU memory.
+    pub fn is_pinned_cpu(&self, range: VaRange) -> bool {
+        self.pinned_cpu.contains(&range.addr)
+    }
+
+    /// Number of eviction events so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of remote-mapping fallbacks so far.
+    pub fn remote_fallbacks(&self) -> u64 {
+        self.remote_fallbacks
+    }
+}
+
+/// UVM VA-block size (2 MiB), fixed by the driver design.
+pub const BLOCK: u64 = 2 * 1024 * 1024;
+
+/// Remote fallbacks tolerated per allocation before the driver pins it to
+/// CPU memory (thrashing prevention).
+pub const PIN_AFTER_FALLBACKS: u32 = 3;
+
+/// Block index containing `addr`.
+pub fn block_of(addr: u64) -> u64 {
+    addr / BLOCK
+}
+
+/// The VA range of a block, clipped to `clip`.
+pub fn block_range(block: u64, clip: VaRange) -> VaRange {
+    let lo = (block * BLOCK).max(clip.addr);
+    let hi = ((block + 1) * BLOCK).min(clip.end());
+    VaRange {
+        addr: lo,
+        len: hi.saturating_sub(lo),
+    }
+}
+
+impl Runtime {
+    /// Moves one system page to `dst`, updating frames and shooting down
+    /// the GPU TLB. Panics if the destination node cannot hold the page —
+    /// callers must have made room first.
+    pub(crate) fn move_page(&mut self, vpn: u64, dst: Node) {
+        let spt = self.os.system_pt.page_size();
+        let frame = self
+            .phys
+            .alloc(dst, spt)
+            .expect("destination node full: caller must evict first");
+        let old = self.os.system_pt.remap(vpn, dst, frame);
+        self.phys.release(old.node, spt);
+        self.gpu_tlb.invalidate(tlb_key_sys(vpn));
+    }
+
+    /// GPU first-touch of a managed block: map every unpopulated page of
+    /// `block ∩ buf` straight into GPU memory (2 MiB-granularity PTE work,
+    /// cheap). Under pressure this *may* evict LRU blocks — including
+    /// blocks of the same allocation, since first-touch population is not
+    /// a migration loop. Pages that still don't fit are placed on the CPU.
+    /// Returns (cost, pages placed on GPU, pages placed on CPU).
+    pub(crate) fn uvm_first_touch_block(
+        &mut self,
+        block: u64,
+        buf_range: VaRange,
+    ) -> (Ns, u64, u64) {
+        let clip = block_range(block, buf_range);
+        if clip.len == 0 {
+            return (0, 0, 0);
+        }
+        let spt = self.os.system_pt.page_size();
+        let vpns: Vec<u64> = self
+            .os
+            .system_pt
+            .vpn_range(clip.addr, clip.len)
+            .filter(|&v| !self.os.system_pt.is_populated(v))
+            .collect();
+        if vpns.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut cost = self.params.uvm_gpu_first_touch_per_page;
+        let (mut on_gpu, mut on_cpu) = (0u64, 0u64);
+        for vpn in vpns {
+            let frame = match self.phys.alloc(Node::Gpu, spt) {
+                Ok(f) => Some(f),
+                Err(_) => {
+                    // Try to make room by evicting the LRU block (any
+                    // allocation, this one included).
+                    let (evict_cost, freed) = self.uvm_evict_lru(spt, None, Some(block));
+                    cost += evict_cost;
+                    if freed >= spt {
+                        self.phys.alloc(Node::Gpu, spt).ok()
+                    } else {
+                        None
+                    }
+                }
+            };
+            match frame {
+                Some(f) => {
+                    self.os.system_pt.populate(vpn, Node::Gpu, f);
+                    on_gpu += 1;
+                }
+                None => {
+                    let f = self
+                        .phys
+                        .alloc(Node::Cpu, spt)
+                        .expect("both tiers exhausted");
+                    self.os.system_pt.populate(vpn, Node::Cpu, f);
+                    on_cpu += 1;
+                    cost += self.params.cpu_fault_fixed / 2;
+                }
+            }
+        }
+        if on_gpu > 0 {
+            self.uvm.touch_lru(block);
+            cost += CostParams::transfer_ns(on_gpu * spt, self.params.hbm_bw);
+        }
+        (cost, on_gpu, on_cpu)
+    }
+
+    /// Fault-driven migration of a managed block to the GPU. The caller
+    /// has already charged the fault-batch cost. Returns
+    /// `(cost, pages_migrated)`; `pages_migrated == 0` means the driver
+    /// fell back to a remote mapping (self-eviction refused).
+    pub(crate) fn uvm_migrate_block_in(&mut self, block: u64, buf_range: VaRange) -> (Ns, u64) {
+        let clip = block_range(block, buf_range);
+        let spt = self.os.system_pt.page_size();
+        let vpns = self.os.system_pt.vpn_range(clip.addr, clip.len);
+        let cpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Cpu);
+        if cpu_pages.is_empty() {
+            return (0, 0);
+        }
+        let bytes = cpu_pages.len() as u64 * spt;
+        let mut cost = 0;
+        if self.phys.free(Node::Gpu) < bytes {
+            // Make room, but never by evicting this same allocation: that
+            // would be guaranteed thrash, and the GH200 driver instead
+            // leaves the data CPU-resident for coherent remote access.
+            let (evict_cost, freed) =
+                self.uvm_evict_lru(bytes - self.phys.free(Node::Gpu), Some(buf_range), Some(block));
+            cost += evict_cost;
+            if freed + self.phys.free(Node::Gpu) < bytes && self.phys.free(Node::Gpu) < bytes {
+                self.uvm.remote_fallbacks += 1;
+                // Thrash detection (uvm_perf_thrashing): after repeated
+                // refused migrations the driver evicts the allocation's
+                // GPU-resident pages and pins it CPU-side — from then on
+                // every access is a coherent C2C remote access, which is
+                // what the paper observed for the 34-qubit managed run.
+                let n = self
+                    .uvm
+                    .fallback_counts
+                    .entry(buf_range.addr)
+                    .or_insert(0);
+                *n += 1;
+                if *n >= PIN_AFTER_FALLBACKS {
+                    cost += self.uvm_pin_cpu(buf_range);
+                }
+                return (cost, 0);
+            }
+        }
+        for &vpn in &cpu_pages {
+            self.move_page(vpn, Node::Gpu);
+        }
+        self.uvm.touch_lru(block);
+        self.uvm.migrated_this_kernel.push(block);
+        cost += self.params.uvm_migration_fixed + self.link.bulk(bytes, Direction::H2D);
+        (cost, cpu_pages.len() as u64)
+    }
+
+    /// Evicts LRU managed blocks until `needed` bytes are free on the GPU
+    /// or no eligible victim remains. `exclude` protects an allocation
+    /// from self-eviction; `skip_block` protects the block currently
+    /// being serviced. Returns (cost, bytes freed).
+    pub(crate) fn uvm_evict_lru(
+        &mut self,
+        needed: u64,
+        exclude: Option<VaRange>,
+        skip_block: Option<u64>,
+    ) -> (Ns, u64) {
+        let spt = self.os.system_pt.page_size();
+        let mut cost = 0;
+        let mut freed = 0;
+        // Scan from the cold end; collect victims first to avoid borrowing
+        // issues while mutating.
+        let mut idx = 0;
+        while freed < needed && idx < self.uvm.lru.len() {
+            let block = self.uvm.lru[idx];
+            let in_excluded = exclude.is_some_and(|r| {
+                block_range(block, VaRange { addr: 0, len: u64::MAX }).intersect(&r).is_some()
+            });
+            if in_excluded || Some(block) == skip_block {
+                idx += 1;
+                continue;
+            }
+            let clip = VaRange {
+                addr: block * BLOCK,
+                len: BLOCK,
+            };
+            let vpns = self.os.system_pt.vpn_range(clip.addr, clip.len);
+            let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
+            let bytes = gpu_pages.len() as u64 * spt;
+            for vpn in gpu_pages {
+                self.move_page(vpn, Node::Cpu);
+            }
+            self.uvm.drop_block(block);
+            self.uvm.evictions += 1;
+            freed += bytes;
+            cost += self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H);
+            // idx unchanged: removal shifted the deque.
+        }
+        (cost, freed)
+    }
+
+    /// Evicts every GPU-resident page of the allocation to the CPU and
+    /// marks it pinned (thrashing prevention). Returns the cost.
+    pub(crate) fn uvm_pin_cpu(&mut self, buf_range: VaRange) -> Ns {
+        let spt = self.os.system_pt.page_size();
+        let vpns = self.os.system_pt.vpn_range(buf_range.addr, buf_range.len);
+        let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
+        let bytes = gpu_pages.len() as u64 * spt;
+        for vpn in gpu_pages {
+            self.move_page(vpn, Node::Cpu);
+        }
+        let first = block_of(buf_range.addr);
+        let last = block_of(buf_range.end().saturating_sub(1));
+        for b in first..=last {
+            self.uvm.drop_block(b);
+        }
+        self.uvm.pinned_cpu.insert(buf_range.addr);
+        self.uvm.evictions += 1;
+        self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H)
+    }
+
+    /// CPU touched GPU-resident managed pages: retrieve the covered
+    /// blocks back to CPU memory (fault batch + D2H transfer).
+    pub(crate) fn uvm_retrieve_to_cpu(&mut self, chunk: VaRange) -> Ns {
+        let spt = self.os.system_pt.page_size();
+        let vpns = self.os.system_pt.vpn_range(chunk.addr, chunk.len);
+        let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
+        if gpu_pages.is_empty() {
+            return 0;
+        }
+        let bytes = gpu_pages.len() as u64 * spt;
+        let blocks: std::collections::BTreeSet<u64> = gpu_pages
+            .iter()
+            .map(|&v| block_of(v * spt))
+            .collect();
+        for vpn in gpu_pages {
+            self.move_page(vpn, Node::Cpu);
+        }
+        for b in &blocks {
+            self.uvm.drop_block(*b);
+        }
+        self.params.uvm_fault_batch * blocks.len() as u64
+            + self.link.bulk(bytes, Direction::D2H)
+    }
+
+    /// `cudaMemPrefetchAsync` body: bulk migration toward `to`, block by
+    /// block, ticking the clock incrementally so the profiler records the
+    /// ramp. Eviction (including self-eviction — the user asked for this
+    /// placement) makes room as needed. Returns total cost.
+    pub(crate) fn uvm_prefetch_range(&mut self, span: VaRange, to: Node) -> Ns {
+        // An explicit prefetch overrides thrashing prevention: the user
+        // asked for this placement.
+        if to == Node::Gpu {
+            if let Some(vma) = self.os.vma_at(span.addr) {
+                let addr = vma.range.addr;
+                self.uvm.pinned_cpu.remove(&addr);
+                self.uvm.fallback_counts.remove(&addr);
+            }
+        }
+        let spt = self.os.system_pt.page_size();
+        let mut total = self.params.prefetch_fixed;
+        self.tick(self.params.prefetch_fixed);
+        let first = block_of(span.addr);
+        let last = block_of(span.end() - 1);
+        for block in first..=last {
+            let clip = block_range(block, span);
+            if clip.len == 0 {
+                continue;
+            }
+            let vpns = self.os.system_pt.vpn_range(clip.addr, clip.len);
+            let mut dt = 0;
+            match to {
+                Node::Gpu => {
+                    let cpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Cpu);
+                    if cpu_pages.is_empty() {
+                        continue;
+                    }
+                    let bytes = cpu_pages.len() as u64 * spt;
+                    if self.phys.free(Node::Gpu) < bytes {
+                        let (c, freed) =
+                            self.uvm_evict_lru(bytes - self.phys.free(Node::Gpu), None, Some(block));
+                        dt += c;
+                        if freed + self.phys.free(Node::Gpu) < bytes
+                            && self.phys.free(Node::Gpu) < bytes
+                        {
+                            // GPU genuinely full (e.g. balloon): skip.
+                            self.tick(dt);
+                            total += dt;
+                            continue;
+                        }
+                    }
+                    for &vpn in &cpu_pages {
+                        self.move_page(vpn, Node::Gpu);
+                    }
+                    self.uvm.touch_lru(block);
+                    dt += self.link.bulk(bytes, Direction::H2D);
+                }
+                Node::Cpu => {
+                    let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
+                    if gpu_pages.is_empty() {
+                        continue;
+                    }
+                    let bytes = gpu_pages.len() as u64 * spt;
+                    for &vpn in &gpu_pages {
+                        self.move_page(vpn, Node::Cpu);
+                    }
+                    self.uvm.drop_block(block);
+                    dt += self.link.bulk(bytes, Direction::D2H);
+                }
+            }
+            self.tick(dt);
+            total += dt;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeOptions;
+    use gh_mem::params::MIB;
+
+    fn rt() -> Runtime {
+        Runtime::new(CostParams::default(), RuntimeOptions::default())
+    }
+
+    #[test]
+    fn block_math() {
+        assert_eq!(block_of(0), 0);
+        assert_eq!(block_of(BLOCK - 1), 0);
+        assert_eq!(block_of(BLOCK), 1);
+        let clip = VaRange { addr: BLOCK / 2, len: BLOCK };
+        let r0 = block_range(0, clip);
+        assert_eq!(r0.addr, BLOCK / 2);
+        assert_eq!(r0.len, BLOCK / 2);
+        let r1 = block_range(1, clip);
+        assert_eq!(r1.addr, BLOCK);
+        assert_eq!(r1.len, BLOCK / 2);
+    }
+
+    #[test]
+    fn lru_touch_moves_to_back() {
+        let mut s = UvmState::new();
+        s.touch_lru(1);
+        s.touch_lru(2);
+        s.touch_lru(1);
+        assert_eq!(s.lru, VecDeque::from(vec![2, 1]));
+    }
+
+    #[test]
+    fn first_touch_places_block_on_gpu() {
+        let mut r = rt();
+        let b = r.cuda_malloc_managed(4 * MIB, "m");
+        let block = block_of(b.range.addr);
+        let before = r.gpu_used();
+        let (cost, on_gpu, on_cpu) = r.uvm_first_touch_block(block, b.range);
+        assert!(cost > 0);
+        assert_eq!(on_cpu, 0);
+        assert_eq!(on_gpu * r.params().system_page_size, 2 * MIB);
+        assert_eq!(r.gpu_used() - before, 2 * MIB);
+        // Idempotent: already-populated pages are skipped.
+        let (_, again, _) = r.uvm_first_touch_block(block, b.range);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn migrate_in_moves_cpu_pages() {
+        let mut r = rt();
+        let b = r.cuda_malloc_managed(2 * MIB, "m");
+        r.cpu_write(&b, 0, 2 * MIB); // CPU-resident now
+        assert_eq!(r.rss(), 2 * MIB);
+        let block = block_of(b.range.addr);
+        let (cost, pages) = r.uvm_migrate_block_in(block, b.range);
+        assert!(cost > 0);
+        assert_eq!(pages * r.params().system_page_size, 2 * MIB);
+        assert_eq!(r.rss(), 0);
+    }
+
+    #[test]
+    fn eviction_allows_cross_allocation_victims() {
+        let mut params = CostParams::default();
+        params.gpu_mem_bytes = 8 * MIB;
+        params.gpu_driver_baseline = 0;
+        let mut r = Runtime::new(params, RuntimeOptions::default());
+        // Fill the GPU with one managed allocation.
+        let a = r.cuda_malloc_managed(8 * MIB, "a");
+        for blk in 0..4 {
+            r.uvm_first_touch_block(block_of(a.range.addr) + blk, a.range);
+        }
+        assert!(r.gpu_free() < MIB);
+        // A second allocation faulting in may evict `a`'s blocks.
+        let b = r.cuda_malloc_managed(2 * MIB, "b");
+        r.cpu_write(&b, 0, 2 * MIB);
+        let (_, pages) = r.uvm_migrate_block_in(block_of(b.range.addr), b.range);
+        assert!(pages > 0, "cross-allocation eviction must succeed");
+        assert!(r.uvm.evictions() > 0);
+    }
+
+    #[test]
+    fn self_eviction_is_refused_with_remote_fallback() {
+        // The natural-oversubscription shape (paper §7, 34-qubit case):
+        // one allocation larger than the GPU. First-touch fills the GPU
+        // (evicting its own cold blocks — allowed for population), but
+        // fault-driven migration refuses self-eviction and falls back to
+        // remote mapping.
+        let mut params = CostParams::default();
+        params.gpu_mem_bytes = 8 * MIB;
+        params.gpu_driver_baseline = 0;
+        let mut r = Runtime::new(params, RuntimeOptions::default());
+        let a = r.cuda_malloc_managed(16 * MIB, "a");
+        let first = block_of(a.range.addr);
+        for blk in 0..8 {
+            r.uvm_first_touch_block(first + blk, a.range);
+        }
+        // GPU holds at most 4 of the 8 blocks; at least one early block
+        // was displaced to the CPU.
+        let vpns = r.os().system_pt.vpn_range(a.range.addr, 2 * MIB);
+        let cpu_pages = r.os().system_pt.count_resident_in(vpns, Node::Cpu);
+        assert!(cpu_pages > 0, "early block must have been displaced");
+        // Fault-driven migration of that block: every victim would be
+        // `a` itself → refused.
+        let (_, pages) = r.uvm_migrate_block_in(first, a.range);
+        assert_eq!(pages, 0, "self-eviction refused → remote fallback");
+        assert!(r.uvm.remote_fallbacks() >= 1);
+    }
+
+    #[test]
+    fn retrieve_to_cpu_brings_pages_back() {
+        let mut r = rt();
+        let b = r.cuda_malloc_managed(2 * MIB, "m");
+        r.uvm_first_touch_block(block_of(b.range.addr), b.range);
+        assert_eq!(r.rss(), 0);
+        let cost = r.uvm_retrieve_to_cpu(b.range);
+        assert!(cost >= r.params().uvm_fault_batch);
+        assert_eq!(r.rss(), 2 * MIB);
+        // Second retrieve is free (nothing GPU-resident).
+        assert_eq!(r.uvm_retrieve_to_cpu(b.range), 0);
+    }
+
+    #[test]
+    fn prefetch_to_gpu_then_cpu_roundtrip() {
+        let mut r = rt();
+        let b = r.cuda_malloc_managed(6 * MIB, "m");
+        r.cpu_write(&b, 0, 6 * MIB);
+        let dt = r.prefetch(&b, 0, 6 * MIB, Node::Gpu);
+        assert!(dt > 0);
+        assert_eq!(r.rss(), 0);
+        assert_eq!(
+            r.gpu_used() - r.params().gpu_driver_baseline,
+            6 * MIB
+        );
+        r.prefetch(&b, 0, 6 * MIB, Node::Cpu);
+        assert_eq!(r.rss(), 6 * MIB);
+    }
+
+    #[test]
+    fn free_managed_reclaims_both_tiers() {
+        let mut r = rt();
+        let b = r.cuda_malloc_managed(4 * MIB, "m");
+        r.cpu_write(&b, 0, 2 * MIB);
+        r.uvm_first_touch_block(block_of(b.range.addr) + 1, b.range);
+        let gpu_before_free = r.gpu_used();
+        assert!(gpu_before_free > r.params().gpu_driver_baseline);
+        r.free(b);
+        assert_eq!(r.rss(), 0);
+        assert_eq!(r.gpu_used(), r.params().gpu_driver_baseline);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the runtime: accounting invariants must survive
+//! arbitrary interleavings of allocation, host access, kernel access and
+//! free across all allocator kinds.
+
+use gh_cuda::{BufKind, Buffer, Runtime, RuntimeOptions};
+use gh_mem::params::{CostParams, KIB, MIB};
+use gh_mem::phys::Node;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { kind: u8, kib: u64 },
+    Free { idx: usize },
+    CpuWrite { idx: usize, frac: u8 },
+    GpuRead { idx: usize, frac: u8 },
+    GpuWrite { idx: usize, frac: u8 },
+    Prefetch { idx: usize, to_gpu: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 4u64..2048).prop_map(|(kind, kib)| Op::Alloc { kind, kib }),
+        (0usize..8).prop_map(|idx| Op::Free { idx }),
+        (0usize..8, 1u8..=100).prop_map(|(idx, frac)| Op::CpuWrite { idx, frac }),
+        (0usize..8, 1u8..=100).prop_map(|(idx, frac)| Op::GpuRead { idx, frac }),
+        (0usize..8, 1u8..=100).prop_map(|(idx, frac)| Op::GpuWrite { idx, frac }),
+        (0usize..8, prop::bool::ANY).prop_map(|(idx, to_gpu)| Op::Prefetch { idx, to_gpu }),
+    ]
+}
+
+fn span(b: &Buffer, frac: u8) -> u64 {
+    (b.len() * frac as u64 / 100).max(1).min(b.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any operation sequence ending in freeing everything, both
+    /// tiers return to their baselines and the clock is monotone.
+    #[test]
+    fn full_reclaim_under_arbitrary_workloads(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut rt = Runtime::new(CostParams::default(), RuntimeOptions::default());
+        let baseline_gpu = rt.params().gpu_driver_baseline;
+        let mut live: Vec<Buffer> = Vec::new();
+        let mut last_t = 0;
+        for op in ops {
+            match op {
+                Op::Alloc { kind, kib } => {
+                    let bytes = kib * KIB;
+                    let tag = "b";
+                    let buf = match kind {
+                        0 => Some(rt.malloc_system(bytes, tag)),
+                        1 => Some(rt.cuda_malloc_managed(bytes, tag)),
+                        2 => rt.cuda_malloc(bytes, tag).ok(),
+                        _ => Some(rt.cuda_malloc_host(bytes, tag)),
+                    };
+                    if let Some(b) = buf {
+                        live.push(b);
+                    }
+                }
+                Op::Free { idx } => {
+                    if !live.is_empty() {
+                        let b = live.swap_remove(idx % live.len());
+                        rt.free(b);
+                    }
+                }
+                Op::CpuWrite { idx, frac } => {
+                    if !live.is_empty() {
+                        let b = live[idx % live.len()];
+                        if b.kind != BufKind::Device {
+                            rt.cpu_write(&b, 0, span(&b, frac));
+                        }
+                    }
+                }
+                Op::GpuRead { idx, frac } | Op::GpuWrite { idx, frac } => {
+                    if !live.is_empty() {
+                        let write = matches!(op, Op::GpuWrite { .. });
+                        let b = live[idx % live.len()];
+                        let mut k = rt.launch("k");
+                        if write {
+                            k.write(&b, 0, span(&b, frac));
+                        } else {
+                            k.read(&b, 0, span(&b, frac));
+                        }
+                        k.finish();
+                    }
+                }
+                Op::Prefetch { idx, to_gpu } => {
+                    if !live.is_empty() {
+                        let b = live[idx % live.len()];
+                        if b.kind == BufKind::Managed {
+                            let node = if to_gpu { Node::Gpu } else { Node::Cpu };
+                            rt.prefetch(&b, 0, b.len(), node);
+                        }
+                    }
+                }
+            }
+            prop_assert!(rt.now() >= last_t, "clock must be monotone");
+            last_t = rt.now();
+            prop_assert!(rt.gpu_used() <= rt.params().gpu_mem_bytes);
+        }
+        for b in live.drain(..) {
+            rt.free(b);
+        }
+        prop_assert_eq!(rt.gpu_used(), baseline_gpu, "GPU bytes leaked");
+        prop_assert_eq!(rt.rss(), 0, "CPU pages leaked");
+        prop_assert_eq!(rt.live_allocs(), 0);
+    }
+
+    /// Traffic conservation: for any dense kernel access, the bytes fed
+    /// to the SMs (L1↔L2) equal local HBM traffic plus rounded-up remote
+    /// C2C traffic — no bytes appear or vanish.
+    #[test]
+    fn kernel_traffic_is_conserved(cpu_kib in 0u64..512, gpu_first in prop::bool::ANY,
+                                   read_kib in 1u64..512) {
+        let mut rt = Runtime::new(
+            CostParams::default(),
+            RuntimeOptions { auto_migration: false, ..Default::default() },
+        );
+        let b = rt.malloc_system(512 * KIB, "x");
+        if cpu_kib > 0 {
+            rt.cpu_write(&b, 0, cpu_kib * KIB);
+        }
+        if gpu_first {
+            let mut k = rt.launch("init");
+            k.write(&b, 0, b.len());
+            k.finish();
+        }
+        let len = read_kib * KIB;
+        let mut k = rt.launch("probe");
+        k.read(&b, 0, len);
+        let t = k.finish().traffic;
+        prop_assert_eq!(t.l1l2, len, "SMs must receive exactly the bytes read");
+        let line = rt.params().gpu_cacheline;
+        // Remote traffic is line-rounded; local is exact.
+        prop_assert!(t.hbm_read + t.c2c_read >= len);
+        prop_assert!(t.hbm_read + t.c2c_read <= len + (len / KIB + 1) * line);
+    }
+
+    /// Managed residency: after a GPU read of the full buffer (no
+    /// balloon), everything is GPU-resident and a second read is pure
+    /// HBM traffic.
+    #[test]
+    fn managed_settles_on_gpu(kib in 64u64..4096) {
+        let mut rt = Runtime::new(CostParams::default(), RuntimeOptions::default());
+        let b = rt.cuda_malloc_managed(kib * KIB, "m");
+        rt.cpu_write(&b, 0, b.len());
+        let mut k = rt.launch("first");
+        k.read(&b, 0, b.len());
+        k.finish();
+        let mut k = rt.launch("second");
+        k.read(&b, 0, b.len());
+        let t = k.finish().traffic;
+        prop_assert_eq!(t.c2c_read, 0);
+        prop_assert_eq!(t.hbm_read, b.len());
+        prop_assert_eq!(t.gpu_faults, 0);
+        prop_assert_eq!(rt.rss(), 0);
+    }
+
+    /// Page-size invariance of results-affecting state: the same access
+    /// pattern leaves the same logical residency split regardless of the
+    /// page size (only costs differ).
+    #[test]
+    fn residency_split_is_page_size_independent(cpu_mib in 0u64..4, total_mib in 4u64..8) {
+        let mut splits = Vec::new();
+        for params in [CostParams::with_4k_pages(), CostParams::with_64k_pages()] {
+            let mut rt = Runtime::new(params, RuntimeOptions {
+                auto_migration: false, ..Default::default()
+            });
+            let b = rt.malloc_system(total_mib * MIB, "x");
+            if cpu_mib > 0 {
+                rt.cpu_write(&b, 0, cpu_mib * MIB);
+            }
+            let mut k = rt.launch("rest");
+            k.write(&b, cpu_mib * MIB, (total_mib - cpu_mib) * MIB);
+            k.finish();
+            splits.push((rt.rss(), rt.gpu_used() - rt.params().gpu_driver_baseline));
+        }
+        prop_assert_eq!(splits[0], splits[1]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Set-associative cache model.
+//!
+//! Used as the GPU's L2 for *irregular remote* accesses: on Grace
+//! Hopper, a 128 B line fetched once over NVLink-C2C is served from L2
+//! on re-touch, which is what keeps pointer-chasing workloads (BFS's
+//! visited flags) viable over the link. The model is a classic
+//! sets×ways LRU cache tracking presence only — the simulator keeps data
+//! elsewhere; this answers "would this touch have crossed the link?".
+
+/// A set-associative presence cache over line addresses.
+///
+/// ```
+/// use gh_mem::SetCache;
+/// let mut l2 = SetCache::new(64 * 1024, 128, 8);
+/// assert!(!l2.access(0));   // miss: crosses the link
+/// assert!(l2.access(64));   // hit: same 128 B line
+/// assert_eq!(l2.access_range(0, 1024), 7); // 7 new lines
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetCache {
+    ways: usize,
+    sets: usize,
+    line_bytes: u64,
+    /// `sets × ways` slots of `(line_id, stamp)`; `u64::MAX` = empty.
+    slots: Vec<(u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl SetCache {
+    /// Builds a cache of `capacity_bytes` with `line_bytes` lines and
+    /// the given associativity. Set count rounds up to a power of two.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes.is_power_of_two());
+        assert!(ways >= 1);
+        let lines = (capacity_bytes / line_bytes).max(1) as usize;
+        let sets = (lines / ways).next_power_of_two().max(1);
+        Self {
+            ways,
+            sets,
+            line_bytes,
+            slots: vec![(EMPTY, 0); sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lines evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 29) as usize) & (self.sets - 1)
+    }
+
+    /// Touches the line containing `addr`: returns `true` on hit,
+    /// otherwise inserts it (evicting LRU) and returns `false`.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        self.tick += 1;
+        let base = self.set_of(line) * self.ways;
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            let slot = &mut self.slots[base + w];
+            if slot.0 == line {
+                slot.1 = self.tick;
+                self.hits += 1;
+                return true;
+            }
+            if slot.0 == EMPTY {
+                victim = base + w;
+                oldest = 0;
+            } else if slot.1 < oldest {
+                victim = base + w;
+                oldest = slot.1;
+            }
+        }
+        self.misses += 1;
+        if self.slots[victim].0 != EMPTY {
+            self.evictions += 1;
+        }
+        self.slots[victim] = (line, self.tick);
+        false
+    }
+
+    /// Touches `[addr, addr+bytes)`; returns the number of *missed*
+    /// lines (the ones that crossed the link).
+    pub fn access_range(&mut self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        let mut missed = 0;
+        for l in first..=last {
+            if !self.access(l * self.line_bytes) {
+                missed += 1;
+            }
+        }
+        missed
+    }
+
+    /// Drops every line (kernel boundary / invalidation).
+    pub fn flush(&mut self) {
+        self.slots.fill((EMPTY, 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> SetCache {
+        SetCache::new(64 * 1024, 128, 8)
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let c = cache();
+        assert!(c.capacity_lines() >= 512);
+        assert_eq!(c.line_bytes(), 128);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache();
+        assert!(!c.access(0));
+        assert!(c.access(64)); // same 128 B line
+        assert!(!c.access(128));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn range_counts_missed_lines() {
+        let mut c = cache();
+        assert_eq!(c.access_range(0, 1024), 8);
+        assert_eq!(c.access_range(0, 1024), 0, "all cached now");
+        assert_eq!(c.access_range(512, 1024), 4, "half new");
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_evicts() {
+        let mut c = SetCache::new(4096, 128, 4); // 32 lines
+        for i in 0..64u64 {
+            c.access(i * 128);
+        }
+        assert!(c.evictions() > 0);
+        // Streaming again still misses heavily.
+        let h0 = c.hits();
+        for i in 0..64u64 {
+            c.access(i * 128);
+        }
+        assert!(c.hits() - h0 < 48, "mostly misses after thrash");
+    }
+
+    #[test]
+    fn small_working_set_is_fully_cached() {
+        let mut c = cache();
+        for _ in 0..4 {
+            for i in 0..100u64 {
+                c.access(i * 128);
+            }
+        }
+        assert_eq!(c.misses(), 100);
+        assert_eq!(c.hits(), 300);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut c = cache();
+        c.access(0);
+        c.flush();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn zero_byte_range_is_free() {
+        let mut c = cache();
+        assert_eq!(c.access_range(1234, 0), 0);
+        assert_eq!(c.misses(), 0);
+    }
+}

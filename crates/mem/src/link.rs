@@ -1,0 +1,192 @@
+//! NVLink-C2C interconnect cost model.
+//!
+//! Two access regimes matter on Grace Hopper:
+//!
+//! * **bulk transfers** (`cudaMemcpy`, page migrations, prefetches) reach
+//!   the measured link bandwidth (375 GB/s H2D, 297 GB/s D2H, paper §2.1);
+//! * **cacheline-grain remote access** (the new direct-access path) moves
+//!   64 B (CPU-initiated) or 128 B (GPU-initiated) lines and sustains only
+//!   a fraction of the bulk bandwidth for sparse streams.
+//!
+//! The link also carries ATS translation requests and atomics; their cost
+//! is charged by the [`crate::smmu::Smmu`] model.
+
+use serde::Serialize;
+
+/// Transfer direction over the C2C link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Direction {
+    /// Host (CPU/LPDDR) to device (GPU/HBM).
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+/// The NVLink-C2C model: cost functions plus cumulative byte counters.
+#[derive(Debug, Clone)]
+pub struct Link {
+    h2d_bw: f64,
+    d2h_bw: f64,
+    random_eff: f64,
+    latency: u64,
+    bytes_h2d: u64,
+    bytes_d2h: u64,
+}
+
+impl Link {
+    /// Builds the link from calibrated parameters.
+    pub fn new(h2d_bw: f64, d2h_bw: f64, random_eff: f64, latency: u64) -> Self {
+        assert!(h2d_bw > 0.0 && d2h_bw > 0.0);
+        assert!((0.0..=1.0).contains(&random_eff) && random_eff > 0.0);
+        Self {
+            h2d_bw,
+            d2h_bw,
+            random_eff,
+            latency,
+            bytes_h2d: 0,
+            bytes_d2h: 0,
+        }
+    }
+
+    fn bw(&self, dir: Direction) -> f64 {
+        match dir {
+            Direction::H2D => self.h2d_bw,
+            Direction::D2H => self.d2h_bw,
+        }
+    }
+
+    /// Cost of a bulk transfer of `bytes` in `dir`; records traffic.
+    pub fn bulk(&mut self, bytes: u64, dir: Direction) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.record(bytes, dir);
+        self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir))
+    }
+
+    /// Cost of `lines` cacheline-grain remote accesses of `line_bytes`
+    /// each, in `dir`; records traffic. The stream pays the link latency
+    /// once (accesses pipeline) plus bytes at `eff × bandwidth`, where
+    /// the caller picks the efficiency for the access class (dense
+    /// stream vs irregular).
+    pub fn cacheline_stream_eff(
+        &mut self,
+        lines: u64,
+        line_bytes: u64,
+        dir: Direction,
+        eff: f64,
+    ) -> u64 {
+        if lines == 0 {
+            return 0;
+        }
+        let bytes = lines * line_bytes;
+        self.record(bytes, dir);
+        self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir) * eff)
+    }
+
+    /// [`Link::cacheline_stream_eff`] with the link's default
+    /// (irregular-access) efficiency.
+    pub fn cacheline_stream(&mut self, lines: u64, line_bytes: u64, dir: Direction) -> u64 {
+        self.cacheline_stream_eff(lines, line_bytes, dir, self.random_eff)
+    }
+
+    /// Cost of one remote atomic operation (single line round trip).
+    pub fn atomic(&mut self, line_bytes: u64, dir: Direction) -> u64 {
+        self.record(line_bytes, dir);
+        2 * self.latency
+    }
+
+    fn record(&mut self, bytes: u64, dir: Direction) {
+        match dir {
+            Direction::H2D => self.bytes_h2d += bytes,
+            Direction::D2H => self.bytes_d2h += bytes,
+        }
+    }
+
+    /// Cumulative bytes moved host→device.
+    pub fn bytes_h2d(&self) -> u64 {
+        self.bytes_h2d
+    }
+
+    /// Cumulative bytes moved device→host.
+    pub fn bytes_d2h(&self) -> u64 {
+        self.bytes_d2h
+    }
+
+    /// Achieved bulk bandwidth for a transfer, bytes/ns (for the
+    /// Comm|Scope-style bandwidth bench).
+    pub fn effective_bulk_bw(&self, bytes: u64, dir: Direction) -> f64 {
+        let t = self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir));
+        bytes as f64 / t as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(375.0, 297.0, 0.35, 850)
+    }
+
+    #[test]
+    fn bulk_cost_scales_with_bytes() {
+        let mut l = link();
+        let t1 = l.bulk(375_000, Direction::H2D);
+        let t2 = l.bulk(750_000, Direction::H2D);
+        assert_eq!(t1, 850 + 1000);
+        assert_eq!(t2, 850 + 2000);
+    }
+
+    #[test]
+    fn d2h_is_slower_than_h2d() {
+        let mut l = link();
+        let h2d = l.bulk(10_000_000, Direction::H2D);
+        let d2h = l.bulk(10_000_000, Direction::D2H);
+        assert!(d2h > h2d);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let mut l = link();
+        assert_eq!(l.bulk(0, Direction::H2D), 0);
+        assert_eq!(l.cacheline_stream(0, 128, Direction::H2D), 0);
+        assert_eq!(l.bytes_h2d(), 0);
+    }
+
+    #[test]
+    fn cacheline_stream_is_derated() {
+        let mut l = link();
+        let bulk = l.bulk(1_280_000, Direction::H2D);
+        let stream = l.cacheline_stream(10_000, 128, Direction::H2D);
+        assert!(
+            stream > bulk * 2,
+            "sparse stream ({stream}) must be much slower than bulk ({bulk})"
+        );
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let mut l = link();
+        l.bulk(100, Direction::H2D);
+        l.cacheline_stream(2, 64, Direction::D2H);
+        l.atomic(128, Direction::H2D);
+        assert_eq!(l.bytes_h2d(), 100 + 128);
+        assert_eq!(l.bytes_d2h(), 128);
+    }
+
+    #[test]
+    fn effective_bw_approaches_peak_for_large_transfers() {
+        let l = link();
+        let bw = l.effective_bulk_bw(1_000_000_000, Direction::H2D);
+        assert!(bw > 370.0 && bw <= 375.0, "got {bw}");
+        let small = l.effective_bulk_bw(4096, Direction::H2D);
+        assert!(small < 10.0, "latency must dominate small transfers: {small}");
+    }
+
+    #[test]
+    fn atomics_pay_round_trip() {
+        let mut l = link();
+        assert_eq!(l.atomic(64, Direction::D2H), 1700);
+    }
+}

@@ -1,0 +1,221 @@
+//! Physical memory tiers.
+//!
+//! The GH200 exposes its two physical memories as NUMA nodes. The model
+//! tracks capacity and usage per node at byte granularity and hands out
+//! opaque frame numbers for page-table entries. Exhaustion is an explicit
+//! error so callers (the UVM driver, the OS) can trigger eviction.
+
+use serde::Serialize;
+
+/// A NUMA node of the superchip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Node {
+    /// Grace CPU, LPDDR5X.
+    Cpu,
+    /// Hopper GPU, HBM3.
+    Gpu,
+}
+
+impl Node {
+    /// The other node.
+    pub fn peer(self) -> Node {
+        match self {
+            Node::Cpu => Node::Gpu,
+            Node::Gpu => Node::Cpu,
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Node::Cpu => 0,
+            Node::Gpu => 1,
+        }
+    }
+}
+
+/// Returned when a node cannot satisfy an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Node that was exhausted.
+    pub node: Node,
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes that were still free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of memory on {:?}: requested {} bytes, {} free",
+            self.node, self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Byte-granular physical memory accounting for both nodes.
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    capacity: [u64; 2],
+    used: [u64; 2],
+    next_frame: u64,
+}
+
+impl PhysMem {
+    /// Creates the two tiers with the given capacities. `gpu_reserved` is
+    /// carved out of the GPU immediately (driver baseline).
+    pub fn new(cpu_capacity: u64, gpu_capacity: u64, gpu_reserved: u64) -> Self {
+        assert!(
+            gpu_reserved <= gpu_capacity,
+            "driver baseline exceeds GPU capacity"
+        );
+        Self {
+            capacity: [cpu_capacity, gpu_capacity],
+            used: [0, gpu_reserved],
+            next_frame: 1,
+        }
+    }
+
+    /// Total capacity of `node` in bytes.
+    pub fn capacity(&self, node: Node) -> u64 {
+        self.capacity[node.idx()]
+    }
+
+    /// Bytes currently allocated on `node` (for the GPU this includes the
+    /// driver baseline, matching what `nvidia-smi` reports).
+    pub fn used(&self, node: Node) -> u64 {
+        self.used[node.idx()]
+    }
+
+    /// Bytes still free on `node`.
+    pub fn free(&self, node: Node) -> u64 {
+        self.capacity[node.idx()] - self.used[node.idx()]
+    }
+
+    /// Reserves `bytes` on `node`, returning an opaque frame id for the
+    /// reservation. Frame ids are unique across the machine's lifetime.
+    pub fn alloc(&mut self, node: Node, bytes: u64) -> Result<u64, OutOfMemory> {
+        if self.free(node) < bytes {
+            return Err(OutOfMemory {
+                node,
+                requested: bytes,
+                free: self.free(node),
+            });
+        }
+        self.used[node.idx()] += bytes;
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        Ok(frame)
+    }
+
+    /// Releases `bytes` previously reserved on `node`.
+    pub fn release(&mut self, node: Node, bytes: u64) {
+        debug_assert!(
+            self.used[node.idx()] >= bytes,
+            "releasing more than allocated on {node:?}"
+        );
+        self.used[node.idx()] = self.used[node.idx()].saturating_sub(bytes);
+    }
+
+    /// Moves a `bytes`-sized reservation from one node to the other,
+    /// returning the new frame id. Fails if the destination is full.
+    pub fn migrate(&mut self, from: Node, bytes: u64) -> Result<u64, OutOfMemory> {
+        let frame = self.alloc(from.peer(), bytes)?;
+        self.release(from, bytes);
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(1000, 500, 100)
+    }
+
+    #[test]
+    fn reports_capacity_and_baseline() {
+        let m = mem();
+        assert_eq!(m.capacity(Node::Cpu), 1000);
+        assert_eq!(m.capacity(Node::Gpu), 500);
+        assert_eq!(m.used(Node::Gpu), 100);
+        assert_eq!(m.free(Node::Gpu), 400);
+        assert_eq!(m.used(Node::Cpu), 0);
+    }
+
+    #[test]
+    fn alloc_and_release_roundtrip() {
+        let mut m = mem();
+        let f = m.alloc(Node::Cpu, 300).unwrap();
+        assert!(f > 0);
+        assert_eq!(m.used(Node::Cpu), 300);
+        m.release(Node::Cpu, 300);
+        assert_eq!(m.used(Node::Cpu), 0);
+    }
+
+    #[test]
+    fn frame_ids_are_unique() {
+        let mut m = mem();
+        let a = m.alloc(Node::Cpu, 1).unwrap();
+        let b = m.alloc(Node::Gpu, 1).unwrap();
+        let c = m.alloc(Node::Cpu, 1).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oom_reports_free_bytes() {
+        let mut m = mem();
+        let err = m.alloc(Node::Gpu, 401).unwrap_err();
+        assert_eq!(err.node, Node::Gpu);
+        assert_eq!(err.requested, 401);
+        assert_eq!(err.free, 400);
+        // Nothing was reserved.
+        assert_eq!(m.used(Node::Gpu), 100);
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut m = mem();
+        m.alloc(Node::Gpu, 400).unwrap();
+        assert_eq!(m.free(Node::Gpu), 0);
+        assert!(m.alloc(Node::Gpu, 1).is_err());
+    }
+
+    #[test]
+    fn migrate_moves_reservation() {
+        let mut m = mem();
+        m.alloc(Node::Cpu, 200).unwrap();
+        let f = m.migrate(Node::Cpu, 200).unwrap();
+        assert!(f > 0);
+        assert_eq!(m.used(Node::Cpu), 0);
+        assert_eq!(m.used(Node::Gpu), 300);
+    }
+
+    #[test]
+    fn migrate_fails_when_peer_full() {
+        let mut m = mem();
+        m.alloc(Node::Gpu, 400).unwrap();
+        m.alloc(Node::Cpu, 50).unwrap();
+        assert!(m.migrate(Node::Cpu, 50).is_err());
+        // Source reservation untouched on failure.
+        assert_eq!(m.used(Node::Cpu), 50);
+    }
+
+    #[test]
+    fn peer_is_involutive() {
+        assert_eq!(Node::Cpu.peer(), Node::Gpu);
+        assert_eq!(Node::Gpu.peer().peer(), Node::Gpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "driver baseline")]
+    fn reserved_over_capacity_panics() {
+        PhysMem::new(10, 10, 11);
+    }
+}

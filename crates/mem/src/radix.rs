@@ -1,0 +1,208 @@
+//! A sparse two-level radix map keyed by page number.
+//!
+//! Real page tables are radix trees; we model the same shape with a sparse
+//! directory of fixed 512-entry leaves. Compared to a flat `HashMap`, this
+//! keeps densely populated ranges (the common case for large allocations)
+//! cache-friendly and iteration over a VPN range cheap, which matters
+//! because the simulator translates millions of pages per experiment.
+
+const LEAF_BITS: u32 = 9;
+const LEAF_LEN: usize = 1 << LEAF_BITS;
+const LEAF_MASK: u64 = (LEAF_LEN as u64) - 1;
+
+/// Sparse map from `u64` keys to `T`, organized as 512-entry leaves.
+#[derive(Debug, Clone)]
+pub struct RadixTable<T> {
+    dir: std::collections::HashMap<u64, Box<[Option<T>; 512]>>,
+    len: usize,
+}
+
+impl<T> Default for RadixTable<T> {
+    fn default() -> Self {
+        Self {
+            dir: std::collections::HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> RadixTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn split(key: u64) -> (u64, usize) {
+        (key >> LEAF_BITS, (key & LEAF_MASK) as usize)
+    }
+
+    /// Returns the value at `key`, if present.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let (hi, lo) = Self::split(key);
+        self.dir.get(&hi).and_then(|leaf| leaf[lo].as_ref())
+    }
+
+    /// Returns a mutable reference to the value at `key`, if present.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let (hi, lo) = Self::split(key);
+        self.dir.get_mut(&hi).and_then(|leaf| leaf[lo].as_mut())
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        let (hi, lo) = Self::split(key);
+        let leaf = self
+            .dir
+            .entry(hi)
+            .or_insert_with(|| Box::new([const { None }; 512]));
+        let old = leaf[lo].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value at `key`.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (hi, lo) = Self::split(key);
+        let leaf = self.dir.get_mut(&hi)?;
+        let old = leaf[lo].take();
+        if old.is_some() {
+            self.len -= 1;
+            if leaf.iter().all(|e| e.is_none()) {
+                self.dir.remove(&hi);
+            }
+        }
+        old
+    }
+
+    /// Iterates over present entries in `[lo, hi)` in ascending key order.
+    pub fn range(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, &T)> + '_ {
+        (lo..hi).filter_map(move |k| self.get(k).map(|v| (k, v)))
+    }
+
+    /// Applies `f` to every present entry in `[lo, hi)` with mutable access.
+    pub fn for_each_in_range_mut(&mut self, lo: u64, hi: u64, mut f: impl FnMut(u64, &mut T)) {
+        for k in lo..hi {
+            if let Some(v) = self.get_mut(k) {
+                f(k, v);
+            }
+        }
+    }
+
+    /// Removes every entry in `[lo, hi)`, returning how many were removed.
+    pub fn remove_range(&mut self, lo: u64, hi: u64) -> usize {
+        let mut removed = 0;
+        for k in lo..hi {
+            if self.remove(k).is_some() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = RadixTable::new();
+        assert!(t.insert(42, "a").is_none());
+        assert_eq!(t.get(42), Some(&"a"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = RadixTable::new();
+        t.insert(7, 1);
+        assert_eq!(t.insert(7, 2), Some(1));
+        assert_eq!(t.get(7), Some(&2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_and_shrinks_leaf() {
+        let mut t = RadixTable::new();
+        t.insert(1000, ());
+        assert_eq!(t.remove(1000), Some(()));
+        assert!(t.is_empty());
+        assert!(t.dir.is_empty(), "empty leaf should be reclaimed");
+    }
+
+    #[test]
+    fn keys_crossing_leaf_boundary() {
+        let mut t = RadixTable::new();
+        t.insert(511, 'a');
+        t.insert(512, 'b');
+        assert_eq!(t.get(511), Some(&'a'));
+        assert_eq!(t.get(512), Some(&'b'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn range_iterates_in_order() {
+        let mut t = RadixTable::new();
+        for k in [5u64, 100, 600, 601, 2000] {
+            t.insert(k, k * 2);
+        }
+        let got: Vec<_> = t.range(100, 2000).map(|(k, &v)| (k, v)).collect();
+        assert_eq!(got, vec![(100, 200), (600, 1200), (601, 1202)]);
+    }
+
+    #[test]
+    fn remove_range_counts() {
+        let mut t = RadixTable::new();
+        for k in 0..100u64 {
+            t.insert(k, ());
+        }
+        assert_eq!(t.remove_range(10, 20), 10);
+        assert_eq!(t.len(), 90);
+        assert!(t.get(15).is_none());
+        assert!(t.get(20).is_some());
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut t = RadixTable::new();
+        t.insert(3, 10);
+        *t.get_mut(3).unwrap() += 5;
+        assert_eq!(t.get(3), Some(&15));
+    }
+
+    #[test]
+    fn for_each_in_range_mut_applies() {
+        let mut t = RadixTable::new();
+        for k in 0..10u64 {
+            t.insert(k, 0u32);
+        }
+        t.for_each_in_range_mut(2, 8, |_, v| *v += 1);
+        assert_eq!(t.get(1), Some(&0));
+        assert_eq!(t.get(5), Some(&1));
+        assert_eq!(t.get(8), Some(&0));
+    }
+
+    #[test]
+    fn large_sparse_key_space() {
+        let mut t = RadixTable::new();
+        let keys = [0u64, u32::MAX as u64, u64::MAX >> 10];
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(&i));
+        }
+    }
+}

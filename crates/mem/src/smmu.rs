@@ -1,0 +1,96 @@
+//! System Memory Management Unit (SMMU) model.
+//!
+//! On Grace, the SMMU (Arm SMMUv3) walks the system-wide page table on
+//! behalf of both the CPU and — via ATS requests arriving over NVLink-C2C —
+//! the GPU's ATS-TBU. The model charges a walk cost per translation and a
+//! request cost per ATS round trip, and counts both so experiments can
+//! report translation pressure.
+
+/// SMMU cost/counter model.
+#[derive(Debug, Clone)]
+pub struct Smmu {
+    walk_cost: u64,
+    ats_cost: u64,
+    walks: u64,
+    ats_requests: u64,
+    faults_raised: u64,
+}
+
+impl Smmu {
+    /// Creates an SMMU with the given page-walk and ATS request costs (ns).
+    pub fn new(walk_cost: u64, ats_cost: u64) -> Self {
+        Self {
+            walk_cost,
+            ats_cost,
+            walks: 0,
+            ats_requests: 0,
+            faults_raised: 0,
+        }
+    }
+
+    /// Cost of a CPU-side translation that missed the CPU TLB: one walk.
+    pub fn cpu_walk(&mut self) -> u64 {
+        self.walks += 1;
+        self.walk_cost
+    }
+
+    /// Cost of servicing one ATS translation request from the GPU: the
+    /// C2C request round trip plus a system-page-table walk.
+    pub fn ats_translate(&mut self) -> u64 {
+        self.ats_requests += 1;
+        self.walks += 1;
+        self.ats_cost + self.walk_cost
+    }
+
+    /// Records that a walk found no valid PTE and the SMMU raised a fault
+    /// for the OS to handle (the fault-service cost itself is charged by
+    /// the OS model).
+    pub fn raise_fault(&mut self) {
+        self.faults_raised += 1;
+    }
+
+    /// Total page-table walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+
+    /// Total ATS requests serviced.
+    pub fn ats_requests(&self) -> u64 {
+        self.ats_requests
+    }
+
+    /// Total faults raised toward the OS.
+    pub fn faults_raised(&self) -> u64 {
+        self.faults_raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_charges_and_counts() {
+        let mut s = Smmu::new(550, 1000);
+        assert_eq!(s.cpu_walk(), 550);
+        assert_eq!(s.walks(), 1);
+    }
+
+    #[test]
+    fn ats_translate_includes_request_and_walk() {
+        let mut s = Smmu::new(550, 1000);
+        assert_eq!(s.ats_translate(), 1550);
+        assert_eq!(s.ats_requests(), 1);
+        assert_eq!(s.walks(), 1);
+    }
+
+    #[test]
+    fn faults_counted_separately() {
+        let mut s = Smmu::new(1, 1);
+        s.ats_translate();
+        s.raise_fault();
+        s.raise_fault();
+        assert_eq!(s.faults_raised(), 2);
+        assert_eq!(s.ats_requests(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Set-associative TLB model.
+//!
+//! Models the GPU's last-level TLB (fed either by the GMMU walking the
+//! GPU-exclusive page table or by ATS translations returned by the SMMU).
+//! A 4-way set-associative organization with LRU within each set is used —
+//! realistic enough to capture capacity behaviour on large working sets
+//! while keeping lookup O(ways).
+
+/// A set-associative translation lookaside buffer over virtual page
+/// numbers. Stores only presence (the simulator keeps PTE payloads in the
+/// page tables); the TLB's job in the cost model is hit/miss accounting.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    ways: usize,
+    sets: usize,
+    /// `sets × ways` entries: `(vpn, stamp)`, vpn == u64::MAX means empty.
+    slots: Vec<(u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Tlb {
+    /// Creates a TLB with approximately `entries` capacity, 4-way
+    /// set-associative. `entries` is rounded to a power-of-two set count.
+    pub fn new(entries: usize) -> Self {
+        let ways = 4usize;
+        let sets = (entries / ways).next_power_of_two().max(1);
+        Self {
+            ways,
+            sets,
+            slots: vec![(EMPTY, 0); sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Cumulative hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        // Multiplicative hash spreads sequential VPNs across sets while
+        // staying deterministic.
+        ((vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
+    }
+
+    /// Looks up `vpn`; returns true on hit. Misses do **not** insert — the
+    /// caller decides (after walking the page table) whether to `fill`.
+    pub fn lookup(&mut self, vpn: u64) -> bool {
+        self.tick += 1;
+        let base = self.set_of(vpn) * self.ways;
+        for w in 0..self.ways {
+            let slot = &mut self.slots[base + w];
+            if slot.0 == vpn {
+                slot.1 = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Inserts a translation for `vpn`, evicting the LRU way of its set if
+    /// needed.
+    pub fn fill(&mut self, vpn: u64) {
+        self.tick += 1;
+        let base = self.set_of(vpn) * self.ways;
+        let mut victim = base;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            let slot = &self.slots[base + w];
+            if slot.0 == vpn {
+                // Already present; refresh.
+                self.slots[base + w].1 = self.tick;
+                return;
+            }
+            if slot.0 == EMPTY {
+                victim = base + w;
+                oldest = 0;
+            } else if slot.1 < oldest {
+                victim = base + w;
+                oldest = slot.1;
+            }
+        }
+        self.slots[victim] = (vpn, self.tick);
+    }
+
+    /// Invalidates a single translation (TLB shootdown on unmap/migrate).
+    pub fn invalidate(&mut self, vpn: u64) {
+        let base = self.set_of(vpn) * self.ways;
+        for w in 0..self.ways {
+            if self.slots[base + w].0 == vpn {
+                self.slots[base + w] = (EMPTY, 0);
+                return;
+            }
+        }
+    }
+
+    /// Invalidates every translation in the VPN range.
+    pub fn invalidate_range(&mut self, vpns: std::ops::Range<u64>) {
+        // For huge ranges a full flush is cheaper than per-VPN probes,
+        // mirroring what real kernels do for large shootdowns.
+        if vpns.end - vpns.start > self.capacity() as u64 * 4 {
+            self.flush();
+            return;
+        }
+        for v in vpns {
+            self.invalidate(v);
+        }
+    }
+
+    /// Drops every translation.
+    pub fn flush(&mut self) {
+        self.slots.fill((EMPTY, 0));
+    }
+
+    /// Resets hit/miss statistics (used between kernel launches).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two_sets() {
+        let t = Tlb::new(3000);
+        assert!(t.capacity() >= 3000);
+        assert_eq!(t.capacity() % 4, 0);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut t = Tlb::new(64);
+        assert!(!t.lookup(42));
+        t.fill(42);
+        assert!(t.lookup(42));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_translation() {
+        let mut t = Tlb::new(64);
+        t.fill(7);
+        assert!(t.lookup(7));
+        t.invalidate(7);
+        assert!(!t.lookup(7));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        let mut t = Tlb::new(4); // 1 set × 4 ways after rounding
+        assert_eq!(t.capacity(), 4);
+        // Find 5 vpns mapping to set 0 (all do: only one set).
+        for v in 0..4u64 {
+            t.fill(v);
+        }
+        // Touch 1..4 so 0 is LRU.
+        for v in 1..4u64 {
+            assert!(t.lookup(v));
+        }
+        t.fill(100);
+        assert!(!t.lookup(0), "LRU entry must have been evicted");
+        assert!(t.lookup(100));
+    }
+
+    #[test]
+    fn fill_is_idempotent() {
+        let mut t = Tlb::new(16);
+        t.fill(9);
+        t.fill(9);
+        assert!(t.lookup(9));
+        t.invalidate(9);
+        assert!(!t.lookup(9), "single invalidate removes both fills");
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = Tlb::new(64);
+        for v in 0..32 {
+            t.fill(v);
+        }
+        t.flush();
+        for v in 0..32 {
+            assert!(!t.lookup(v));
+        }
+    }
+
+    #[test]
+    fn invalidate_range_small_and_large() {
+        let mut t = Tlb::new(16);
+        for v in 0..8 {
+            t.fill(v);
+        }
+        t.invalidate_range(0..4);
+        assert!(!t.lookup(1));
+        assert!(t.lookup(5));
+        // Very large range triggers the full-flush path.
+        t.invalidate_range(0..1_000_000);
+        assert!(!t.lookup(5));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_mostly_misses() {
+        let mut t = Tlb::new(64);
+        // Stream 10× the capacity twice; second pass should still miss a lot.
+        for v in 0..640u64 {
+            if !t.lookup(v) {
+                t.fill(v);
+            }
+        }
+        let m1 = t.misses();
+        t.reset_stats();
+        for v in 0..640u64 {
+            if !t.lookup(v) {
+                t.fill(v);
+            }
+        }
+        assert_eq!(m1, 640);
+        assert!(
+            t.misses() > 300,
+            "streaming working set must keep missing, got {}",
+            t.misses()
+        );
+    }
+
+    #[test]
+    fn small_working_set_hits_on_repeat() {
+        let mut t = Tlb::new(256);
+        for _ in 0..3 {
+            for v in 0..100u64 {
+                if !t.lookup(v) {
+                    t.fill(v);
+                }
+            }
+        }
+        assert_eq!(t.misses(), 100);
+        assert_eq!(t.hits(), 200);
+    }
+}

@@ -1,0 +1,125 @@
+//! Virtual memory areas.
+
+use serde::Serialize;
+
+/// How a VMA's pages are managed — the three allocation categories of the
+/// paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum VmaKind {
+    /// System-allocated memory (`malloc`): system page table only, pages on
+    /// either node, first-touch placement, eligible for access-counter
+    /// migration.
+    System,
+    /// CUDA managed memory (`cudaMallocManaged`): system page table while
+    /// CPU-resident, GPU-exclusive page table while GPU-resident,
+    /// on-demand migration.
+    Managed,
+    /// Pinned CPU memory (`cudaMallocHost` / registered): CPU-resident,
+    /// never migrates.
+    Pinned,
+    /// GPU-only (`cudaMalloc`): GPU page table, GPU-resident, explicit
+    /// copies only.
+    DeviceOnly,
+}
+
+/// A contiguous virtual address range `[addr, addr + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct VaRange {
+    /// Start virtual address (bytes).
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl VaRange {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.addr + self.len
+    }
+
+    /// Whether `a` falls inside the range.
+    pub fn contains(&self, a: u64) -> bool {
+        a >= self.addr && a < self.end()
+    }
+
+    /// The sub-range starting `offset` bytes in, `len` bytes long.
+    /// Panics if it does not fit.
+    pub fn slice(&self, offset: u64, len: u64) -> VaRange {
+        assert!(
+            offset + len <= self.len,
+            "slice [{offset}, {}) outside VMA of {} bytes",
+            offset + len,
+            self.len
+        );
+        VaRange {
+            addr: self.addr + offset,
+            len,
+        }
+    }
+
+    /// Intersection with another range, if non-empty.
+    pub fn intersect(&self, other: &VaRange) -> Option<VaRange> {
+        let lo = self.addr.max(other.addr);
+        let hi = self.end().min(other.end());
+        (lo < hi).then(|| VaRange {
+            addr: lo,
+            len: hi - lo,
+        })
+    }
+}
+
+/// A virtual memory area: a live allocation.
+#[derive(Debug, Clone)]
+pub struct Vma {
+    /// The address range.
+    pub range: VaRange,
+    /// Management policy.
+    pub kind: VmaKind,
+    /// NUMA placement policy applied at first touch.
+    pub policy: crate::numa::NumaPolicy,
+    /// Human-readable tag for profiler output (e.g. buffer name).
+    pub tag: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = VaRange { addr: 100, len: 50 };
+        assert_eq!(r.end(), 150);
+        assert!(r.contains(100));
+        assert!(r.contains(149));
+        assert!(!r.contains(150));
+        assert!(!r.contains(99));
+    }
+
+    #[test]
+    fn slice_within_bounds() {
+        let r = VaRange { addr: 1000, len: 100 };
+        let s = r.slice(10, 20);
+        assert_eq!(s.addr, 1010);
+        assert_eq!(s.len, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside VMA")]
+    fn slice_out_of_bounds_panics() {
+        VaRange { addr: 0, len: 10 }.slice(5, 6);
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = VaRange { addr: 0, len: 100 };
+        let b = VaRange { addr: 50, len: 100 };
+        assert_eq!(a.intersect(&b), Some(VaRange { addr: 50, len: 50 }));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = VaRange { addr: 0, len: 10 };
+        let b = VaRange { addr: 10, len: 10 };
+        assert_eq!(a.intersect(&b), None);
+    }
+}

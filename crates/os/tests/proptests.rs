@@ -1,0 +1,110 @@
+//! Property tests: OS allocation/fault/teardown invariants.
+
+use gh_mem::params::{CostParams, KIB};
+use gh_mem::phys::{Node, PhysMem};
+use gh_os::{Os, OsConfig, VmaKind};
+use proptest::prelude::*;
+
+fn setup(page_4k: bool) -> (Os, PhysMem) {
+    let params = if page_4k {
+        CostParams::with_4k_pages()
+    } else {
+        CostParams::with_64k_pages()
+    };
+    let phys = PhysMem::new(params.cpu_mem_bytes, params.gpu_mem_bytes, 0);
+    (Os::new(params, OsConfig::default()), phys)
+}
+
+proptest! {
+    /// Allocated VMAs never overlap, regardless of request sizes.
+    #[test]
+    fn vmas_never_overlap(sizes in proptest::collection::vec(1u64..10_000_000, 1..20)) {
+        let (mut os, _) = setup(true);
+        let mut ranges = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            let (r, _) = os.mmap(*s, VmaKind::System, &format!("b{i}"));
+            ranges.push(r);
+        }
+        for i in 0..ranges.len() {
+            for j in i + 1..ranges.len() {
+                prop_assert!(ranges[i].intersect(&ranges[j]).is_none(),
+                    "VMA {i} and {j} overlap");
+            }
+        }
+    }
+
+    /// mmap → touch → munmap always returns physical memory to zero and
+    /// leaves the page table empty.
+    #[test]
+    fn full_reclaim(size in 1u64..5_000_000, page_4k in prop::bool::ANY,
+                    touch_fraction in 0.0f64..=1.0) {
+        let (mut os, mut phys) = setup(page_4k);
+        let (r, _) = os.mmap(size, VmaKind::System, "x");
+        let touched = ((r.len as f64 * touch_fraction) as u64).min(r.len);
+        if touched > 0 {
+            os.touch_cpu_range(r.slice(0, touched), &mut phys);
+        }
+        os.munmap(r, &mut phys);
+        prop_assert_eq!(phys.used(Node::Cpu), 0);
+        prop_assert_eq!(os.system_pt.populated_pages(), 0);
+        prop_assert_eq!(os.rss(), 0);
+    }
+
+    /// RSS equals pages faulted on CPU × page size, and faulting is
+    /// idempotent.
+    #[test]
+    fn rss_tracks_touched_pages(pages in 1u64..200, page_4k in prop::bool::ANY) {
+        let (mut os, mut phys) = setup(page_4k);
+        let page = os.params().system_page_size;
+        let (r, _) = os.mmap(pages * page, VmaKind::System, "x");
+        let (_, f1) = os.touch_cpu_range(r, &mut phys);
+        prop_assert_eq!(f1, pages);
+        prop_assert_eq!(os.rss(), pages * page);
+        let (_, f2) = os.touch_cpu_range(r, &mut phys);
+        prop_assert_eq!(f2, 0);
+        prop_assert_eq!(os.rss(), pages * page);
+    }
+
+    /// Mixing CPU and GPU first touches: every page lands exactly once,
+    /// split between nodes consistent with the touch origin.
+    #[test]
+    fn first_touch_split(pages in 2u64..100, gpu_first in 0u64..100) {
+        let (mut os, mut phys) = setup(true);
+        let page = os.params().system_page_size;
+        let (r, _) = os.mmap(pages * page, VmaKind::System, "x");
+        let vpns: Vec<u64> = os.system_pt.vpn_range(r.addr, r.len).collect();
+        let split = (gpu_first % pages) as usize;
+        for &v in &vpns[..split] {
+            let o = os.ats_fault(v, &mut phys);
+            prop_assert_eq!(o.placed, Node::Gpu);
+        }
+        for &v in &vpns[split..] {
+            let o = os.touch_cpu(v, &mut phys);
+            prop_assert_eq!(o.placed, Node::Cpu);
+        }
+        prop_assert_eq!(os.system_pt.resident_pages(Node::Gpu), split as u64);
+        prop_assert_eq!(os.system_pt.resident_pages(Node::Cpu), pages - split as u64);
+        // Re-touching from the other side never moves pages.
+        for &v in &vpns[..split] {
+            let o = os.touch_cpu(v, &mut phys);
+            prop_assert!(!o.faulted);
+            prop_assert_eq!(o.placed, Node::Gpu);
+        }
+    }
+
+    /// host_register then munmap reclaims everything; cost of register is
+    /// below the equivalent fault-path cost for ≥1 page.
+    #[test]
+    fn host_register_invariants(kib in 4u64..4096) {
+        let (mut os, mut phys) = setup(true);
+        let (r, _) = os.mmap(kib * KIB, VmaKind::System, "x");
+        let (cost_reg, created) = os.host_register(r, &mut phys);
+        prop_assert_eq!(created, r.len / os.params().system_page_size);
+        let (mut os2, mut phys2) = setup(true);
+        let (r2, _) = os2.mmap(kib * KIB, VmaKind::System, "y");
+        let (cost_fault, _) = os2.touch_cpu_range(r2, &mut phys2);
+        prop_assert!(cost_reg <= cost_fault);
+        os.munmap(r, &mut phys);
+        prop_assert_eq!(phys.used(Node::Cpu), 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Borrowing, dynamically scheduled loop primitives.
+//!
+//! These are built on `std::thread::scope`, so closures may capture
+//! non-`'static` references (slices owned by the caller). Load balance comes
+//! from *dynamic chunk scheduling*: the iteration space is cut into chunks
+//! of [`Grain`] size and workers claim chunks from a shared atomic cursor,
+//! so an uneven workload (e.g. BFS frontiers) does not leave threads idle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Chunking policy for the scoped loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grain {
+    /// Fixed number of iterations per claimed chunk.
+    Fixed(usize),
+    /// Split the range into roughly `4 × workers` chunks (a good default:
+    /// large enough to amortize the claim, small enough to balance).
+    Auto,
+}
+
+impl Grain {
+    fn chunk_len(self, total: usize, workers: usize) -> usize {
+        match self {
+            Grain::Fixed(n) => n.max(1),
+            Grain::Auto => (total / (workers * 4).max(1)).max(1),
+        }
+    }
+}
+
+fn effective_workers(total: usize) -> usize {
+    crate::default_parallelism().min(total.max(1))
+}
+
+/// Runs `f(i)` for every `i` in `range`, in parallel, with dynamic
+/// scheduling. Blocks until every iteration has completed.
+pub fn par_for<F>(range: std::ops::Range<usize>, grain: Grain, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let total = range.len();
+    if total == 0 {
+        return;
+    }
+    let workers = effective_workers(total);
+    if workers == 1 {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let chunk = grain.chunk_len(total, workers);
+    let cursor = AtomicUsize::new(0);
+    let start = range.start;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if lo >= total {
+                    return;
+                }
+                let hi = (lo + chunk).min(total);
+                for i in lo..hi {
+                    f(start + i);
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(chunk_index, chunk)` over disjoint mutable chunks of `data`,
+/// `chunk_len` elements each (last chunk may be shorter), in parallel.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks == 0 {
+        return;
+    }
+    let workers = effective_workers(n_chunks);
+    if workers == 1 {
+        for (idx, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, c);
+        }
+        return;
+    }
+    // Pre-split into raw chunk descriptors so each worker can claim chunks
+    // dynamically. Safety: chunks are disjoint by construction, each chunk
+    // index is claimed exactly once via the atomic cursor, and the scope
+    // outlives no reference.
+    let base = data.as_mut_ptr();
+    let len = data.len();
+    let cursor = AtomicUsize::new(0);
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T> Send for SendPtr<T> {}
+    unsafe impl<T> Sync for SendPtr<T> {}
+    let base = SendPtr(base);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let base = &base;
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_chunks {
+                        return;
+                    }
+                    let lo = idx * chunk_len;
+                    let hi = (lo + chunk_len).min(len);
+                    // SAFETY: [lo, hi) ranges for distinct idx are disjoint
+                    // and within bounds; idx is claimed exactly once.
+                    let chunk =
+                        unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+                    f(idx, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(chunk_index, chunk)` over disjoint shared chunks of `data`.
+pub fn par_chunks<T, F>(data: &[T], chunk_len: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &[T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if n_chunks == 0 {
+        return;
+    }
+    par_for(0..n_chunks, Grain::Fixed(1), |idx| {
+        let lo = idx * chunk_len;
+        let hi = (lo + chunk_len).min(data.len());
+        f(idx, &data[lo..hi]);
+    });
+}
+
+/// Parallel map-reduce over an index range. `map(i)` produces a value per
+/// iteration; values are folded with `reduce`, starting from `identity`.
+/// `reduce` must be associative and commutative.
+pub fn par_map_reduce<A, M, R>(
+    range: std::ops::Range<usize>,
+    identity: A,
+    map: M,
+    reduce: R,
+) -> A
+where
+    A: Send + Sync + Clone,
+    M: Fn(usize) -> A + Sync,
+    R: Fn(A, A) -> A + Sync + Send,
+{
+    let total = range.len();
+    if total == 0 {
+        return identity;
+    }
+    let workers = effective_workers(total);
+    if workers == 1 {
+        let mut acc = identity;
+        for i in range {
+            acc = reduce(acc, map(i));
+        }
+        return acc;
+    }
+    let chunk = Grain::Auto.chunk_len(total, workers);
+    let cursor = AtomicUsize::new(0);
+    let start = range.start;
+    let partials = parking_lot::Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut acc = identity.clone();
+                let mut touched = false;
+                loop {
+                    let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= total {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(total);
+                    for i in lo..hi {
+                        acc = reduce(acc, map(start + i));
+                        touched = true;
+                    }
+                }
+                if touched {
+                    partials.lock().push(acc);
+                }
+            });
+        }
+    });
+    partials
+        .into_inner()
+        .into_iter()
+        .fold(identity, |a, b| reduce(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for(0..n, Grain::Auto, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_respects_range_offset() {
+        let seen = parking_lot::Mutex::new(Vec::new());
+        par_for(100..110, Grain::Fixed(3), |i| {
+            seen.lock().push(i);
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_for_empty_range_is_noop() {
+        par_for(5..5, Grain::Auto, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let mut data = vec![0u32; 1000];
+        par_chunks_mut(&mut data, 64, |idx, chunk| {
+            for x in chunk.iter_mut() {
+                *x = idx as u32 + 1;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i / 64) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_handles_non_divisible_len() {
+        let mut data = vec![0u8; 103];
+        par_chunks_mut(&mut data, 10, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn par_chunks_shared_reads_all() {
+        let data: Vec<u64> = (0..5000).collect();
+        let sum = AtomicU64::new(0);
+        par_chunks(&data, 128, |_, chunk| {
+            sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5000 * 4999 / 2);
+    }
+
+    #[test]
+    fn par_map_reduce_sums_correctly() {
+        let s = par_map_reduce(0..100_000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn par_map_reduce_empty_returns_identity() {
+        let s = par_map_reduce(0..0, 42u64, |_| 0, |a, b| a + b);
+        assert_eq!(s, 42);
+    }
+
+    #[test]
+    fn par_map_reduce_max() {
+        let m = par_map_reduce(0..9999, 0usize, |i| (i * 7919) % 4096, |a, b| a.max(b));
+        let expected = (0..9999).map(|i| (i * 7919) % 4096).max().unwrap();
+        assert_eq!(m, expected);
+    }
+}

@@ -1,0 +1,152 @@
+//! Parallel sorting: chunk-sort + pairwise parallel merge.
+//!
+//! Used by the application layer to coalesce large access-offset lists
+//! (BFS frontiers reach millions of entries per level). The algorithm is
+//! the classic two-phase parallel merge sort: split into per-worker
+//! chunks sorted with the standard library's pdqsort, then merge pairs
+//! of runs in parallel until one run remains.
+
+use crate::scope::par_for;
+use crate::Grain;
+
+/// Sorts `data` in parallel (unstable). Falls back to `sort_unstable`
+/// below a practical threshold.
+pub fn par_sort_unstable<T: Ord + Send + Sync + Copy>(data: &mut [T]) {
+    const SEQUENTIAL_BELOW: usize = 16_384;
+    if data.len() < SEQUENTIAL_BELOW {
+        data.sort_unstable();
+        return;
+    }
+    let workers = crate::default_parallelism();
+    let chunk = data.len().div_ceil(workers).max(1);
+    // Phase 1: sort chunks in parallel.
+    crate::scope::par_chunks_mut(data, chunk, |_, c| c.sort_unstable());
+
+    // Phase 2: merge neighbouring runs until a single run remains.
+    let mut run = chunk;
+    let mut src: Vec<T> = data.to_vec();
+    let mut dst: Vec<T> = Vec::with_capacity(data.len());
+    // SAFETY: every element of `dst` is written exactly once per pass
+    // (each merge writes its own disjoint output range).
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        dst.set_len(data.len());
+    }
+    while run < src.len() {
+        let n = src.len();
+        let pairs = n.div_ceil(2 * run);
+        {
+            let src_ref = &src;
+            let dst_ptr = SendPtr(dst.as_mut_ptr());
+            par_for(0..pairs, Grain::Fixed(1), |p| {
+                let lo = p * 2 * run;
+                let mid = (lo + run).min(n);
+                let hi = (lo + 2 * run).min(n);
+                // SAFETY: [lo, hi) output ranges are disjoint per pair.
+                let out = unsafe {
+                    std::slice::from_raw_parts_mut(dst_ptr.get().add(lo), hi - lo)
+                };
+                merge(&src_ref[lo..mid], &src_ref[mid..hi], out);
+            });
+        }
+        std::mem::swap(&mut src, &mut dst);
+        run *= 2;
+    }
+    data.copy_from_slice(&src);
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    // Accessor so closures capture `&SendPtr` (Sync) rather than the raw
+    // pointer field (2021 disjoint capture would grab `*mut T` itself).
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+fn merge<T: Ord + Copy>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrambled(n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 13)
+            .collect()
+    }
+
+    #[test]
+    fn sorts_large_input() {
+        let mut v = scrambled(200_000);
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        par_sort_unstable(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn sorts_small_input_via_fallback() {
+        let mut v = vec![5u64, 1, 4, 2, 3];
+        par_sort_unstable(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let mut e: Vec<u64> = vec![];
+        par_sort_unstable(&mut e);
+        assert!(e.is_empty());
+        let mut s = vec![9u64];
+        par_sort_unstable(&mut s);
+        assert_eq!(s, vec![9]);
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let mut v: Vec<u64> = (0..100_000).map(|i| i % 7).collect();
+        par_sort_unstable(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(v.iter().filter(|&&x| x == 3).count(), 100_000 / 7 + 1);
+    }
+
+    #[test]
+    fn already_sorted_is_preserved() {
+        let mut v: Vec<u64> = (0..50_000).collect();
+        let expected = v.clone();
+        par_sort_unstable(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn merge_is_correct() {
+        let mut out = vec![0u64; 7];
+        merge(&[1, 4, 6], &[2, 3, 5, 7], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn sorts_tuples_lexicographically() {
+        let mut v: Vec<(u64, u64)> = (0..70_000u64)
+            .map(|i| (i.wrapping_mul(2654435761) % 997, i))
+            .collect();
+        par_sort_unstable(&mut v);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Application phase timing.
+//!
+//! The paper (§3.1) times five phases common to every application version
+//! so results are comparable: GPU context init + argument parsing,
+//! allocation, CPU-side buffer initialization, computation, and
+//! de-allocation. CPU-side initialization is excluded from reported totals
+//! because it is single-threaded I/O-bound work identical across versions.
+
+use gh_mem::clock::Ns;
+use serde::Serialize;
+
+/// The paper's common application phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Phase {
+    /// GPU context initialization and argument parsing.
+    CtxInit,
+    /// Memory allocation.
+    Alloc,
+    /// CPU-side buffer initialization (excluded from reported totals).
+    CpuInit,
+    /// GPU computation.
+    Compute,
+    /// De-allocation.
+    Dealloc,
+}
+
+impl Phase {
+    /// All phases in canonical order.
+    pub const ALL: [Phase; 5] = [
+        Phase::CtxInit,
+        Phase::Alloc,
+        Phase::CpuInit,
+        Phase::Compute,
+        Phase::Dealloc,
+    ];
+
+    /// Short lowercase label for CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::CtxInit => "ctx_init",
+            Phase::Alloc => "alloc",
+            Phase::CpuInit => "cpu_init",
+            Phase::Compute => "compute",
+            Phase::Dealloc => "dealloc",
+        }
+    }
+}
+
+/// Accumulated duration per phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PhaseTimes {
+    /// ctx_init duration (ns).
+    pub ctx_init: Ns,
+    /// alloc duration (ns).
+    pub alloc: Ns,
+    /// cpu_init duration (ns).
+    pub cpu_init: Ns,
+    /// compute duration (ns).
+    pub compute: Ns,
+    /// dealloc duration (ns).
+    pub dealloc: Ns,
+}
+
+impl PhaseTimes {
+    /// Duration of one phase.
+    pub fn get(&self, p: Phase) -> Ns {
+        match p {
+            Phase::CtxInit => self.ctx_init,
+            Phase::Alloc => self.alloc,
+            Phase::CpuInit => self.cpu_init,
+            Phase::Compute => self.compute,
+            Phase::Dealloc => self.dealloc,
+        }
+    }
+
+    fn get_mut(&mut self, p: Phase) -> &mut Ns {
+        match p {
+            Phase::CtxInit => &mut self.ctx_init,
+            Phase::Alloc => &mut self.alloc,
+            Phase::CpuInit => &mut self.cpu_init,
+            Phase::Compute => &mut self.compute,
+            Phase::Dealloc => &mut self.dealloc,
+        }
+    }
+
+    /// Total reported time: everything except CPU-side initialization,
+    /// following the paper's reporting convention.
+    pub fn reported_total(&self) -> Ns {
+        self.ctx_init + self.alloc + self.compute + self.dealloc
+    }
+
+    /// End-to-end total including CPU init.
+    pub fn wall_total(&self) -> Ns {
+        self.reported_total() + self.cpu_init
+    }
+}
+
+/// Stopwatch that buckets virtual-time spans into phases.
+///
+/// Usage: `timer.enter(Phase::Alloc, clock.now())` at each transition;
+/// the span since the previous transition is charged to the *previous*
+/// phase. `finish(now)` closes the last phase.
+#[derive(Debug, Clone)]
+pub struct PhaseTimer {
+    times: PhaseTimes,
+    current: Option<(Phase, Ns)>,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// Creates an idle timer.
+    pub fn new() -> Self {
+        Self {
+            times: PhaseTimes::default(),
+            current: None,
+        }
+    }
+
+    /// Switches to `phase` at virtual time `now`, closing any open phase.
+    pub fn enter(&mut self, phase: Phase, now: Ns) {
+        self.close(now);
+        self.current = Some((phase, now));
+    }
+
+    fn close(&mut self, now: Ns) {
+        if let Some((p, since)) = self.current.take() {
+            assert!(now >= since, "phase timer moved backwards");
+            *self.times.get_mut(p) += now - since;
+        }
+    }
+
+    /// Closes the open phase and returns the accumulated times.
+    pub fn finish(mut self, now: Ns) -> PhaseTimes {
+        self.close(now);
+        self.times
+    }
+
+    /// Times accumulated so far (open phase not included).
+    pub fn so_far(&self) -> PhaseTimes {
+        self.times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_spans() {
+        let mut t = PhaseTimer::new();
+        t.enter(Phase::Alloc, 0);
+        t.enter(Phase::CpuInit, 10);
+        t.enter(Phase::Compute, 30);
+        t.enter(Phase::Dealloc, 100);
+        let times = t.finish(105);
+        assert_eq!(times.alloc, 10);
+        assert_eq!(times.cpu_init, 20);
+        assert_eq!(times.compute, 70);
+        assert_eq!(times.dealloc, 5);
+        assert_eq!(times.ctx_init, 0);
+    }
+
+    #[test]
+    fn reported_total_excludes_cpu_init() {
+        let times = PhaseTimes {
+            ctx_init: 1,
+            alloc: 2,
+            cpu_init: 1000,
+            compute: 4,
+            dealloc: 8,
+        };
+        assert_eq!(times.reported_total(), 15);
+        assert_eq!(times.wall_total(), 1015);
+    }
+
+    #[test]
+    fn reentering_same_phase_accumulates() {
+        let mut t = PhaseTimer::new();
+        t.enter(Phase::Compute, 0);
+        t.enter(Phase::CpuInit, 10);
+        t.enter(Phase::Compute, 20);
+        let times = t.finish(50);
+        assert_eq!(times.compute, 40);
+        assert_eq!(times.cpu_init, 10);
+    }
+
+    #[test]
+    fn finish_without_enter_is_zero() {
+        let times = PhaseTimer::new().finish(100);
+        assert_eq!(times, PhaseTimes::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn backwards_time_panics() {
+        let mut t = PhaseTimer::new();
+        t.enter(Phase::Alloc, 100);
+        t.enter(Phase::Compute, 50);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Phase::CtxInit.label(), "ctx_init");
+        assert_eq!(Phase::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Terminal plotting of profiler series: the Figure 4/5 memory profiles
+//! rendered as ASCII so `cargo bench` output is inspectable without a
+//! plotting pipeline.
+
+use crate::profiler::Sample;
+
+/// Renders one or more named series as a fixed-size ASCII chart. Each
+/// series is a `(label, glyph, values)` triple sampled at the same
+/// timestamps; values are auto-scaled to the global maximum.
+pub fn ascii_chart(
+    title: &str,
+    t_ms: &[f64],
+    series: &[(&str, char, Vec<f64>)],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut out = format!("{title}\n");
+    if t_ms.is_empty() || series.is_empty() {
+        out.push_str("(no samples)\n");
+        return out;
+    }
+    let t0 = t_ms[0];
+    let t1 = *t_ms.last().unwrap();
+    let tspan = (t1 - t0).max(1e-9);
+    let vmax = series
+        .iter()
+        .flat_map(|(_, _, v)| v.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (_, glyph, values) in series {
+        // Sample-and-hold per column (what a step profile looks like).
+        let mut last = 0.0;
+        let mut vi = 0;
+        for (col, cell) in (0..width).zip(0..width) {
+            let t = t0 + tspan * col as f64 / (width - 1) as f64;
+            while vi < t_ms.len() && t_ms[vi] <= t {
+                last = values[vi];
+                vi += 1;
+            }
+            let row = ((last / vmax) * (height - 1) as f64).round() as usize;
+            let row = (height - 1).saturating_sub(row);
+            if grid[row][cell] == ' ' || grid[row][cell] != *glyph {
+                grid[row][cell] = *glyph;
+            }
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let axis = if i == 0 {
+            format!("{vmax:>8.1} |")
+        } else if i == height - 1 {
+            format!("{:>8.1} |", 0.0)
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&axis);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          +{}\n           {:<10.2}{}{:>10.2} ms\n",
+        "-".repeat(width),
+        t0,
+        " ".repeat(width.saturating_sub(20)),
+        t1
+    ));
+    for (label, glyph, _) in series {
+        out.push_str(&format!("           {glyph} = {label}\n"));
+    }
+    out
+}
+
+/// Convenience: plots RSS and GPU-used (MiB) from a profiler sample
+/// series.
+pub fn plot_memory_profile(title: &str, samples: &[Sample], width: usize, height: usize) -> String {
+    let t: Vec<f64> = samples.iter().map(|s| s.t as f64 / 1e6).collect();
+    let rss: Vec<f64> = samples
+        .iter()
+        .map(|s| s.rss as f64 / (1 << 20) as f64)
+        .collect();
+    let gpu: Vec<f64> = samples
+        .iter()
+        .map(|s| s.gpu_used as f64 / (1 << 20) as f64)
+        .collect();
+    ascii_chart(
+        title,
+        &t,
+        &[("RSS (MiB)", '*', rss), ("GPU used (MiB)", 'o', gpu)],
+        width,
+        height,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_axes_and_legend() {
+        let t = vec![0.0, 1.0, 2.0, 3.0];
+        let s = vec![("up", '*', vec![0.0, 1.0, 2.0, 3.0])];
+        let c = ascii_chart("test", &t, &s, 40, 8);
+        assert!(c.starts_with("test\n"));
+        assert!(c.contains('*'));
+        assert!(c.contains("* = up"));
+        assert!(c.contains("+----"));
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let c = ascii_chart("t", &[], &[], 40, 8);
+        assert!(c.contains("(no samples)"));
+    }
+
+    #[test]
+    fn memory_profile_plots_both_series() {
+        let samples = vec![
+            Sample { t: 0, rss: 0, gpu_used: 1 << 20 },
+            Sample { t: 1_000_000, rss: 8 << 20, gpu_used: 1 << 20 },
+            Sample { t: 2_000_000, rss: 0, gpu_used: 9 << 20 },
+        ];
+        let c = plot_memory_profile("hotspot", &samples, 60, 10);
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("RSS"));
+    }
+
+    #[test]
+    fn peak_value_appears_on_axis() {
+        let t = vec![0.0, 1.0];
+        let s = vec![("v", '#', vec![0.0, 42.0])];
+        let c = ascii_chart("t", &t, &s, 30, 6);
+        assert!(c.contains("42.0"), "{c}");
+    }
+}

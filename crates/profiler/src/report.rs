@@ -1,0 +1,113 @@
+//! Tiny CSV writer for figure harness output.
+//!
+//! Every figure harness prints a machine-readable CSV block (for plotting)
+//! surrounded by a human-readable summary. Hand-rolled on purpose: the
+//! offline dependency list has no CSV crate and the need is trivial.
+
+/// An in-memory CSV table.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "CSV row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV text (quoted only when needed).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(c.render(), "a,b\n1,2\n3,4\n");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn quotes_cells_with_commas() {
+        let mut c = Csv::new(["x"]);
+        c.row(["hello, world"]);
+        assert_eq!(c.render(), "x\n\"hello, world\"\n");
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut c = Csv::new(["x"]);
+        c.row(["say \"hi\""]);
+        assert_eq!(c.render(), "x\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn wrong_width_panics() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["only one"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let c = Csv::new(["a"]);
+        assert!(c.is_empty());
+        assert_eq!(c.render(), "a\n");
+    }
+}

@@ -1,0 +1,94 @@
+//! Named benchmark circuits beyond Quantum Volume: GHZ state
+//! preparation and the Quantum Fourier Transform. Both are standard
+//! memory-bandwidth-bound statevector workloads and serve as additional
+//! verification targets (their outputs have closed forms).
+
+use crate::gates::Gate2;
+use crate::gates1::Gate1;
+use crate::state::StateVector;
+
+/// Prepares the n-qubit GHZ state (|0…0⟩ + |1…1⟩)/√2 in place.
+pub fn ghz(state: &mut StateVector) {
+    let n = state.n_qubits();
+    state.apply_gate1(&Gate1::h(), 0);
+    for q in 1..n {
+        // CNOT with control q-1, target q. Gate2::cnot flips the *first*
+        // operand when the second is |1⟩.
+        state.apply_gate2(&Gate2::cnot(), q, q - 1);
+    }
+}
+
+/// Applies the Quantum Fourier Transform (without the final qubit
+/// reversal, as is conventional for benchmark use).
+pub fn qft(state: &mut StateVector) {
+    let n = state.n_qubits();
+    for target in (0..n).rev() {
+        state.apply_gate1(&Gate1::h(), target);
+        for (k, control) in (0..target).rev().enumerate() {
+            let theta = std::f32::consts::PI / (1 << (k + 1)) as f32;
+            state.apply_gate2(&Gate2::controlled_phase(theta), control, target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_has_two_equal_peaks() {
+        for n in [2u32, 3, 6, 10] {
+            let mut s = StateVector::zero_state(n);
+            ghz(&mut s);
+            let all_ones = (1usize << n) - 1;
+            assert!((s.probability(0) - 0.5).abs() < 1e-5, "n={n}");
+            assert!((s.probability(all_ones) - 0.5).abs() < 1e-5, "n={n}");
+            // Everything else is zero.
+            let rest: f64 = (1..all_ones).map(|i| s.probability(i)).sum();
+            assert!(rest < 1e-5, "n={n}: leakage {rest}");
+        }
+    }
+
+    #[test]
+    fn qft_of_zero_state_is_uniform() {
+        let n = 6;
+        let mut s = StateVector::zero_state(n);
+        qft(&mut s);
+        let expect = 1.0 / (1u64 << n) as f64;
+        for i in 0..(1usize << n) {
+            assert!(
+                (s.probability(i) - expect).abs() < 1e-5,
+                "i={i}: {}",
+                s.probability(i)
+            );
+        }
+    }
+
+    #[test]
+    fn qft_preserves_norm_on_random_input() {
+        let mut s = StateVector::zero_state(8);
+        s.apply_gate2(&Gate2::random_su4(5), 1, 6);
+        s.apply_gate2(&Gate2::random_su4(9), 0, 3);
+        qft(&mut s);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ghz_sampling_matches_distribution() {
+        let mut s = StateVector::zero_state(5);
+        ghz(&mut s);
+        let shots = s.sample(42, 4000);
+        let ones = shots.iter().filter(|&&x| x == 31).count();
+        let zeros = shots.iter().filter(|&&x| x == 0).count();
+        assert_eq!(ones + zeros, 4000, "only the two GHZ outcomes occur");
+        assert!((1700..=2300).contains(&ones), "balance: {ones}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let mut s = StateVector::zero_state(4);
+        ghz(&mut s);
+        assert_eq!(s.sample(7, 100), s.sample(7, 100));
+        assert_ne!(s.sample(7, 100), s.sample(8, 100));
+    }
+}

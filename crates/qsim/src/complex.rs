@@ -1,0 +1,116 @@
+//! Minimal single-precision complex arithmetic (no external crate).
+
+use serde::Serialize;
+
+/// A single-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct C32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl C32 {
+    /// 0 + 0i.
+    pub const ZERO: C32 = C32 { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: C32 = C32 { re: 1.0, im: 0.0 };
+
+    /// Constructs from parts.
+    pub fn new(re: f32, im: f32) -> C32 {
+        C32 { re, im }
+    }
+
+    /// |z|².
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> C32 {
+        C32 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, s: f32) -> C32 {
+        C32 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl std::ops::Add for C32 {
+    type Output = C32;
+    fn add(self, o: C32) -> C32 {
+        C32 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+}
+
+impl std::ops::Sub for C32 {
+    type Output = C32;
+    fn sub(self, o: C32) -> C32 {
+        C32 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+impl std::ops::Mul for C32 {
+    type Output = C32;
+    fn mul(self, o: C32) -> C32 {
+        C32 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl std::ops::AddAssign for C32 {
+    fn add_assign(&mut self, o: C32) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C32::new(1.0, 2.0);
+        let b = C32::new(3.0, -1.0);
+        assert_eq!(a + b, C32::new(4.0, 1.0));
+        assert_eq!(a - b, C32::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, C32::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn norm_and_conj() {
+        let z = C32::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z * z.conj(), C32::new(25.0, 0.0));
+    }
+
+    #[test]
+    fn identity_element() {
+        let z = C32::new(0.5, -0.7);
+        assert_eq!(z * C32::ONE, z);
+        assert_eq!(z + C32::ZERO, z);
+    }
+
+    #[test]
+    fn scale_is_real_multiplication() {
+        assert_eq!(C32::new(2.0, -4.0).scale(0.5), C32::new(1.0, -2.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Gate fusion: Qiskit-Aer's memory-bandwidth optimization.
+//!
+//! A statevector simulator is memory-bound — every gate sweeps the whole
+//! vector. Aer therefore *fuses* consecutive gates that act on the same
+//! qubit pair into a single 4×4 unitary (matrix product), halving (or
+//! better) the number of sweeps. Because the paper's Quantum Volume
+//! workload is bandwidth-limited on every memory path (HBM, C2C, chunked
+//! pipeline), fusion's benefit multiplies whatever the memory system
+//! delivers — which makes it a useful ablation axis here.
+
+use crate::complex::C32;
+use crate::gates::Gate2;
+use crate::qv::{QvCircuit, QvGate};
+
+/// Multiplies two gates: `second · first` (apply `first`, then
+/// `second`).
+pub fn compose(first: &Gate2, second: &Gate2) -> Gate2 {
+    let mut m = [[C32::ZERO; 4]; 4];
+    for (r, row) in m.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            let mut acc = C32::ZERO;
+            for k in 0..4 {
+                acc += second.m[r][k] * first.m[k][c];
+            }
+            *cell = acc;
+        }
+    }
+    Gate2 { m }
+}
+
+/// Swaps a gate's operand order: returns the unitary equivalent to
+/// applying `g` with `(q0, q1)` exchanged (permutes basis |01⟩ ↔ |10⟩ on
+/// both sides).
+pub fn swap_operands(g: &Gate2) -> Gate2 {
+    let p = [0usize, 2, 1, 3];
+    let mut m = [[C32::ZERO; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            m[r][c] = g.m[p[r]][p[c]];
+        }
+    }
+    Gate2 { m }
+}
+
+/// Fuses consecutive circuit gates acting on the same (unordered) qubit
+/// pair. Returns the optimized circuit; semantics are identical.
+pub fn fuse(circuit: &QvCircuit) -> QvCircuit {
+    let mut out: Vec<QvGate> = Vec::with_capacity(circuit.gates.len());
+    for g in &circuit.gates {
+        if let Some(last) = out.last_mut() {
+            if (last.q0, last.q1) == (g.q0, g.q1) {
+                last.gate = compose(&last.gate, &g.gate);
+                continue;
+            }
+            if (last.q0, last.q1) == (g.q1, g.q0) {
+                // Same pair, swapped operand order: align then fuse.
+                last.gate = compose(&last.gate, &swap_operands(&g.gate));
+                continue;
+            }
+        }
+        out.push(g.clone());
+    }
+    QvCircuit {
+        n_qubits: circuit.n_qubits,
+        gates: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    fn close(a: C32, b: C32) -> bool {
+        (a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4
+    }
+
+    fn states_match(a: &StateVector, b: &StateVector) -> bool {
+        (0..a.amps().len()).all(|i| close(a.amp(i), b.amp(i)))
+    }
+
+    #[test]
+    fn compose_identity_is_noop() {
+        let g = Gate2::random_su4(5);
+        let id = Gate2::identity();
+        assert_eq!(compose(&g, &id), g);
+        assert_eq!(compose(&id, &g), g);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let a = Gate2::random_su4(1);
+        let b = Gate2::random_su4(2);
+        let fused = compose(&a, &b);
+        let mut s1 = StateVector::zero_state(4);
+        s1.apply_gate2(&Gate2::random_su4(9), 1, 3); // scramble
+        let mut s2 = s1.clone();
+        s1.apply_gate2(&a, 0, 2);
+        s1.apply_gate2(&b, 0, 2);
+        s2.apply_gate2(&fused, 0, 2);
+        assert!(states_match(&s1, &s2));
+    }
+
+    #[test]
+    fn swap_operands_matches_swapped_application() {
+        let g = Gate2::random_su4(7);
+        let sw = swap_operands(&g);
+        let mut s1 = StateVector::zero_state(3);
+        s1.apply_gate2(&Gate2::random_su4(11), 0, 1);
+        let mut s2 = s1.clone();
+        s1.apply_gate2(&g, 0, 2);
+        s2.apply_gate2(&sw, 2, 0);
+        assert!(states_match(&s1, &s2));
+    }
+
+    #[test]
+    fn fused_circuit_preserves_semantics() {
+        // Build a circuit with deliberate same-pair repeats.
+        let mut c = QvCircuit::generate(5, 3);
+        let extra: Vec<QvGate> = c
+            .gates
+            .iter()
+            .take(4)
+            .map(|g| QvGate {
+                gate: Gate2::random_su4(999),
+                q0: g.q1,
+                q1: g.q0,
+            })
+            .collect();
+        // Interleave: g0, g0', g1, g1', ...
+        let mut interleaved = Vec::new();
+        for (i, g) in c.gates.iter().take(4).enumerate() {
+            interleaved.push(g.clone());
+            interleaved.push(extra[i].clone());
+        }
+        c.gates = interleaved;
+
+        let fused = fuse(&c);
+        assert!(fused.len() < c.len(), "repeats must fuse");
+        let mut s1 = StateVector::zero_state(5);
+        let mut s2 = StateVector::zero_state(5);
+        for g in &c.gates {
+            s1.apply_gate2(&g.gate, g.q0, g.q1);
+        }
+        for g in &fused.gates {
+            s2.apply_gate2(&g.gate, g.q0, g.q1);
+        }
+        assert!(states_match(&s1, &s2));
+    }
+
+    #[test]
+    fn fusion_keeps_unitarity() {
+        let a = Gate2::random_su4(21);
+        let b = Gate2::random_su4(22);
+        assert!(compose(&a, &b).unitarity_error() < 1e-4);
+        assert!(swap_operands(&a).unitarity_error() < 1e-4);
+    }
+
+    #[test]
+    fn qv_circuits_rarely_fuse() {
+        // QV layers permute qubits, so adjacent same-pair repeats are
+        // rare — fusion should be nearly a no-op on them.
+        let c = QvCircuit::generate(8, 1);
+        let f = fuse(&c);
+        assert!(f.len() as f64 > c.len() as f64 * 0.8);
+    }
+}

@@ -1,0 +1,268 @@
+//! The statevector and exact gate application.
+
+use crate::complex::C32;
+use crate::gates::Gate2;
+use gh_par::par_map_reduce;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An `n`-qubit statevector of `2^n` single-precision amplitudes.
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    n: u32,
+    amps: Vec<C32>,
+}
+
+impl StateVector {
+    /// |0…0⟩ on `n` qubits.
+    pub fn zero_state(n: u32) -> StateVector {
+        assert!(n >= 2, "need at least 2 qubits for 2-qubit gates");
+        assert!(n <= 30, "statevector would not fit in host memory");
+        let mut amps = vec![C32::ZERO; 1usize << n];
+        amps[0] = C32::ONE;
+        StateVector { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> u32 {
+        self.n
+    }
+
+    /// Amplitude of a basis state.
+    pub fn amp(&self, basis: usize) -> C32 {
+        self.amps[basis]
+    }
+
+    /// The amplitudes slice.
+    pub fn amps(&self) -> &[C32] {
+        &self.amps
+    }
+
+    /// Mutable amplitudes (gate kernels).
+    pub(crate) fn amps_mut(&mut self) -> &mut Vec<C32> {
+        &mut self.amps
+    }
+
+    /// Draws `shots` measurement outcomes (basis-state indices) from the
+    /// state's distribution, deterministically in `seed`.
+    pub fn sample(&self, seed: u64, shots: usize) -> Vec<usize> {
+        // Prefix sums + binary search per shot.
+        let mut cdf = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0f64;
+        for a in &self.amps {
+            acc += a.norm_sqr() as f64;
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        let mut st = seed | 1;
+        (0..shots)
+            .map(|_| {
+                st = st.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = st;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let u = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64 * total;
+                cdf.partition_point(|&c| c < u).min(self.amps.len() - 1)
+            })
+            .collect()
+    }
+
+    /// Σ|aᵢ|² — must stay 1 under unitary evolution.
+    pub fn norm_sqr(&self) -> f64 {
+        par_map_reduce(
+            0..self.amps.len(),
+            0.0f64,
+            |i| self.amps[i].norm_sqr() as f64,
+            |a, b| a + b,
+        )
+    }
+
+    /// Applies a two-qubit gate to qubits `(q0, q1)`, `q0 != q1`, exactly
+    /// and in parallel. Basis order inside a group is |q1 q0⟩.
+    pub fn apply_gate2(&mut self, g: &Gate2, q0: u32, q1: u32) {
+        assert!(q0 < self.n && q1 < self.n && q0 != q1, "bad qubit pair");
+        let (lo, hi) = (q0.min(q1), q0.max(q1));
+        let b0 = 1usize << q0;
+        let b1 = 1usize << q1;
+        let groups = self.amps.len() / 4;
+        let lo_mask = (1usize << lo) - 1;
+        let mid_mask = ((1usize << (hi - 1)) - 1) & !lo_mask;
+
+        // Each group owns 4 distinct indices; groups are pairwise
+        // disjoint, so scattered parallel mutation is safe.
+        struct SendPtr(*mut C32);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        let base = SendPtr(self.amps.as_mut_ptr());
+        let workers = gh_par::default_parallelism().min(groups.max(1));
+        let chunk = (groups / (workers * 4).max(1)).max(1024).min(groups.max(1));
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let base = &base;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= groups {
+                            return;
+                        }
+                        let end = (start + chunk).min(groups);
+                        for gidx in start..end {
+                            // Expand gidx into a full index with zeros at
+                            // bit positions lo and hi.
+                            let low = gidx & lo_mask;
+                            let mid = (gidx & mid_mask) << 1;
+                            let high = (gidx & !(lo_mask | mid_mask)) << 2;
+                            let i00 = high | mid | low;
+                            let (i01, i10, i11) = (i00 | b0, i00 | b1, i00 | b0 | b1);
+                            // SAFETY: i00..i11 are unique to this group.
+                            unsafe {
+                                let p = base.0;
+                                let v = [
+                                    *p.add(i00),
+                                    *p.add(i01),
+                                    *p.add(i10),
+                                    *p.add(i11),
+                                ];
+                                let out = g.apply(v);
+                                *p.add(i00) = out[0];
+                                *p.add(i01) = out[1];
+                                *p.add(i10) = out[2];
+                                *p.add(i11) = out[3];
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Measurement probability of `basis`.
+    pub fn probability(&self, basis: usize) -> f64 {
+        self.amps[basis].norm_sqr() as f64
+    }
+
+    /// A scalar fingerprint of the state for cross-version checks.
+    pub fn checksum(&self) -> f64 {
+        par_map_reduce(
+            0..self.amps.len(),
+            0.0f64,
+            |i| {
+                let a = self.amps[i];
+                (a.re as f64) * ((i % 97) as f64 + 1.0) + (a.im as f64) * ((i % 89) as f64 + 1.0)
+            },
+            |a, b| a + b,
+        )
+    }
+}
+
+/// Dense reference application (exponential; tests only): builds the full
+/// `2^n × 2^n` operator for the gate and multiplies.
+pub fn apply_gate2_dense(state: &[C32], g: &Gate2, q0: u32, q1: u32, n: u32) -> Vec<C32> {
+    let dim = 1usize << n;
+    let (b0, b1) = (1usize << q0, 1usize << q1);
+    let mut out = vec![C32::ZERO; dim];
+    for (row, o) in out.iter_mut().enumerate() {
+        let r_sub = (((row & b1) != 0) as usize) << 1 | ((row & b0) != 0) as usize;
+        let rest = row & !(b0 | b1);
+        for c_sub in 0..4 {
+            let col = rest | if c_sub & 1 != 0 { b0 } else { 0 } | if c_sub & 2 != 0 { b1 } else { 0 };
+            *o += g.m[r_sub][c_sub] * state[col];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C32, b: C32) -> bool {
+        (a.re - b.re).abs() < 1e-5 && (a.im - b.im).abs() < 1e-5
+    }
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let s = StateVector::zero_state(5);
+        assert_eq!(s.amp(0), C32::ONE);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cnot_on_zero_state_is_identity() {
+        let mut s = StateVector::zero_state(3);
+        s.apply_gate2(&Gate2::cnot(), 0, 1);
+        assert!(close(s.amp(0), C32::ONE));
+    }
+
+    #[test]
+    fn matches_dense_reference_on_random_gates() {
+        for n in [2u32, 3, 4, 5] {
+            for seed in 0..5u64 {
+                let g = Gate2::random_su4(seed);
+                let q0 = (seed % n as u64) as u32;
+                let q1 = ((seed + 1) % n as u64) as u32;
+                if q0 == q1 {
+                    continue;
+                }
+                let mut s = StateVector::zero_state(n);
+                // Scramble with a first gate so the state is non-trivial.
+                let pre = Gate2::random_su4(seed + 100);
+                s.apply_gate2(&pre, 0, 1);
+                let dense_in = s.amps().to_vec();
+                let expected = apply_gate2_dense(&dense_in, &g, q0, q1, n);
+                s.apply_gate2(&g, q0, q1);
+                for i in 0..expected.len() {
+                    assert!(
+                        close(s.amp(i), expected[i]),
+                        "n={n} seed={seed} q=({q0},{q1}) i={i}: {:?} vs {:?}",
+                        s.amp(i),
+                        expected[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn norm_preserved_under_random_circuit() {
+        let mut s = StateVector::zero_state(8);
+        for seed in 0..30u64 {
+            let g = Gate2::random_su4(seed);
+            let q0 = (seed % 8) as u32;
+            let q1 = ((seed * 5 + 3) % 8) as u32;
+            if q0 != q1 {
+                s.apply_gate2(&g, q0, q1);
+            }
+        }
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-3, "norm {}", s.norm_sqr());
+    }
+
+    #[test]
+    fn qubit_order_matters_for_asymmetric_gates() {
+        // CNOT(control=q1, target=q0): flipping operand order changes the
+        // result on |01⟩ vs |10⟩ states.
+        let pre = Gate2::random_su4(9);
+        let mut a = StateVector::zero_state(2);
+        a.apply_gate2(&pre, 0, 1);
+        let mut b = a.clone();
+        a.apply_gate2(&Gate2::cnot(), 0, 1);
+        b.apply_gate2(&Gate2::cnot(), 1, 0);
+        let differs = (0..4).any(|i| !close(a.amp(i), b.amp(i)));
+        assert!(differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad qubit pair")]
+    fn same_qubit_pair_panics() {
+        let mut s = StateVector::zero_state(3);
+        s.apply_gate2(&Gate2::identity(), 1, 1);
+    }
+
+    #[test]
+    fn checksum_distinguishes_states() {
+        let mut a = StateVector::zero_state(6);
+        let b = StateVector::zero_state(6);
+        a.apply_gate2(&Gate2::random_su4(3), 2, 4);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+}

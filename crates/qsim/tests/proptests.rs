@@ -1,0 +1,99 @@
+//! Property tests for the quantum simulator: unitarity and exactness
+//! must hold for arbitrary circuits.
+
+use gh_qsim::{fusion, C32, Gate2, QvCircuit, StateVector};
+use proptest::prelude::*;
+
+fn close(a: C32, b: C32) -> bool {
+    (a.re - b.re).abs() < 2e-4 && (a.im - b.im).abs() < 2e-4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Norm is preserved by any random gate sequence.
+    #[test]
+    fn norm_preserved(seeds in proptest::collection::vec(0u64..1_000_000, 1..30),
+                      n in 2u32..9) {
+        let mut s = StateVector::zero_state(n);
+        for seed in seeds {
+            let q0 = (seed % n as u64) as u32;
+            let q1 = ((seed / 7 + 1) % n as u64) as u32;
+            if q0 == q1 {
+                continue;
+            }
+            s.apply_gate2(&Gate2::random_su4(seed), q0, q1);
+        }
+        let norm = s.norm_sqr();
+        prop_assert!((norm - 1.0).abs() < 1e-3, "norm {norm}");
+    }
+
+    /// Applying a gate then its inverse (conjugate transpose) restores
+    /// the state.
+    #[test]
+    fn gate_inverse_roundtrip(seed in 0u64..100_000, n in 2u32..7) {
+        let g = Gate2::random_su4(seed);
+        let mut inv = Gate2::identity();
+        for r in 0..4 {
+            for c in 0..4 {
+                inv.m[r][c] = g.m[c][r].conj();
+            }
+        }
+        let q0 = (seed % n as u64) as u32;
+        let q1 = ((seed + 1) % n as u64) as u32;
+        prop_assume!(q0 != q1);
+        let mut s = StateVector::zero_state(n);
+        s.apply_gate2(&Gate2::random_su4(seed + 7), 0, 1); // scramble
+        let before: Vec<C32> = s.amps().to_vec();
+        s.apply_gate2(&g, q0, q1);
+        s.apply_gate2(&inv, q0, q1);
+        for (i, &b) in before.iter().enumerate() {
+            prop_assert!(close(s.amp(i), b), "index {i}");
+        }
+    }
+
+    /// Fusion never changes circuit semantics, for any interleaving.
+    #[test]
+    fn fusion_is_semantics_preserving(n in 2u32..6, seed in 0u64..10_000,
+                                      repeats in 0usize..4) {
+        let mut c = QvCircuit::generate(n, seed);
+        // Inject same-pair repeats to exercise the fusion path.
+        let mut gates = Vec::new();
+        for g in c.gates.iter().take(6) {
+            gates.push(g.clone());
+            for r in 0..repeats {
+                gates.push(gh_qsim::qv::QvGate {
+                    gate: Gate2::random_su4(seed + 100 + r as u64),
+                    q0: if r % 2 == 0 { g.q0 } else { g.q1 },
+                    q1: if r % 2 == 0 { g.q1 } else { g.q0 },
+                });
+            }
+        }
+        c.gates = gates;
+        let fused = fusion::fuse(&c);
+        prop_assert!(fused.len() <= c.len());
+        let mut a = StateVector::zero_state(n);
+        let mut b = StateVector::zero_state(n);
+        for g in &c.gates {
+            a.apply_gate2(&g.gate, g.q0, g.q1);
+        }
+        for g in &fused.gates {
+            b.apply_gate2(&g.gate, g.q0, g.q1);
+        }
+        for i in 0..a.amps().len() {
+            prop_assert!(close(a.amp(i), b.amp(i)), "amp {i}");
+        }
+    }
+
+    /// The probability distribution over basis states sums to one.
+    #[test]
+    fn probabilities_sum_to_one(seed in 0u64..10_000, n in 2u32..8) {
+        let c = QvCircuit::generate(n, seed);
+        let mut s = StateVector::zero_state(n);
+        for g in c.gates.iter().take(12) {
+            s.apply_gate2(&g.gate, g.q0, g.q1);
+        }
+        let total: f64 = (0..1usize << n).map(|i| s.probability(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-3, "total {total}");
+    }
+}

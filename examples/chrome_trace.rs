@@ -1,0 +1,47 @@
+//! Timeline export: run SRAD and dump a Chrome-trace JSON of every
+//! kernel, copy and migration event.
+//!
+//! ```sh
+//! cargo run --release --example chrome_trace > srad_trace.json
+//! # open chrome://tracing or https://ui.perfetto.dev and load the file
+//! ```
+
+use grace_mem::apps::srad::{self, SradParams};
+use grace_mem::Machine;
+
+fn main() {
+    let p = SradParams {
+        size: 1024,
+        iterations: 6,
+        ..Default::default()
+    };
+    // Run once, steal the runtime's timeline before the machine closes.
+    let mut m = Machine::default_gh200();
+    // Inline a small slice of the app so we keep access to the runtime:
+    // allocate, init, two iterations of metered kernels.
+    let bytes = (p.size * p.size * 4) as u64;
+    m.rt.cuda_init();
+    let j = m.rt.malloc_system(bytes, "J");
+    let c = m.rt.cuda_malloc_managed(bytes, "c");
+    m.rt.cpu_write(&j, 0, bytes);
+    for i in 0..p.iterations {
+        let mut k = m.rt.launch(&format!("srad1_iter{i}"));
+        k.read(&j, 0, bytes);
+        k.write(&c, 0, bytes);
+        k.compute((p.size * p.size * 30) as u64);
+        k.finish();
+        let mut k = m.rt.launch(&format!("srad2_iter{i}"));
+        k.read(&c, 0, bytes);
+        k.write(&j, 0, bytes);
+        k.compute((p.size * p.size * 12) as u64);
+        k.finish();
+    }
+    let json = m.rt.export_chrome_trace();
+    println!("{json}");
+    eprintln!(
+        "{} timeline events over {:.3} ms of virtual time",
+        m.rt.timeline().len(),
+        m.rt.now() as f64 / 1e6
+    );
+    let _ = srad::reference; // keep the full app linked for doc purposes
+}

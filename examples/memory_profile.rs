@@ -1,0 +1,43 @@
+//! Memory-utilization profiling (the paper's §3.2 tool).
+//!
+//! ```sh
+//! cargo run --release --example memory_profile > profile.csv
+//! ```
+//!
+//! Reproduces the Figure 4 experiment: hotspot's RSS and GPU-used series
+//! over virtual time under both unified-memory strategies, as CSV ready
+//! for plotting. The managed series shows the compute-phase migration
+//! cliff; the system series stays CPU-resident.
+
+use grace_mem::apps::hotspot::{self, HotspotParams};
+use grace_mem::{CostParams, Machine, MemMode, RuntimeOptions};
+
+fn main() {
+    println!("mode,t_ms,rss_mib,gpu_used_mib");
+    for mode in [MemMode::System, MemMode::Managed] {
+        let m = Machine::new(
+            CostParams::with_64k_pages(),
+            RuntimeOptions {
+                auto_migration: false, // Fig 4 context: migration disabled
+                profiler_period: 50_000,
+                ..Default::default()
+            },
+        );
+        let r = hotspot::run(m, mode, &HotspotParams::default());
+        for s in &r.samples {
+            println!(
+                "{},{:.3},{:.2},{:.2}",
+                mode,
+                s.t as f64 / 1e6,
+                s.rss as f64 / (1 << 20) as f64,
+                s.gpu_used as f64 / (1 << 20) as f64
+            );
+        }
+        eprintln!(
+            "{mode}: {} samples, peak rss {} MiB, peak gpu {} MiB",
+            r.samples.len(),
+            r.peak_rss >> 20,
+            r.peak_gpu >> 20
+        );
+    }
+}

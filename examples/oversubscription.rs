@@ -1,0 +1,43 @@
+//! Memory oversubscription study (the paper's §7 methodology).
+//!
+//! ```sh
+//! cargo run --release --example oversubscription
+//! ```
+//!
+//! Uses the paper's simulated-oversubscription recipe: measure an
+//! application's peak GPU usage with the built-in profiler, then install
+//! a `cudaMalloc` balloon so only `peak / ratio` bytes stay free, and
+//! compare the system-allocated and managed versions as the ratio grows.
+
+use grace_mem::{AppId, Machine, MemMode};
+
+fn main() {
+    let app = AppId::Hotspot;
+    println!("oversubscription study: {}\n", app.name());
+
+    // Step 1 (paper §3.2): measure peak GPU usage un-oversubscribed.
+    let baseline = app.run(Machine::default_gh200(), MemMode::Managed);
+    let peak = baseline.peak_gpu - Machine::default_gh200().rt.params().gpu_driver_baseline;
+    println!("peak GPU usage (managed, in-memory): {} MiB\n", peak >> 20);
+
+    println!("ratio   system_ms   managed_ms   system speedup");
+    for ratio in [1.0f64, 1.25, 1.5, 2.0, 3.0] {
+        let mut times = Vec::new();
+        for mode in [MemMode::System, MemMode::Managed] {
+            let mut m = Machine::default_gh200();
+            m.oversubscribe(peak, ratio);
+            let r = app.run(m, mode);
+            times.push(r.reported_total() as f64 / 1e6);
+        }
+        println!(
+            "{ratio:<7} {:<11.3} {:<12.3} {:.2}x",
+            times[0],
+            times[1],
+            times[1] / times[0]
+        );
+    }
+    println!();
+    println!("shape (paper Fig 11): the managed version degrades with the");
+    println!("ratio (eviction + re-migration churn) while the system version");
+    println!("keeps reading CPU-resident pages over NVLink-C2C.");
+}

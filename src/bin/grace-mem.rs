@@ -1,0 +1,274 @@
+//! `grace-mem` CLI: run applications and experiments from the shell.
+//!
+//! ```sh
+//! cargo run --release --bin grace-mem -- app hotspot --mode system --page 64k
+//! cargo run --release --bin grace-mem -- qv 22 --mode managed --prefetch
+//! cargo run --release --bin grace-mem -- list
+//! ```
+
+use grace_mem::{AppId, CostParams, Machine, MemMode, QsimParams, RuntimeOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  grace-mem list
+  grace-mem app <needle|pathfinder|bfs|hotspot|srad>
+            [--mode explicit|system|managed] [--page 4k|64k]
+            [--no-migration] [--oversubscribe <ratio>] [--small]
+  grace-mem qv <sim_qubits>
+            [--mode explicit|system|managed] [--page 4k|64k]
+            [--prefetch] [--amplitudes]
+  grace-mem replay <trace-file>
+            [--mode explicit|system|managed] [--page 4k|64k]
+            [--no-migration] [--trace-out <json-file>]
+  grace-mem advise <trace-file>"
+    );
+    std::process::exit(2);
+}
+
+struct Flags {
+    mode: MemMode,
+    page_4k: bool,
+    migration: bool,
+    oversubscribe: Option<f64>,
+    small: bool,
+    prefetch: bool,
+    amplitudes: bool,
+    json: bool,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut f = Flags {
+        mode: MemMode::System,
+        page_4k: false,
+        migration: true,
+        oversubscribe: None,
+        small: false,
+        prefetch: false,
+        amplitudes: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                f.mode = match it.next().map(String::as_str) {
+                    Some("explicit") => MemMode::Explicit,
+                    Some("system") => MemMode::System,
+                    Some("managed") => MemMode::Managed,
+                    _ => usage(),
+                }
+            }
+            "--page" => {
+                f.page_4k = match it.next().map(String::as_str) {
+                    Some("4k") => true,
+                    Some("64k") => false,
+                    _ => usage(),
+                }
+            }
+            "--no-migration" => f.migration = false,
+            "--oversubscribe" => {
+                f.oversubscribe = it.next().and_then(|s| s.parse().ok());
+                if f.oversubscribe.is_none() {
+                    usage();
+                }
+            }
+            "--small" => f.small = true,
+            "--json" => f.json = true,
+            "--prefetch" => f.prefetch = true,
+            "--amplitudes" => f.amplitudes = true,
+            _ => usage(),
+        }
+    }
+    f
+}
+
+fn machine(f: &Flags) -> Machine {
+    let params = if f.page_4k {
+        CostParams::with_4k_pages()
+    } else {
+        CostParams::with_64k_pages()
+    };
+    Machine::new(
+        params,
+        RuntimeOptions {
+            auto_migration: f.migration,
+            ..Default::default()
+        },
+    )
+}
+
+fn print_report_maybe_json(label: &str, r: &grace_mem::RunReport, json: bool) {
+    if json {
+        println!("{}", r.to_json());
+    } else {
+        print_report(label, r);
+    }
+}
+
+fn print_report(label: &str, r: &grace_mem::RunReport) {
+    println!("== {label} ==");
+    println!(
+        "phases (ms): ctx {:.3} | alloc {:.3} | cpu_init {:.3} | compute {:.3} | dealloc {:.3}",
+        r.phases.ctx_init as f64 / 1e6,
+        r.phases.alloc as f64 / 1e6,
+        r.phases.cpu_init as f64 / 1e6,
+        r.phases.compute as f64 / 1e6,
+        r.phases.dealloc as f64 / 1e6,
+    );
+    println!(
+        "reported total: {:.3} ms   checksum: {:.6}",
+        r.reported_total() as f64 / 1e6,
+        r.checksum
+    );
+    println!(
+        "traffic (MiB): HBM r/w {}/{} | C2C r/w {}/{} | migrated in/out {}/{}",
+        r.traffic.hbm_read >> 20,
+        r.traffic.hbm_write >> 20,
+        r.traffic.c2c_read >> 20,
+        r.traffic.c2c_write >> 20,
+        r.traffic.bytes_migrated_in >> 20,
+        r.traffic.bytes_migrated_out >> 20,
+    );
+    println!(
+        "faults: {} GPU (managed), {} ATS (system) | peak GPU {} MiB | peak RSS {} MiB",
+        r.traffic.gpu_faults,
+        r.traffic.ats_faults,
+        r.peak_gpu >> 20,
+        r.peak_rss >> 20,
+    );
+}
+
+fn run_extension(name: &str, flag_args: &[String]) -> Option<grace_mem::RunReport> {
+    let f = parse_flags(flag_args);
+    let m = machine(&f);
+    use grace_mem::apps::{kmeans, lud, micro};
+    let mp = micro::MicroParams::default();
+    Some(match name {
+        "kmeans" => kmeans::run(m, f.mode, &kmeans::KmeansParams::default()),
+        "lud" => lud::run(m, f.mode, &lud::LudParams::default()),
+        "stream" => micro::stream(m, f.mode, &mp),
+        "gups" => micro::gups(m, f.mode, &mp),
+        "pointer-chase" => micro::pointer_chase(m, f.mode, &mp),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("paper applications:");
+            for app in AppId::ALL {
+                println!("  {:<14} {}", app.name(), app.pattern());
+            }
+            println!("  {:<14} mixed (gh-qsim, `grace-mem qv <qubits>`)", "qiskit-qv");
+            println!("extension workloads (future-work study):");
+            println!("  {:<14} iterative reuse, read-only hot set", "kmeans");
+            println!("  {:<14} shrinking working set", "lud");
+            println!("  {:<14} sequential bandwidth", "stream");
+            println!("  {:<14} uniform sparse updates", "gups");
+            println!("  {:<14} skewed irregular reads", "pointer-chase");
+        }
+        Some("app") => {
+            let Some(name) = args.get(1) else { usage() };
+            // Extension workloads run through their own entry points.
+            if let Some(report) = run_extension(name, &args[2..]) {
+                print_report(&format!("{name}"), &report);
+                return;
+            }
+            let Some(app) = AppId::ALL.iter().find(|a| a.name() == name) else {
+                usage()
+            };
+            let f = parse_flags(&args[2..]);
+            let mut m = machine(&f);
+            if let Some(ratio) = f.oversubscribe {
+                let peak = if f.small {
+                    app.run_small(Machine::default_gh200(), MemMode::Managed)
+                } else {
+                    app.run(Machine::default_gh200(), MemMode::Managed)
+                }
+                .peak_gpu
+                    - CostParams::default().gpu_driver_baseline;
+                m.oversubscribe(peak, ratio);
+            }
+            let r = if f.small {
+                app.run_small(m, f.mode)
+            } else {
+                app.run(m, f.mode)
+            };
+            print_report_maybe_json(&format!("{} ({})", app.name(), f.mode), &r, f.json);
+        }
+        Some("qv") => {
+            let Some(q) = args.get(1).and_then(|s| s.parse::<u32>().ok()) else {
+                usage()
+            };
+            let f = parse_flags(&args[2..]);
+            let p = QsimParams {
+                sim_qubits: q,
+                compute_amplitudes: f.amplitudes,
+                prefetch: f.prefetch,
+                ..Default::default()
+            };
+            let r = grace_mem::run_qv(machine(&f), f.mode, &p);
+            print_report_maybe_json(
+                &format!("qv {q} sim-qubits / paper {} ({})", q + 10, f.mode),
+                &r,
+                f.json,
+            );
+        }
+        Some("replay") => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut flag_args = args[2..].to_vec();
+            let mut trace_out = None;
+            if let Some(i) = flag_args.iter().position(|a| a == "--trace-out") {
+                flag_args.remove(i);
+                if i < flag_args.len() {
+                    trace_out = Some(flag_args.remove(i));
+                } else {
+                    usage();
+                }
+            }
+            let explicit_mode = flag_args.iter().any(|a| a == "--mode");
+            let f = parse_flags(&flag_args);
+            let trace = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let mode = explicit_mode.then_some(f.mode);
+            match grace_mem::sim::replay(machine(&f), &trace, mode) {
+                Ok(r) => print_report_maybe_json(&format!("replay {path}"), &r, f.json),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+            if let Some(out) = trace_out {
+                // Re-run to capture a timeline (the report API consumes
+                // the machine).
+                let mut m = machine(&f);
+                let _ = grace_mem::sim::replay_on(&mut m, &trace, mode);
+                std::fs::write(&out, m.rt.export_chrome_trace()).unwrap_or_else(|e| {
+                    eprintln!("cannot write {out}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("chrome trace written to {out}");
+            }
+        }
+        Some("advise") => {
+            let Some(path) = args.get(1) else { usage() };
+            let trace = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            match grace_mem::sim::advise(&trace) {
+                Ok(a) => print!("{}", a.render()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,101 @@
+//! The advisor must reproduce the paper's guidance on archetypal
+//! workload shapes.
+
+use grace_mem::sim::advise;
+use grace_mem::MemMode;
+
+/// CPU-initialized, reused on the GPU: the paper's "most use cases".
+const CPU_INIT_REUSE: &str = "
+alloc grid system 24m
+cpu_write grid 0 24m
+kernel iter1
+  read grid 0 24m
+end
+kernel iter2
+  read grid 0 24m
+end
+kernel iter3
+  read grid 0 24m
+end
+";
+
+/// GPU-initialized (the Qiskit shape, §5.1.2).
+const GPU_INIT: &str = "
+alloc sv system 24m
+kernel init
+  write sv 0 24m
+end
+kernel gate
+  read sv 0 24m
+  write sv 0 24m
+end
+";
+
+/// Single-pass streaming: data read exactly once.
+const SINGLE_PASS: &str = "
+alloc data system 32m
+cpu_write data 0 32m
+kernel once
+  read data 0 32m
+end
+";
+
+#[test]
+fn cpu_init_reuse_shows_fig3_mechanisms() {
+    let a = advise(CPU_INIT_REUSE).unwrap();
+    // The mechanisms behind Fig 3 must be visible in the advisor's
+    // evidence: the system version accesses coherently (C2C traffic, no
+    // GPU faults), the managed version faults and migrates, and both
+    // unified versions are within ~25% of the hand-tuned explicit
+    // pipeline at 64 KiB pages — the "minimal porting effort" claim.
+    let row = |mode: MemMode| {
+        a.rows
+            .iter()
+            .find(|r| r.mode == mode && r.page_size == 65536)
+            .unwrap()
+    };
+    let sys = row(MemMode::System);
+    assert!(sys.report.traffic.c2c_read > 0);
+    assert_eq!(sys.report.traffic.gpu_faults, 0);
+    let man = row(MemMode::Managed);
+    assert!(man.report.traffic.gpu_faults > 0);
+    assert!(man.report.traffic.bytes_migrated_in > 0);
+    let exp = row(MemMode::Explicit).total_ns as f64;
+    assert!(sys.total_ns as f64 <= exp * 1.25, "\n{}", a.render());
+    assert!(man.total_ns as f64 <= exp * 1.25, "\n{}", a.render());
+}
+
+#[test]
+fn managed_beats_system_for_gpu_initialized_data() {
+    let a = advise(GPU_INIT).unwrap();
+    let best_unified = a
+        .rows
+        .iter()
+        .find(|r| r.mode != MemMode::Explicit)
+        .unwrap();
+    assert_eq!(
+        best_unified.mode,
+        MemMode::Managed,
+        "GPU-init favours managed (paper 5.1.2)\n{}",
+        a.render()
+    );
+}
+
+#[test]
+fn page_size_guidance_appears_for_fault_bound_workloads() {
+    let a = advise(GPU_INIT).unwrap();
+    assert!(
+        a.notes.iter().any(|n| n.contains("64 KiB")),
+        "\n{}",
+        a.render()
+    );
+}
+
+#[test]
+fn single_pass_streams_rank_all_six_configurations() {
+    let a = advise(SINGLE_PASS).unwrap();
+    assert_eq!(a.rows.len(), 6);
+    // Totals must be positive and strictly ordered by the sort.
+    assert!(a.rows.windows(2).all(|w| w[0].total_ns <= w[1].total_ns));
+    assert!(a.rows[0].total_ns > 0);
+}

@@ -1,0 +1,99 @@
+//! Cross-crate integration: every application must compute identical
+//! results under all three memory-management strategies and across page
+//! sizes — the memory system must never change program semantics.
+
+use grace_mem::{AppId, CostParams, Machine, MemMode, RuntimeOptions};
+
+fn machines() -> Vec<(&'static str, Machine)> {
+    vec![
+        ("64k+mig", Machine::default_gh200()),
+        (
+            "4k+mig",
+            Machine::new(CostParams::with_4k_pages(), RuntimeOptions::default()),
+        ),
+        (
+            "64k-nomig",
+            Machine::new(
+                CostParams::with_64k_pages(),
+                RuntimeOptions {
+                    auto_migration: false,
+                    ..Default::default()
+                },
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn all_apps_agree_across_modes_and_configs() {
+    for app in AppId::ALL {
+        let mut checksums = Vec::new();
+        for (cfg, m) in machines() {
+            for mode in MemMode::ALL {
+                let extra = Machine::new(m.rt.params().clone(), m.rt.options().clone());
+                let r = app.run_small(extra, mode);
+                checksums.push((cfg, mode, r.checksum));
+            }
+        }
+        let first = checksums[0].2;
+        assert!(first != 0.0, "{}: checksum must be meaningful", app.name());
+        for (cfg, mode, c) in &checksums {
+            assert_eq!(
+                *c,
+                first,
+                "{}: {cfg}/{mode} diverged from reference",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantum_volume_state_is_mode_independent() {
+    let p = grace_mem::QsimParams {
+        sim_qubits: 10,
+        seed: 99,
+        compute_amplitudes: true,
+        prefetch: false,
+        chunk_bytes: 1 << 20,
+        fuse: false,
+    };
+    let mut checks = Vec::new();
+    for mode in MemMode::ALL {
+        let r = grace_mem::run_qv(Machine::default_gh200(), mode, &p);
+        checks.push(r.checksum);
+    }
+    // Also with prefetch on (managed only).
+    let r = grace_mem::run_qv(
+        Machine::default_gh200(),
+        MemMode::Managed,
+        &grace_mem::QsimParams {
+            prefetch: true,
+            ..p.clone()
+        },
+    );
+    checks.push(r.checksum);
+    assert!(checks[0] != 0.0);
+    assert!(checks.iter().all(|&c| c == checks[0]), "{checks:?}");
+}
+
+#[test]
+fn oversubscription_does_not_change_results() {
+    for app in [AppId::Hotspot, AppId::Srad] {
+        let base = app.run_small(Machine::default_gh200(), MemMode::Managed);
+        let mut m = Machine::default_gh200();
+        m.oversubscribe(base.peak_gpu, 2.0);
+        let over = app.run_small(m, MemMode::Managed);
+        assert_eq!(base.checksum, over.checksum, "{}", app.name());
+        // Note: the balloon's cudaMalloc pre-pays context init, so the
+        // reported totals are not directly comparable — the compute
+        // phase is.
+        assert!(
+            over.phases.compute + over.phases.compute / 100 >= base.phases.compute,
+            "{}: oversubscription can only slow compute down ({} vs {})",
+            app.name(),
+            over.phases.compute,
+            base.phases.compute
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Cross-crate integration: physical-memory accounting invariants must
+//! hold through entire application runs.
+
+use grace_mem::{AppId, Machine, MemMode, Node};
+
+#[test]
+fn gpu_usage_never_exceeds_capacity() {
+    // Run every app oversubscribed and assert from the profiler series
+    // that GPU usage stayed within the physical capacity throughout.
+    for app in AppId::ALL {
+        for mode in [MemMode::System, MemMode::Managed] {
+            let mut m = Machine::default_gh200();
+            let cap = m.rt.params().gpu_mem_bytes;
+            m.oversubscribe(4 << 20, 2.0);
+            let r = app.run_small(m, mode);
+            for s in &r.samples {
+                assert!(
+                    s.gpu_used <= cap,
+                    "{}/{mode}: GPU used {} exceeds capacity {cap}",
+                    app.name(),
+                    s.gpu_used
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_memory_reclaimed_after_runs() {
+    for app in AppId::ALL {
+        for mode in MemMode::ALL {
+            let m = Machine::default_gh200();
+            let baseline = m.rt.params().gpu_driver_baseline;
+            let r = app.run_small(m, mode);
+            let last = r.samples.last().expect("samples exist");
+            assert_eq!(
+                last.gpu_used,
+                baseline,
+                "{}/{mode}: GPU memory leaked",
+                app.name()
+            );
+            assert_eq!(last.rss, 0, "{}/{mode}: CPU pages leaked", app.name());
+        }
+    }
+}
+
+#[test]
+fn rss_and_gpu_account_for_unified_pages() {
+    // A unified buffer's pages must always be accounted on exactly one
+    // node: RSS + (GPU used − baseline) == touched bytes.
+    let mut m = Machine::default_gh200();
+    let baseline = m.rt.params().gpu_driver_baseline;
+    let b = m.rt.malloc_system(8 << 20, "x");
+    m.rt.cpu_write(&b, 0, 4 << 20); // half CPU
+    let mut k = m.rt.launch("init_rest");
+    k.write(&b, 4 << 20, 4 << 20); // half GPU (first touch)
+    k.finish();
+    assert_eq!(m.rt.rss(), 4 << 20);
+    assert_eq!(m.rt.gpu_used() - baseline, 4 << 20);
+    m.rt.free(b);
+    assert_eq!(m.rt.rss(), 0);
+    assert_eq!(m.rt.gpu_used(), baseline);
+}
+
+#[test]
+fn balloon_is_fully_released() {
+    let mut m = Machine::default_gh200();
+    let free0 = m.rt.gpu_free();
+    m.oversubscribe(8 << 20, 4.0);
+    assert!(m.rt.gpu_free() < free0 / 2);
+    m.release_balloon();
+    assert_eq!(m.rt.gpu_free(), free0);
+}
+
+#[test]
+fn node_peer_roundtrip() {
+    assert_eq!(Node::Cpu.peer(), Node::Gpu);
+}
