@@ -148,7 +148,9 @@ pub fn run(mut m: Machine, mode: MemMode, p: &BfsParams) -> RunReport {
 
     // ---- compute ----
     m.phase(Phase::Compute);
-    for b in [&nodes_buf, &edges_buf, &cost_buf, &mask_buf, &upd_buf, &vis_buf] {
+    for b in [
+        &nodes_buf, &edges_buf, &cost_buf, &mask_buf, &upd_buf, &vis_buf,
+    ] {
         b.upload(&mut m);
     }
 
@@ -164,10 +166,8 @@ pub fn run(mut m: Machine, mode: MemMode, p: &BfsParams) -> RunReport {
             // Dense sweep over the mask to find frontier threads.
             k.read(mask_buf.gpu(), 0, mask_bytes);
             // Gather node descriptors of the frontier (coalesced).
-            let node_touches: Vec<(u64, u64)> = frontier
-                .iter()
-                .map(|&u| ((u as u64) * 8, 8))
-                .collect();
+            let node_touches: Vec<(u64, u64)> =
+                frontier.iter().map(|&u| ((u as u64) * 8, 8)).collect();
             for (off, len) in coalesce(node_touches) {
                 meter_read(&mut k, nodes_buf.gpu(), off, len);
             }
@@ -194,8 +194,7 @@ pub fn run(mut m: Machine, mode: MemMode, p: &BfsParams) -> RunReport {
                 meter_read(&mut k, vis_buf.gpu(), off, len);
             }
             // Scatter: new costs + updating mask for discovered nodes.
-            let cost_w: Vec<(u64, u64)> =
-                discovered.iter().map(|&v| ((v as u64) * 4, 4)).collect();
+            let cost_w: Vec<(u64, u64)> = discovered.iter().map(|&v| ((v as u64) * 4, 4)).collect();
             for (off, len) in coalesce(cost_w) {
                 meter_write(&mut k, cost_buf.gpu(), off, len);
             }
@@ -289,6 +288,9 @@ mod tests {
         let a = run(Machine::default_gh200(), MemMode::System, &p);
         let b = run(Machine::default_gh200(), MemMode::System, &p);
         assert_eq!(a.checksum, b.checksum);
-        assert_eq!(a.phases.compute, b.phases.compute, "virtual time deterministic");
+        assert_eq!(
+            a.phases.compute, b.phases.compute,
+            "virtual time deterministic"
+        );
     }
 }

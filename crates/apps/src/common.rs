@@ -25,10 +25,9 @@ impl UBuf {
         match mode {
             MemMode::Explicit => {
                 let host = m.rt.malloc_system(bytes, &format!("{tag}.host"));
-                let dev = m
-                    .rt
-                    .cuda_malloc(bytes, &format!("{tag}.dev"))
-                    .expect("explicit version assumes the buffer fits in GPU memory");
+                let dev =
+                    m.rt.cuda_malloc(bytes, &format!("{tag}.dev"))
+                        .expect("explicit version assumes the buffer fits in GPU memory");
                 UBuf {
                     mode,
                     host: Some(host),

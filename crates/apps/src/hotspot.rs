@@ -50,6 +50,7 @@ fn seeded(seed: u64, i: u64) -> f32 {
 }
 
 /// One stencil update of row `r` into `out`.
+#[allow(clippy::needless_range_loop)] // index math mirrors the stencil neighbourhood
 fn stencil_row(t: &[f32], p: &[f32], out: &mut [f32], n: usize, r: usize) {
     for c in 0..n {
         let idx = r * n + c;
@@ -109,10 +110,9 @@ pub fn run(mut m: Machine, mode: MemMode, p: &HotspotParams) -> RunReport {
     let power = UBuf::alloc(&mut m, mode, bytes, "hotspot.power");
     // Ping-pong partner: GPU-only scratch in every version (the paper
     // keeps GPU-only intermediates in cudaMalloc).
-    let scratch = m
-        .rt
-        .cuda_malloc(bytes, "hotspot.scratch")
-        .expect("scaled hotspot fits in GPU memory");
+    let scratch =
+        m.rt.cuda_malloc(bytes, "hotspot.scratch")
+            .expect("scaled hotspot fits in GPU memory");
 
     // ---- CPU-side initialization ----
     m.phase(Phase::CpuInit);

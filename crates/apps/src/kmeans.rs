@@ -212,7 +212,10 @@ mod tests {
         for _ in 1..6 {
             last = lloyd_iteration(&mut m, &p);
         }
-        assert!(last <= first, "assignments must stabilize: {first} → {last}");
+        assert!(
+            last <= first,
+            "assignments must stabilize: {first} → {last}"
+        );
     }
 
     #[test]

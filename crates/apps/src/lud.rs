@@ -121,8 +121,20 @@ pub fn run(mut m: Machine, mode: MemMode, p: &LudParams) -> RunReport {
         k.finish();
         // perimeter + internal: the whole trailing submatrix, row-strided.
         let mut k = m.rt.launch("lud_internal");
-        k.read_strided(a_buf.gpu(), trail_off, trail_row_bytes, row_bytes, trail_rows);
-        k.write_strided(a_buf.gpu(), trail_off, trail_row_bytes, row_bytes, trail_rows);
+        k.read_strided(
+            a_buf.gpu(),
+            trail_off,
+            trail_row_bytes,
+            row_bytes,
+            trail_rows,
+        );
+        k.write_strided(
+            a_buf.gpu(),
+            trail_off,
+            trail_row_bytes,
+            row_bytes,
+            trail_rows,
+        );
         k.compute(trail_rows * trail_rows * BLOCK as u64 * 2);
         k.finish();
     }
@@ -166,12 +178,12 @@ mod tests {
                 for k in 0..=i.min(j) {
                     let l = if k == i { 1.0 } else { lu[i * n + k] as f64 };
                     let u = if k <= j { lu[k * n + j] as f64 } else { 0.0 };
-                    if k < i || k == i {
+                    if k <= i {
                         sum += l * u * if k <= j { 1.0 } else { 0.0 };
                     }
                 }
-                let rel = (sum - orig[i * n + j] as f64).abs()
-                    / (orig[i * n + j].abs() as f64).max(1.0);
+                let rel =
+                    (sum - orig[i * n + j] as f64).abs() / (orig[i * n + j].abs() as f64).max(1.0);
                 assert!(rel < 1e-3, "A[{i}][{j}]: {sum} vs {}", orig[i * n + j]);
             }
         }

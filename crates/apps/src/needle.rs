@@ -65,6 +65,7 @@ pub fn build_reference_matrix(p: &NeedleParams) -> Vec<i32> {
 }
 
 /// Plain full-matrix DP (correctness reference).
+#[allow(clippy::needless_range_loop)] // DP border init indexes the flat matrix directly
 pub fn reference(p: &NeedleParams) -> Vec<i32> {
     let w = p.n + 1;
     let reference = build_reference_matrix(p);
@@ -87,6 +88,7 @@ pub fn reference(p: &NeedleParams) -> Vec<i32> {
 
 /// Runs needle under `mode` (checksum = final alignment score
 /// `mat[n][n]`).
+#[allow(clippy::needless_range_loop)] // DP border init indexes the flat matrix directly
 pub fn run(mut m: Machine, mode: MemMode, p: &NeedleParams) -> RunReport {
     assert_eq!(p.n % BLOCK, 0, "n must be a multiple of {BLOCK}");
     let n = p.n;
@@ -220,7 +222,7 @@ mod tests {
         for i in 1..=p.n {
             refm[i * w + i] = 8;
         }
-        assert!(refm[w + 1] == 8 || refm[w + 1] < 8);
+        assert!(refm[w + 1] <= 8);
     }
 
     #[test]

@@ -84,10 +84,9 @@ pub fn run(mut m: Machine, mode: MemMode, p: &PathfinderParams) -> RunReport {
     m.phase(Phase::Alloc);
     let wall_buf = UBuf::alloc(&mut m, mode, wall_bytes, "pathfinder.wall");
     // Two result rows ping-pong on the GPU (GPU-only in all versions).
-    let result = m
-        .rt
-        .cuda_malloc(2 * row_bytes, "pathfinder.result")
-        .expect("two rows always fit");
+    let result =
+        m.rt.cuda_malloc(2 * row_bytes, "pathfinder.result")
+            .expect("two rows always fit");
 
     // ---- CPU-side initialization ----
     m.phase(Phase::CpuInit);

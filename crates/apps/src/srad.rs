@@ -93,6 +93,7 @@ fn srad1(g: &mut Grids, n: usize, q0: f32) {
     }
 }
 
+#[allow(clippy::needless_range_loop)] // index math mirrors the stencil neighbourhood
 fn srad2(g: &mut Grids, n: usize, lambda: f32) {
     // Row-parallel J update; reads c of south/east neighbours.
     let (dn, ds, dw, de, c) = (&g.dn, &g.ds, &g.dw, &g.de, &g.c);
@@ -241,10 +242,7 @@ mod tests {
             let m = v.iter().sum::<f32>() / v.len() as f32;
             v.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32
         };
-        assert!(
-            var(&after) < var(&before),
-            "diffusion must reduce variance"
-        );
+        assert!(var(&after) < var(&before), "diffusion must reduce variance");
     }
 
     #[test]

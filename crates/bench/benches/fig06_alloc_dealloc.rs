@@ -3,5 +3,9 @@
 fn main() {
     let fast = gh_bench::fast_requested();
     let csv = gh_bench::fig06_alloc_dealloc::run(fast);
-    gh_bench::emit("Figure 6: alloc/dealloc time, 4 KB vs 64 KB system pages (system version)", &csv, &["paper: dealloc improves 4.6x-38x (avg 15.9x) with 64 KB pages"]);
+    gh_bench::emit(
+        "Figure 6: alloc/dealloc time, 4 KB vs 64 KB system pages (system version)",
+        &csv,
+        &["paper: dealloc improves 4.6x-38x (avg 15.9x) with 64 KB pages"],
+    );
 }

@@ -3,5 +3,9 @@
 fn main() {
     let fast = gh_bench::fast_requested();
     let csv = gh_bench::fig09_qv_breakdown::run(fast);
-    gh_bench::emit("Figure 9: init/compute breakdown, paper-33q QV", &csv, &["paper: system init improves ~5x at 64 KB; total ~2.9x; managed ~10%"]);
+    gh_bench::emit(
+        "Figure 9: init/compute breakdown, paper-33q QV",
+        &csv,
+        &["paper: system init improves ~5x at 64 KB; total ~2.9x; managed ~10%"],
+    );
 }

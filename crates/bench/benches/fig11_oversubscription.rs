@@ -3,5 +3,9 @@
 fn main() {
     let fast = gh_bench::fast_requested();
     let csv = gh_bench::fig11_oversubscription::run(fast);
-    gh_bench::emit("Figure 11: system-over-managed speedup vs oversubscription ratio", &csv, &["paper: speedup grows with oversubscription; srad is the strongest outlier"]);
+    gh_bench::emit(
+        "Figure 11: system-over-managed speedup vs oversubscription ratio",
+        &csv,
+        &["paper: speedup grows with oversubscription; srad is the strongest outlier"],
+    );
 }

@@ -3,5 +3,9 @@
 fn main() {
     let fast = gh_bench::fast_requested();
     let csv = gh_bench::fig12_qv_throughput::run(fast);
-    gh_bench::emit("Figure 12: memory-tier throughput, paper-34q QV at 130% oversubscription", &csv, &["paper: un-prefetched managed is throttled by C2C; prefetching makes traffic HBM-local"]);
+    gh_bench::emit(
+        "Figure 12: memory-tier throughput, paper-34q QV at 130% oversubscription",
+        &csv,
+        &["paper: un-prefetched managed is throttled by C2C; prefetching makes traffic HBM-local"],
+    );
 }

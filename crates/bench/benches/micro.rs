@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks of the simulator's hot primitives: page
-//! table operations, TLB lookups, the radix map, kernel span metering,
+//! Micro-benchmarks of the simulator's hot primitives: page table
+//! operations, TLB lookups, the radix map, kernel span metering,
 //! statevector gate application and the parallel substrate.
+//!
+//! Self-timed (the offline dependency set has no criterion): each case
+//! runs a few warmup iterations, then reports min/median wall time over a
+//! fixed iteration count. `GH_FAST=1` cuts iteration counts for CI.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use gh_mem::pagetable::PageTable;
 use gh_mem::phys::{Node, PhysMem};
@@ -12,157 +16,171 @@ use gh_mem::tlb::Tlb;
 use gh_qsim::{Gate2, StateVector};
 use gh_sim::{Machine, MemMode};
 
-fn bench_radix(c: &mut Criterion) {
-    c.bench_function("radix_insert_get_4k", |b| {
-        b.iter_batched(
-            RadixTable::new,
-            |mut t| {
-                for k in 0..4096u64 {
-                    t.insert(k, k);
+fn iters() -> usize {
+    if gh_bench::fast_requested() {
+        3
+    } else {
+        15
+    }
+}
+
+/// Runs `f` with per-iteration setup from `setup`, printing min/median ns.
+fn bench<S, T, F, R>(name: &str, setup: S, mut f: F)
+where
+    S: Fn() -> T,
+    F: FnMut(T) -> R,
+{
+    let n = iters();
+    // Warmup.
+    for _ in 0..2.min(n) {
+        black_box(f(setup()));
+    }
+    let mut times: Vec<u128> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(f(input));
+        times.push(t0.elapsed().as_nanos());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    println!("{name:<40} min {:>12} ns   median {:>12} ns", min, median);
+}
+
+fn bench_radix() {
+    bench("radix_insert_get_4k", RadixTable::new, |mut t| {
+        for k in 0..4096u64 {
+            t.insert(k, k);
+        }
+        let mut acc = 0;
+        for k in 0..4096u64 {
+            acc += *t.get(k).unwrap();
+        }
+        acc
+    });
+}
+
+fn bench_pagetable() {
+    bench(
+        "pagetable_populate_translate_4k_pages",
+        || PageTable::new(4096),
+        |mut pt| {
+            for v in 0..2048 {
+                pt.populate(v, Node::Cpu, v + 1);
+            }
+            let mut hits = 0;
+            for v in 0..2048 {
+                if pt.translate(v).is_some() {
+                    hits += 1;
                 }
-                let mut acc = 0;
-                for k in 0..4096u64 {
-                    acc += *t.get(k).unwrap();
+            }
+            hits
+        },
+    );
+}
+
+fn bench_tlb() {
+    bench(
+        "tlb_streaming_miss_fill",
+        || Tlb::new(3072),
+        |mut tlb| {
+            let mut misses = 0;
+            for v in 0..10_000u64 {
+                if !tlb.lookup(v) {
+                    tlb.fill(v);
+                    misses += 1;
                 }
-                black_box(acc)
-            },
-            BatchSize::SmallInput,
-        )
-    });
+            }
+            misses
+        },
+    );
 }
 
-fn bench_pagetable(c: &mut Criterion) {
-    c.bench_function("pagetable_populate_translate_4k_pages", |b| {
-        b.iter_batched(
-            || PageTable::new(4096),
-            |mut pt| {
-                for v in 0..2048 {
-                    pt.populate(v, Node::Cpu, v + 1);
+fn bench_physmem() {
+    bench(
+        "physmem_alloc_release",
+        || PhysMem::new(1 << 30, 1 << 27, 0),
+        |mut pm| {
+            for _ in 0..1000 {
+                let f = pm.alloc(Node::Gpu, 65536).unwrap();
+                black_box(f);
+                pm.release(Node::Gpu, 65536);
+            }
+        },
+    );
+}
+
+fn bench_kernel_span() {
+    bench(
+        "kernel_dense_span_64MiB_system",
+        || {
+            let mut m = Machine::default_gh200();
+            let buf = m.rt.malloc_system(64 << 20, "x");
+            m.rt.cpu_write(&buf, 0, 64 << 20);
+            (m, buf)
+        },
+        |(mut m, buf)| {
+            let mut k = m.rt.launch("bench");
+            k.read(&buf, 0, 64 << 20);
+            k.finish().time
+        },
+    );
+}
+
+fn bench_gate_apply() {
+    let g = Gate2::random_su4(1);
+    bench(
+        "statevector_gate2_apply_16q",
+        || StateVector::zero_state(16),
+        |mut s| {
+            s.apply_gate2(&g, 3, 11);
+            s.amp(0)
+        },
+    );
+}
+
+fn bench_setcache() {
+    bench(
+        "setcache_stream_64k_lines",
+        || gh_mem::SetCache::new(40 << 20, 128, 16),
+        |mut l2| {
+            let mut misses = 0;
+            for i in 0..65_536u64 {
+                if !l2.access(i * 128) {
+                    misses += 1;
                 }
-                let mut hits = 0;
-                for v in 0..2048 {
-                    if pt.translate(v).is_some() {
-                        hits += 1;
-                    }
-                }
-                black_box(hits)
-            },
-            BatchSize::SmallInput,
-        )
-    });
+            }
+            misses
+        },
+    );
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    c.bench_function("tlb_streaming_miss_fill", |b| {
-        b.iter_batched(
-            || Tlb::new(3072),
-            |mut tlb| {
-                let mut misses = 0;
-                for v in 0..10_000u64 {
-                    if !tlb.lookup(v) {
-                        tlb.fill(v);
-                        misses += 1;
-                    }
-                }
-                black_box(misses)
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_par_sort() {
+    bench(
+        "par_sort_unstable_1M_u64",
+        || {
+            (0..1_000_000u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .collect::<Vec<_>>()
+        },
+        |mut v| {
+            gh_par::par_sort_unstable(&mut v);
+            v[0]
+        },
+    );
 }
 
-fn bench_physmem(c: &mut Criterion) {
-    c.bench_function("physmem_alloc_release", |b| {
-        b.iter_batched(
-            || PhysMem::new(1 << 30, 1 << 27, 0),
-            |mut pm| {
-                for _ in 0..1000 {
-                    let f = pm.alloc(Node::Gpu, 65536).unwrap();
-                    black_box(f);
-                    pm.release(Node::Gpu, 65536);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_fusion() {
+    let circuit = gh_qsim::QvCircuit::generate(20, 3);
+    bench(
+        "gate_fusion_qv_200",
+        || (),
+        |_| gh_qsim::fuse(&circuit).len(),
+    );
 }
 
-fn bench_kernel_span(c: &mut Criterion) {
-    c.bench_function("kernel_dense_span_64MiB_system", |b| {
-        b.iter_batched(
-            || {
-                let mut m = Machine::default_gh200();
-                let buf = m.rt.malloc_system(64 << 20, "x");
-                m.rt.cpu_write(&buf, 0, 64 << 20);
-                (m, buf)
-            },
-            |(mut m, buf)| {
-                let mut k = m.rt.launch("bench");
-                k.read(&buf, 0, 64 << 20);
-                black_box(k.finish().time)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_gate_apply(c: &mut Criterion) {
-    c.bench_function("statevector_gate2_apply_16q", |b| {
-        let g = Gate2::random_su4(1);
-        b.iter_batched(
-            || StateVector::zero_state(16),
-            |mut s| {
-                s.apply_gate2(&g, 3, 11);
-                black_box(s.amp(0))
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_setcache(c: &mut Criterion) {
-    c.bench_function("setcache_stream_64k_lines", |b| {
-        b.iter_batched(
-            || gh_mem::SetCache::new(40 << 20, 128, 16),
-            |mut l2| {
-                let mut misses = 0;
-                for i in 0..65_536u64 {
-                    if !l2.access(i * 128) {
-                        misses += 1;
-                    }
-                }
-                black_box(misses)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_par_sort(c: &mut Criterion) {
-    c.bench_function("par_sort_unstable_1M_u64", |b| {
-        b.iter_batched(
-            || {
-                (0..1_000_000u64)
-                    .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                    .collect::<Vec<_>>()
-            },
-            |mut v| {
-                gh_par::par_sort_unstable(&mut v);
-                black_box(v[0])
-            },
-            BatchSize::LargeInput,
-        )
-    });
-}
-
-fn bench_fusion(c: &mut Criterion) {
-    c.bench_function("gate_fusion_qv_200", |b| {
-        let circuit = gh_qsim::QvCircuit::generate(20, 3);
-        b.iter(|| black_box(gh_qsim::fuse(&circuit).len()))
-    });
-}
-
-fn bench_replay_parse(c: &mut Criterion) {
+fn bench_replay_parse() {
     // 50 uniquely-named alloc/init/kernel/free blocks.
     let trace: String = (0..50)
         .map(|i| {
@@ -177,58 +195,52 @@ free b{i}
             )
         })
         .collect();
-    c.bench_function("replay_50_blocks", |b| {
-        b.iter(|| {
+    bench(
+        "replay_50_blocks",
+        || (),
+        |_| {
             let r = gh_sim::replay(gh_sim::Machine::default_gh200(), &trace, None).unwrap();
-            black_box(r.reported_total())
-        })
-    });
+            r.reported_total()
+        },
+    );
 }
 
-fn bench_par(c: &mut Criterion) {
-    c.bench_function("par_map_reduce_1M", |b| {
-        b.iter(|| {
-            black_box(gh_par::par_map_reduce(
-                0..1_000_000,
-                0u64,
-                |i| i as u64,
-                |a, x| a.wrapping_add(x),
-            ))
-        })
-    });
+fn bench_par() {
+    bench(
+        "par_map_reduce_1M",
+        || (),
+        |_| gh_par::par_map_reduce(0..1_000_000, 0u64, |i| i as u64, |a, x| a.wrapping_add(x)),
+    );
 }
 
-fn bench_app_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("apps_small");
-    g.sample_size(10);
+fn bench_app_end_to_end() {
     for mode in MemMode::ALL {
-        g.bench_function(format!("hotspot_small_{mode}"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("hotspot_small_{mode}"),
+            || (),
+            |_| {
                 let p = gh_apps::hotspot::HotspotParams {
                     size: 128,
                     iterations: 5,
                     seed: 1,
                 };
-                black_box(gh_apps::hotspot::run(Machine::default_gh200(), mode, &p).checksum)
-            })
-        });
+                gh_apps::hotspot::run(Machine::default_gh200(), mode, &p).checksum
+            },
+        );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_radix,
-    bench_pagetable,
-    bench_tlb,
-    bench_physmem,
-    bench_kernel_span,
-    bench_gate_apply,
-    bench_setcache,
-    bench_par_sort,
-    bench_fusion,
-    bench_replay_parse,
-    bench_par,
-    bench_app_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_radix();
+    bench_pagetable();
+    bench_tlb();
+    bench_physmem();
+    bench_kernel_span();
+    bench_gate_apply();
+    bench_setcache();
+    bench_par_sort();
+    bench_fusion();
+    bench_replay_parse();
+    bench_par();
+    bench_app_end_to_end();
+}

@@ -15,14 +15,19 @@ pub fn threshold_sweep(fast: bool) -> Csv {
     // so thresholds must span well past that to delay or suppress
     // migration.
     for threshold in [256u32, 16_384, 65_536, 262_144, 2_000_000] {
-        let mut params = CostParams::default();
-        params.counter_threshold = threshold;
+        let params = CostParams {
+            counter_threshold: threshold,
+            ..Default::default()
+        };
         let m = Machine::new(params, RuntimeOptions::default());
         let r = srad::run(m, MemMode::System, &p);
         csv.row([
             threshold.to_string(),
             format!("{:.3}", r.phases.compute as f64 / 1e6),
-            format!("{:.2}", r.traffic.bytes_migrated_in as f64 / (1 << 20) as f64),
+            format!(
+                "{:.2}",
+                r.traffic.bytes_migrated_in as f64 / (1 << 20) as f64
+            ),
         ]);
     }
     csv
@@ -34,8 +39,10 @@ pub fn budget_sweep(fast: bool) -> Csv {
     let p = srad_params(fast);
     let mut csv = Csv::new(["budget", "compute_ms", "iter1_c2c_mib", "iter4_c2c_mib"]);
     for budget in [1usize, 2, 4, 8, 64] {
-        let mut params = CostParams::default();
-        params.counter_budget_per_kernel = budget;
+        let params = CostParams {
+            counter_budget_per_kernel: budget,
+            ..Default::default()
+        };
         let m = Machine::new(params, RuntimeOptions::default());
         let r = srad::run(m, MemMode::System, &p);
         let srads: Vec<_> = r
@@ -62,8 +69,10 @@ pub fn fault_batch_sweep(fast: bool) -> Csv {
     let p = srad_params(fast);
     let mut csv = Csv::new(["uvm_fault_batch_us", "compute_ms"]);
     for us in [5u64, 15, 28, 45, 90] {
-        let mut params = CostParams::default();
-        params.uvm_fault_batch = us * 1_000;
+        let params = CostParams {
+            uvm_fault_batch: us * 1_000,
+            ..Default::default()
+        };
         let m = Machine::new(params, RuntimeOptions::default());
         let r = srad::run(m, MemMode::Managed, &p);
         csv.row([

@@ -37,7 +37,11 @@ pub fn run(fast: bool) -> Csv {
         let m = machine(false, false);
         let p = m.rt.params();
         let dt = gh_sim::CostParams::transfer_ns(3 * bytes, p.lpddr_bw);
-        csv.row(["cpu_lpddr_stream".to_string(), gbps(3 * bytes, dt), "486".into()]);
+        csv.row([
+            "cpu_lpddr_stream".to_string(),
+            gbps(3 * bytes, dt),
+            "486".into(),
+        ]);
     }
 
     // Comm|Scope H2D / D2H: bulk cudaMemcpy between pinned host memory

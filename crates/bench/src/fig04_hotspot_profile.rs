@@ -3,7 +3,6 @@
 use gh_apps::{hotspot, MemMode};
 use gh_profiler::Csv;
 
-
 /// Produces the (mode, t_ms, rss_mib, gpu_used_mib) series for both
 /// unified-memory versions.
 pub fn run(fast: bool) -> Csv {

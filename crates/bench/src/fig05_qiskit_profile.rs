@@ -5,7 +5,6 @@ use gh_apps::MemMode;
 use gh_profiler::Csv;
 use gh_qsim::{run_qv, QsimParams};
 
-
 /// Produces the (mode, t_ms, rss_mib, gpu_used_mib) series. Default is
 /// the paper's 30-qubit run (20 simulated qubits, 8 MiB statevector).
 pub fn run(fast: bool) -> Csv {

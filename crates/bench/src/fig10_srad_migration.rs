@@ -14,7 +14,13 @@ pub fn run(fast: bool) -> Csv {
     // (the run costs well under a second).
     let _ = fast;
     let p = srad::SradParams::default();
-    let mut csv = Csv::new(["mode", "iteration", "time_ms", "gpu_read_mib", "c2c_read_mib"]);
+    let mut csv = Csv::new([
+        "mode",
+        "iteration",
+        "time_ms",
+        "gpu_read_mib",
+        "c2c_read_mib",
+    ]);
     for mode in [MemMode::System, MemMode::Managed] {
         // §6 experiments: automatic migration enabled, 64 KB pages.
         let r = srad::run(machine(false, true), mode, &p);

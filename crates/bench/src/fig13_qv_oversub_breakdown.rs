@@ -38,9 +38,11 @@ pub fn run(fast: bool) -> Csv {
             ..Default::default()
         };
         let m = if fast {
-            let mut params = gh_sim::CostParams::default();
-            params.gpu_mem_bytes = 13 << 20; // 16 MiB statevector → ~130%
-            params.gpu_driver_baseline = 512 << 10;
+            let mut params = gh_sim::CostParams {
+                gpu_mem_bytes: 13 << 20, // 16 MiB statevector → ~130%
+                gpu_driver_baseline: 512 << 10,
+                ..Default::default()
+            };
             if page4k {
                 params.system_page_size = 4096;
             }

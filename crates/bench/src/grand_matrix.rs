@@ -48,10 +48,7 @@ fn push(csv: &mut Csv, name: &str, mode: MemMode, page: &str, r: &gh_sim::RunRep
         mode.label().to_string(),
         page.to_string(),
         format!("{:.3}", r.reported_total() as f64 / 1e6),
-        format!(
-            "{}",
-            (r.traffic.c2c_read + r.traffic.c2c_write) >> 20
-        ),
+        format!("{}", (r.traffic.c2c_read + r.traffic.c2c_write) >> 20),
         format!("{}", r.traffic.bytes_migrated_in >> 20),
         format!("{}", r.traffic.gpu_faults + r.traffic.ats_faults),
     ]);

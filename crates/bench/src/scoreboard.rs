@@ -125,9 +125,7 @@ pub fn run() -> Vec<Claim> {
     {
         let csv = crate::fig10_srad_migration::run(true);
         let c2c = crate::fig10_srad_migration::series(&csv, "system", 4);
-        let ok = c2c[0] > 0.0
-            && c2c[1] > 0.0
-            && *c2c.last().unwrap() < c2c[0] * 0.2;
+        let ok = c2c[0] > 0.0 && c2c[1] > 0.0 && *c2c.last().unwrap() < c2c[0] * 0.2;
         claims.push(Claim {
             source: "Fig 10",
             claim: "access-counter migration drains SRAD's remote reads over iterations 1-4",

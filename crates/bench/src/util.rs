@@ -26,6 +26,8 @@ pub fn machine_with(params: CostParams, opts: RuntimeOptions) -> Machine {
 }
 
 /// Runs one application (default or shrunk input) on a fresh machine.
+/// With `GH_TRACE=1` the run is traced on the observability bus and the
+/// trace artifacts are exported (see [`traced`]).
 pub fn run_app(
     app: AppId,
     mode: MemMode,
@@ -33,12 +35,70 @@ pub fn run_app(
     auto_migration: bool,
     fast: bool,
 ) -> RunReport {
-    let m = machine(page_4k, auto_migration);
-    if fast {
-        app.run_small(m, mode)
-    } else {
-        app.run(m, mode)
+    let label = format!(
+        "{}-{}-{}",
+        app.name(),
+        mode.label(),
+        if page_4k { "4k" } else { "64k" }
+    );
+    traced(&label, || {
+        let m = machine(page_4k, auto_migration);
+        if fast {
+            app.run_small(m, mode)
+        } else {
+            app.run(m, mode)
+        }
+    })
+}
+
+/// True when the `GH_TRACE` environment variable asks for bus tracing.
+pub fn trace_requested() -> bool {
+    std::env::var("GH_TRACE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Runs `f` with the observability bus enabled when `GH_TRACE=1`; the
+/// drained trace is exported via [`export_trace`] under `label`. When
+/// tracing is off, `f` runs untouched — recording is no-op-gated, so
+/// virtual-time results are identical either way.
+pub fn traced(label: &str, f: impl FnOnce() -> RunReport) -> RunReport {
+    if !trace_requested() {
+        return f();
     }
+    gh_trace::enable();
+    let mut r = f();
+    gh_trace::disable();
+    // Machine::finish drains the bus into the report; drain here as a
+    // fallback for workloads that bypass finish.
+    if r.trace.is_none() {
+        r.trace = Some(gh_trace::take());
+    }
+    export_trace(label, &r);
+    r
+}
+
+/// Writes `<prefix>-<label>.trace.json` (Chrome trace, Perfetto-loadable)
+/// and `<prefix>-<label>.metrics.csv` next to the working directory and
+/// prints the explain table to stderr. The prefix defaults to `gh-trace`
+/// and is overridden with `GH_TRACE_OUT`.
+pub fn export_trace(label: &str, r: &RunReport) {
+    let Some(t) = &r.trace else { return };
+    let prefix = std::env::var("GH_TRACE_OUT").unwrap_or_else(|_| "gh-trace".into());
+    let slug: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let trace_path = format!("{prefix}-{slug}.trace.json");
+    let metrics_path = format!("{prefix}-{slug}.metrics.csv");
+    if let Err(e) = std::fs::write(&trace_path, gh_trace::export::chrome_trace(t)) {
+        eprintln!("cannot write {trace_path}: {e}");
+        return;
+    }
+    if let Err(e) = std::fs::write(&metrics_path, gh_trace::export::metrics_csv(t)) {
+        eprintln!("cannot write {metrics_path}: {e}");
+        return;
+    }
+    eprintln!("{}", gh_trace::export::explain(t));
+    eprintln!("trace: {trace_path}  metrics: {metrics_path}");
 }
 
 /// Measures an application's peak GPU usage (above the driver baseline)

@@ -65,7 +65,14 @@ impl Advice {
 }
 
 /// Evaluates `trace` under every (mode × page size) combination.
+///
+/// Each candidate run is traced on the observability bus so the derived
+/// notes can cite *measured* event counts (fault costs, evictions, link
+/// bytes) rather than only end-of-run traffic totals. The bus is owned by
+/// the advisor for the duration of the call: any ambient trace data is
+/// cleared, and the bus is left disabled unless it was already enabled.
 pub fn advise(trace: &str) -> Result<Advice, replay::ReplayError> {
+    let was_enabled = gh_trace::enabled();
     let mut rows = Vec::new();
     for mode in MemMode::ALL {
         for page_4k in [false, true] {
@@ -74,8 +81,13 @@ pub fn advise(trace: &str) -> Result<Advice, replay::ReplayError> {
             } else {
                 CostParams::with_64k_pages()
             };
+            gh_trace::enable();
             let machine = Machine::new(params.clone(), RuntimeOptions::default());
-            let report = replay::replay(machine, trace, Some(mode))?;
+            let report = replay::replay(machine, trace, Some(mode));
+            if !was_enabled {
+                gh_trace::disable();
+            }
+            let report = report?;
             rows.push(AdvisorRow {
                 mode,
                 page_size: params.system_page_size,
@@ -95,7 +107,11 @@ fn derive_notes(rows: &[AdvisorRow]) -> Vec<String> {
     notes.push(format!(
         "best configuration: {} memory with {} pages",
         best.mode.label(),
-        if best.page_size == 4096 { "4 KiB" } else { "64 KiB" }
+        if best.page_size == 4096 {
+            "4 KiB"
+        } else {
+            "64 KiB"
+        }
     ));
     if best.mode == MemMode::System {
         notes.push(
@@ -106,21 +122,45 @@ fn derive_notes(rows: &[AdvisorRow]) -> Vec<String> {
     }
     if let Some(r) = rows.iter().find(|r| r.mode == MemMode::System) {
         if r.report.traffic.ats_faults > 0 {
-            notes.push(format!(
+            let mut note = format!(
                 "system memory pays {} GPU-first-touch (ATS) faults — consider \
                  cudaHostRegister pre-population or 64 KiB pages (paper 5.1.2)",
                 r.report.traffic.ats_faults
-            ));
+            );
+            // Cite the measured per-fault cost distribution when traced.
+            if let Some(t) = &r.report.trace {
+                if let Some(h) = t.metrics.histogram("fault.cost_ns") {
+                    if h.count > 0 {
+                        note.push_str(&format!(
+                            " [measured: mean fault cost {:.0} ns, max {} ns]",
+                            h.mean(),
+                            h.max
+                        ));
+                    }
+                }
+            }
+            notes.push(note);
         }
     }
     if let Some(r) = rows.iter().find(|r| r.mode == MemMode::Managed) {
         if r.report.traffic.pages_migrated_out > 0 {
-            notes.push(
+            let mut note = String::from(
                 "managed memory evicted under GPU memory pressure — expect \
                  oversubscription churn; system memory degrades more gracefully \
-                 (paper Fig 11)"
-                    .into(),
+                 (paper Fig 11)",
             );
+            if let Some(t) = &r.report.trace {
+                let ev = t.counter("uvm.evictions");
+                let out = t.counter("uvm.bytes_migrated_out");
+                if ev > 0 {
+                    note.push_str(&format!(
+                        " [measured: {} eviction events, {} MiB migrated out]",
+                        ev,
+                        out >> 20
+                    ));
+                }
+            }
+            notes.push(note);
         }
     }
     let sys64 = rows
@@ -199,7 +239,7 @@ end
     fn render_contains_all_rows() {
         let advice = advise(CPU_INIT_TRACE).unwrap();
         let text = advice.render();
-        assert_eq!(text.matches("system").count() >= 2, true);
+        assert!(text.matches("system").count() >= 2);
         assert!(text.contains("managed"));
         assert!(text.contains("explicit"));
         assert!(text.contains("note:"));

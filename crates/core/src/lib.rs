@@ -36,11 +36,11 @@ pub mod mode;
 pub mod replay;
 pub mod report;
 
+pub use advisor::{advise, Advice};
 pub use gh_cuda::{BufKind, Buffer, Kernel, KernelReport, Runtime, RuntimeOptions, StreamId};
 pub use gh_mem::params::{CostParams, KIB, MIB};
 pub use gh_mem::phys::Node;
 pub use gh_profiler::{Phase, PhaseTimes, Sample};
-pub use advisor::{advise, Advice};
 pub use machine::Machine;
 pub use mode::MemMode;
 pub use replay::{replay, replay_on, ReplayError};

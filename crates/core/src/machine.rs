@@ -15,6 +15,8 @@ pub struct Machine {
     timer: PhaseTimer,
     balloon: Option<Buffer>,
     checksum: f64,
+    /// Whether a phase span is open on the trace bus (mirrors the timer).
+    phase_span_open: bool,
 }
 
 impl Machine {
@@ -25,6 +27,7 @@ impl Machine {
             timer: PhaseTimer::new(),
             balloon: None,
             checksum: 0.0,
+            phase_span_open: false,
         }
     }
 
@@ -42,6 +45,11 @@ impl Machine {
     pub fn phase(&mut self, p: Phase) {
         let now = self.rt.now();
         self.timer.enter(p, now);
+        if self.phase_span_open {
+            gh_trace::span_exit();
+        }
+        gh_trace::span_enter(p.label(), "phase");
+        self.phase_span_open = gh_trace::enabled();
     }
 
     /// Records the application's correctness checksum.
@@ -85,6 +93,10 @@ impl Machine {
     /// Closes the run and extracts the report. Consumes the machine.
     pub fn finish(mut self) -> RunReport {
         self.release_balloon();
+        if self.phase_span_open {
+            gh_trace::span_exit();
+            self.phase_span_open = false;
+        }
         let now = self.rt.now();
         let phases = self.timer.finish(now);
         let peak_gpu = self.rt.peak_gpu();
@@ -94,6 +106,9 @@ impl Machine {
         let checksum = self.checksum;
         let peak_rss = self.rt.peak_rss();
         let samples = self.rt.into_samples();
+        // Drain the bus into the report so exporters (chrome trace,
+        // metrics dump, explain table) work off one snapshot.
+        let trace = gh_trace::enabled().then(gh_trace::take);
         RunReport {
             phases,
             samples,
@@ -103,6 +118,7 @@ impl Machine {
             kernel_history,
             kernel_times,
             checksum,
+            trace,
         }
     }
 }

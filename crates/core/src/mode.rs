@@ -1,9 +1,7 @@
 //! Memory-management modes: the paper's three application variants.
 
-use serde::Serialize;
-
 /// Which memory-management strategy an application variant uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemMode {
     /// The original version: `cudaMalloc` + explicit `cudaMemcpy`.
     Explicit,

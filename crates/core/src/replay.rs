@@ -160,17 +160,17 @@ pub fn replay_on(
                     return Err(err(n, format!("buffer '{name}' already exists")));
                 }
                 let bytes = size_at(3)?;
-                let kind = match (tok[2], mode) {
-                    ("system", Some(MemMode::Managed)) | ("managed", Some(MemMode::Managed)) => {
-                        "managed"
-                    }
-                    ("system", Some(MemMode::System)) | ("managed", Some(MemMode::System)) => {
-                        "system"
-                    }
-                    ("system", Some(MemMode::Explicit))
-                    | ("managed", Some(MemMode::Explicit)) => "explicit_pair",
-                    (k, _) => k,
-                };
+                let kind =
+                    match (tok[2], mode) {
+                        ("system", Some(MemMode::Managed))
+                        | ("managed", Some(MemMode::Managed)) => "managed",
+                        ("system", Some(MemMode::System)) | ("managed", Some(MemMode::System)) => {
+                            "system"
+                        }
+                        ("system", Some(MemMode::Explicit))
+                        | ("managed", Some(MemMode::Explicit)) => "explicit_pair",
+                        (k, _) => k,
+                    };
                 let buf = match kind {
                     "system" => RBuf::unified(machine.rt.malloc_system(bytes, &name)),
                     "managed" => RBuf::unified(machine.rt.cuda_malloc_managed(bytes, &name)),
@@ -212,7 +212,9 @@ pub fn replay_on(
                 } else {
                     if let (Some(h), true) = (b.host, b.dev_dirty) {
                         // Explicit pair: results come back via cudaMemcpy.
-                        machine.rt.memcpy(&h, 0, &b.dev, 0, b.dev.len().min(h.len()));
+                        machine
+                            .rt
+                            .memcpy(&h, 0, &b.dev, 0, b.dev.len().min(h.len()));
                         bufs.get_mut(tok[1]).unwrap().dev_dirty = false;
                     }
                     machine.rt.cpu_read(&host_side, off, len);
@@ -230,7 +232,9 @@ pub fn replay_on(
                 for name in dirty {
                     let b = bufs[&name];
                     let h = b.host.unwrap();
-                    machine.rt.memcpy(&b.dev, 0, &h, 0, h.len().min(b.dev.len()));
+                    machine
+                        .rt
+                        .memcpy(&b.dev, 0, &h, 0, h.len().min(b.dev.len()));
                     bufs.get_mut(&name).unwrap().host_dirty = false;
                 }
                 let mut k = machine.rt.launch(label);

@@ -3,9 +3,10 @@
 use gh_mem::clock::Ns;
 use gh_mem::traffic::KernelTraffic;
 use gh_profiler::{PhaseTimes, Sample};
+use std::fmt::Write as _;
 
 /// Everything a finished run produced, for figure harnesses and tests.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Per-phase virtual durations.
     pub phases: PhaseTimes,
@@ -23,6 +24,9 @@ pub struct RunReport {
     pub kernel_times: Vec<(String, Ns)>,
     /// Application-defined checksum for correctness verification.
     pub checksum: f64,
+    /// Structured trace drained from the observability bus at `finish`
+    /// (`None` when tracing was disabled for the run).
+    pub trace: Option<gh_trace::TraceData>,
 }
 
 impl RunReport {
@@ -49,307 +53,110 @@ impl RunReport {
             .collect()
     }
 
-    /// Serializes the full report as pretty JSON (phases, samples,
-    /// traffic, per-kernel history).
+    /// Human-readable per-phase breakdown of what the bus recorded
+    /// (faults, migration traffic, link utilization). `None` when the run
+    /// was not traced.
+    pub fn explain(&self) -> Option<String> {
+        self.trace.as_ref().map(gh_trace::export::explain)
+    }
+
+    /// Chrome-trace (Perfetto) JSON built from the bus data. `None` when
+    /// the run was not traced.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace.as_ref().map(gh_trace::export::chrome_trace)
+    }
+
+    /// Metrics registry as CSV. `None` when the run was not traced.
+    pub fn metrics_csv(&self) -> Option<String> {
+        self.trace.as_ref().map(gh_trace::export::metrics_csv)
+    }
+
+    /// Metrics registry as JSON. `None` when the run was not traced.
+    pub fn metrics_json(&self) -> Option<String> {
+        self.trace.as_ref().map(gh_trace::export::metrics_json)
+    }
+
+    /// Serializes the full report as compact JSON (phases, samples,
+    /// traffic, per-kernel history). Hand-rolled: the offline dependency
+    /// set has no serde, and the report's shape is fixed. String escaping
+    /// is shared with every other exporter via [`gh_trace::json`].
     pub fn to_json(&self) -> String {
-        // Hand-rolled pretty printing is avoided: serde_json is not in
-        // the offline dependency set, so serialize via the compact
-        // internal writer below.
-        crate::report::json::to_json_value(self)
+        let mut o = String::with_capacity(1024);
+        o.push_str("{\"phases\":");
+        json_phases(&mut o, &self.phases);
+        o.push_str(",\"samples\":[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"t\":{},\"rss\":{},\"gpu_used\":{}}}",
+                s.t, s.rss, s.gpu_used
+            );
+        }
+        let _ = write!(
+            o,
+            "],\"peak_gpu\":{},\"peak_rss\":{},\"traffic\":",
+            self.peak_gpu, self.peak_rss
+        );
+        json_traffic(&mut o, &self.traffic);
+        o.push_str(",\"kernel_history\":[");
+        for (i, (name, t)) in self.kernel_history.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push('[');
+            gh_trace::json::quote_into(&mut o, name);
+            o.push(',');
+            json_traffic(&mut o, t);
+            o.push(']');
+        }
+        o.push_str("],\"kernel_times\":[");
+        for (i, (name, ns)) in self.kernel_times.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push('[');
+            gh_trace::json::quote_into(&mut o, name);
+            let _ = write!(o, ",{ns}]");
+        }
+        o.push_str("],\"checksum\":");
+        o.push_str(&gh_trace::json::f64_value(self.checksum));
+        o.push('}');
+        o
     }
 }
 
-/// Minimal JSON serialization (the offline crate set has serde but not
-/// serde_json, so a compact serializer is provided here; it supports the
-/// subset of shapes `RunReport` uses).
-pub mod json {
-    use serde::ser::{self, Serialize};
+fn json_phases(o: &mut String, p: &PhaseTimes) {
+    let _ = write!(
+        o,
+        "{{\"ctx_init\":{},\"alloc\":{},\"cpu_init\":{},\"compute\":{},\"dealloc\":{}}}",
+        p.ctx_init, p.alloc, p.cpu_init, p.compute, p.dealloc
+    );
+}
 
-    /// Serializes any `Serialize` value to a JSON string using a small
-    /// built-in serializer (objects, arrays, strings, numbers, bools).
-    pub fn to_json_value<T: Serialize>(v: &T) -> String {
-        let mut out = String::new();
-        v.serialize(Ser { out: &mut out }).expect("JSON serialization");
-        out
-    }
-
-    struct Ser<'a> {
-        out: &'a mut String,
-    }
-
-    /// Serialization error (should not occur for `RunReport` shapes).
-    #[derive(Debug)]
-    pub struct Error(String);
-    impl std::fmt::Display for Error {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.write_str(&self.0)
-        }
-    }
-    impl std::error::Error for Error {}
-    impl ser::Error for Error {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
-        }
-    }
-
-    fn esc(out: &mut String, s: &str) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-
-    macro_rules! num {
-        ($($f:ident: $t:ty),*) => {
-            $(fn $f(self, v: $t) -> Result<(), Error> {
-                self.out.push_str(&v.to_string());
-                Ok(())
-            })*
-        };
-    }
-
-    impl<'a> ser::Serializer for Ser<'a> {
-        type Ok = ();
-        type Error = Error;
-        type SerializeSeq = SeqSer<'a>;
-        type SerializeTuple = SeqSer<'a>;
-        type SerializeTupleStruct = SeqSer<'a>;
-        type SerializeTupleVariant = SeqSer<'a>;
-        type SerializeMap = MapSer<'a>;
-        type SerializeStruct = MapSer<'a>;
-        type SerializeStructVariant = MapSer<'a>;
-
-        num!(serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
-             serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64);
-
-        fn serialize_f32(self, v: f32) -> Result<(), Error> {
-            self.serialize_f64(v as f64)
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Error> {
-            if v.is_finite() {
-                self.out.push_str(&v.to_string());
-            } else {
-                self.out.push_str("null");
-            }
-            Ok(())
-        }
-        fn serialize_bool(self, v: bool) -> Result<(), Error> {
-            self.out.push_str(if v { "true" } else { "false" });
-            Ok(())
-        }
-        fn serialize_char(self, v: char) -> Result<(), Error> {
-            esc(self.out, &v.to_string());
-            Ok(())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Error> {
-            esc(self.out, v);
-            Ok(())
-        }
-        fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
-            use serde::ser::SerializeSeq;
-            let mut seq = self.serialize_seq(Some(v.len()))?;
-            for b in v {
-                seq.serialize_element(b)?;
-            }
-            seq.end()
-        }
-        fn serialize_none(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            variant: &'static str,
-        ) -> Result<(), Error> {
-            esc(self.out, variant);
-            Ok(())
-        }
-        fn serialize_newtype_struct<T: Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_newtype_variant<T: Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            _: u32,
-            variant: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            self.out.push('{');
-            esc(self.out, variant);
-            self.out.push(':');
-            v.serialize(Ser { out: self.out })?;
-            self.out.push('}');
-            Ok(())
-        }
-        fn serialize_seq(self, _: Option<usize>) -> Result<SeqSer<'a>, Error> {
-            self.out.push('[');
-            Ok(SeqSer {
-                out: self.out,
-                first: true,
-            })
-        }
-        fn serialize_tuple(self, len: usize) -> Result<SeqSer<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(self, _: &'static str, len: usize) -> Result<SeqSer<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<SeqSer<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _: Option<usize>) -> Result<MapSer<'a>, Error> {
-            self.out.push('{');
-            Ok(MapSer {
-                out: self.out,
-                first: true,
-            })
-        }
-        fn serialize_struct(self, _: &'static str, len: usize) -> Result<MapSer<'a>, Error> {
-            self.serialize_map(Some(len))
-        }
-        fn serialize_struct_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<MapSer<'a>, Error> {
-            self.serialize_map(Some(len))
-        }
-    }
-
-    pub struct SeqSer<'a> {
-        out: &'a mut String,
-        first: bool,
-    }
-    impl<'a> ser::SerializeSeq for SeqSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            if !self.first {
-                self.out.push(',');
-            }
-            self.first = false;
-            v.serialize(Ser { out: self.out })
-        }
-        fn end(self) -> Result<(), Error> {
-            self.out.push(']');
-            Ok(())
-        }
-    }
-    impl<'a> ser::SerializeTuple for SeqSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-    impl<'a> ser::SerializeTupleStruct for SeqSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-    impl<'a> ser::SerializeTupleVariant for SeqSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-
-    pub struct MapSer<'a> {
-        out: &'a mut String,
-        first: bool,
-    }
-    impl<'a> ser::SerializeMap for MapSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_key<T: Serialize + ?Sized>(&mut self, k: &T) -> Result<(), Error> {
-            if !self.first {
-                self.out.push(',');
-            }
-            self.first = false;
-            k.serialize(Ser { out: self.out })
-        }
-        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            self.out.push(':');
-            v.serialize(Ser { out: self.out })
-        }
-        fn end(self) -> Result<(), Error> {
-            self.out.push('}');
-            Ok(())
-        }
-    }
-    impl<'a> ser::SerializeStruct for MapSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeMap::serialize_key(self, key)?;
-            ser::SerializeMap::serialize_value(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeMap::end(self)
-        }
-    }
-    impl<'a> ser::SerializeStructVariant for MapSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeStruct::serialize_field(self, key, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.out.push('}');
-            Ok(())
-        }
-    }
+fn json_traffic(o: &mut String, t: &KernelTraffic) {
+    let _ = write!(
+        o,
+        "{{\"hbm_read\":{},\"hbm_write\":{},\"c2c_read\":{},\"c2c_write\":{},\"l1l2\":{},\
+         \"gpu_faults\":{},\"ats_faults\":{},\"tlb_misses\":{},\"pages_migrated_in\":{},\
+         \"pages_migrated_out\":{},\"bytes_migrated_in\":{},\"bytes_migrated_out\":{},\
+         \"notifications\":{}}}",
+        t.hbm_read,
+        t.hbm_write,
+        t.c2c_read,
+        t.c2c_write,
+        t.l1l2,
+        t.gpu_faults,
+        t.ats_faults,
+        t.tlb_misses,
+        t.pages_migrated_in,
+        t.pages_migrated_out,
+        t.bytes_migrated_in,
+        t.bytes_migrated_out,
+        t.notifications
+    );
 }
 
 #[cfg(test)]
@@ -370,6 +177,7 @@ mod tests {
             ],
             kernel_times: vec![("srad1#1".into(), 10), ("srad2#2".into(), 20)],
             checksum: 0.0,
+            trace: None,
         };
         assert_eq!(r.kernel_time_named("srad1"), 10);
         assert_eq!(r.kernel_time_named("srad"), 30);
@@ -390,13 +198,18 @@ mod json_tests {
                 compute: 4,
                 dealloc: 5,
             },
-            samples: vec![Sample { t: 0, rss: 10, gpu_used: 20 }],
+            samples: vec![Sample {
+                t: 0,
+                rss: 10,
+                gpu_used: 20,
+            }],
             peak_gpu: 20,
             peak_rss: 10,
             traffic: KernelTraffic::default(),
             kernel_history: vec![("k \"x\"#1".into(), KernelTraffic::default())],
             kernel_times: vec![("k \"x\"#1".into(), 7)],
             checksum: 1.5,
+            trace: None,
         }
     }
 
@@ -414,18 +227,19 @@ mod json_tests {
     }
 
     #[test]
-    fn json_serializes_floats_and_arrays() {
-        let j = super::json::to_json_value(&vec![1.25f64, 2.5]);
-        assert_eq!(j, "[1.25,2.5]");
-        let j = super::json::to_json_value(&("a", 1u32, true));
-        assert_eq!(j, "[\"a\",1,true]");
+    fn to_json_handles_non_finite_checksum() {
+        let mut r = report();
+        r.checksum = f64::NAN;
+        let j = r.to_json();
+        assert!(j.ends_with("\"checksum\":null}"), "{j}");
     }
 
     #[test]
-    fn json_escapes_control_chars() {
-        let j = super::json::to_json_value(&"line\nbreak\tand\u{1}ctl");
-        assert!(j.contains("\\n"), "{j}");
-        assert!(j.contains("\\u0009") || j.contains("\\t"), "{j}");
-        assert!(j.contains("\\u0001"), "{j}");
+    fn to_json_escapes_control_chars_in_names() {
+        let mut r = report();
+        r.kernel_times = vec![("a\nb".into(), 1)];
+        r.kernel_history.clear();
+        let j = r.to_json();
+        assert!(j.contains("a\\nb"), "{j}");
     }
 }

@@ -7,9 +7,18 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Stmt {
-    CpuWrite { buf: usize, frac: u8 },
-    Kernel { reads: Vec<(usize, u8)>, writes: Vec<(usize, u8)> },
-    Prefetch { buf: usize, to_gpu: bool },
+    CpuWrite {
+        buf: usize,
+        frac: u8,
+    },
+    Kernel {
+        reads: Vec<(usize, u8)>,
+        writes: Vec<(usize, u8)>,
+    },
+    Prefetch {
+        buf: usize,
+        to_gpu: bool,
+    },
     Sync,
 }
 

@@ -1,11 +1,10 @@
 //! Buffer handles.
 
 use gh_os::VaRange;
-use serde::Serialize;
 
 /// Which allocator produced a buffer — the paper's memory-management
 /// categories (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BufKind {
     /// `malloc`: system-allocated, system page table, either node,
     /// first-touch placement, access-counter migration.
@@ -54,7 +53,10 @@ mod tests {
     fn buffer_is_copy_and_reports_len() {
         let b = Buffer {
             id: 3,
-            range: VaRange { addr: 0x1000, len: 4096 },
+            range: VaRange {
+                addr: 0x1000,
+                len: 4096,
+            },
             kind: BufKind::System,
         };
         let c = b;

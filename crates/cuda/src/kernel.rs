@@ -150,7 +150,15 @@ impl<'r> Kernel<'r> {
         self.strided(buf, off, seg_len, stride, count, true);
     }
 
-    fn strided(&mut self, buf: &Buffer, off: u64, seg_len: u64, stride: u64, count: u64, write: bool) {
+    fn strided(
+        &mut self,
+        buf: &Buffer,
+        off: u64,
+        seg_len: u64,
+        stride: u64,
+        count: u64,
+        write: bool,
+    ) {
         assert!(stride > 0, "stride must be positive");
         for i in 0..count {
             self.span(buf, off + i * stride, seg_len, write, true);
@@ -179,14 +187,24 @@ impl<'r> Kernel<'r> {
     }
 
     /// Irregular gather: reads `bytes_each` at each byte offset.
-    pub fn gather_read<I: IntoIterator<Item = u64>>(&mut self, buf: &Buffer, offsets: I, bytes_each: u64) {
+    pub fn gather_read<I: IntoIterator<Item = u64>>(
+        &mut self,
+        buf: &Buffer,
+        offsets: I,
+        bytes_each: u64,
+    ) {
         for off in offsets {
             self.span(buf, off, bytes_each, false, true);
         }
     }
 
     /// Irregular scatter: writes `bytes_each` at each byte offset.
-    pub fn scatter_write<I: IntoIterator<Item = u64>>(&mut self, buf: &Buffer, offsets: I, bytes_each: u64) {
+    pub fn scatter_write<I: IntoIterator<Item = u64>>(
+        &mut self,
+        buf: &Buffer,
+        offsets: I,
+        bytes_each: u64,
+    ) {
         for off in offsets {
             self.span(buf, off, bytes_each, true, true);
         }
@@ -357,7 +375,7 @@ impl<'r> Kernel<'r> {
             // Serial fault service is visible to the profiler as it
             // happens: flush accumulated cost every 256 KiB of pages so
             // init ramps resolve in the memory profile.
-            if fault_cost > 0 && addr % (256 * 1024) == 0 {
+            if fault_cost > 0 && addr.is_multiple_of(256 * 1024) {
                 self.rt.tick(fault_cost);
                 fault_cost = 0;
             }
@@ -374,8 +392,16 @@ impl<'r> Kernel<'r> {
         // migration attempts) once their pages exist.
         if self.rt.migration_advised_off(buf_range.addr) {
             let vpns = self.rt.os.system_pt.vpn_range(span.addr, span.len);
-            let cpu = self.rt.os.system_pt.count_resident_in(vpns.clone(), Node::Cpu);
-            let gpu = self.rt.os.system_pt.count_resident_in(vpns.clone(), Node::Gpu);
+            let cpu = self
+                .rt
+                .os
+                .system_pt
+                .count_resident_in(vpns.clone(), Node::Cpu);
+            let gpu = self
+                .rt
+                .os
+                .system_pt
+                .count_resident_in(vpns.clone(), Node::Gpu);
             if cpu + gpu == vpns.end - vpns.start {
                 for vpn in vpns {
                     self.translate(tlb_key_sys(vpn));
@@ -430,6 +456,15 @@ impl<'r> Kernel<'r> {
                 self.t.gpu_faults += 1;
                 self.t.bytes_migrated_in += 0; // population, not migration
                 let _ = on_gpu;
+                if gh_trace::enabled() {
+                    gh_trace::emit(gh_trace::Event::PageFault {
+                        kind: gh_trace::FaultKind::Gpu,
+                        va: block * crate::uvm::BLOCK,
+                        cost,
+                    });
+                    gh_trace::count("uvm.gpu_faults", 1);
+                    gh_trace::observe("fault.cost_ns", cost);
+                }
             }
             let cpu_pages = self
                 .rt
@@ -442,6 +477,15 @@ impl<'r> Kernel<'r> {
                 let fault = self.rt.params.uvm_fault_batch;
                 self.rt.tick(fault);
                 self.t.gpu_faults += 1;
+                if gh_trace::enabled() {
+                    gh_trace::emit(gh_trace::Event::PageFault {
+                        kind: gh_trace::FaultKind::Gpu,
+                        va: block * crate::uvm::BLOCK,
+                        cost: fault,
+                    });
+                    gh_trace::count("uvm.gpu_faults", 1);
+                    gh_trace::observe("fault.cost_ns", fault);
+                }
                 // Pass the *whole* allocation range: the driver refuses to
                 // evict this same allocation to serve its own fault.
                 let (cost, migrated) = self.rt.uvm_migrate_block_in(block, buf_range);
@@ -453,11 +497,14 @@ impl<'r> Kernel<'r> {
                     // consecutive migrated blocks, pull the next one in
                     // without waiting for its fault.
                     if self.rt.opts.uvm_prefetch
-                        && self.rt.uvm.migrated_this_kernel.contains(&(block.wrapping_sub(1)))
+                        && self
+                            .rt
+                            .uvm
+                            .migrated_this_kernel
+                            .contains(&(block.wrapping_sub(1)))
                         && block_range(block + 1, buf_range).len > 0
                     {
-                        let (pcost, pmigrated) =
-                            self.rt.uvm_migrate_block_in(block + 1, buf_range);
+                        let (pcost, pmigrated) = self.rt.uvm_migrate_block_in(block + 1, buf_range);
                         self.rt.tick(pcost);
                         self.t.pages_migrated_in += pmigrated;
                         self.t.bytes_migrated_in += pmigrated * spt;
@@ -465,8 +512,7 @@ impl<'r> Kernel<'r> {
                 } else {
                     // Remote mapping: cacheline-grain access to the
                     // CPU-resident pages of this block.
-                    let remote_bytes =
-                        (cpu_pages * spt).min(clip.len);
+                    let remote_bytes = (cpu_pages * spt).min(clip.len);
                     self.account_remote(clip.addr, remote_bytes, write, random);
                     for vpn in vpns.clone() {
                         self.translate(tlb_key_sys(vpn));
@@ -530,14 +576,18 @@ impl<'r> Kernel<'r> {
             .rt
             .link
             .cacheline_stream_eff(self.c2c_write_lines, line, Direction::D2H, s_eff);
-        mem += self
-            .rt
-            .link
-            .cacheline_stream_eff(self.c2c_read_lines_rand, line, Direction::H2D, r_eff);
-        mem += self
-            .rt
-            .link
-            .cacheline_stream_eff(self.c2c_write_lines_rand, line, Direction::D2H, r_eff);
+        mem += self.rt.link.cacheline_stream_eff(
+            self.c2c_read_lines_rand,
+            line,
+            Direction::H2D,
+            r_eff,
+        );
+        mem += self.rt.link.cacheline_stream_eff(
+            self.c2c_write_lines_rand,
+            line,
+            Direction::D2H,
+            r_eff,
+        );
         mem += self.xlat_misses * p.ats_translate / XLAT_OUTSTANDING;
         let compute = (self.compute_units as f64 / p.gpu_throughput).ceil() as Ns;
         self.rt.tick(mem.max(compute));
@@ -551,11 +601,7 @@ impl<'r> Kernel<'r> {
             .by_buffer
             .iter()
             .map(|(&id, &(c2c, hbm))| BufferTraffic {
-                tag: self
-                    .rt
-                    .buffer_tag(id)
-                    .unwrap_or("<freed>")
-                    .to_string(),
+                tag: self.rt.buffer_tag(id).unwrap_or("<freed>").to_string(),
                 c2c,
                 hbm,
             })
@@ -620,6 +666,17 @@ impl<'r> Kernel<'r> {
         }
         self.t.pages_migrated_in += movable.len() as u64;
         self.t.bytes_migrated_in += bytes;
+        if gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::Migration {
+                engine: gh_trace::Engine::Counter,
+                dir: gh_trace::Dir::H2D,
+                pages: movable.len() as u64,
+                bytes,
+            });
+            gh_trace::count("counters.pages_migrated_in", movable.len() as u64);
+            gh_trace::count("counters.bytes_migrated_in", bytes);
+            gh_trace::observe("migration.bytes", bytes);
+        }
         let transfer = self.rt.link.bulk(bytes, Direction::H2D);
         // In-flight stall (see CostParams::counter_stall_factor): grows
         // with the migration-unit (system page) size.
@@ -754,8 +811,10 @@ mod tests {
 
     #[test]
     fn counter_migration_is_delayed_and_budgeted() {
-        let mut params = CostParams::default();
-        params.counter_budget_per_kernel = 1;
+        let params = CostParams {
+            counter_budget_per_kernel: 1,
+            ..Default::default()
+        };
         let mut r = Runtime::new(params, RuntimeOptions::default());
         let b = r.malloc_system(8 * MIB, "s"); // 4 regions
         r.cpu_write(&b, 0, 8 * MIB);
@@ -915,16 +974,10 @@ mod tests {
     fn mem_advise_preferred_gpu_steers_first_touch() {
         let mut r = rt();
         let b = r.malloc_system(2 * MIB, "pref");
-        r.cuda_mem_advise(
-            &b,
-            crate::runtime::MemAdvise::PreferredLocation(Node::Gpu),
-        );
+        r.cuda_mem_advise(&b, crate::runtime::MemAdvise::PreferredLocation(Node::Gpu));
         r.cpu_write(&b, 0, 2 * MIB);
         assert_eq!(r.rss(), 0, "CPU writes landed on the GPU node");
-        assert_eq!(
-            r.gpu_used() - r.params().gpu_driver_baseline,
-            2 * MIB
-        );
+        assert_eq!(r.gpu_used() - r.params().gpu_driver_baseline, 2 * MIB);
     }
 
     #[test]

@@ -221,6 +221,9 @@ impl Runtime {
 
     pub(crate) fn trace(&mut self, name: &str, cat: &'static str, start: Ns) {
         let dur = self.now().saturating_sub(start);
+        // Mirror onto the observability bus so exported traces carry the
+        // same intervals without a second bookkeeping path.
+        gh_trace::span_closed(name, cat, start);
         self.timeline.push(gh_profiler::TraceEvent {
             name: name.to_string(),
             cat,
@@ -254,6 +257,7 @@ impl Runtime {
     /// Advances the clock and feeds the profiler.
     pub(crate) fn tick(&mut self, dt: Ns) {
         self.clock.advance(dt);
+        gh_trace::set_now(self.clock.now());
         self.observe();
     }
 
@@ -446,7 +450,11 @@ impl Runtime {
         // an untouched host region first-touches it on the CPU.
         for b in [src, dst] {
             if b.kind != BufKind::Device {
-                let off = if std::ptr::eq(b, src) { src_off } else { dst_off };
+                let off = if std::ptr::eq(b, src) {
+                    src_off
+                } else {
+                    dst_off
+                };
                 let (fault_cost, _) = self
                     .os
                     .touch_cpu_range(b.range.slice(off, len), &mut self.phys);
@@ -466,6 +474,22 @@ impl Runtime {
             None => "memcpy",
         };
         self.trace(label, "copy", start);
+        if gh_trace::enabled() {
+            if let Some(d) = dir {
+                let page = self.os.system_pt.page_size();
+                gh_trace::emit(gh_trace::Event::Migration {
+                    engine: gh_trace::Engine::Memcpy,
+                    dir: match d {
+                        Direction::H2D => gh_trace::Dir::H2D,
+                        Direction::D2H => gh_trace::Dir::D2H,
+                    },
+                    pages: len.div_ceil(page),
+                    bytes: len,
+                });
+            }
+            gh_trace::count("cuda.memcpys", 1);
+            gh_trace::count("cuda.memcpy_bytes", len);
+        }
         dt
     }
 
@@ -495,8 +519,7 @@ impl Runtime {
                 self.advise_no_migrate.insert(buf.range.addr);
             }
             MemAdvise::Clear => {
-                self.os
-                    .set_policy(buf.range, gh_os::NumaPolicy::FirstTouch);
+                self.os.set_policy(buf.range, gh_os::NumaPolicy::FirstTouch);
                 self.advise_no_migrate.remove(&buf.range.addr);
             }
         }
@@ -526,7 +549,10 @@ impl Runtime {
         row_bytes: u64,
         rows: u64,
     ) -> Ns {
-        assert!(row_bytes <= dst_pitch && row_bytes <= src_pitch, "pitch < row");
+        assert!(
+            row_bytes <= dst_pitch && row_bytes <= src_pitch,
+            "pitch < row"
+        );
         assert!(
             dst_off + dst_pitch * rows.saturating_sub(1) + row_bytes <= dst.len(),
             "memcpy_2d dst out of range"
@@ -653,7 +679,11 @@ impl Runtime {
                     }
                 }
                 if remote_bytes > 0 {
-                    let dir = if write { Direction::H2D } else { Direction::D2H };
+                    let dir = if write {
+                        Direction::H2D
+                    } else {
+                        Direction::D2H
+                    };
                     dt += self.link.cacheline_stream(remote_bytes / line, line, dir);
                 }
                 // The single-threaded host loop generates/consumes every
@@ -695,8 +725,8 @@ impl Runtime {
             "prefetch is a managed-memory API"
         );
         let span = buf.range.slice(off, len);
-        let dt = self.uvm_prefetch_range(span, to);
-        dt
+
+        self.uvm_prefetch_range(span, to)
     }
 }
 

@@ -113,14 +113,8 @@ impl Runtime {
                 Engine::Compute, // D2D copies ride the compute engine
                 CostParams::transfer_ns(len, self.params.hbm_bw),
             ),
-            (_, BufKind::Device) => (
-                Engine::CopyH2d,
-                self.link.bulk(len, Direction::H2D),
-            ),
-            (BufKind::Device, _) => (
-                Engine::CopyD2h,
-                self.link.bulk(len, Direction::D2H),
-            ),
+            (_, BufKind::Device) => (Engine::CopyH2d, self.link.bulk(len, Direction::H2D)),
+            (BufKind::Device, _) => (Engine::CopyD2h, self.link.bulk(len, Direction::D2H)),
             _ => (
                 Engine::CopyH2d,
                 CostParams::transfer_ns(len, self.params.lpddr_bw),
@@ -407,7 +401,10 @@ mod tests {
             r.event_synchronize(e);
             r.now()
         };
-        assert!(end >= copy_done, "kernel {end} must follow copy {copy_done}");
+        assert!(
+            end >= copy_done,
+            "kernel {end} must follow copy {copy_done}"
+        );
     }
 
     #[test]

@@ -201,6 +201,15 @@ impl Runtime {
             self.uvm.touch_lru(block);
             cost += CostParams::transfer_ns(on_gpu * spt, self.params.hbm_bw);
         }
+        if gh_trace::enabled() && on_gpu > 0 {
+            gh_trace::emit(gh_trace::Event::Migration {
+                engine: gh_trace::Engine::FirstTouch,
+                dir: gh_trace::Dir::H2D,
+                pages: on_gpu,
+                bytes: on_gpu * spt,
+            });
+            gh_trace::count("uvm.pages_first_touch", on_gpu);
+        }
         (cost, on_gpu, on_cpu)
     }
 
@@ -222,8 +231,11 @@ impl Runtime {
             // Make room, but never by evicting this same allocation: that
             // would be guaranteed thrash, and the GH200 driver instead
             // leaves the data CPU-resident for coherent remote access.
-            let (evict_cost, freed) =
-                self.uvm_evict_lru(bytes - self.phys.free(Node::Gpu), Some(buf_range), Some(block));
+            let (evict_cost, freed) = self.uvm_evict_lru(
+                bytes - self.phys.free(Node::Gpu),
+                Some(buf_range),
+                Some(block),
+            );
             cost += evict_cost;
             if freed + self.phys.free(Node::Gpu) < bytes && self.phys.free(Node::Gpu) < bytes {
                 self.uvm.remote_fallbacks += 1;
@@ -232,15 +244,12 @@ impl Runtime {
                 // GPU-resident pages and pins it CPU-side — from then on
                 // every access is a coherent C2C remote access, which is
                 // what the paper observed for the 34-qubit managed run.
-                let n = self
-                    .uvm
-                    .fallback_counts
-                    .entry(buf_range.addr)
-                    .or_insert(0);
+                let n = self.uvm.fallback_counts.entry(buf_range.addr).or_insert(0);
                 *n += 1;
                 if *n >= PIN_AFTER_FALLBACKS {
                     cost += self.uvm_pin_cpu(buf_range);
                 }
+                gh_trace::count("uvm.remote_fallbacks", 1);
                 return (cost, 0);
             }
         }
@@ -250,7 +259,19 @@ impl Runtime {
         self.uvm.touch_lru(block);
         self.uvm.migrated_this_kernel.push(block);
         cost += self.params.uvm_migration_fixed + self.link.bulk(bytes, Direction::H2D);
-        (cost, cpu_pages.len() as u64)
+        let pages = cpu_pages.len() as u64;
+        if gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::Migration {
+                engine: gh_trace::Engine::Fault,
+                dir: gh_trace::Dir::H2D,
+                pages,
+                bytes,
+            });
+            gh_trace::count("uvm.pages_migrated_in", pages);
+            gh_trace::count("uvm.bytes_migrated_in", bytes);
+            gh_trace::observe("migration.bytes", bytes);
+        }
+        (cost, pages)
     }
 
     /// Evicts LRU managed blocks until `needed` bytes are free on the GPU
@@ -272,7 +293,15 @@ impl Runtime {
         while freed < needed && idx < self.uvm.lru.len() {
             let block = self.uvm.lru[idx];
             let in_excluded = exclude.is_some_and(|r| {
-                block_range(block, VaRange { addr: 0, len: u64::MAX }).intersect(&r).is_some()
+                block_range(
+                    block,
+                    VaRange {
+                        addr: 0,
+                        len: u64::MAX,
+                    },
+                )
+                .intersect(&r)
+                .is_some()
             });
             if in_excluded || Some(block) == skip_block {
                 idx += 1;
@@ -292,6 +321,20 @@ impl Runtime {
             self.uvm.evictions += 1;
             freed += bytes;
             cost += self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H);
+            if gh_trace::enabled() {
+                let pages = bytes / spt;
+                gh_trace::emit(gh_trace::Event::Evict { pages, bytes });
+                gh_trace::emit(gh_trace::Event::Migration {
+                    engine: gh_trace::Engine::Evict,
+                    dir: gh_trace::Dir::D2H,
+                    pages,
+                    bytes,
+                });
+                gh_trace::count("uvm.evictions", 1);
+                gh_trace::count("uvm.pages_migrated_out", pages);
+                gh_trace::count("uvm.bytes_migrated_out", bytes);
+                gh_trace::observe("migration.bytes", bytes);
+            }
             // idx unchanged: removal shifted the deque.
         }
         (cost, freed)
@@ -314,6 +357,16 @@ impl Runtime {
         }
         self.uvm.pinned_cpu.insert(buf_range.addr);
         self.uvm.evictions += 1;
+        if gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::Pin {
+                va: buf_range.addr,
+                bytes,
+            });
+            gh_trace::count("uvm.cpu_pins", 1);
+            gh_trace::count("uvm.evictions", 1);
+            gh_trace::count("uvm.pages_migrated_out", bytes / spt);
+            gh_trace::count("uvm.bytes_migrated_out", bytes);
+        }
         self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H)
     }
 
@@ -327,18 +380,27 @@ impl Runtime {
             return 0;
         }
         let bytes = gpu_pages.len() as u64 * spt;
-        let blocks: std::collections::BTreeSet<u64> = gpu_pages
-            .iter()
-            .map(|&v| block_of(v * spt))
-            .collect();
+        let blocks: std::collections::BTreeSet<u64> =
+            gpu_pages.iter().map(|&v| block_of(v * spt)).collect();
         for vpn in gpu_pages {
             self.move_page(vpn, Node::Cpu);
         }
         for b in &blocks {
             self.uvm.drop_block(*b);
         }
-        self.params.uvm_fault_batch * blocks.len() as u64
-            + self.link.bulk(bytes, Direction::D2H)
+        if gh_trace::enabled() {
+            let pages = bytes / spt;
+            gh_trace::emit(gh_trace::Event::Migration {
+                engine: gh_trace::Engine::Fault,
+                dir: gh_trace::Dir::D2H,
+                pages,
+                bytes,
+            });
+            gh_trace::count("uvm.pages_migrated_out", pages);
+            gh_trace::count("uvm.bytes_migrated_out", bytes);
+            gh_trace::observe("migration.bytes", bytes);
+        }
+        self.params.uvm_fault_batch * blocks.len() as u64 + self.link.bulk(bytes, Direction::D2H)
     }
 
     /// `cudaMemPrefetchAsync` body: bulk migration toward `to`, block by
@@ -375,8 +437,11 @@ impl Runtime {
                     }
                     let bytes = cpu_pages.len() as u64 * spt;
                     if self.phys.free(Node::Gpu) < bytes {
-                        let (c, freed) =
-                            self.uvm_evict_lru(bytes - self.phys.free(Node::Gpu), None, Some(block));
+                        let (c, freed) = self.uvm_evict_lru(
+                            bytes - self.phys.free(Node::Gpu),
+                            None,
+                            Some(block),
+                        );
                         dt += c;
                         if freed + self.phys.free(Node::Gpu) < bytes
                             && self.phys.free(Node::Gpu) < bytes
@@ -392,6 +457,18 @@ impl Runtime {
                     }
                     self.uvm.touch_lru(block);
                     dt += self.link.bulk(bytes, Direction::H2D);
+                    if gh_trace::enabled() {
+                        let pages = cpu_pages.len() as u64;
+                        gh_trace::emit(gh_trace::Event::Migration {
+                            engine: gh_trace::Engine::Prefetch,
+                            dir: gh_trace::Dir::H2D,
+                            pages,
+                            bytes,
+                        });
+                        gh_trace::count("uvm.pages_migrated_in", pages);
+                        gh_trace::count("uvm.bytes_migrated_in", bytes);
+                        gh_trace::observe("migration.bytes", bytes);
+                    }
                 }
                 Node::Cpu => {
                     let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
@@ -404,6 +481,18 @@ impl Runtime {
                     }
                     self.uvm.drop_block(block);
                     dt += self.link.bulk(bytes, Direction::D2H);
+                    if gh_trace::enabled() {
+                        let pages = gpu_pages.len() as u64;
+                        gh_trace::emit(gh_trace::Event::Migration {
+                            engine: gh_trace::Engine::Prefetch,
+                            dir: gh_trace::Dir::D2H,
+                            pages,
+                            bytes,
+                        });
+                        gh_trace::count("uvm.pages_migrated_out", pages);
+                        gh_trace::count("uvm.bytes_migrated_out", bytes);
+                        gh_trace::observe("migration.bytes", bytes);
+                    }
                 }
             }
             self.tick(dt);
@@ -428,7 +517,10 @@ mod tests {
         assert_eq!(block_of(0), 0);
         assert_eq!(block_of(BLOCK - 1), 0);
         assert_eq!(block_of(BLOCK), 1);
-        let clip = VaRange { addr: BLOCK / 2, len: BLOCK };
+        let clip = VaRange {
+            addr: BLOCK / 2,
+            len: BLOCK,
+        };
         let r0 = block_range(0, clip);
         assert_eq!(r0.addr, BLOCK / 2);
         assert_eq!(r0.len, BLOCK / 2);
@@ -477,9 +569,11 @@ mod tests {
 
     #[test]
     fn eviction_allows_cross_allocation_victims() {
-        let mut params = CostParams::default();
-        params.gpu_mem_bytes = 8 * MIB;
-        params.gpu_driver_baseline = 0;
+        let params = CostParams {
+            gpu_mem_bytes: 8 * MIB,
+            gpu_driver_baseline: 0,
+            ..Default::default()
+        };
         let mut r = Runtime::new(params, RuntimeOptions::default());
         // Fill the GPU with one managed allocation.
         let a = r.cuda_malloc_managed(8 * MIB, "a");
@@ -502,9 +596,11 @@ mod tests {
         // (evicting its own cold blocks — allowed for population), but
         // fault-driven migration refuses self-eviction and falls back to
         // remote mapping.
-        let mut params = CostParams::default();
-        params.gpu_mem_bytes = 8 * MIB;
-        params.gpu_driver_baseline = 0;
+        let params = CostParams {
+            gpu_mem_bytes: 8 * MIB,
+            gpu_driver_baseline: 0,
+            ..Default::default()
+        };
         let mut r = Runtime::new(params, RuntimeOptions::default());
         let a = r.cuda_malloc_managed(16 * MIB, "a");
         let first = block_of(a.range.addr);
@@ -544,10 +640,7 @@ mod tests {
         let dt = r.prefetch(&b, 0, 6 * MIB, Node::Gpu);
         assert!(dt > 0);
         assert_eq!(r.rss(), 0);
-        assert_eq!(
-            r.gpu_used() - r.params().gpu_driver_baseline,
-            6 * MIB
-        );
+        assert_eq!(r.gpu_used() - r.params().gpu_driver_baseline, 6 * MIB);
         r.prefetch(&b, 0, 6 * MIB, Node::Cpu);
         assert_eq!(r.rss(), 6 * MIB);
     }

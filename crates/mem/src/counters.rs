@@ -75,10 +75,13 @@ impl AccessCounters {
         if !*fired && *c >= self.threshold as u64 {
             *fired = true;
             self.total_notifications += 1;
-            return Some(Notification {
-                region,
-                count: *c,
-            });
+            if gh_trace::enabled() {
+                gh_trace::emit(gh_trace::Event::CounterNotify {
+                    va: region * self.region_size,
+                });
+                gh_trace::count("counters.notifications", 1);
+            }
+            return Some(Notification { region, count: *c });
         }
         None
     }
@@ -107,9 +110,8 @@ impl AccessCounters {
     /// enough to cross the threshold within one aging window migrate.
     /// The simulator ages at kernel boundaries.
     pub fn age(&mut self) {
-        self.counts.retain(|region, _| {
-            self.notified.get(region).copied().unwrap_or(false)
-        });
+        self.counts
+            .retain(|region, _| self.notified.get(region).copied().unwrap_or(false));
     }
 }
 

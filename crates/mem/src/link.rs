@@ -11,10 +11,8 @@
 //! The link also carries ATS translation requests and atomics; their cost
 //! is charged by the [`crate::smmu::Smmu`] model.
 
-use serde::Serialize;
-
 /// Transfer direction over the C2C link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Host (CPU/LPDDR) to device (GPU/HBM).
     H2D,
@@ -61,7 +59,9 @@ impl Link {
             return 0;
         }
         self.record(bytes, dir);
-        self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir))
+        let dur = self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir));
+        self.emit(bytes, dir, dur);
+        dur
     }
 
     /// Cost of `lines` cacheline-grain remote accesses of `line_bytes`
@@ -81,7 +81,9 @@ impl Link {
         }
         let bytes = lines * line_bytes;
         self.record(bytes, dir);
-        self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir) * eff)
+        let dur = self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir) * eff);
+        self.emit(bytes, dir, dur);
+        dur
     }
 
     /// [`Link::cacheline_stream_eff`] with the link's default
@@ -93,7 +95,9 @@ impl Link {
     /// Cost of one remote atomic operation (single line round trip).
     pub fn atomic(&mut self, line_bytes: u64, dir: Direction) -> u64 {
         self.record(line_bytes, dir);
-        2 * self.latency
+        let dur = 2 * self.latency;
+        self.emit(line_bytes, dir, dur);
+        dur
     }
 
     fn record(&mut self, bytes: u64, dir: Direction) {
@@ -101,6 +105,32 @@ impl Link {
             Direction::H2D => self.bytes_h2d += bytes,
             Direction::D2H => self.bytes_d2h += bytes,
         }
+    }
+
+    /// Reports the transfer to the observability bus (no-op when tracing
+    /// is disabled; never affects costs).
+    fn emit(&self, bytes: u64, dir: Direction, dur: u64) {
+        if !gh_trace::enabled() {
+            return;
+        }
+        let tdir = match dir {
+            Direction::H2D => gh_trace::Dir::H2D,
+            Direction::D2H => gh_trace::Dir::D2H,
+        };
+        gh_trace::emit(gh_trace::Event::LinkXfer {
+            dir: tdir,
+            bytes,
+            dur,
+        });
+        gh_trace::count(
+            match dir {
+                Direction::H2D => "link.bytes_h2d",
+                Direction::D2H => "link.bytes_d2h",
+            },
+            bytes,
+        );
+        gh_trace::count("link.xfers", 1);
+        gh_trace::observe("link.xfer_bytes", bytes);
     }
 
     /// Cumulative bytes moved host→device.
@@ -181,7 +211,10 @@ mod tests {
         let bw = l.effective_bulk_bw(1_000_000_000, Direction::H2D);
         assert!(bw > 370.0 && bw <= 375.0, "got {bw}");
         let small = l.effective_bulk_bw(4096, Direction::H2D);
-        assert!(small < 10.0, "latency must dominate small transfers: {small}");
+        assert!(
+            small < 10.0,
+            "latency must dominate small transfers: {small}"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub const MIB: u64 = 1024 * KIB;
 ///
 /// Construct with [`CostParams::default`] (the calibrated GH200 model) and
 /// override individual fields for ablation studies.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct CostParams {
     // ---- capacities (scaled 1:1024 from the real 480 GB + 96 GB) ----
     /// CPU (Grace, LPDDR5X) physical capacity in bytes.
@@ -290,7 +290,7 @@ impl CostParams {
         if self.gpu_driver_baseline >= self.gpu_mem_bytes {
             return Err("driver baseline exceeds GPU capacity".into());
         }
-        if self.counter_region % self.system_page_size != 0 {
+        if !self.counter_region.is_multiple_of(self.system_page_size) {
             return Err("counter_region must be a multiple of the system page size".into());
         }
         for (name, v) in [
@@ -350,8 +350,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_page_size() {
-        let mut p = CostParams::default();
-        p.system_page_size = 3000;
+        let mut p = CostParams {
+            system_page_size: 3000,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
         p.system_page_size = 4 * MIB;
         assert!(p.validate().is_err());
@@ -359,8 +361,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_efficiency() {
-        let mut p = CostParams::default();
-        p.c2c_random_eff = 1.5;
+        let p = CostParams {
+            c2c_random_eff: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -5,10 +5,8 @@
 //! opaque frame numbers for page-table entries. Exhaustion is an explicit
 //! error so callers (the UVM driver, the OS) can trigger eviction.
 
-use serde::Serialize;
-
 /// A NUMA node of the superchip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Node {
     /// Grace CPU, LPDDR5X.
     Cpu,

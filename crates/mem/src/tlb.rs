@@ -98,6 +98,11 @@ impl Tlb {
                 oldest = slot.1;
             }
         }
+        let evicted = self.slots[victim].0;
+        if evicted != EMPTY && gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::TlbEvict { va: evicted });
+            gh_trace::count("tlb.evictions", 1);
+        }
         self.slots[victim] = (vpn, self.tick);
     }
 

@@ -4,10 +4,8 @@
 //! Analysis (per-kernel HBM / C2C / L1↔L2 traffic, Figs 10 and 12) and with
 //! Nsight Systems (fault and migration counts).
 
-use serde::Serialize;
-
 /// Traffic and event counts for a single kernel launch.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelTraffic {
     /// Bytes read from local GPU memory (HBM3).
     pub hbm_read: u64,

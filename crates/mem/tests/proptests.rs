@@ -42,11 +42,11 @@ proptest! {
             let node = if on_gpu { Node::Gpu } else { Node::Cpu };
             match op {
                 0 => {
-                    if !model.contains_key(&vpn) {
+                    model.entry(vpn).or_insert_with(|| {
                         frame += 1;
                         pt.populate(vpn, node, frame);
-                        model.insert(vpn, node);
-                    }
+                        node
+                    });
                 }
                 1 => {
                     pt.unmap(vpn);

@@ -11,13 +11,12 @@
 use gh_mem::clock::Ns;
 use gh_mem::params::CostParams;
 use gh_mem::phys::{Node, PhysMem};
-use serde::Serialize;
 
 use crate::os::Os;
 use crate::vma::{VaRange, VmaKind};
 
 /// Placement policy applied at first touch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NumaPolicy {
     /// First-touch: the faulting processor's node (Linux default).
     #[default]
@@ -39,7 +38,11 @@ impl NumaPolicy {
             NumaPolicy::Bind(n) => (*n, false),
             NumaPolicy::Preferred(n) => (*n, true),
             NumaPolicy::Interleave => {
-                let n = if vpn % 2 == 0 { Node::Cpu } else { Node::Gpu };
+                let n = if vpn.is_multiple_of(2) {
+                    Node::Cpu
+                } else {
+                    Node::Gpu
+                };
                 (n, true)
             }
         }
@@ -57,12 +60,8 @@ impl Os {
         tag: &str,
         phys: &mut PhysMem,
     ) -> (VaRange, Ns) {
-        let (range, mut cost) = self.mmap_with_policy(
-            bytes,
-            VmaKind::System,
-            NumaPolicy::Bind(node),
-            tag,
-        );
+        let (range, mut cost) =
+            self.mmap_with_policy(bytes, VmaKind::System, NumaPolicy::Bind(node), tag);
         let page = self.params().system_page_size;
         let mut pages = 0;
         for vpn in self.system_pt.vpn_range(range.addr, range.len) {
@@ -144,12 +143,8 @@ mod tests {
     #[test]
     fn bound_vma_places_cpu_touches_on_gpu() {
         let (mut os, mut phys) = setup();
-        let (r, _) = os.mmap_with_policy(
-            MIB,
-            VmaKind::System,
-            NumaPolicy::Bind(Node::Gpu),
-            "bound",
-        );
+        let (r, _) =
+            os.mmap_with_policy(MIB, VmaKind::System, NumaPolicy::Bind(Node::Gpu), "bound");
         let vpn = os.system_pt.vpn(r.addr);
         let o = os.touch_cpu(vpn, &mut phys);
         assert_eq!(o.placed, Node::Gpu, "bind overrides first-touch");
@@ -158,8 +153,7 @@ mod tests {
     #[test]
     fn interleave_alternates_nodes() {
         let (mut os, mut phys) = setup();
-        let (r, _) =
-            os.mmap_with_policy(MIB, VmaKind::System, NumaPolicy::Interleave, "il");
+        let (r, _) = os.mmap_with_policy(MIB, VmaKind::System, NumaPolicy::Interleave, "il");
         let (_, faults) = os.touch_cpu_range(r, &mut phys);
         assert!(faults > 0);
         let vpns = os.system_pt.vpn_range(r.addr, r.len);

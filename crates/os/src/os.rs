@@ -10,7 +10,7 @@ use crate::vma::{VaRange, Vma, VmaKind};
 use std::collections::BTreeMap;
 
 /// OS-level switches from the paper's §3 testbed configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct OsConfig {
     /// Automatic NUMA balancing. The paper *disables* it because AutoNUMA
     /// hint faults hurt GPU-heavy applications; when enabled here, every
@@ -21,15 +21,6 @@ pub struct OsConfig {
     /// Off in the paper's testbed; when on, `mmap` pays the zero-fill for
     /// the whole region up front.
     pub init_on_alloc: bool,
-}
-
-impl Default for OsConfig {
-    fn default() -> Self {
-        Self {
-            autonuma: false,
-            init_on_alloc: false,
-        }
-    }
 }
 
 /// Result of a fault-path invocation.
@@ -122,6 +113,13 @@ impl Os {
         if self.config.init_on_alloc {
             cost += CostParams::transfer_ns(aligned_len, self.params.lpddr_bw);
         }
+        if gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::VmaCreate {
+                va: addr,
+                bytes: aligned_len,
+            });
+            gh_trace::count("os.vma_created", 1);
+        }
         (range, cost)
     }
 
@@ -165,6 +163,13 @@ impl Os {
         let removed = self.system_pt.unmap_range(vpns);
         for (_, pte) in &removed {
             phys.release(pte.node, page);
+        }
+        if gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::VmaDestroy {
+                ptes: removed.len() as u64,
+            });
+            gh_trace::count("os.vma_destroyed", 1);
+            gh_trace::count("os.pte_teardowns", removed.len() as u64);
         }
         self.params.vma_create / 2 + removed.len() as u64 * self.params.pte_teardown
     }
@@ -214,6 +219,15 @@ impl Os {
         if self.config.autonuma {
             cost += cost / 4; // NUMA-hinting bookkeeping overhead
         }
+        if gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::PageFault {
+                kind: gh_trace::FaultKind::Cpu,
+                va: vpn * page,
+                cost,
+            });
+            gh_trace::count("os.cpu_faults", 1);
+            gh_trace::observe("fault.cost_ns", cost);
+        }
         FaultOutcome {
             cost,
             placed: node,
@@ -260,6 +274,15 @@ impl Os {
         if self.config.autonuma {
             cost += cost / 4;
         }
+        if gh_trace::enabled() {
+            gh_trace::emit(gh_trace::Event::PageFault {
+                kind: gh_trace::FaultKind::Ats,
+                va: vpn * page,
+                cost,
+            });
+            gh_trace::count("os.ats_faults", 1);
+            gh_trace::observe("fault.cost_ns", cost);
+        }
         FaultOutcome {
             cost,
             placed: node,
@@ -284,6 +307,13 @@ impl Os {
         }
         let cost = created * self.params.host_register_per_page
             + CostParams::transfer_ns(created * page, self.params.lpddr_bw);
+        if gh_trace::enabled() && created > 0 {
+            gh_trace::emit(gh_trace::Event::Pin {
+                va: range.addr,
+                bytes: created * page,
+            });
+            gh_trace::count("os.pages_pinned", created);
+        }
         (cost, created)
     }
 
@@ -510,8 +540,12 @@ mod tests {
         );
         let (r1, _) = os_off.mmap(4 * KIB, VmaKind::System, "x");
         let (r2, _) = os_on.mmap(4 * KIB, VmaKind::System, "x");
-        let c_off = os_off.touch_cpu(os_off.system_pt.vpn(r1.addr), &mut phys).cost;
-        let c_on = os_on.touch_cpu(os_on.system_pt.vpn(r2.addr), &mut phys).cost;
+        let c_off = os_off
+            .touch_cpu(os_off.system_pt.vpn(r1.addr), &mut phys)
+            .cost;
+        let c_on = os_on
+            .touch_cpu(os_on.system_pt.vpn(r2.addr), &mut phys)
+            .cost;
         assert!(c_on > c_off);
     }
 
@@ -535,7 +569,13 @@ mod tests {
     #[should_panic(expected = "unknown VMA")]
     fn munmap_unknown_panics() {
         let (mut os, mut phys) = setup();
-        os.munmap(VaRange { addr: 0x999, len: 4 * KIB }, &mut phys);
+        os.munmap(
+            VaRange {
+                addr: 0x999,
+                len: 4 * KIB,
+            },
+            &mut phys,
+        );
     }
 }
 

@@ -1,10 +1,8 @@
 //! Virtual memory areas.
 
-use serde::Serialize;
-
 /// How a VMA's pages are managed — the three allocation categories of the
 /// paper's Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VmaKind {
     /// System-allocated memory (`malloc`): system page table only, pages on
     /// either node, first-touch placement, eligible for access-counter
@@ -23,7 +21,7 @@ pub enum VmaKind {
 }
 
 /// A contiguous virtual address range `[addr, addr + len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VaRange {
     /// Start virtual address (bytes).
     pub addr: u64,
@@ -97,7 +95,10 @@ mod tests {
 
     #[test]
     fn slice_within_bounds() {
-        let r = VaRange { addr: 1000, len: 100 };
+        let r = VaRange {
+            addr: 1000,
+            len: 100,
+        };
         let s = r.slice(10, 20);
         assert_eq!(s.addr, 1010);
         assert_eq!(s.len, 20);

@@ -36,6 +36,7 @@
 //! assert_eq!(sum, 499_500);
 //! ```
 
+pub mod deque;
 pub mod pool;
 pub mod scope;
 pub mod sort;

@@ -1,8 +1,8 @@
 //! A persistent work-stealing thread pool for `'static` jobs.
 //!
-//! Architecture: one global [`crossbeam::deque::Injector`] receives jobs
+//! Architecture: one global [`crate::deque::Injector`] receives jobs
 //! submitted from outside the pool; each worker owns a LIFO
-//! [`crossbeam::deque::Worker`] deque and, when idle, first drains
+//! [`crate::deque::Worker`] deque and, when idle, first drains
 //! its own deque, then batches from the injector, then steals from siblings
 //! in a rotating order. Idle workers park on a condvar-backed gate so an
 //! empty pool costs no CPU.
@@ -11,10 +11,9 @@
 //! [`WorkStealingPool::join_batch`] submits a batch and blocks until every
 //! job in the batch has completed, which is the shape kernel launches use.
 
-use crossbeam::deque::{Injector, Stealer, Worker};
-use parking_lot::{Condvar, Mutex};
+use crate::deque::{Injector, Steal, Stealer, Worker};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -34,7 +33,7 @@ struct Shared {
 
 impl Shared {
     fn wake_all(&self) {
-        let _g = self.gate.lock();
+        let _g = self.gate.lock().unwrap();
         self.gate_cv.notify_all();
     }
 }
@@ -117,9 +116,9 @@ impl WorkStealingPool {
 
     /// Blocks until the pool has no pending jobs.
     pub fn wait_idle(&self) {
-        let mut gate = self.shared.gate.lock();
+        let mut gate = self.shared.gate.lock().unwrap();
         while self.shared.pending.load(Ordering::Acquire) != 0 {
-            self.shared.done_cv.wait(&mut gate);
+            gate = self.shared.done_cv.wait(gate).unwrap();
         }
     }
 }
@@ -142,7 +141,7 @@ fn find_job(idx: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
     // contention, then try siblings in rotating order.
     loop {
         let steal = shared.injector.steal_batch_and_pop(local);
-        if let crossbeam::deque::Steal::Success(job) = steal {
+        if let Steal::Success(job) = steal {
             return Some(job);
         }
         if !steal.is_retry() {
@@ -154,9 +153,9 @@ fn find_job(idx: usize, local: &Worker<Job>, shared: &Shared) -> Option<Job> {
         let victim = (idx + off) % n;
         loop {
             match shared.stealers[victim].steal() {
-                crossbeam::deque::Steal::Success(job) => return Some(job),
-                crossbeam::deque::Steal::Retry => continue,
-                crossbeam::deque::Steal::Empty => break,
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => continue,
+                Steal::Empty => break,
             }
         }
     }
@@ -168,7 +167,7 @@ fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<Shared>) {
         if let Some(job) = find_job(idx, &local, &shared) {
             job();
             if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let _g = shared.gate.lock();
+                let _g = shared.gate.lock().unwrap();
                 shared.done_cv.notify_all();
             }
             continue;
@@ -178,12 +177,12 @@ fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<Shared>) {
         }
         // Park until new work or shutdown. Re-check under the lock to avoid
         // a lost wakeup between the failed find_job and the wait.
-        let mut gate = shared.gate.lock();
+        let gate = shared.gate.lock().unwrap();
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         if shared.injector.is_empty() && shared.pending.load(Ordering::Acquire) == 0 {
-            shared.gate_cv.wait(&mut gate);
+            let _gate = shared.gate_cv.wait(gate).unwrap();
         } else {
             // Work may exist in sibling deques; spin again without waiting.
             drop(gate);

@@ -110,8 +110,7 @@ where
                     let hi = (lo + chunk_len).min(len);
                     // SAFETY: [lo, hi) ranges for distinct idx are disjoint
                     // and within bounds; idx is claimed exactly once.
-                    let chunk =
-                        unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+                    let chunk = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
                     f(idx, chunk);
                 }
             });
@@ -140,12 +139,7 @@ where
 /// Parallel map-reduce over an index range. `map(i)` produces a value per
 /// iteration; values are folded with `reduce`, starting from `identity`.
 /// `reduce` must be associative and commutative.
-pub fn par_map_reduce<A, M, R>(
-    range: std::ops::Range<usize>,
-    identity: A,
-    map: M,
-    reduce: R,
-) -> A
+pub fn par_map_reduce<A, M, R>(range: std::ops::Range<usize>, identity: A, map: M, reduce: R) -> A
 where
     A: Send + Sync + Clone,
     M: Fn(usize) -> A + Sync,
@@ -166,7 +160,7 @@ where
     let chunk = Grain::Auto.chunk_len(total, workers);
     let cursor = AtomicUsize::new(0);
     let start = range.start;
-    let partials = parking_lot::Mutex::new(Vec::with_capacity(workers));
+    let partials = std::sync::Mutex::new(Vec::with_capacity(workers));
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
@@ -184,15 +178,16 @@ where
                     }
                 }
                 if touched {
-                    partials.lock().push(acc);
+                    partials.lock().unwrap().push(acc);
                 }
             });
         }
     });
     partials
         .into_inner()
+        .unwrap()
         .into_iter()
-        .fold(identity, |a, b| reduce(a, b))
+        .fold(identity, reduce)
 }
 
 #[cfg(test)]
@@ -212,11 +207,11 @@ mod tests {
 
     #[test]
     fn par_for_respects_range_offset() {
-        let seen = parking_lot::Mutex::new(Vec::new());
+        let seen = std::sync::Mutex::new(Vec::new());
         par_for(100..110, Grain::Fixed(3), |i| {
-            seen.lock().push(i);
+            seen.lock().unwrap().push(i);
         });
-        let mut v = seen.into_inner();
+        let mut v = seen.into_inner().unwrap();
         v.sort_unstable();
         assert_eq!(v, (100..110).collect::<Vec<_>>());
     }

@@ -43,9 +43,7 @@ pub fn par_sort_unstable<T: Ord + Send + Sync + Copy>(data: &mut [T]) {
                 let mid = (lo + run).min(n);
                 let hi = (lo + 2 * run).min(n);
                 // SAFETY: [lo, hi) output ranges are disjoint per pair.
-                let out = unsafe {
-                    std::slice::from_raw_parts_mut(dst_ptr.get().add(lo), hi - lo)
-                };
+                let out = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(lo), hi - lo) };
                 merge(&src_ref[lo..mid], &src_ref[mid..hi], out);
             });
         }

@@ -18,7 +18,7 @@ pub mod report;
 pub mod trace;
 
 pub use phases::{Phase, PhaseTimer, PhaseTimes};
-pub use profiler::{MemProfiler, Sample};
 pub use plot::{ascii_chart, plot_memory_profile};
+pub use profiler::{MemProfiler, Sample};
 pub use report::Csv;
 pub use trace::{to_chrome_json, TraceEvent};

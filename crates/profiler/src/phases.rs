@@ -7,10 +7,9 @@
 //! because it is single-threaded I/O-bound work identical across versions.
 
 use gh_mem::clock::Ns;
-use serde::Serialize;
 
 /// The paper's common application phases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// GPU context initialization and argument parsing.
     CtxInit,
@@ -47,7 +46,7 @@ impl Phase {
 }
 
 /// Accumulated duration per phase.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimes {
     /// ctx_init duration (ns).
     pub ctx_init: Ns,

@@ -118,9 +118,21 @@ mod tests {
     #[test]
     fn memory_profile_plots_both_series() {
         let samples = vec![
-            Sample { t: 0, rss: 0, gpu_used: 1 << 20 },
-            Sample { t: 1_000_000, rss: 8 << 20, gpu_used: 1 << 20 },
-            Sample { t: 2_000_000, rss: 0, gpu_used: 9 << 20 },
+            Sample {
+                t: 0,
+                rss: 0,
+                gpu_used: 1 << 20,
+            },
+            Sample {
+                t: 1_000_000,
+                rss: 8 << 20,
+                gpu_used: 1 << 20,
+            },
+            Sample {
+                t: 2_000_000,
+                rss: 0,
+                gpu_used: 9 << 20,
+            },
         ];
         let c = plot_memory_profile("hotspot", &samples, 60, 10);
         assert!(c.contains('*'));

@@ -1,10 +1,9 @@
 //! Sampling memory profiler.
 
 use gh_mem::clock::Ns;
-use serde::Serialize;
 
 /// One observation of the process memory state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Sample {
     /// Virtual timestamp (ns).
     pub t: Ns,
@@ -127,7 +126,14 @@ mod tests {
         let mut p = MemProfiler::new(1000);
         p.observe(5, 7, 9);
         let s = p.finish();
-        assert_eq!(s, vec![Sample { t: 5, rss: 7, gpu_used: 9 }]);
+        assert_eq!(
+            s,
+            vec![Sample {
+                t: 5,
+                rss: 7,
+                gpu_used: 9
+            }]
+        );
     }
 
     #[test]

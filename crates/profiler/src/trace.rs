@@ -2,10 +2,9 @@
 //! timeline: kernels, copies, migrations and phases as complete events.
 
 use gh_mem::clock::Ns;
-use serde::Serialize;
 
 /// One timeline event (a `"ph": "X"` complete event in the trace format).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Event label (kernel name, "memcpy H2D", …).
     pub name: String,
@@ -26,13 +25,11 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let esc: String = e
-            .name
-            .chars()
-            .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
-            .collect();
+        // Proper JSON escaping (shared with every exporter via gh-trace);
+        // the old char-dropping filter corrupted names containing quotes.
+        let esc = gh_trace::json::quoted(&e.name);
         out.push_str(&format!(
-            "{{\"name\":\"{esc}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+            "{{\"name\":{esc},\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
             e.cat,
             e.start as f64 / 1000.0,
             e.dur.max(1) as f64 / 1000.0,
@@ -88,8 +85,8 @@ mod tests {
             dur: 1,
         }];
         let json = to_chrome_json(&events);
-        assert!(!json.contains('\\') || !json.contains("\\w"));
-        assert!(json.contains("badnamewithcontrol"));
+        // Escaped, not dropped: every character of the name survives.
+        assert!(json.contains(r#"bad\"name\\with\ncontrol"#), "{json}");
     }
 
     #[test]

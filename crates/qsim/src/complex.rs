@@ -1,9 +1,7 @@
 //! Minimal single-precision complex arithmetic (no external crate).
 
-use serde::Serialize;
-
 /// A single-precision complex number.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct C32 {
     /// Real part.
     pub re: f32,

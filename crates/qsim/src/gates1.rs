@@ -187,8 +187,8 @@ mod tests {
         s.apply_gate1(&Gate1::h(), 1);
         let p_before: Vec<f64> = (0..4).map(|i| s.probability(i)).collect();
         s.apply_gate1(&Gate1::rz(0.9), 1);
-        for i in 0..4 {
-            assert!((s.probability(i) - p_before[i]).abs() < 1e-6);
+        for (i, p) in p_before.iter().enumerate() {
+            assert!((s.probability(i) - p).abs() < 1e-6);
         }
     }
 

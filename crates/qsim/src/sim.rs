@@ -336,7 +336,10 @@ mod tests {
     #[test]
     fn fusion_option_preserves_state_and_never_slows() {
         let base = small(9);
-        let fused = QsimParams { fuse: true, ..base.clone() };
+        let fused = QsimParams {
+            fuse: true,
+            ..base.clone()
+        };
         let a = run_qv(Machine::default_gh200(), MemMode::Managed, &base);
         let b = run_qv(Machine::default_gh200(), MemMode::Managed, &fused);
         let rel = (a.checksum - b.checksum).abs() / a.checksum.abs().max(1e-9);

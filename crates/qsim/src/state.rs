@@ -117,12 +117,7 @@ impl StateVector {
                             // SAFETY: i00..i11 are unique to this group.
                             unsafe {
                                 let p = base.0;
-                                let v = [
-                                    *p.add(i00),
-                                    *p.add(i01),
-                                    *p.add(i10),
-                                    *p.add(i11),
-                                ];
+                                let v = [*p.add(i00), *p.add(i01), *p.add(i10), *p.add(i11)];
                                 let out = g.apply(v);
                                 *p.add(i00) = out[0];
                                 *p.add(i01) = out[1];
@@ -165,7 +160,8 @@ pub fn apply_gate2_dense(state: &[C32], g: &Gate2, q0: u32, q1: u32, n: u32) -> 
         let r_sub = (((row & b1) != 0) as usize) << 1 | ((row & b0) != 0) as usize;
         let rest = row & !(b0 | b1);
         for c_sub in 0..4 {
-            let col = rest | if c_sub & 1 != 0 { b0 } else { 0 } | if c_sub & 2 != 0 { b1 } else { 0 };
+            let col =
+                rest | if c_sub & 1 != 0 { b0 } else { 0 } | if c_sub & 2 != 0 { b1 } else { 0 };
             *o += g.m[r_sub][c_sub] * state[col];
         }
     }
@@ -211,12 +207,12 @@ mod tests {
                 let dense_in = s.amps().to_vec();
                 let expected = apply_gate2_dense(&dense_in, &g, q0, q1, n);
                 s.apply_gate2(&g, q0, q1);
-                for i in 0..expected.len() {
+                for (i, want) in expected.iter().enumerate() {
                     assert!(
-                        close(s.amp(i), expected[i]),
+                        close(s.amp(i), *want),
                         "n={n} seed={seed} q=({q0},{q1}) i={i}: {:?} vs {:?}",
                         s.amp(i),
-                        expected[i]
+                        want
                     );
                 }
             }

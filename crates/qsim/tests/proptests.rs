@@ -1,7 +1,7 @@
 //! Property tests for the quantum simulator: unitarity and exactness
 //! must hold for arbitrary circuits.
 
-use gh_qsim::{fusion, C32, Gate2, QvCircuit, StateVector};
+use gh_qsim::{fusion, Gate2, QvCircuit, StateVector, C32};
 use proptest::prelude::*;
 
 fn close(a: C32, b: C32) -> bool {

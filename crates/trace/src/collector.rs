@@ -1,0 +1,397 @@
+//! The thread-local collector behind the bus facade.
+//!
+//! The simulator is single-threaded by design (the virtual clock is a plain
+//! counter), so the collector is a `thread_local!` — no locks on the hot
+//! path and no cross-thread ordering questions. The *application kernels*
+//! run on `gh-par` worker threads, but all metering happens on the
+//! simulation thread, which is the only thread that emits.
+//!
+//! Determinism contract: nothing in this module reads or writes simulator
+//! state. Emitting is record-only, so enabling tracing cannot change any
+//! virtual-time result. When disabled, every entry point returns after one
+//! thread-local flag load.
+
+use crate::event::{Event, Ns};
+use crate::metrics::Metrics;
+use crate::ring::Ring;
+use std::cell::{Cell, RefCell};
+
+/// Default event-ring capacity (events kept before drop-oldest kicks in).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// An event stamped with the virtual time and a per-run sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stamped {
+    /// Virtual time at emit.
+    pub ns: Ns,
+    /// Monotone sequence number (stable sort key for equal timestamps).
+    pub seq: u64,
+    /// The payload.
+    pub event: Event,
+}
+
+/// A completed span: a named interval on the virtual timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Span name (phase label, kernel name, API call).
+    pub name: String,
+    /// Category: `"phase"`, `"kernel"`, `"api"`, `"copy"`, `"migration"`, …
+    pub cat: &'static str,
+    /// Virtual start time.
+    pub start: Ns,
+    /// Virtual end time.
+    pub end: Ns,
+    /// Nesting depth at which the span was opened (0 = top level).
+    pub depth: u16,
+}
+
+/// Everything one traced run produced, drained via [`take`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// Events oldest-first (post ring eviction).
+    pub events: Vec<Stamped>,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+    /// Completed spans in close order.
+    pub spans: Vec<SpanRec>,
+    /// The metrics registry snapshot.
+    pub metrics: Metrics,
+}
+
+impl TraceData {
+    /// Convenience: counter value by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(name)
+    }
+
+    /// Spans of one category, in close order.
+    pub fn spans_in<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a SpanRec> + 'a {
+        self.spans.iter().filter(move |s| s.cat == cat)
+    }
+}
+
+struct Collector {
+    now: Ns,
+    seq: u64,
+    events: Ring<Stamped>,
+    spans: Vec<SpanRec>,
+    open: Vec<(String, &'static str, Ns)>,
+}
+
+impl Collector {
+    fn new(cap: usize) -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            events: Ring::new(cap),
+            spans: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new(DEFAULT_RING_CAPACITY));
+    static METRICS: RefCell<Metrics> = RefCell::new(Metrics::default());
+}
+
+/// Turns the bus on with the default ring capacity, clearing prior state.
+pub fn enable() {
+    enable_with_capacity(DEFAULT_RING_CAPACITY);
+}
+
+/// Turns the bus on with an explicit ring capacity, clearing prior state.
+pub fn enable_with_capacity(cap: usize) {
+    COLLECTOR.with(|c| *c.borrow_mut() = Collector::new(cap));
+    METRICS.with(|m| *m.borrow_mut() = Metrics::default());
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Turns the bus off. Recorded data stays available to [`take`].
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+}
+
+/// True when the bus is recording.
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Advances the bus's notion of virtual time (called from the clock owner;
+/// monotone by construction there).
+pub fn set_now(ns: Ns) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().now = ns);
+}
+
+/// The bus's current virtual time (0 when disabled or never set).
+pub fn now() -> Ns {
+    COLLECTOR.with(|c| c.borrow().now)
+}
+
+/// Records an event. No-op when disabled.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let ns = c.now;
+        let seq = c.seq;
+        c.seq += 1;
+        c.events.push(Stamped { ns, seq, event });
+    });
+}
+
+/// Bumps the monotone counter `name` by `delta`. No-op when disabled.
+pub fn count(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    METRICS.with(|m| m.borrow_mut().count(name, delta));
+}
+
+/// Sets the gauge `name`. No-op when disabled.
+pub fn gauge(name: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    METRICS.with(|m| m.borrow_mut().gauge(name, v));
+}
+
+/// Records `v` into the log-2 histogram `name`. No-op when disabled.
+pub fn observe(name: &str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    METRICS.with(|m| m.borrow_mut().observe(name, v));
+}
+
+/// Opens a span at the current virtual time. Pair with [`span_exit`], or
+/// use the RAII [`span`] wrapper.
+pub fn span_enter(name: &str, cat: &'static str) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let start = c.now;
+        c.open.push((name.to_string(), cat, start));
+    });
+}
+
+/// Closes the innermost open span at the current virtual time.
+pub fn span_exit() {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some((name, cat, start)) = c.open.pop() {
+            let end = c.now;
+            let depth = c.open.len() as u16;
+            c.spans.push(SpanRec {
+                name,
+                cat,
+                start,
+                end,
+                depth,
+            });
+        }
+    });
+}
+
+/// Records an already-measured interval `[start, now]` as a completed span
+/// (for call sites that know the start time, e.g. kernel launches).
+pub fn span_closed(name: &str, cat: &'static str, start: Ns) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let end = c.now;
+        let depth = c.open.len() as u16;
+        c.spans.push(SpanRec {
+            name: name.to_string(),
+            cat,
+            start: start.min(end),
+            end,
+            depth,
+        });
+    });
+}
+
+/// RAII span: open on construction, closed on drop.
+pub fn span(name: &str, cat: &'static str) -> SpanGuard {
+    let active = enabled();
+    if active {
+        span_enter(name, cat);
+    }
+    SpanGuard { active }
+}
+
+/// Guard returned by [`span`]; closes the span when dropped (only if the
+/// bus was enabled at open time, so enable/disable mid-span stays balanced).
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            span_exit();
+        }
+    }
+}
+
+/// Drains everything recorded so far (events, spans, metrics), leaving the
+/// bus in its current enabled/disabled state with fresh empty storage.
+/// Still-open spans are closed at the current virtual time.
+pub fn take() -> TraceData {
+    // Close dangling spans so exports are well-formed.
+    let open_count = COLLECTOR.with(|c| c.borrow().open.len());
+    for _ in 0..open_count {
+        span_exit();
+    }
+    let (events, dropped, spans) = COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let cap = c.events.capacity();
+        let now = c.now;
+        let taken = std::mem::replace(&mut *c, Collector::new(cap));
+        c.now = now;
+        let dropped = taken.events.dropped();
+        (taken.events.into_vec(), dropped, taken.spans)
+    });
+    let metrics = METRICS.with(|m| std::mem::take(&mut *m.borrow_mut()));
+    TraceData {
+        events,
+        dropped,
+        spans,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultKind;
+
+    fn fault(cost: Ns) -> Event {
+        Event::PageFault {
+            kind: FaultKind::Cpu,
+            va: 0,
+            cost,
+        }
+    }
+
+    #[test]
+    fn disabled_bus_records_nothing() {
+        disable();
+        emit(fault(1));
+        count("x", 1);
+        span_enter("s", "phase");
+        span_exit();
+        let d = take();
+        assert!(d.events.is_empty());
+        assert!(d.spans.is_empty());
+        assert!(d.metrics.is_empty());
+    }
+
+    #[test]
+    fn events_are_stamped_with_virtual_time() {
+        enable();
+        set_now(100);
+        emit(fault(1));
+        set_now(250);
+        emit(fault(2));
+        let d = take();
+        disable();
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].ns, 100);
+        assert_eq!(d.events[1].ns, 250);
+        assert!(d.events[0].seq < d.events[1].seq);
+    }
+
+    #[test]
+    fn span_nesting_tracks_depth() {
+        enable();
+        set_now(0);
+        span_enter("outer", "phase");
+        set_now(10);
+        span_enter("inner", "kernel");
+        set_now(30);
+        span_exit();
+        set_now(50);
+        span_exit();
+        let d = take();
+        disable();
+        // Close order: inner first.
+        assert_eq!(d.spans.len(), 2);
+        assert_eq!(d.spans[0].name, "inner");
+        assert_eq!(d.spans[0].depth, 1);
+        assert_eq!((d.spans[0].start, d.spans[0].end), (10, 30));
+        assert_eq!(d.spans[1].name, "outer");
+        assert_eq!(d.spans[1].depth, 0);
+        assert_eq!((d.spans[1].start, d.spans[1].end), (0, 50));
+    }
+
+    #[test]
+    fn raii_guard_closes_span() {
+        enable();
+        set_now(5);
+        {
+            let _g = span("scoped", "api");
+            set_now(9);
+        }
+        let d = take();
+        disable();
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!((d.spans[0].start, d.spans[0].end), (5, 9));
+    }
+
+    #[test]
+    fn take_closes_dangling_spans() {
+        enable();
+        set_now(1);
+        span_enter("never-closed", "phase");
+        set_now(7);
+        let d = take();
+        disable();
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.spans[0].end, 7);
+    }
+
+    #[test]
+    fn ring_overflow_surfaces_dropped_count() {
+        enable_with_capacity(4);
+        for i in 0..10 {
+            set_now(i);
+            emit(fault(i));
+        }
+        let d = take();
+        disable();
+        assert_eq!(d.events.len(), 4);
+        assert_eq!(d.dropped, 6);
+        // Oldest dropped, newest kept.
+        assert_eq!(d.events[0].ns, 6);
+        assert_eq!(d.events[3].ns, 9);
+    }
+
+    #[test]
+    fn take_resets_for_next_run() {
+        enable();
+        set_now(3);
+        emit(fault(1));
+        count("c", 2);
+        let first = take();
+        assert_eq!(first.events.len(), 1);
+        assert_eq!(first.counter("c"), 2);
+        let second = take();
+        disable();
+        assert!(second.events.is_empty());
+        assert_eq!(second.counter("c"), 0);
+    }
+}

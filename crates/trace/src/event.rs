@@ -1,0 +1,213 @@
+//! Typed simulator events.
+//!
+//! Every layer of the simulator emits these through the bus: the OS fault
+//! handler, the SMMU/TLB models, the NVLink-C2C model, the UVM driver, and
+//! the CUDA runtime. Events carry virtual-clock timestamps only — wall time
+//! never appears anywhere in a trace.
+
+/// Virtual nanoseconds (mirrors `gh_mem::clock::Ns`; redefined here so the
+/// bus stays dependency-free and `gh-mem` itself can emit events).
+pub type Ns = u64;
+
+/// Which side serviced a page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// CPU first-touch minor fault (system-allocated memory).
+    Cpu,
+    /// SMMU/ATS fault: GPU touched an unmapped system page.
+    Ats,
+    /// GPU replayable fault on managed memory (UVM).
+    Gpu,
+}
+
+impl FaultKind {
+    /// Stable lowercase label used in metric names and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Cpu => "cpu",
+            FaultKind::Ats => "ats",
+            FaultKind::Gpu => "gpu",
+        }
+    }
+}
+
+/// Which engine moved the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Fault-driven migration (GPU replayable fault path).
+    Fault,
+    /// Access-counter-driven migration (delayed, threshold-based).
+    Counter,
+    /// Explicit `cudaMemPrefetchAsync`.
+    Prefetch,
+    /// Capacity eviction (LRU under memory pressure).
+    Evict,
+    /// First-touch placement at initial access.
+    FirstTouch,
+    /// Explicit `cudaMemcpy`.
+    Memcpy,
+}
+
+impl Engine {
+    /// Stable lowercase label used in metric names and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Fault => "fault",
+            Engine::Counter => "counter",
+            Engine::Prefetch => "prefetch",
+            Engine::Evict => "evict",
+            Engine::FirstTouch => "first_touch",
+            Engine::Memcpy => "memcpy",
+        }
+    }
+}
+
+/// Transfer direction, GPU-centric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Host (LPDDR5X) to device (HBM3).
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+impl Dir {
+    /// Stable label used in metric names and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dir::H2D => "h2d",
+            Dir::D2H => "d2h",
+        }
+    }
+}
+
+/// A structured simulator event. Timestamps are attached by the collector
+/// ([`crate::Stamped`]), so variants carry payload only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A page fault was serviced at `cost` virtual ns.
+    PageFault { kind: FaultKind, va: u64, cost: Ns },
+    /// Pages moved between CPU and GPU memory.
+    Migration {
+        engine: Engine,
+        dir: Dir,
+        pages: u64,
+        bytes: u64,
+    },
+    /// A GPU TLB entry was evicted.
+    TlbEvict { va: u64 },
+    /// Bytes crossed NVLink-C2C, taking `dur` virtual ns.
+    LinkXfer { dir: Dir, bytes: u64, dur: Ns },
+    /// The access-counter aggregator crossed its threshold for a region.
+    CounterNotify { va: u64 },
+    /// Pages were evicted from GPU memory under capacity pressure.
+    Evict { pages: u64, bytes: u64 },
+    /// A range was pinned to CPU memory (thrash guard or host_register).
+    Pin { va: u64, bytes: u64 },
+    /// A VMA was created by `mmap`.
+    VmaCreate { va: u64, bytes: u64 },
+    /// A VMA was destroyed by `munmap`, tearing down `ptes` page-table
+    /// entries (the paper's exit-cost phenomenon).
+    VmaDestroy { ptes: u64 },
+}
+
+impl Event {
+    /// Short stable name for exports and track labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PageFault {
+                kind: FaultKind::Cpu,
+                ..
+            } => "fault.cpu",
+            Event::PageFault {
+                kind: FaultKind::Ats,
+                ..
+            } => "fault.ats",
+            Event::PageFault {
+                kind: FaultKind::Gpu,
+                ..
+            } => "fault.gpu",
+            Event::Migration { .. } => "migration",
+            Event::TlbEvict { .. } => "tlb.evict",
+            Event::LinkXfer { .. } => "link.xfer",
+            Event::CounterNotify { .. } => "counter.notify",
+            Event::Evict { .. } => "evict",
+            Event::Pin { .. } => "pin",
+            Event::VmaCreate { .. } => "vma.create",
+            Event::VmaDestroy { .. } => "vma.destroy",
+        }
+    }
+
+    /// JSON object with the event's payload fields (for Chrome-trace args).
+    pub fn args_json(&self) -> String {
+        match self {
+            Event::PageFault { kind, va, cost } => {
+                format!(
+                    "{{\"kind\":\"{}\",\"va\":{va},\"cost_ns\":{cost}}}",
+                    kind.label()
+                )
+            }
+            Event::Migration {
+                engine,
+                dir,
+                pages,
+                bytes,
+            } => format!(
+                "{{\"engine\":\"{}\",\"dir\":\"{}\",\"pages\":{pages},\"bytes\":{bytes}}}",
+                engine.label(),
+                dir.label()
+            ),
+            Event::TlbEvict { va } => format!("{{\"va\":{va}}}"),
+            Event::LinkXfer { dir, bytes, dur } => format!(
+                "{{\"dir\":\"{}\",\"bytes\":{bytes},\"dur_ns\":{dur}}}",
+                dir.label()
+            ),
+            Event::CounterNotify { va } => format!("{{\"va\":{va}}}"),
+            Event::Evict { pages, bytes } => {
+                format!("{{\"pages\":{pages},\"bytes\":{bytes}}}")
+            }
+            Event::Pin { va, bytes } => format!("{{\"va\":{va},\"bytes\":{bytes}}}"),
+            Event::VmaCreate { va, bytes } => format!("{{\"va\":{va},\"bytes\":{bytes}}}"),
+            Event::VmaDestroy { ptes } => format!("{{\"ptes\":{ptes}}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let e = Event::PageFault {
+            kind: FaultKind::Ats,
+            va: 0x1000,
+            cost: 5,
+        };
+        assert_eq!(e.name(), "fault.ats");
+        assert_eq!(
+            Event::Migration {
+                engine: Engine::Counter,
+                dir: Dir::H2D,
+                pages: 1,
+                bytes: 4096
+            }
+            .name(),
+            "migration"
+        );
+    }
+
+    #[test]
+    fn args_are_json_objects() {
+        let e = Event::Migration {
+            engine: Engine::Fault,
+            dir: Dir::D2H,
+            pages: 2,
+            bytes: 8192,
+        };
+        assert_eq!(
+            e.args_json(),
+            "{\"engine\":\"fault\",\"dir\":\"d2h\",\"pages\":2,\"bytes\":8192}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal JSON writing helpers shared by every exporter in the workspace
+//! (`gh-trace` exporters, `gh-profiler`'s Chrome trace, `gh-sim`'s run
+//! report), so string escaping lives in exactly one place.
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// and control characters are escaped, not dropped).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `s` as a quoted JSON string.
+pub fn quote_into(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Returns `s` as a quoted JSON string.
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    quote_into(&mut out, s);
+    out
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn f64_value(v: f64) -> String {
+    if v.is_finite() {
+        v.to_string()
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(quoted(r#"a"b\c"#), r#""a\"b\\c""#);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(quoted("a\nb\tc\u{1}d"), "\"a\\nb\\tc\\u0001d\"");
+    }
+
+    #[test]
+    fn passes_unicode_through() {
+        assert_eq!(quoted("π≈3"), "\"π≈3\"");
+    }
+
+    #[test]
+    fn f64_non_finite_is_null() {
+        assert_eq!(f64_value(1.5), "1.5");
+        assert_eq!(f64_value(f64::NAN), "null");
+        assert_eq!(f64_value(f64::INFINITY), "null");
+    }
+}

@@ -1,0 +1,57 @@
+//! `gh-trace` — the simulator-wide observability bus.
+//!
+//! The paper's conclusions are driven by counts and costs: page faults,
+//! migration bytes, NVLink-C2C traffic, page-table teardown work. This
+//! crate gives every simulator layer one place to report those quantities:
+//!
+//! * a **structured event bus** keyed to the *virtual* clock (wall time
+//!   never appears): typed [`Event`]s flow into a bounded [`ring::Ring`]
+//!   with a drop-oldest overflow policy and an observable dropped count;
+//! * a **metrics registry** ([`metrics::Metrics`]) of monotone counters,
+//!   gauges, and log-2 histograms;
+//! * **hierarchical spans** (phase → API call → kernel → fault batch) via
+//!   [`span`]/[`span_enter`]/[`span_exit`]/[`span_closed`];
+//! * **exporters**: Chrome/Perfetto trace JSON ([`export::chrome_trace`]),
+//!   CSV/JSON metrics dumps, and a per-phase "run explain" table
+//!   ([`export::explain`]).
+//!
+//! Everything is a no-op while disabled (one thread-local flag load), and
+//! recording never touches simulator state, so enabling tracing cannot
+//! change any virtual-time result. See `docs/observability.md` for the
+//! event taxonomy and metric-name inventory.
+//!
+//! ```
+//! use gh_trace as trace;
+//!
+//! trace::enable();
+//! trace::set_now(100);
+//! trace::span_enter("compute", "phase");
+//! trace::emit(trace::Event::PageFault {
+//!     kind: trace::FaultKind::Ats,
+//!     va: 0x1000,
+//!     cost: 700,
+//! });
+//! trace::count("os.ats_faults", 1);
+//! trace::set_now(1_000);
+//! trace::span_exit();
+//! let data = trace::take();
+//! trace::disable();
+//! assert_eq!(data.counter("os.ats_faults"), 1);
+//! let perfetto_json = trace::export::chrome_trace(&data);
+//! assert!(perfetto_json.contains("fault.ats"));
+//! ```
+
+pub mod collector;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+
+pub use collector::{
+    count, disable, emit, enable, enable_with_capacity, enabled, gauge, now, observe, set_now,
+    span, span_closed, span_enter, span_exit, take, SpanGuard, SpanRec, Stamped, TraceData,
+    DEFAULT_RING_CAPACITY,
+};
+pub use event::{Dir, Engine, Event, FaultKind, Ns};
+pub use metrics::{Histogram, Metrics};

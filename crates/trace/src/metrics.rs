@@ -1,0 +1,215 @@
+//! The metrics registry: monotone counters, gauges, and log-2 histograms.
+//!
+//! Names are flat dotted strings (`os.cpu_faults`, `uvm.bytes_migrated_in`,
+//! `link.xfer_bytes`); see `docs/observability.md` for the full inventory.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds zero-valued observations,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so a `u64` value always
+/// lands in a bucket (`2^63 ≤ v` falls in bucket 64).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log-2 histogram of `u64` observations (latencies in ns, sizes in
+/// bytes). Power-of-two buckets keep it O(1) to record and compact to dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u128,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index a value lands in.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            v.ilog2() as usize + 1
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` covered by bucket `idx`
+    /// (bucket 0 is the single value 0; the last bucket's `hi` saturates).
+    pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+        if idx == 0 {
+            (0, 1)
+        } else {
+            (
+                1u64 << (idx - 1),
+                1u64.checked_shl(idx as u32).unwrap_or(u64::MAX),
+            )
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Arithmetic mean of observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_lo, count)` pairs, for dumps.
+    pub fn occupied(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bounds(i).0, c))
+    }
+}
+
+/// A registry of named counters, gauges, and histograms. Deterministic
+/// iteration order (BTreeMap) keeps dumps diffable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Adds `delta` to the monotone counter `name`.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `v` (last-write-wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` into the log-2 histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Current value of counter `name` (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        // Every bucket's hi equals the next bucket's lo.
+        for idx in 0..HIST_BUCKETS - 1 {
+            let (_, hi) = Histogram::bucket_bounds(idx);
+            let (lo_next, _) = Histogram::bucket_bounds(idx + 1);
+            assert_eq!(hi, lo_next, "bucket {idx}");
+        }
+        // And each sample value falls inside its own bucket's bounds.
+        for v in [0u64, 1, 2, 7, 4096, u64::MAX / 2, u64::MAX] {
+            let idx = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(lo <= v, "{v} under lo {lo}");
+            assert!(v < hi || (idx == 64 && hi == u64::MAX), "{v} over hi {hi}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [5u64, 0, 100, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 112);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.mean(), 28.0);
+        let occ: Vec<_> = h.occupied().collect();
+        // 0 → bucket 0; 5,7 → [4,8); 100 → [64,128).
+        assert_eq!(occ, vec![(0, 1), (4, 2), (64, 1)]);
+    }
+
+    #[test]
+    fn registry_counts_and_gauges() {
+        let mut m = Metrics::default();
+        m.count("os.cpu_faults", 3);
+        m.count("os.cpu_faults", 2);
+        m.gauge("gpu.used_bytes", 42.0);
+        m.observe("fault.cost_ns", 1000);
+        assert_eq!(m.counter("os.cpu_faults"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge_value("gpu.used_bytes"), Some(42.0));
+        assert_eq!(m.histogram("fault.cost_ns").unwrap().count, 1);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Fixed-capacity ring buffer with a drop-oldest overflow policy.
+//!
+//! Long runs can emit millions of events; the ring bounds memory while the
+//! `dropped` count keeps the loss observable (exporters print it so a
+//! truncated trace is never mistaken for a complete one).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that evicts the oldest element on overflow.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `cap` elements (at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `v`, evicting the oldest element if full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(v);
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no elements are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of elements evicted due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Consumes the ring, returning surviving elements oldest-first.
+    pub fn into_vec(self) -> Vec<T> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Iterates surviving elements oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_newest_on_overflow() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.into_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn no_drops_under_capacity() {
+        let mut r = Ring::new(10);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.into_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.into_vec(), vec![2]);
+    }
+}

@@ -15,13 +15,18 @@ fn usage() -> ! {
   grace-mem app <needle|pathfinder|bfs|hotspot|srad>
             [--mode explicit|system|managed] [--page 4k|64k]
             [--no-migration] [--oversubscribe <ratio>] [--small]
+            [--trace-out <json-file>]
   grace-mem qv <sim_qubits>
             [--mode explicit|system|managed] [--page 4k|64k]
-            [--prefetch] [--amplitudes]
+            [--prefetch] [--amplitudes] [--trace-out <json-file>]
   grace-mem replay <trace-file>
             [--mode explicit|system|managed] [--page 4k|64k]
             [--no-migration] [--trace-out <json-file>]
-  grace-mem advise <trace-file>"
+  grace-mem advise <trace-file>
+
+environment:
+  GH_TRACE=1  trace the run on the observability bus and print the
+              per-phase explain table (implied by --trace-out)"
     );
     std::process::exit(2);
 }
@@ -35,6 +40,7 @@ struct Flags {
     prefetch: bool,
     amplitudes: bool,
     json: bool,
+    trace_out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -47,6 +53,7 @@ fn parse_flags(args: &[String]) -> Flags {
         prefetch: false,
         amplitudes: false,
         json: false,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -77,6 +84,12 @@ fn parse_flags(args: &[String]) -> Flags {
             "--json" => f.json = true,
             "--prefetch" => f.prefetch = true,
             "--amplitudes" => f.amplitudes = true,
+            "--trace-out" => {
+                f.trace_out = it.next().cloned();
+                if f.trace_out.is_none() {
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
@@ -104,6 +117,37 @@ fn print_report_maybe_json(label: &str, r: &grace_mem::RunReport, json: bool) {
     } else {
         print_report(label, r);
     }
+}
+
+fn trace_env() -> bool {
+    std::env::var("GH_TRACE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Enables the observability bus when `--trace-out` or `GH_TRACE=1` asks
+/// for it. Must run before the machine is built so allocation is traced.
+fn maybe_enable_trace(f: &Flags) {
+    if f.trace_out.is_some() || trace_env() {
+        gh_trace::enable();
+    }
+}
+
+/// Writes the Chrome trace + metrics dump and prints the explain table
+/// for a traced run (no-op when the run was not traced).
+fn maybe_dump_trace(r: &grace_mem::RunReport, f: &Flags) {
+    let Some(t) = &r.trace else { return };
+    if let Some(out) = &f.trace_out {
+        let metrics = format!("{out}.metrics.csv");
+        std::fs::write(out, gh_trace::export::chrome_trace(t)).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(&metrics, gh_trace::export::metrics_csv(t)).unwrap_or_else(|e| {
+            eprintln!("cannot write {metrics}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("chrome trace written to {out} (metrics: {metrics})");
+    }
+    eprint!("{}", gh_trace::export::explain(t));
 }
 
 fn print_report(label: &str, r: &grace_mem::RunReport) {
@@ -141,6 +185,7 @@ fn print_report(label: &str, r: &grace_mem::RunReport) {
 
 fn run_extension(name: &str, flag_args: &[String]) -> Option<grace_mem::RunReport> {
     let f = parse_flags(flag_args);
+    maybe_enable_trace(&f);
     let m = machine(&f);
     use grace_mem::apps::{kmeans, lud, micro};
     let mp = micro::MicroParams::default();
@@ -162,7 +207,10 @@ fn main() {
             for app in AppId::ALL {
                 println!("  {:<14} {}", app.name(), app.pattern());
             }
-            println!("  {:<14} mixed (gh-qsim, `grace-mem qv <qubits>`)", "qiskit-qv");
+            println!(
+                "  {:<14} mixed (gh-qsim, `grace-mem qv <qubits>`)",
+                "qiskit-qv"
+            );
             println!("extension workloads (future-work study):");
             println!("  {:<14} iterative reuse, read-only hot set", "kmeans");
             println!("  {:<14} shrinking working set", "lud");
@@ -174,13 +222,15 @@ fn main() {
             let Some(name) = args.get(1) else { usage() };
             // Extension workloads run through their own entry points.
             if let Some(report) = run_extension(name, &args[2..]) {
-                print_report(&format!("{name}"), &report);
+                print_report(&name.to_string(), &report);
+                maybe_dump_trace(&report, &parse_flags(&args[2..]));
                 return;
             }
             let Some(app) = AppId::ALL.iter().find(|a| a.name() == name) else {
                 usage()
             };
             let f = parse_flags(&args[2..]);
+            maybe_enable_trace(&f);
             let mut m = machine(&f);
             if let Some(ratio) = f.oversubscribe {
                 let peak = if f.small {
@@ -198,12 +248,14 @@ fn main() {
                 app.run(m, f.mode)
             };
             print_report_maybe_json(&format!("{} ({})", app.name(), f.mode), &r, f.json);
+            maybe_dump_trace(&r, &f);
         }
         Some("qv") => {
             let Some(q) = args.get(1).and_then(|s| s.parse::<u32>().ok()) else {
                 usage()
             };
             let f = parse_flags(&args[2..]);
+            maybe_enable_trace(&f);
             let p = QsimParams {
                 sim_qubits: q,
                 compute_amplitudes: f.amplitudes,
@@ -216,43 +268,29 @@ fn main() {
                 &r,
                 f.json,
             );
+            maybe_dump_trace(&r, &f);
         }
         Some("replay") => {
             let Some(path) = args.get(1) else { usage() };
-            let mut flag_args = args[2..].to_vec();
-            let mut trace_out = None;
-            if let Some(i) = flag_args.iter().position(|a| a == "--trace-out") {
-                flag_args.remove(i);
-                if i < flag_args.len() {
-                    trace_out = Some(flag_args.remove(i));
-                } else {
-                    usage();
-                }
-            }
-            let explicit_mode = flag_args.iter().any(|a| a == "--mode");
-            let f = parse_flags(&flag_args);
+            let explicit_mode = args[2..].iter().any(|a| a == "--mode");
+            let f = parse_flags(&args[2..]);
+            maybe_enable_trace(&f);
             let trace = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
             });
             let mode = explicit_mode.then_some(f.mode);
             match grace_mem::sim::replay(machine(&f), &trace, mode) {
-                Ok(r) => print_report_maybe_json(&format!("replay {path}"), &r, f.json),
+                Ok(r) => {
+                    print_report_maybe_json(&format!("replay {path}"), &r, f.json);
+                    // The bus captured the run as it happened — no second
+                    // replay needed to export the timeline.
+                    maybe_dump_trace(&r, &f);
+                }
                 Err(e) => {
                     eprintln!("{e}");
                     std::process::exit(1);
                 }
-            }
-            if let Some(out) = trace_out {
-                // Re-run to capture a timeline (the report API consumes
-                // the machine).
-                let mut m = machine(&f);
-                let _ = grace_mem::sim::replay_on(&mut m, &trace, mode);
-                std::fs::write(&out, m.rt.export_chrome_trace()).unwrap_or_else(|e| {
-                    eprintln!("cannot write {out}: {e}");
-                    std::process::exit(1);
-                });
-                eprintln!("chrome trace written to {out}");
             }
         }
         Some("advise") => {

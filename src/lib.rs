@@ -48,10 +48,9 @@ pub use gh_par as par;
 pub use gh_profiler as profiler;
 pub use gh_qsim as qsim;
 pub use gh_sim as sim;
+pub use gh_trace as trace;
 
 pub use gh_apps::AppId;
 pub use gh_profiler::{Phase, Sample};
 pub use gh_qsim::{run_qv, QsimParams};
-pub use gh_sim::{
-    Buffer, CostParams, Machine, MemMode, Node, RunReport, Runtime, RuntimeOptions,
-};
+pub use gh_sim::{Buffer, CostParams, Machine, MemMode, Node, RunReport, Runtime, RuntimeOptions};

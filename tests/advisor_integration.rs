@@ -68,11 +68,7 @@ fn cpu_init_reuse_shows_fig3_mechanisms() {
 #[test]
 fn managed_beats_system_for_gpu_initialized_data() {
     let a = advise(GPU_INIT).unwrap();
-    let best_unified = a
-        .rows
-        .iter()
-        .find(|r| r.mode != MemMode::Explicit)
-        .unwrap();
+    let best_unified = a.rows.iter().find(|r| r.mode != MemMode::Explicit).unwrap();
     assert_eq!(
         best_unified.mode,
         MemMode::Managed,

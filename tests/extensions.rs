@@ -49,9 +49,8 @@ fn double_buffered_pipeline_beats_serial_copies() {
 fn numa_bound_buffer_is_hbm_local_for_kernels() {
     let mut m = Machine::default_gh200();
     m.rt.cuda_init();
-    let b = m
-        .rt
-        .malloc_system_with_policy(8 << 20, NumaPolicy::Bind(Node::Gpu), "bound");
+    let b =
+        m.rt.malloc_system_with_policy(8 << 20, NumaPolicy::Bind(Node::Gpu), "bound");
     m.rt.cpu_write(&b, 0, 8 << 20);
     let mut k = m.rt.launch("probe");
     k.read(&b, 0, 8 << 20);
@@ -98,10 +97,14 @@ end
         Some(MemMode::System),
     )
     .unwrap();
-    let man = grace_mem::sim::replay(Machine::default_gh200(), trace, Some(MemMode::Managed))
-        .unwrap();
+    let man =
+        grace_mem::sim::replay(Machine::default_gh200(), trace, Some(MemMode::Managed)).unwrap();
     assert_eq!(sys.traffic.c2c_read, 16 << 20, "system: remote both sweeps");
-    assert_eq!(man.traffic.bytes_migrated_in, 8 << 20, "managed: migrate once");
+    assert_eq!(
+        man.traffic.bytes_migrated_in,
+        8 << 20,
+        "managed: migrate once"
+    );
     assert_eq!(man.traffic.hbm_read, 16 << 20);
 }
 
