@@ -31,6 +31,7 @@ impl Default for BfsParams {
 }
 
 /// A CSR graph.
+#[derive(Debug)]
 pub struct Graph {
     /// Per-node `(first_edge, edge_count)`.
     pub nodes: Vec<(u32, u32)>,

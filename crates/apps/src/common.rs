@@ -10,6 +10,7 @@ use gh_sim::{Buffer, Machine, MemMode, Node};
 /// * `System` / `Managed`: one unified buffer; uploads/downloads become
 ///   no-ops (plus the device synchronization the paper adds to preserve
 ///   semantics).
+#[derive(Debug)]
 pub struct UBuf {
     mode: MemMode,
     host: Option<Buffer>,
@@ -27,7 +28,7 @@ impl UBuf {
                 let host = m.rt.malloc_system(bytes, &format!("{tag}.host"));
                 let dev =
                     m.rt.cuda_malloc(bytes, &format!("{tag}.dev"))
-                        .expect("explicit version assumes the buffer fits in GPU memory");
+                        .expect("explicit version assumes the buffer fits in GPU memory"); // gh-audit: allow(no-unwrap-in-lib) -- explicit mode asserts the working set fits in HBM; oversizing is an experiment-config error
                 UBuf {
                     mode,
                     host: Some(host),
@@ -63,7 +64,7 @@ impl UBuf {
                 dev: m
                     .rt
                     .cuda_malloc(bytes, tag)
-                    .expect("explicit version assumes scratch fits in GPU memory"),
+                    .expect("explicit version assumes scratch fits in GPU memory"), // gh-audit: allow(no-unwrap-in-lib) -- explicit mode asserts scratch fits in HBM; oversizing is an experiment-config error
                 bytes,
             },
             _ => UBuf::alloc(m, mode, bytes, tag),

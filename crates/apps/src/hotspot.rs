@@ -112,7 +112,7 @@ pub fn run(mut m: Machine, mode: MemMode, p: &HotspotParams) -> RunReport {
     // keeps GPU-only intermediates in cudaMalloc).
     let scratch =
         m.rt.cuda_malloc(bytes, "hotspot.scratch")
-            .expect("scaled hotspot fits in GPU memory");
+            .expect("scaled hotspot fits in GPU memory"); // gh-audit: allow(no-unwrap-in-lib) -- explicit-mode capacity precondition; fail fast on an oversized config
 
     // ---- CPU-side initialization ----
     m.phase(Phase::CpuInit);

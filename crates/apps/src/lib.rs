@@ -20,6 +20,9 @@
 //! single unified buffer; keep GPU-only scratch in `cudaMalloc`; add
 //! device synchronization where copies used to synchronize).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod bfs;
 pub mod common;
 pub mod hotspot;

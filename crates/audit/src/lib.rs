@@ -1,0 +1,48 @@
+//! `gh-audit` — workspace-native static analysis for the grace-mem
+//! simulator.
+//!
+//! The simulator's scientific claims rest on two properties the compiler
+//! cannot check: **bit-exact determinism** across runs (same inputs, same
+//! bytes out — `tests/determinism.rs`) and **conservation of accounted
+//! bytes/pages** (`tests/memory_invariants.rs`). Both are end-to-end tests
+//! that only cover the paths they execute. This crate enforces the
+//! *source-level* discipline that makes the properties hold everywhere:
+//!
+//! | rule | what it guards |
+//! |------|----------------|
+//! | `no-wall-clock` | virtual clock only; no `Instant`/`SystemTime` in sim code |
+//! | `no-unordered-iteration` | no `HashMap`/`HashSet` iteration order reaching results |
+//! | `no-unchecked-accounting-arithmetic` | saturating math for byte/page/cost accumulators |
+//! | `no-float-eq` | no exact float compares in cost-model decisions |
+//! | `no-unwrap-in-lib` | library code returns typed errors, never aborts |
+//! | `trace-coverage` | every emitted event kind is named by an exporter |
+//! | `allow-syntax` | suppressions are well-formed and carry a reason |
+//!
+//! Suppression is per-line and audited itself:
+//!
+//! ```text
+//! sum += v; // gh-audit: allow(no-unordered-iteration) -- commutative fold
+//! // gh-audit: allow-file(no-unwrap-in-lib) -- harness binary, aborts are fine
+//! ```
+//!
+//! The engine is a from-scratch lexer + token-walker (no `syn`/`dylint`:
+//! the build environment is offline, and the rules need token shapes, not
+//! full ASTs). That makes the lints *heuristic* — scoped to stay useful:
+//! intra-file type knowledge, vocabulary-based accounting detection. False
+//! negatives are possible; false positives get an allow with a reason.
+//!
+//! Run it: `cargo run -p gh-audit` (report) or `cargo run -p gh-audit --
+//! --deny` (CI gate, exits 1 on any finding). See `docs/static-analysis.md`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{audit_workspace, AuditConfig, AuditError};
+pub use rules::Finding;

@@ -1,0 +1,75 @@
+//! `gh-audit` CLI: scan the workspace, print findings, gate CI.
+//!
+//! ```text
+//! gh-audit [--root <dir>] [--rule <name>]... [--deny] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings with
+//! `--deny`, 2 usage error.
+
+use gh_audit::{audit_workspace, report, rules, AuditConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: gh-audit [--root <dir>] [--rule <name>]... [--deny] [--list-rules]";
+
+fn main() -> ExitCode {
+    let mut cfg = AuditConfig::new(std::env::current_dir().unwrap_or_else(|_| ".".into()));
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => cfg.root = dir.into(),
+                None => return usage("--root needs a directory"),
+            },
+            "--rule" => match args.next() {
+                Some(name) => {
+                    if !rules::rule_names().contains(&name.as_str()) {
+                        return usage(&format!("unknown rule '{name}' (try --list-rules)"));
+                    }
+                    cfg.only_rules.insert(name);
+                }
+                None => return usage("--rule needs a rule name"),
+            },
+            "--list-rules" => {
+                for r in rules::all_rules() {
+                    println!("{:<38} {}", r.name(), r.describe());
+                }
+                println!(
+                    "{:<38} every emitted gh-trace event kind is named by an exporter",
+                    rules::trace_coverage::NAME
+                );
+                println!(
+                    "{:<38} allow directives are well-formed and carry a reason",
+                    gh_audit::engine::ALLOW_SYNTAX
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    match audit_workspace(&cfg) {
+        Ok(findings) => {
+            print!("{}", report::render(&findings));
+            if deny && !findings.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("gh-audit: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

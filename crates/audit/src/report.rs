@@ -1,0 +1,60 @@
+//! Text rendering of audit findings (deterministic output, like
+//! everything else in this workspace).
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders findings as `path:line: [rule] message` lines plus a per-rule
+/// summary. Empty findings render the all-clear line.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.msg);
+    }
+    if findings.is_empty() {
+        out.push_str("gh-audit: workspace clean (0 findings)\n");
+    } else {
+        let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in findings {
+            *by_rule.entry(f.rule).or_insert(0) += 1;
+        }
+        let _ = writeln!(out, "\ngh-audit: {} finding(s)", findings.len());
+        for (rule, n) in by_rule {
+            let _ = writeln!(out, "  {rule:<38} {n}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_render() {
+        assert!(render(&[]).contains("workspace clean"));
+    }
+
+    #[test]
+    fn findings_render_with_summary() {
+        let fs = vec![
+            Finding {
+                rule: "no-float-eq",
+                path: "a/src/lib.rs".into(),
+                line: 3,
+                msg: "m".into(),
+            },
+            Finding {
+                rule: "no-float-eq",
+                path: "b/src/lib.rs".into(),
+                line: 9,
+                msg: "m".into(),
+            },
+        ];
+        let r = render(&fs);
+        assert!(r.contains("a/src/lib.rs:3: [no-float-eq] m"));
+        assert!(r.contains("2 finding(s)"));
+        assert!(r.contains("no-float-eq"));
+    }
+}

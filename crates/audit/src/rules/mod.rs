@@ -1,0 +1,56 @@
+//! The audit rules. Each rule walks one file's token stream; the
+//! cross-file `trace-coverage` rule additionally runs over the whole
+//! workspace (see [`trace_coverage::check_workspace`]).
+
+pub mod accounting;
+pub mod float_eq;
+pub mod trace_coverage;
+pub mod unordered_iter;
+pub mod unwrap_lib;
+pub mod wall_clock;
+
+use crate::source::SourceFile;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (stable; used in allow directives).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description with the suggested fix.
+    pub msg: String,
+}
+
+/// A per-file lint.
+pub trait Rule {
+    /// Stable rule name (what `allow(...)` takes).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Appends findings for `file` (allow filtering happens later, in the
+    /// engine, so rules stay oblivious to suppression).
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// All per-file rules, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(wall_clock::WallClock),
+        Box::new(unordered_iter::UnorderedIter),
+        Box::new(accounting::UncheckedAccounting),
+        Box::new(float_eq::FloatEq),
+        Box::new(unwrap_lib::UnwrapInLib),
+    ]
+}
+
+/// Names of every rule (per-file rules plus `trace-coverage` and the
+/// `allow-syntax` meta rule), for `--rule` validation and docs.
+pub fn rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    names.push(trace_coverage::NAME);
+    names.push(crate::engine::ALLOW_SYNTAX);
+    names
+}

@@ -1,0 +1,225 @@
+//! `no-unordered-iteration`: iteration order of `HashMap`/`HashSet` must
+//! never leak into simulator results or exports.
+//!
+//! `std::collections::HashMap` iterates in a randomized order (SipHash
+//! keys are seeded per process unless a fixed hasher is supplied). Any
+//! loop over such a map that feeds `RunReport`, an exporter, advisor
+//! notes, or even the *order* of cost-charging calls makes two identical
+//! runs diverge — exactly the failure class `tests/determinism.rs` exists
+//! to catch, but only for the paths the test happens to exercise. The rule
+//! catches it at the source level: iterate a `BTreeMap`, sort the
+//! collected entries, or annotate a provably commutative fold with an
+//! allow directive.
+//!
+//! Detection is an intra-file heuristic: identifiers bound to
+//! `HashMap`/`HashSet` (struct fields, lets, fn params) are tracked, and
+//! iteration-shaped uses of those identifiers are flagged:
+//! `.iter()`, `.iter_mut()`, `.keys()`, `.values()`, `.values_mut()`,
+//! `.drain()`, `.into_iter()`, `.into_keys()`, `.into_values()`, and
+//! `for _ in [&[mut]] [recv.]ident`. `retain`/`get`/`entry` are fine
+//! (no order leaks from a pure per-entry visit).
+
+use crate::rules::{Finding, Rule};
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeSet;
+
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct UnorderedIter;
+
+impl Rule for UnorderedIter {
+    fn name(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no iterating HashMap/HashSet where order can reach results or exports"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return;
+        }
+        let code: Vec<_> = file.code_tokens().map(|(_, t)| t).collect();
+        let bound = hash_bound_idents(&code);
+        if bound.is_empty() {
+            return;
+        }
+        for (i, t) in code.iter().enumerate() {
+            if t.kind != crate::lexer::TokKind::Ident || !bound.contains(t.text.as_str()) {
+                continue;
+            }
+            if file.in_test_mod(t.line) {
+                continue;
+            }
+            // `ident . iter_method (`
+            if i + 3 < code.len()
+                && code[i + 1].is_punct(".")
+                && ITER_METHODS.iter().any(|m| code[i + 2].is_ident(m))
+                && code[i + 3].is_punct("(")
+            {
+                out.push(self.finding(file, t.line, &t.text, &code[i + 2].text));
+                continue;
+            }
+            // `for pat in [&[mut]] [recv .] ident {`  — the ident directly
+            // precedes the loop body brace.
+            if i + 1 < code.len() && code[i + 1].is_punct("{") && preceded_by_for_in(&code[..i], i)
+            {
+                out.push(self.finding(file, t.line, &t.text, "for-loop"));
+            }
+        }
+    }
+}
+
+impl UnorderedIter {
+    fn finding(&self, file: &SourceFile, line: u32, ident: &str, how: &str) -> Finding {
+        Finding {
+            rule: self.name(),
+            path: file.rel_path.clone(),
+            line,
+            msg: format!(
+                "`{ident}` is a HashMap/HashSet; iterating it ({how}) has randomized \
+                 order that can leak into results — use a BTreeMap, sort the collected \
+                 entries, or allow with a commutativity argument"
+            ),
+        }
+    }
+}
+
+/// True when the token slice before `idx` looks like `for ... in` leading
+/// directly to the identifier at `idx` (allowing `&`, `&mut`, and a
+/// `recv.`/`self.` prefix in between).
+fn preceded_by_for_in(before: &[&crate::lexer::Tok], _idx: usize) -> bool {
+    let mut j = before.len();
+    // Skip the receiver chain: `self .`, `foo .`, `&`, `& mut`.
+    while j > 0 {
+        let t = before[j - 1];
+        if t.is_punct(".") || t.is_punct("&") || t.is_ident("mut") || t.is_ident("self") {
+            j -= 1;
+            continue;
+        }
+        if t.kind == crate::lexer::TokKind::Ident && j >= 2 && before[j - 2].is_punct(".") {
+            // part of a field chain `a.b.map`
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    j > 0
+        && before[j - 1].is_ident("in")
+        && before[..j - 1]
+            .iter()
+            .rev()
+            .take(8)
+            .any(|t| t.is_ident("for"))
+}
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file:
+/// `ident : [path ::] Hash{Map,Set} <` (fields, lets, params) and
+/// `ident = [path ::] Hash{Map,Set} :: new ...` initializations.
+fn hash_bound_idents<'a>(code: &[&'a crate::lexer::Tok]) -> BTreeSet<&'a str> {
+    let mut bound = BTreeSet::new();
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std :: collections ::` style path prefix.
+        let mut j = i;
+        while j >= 2
+            && code[j - 1].is_punct("::")
+            && code[j - 2].kind == crate::lexer::TokKind::Ident
+        {
+            j -= 2;
+        }
+        if j == 0 {
+            continue;
+        }
+        // `name : <path> HashMap` (field / let / param annotation)
+        if code[j - 1].is_punct(":") && j >= 2 && code[j - 2].kind == crate::lexer::TokKind::Ident {
+            bound.insert(code[j - 2].text.as_str());
+            continue;
+        }
+        // `name = <path> HashMap :: new`  /  `name : _ = HashMap::with_...`
+        if code[j - 1].is_punct("=") && j >= 2 && code[j - 2].kind == crate::lexer::TokKind::Ident {
+            bound.insert(code[j - 2].text.as_str());
+        }
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("c/src/lib.rs", "c", FileKind::Lib, src);
+        let mut out = Vec::new();
+        UnorderedIter.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn field_iteration_fires() {
+        let src = "struct S { m: std::collections::HashMap<u64, u64> }\n\
+                   impl S { fn f(&self) -> Vec<u64> { self.m.keys().copied().collect() } }";
+        let out = run(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn for_loop_over_map_fires() {
+        let src = "fn f(m: HashMap<u32, u32>) { for (k, v) in &m { drop((k, v)); } }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn let_binding_new_fires() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); for x in m.values() { drop(x); } }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn btreemap_is_fine() {
+        let src =
+            "fn f(m: std::collections::BTreeMap<u32, u32>) { for x in m.values() { drop(x); } }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn point_lookups_are_fine() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn retain_is_fine() {
+        let src = "fn f(m: &mut HashMap<u32, u32>) { m.retain(|_, v| *v > 0); }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn drain_fires() {
+        let src = "fn f(mut m: HashMap<u32, u32>) -> Vec<(u32, u32)> { m.drain().collect() }";
+        assert_eq!(run(src).len(), 1);
+    }
+
+    #[test]
+    fn vec_iteration_is_fine() {
+        let src = "fn f(v: Vec<u32>) { for x in v.iter() { drop(x); } }";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! `no-wall-clock`: simulator code must never read host time.
+//!
+//! Every cost in the model is virtual nanoseconds ticked by
+//! `gh_mem::clock::Clock`; results are counts × costs. A single
+//! `Instant::now()` in a lib path silently couples reported numbers (or
+//! iteration order, via time-seeded hashing) to the machine the simulator
+//! runs on, breaking the bit-exact determinism contract that
+//! `tests/determinism.rs` enforces end-to-end. Benches and tests may time
+//! themselves; shipped simulator code may not.
+
+use crate::rules::{Finding, Rule};
+use crate::source::{FileKind, SourceFile};
+
+/// Identifiers that read or represent host time.
+const BANNED: [&str; 4] = ["Instant", "SystemTime", "UNIX_EPOCH", "elapsed"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn describe(&self) -> &'static str {
+        "simulator code must use the virtual clock, never std::time::Instant/SystemTime"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return;
+        }
+        let code: Vec<_> = file.code_tokens().collect();
+        for (pos, (_, t)) in code.iter().enumerate() {
+            if !BANNED.iter().any(|b| t.is_ident(b)) || file.in_test_mod(t.line) {
+                continue;
+            }
+            // `elapsed` only counts as a method/assoc call; a field or
+            // local named `elapsed` holding virtual ns is fine.
+            if t.is_ident("elapsed") {
+                let called = code
+                    .get(pos + 1)
+                    .map(|(_, n)| n.is_punct("("))
+                    .unwrap_or(false);
+                let receiver =
+                    pos > 0 && (code[pos - 1].1.is_punct(".") || code[pos - 1].1.is_punct("::"));
+                if !(called && receiver) {
+                    continue;
+                }
+            }
+            out.push(Finding {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line: t.line,
+                msg: format!(
+                    "`{}` reads host wall-clock time; simulator state must advance only \
+                     through the virtual clock (gh_mem::Clock) so runs stay bit-exact",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run(kind: FileKind, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("c/src/lib.rs", "c", kind, src);
+        let mut out = Vec::new();
+        WallClock.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn instant_in_lib_fires() {
+        let out = run(FileKind::Lib, "let t = std::time::Instant::now();");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "no-wall-clock");
+    }
+
+    #[test]
+    fn bench_files_are_exempt() {
+        assert!(run(FileKind::Bench, "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn duration_alone_is_fine() {
+        assert!(run(FileKind::Lib, "use std::time::Duration;").is_empty());
+    }
+
+    #[test]
+    fn elapsed_field_is_fine_method_is_not() {
+        assert!(run(FileKind::Lib, "let x = report.elapsed;").is_empty());
+        assert_eq!(run(FileKind::Lib, "let x = t0.elapsed();").len(), 1);
+    }
+
+    #[test]
+    fn test_mod_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { let x = Instant::now(); }\n}\n";
+        assert!(run(FileKind::Lib, src).is_empty());
+    }
+}

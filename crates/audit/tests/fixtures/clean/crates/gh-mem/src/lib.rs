@@ -1,0 +1,51 @@
+//! Clean fixture: the disciplined twin of `seeded`. Same shapes, zero
+//! findings — including one well-formed, reasoned suppression.
+
+use std::collections::BTreeMap;
+
+pub struct Counters {
+    pub total_bytes: u64,
+    pub by_node: BTreeMap<u32, u64>,
+    pub now_ns: u64,
+}
+
+impl Counters {
+    // Saturating accumulation: overflow clamps instead of wrapping.
+    pub fn tally(&mut self, bytes: u64) {
+        self.total_bytes = self.total_bytes.saturating_add(bytes);
+    }
+
+    // BTreeMap iterates in key order; no randomness reaches the output.
+    pub fn report(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, v) in self.by_node.iter() {
+            out.push(*v);
+        }
+        out
+    }
+
+    // Virtual clock: time is explicit simulator state.
+    pub fn stamp(&self) -> u64 {
+        self.now_ns
+    }
+
+    // Epsilon compare instead of exact float equality.
+    pub fn is_idle(&self, utilization: f64) -> bool {
+        utilization.abs() < 1e-12
+    }
+
+    // Fallible path surfaces as Option instead of aborting.
+    pub fn first(&self) -> Option<u64> {
+        self.report().first().copied()
+    }
+
+    // A reasoned suppression parses cleanly and silences its rule.
+    pub fn merged(&self) -> u64 {
+        let mut sum = 0u64;
+        // gh-audit: allow(no-unordered-iteration) -- commutative fold; order cannot reach the result
+        for v in self.by_node.values() {
+            sum = sum.saturating_add(*v);
+        }
+        sum
+    }
+}

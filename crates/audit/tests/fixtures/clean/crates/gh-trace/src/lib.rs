@@ -1,0 +1,10 @@
+//! Every emitted event kind is registered in `export.rs`.
+
+pub mod event;
+pub mod export;
+
+use event::Event;
+
+pub fn emit_ghost() -> Event {
+    Event::Ghost { bytes: 4096 }
+}

@@ -1,0 +1,48 @@
+//! Seeded-violation fixture: every per-file rule must fire on this file.
+//! Never compiled — consumed by `tests/fixtures.rs` through the engine.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Counters {
+    pub total_bytes: u64,
+    pub by_node: HashMap<u32, u64>,
+}
+
+impl Counters {
+    // no-unchecked-accounting-arithmetic: unchecked `+=` on an
+    // accounting accumulator in an accounting crate (gh-mem).
+    pub fn tally(&mut self, bytes: u64) {
+        self.total_bytes += bytes;
+    }
+
+    // no-unordered-iteration: HashMap iteration order reaches the sum
+    // only by luck of commutativity; the rule cannot know that.
+    pub fn report(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, v) in self.by_node.iter() {
+            out.push(*v);
+        }
+        out
+    }
+
+    // no-wall-clock: wall time must never enter simulator state.
+    pub fn stamp(&self) -> Instant {
+        Instant::now()
+    }
+
+    // no-float-eq: exact float compare in a cost decision.
+    pub fn is_idle(&self, utilization: f64) -> bool {
+        utilization == 0.0
+    }
+
+    // no-unwrap-in-lib: library code must not abort.
+    pub fn first(&self) -> u64 {
+        self.report().first().copied().unwrap()
+    }
+}
+
+// allow-syntax: a suppression without a `-- <reason>` is itself a finding.
+pub fn suppressed(x: Option<u64>) -> u64 {
+    x.unwrap_or(0) // gh-audit: allow(no-unwrap-in-lib)
+}

@@ -1,0 +1,6 @@
+//! Event bus of the seeded fixture.
+
+pub enum Event {
+    PageFault { va: u64 },
+    Ghost { bytes: u64 },
+}

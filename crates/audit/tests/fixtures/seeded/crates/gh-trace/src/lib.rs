@@ -1,0 +1,11 @@
+//! trace-coverage: `Event::Ghost` is emitted here but the exporter
+//! never names it, so traces silently drop it.
+
+pub mod event;
+pub mod export;
+
+use event::Event;
+
+pub fn emit_ghost() -> Event {
+    Event::Ghost { bytes: 4096 }
+}

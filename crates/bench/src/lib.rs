@@ -13,6 +13,9 @@
 //!   those footprints (1–64 MB) are absolute-scale and fit both the real
 //!   and the scaled GPU.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod ablations;
 pub mod bandwidth;
 pub mod fig03_overview;

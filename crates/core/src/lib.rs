@@ -30,6 +30,9 @@
 //! (`malloc`), and `Managed` (`cudaMallocManaged`) — see Figure 2 of the
 //! paper for the code transformation this corresponds to.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod advisor;
 pub mod machine;
 pub mod mode;

@@ -41,7 +41,7 @@
 //! assert_eq!(report.traffic.c2c_read, 4 << 20);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::machine::Machine;
 use crate::mode::MemMode;
@@ -129,7 +129,7 @@ pub fn replay_on(
     trace: &str,
     mode: Option<MemMode>,
 ) -> Result<(), ReplayError> {
-    let mut bufs: HashMap<String, RBuf> = HashMap::new();
+    let mut bufs: BTreeMap<String, RBuf> = BTreeMap::new();
     let mut lines = trace.lines().enumerate().peekable();
     machine.phase(Phase::Compute);
 
@@ -140,7 +140,7 @@ pub fn replay_on(
             continue;
         }
         let tok: Vec<&str> = line.split_whitespace().collect();
-        let get_buf = |bufs: &HashMap<String, RBuf>, name: &str| -> Result<RBuf, ReplayError> {
+        let get_buf = |bufs: &BTreeMap<String, RBuf>, name: &str| -> Result<RBuf, ReplayError> {
             bufs.get(name)
                 .copied()
                 .ok_or_else(|| err(n, format!("unknown buffer '{name}'")))
@@ -207,7 +207,9 @@ pub fn replay_on(
                 if tok[0] == "cpu_write" {
                     machine.rt.cpu_write(&host_side, off, len);
                     if b.host.is_some() {
-                        bufs.get_mut(tok[1]).unwrap().host_dirty = true;
+                        if let Some(e) = bufs.get_mut(tok[1]) {
+                            e.host_dirty = true;
+                        }
                     }
                 } else {
                     if let (Some(h), true) = (b.host, b.dev_dirty) {
@@ -215,7 +217,9 @@ pub fn replay_on(
                         machine
                             .rt
                             .memcpy(&h, 0, &b.dev, 0, b.dev.len().min(h.len()));
-                        bufs.get_mut(tok[1]).unwrap().dev_dirty = false;
+                        if let Some(e) = bufs.get_mut(tok[1]) {
+                            e.dev_dirty = false;
+                        }
                     }
                     machine.rt.cpu_read(&host_side, off, len);
                 }
@@ -223,19 +227,15 @@ pub fn replay_on(
             "kernel" => {
                 let label = tok.get(1).copied().unwrap_or("kernel");
                 // Explicit pairs: upload any host-dirty buffer first (the
-                // cudaMemcpy the original code would perform).
-                let dirty: Vec<String> = bufs
-                    .iter()
-                    .filter(|(_, b)| b.host.is_some() && b.host_dirty)
-                    .map(|(k, _)| k.clone())
-                    .collect();
-                for name in dirty {
-                    let b = bufs[&name];
-                    let h = b.host.unwrap();
-                    machine
-                        .rt
-                        .memcpy(&b.dev, 0, &h, 0, h.len().min(b.dev.len()));
-                    bufs.get_mut(&name).unwrap().host_dirty = false;
+                // cudaMemcpy the original code would perform). BTreeMap
+                // iteration keeps the upload order name-sorted.
+                for b in bufs.values_mut().filter(|b| b.host_dirty) {
+                    if let Some(h) = b.host {
+                        machine
+                            .rt
+                            .memcpy(&b.dev, 0, &h, 0, h.len().min(b.dev.len()));
+                        b.host_dirty = false;
+                    }
                 }
                 let mut k = machine.rt.launch(label);
                 let mut closed = false;
@@ -380,10 +380,8 @@ pub fn replay_on(
         }
     }
     machine.phase(Phase::Dealloc);
-    // Deterministic teardown order.
-    let mut leftovers: Vec<(String, RBuf)> = bufs.drain().collect();
-    leftovers.sort_by(|a, b| a.0.cmp(&b.0));
-    for (_, b) in leftovers {
+    // BTreeMap iterates name-sorted, so teardown order is deterministic.
+    for (_, b) in std::mem::take(&mut bufs) {
         if let Some(h) = b.host {
             machine.rt.free(h);
         }

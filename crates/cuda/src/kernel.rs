@@ -78,6 +78,7 @@ pub struct KernelReport {
 }
 
 /// An in-flight kernel recording.
+#[derive(Debug)]
 pub struct Kernel<'r> {
     rt: &'r mut Runtime,
     name: String,
@@ -92,7 +93,7 @@ pub struct Kernel<'r> {
     xlat_misses: u64,
     t: KernelTraffic,
     /// Per-buffer (c2c, hbm) byte attribution.
-    by_buffer: std::collections::HashMap<u32, (u64, u64)>,
+    by_buffer: std::collections::BTreeMap<u32, (u64, u64)>,
     /// GPU L2 model for irregular remote accesses: a line fetched once
     /// this kernel is served from cache on re-touch.
     l2: gh_mem::SetCache,
@@ -117,7 +118,7 @@ impl<'r> Kernel<'r> {
             c2c_write_lines_rand: 0,
             xlat_misses: 0,
             t: KernelTraffic::default(),
-            by_buffer: std::collections::HashMap::new(),
+            by_buffer: std::collections::BTreeMap::new(),
             l2,
             finished: false,
         }
@@ -235,16 +236,16 @@ impl<'r> Kernel<'r> {
 
     fn account_local(&mut self, bytes: u64, write: bool, random: bool) {
         if random {
-            self.hbm_random += bytes;
+            self.hbm_random = self.hbm_random.saturating_add(bytes);
         } else {
-            self.hbm_stream += bytes;
+            self.hbm_stream = self.hbm_stream.saturating_add(bytes);
         }
         if write {
-            self.t.hbm_write += bytes;
+            self.t.hbm_write = self.t.hbm_write.saturating_add(bytes);
         } else {
-            self.t.hbm_read += bytes;
+            self.t.hbm_read = self.t.hbm_read.saturating_add(bytes);
         }
-        self.t.l1l2 += bytes;
+        self.t.l1l2 = self.t.l1l2.saturating_add(bytes);
     }
 
     fn account_remote(&mut self, addr: u64, bytes: u64, write: bool, random: bool) {
@@ -255,36 +256,40 @@ impl<'r> Kernel<'r> {
         if random && bytes < 4 * line {
             let missed = self.l2.access_range(addr, bytes.max(1));
             if missed == 0 {
-                self.t.l1l2 += bytes; // pure cache hit
+                self.t.l1l2 = self.t.l1l2.saturating_add(bytes); // pure cache hit
                 return;
             }
             let miss_bytes = missed * line;
             match write {
                 false => {
-                    self.c2c_read_lines_rand += missed;
-                    self.t.c2c_read += miss_bytes;
+                    self.c2c_read_lines_rand = self.c2c_read_lines_rand.saturating_add(missed);
+                    self.t.c2c_read = self.t.c2c_read.saturating_add(miss_bytes);
                 }
                 true => {
-                    self.c2c_write_lines_rand += missed;
-                    self.t.c2c_write += miss_bytes;
+                    self.c2c_write_lines_rand = self.c2c_write_lines_rand.saturating_add(missed);
+                    self.t.c2c_write = self.t.c2c_write.saturating_add(miss_bytes);
                 }
             }
-            self.t.l1l2 += bytes;
+            self.t.l1l2 = self.t.l1l2.saturating_add(bytes);
             return;
         }
         let lines = bytes.div_ceil(line);
         match (write, random) {
-            (false, false) => self.c2c_read_lines += lines,
-            (false, true) => self.c2c_read_lines_rand += lines,
-            (true, false) => self.c2c_write_lines += lines,
-            (true, true) => self.c2c_write_lines_rand += lines,
+            (false, false) => self.c2c_read_lines = self.c2c_read_lines.saturating_add(lines),
+            (false, true) => {
+                self.c2c_read_lines_rand = self.c2c_read_lines_rand.saturating_add(lines)
+            }
+            (true, false) => self.c2c_write_lines = self.c2c_write_lines.saturating_add(lines),
+            (true, true) => {
+                self.c2c_write_lines_rand = self.c2c_write_lines_rand.saturating_add(lines)
+            }
         }
         if write {
-            self.t.c2c_write += lines * line;
+            self.t.c2c_write = self.t.c2c_write.saturating_add(lines * line);
         } else {
-            self.t.c2c_read += lines * line;
+            self.t.c2c_read = self.t.c2c_read.saturating_add(lines * line);
         }
-        self.t.l1l2 += bytes;
+        self.t.l1l2 = self.t.l1l2.saturating_add(bytes);
     }
 
     /// GPU TLB lookup; charges nothing directly, counts misses (latency is
@@ -292,8 +297,8 @@ impl<'r> Kernel<'r> {
     fn translate(&mut self, key: u64) {
         if !self.rt.gpu_tlb.lookup(key) {
             self.rt.gpu_tlb.fill(key);
-            self.xlat_misses += 1;
-            self.t.tlb_misses += 1;
+            self.xlat_misses = self.xlat_misses.saturating_add(1);
+            self.t.tlb_misses = self.t.tlb_misses.saturating_add(1);
         }
     }
 
@@ -343,8 +348,8 @@ impl<'r> Kernel<'r> {
                     // fault, the OS services it on the CPU (§5.1.2).
                     self.rt.smmu.raise_fault();
                     let o = self.rt.os.ats_fault(vpn, &mut self.rt.phys);
-                    fault_cost += o.cost;
-                    self.t.ats_faults += 1;
+                    fault_cost = fault_cost.saturating_add(o.cost);
+                    self.t.ats_faults = self.t.ats_faults.saturating_add(1);
                     o.placed
                 }
             };
@@ -363,7 +368,7 @@ impl<'r> Kernel<'r> {
                             .insert(vpn);
                         if let Some(n) = self.rt.counters.record(region, lines) {
                             self.rt.pending_notifs.push_back(n.region);
-                            self.t.notifications += 1;
+                            self.t.notifications = self.t.notifications.saturating_add(1);
                         }
                     }
                 }
@@ -453,8 +458,8 @@ impl<'r> Kernel<'r> {
                 // in GPU memory — the *fast* managed init path (§5.1.2).
                 let (cost, on_gpu, _) = self.rt.uvm_first_touch_block(block, buf_range);
                 self.rt.tick(cost);
-                self.t.gpu_faults += 1;
-                self.t.bytes_migrated_in += 0; // population, not migration
+                self.t.gpu_faults = self.t.gpu_faults.saturating_add(1);
+                self.t.bytes_migrated_in = self.t.bytes_migrated_in.saturating_add(0); // population, not migration
                 let _ = on_gpu;
                 if gh_trace::enabled() {
                     gh_trace::emit(gh_trace::Event::PageFault {
@@ -476,7 +481,7 @@ impl<'r> Kernel<'r> {
                 // (or falls back to remote mapping under self-eviction).
                 let fault = self.rt.params.uvm_fault_batch;
                 self.rt.tick(fault);
-                self.t.gpu_faults += 1;
+                self.t.gpu_faults = self.t.gpu_faults.saturating_add(1);
                 if gh_trace::enabled() {
                     gh_trace::emit(gh_trace::Event::PageFault {
                         kind: gh_trace::FaultKind::Gpu,
@@ -491,8 +496,9 @@ impl<'r> Kernel<'r> {
                 let (cost, migrated) = self.rt.uvm_migrate_block_in(block, buf_range);
                 self.rt.tick(cost);
                 if migrated > 0 {
-                    self.t.pages_migrated_in += migrated;
-                    self.t.bytes_migrated_in += migrated * spt;
+                    self.t.pages_migrated_in = self.t.pages_migrated_in.saturating_add(migrated);
+                    self.t.bytes_migrated_in =
+                        self.t.bytes_migrated_in.saturating_add(migrated * spt);
                     // Speculative sequential prefetch: after two
                     // consecutive migrated blocks, pull the next one in
                     // without waiting for its fault.
@@ -506,8 +512,10 @@ impl<'r> Kernel<'r> {
                     {
                         let (pcost, pmigrated) = self.rt.uvm_migrate_block_in(block + 1, buf_range);
                         self.rt.tick(pcost);
-                        self.t.pages_migrated_in += pmigrated;
-                        self.t.bytes_migrated_in += pmigrated * spt;
+                        self.t.pages_migrated_in =
+                            self.t.pages_migrated_in.saturating_add(pmigrated);
+                        self.t.bytes_migrated_in =
+                            self.t.bytes_migrated_in.saturating_add(pmigrated * spt);
                     }
                 } else {
                     // Remote mapping: cacheline-grain access to the
@@ -551,7 +559,7 @@ impl<'r> Kernel<'r> {
             let Some(region) = self.rt.pending_notifs.pop_front() else {
                 break;
             };
-            serviced += 1;
+            serviced = serviced.saturating_add(1);
             let dt = self.drain_notification(region);
             self.rt.tick(dt);
         }
@@ -606,7 +614,12 @@ impl<'r> Kernel<'r> {
                 hbm,
             })
             .collect();
-        by_buffer.sort_by(|a, b| b.c2c.cmp(&a.c2c).then(b.hbm.cmp(&a.hbm)));
+        by_buffer.sort_by(|a, b| {
+            b.c2c
+                .cmp(&a.c2c)
+                .then(b.hbm.cmp(&a.hbm))
+                .then(a.tag.cmp(&b.tag))
+        });
         KernelReport {
             name,
             time,
@@ -664,8 +677,11 @@ impl<'r> Kernel<'r> {
         for &vpn in &movable {
             self.rt.move_page(vpn, Node::Gpu);
         }
-        self.t.pages_migrated_in += movable.len() as u64;
-        self.t.bytes_migrated_in += bytes;
+        self.t.pages_migrated_in = self
+            .t
+            .pages_migrated_in
+            .saturating_add(movable.len() as u64);
+        self.t.bytes_migrated_in = self.t.bytes_migrated_in.saturating_add(bytes);
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Counter,
@@ -693,7 +709,7 @@ impl<'r> Kernel<'r> {
 impl Drop for Kernel<'_> {
     fn drop(&mut self) {
         if !self.finished && !std::thread::panicking() {
-            panic!("kernel '{}' dropped without finish()", self.name);
+            panic!("kernel '{}' dropped without finish()", self.name); // gh-audit: allow(no-unwrap-in-lib) -- deliberate drop-guard trap for kernels never finish()ed
         }
     }
 }

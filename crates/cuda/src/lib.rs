@@ -44,6 +44,9 @@
 //! rt.free(buf);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod buffer;
 pub mod kernel;
 pub mod runtime;

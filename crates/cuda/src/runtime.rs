@@ -57,6 +57,7 @@ impl Default for RuntimeOptions {
 }
 
 /// The simulated Grace Hopper node: one process, one GPU.
+#[derive(Debug)]
 pub struct Runtime {
     pub(crate) params: CostParams,
     pub(crate) clock: Clock,
@@ -97,7 +98,7 @@ pub struct Runtime {
 impl Runtime {
     /// Boots a simulated machine.
     pub fn new(params: CostParams, opts: RuntimeOptions) -> Self {
-        params.validate().expect("invalid cost parameters");
+        params.validate().expect("invalid cost parameters"); // gh-audit: allow(no-unwrap-in-lib) -- boot-time config validation; fail fast before any state exists
         let phys = PhysMem::new(
             params.cpu_mem_bytes,
             params.gpu_mem_bytes,
@@ -361,7 +362,7 @@ impl Runtime {
             let frame = self
                 .phys
                 .alloc(Node::Gpu, gpu_page)
-                .expect("free space was checked above");
+                .expect("free space was checked above"); // gh-audit: allow(no-unwrap-in-lib) -- free space checked by the branch guard above
             self.gpu_pt.populate(vpn, Node::Gpu, frame);
         }
         let dt = self.params.cuda_malloc_fixed + n_pages * self.params.cuda_malloc_per_page;
@@ -383,7 +384,7 @@ impl Runtime {
     pub fn free(&mut self, buf: Buffer) -> Ns {
         self.allocs
             .remove(&buf.id)
-            .unwrap_or_else(|| panic!("double free or unknown buffer {}", buf.id));
+            .unwrap_or_else(|| panic!("double free or unknown buffer {}", buf.id)); // gh-audit: allow(no-unwrap-in-lib) -- double free is a caller bug; fail fast like the driver
         let dt = match buf.kind {
             BufKind::Device => {
                 let gpu_page = self.params.gpu_page_size;
@@ -458,14 +459,14 @@ impl Runtime {
                 let (fault_cost, _) = self
                     .os
                     .touch_cpu_range(b.range.slice(off, len), &mut self.phys);
-                dt += fault_cost;
+                dt = dt.saturating_add(fault_cost);
             }
         }
-        dt += match dir {
+        dt = dt.saturating_add(match dir {
             Some(d) => self.link.bulk(len, d),
             None => CostParams::transfer_ns(len, self.params.hbm_bw)
                 .max(CostParams::transfer_ns(len, self.params.lpddr_bw)),
-        };
+        });
         let start = self.now();
         self.tick(dt);
         let label = match dir {
@@ -566,7 +567,7 @@ impl Runtime {
         if row_bytes != src_pitch || row_bytes != dst_pitch {
             let per_row = 200 * rows; // DMA descriptor per strided row
             self.tick(per_row);
-            dt += per_row;
+            dt = dt.saturating_add(per_row);
         }
         dt
     }
@@ -640,7 +641,7 @@ impl Runtime {
     }
 
     fn host_access_chunk(&mut self, buf: &Buffer, chunk: gh_os::VaRange, write: bool) -> Ns {
-        let mut dt = 0;
+        let mut dt: Ns = 0;
         let line = self.params.cpu_cacheline;
         match buf.kind {
             BufKind::Managed => {
@@ -649,11 +650,11 @@ impl Runtime {
                 let vpns = self.os.system_pt.vpn_range(chunk.addr, chunk.len);
                 let gpu_pages = self.os.system_pt.count_resident_in(vpns, Node::Gpu);
                 if gpu_pages > 0 {
-                    dt += self.uvm_retrieve_to_cpu(chunk);
+                    dt = dt.saturating_add(self.uvm_retrieve_to_cpu(chunk));
                 }
                 let (fault, _) = self.os.touch_cpu_range(chunk, &mut self.phys);
-                dt += fault;
-                dt += CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw);
+                dt = dt.saturating_add(fault);
+                dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
             }
             BufKind::System => {
                 // Faults only for unpopulated pages; GPU-resident pages
@@ -661,16 +662,18 @@ impl Runtime {
                 // accessed remotely at 64 B granularity, *without*
                 // migration (coherent C2C).
                 let spt = self.os.system_pt.page_size();
-                let mut remote_bytes = 0;
+                let mut remote_bytes: u64 = 0;
                 for vpn in self.os.system_pt.vpn_range(chunk.addr, chunk.len) {
                     match self.os.system_pt.translate(vpn) {
-                        Some(pte) if pte.node == Node::Gpu => remote_bytes += spt,
+                        Some(pte) if pte.node == Node::Gpu => {
+                            remote_bytes = remote_bytes.saturating_add(spt)
+                        }
                         Some(_) => {}
                         None => {
                             let o = self.os.touch_cpu(vpn, &mut self.phys);
-                            dt += o.cost;
+                            dt = dt.saturating_add(o.cost);
                             if o.placed == Node::Gpu {
-                                remote_bytes += spt;
+                                remote_bytes = remote_bytes.saturating_add(spt);
                             }
                         }
                     }
@@ -684,17 +687,21 @@ impl Runtime {
                     } else {
                         Direction::D2H
                     };
-                    dt += self.link.cacheline_stream(remote_bytes / line, line, dir);
+                    dt = dt.saturating_add(self.link.cacheline_stream(
+                        remote_bytes / line,
+                        line,
+                        dir,
+                    ));
                 }
                 // The single-threaded host loop generates/consumes every
                 // byte at cpu_init_bw regardless of where pages live; the
                 // remote line traffic above is additional stall.
-                dt += CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw);
+                dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
             }
             BufKind::Pinned => {
-                dt += CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw);
+                dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
             }
-            BufKind::Device => unreachable!("checked above"),
+            BufKind::Device => unreachable!("checked above"), // gh-audit: allow(no-unwrap-in-lib) -- device buffers are rejected at function entry
         }
         dt
     }

@@ -17,10 +17,11 @@
 //! copies (pageable memory degrades to synchronous). Unified buffers
 //! fault through the OS/driver models, which are synchronous by design.
 
+// gh-audit: allow-file(no-unwrap-in-lib) -- stream/event handles are minted by this module and launch preconditions are validated fail-fast, mirroring CUDA driver aborts
 use gh_mem::clock::Ns;
 use gh_mem::link::Direction;
 use gh_mem::params::CostParams;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::buffer::{BufKind, Buffer};
 use crate::runtime::Runtime;
@@ -30,7 +31,7 @@ use crate::runtime::Runtime;
 pub struct StreamId(pub(crate) u32);
 
 /// The three hardware engines async work can occupy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum Engine {
     CopyH2d,
     CopyD2h,
@@ -46,12 +47,12 @@ pub struct EventId(pub(crate) u32);
 pub struct StreamState {
     next: u32,
     /// Completion time of the last operation per stream.
-    tails: HashMap<u32, Ns>,
+    tails: BTreeMap<u32, Ns>,
     /// Time each engine becomes free.
-    engines: HashMap<Engine, Ns>,
+    engines: BTreeMap<Engine, Ns>,
     next_event: u32,
     /// Timestamp each event resolves to (the recording stream's tail).
-    events: HashMap<u32, Ns>,
+    events: BTreeMap<u32, Ns>,
 }
 
 impl StreamState {
@@ -146,31 +147,31 @@ impl Runtime {
             assert!(off + len <= b.len(), "async read out of range");
             match b.kind {
                 BufKind::Device => {
-                    hbm += len;
-                    traffic.hbm_read += len;
+                    hbm = hbm.saturating_add(*len);
+                    traffic.hbm_read = traffic.hbm_read.saturating_add(*len);
                 }
                 BufKind::Pinned => {
-                    c2c_r += len;
-                    traffic.c2c_read += len;
+                    c2c_r = c2c_r.saturating_add(*len);
+                    traffic.c2c_read = traffic.c2c_read.saturating_add(*len);
                 }
                 _ => panic!("launch_async requires device or pinned buffers"),
             }
-            traffic.l1l2 += len;
+            traffic.l1l2 = traffic.l1l2.saturating_add(*len);
         }
         for (b, off, len) in writes {
             assert!(off + len <= b.len(), "async write out of range");
             match b.kind {
                 BufKind::Device => {
-                    hbm += len;
-                    traffic.hbm_write += len;
+                    hbm = hbm.saturating_add(*len);
+                    traffic.hbm_write = traffic.hbm_write.saturating_add(*len);
                 }
                 BufKind::Pinned => {
-                    c2c_w += len;
-                    traffic.c2c_write += len;
+                    c2c_w = c2c_w.saturating_add(*len);
+                    traffic.c2c_write = traffic.c2c_write.saturating_add(*len);
                 }
                 _ => panic!("launch_async requires device or pinned buffers"),
             }
-            traffic.l1l2 += len;
+            traffic.l1l2 = traffic.l1l2.saturating_add(*len);
         }
         let p = &self.params;
         let mem = CostParams::transfer_ns(hbm, p.hbm_bw)

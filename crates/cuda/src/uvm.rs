@@ -133,7 +133,7 @@ impl Runtime {
         let frame = self
             .phys
             .alloc(dst, spt)
-            .expect("destination node full: caller must evict first");
+            .expect("destination node full: caller must evict first"); // gh-audit: allow(no-unwrap-in-lib) -- caller evicts before migrating; a full destination is a logic error
         let old = self.os.system_pt.remap(vpn, dst, frame);
         self.phys.release(old.node, spt);
         self.gpu_tlb.invalidate(tlb_key_sys(vpn));
@@ -173,7 +173,7 @@ impl Runtime {
                     // Try to make room by evicting the LRU block (any
                     // allocation, this one included).
                     let (evict_cost, freed) = self.uvm_evict_lru(spt, None, Some(block));
-                    cost += evict_cost;
+                    cost = cost.saturating_add(evict_cost);
                     if freed >= spt {
                         self.phys.alloc(Node::Gpu, spt).ok()
                     } else {
@@ -190,16 +190,16 @@ impl Runtime {
                     let f = self
                         .phys
                         .alloc(Node::Cpu, spt)
-                        .expect("both tiers exhausted");
+                        .expect("both tiers exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- both tiers exhausted means the experiment exceeds machine memory
                     self.os.system_pt.populate(vpn, Node::Cpu, f);
                     on_cpu += 1;
-                    cost += self.params.cpu_fault_fixed / 2;
+                    cost = cost.saturating_add(self.params.cpu_fault_fixed / 2);
                 }
             }
         }
         if on_gpu > 0 {
             self.uvm.touch_lru(block);
-            cost += CostParams::transfer_ns(on_gpu * spt, self.params.hbm_bw);
+            cost = cost.saturating_add(CostParams::transfer_ns(on_gpu * spt, self.params.hbm_bw));
         }
         if gh_trace::enabled() && on_gpu > 0 {
             gh_trace::emit(gh_trace::Event::Migration {
@@ -226,7 +226,7 @@ impl Runtime {
             return (0, 0);
         }
         let bytes = cpu_pages.len() as u64 * spt;
-        let mut cost = 0;
+        let mut cost: Ns = 0;
         if self.phys.free(Node::Gpu) < bytes {
             // Make room, but never by evicting this same allocation: that
             // would be guaranteed thrash, and the GH200 driver instead
@@ -236,7 +236,7 @@ impl Runtime {
                 Some(buf_range),
                 Some(block),
             );
-            cost += evict_cost;
+            cost = cost.saturating_add(evict_cost);
             if freed + self.phys.free(Node::Gpu) < bytes && self.phys.free(Node::Gpu) < bytes {
                 self.uvm.remote_fallbacks += 1;
                 // Thrash detection (uvm_perf_thrashing): after repeated
@@ -247,7 +247,7 @@ impl Runtime {
                 let n = self.uvm.fallback_counts.entry(buf_range.addr).or_insert(0);
                 *n += 1;
                 if *n >= PIN_AFTER_FALLBACKS {
-                    cost += self.uvm_pin_cpu(buf_range);
+                    cost = cost.saturating_add(self.uvm_pin_cpu(buf_range));
                 }
                 gh_trace::count("uvm.remote_fallbacks", 1);
                 return (cost, 0);
@@ -258,7 +258,9 @@ impl Runtime {
         }
         self.uvm.touch_lru(block);
         self.uvm.migrated_this_kernel.push(block);
-        cost += self.params.uvm_migration_fixed + self.link.bulk(bytes, Direction::H2D);
+        cost = cost.saturating_add(
+            self.params.uvm_migration_fixed + self.link.bulk(bytes, Direction::H2D),
+        );
         let pages = cpu_pages.len() as u64;
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Migration {
@@ -285,8 +287,8 @@ impl Runtime {
         skip_block: Option<u64>,
     ) -> (Ns, u64) {
         let spt = self.os.system_pt.page_size();
-        let mut cost = 0;
-        let mut freed = 0;
+        let mut cost: Ns = 0;
+        let mut freed: u64 = 0;
         // Scan from the cold end; collect victims first to avoid borrowing
         // issues while mutating.
         let mut idx = 0;
@@ -318,9 +320,10 @@ impl Runtime {
                 self.move_page(vpn, Node::Cpu);
             }
             self.uvm.drop_block(block);
-            self.uvm.evictions += 1;
-            freed += bytes;
-            cost += self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H);
+            self.uvm.evictions = self.uvm.evictions.saturating_add(1);
+            freed = freed.saturating_add(bytes);
+            cost = cost
+                .saturating_add(self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H));
             if gh_trace::enabled() {
                 let pages = bytes / spt;
                 gh_trace::emit(gh_trace::Event::Evict { pages, bytes });
@@ -356,7 +359,7 @@ impl Runtime {
             self.uvm.drop_block(b);
         }
         self.uvm.pinned_cpu.insert(buf_range.addr);
-        self.uvm.evictions += 1;
+        self.uvm.evictions = self.uvm.evictions.saturating_add(1);
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Pin {
                 va: buf_range.addr,
@@ -428,7 +431,7 @@ impl Runtime {
                 continue;
             }
             let vpns = self.os.system_pt.vpn_range(clip.addr, clip.len);
-            let mut dt = 0;
+            let mut dt: Ns = 0;
             match to {
                 Node::Gpu => {
                     let cpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Cpu);
@@ -442,13 +445,13 @@ impl Runtime {
                             None,
                             Some(block),
                         );
-                        dt += c;
+                        dt = dt.saturating_add(c);
                         if freed + self.phys.free(Node::Gpu) < bytes
                             && self.phys.free(Node::Gpu) < bytes
                         {
                             // GPU genuinely full (e.g. balloon): skip.
                             self.tick(dt);
-                            total += dt;
+                            total = total.saturating_add(dt);
                             continue;
                         }
                     }
@@ -456,7 +459,7 @@ impl Runtime {
                         self.move_page(vpn, Node::Gpu);
                     }
                     self.uvm.touch_lru(block);
-                    dt += self.link.bulk(bytes, Direction::H2D);
+                    dt = dt.saturating_add(self.link.bulk(bytes, Direction::H2D));
                     if gh_trace::enabled() {
                         let pages = cpu_pages.len() as u64;
                         gh_trace::emit(gh_trace::Event::Migration {
@@ -480,7 +483,7 @@ impl Runtime {
                         self.move_page(vpn, Node::Cpu);
                     }
                     self.uvm.drop_block(block);
-                    dt += self.link.bulk(bytes, Direction::D2H);
+                    dt = dt.saturating_add(self.link.bulk(bytes, Direction::D2H));
                     if gh_trace::enabled() {
                         let pages = gpu_pages.len() as u64;
                         gh_trace::emit(gh_trace::Event::Migration {
@@ -496,7 +499,7 @@ impl Runtime {
                 }
             }
             self.tick(dt);
-            total += dt;
+            total = total.saturating_add(dt);
         }
         total
     }

@@ -84,7 +84,7 @@ impl SetCache {
     /// otherwise inserts it (evicting LRU) and returns `false`.
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr / self.line_bytes;
-        self.tick += 1;
+        self.tick = self.tick.saturating_add(1);
         let base = self.set_of(line) * self.ways;
         let mut victim = base;
         let mut oldest = u64::MAX;
@@ -92,7 +92,7 @@ impl SetCache {
             let slot = &mut self.slots[base + w];
             if slot.0 == line {
                 slot.1 = self.tick;
-                self.hits += 1;
+                self.hits = self.hits.saturating_add(1);
                 return true;
             }
             if slot.0 == EMPTY {
@@ -103,9 +103,9 @@ impl SetCache {
                 oldest = slot.1;
             }
         }
-        self.misses += 1;
+        self.misses = self.misses.saturating_add(1);
         if self.slots[victim].0 != EMPTY {
-            self.evictions += 1;
+            self.evictions = self.evictions.saturating_add(1);
         }
         self.slots[victim] = (line, self.tick);
         false
@@ -119,10 +119,10 @@ impl SetCache {
         }
         let first = addr / self.line_bytes;
         let last = (addr + bytes - 1) / self.line_bytes;
-        let mut missed = 0;
+        let mut missed: u64 = 0;
         for l in first..=last {
             if !self.access(l * self.line_bytes) {
-                missed += 1;
+                missed = missed.saturating_add(1);
             }
         }
         missed

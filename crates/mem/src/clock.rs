@@ -32,7 +32,7 @@ impl Clock {
         self.now = self
             .now
             .checked_add(dt)
-            .expect("virtual clock overflow: experiment ran for > 580 years");
+            .expect("virtual clock overflow: experiment ran for > 580 years"); // gh-audit: allow(no-unwrap-in-lib) -- deliberate overflow trap on the virtual clock
         self.now
     }
 

@@ -74,7 +74,7 @@ impl AccessCounters {
         let fired = self.notified.entry(region).or_insert(false);
         if !*fired && *c >= self.threshold as u64 {
             *fired = true;
-            self.total_notifications += 1;
+            self.total_notifications = self.total_notifications.saturating_add(1);
             if gh_trace::enabled() {
                 gh_trace::emit(gh_trace::Event::CounterNotify {
                     va: region * self.region_size,

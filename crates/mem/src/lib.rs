@@ -28,6 +28,9 @@
 //! simulation wall-time, and all heavy *application* compute runs outside
 //! the model through `gh-par`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod cache;
 pub mod clock;
 pub mod counters;

@@ -102,8 +102,8 @@ impl Link {
 
     fn record(&mut self, bytes: u64, dir: Direction) {
         match dir {
-            Direction::H2D => self.bytes_h2d += bytes,
-            Direction::D2H => self.bytes_d2h += bytes,
+            Direction::H2D => self.bytes_h2d = self.bytes_h2d.saturating_add(bytes),
+            Direction::D2H => self.bytes_d2h = self.bytes_d2h.saturating_add(bytes),
         }
     }
 

@@ -108,7 +108,7 @@ impl PageTable {
         let e = self
             .entries
             .get_mut(vpn)
-            .unwrap_or_else(|| panic!("remap of unpopulated vpn {vpn}"));
+            .unwrap_or_else(|| panic!("remap of unpopulated vpn {vpn}")); // gh-audit: allow(no-unwrap-in-lib) -- remap of an unpopulated page is a simulator logic error
         let old = *e;
         self.resident[node_idx(old.node)] -= 1;
         self.resident[node_idx(node)] += 1;
@@ -167,7 +167,7 @@ impl PageTable {
             .collect();
         keys.into_iter()
             .map(|k| {
-                let pte = self.unmap(k).expect("key was just observed");
+                let pte = self.unmap(k).expect("key was just observed"); // gh-audit: allow(no-unwrap-in-lib) -- key was observed under the same borrow
                 (k, pte)
             })
             .collect()

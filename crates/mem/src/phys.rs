@@ -103,7 +103,7 @@ impl PhysMem {
                 free: self.free(node),
             });
         }
-        self.used[node.idx()] += bytes;
+        self.used[node.idx()] = self.used[node.idx()].saturating_add(bytes);
         let frame = self.next_frame;
         self.next_frame += 1;
         Ok(frame)

@@ -102,10 +102,10 @@ impl<T> RadixTable<T> {
 
     /// Removes every entry in `[lo, hi)`, returning how many were removed.
     pub fn remove_range(&mut self, lo: u64, hi: u64) -> usize {
-        let mut removed = 0;
+        let mut removed: usize = 0;
         for k in lo..hi {
             if self.remove(k).is_some() {
-                removed += 1;
+                removed = removed.saturating_add(1);
             }
         }
         removed

@@ -30,7 +30,7 @@ impl Smmu {
 
     /// Cost of a CPU-side translation that missed the CPU TLB: one walk.
     pub fn cpu_walk(&mut self) -> u64 {
-        self.walks += 1;
+        self.walks = self.walks.saturating_add(1);
         self.walk_cost
     }
 
@@ -38,7 +38,7 @@ impl Smmu {
     /// C2C request round trip plus a system-page-table walk.
     pub fn ats_translate(&mut self) -> u64 {
         self.ats_requests += 1;
-        self.walks += 1;
+        self.walks = self.walks.saturating_add(1);
         self.ats_cost + self.walk_cost
     }
 
@@ -46,7 +46,7 @@ impl Smmu {
     /// for the OS to handle (the fault-service cost itself is charged by
     /// the OS model).
     pub fn raise_fault(&mut self) {
-        self.faults_raised += 1;
+        self.faults_raised = self.faults_raised.saturating_add(1);
     }
 
     /// Total page-table walks performed.

@@ -62,24 +62,24 @@ impl Tlb {
     /// Looks up `vpn`; returns true on hit. Misses do **not** insert — the
     /// caller decides (after walking the page table) whether to `fill`.
     pub fn lookup(&mut self, vpn: u64) -> bool {
-        self.tick += 1;
+        self.tick = self.tick.saturating_add(1);
         let base = self.set_of(vpn) * self.ways;
         for w in 0..self.ways {
             let slot = &mut self.slots[base + w];
             if slot.0 == vpn {
                 slot.1 = self.tick;
-                self.hits += 1;
+                self.hits = self.hits.saturating_add(1);
                 return true;
             }
         }
-        self.misses += 1;
+        self.misses = self.misses.saturating_add(1);
         false
     }
 
     /// Inserts a translation for `vpn`, evicting the LRU way of its set if
     /// needed.
     pub fn fill(&mut self, vpn: u64) {
-        self.tick += 1;
+        self.tick = self.tick.saturating_add(1);
         let base = self.set_of(vpn) * self.ways;
         let mut victim = base;
         let mut oldest = u64::MAX;

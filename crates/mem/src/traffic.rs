@@ -39,19 +39,27 @@ pub struct KernelTraffic {
 impl KernelTraffic {
     /// Adds another record into this one.
     pub fn merge(&mut self, other: &KernelTraffic) {
-        self.hbm_read += other.hbm_read;
-        self.hbm_write += other.hbm_write;
-        self.c2c_read += other.c2c_read;
-        self.c2c_write += other.c2c_write;
-        self.l1l2 += other.l1l2;
-        self.gpu_faults += other.gpu_faults;
-        self.ats_faults += other.ats_faults;
-        self.tlb_misses += other.tlb_misses;
-        self.pages_migrated_in += other.pages_migrated_in;
-        self.pages_migrated_out += other.pages_migrated_out;
-        self.bytes_migrated_in += other.bytes_migrated_in;
-        self.bytes_migrated_out += other.bytes_migrated_out;
-        self.notifications += other.notifications;
+        self.hbm_read = self.hbm_read.saturating_add(other.hbm_read);
+        self.hbm_write = self.hbm_write.saturating_add(other.hbm_write);
+        self.c2c_read = self.c2c_read.saturating_add(other.c2c_read);
+        self.c2c_write = self.c2c_write.saturating_add(other.c2c_write);
+        self.l1l2 = self.l1l2.saturating_add(other.l1l2);
+        self.gpu_faults = self.gpu_faults.saturating_add(other.gpu_faults);
+        self.ats_faults = self.ats_faults.saturating_add(other.ats_faults);
+        self.tlb_misses = self.tlb_misses.saturating_add(other.tlb_misses);
+        self.pages_migrated_in = self
+            .pages_migrated_in
+            .saturating_add(other.pages_migrated_in);
+        self.pages_migrated_out = self
+            .pages_migrated_out
+            .saturating_add(other.pages_migrated_out);
+        self.bytes_migrated_in = self
+            .bytes_migrated_in
+            .saturating_add(other.bytes_migrated_in);
+        self.bytes_migrated_out = self
+            .bytes_migrated_out
+            .saturating_add(other.bytes_migrated_out);
+        self.notifications = self.notifications.saturating_add(other.notifications);
     }
 
     /// Total bytes the kernel pulled through the memory system.

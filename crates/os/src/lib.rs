@@ -21,6 +21,9 @@
 //! CUDA runtime model (`gh-cuda`) owns the GPU-exclusive page table and
 //! calls into this crate for anything involving system pages.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod numa;
 pub mod os;
 pub mod vma;

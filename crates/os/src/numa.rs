@@ -63,20 +63,23 @@ impl Os {
         let (range, mut cost) =
             self.mmap_with_policy(bytes, VmaKind::System, NumaPolicy::Bind(node), tag);
         let page = self.params().system_page_size;
-        let mut pages = 0;
+        let mut pages: u64 = 0;
         for vpn in self.system_pt.vpn_range(range.addr, range.len) {
             let frame = phys
                 .alloc(node, page)
-                .expect("numa_alloc_onnode: bound node exhausted");
+                .expect("numa_alloc_onnode: bound node exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- bound-node exhaustion fails hard, matching libnuma
             self.system_pt.populate(vpn, node, frame);
-            pages += 1;
+            pages = pages.saturating_add(1);
         }
         let bw = match node {
             Node::Cpu => self.params().lpddr_bw,
             Node::Gpu => self.params().c2c_h2d_bw, // zero-fill crosses the link
         };
-        cost += pages * self.params().host_register_per_page
-            + CostParams::transfer_ns(pages * page, bw);
+        cost = cost.saturating_add(
+            pages
+                .saturating_mul(self.params().host_register_per_page)
+                .saturating_add(CostParams::transfer_ns(pages * page, bw)),
+        );
         (range, cost)
     }
 

@@ -51,7 +51,7 @@ pub struct Os {
 impl Os {
     /// Boots the OS with the given cost model and configuration.
     pub fn new(params: CostParams, config: OsConfig) -> Self {
-        params.validate().expect("invalid cost parameters");
+        params.validate().expect("invalid cost parameters"); // gh-audit: allow(no-unwrap-in-lib) -- boot-time config validation; fail fast before any state exists
         let page = params.system_page_size;
         Self {
             params,
@@ -111,7 +111,7 @@ impl Os {
         );
         let mut cost = self.params.vma_create;
         if self.config.init_on_alloc {
-            cost += CostParams::transfer_ns(aligned_len, self.params.lpddr_bw);
+            cost = cost.saturating_add(CostParams::transfer_ns(aligned_len, self.params.lpddr_bw));
         }
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::VmaCreate {
@@ -128,7 +128,7 @@ impl Os {
         let vma = self
             .vmas
             .get_mut(&range.addr)
-            .unwrap_or_else(|| panic!("set_policy on unknown VMA at {:#x}", range.addr));
+            .unwrap_or_else(|| panic!("set_policy on unknown VMA at {:#x}", range.addr)); // gh-audit: allow(no-unwrap-in-lib) -- an unknown VMA is a caller bug
         vma.policy = policy;
     }
 
@@ -156,7 +156,7 @@ impl Os {
         let vma = self
             .vmas
             .remove(&range.addr)
-            .unwrap_or_else(|| panic!("munmap of unknown VMA at {:#x}", range.addr));
+            .unwrap_or_else(|| panic!("munmap of unknown VMA at {:#x}", range.addr)); // gh-audit: allow(no-unwrap-in-lib) -- an unknown VMA is a caller bug
         assert_eq!(vma.range.len, range.len, "partial munmap not modelled");
         let page = self.params.system_page_size;
         let vpns = self.system_pt.vpn_range(range.addr, range.len);
@@ -185,12 +185,12 @@ impl Os {
         let (primary, fallback) = policy.place(toucher, vpn);
         match phys.alloc(primary, page) {
             Ok(f) => (primary, f),
-            Err(e) if !fallback => panic!("NUMA-bound allocation failed: {e}"),
+            Err(e) if !fallback => panic!("NUMA-bound allocation failed: {e}"), // gh-audit: allow(no-unwrap-in-lib) -- Bind policy is documented to fail hard when the node is full
             Err(_) => {
                 let other = primary.peer();
                 let f = phys
                     .alloc(other, page)
-                    .expect("both memory tiers exhausted");
+                    .expect("both memory tiers exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- both tiers exhausted means the experiment exceeds machine memory
                 (other, f)
             }
         }
@@ -210,14 +210,14 @@ impl Os {
         let page = self.params.system_page_size;
         let (node, frame) = self.place_first_touch(vpn, Node::Cpu, phys);
         self.system_pt.populate(vpn, node, frame);
-        self.cpu_faults += 1;
+        self.cpu_faults = self.cpu_faults.saturating_add(1);
         let zero_bw = match node {
             Node::Cpu => self.params.lpddr_bw,
             Node::Gpu => self.params.c2c_h2d_bw,
         };
         let mut cost = self.params.cpu_fault_fixed + CostParams::transfer_ns(page, zero_bw);
         if self.config.autonuma {
-            cost += cost / 4; // NUMA-hinting bookkeeping overhead
+            cost = cost.saturating_add(cost / 4); // NUMA-hinting bookkeeping overhead
         }
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::PageFault {
@@ -238,13 +238,13 @@ impl Os {
     /// Bulk CPU first-touch over a byte range: returns total cost and the
     /// number of pages actually faulted.
     pub fn touch_cpu_range(&mut self, range: VaRange, phys: &mut PhysMem) -> (Ns, u64) {
-        let mut cost = 0;
-        let mut faults = 0;
+        let mut cost: Ns = 0;
+        let mut faults: u64 = 0;
         for vpn in self.system_pt.vpn_range(range.addr, range.len) {
             let o = self.touch_cpu(vpn, phys);
-            cost += o.cost;
+            cost = cost.saturating_add(o.cost);
             if o.faulted {
-                faults += 1;
+                faults = faults.saturating_add(1);
             }
         }
         (cost, faults)
@@ -268,11 +268,11 @@ impl Os {
         let page = self.params.system_page_size;
         let (node, frame) = self.place_first_touch(vpn, Node::Gpu, phys);
         self.system_pt.populate(vpn, node, frame);
-        self.ats_faults += 1;
+        self.ats_faults = self.ats_faults.saturating_add(1);
         let mut cost =
             self.params.ats_fault_fixed + (page as f64 * self.params.ats_fault_per_byte) as Ns;
         if self.config.autonuma {
-            cost += cost / 4;
+            cost = cost.saturating_add(cost / 4);
         }
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::PageFault {
@@ -295,14 +295,14 @@ impl Os {
     /// cheaper per page than the fault path. Returns (cost, pages created).
     pub fn host_register(&mut self, range: VaRange, phys: &mut PhysMem) -> (Ns, u64) {
         let page = self.params.system_page_size;
-        let mut created = 0;
+        let mut created: u64 = 0;
         for vpn in self.system_pt.vpn_range(range.addr, range.len) {
             if !self.system_pt.is_populated(vpn) {
                 let frame = phys
                     .alloc(Node::Cpu, page)
-                    .expect("CPU physical memory exhausted");
+                    .expect("CPU physical memory exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- mlock past CPU capacity is an experiment-config error
                 self.system_pt.populate(vpn, Node::Cpu, frame);
-                created += 1;
+                created = created.saturating_add(1);
             }
         }
         let cost = created * self.params.host_register_per_page

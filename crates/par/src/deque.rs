@@ -9,6 +9,7 @@
 //! is a FIFO shared queue, each worker owns a LIFO deque, and stealers take
 //! from the opposite end of a victim's deque.
 
+// gh-audit: allow-file(no-unwrap-in-lib) -- mutex poisoning means a worker panicked; propagating the panic is the only sound response
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 

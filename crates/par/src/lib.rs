@@ -36,6 +36,8 @@
 //! assert_eq!(sum, 499_500);
 //! ```
 
+#![deny(missing_debug_implementations)]
+
 pub mod deque;
 pub mod pool;
 pub mod scope;

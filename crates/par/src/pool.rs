@@ -11,6 +11,7 @@
 //! [`WorkStealingPool::join_batch`] submits a batch and blocks until every
 //! job in the batch has completed, which is the shape kernel launches use.
 
+// gh-audit: allow-file(no-unwrap-in-lib) -- mutex poisoning means a worker panicked; propagating the panic is the only sound response, and spawn failure at boot is fatal
 use crate::deque::{Injector, Steal, Stealer, Worker};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -46,6 +47,14 @@ pub struct WorkStealingPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+}
+
+impl std::fmt::Debug for WorkStealingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
 }
 
 impl WorkStealingPool {

@@ -6,6 +6,7 @@
 //! of [`Grain`] size and workers claim chunks from a shared atomic cursor,
 //! so an uneven workload (e.g. BFS frontiers) does not leave threads idle.
 
+// gh-audit: allow-file(no-unwrap-in-lib) -- mutex poisoning means a worker panicked; propagating the panic is the only sound response
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Chunking policy for the scoped loops.
@@ -94,6 +95,8 @@ where
     let len = data.len();
     let cursor = AtomicUsize::new(0);
     struct SendPtr<T>(*mut T);
+    // SAFETY: the pointer is only dereferenced through disjoint [lo, hi)
+    // ranges claimed via the atomic cursor, within the enclosing scope.
     unsafe impl<T> Send for SendPtr<T> {}
     unsafe impl<T> Sync for SendPtr<T> {}
     let base = SendPtr(base);

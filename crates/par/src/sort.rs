@@ -54,6 +54,8 @@ pub fn par_sort_unstable<T: Ord + Send + Sync + Copy>(data: &mut [T]) {
 }
 
 struct SendPtr<T>(*mut T);
+// SAFETY: workers write only their own disjoint [lo, hi) output range of
+// the destination buffer; the buffer outlives the parallel region.
 unsafe impl<T> Send for SendPtr<T> {}
 unsafe impl<T> Sync for SendPtr<T> {}
 

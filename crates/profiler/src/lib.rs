@@ -11,6 +11,9 @@
 //! application phases (context init, allocation, CPU init, compute,
 //! de-allocation) and small CSV helpers for the figure harnesses.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod phases;
 pub mod plot;
 pub mod profiler;

@@ -22,7 +22,7 @@ pub fn ascii_chart(
         return out;
     }
     let t0 = t_ms[0];
-    let t1 = *t_ms.last().unwrap();
+    let t1 = *t_ms.last().unwrap_or(&t0);
     let tspan = (t1 - t0).max(1e-9);
     let vmax = series
         .iter()

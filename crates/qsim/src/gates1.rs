@@ -93,6 +93,8 @@ impl StateVector {
         let low_mask = bit - 1;
 
         struct SendPtr(*mut C32);
+        // SAFETY: each worker touches only the disjoint (i0, i1) pairs of
+        // the ranges it claims via the cursor, within the thread scope.
         unsafe impl Send for SendPtr {}
         unsafe impl Sync for SendPtr {}
         impl SendPtr {

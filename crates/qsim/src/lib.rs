@@ -40,6 +40,8 @@
 //! assert!(shots.iter().all(|&s| s == 0 || s == 0b1111));
 //! ```
 
+#![deny(missing_debug_implementations)]
+
 pub mod circuits;
 pub mod complex;
 pub mod fusion;

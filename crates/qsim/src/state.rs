@@ -90,6 +90,8 @@ impl StateVector {
         // Each group owns 4 distinct indices; groups are pairwise
         // disjoint, so scattered parallel mutation is safe.
         struct SendPtr(*mut C32);
+        // SAFETY: each group owns 4 unique indices and groups are pairwise
+        // disjoint, so claimed ranges never alias; bounded by the scope.
         unsafe impl Send for SendPtr {}
         unsafe impl Sync for SendPtr {}
         let base = SendPtr(self.amps.as_mut_ptr());

@@ -235,6 +235,7 @@ pub fn span(name: &str, cat: &'static str) -> SpanGuard {
 
 /// Guard returned by [`span`]; closes the span when dropped (only if the
 /// bus was enabled at open time, so enable/disable mid-span stays balanced).
+#[derive(Debug)]
 pub struct SpanGuard {
     active: bool,
 }

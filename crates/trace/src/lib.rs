@@ -41,6 +41,9 @@
 //! assert!(perfetto_json.contains("fault.ats"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod collector;
 pub mod event;
 pub mod export;

@@ -40,6 +40,9 @@
 //! See `DESIGN.md` for the system inventory and the per-figure experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub use gh_apps as apps;
 pub use gh_cuda as cuda;
 pub use gh_mem as mem;
