@@ -255,7 +255,7 @@ mod tests {
         let p = small();
         let expected = checksum_of(&reference(&build_graph(&p)));
         for mode in MemMode::ALL {
-            let r = run(Machine::default_gh200(), mode, &p);
+            let r = run(gh_sim::platform::gh200().machine(), mode, &p);
             assert_eq!(r.checksum, expected, "{mode}");
         }
     }
@@ -286,8 +286,8 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let p = small();
-        let a = run(Machine::default_gh200(), MemMode::System, &p);
-        let b = run(Machine::default_gh200(), MemMode::System, &p);
+        let a = run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
+        let b = run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(
             a.phases.compute, b.phases.compute,

@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn explicit_mode_allocates_pair() {
-        let mut m = Machine::default_gh200();
+        let mut m = gh_sim::platform::gh200().machine();
         let b = UBuf::alloc(&mut m, MemMode::Explicit, MIB, "x");
         assert_eq!(b.cpu().kind, BufKind::System);
         assert_eq!(b.gpu().kind, BufKind::Device);
@@ -175,7 +175,7 @@ mod tests {
     #[test]
     fn unified_modes_share_one_buffer() {
         for mode in [MemMode::System, MemMode::Managed] {
-            let mut m = Machine::default_gh200();
+            let mut m = gh_sim::platform::gh200().machine();
             let b = UBuf::alloc(&mut m, mode, MIB, "x");
             assert_eq!(b.cpu().id(), b.gpu().id());
             b.free(&mut m);
@@ -184,14 +184,14 @@ mod tests {
 
     #[test]
     fn upload_copies_only_in_explicit_mode() {
-        let mut m = Machine::default_gh200();
+        let mut m = gh_sim::platform::gh200().machine();
         let b = UBuf::alloc(&mut m, MemMode::Explicit, MIB, "x");
         b.cpu_init(&mut m, 0, MIB);
         let before = m.rt.link().bytes_h2d();
         b.upload(&mut m);
         assert_eq!(m.rt.link().bytes_h2d() - before, MIB);
 
-        let mut m2 = Machine::default_gh200();
+        let mut m2 = gh_sim::platform::gh200().machine();
         let b2 = UBuf::alloc(&mut m2, MemMode::System, MIB, "x");
         b2.cpu_init(&mut m2, 0, MIB);
         let before = m2.rt.link().bytes_h2d();

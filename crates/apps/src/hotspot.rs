@@ -181,7 +181,7 @@ mod tests {
         let p = small();
         let expected: f64 = reference(&p).iter().map(|&x| x as f64).sum();
         for mode in MemMode::ALL {
-            let r = run(Machine::default_gh200(), mode, &p);
+            let r = run(gh_sim::platform::gh200().machine(), mode, &p);
             assert!(
                 (r.checksum - expected).abs() < 1e-3 * expected.abs().max(1.0),
                 "{mode}: {} vs {expected}",
@@ -204,7 +204,11 @@ mod tests {
 
     #[test]
     fn phases_are_populated() {
-        let r = run(Machine::default_gh200(), MemMode::System, &small());
+        let r = run(
+            gh_sim::platform::gh200().machine(),
+            MemMode::System,
+            &small(),
+        );
         assert!(r.phases.alloc > 0);
         assert!(r.phases.cpu_init > 0);
         assert!(r.phases.compute > 0);
@@ -214,8 +218,8 @@ mod tests {
     #[test]
     fn explicit_mode_copies_managed_migrates() {
         let p = small();
-        let re = run(Machine::default_gh200(), MemMode::Explicit, &p);
-        let rm = run(Machine::default_gh200(), MemMode::Managed, &p);
+        let re = run(gh_sim::platform::gh200().machine(), MemMode::Explicit, &p);
+        let rm = run(gh_sim::platform::gh200().machine(), MemMode::Managed, &p);
         // Explicit: no faults, no migrations. Managed: migrations, no copies.
         assert_eq!(re.traffic.gpu_faults, 0);
         assert_eq!(re.traffic.bytes_migrated_in, 0);
@@ -225,14 +229,9 @@ mod tests {
     #[test]
     fn system_mode_reads_remotely_with_migration_off() {
         let p = small();
-        let mut machine = Machine::new(
-            gh_sim::CostParams::default(),
-            gh_sim::RuntimeOptions {
-                auto_migration: false,
-                ..Default::default()
-            },
-        );
-        let _ = &mut machine;
+        let machine = gh_sim::platform::gh200()
+            .machine_cfg(&gh_sim::MachineConfig::without_migration())
+            .unwrap();
         let r = run(machine, MemMode::System, &p);
         assert!(r.traffic.c2c_read > 0, "CPU-resident data read over C2C");
         assert_eq!(r.traffic.bytes_migrated_in, 0);

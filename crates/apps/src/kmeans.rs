@@ -197,7 +197,7 @@ mod tests {
         let p = small();
         let expected: f64 = reference(&p).iter().map(|&x| x as f64).sum();
         for mode in MemMode::ALL {
-            let r = run(Machine::default_gh200(), mode, &p);
+            let r = run(gh_sim::platform::gh200().machine(), mode, &p);
             let rel = (r.checksum - expected).abs() / expected.abs().max(1.0);
             assert!(rel < 1e-9, "{mode}: {} vs {expected}", r.checksum);
         }
@@ -240,7 +240,7 @@ mod tests {
             iterations: 10,
             seed: 3,
         };
-        let r = run(Machine::default_gh200(), MemMode::System, &p);
+        let r = run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         assert!(r.traffic.bytes_migrated_in > 0, "features must migrate");
         let assigns = r.kernel_traffic_named("kmeans_assign");
         let first = assigns.first().unwrap();

@@ -159,7 +159,7 @@ mod tests {
         let p = small();
         let expected = checksum_of(&reference(&p), p.n);
         for mode in MemMode::ALL {
-            let r = run(Machine::default_gh200(), mode, &p);
+            let r = run(gh_sim::platform::gh200().machine(), mode, &p);
             let rel = (r.checksum - expected).abs() / expected.abs().max(1.0);
             assert!(rel < 1e-5, "{mode}: {} vs {expected}", r.checksum);
         }
@@ -194,7 +194,7 @@ mod tests {
         // The metered per-kernel traffic must decrease as the trailing
         // submatrix shrinks.
         let p = LudParams { n: 256, seed: 1 };
-        let r = run(Machine::default_gh200(), MemMode::System, &p);
+        let r = run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         let internals: Vec<u64> = r
             .kernel_traffic_named("lud_internal")
             .iter()
@@ -211,7 +211,7 @@ mod tests {
     #[should_panic(expected = "multiple of")]
     fn bad_block_multiple_panics() {
         run(
-            Machine::default_gh200(),
+            gh_sim::platform::gh200().machine(),
             MemMode::System,
             &LudParams { n: 60, seed: 0 },
         );

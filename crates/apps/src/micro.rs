@@ -163,7 +163,7 @@ mod tests {
             touches: 0,
             seed: 5,
         };
-        let r = stream(Machine::default_gh200(), MemMode::System, &p);
+        let r = stream(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         assert!(r.traffic.bytes_migrated_in > 0);
         // Last iteration reads locally.
         let last = r.kernel_history.last().unwrap();
@@ -175,7 +175,7 @@ mod tests {
         // Uniform random touches spread over every region: no region
         // collects `threshold` accesses within the run.
         let p = small();
-        let r = gups(Machine::default_gh200(), MemMode::System, &p);
+        let r = gups(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         assert_eq!(
             r.traffic.bytes_migrated_in, 0,
             "uniform access must stay cold"
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn pointer_chase_migrates_only_the_hot_set() {
         let p = small();
-        let r = pointer_chase(Machine::default_gh200(), MemMode::System, &p);
+        let r = pointer_chase(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         let migrated = r.traffic.bytes_migrated_in;
         assert!(migrated > 0, "hot set must cross the threshold");
         assert!(
@@ -206,7 +206,7 @@ mod tests {
             touches: 50_000,
             seed: 5,
         };
-        let chase = pointer_chase(Machine::default_gh200(), MemMode::System, &p);
+        let chase = pointer_chase(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         let per_kernel: Vec<u64> = chase
             .kernel_traffic_named("chase")
             .iter()
@@ -219,7 +219,11 @@ mod tests {
 
         // Sparse uniform traffic (below the per-window threshold) stays
         // flat — no region ever gets hot.
-        let g = gups(Machine::default_gh200(), MemMode::System, &small());
+        let g = gups(
+            gh_sim::platform::gh200().machine(),
+            MemMode::System,
+            &small(),
+        );
         let gk: Vec<u64> = g
             .kernel_traffic_named("gups")
             .iter()
@@ -241,9 +245,9 @@ mod tests {
             seed: 1,
         };
         for mode in MemMode::ALL {
-            stream(Machine::default_gh200(), mode, &p);
-            gups(Machine::default_gh200(), mode, &p);
-            pointer_chase(Machine::default_gh200(), mode, &p);
+            stream(gh_sim::platform::gh200().machine(), mode, &p);
+            gups(gh_sim::platform::gh200().machine(), mode, &p);
+            pointer_chase(gh_sim::platform::gh200().machine(), mode, &p);
         }
     }
 }

@@ -203,7 +203,7 @@ mod tests {
         let w = p.n + 1;
         let expected = reference(&p)[p.n * w + p.n] as f64;
         for mode in MemMode::ALL {
-            let r = run(Machine::default_gh200(), mode, &p);
+            let r = run(gh_sim::platform::gh200().machine(), mode, &p);
             assert_eq!(r.checksum, expected, "{mode}");
         }
     }
@@ -232,7 +232,7 @@ mod tests {
         // the whole final block via a direct comparison.
         let p = small();
         let full = reference(&p);
-        let r = run(Machine::default_gh200(), MemMode::System, &p);
+        let r = run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         assert_eq!(r.checksum, full[p.n * (p.n + 1) + p.n] as f64);
     }
 
@@ -244,7 +244,7 @@ mod tests {
             penalty: 1,
             seed: 0,
         };
-        run(Machine::default_gh200(), MemMode::System, &p);
+        run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
     }
 
     #[test]

@@ -163,7 +163,7 @@ mod tests {
         let p = small();
         let expected: f64 = reference(&p).iter().map(|&x| x as f64).sum();
         for mode in MemMode::ALL {
-            let r = run(Machine::default_gh200(), mode, &p);
+            let r = run(gh_sim::platform::gh200().machine(), mode, &p);
             assert_eq!(r.checksum, expected, "{mode}");
         }
     }

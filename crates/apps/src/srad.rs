@@ -226,7 +226,7 @@ mod tests {
         let p = small();
         let expected: f64 = reference(&p).iter().map(|&x| x as f64).sum();
         for mode in MemMode::ALL {
-            let r = run(Machine::default_gh200(), mode, &p);
+            let r = run(gh_sim::platform::gh200().machine(), mode, &p);
             let rel = (r.checksum - expected).abs() / expected.abs().max(1.0);
             assert!(rel < 1e-6, "{mode}: {} vs {expected}", r.checksum);
         }
@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn system_mode_gpu_first_touch_happens_for_derivatives() {
         let p = small();
-        let r = run(Machine::default_gh200(), MemMode::System, &p);
+        let r = run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         assert!(
             r.traffic.ats_faults > 0,
             "derivative arrays must be GPU-first-touched"

@@ -3,7 +3,6 @@
 //! inputs, under every memory mode.
 
 use gh_apps::{bfs, hotspot, needle, pathfinder, srad, MemMode};
-use gh_sim::Machine;
 use proptest::prelude::*;
 
 proptest! {
@@ -21,7 +20,7 @@ proptest! {
         };
         let w = p.n + 1;
         let expected = needle::reference(&p)[p.n * w + p.n] as f64;
-        let r = needle::run(Machine::default_gh200(), MemMode::System, &p);
+        let r = needle::run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         prop_assert_eq!(r.checksum, expected);
     }
 
@@ -36,7 +35,7 @@ proptest! {
             seed,
         };
         let expected: f64 = pathfinder::reference(&p).iter().map(|&x| x as f64).sum();
-        let r = pathfinder::run(Machine::default_gh200(), MemMode::Managed, &p);
+        let r = pathfinder::run(gh_sim::platform::gh200().machine(), MemMode::Managed, &p);
         prop_assert_eq!(r.checksum, expected);
     }
 
@@ -51,7 +50,7 @@ proptest! {
             .iter()
             .map(|&c| if c >= 0 { c as f64 + 1.0 } else { 0.0 })
             .sum();
-        let r = bfs::run(Machine::default_gh200(), MemMode::System, &p);
+        let r = bfs::run(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         prop_assert_eq!(r.checksum, expected);
     }
 
@@ -65,7 +64,7 @@ proptest! {
             seed,
         };
         let expected: f64 = hotspot::reference(&p).iter().map(|&x| x as f64).sum();
-        let r = hotspot::run(Machine::default_gh200(), MemMode::Explicit, &p);
+        let r = hotspot::run(gh_sim::platform::gh200().machine(), MemMode::Explicit, &p);
         let rel = (r.checksum - expected).abs() / expected.abs().max(1.0);
         prop_assert!(rel < 1e-4, "{} vs {}", r.checksum, expected);
     }
@@ -81,7 +80,7 @@ proptest! {
             seed,
         };
         let expected: f64 = srad::reference(&p).iter().map(|&x| x as f64).sum();
-        let r = srad::run(Machine::default_gh200(), MemMode::Managed, &p);
+        let r = srad::run(gh_sim::platform::gh200().machine(), MemMode::Managed, &p);
         let rel = (r.checksum - expected).abs() / expected.abs().max(1.0);
         prop_assert!(rel < 1e-5, "{} vs {}", r.checksum, expected);
     }

@@ -4,6 +4,7 @@
 
 pub mod accounting;
 pub mod float_eq;
+pub mod no_platform_leak;
 pub mod trace_coverage;
 pub mod unordered_iter;
 pub mod unwrap_lib;
@@ -43,6 +44,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(accounting::UncheckedAccounting),
         Box::new(float_eq::FloatEq),
         Box::new(unwrap_lib::UnwrapInLib),
+        Box::new(no_platform_leak::PlatformLeak),
     ]
 }
 

@@ -58,6 +58,15 @@ fn seeded_fixture_fires_no_unwrap_in_lib() {
 }
 
 #[test]
+fn seeded_fixture_fires_no_platform_leak() {
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "no-platform-leak");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].path.contains("gh-mem/src/lib.rs"));
+    assert!(hits[0].msg.contains("machine_cfg"), "{}", hits[0].msg);
+}
+
+#[test]
 fn seeded_fixture_fires_trace_coverage() {
     let f = audit("seeded");
     let hits = rule_hits(&f, "trace-coverage");

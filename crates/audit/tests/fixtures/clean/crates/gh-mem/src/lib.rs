@@ -49,3 +49,9 @@ impl Counters {
         sum
     }
 }
+
+// The platform-respecting twin of seeded's `build_machine`: only the
+// abstract seam is named, never the backend cost-model types.
+pub fn build_machine(pool_bytes: u64) -> u64 {
+    pool_bytes
+}

@@ -46,3 +46,9 @@ impl Counters {
 pub fn suppressed(x: Option<u64>) -> u64 {
     x.unwrap_or(0) // gh-audit: allow(no-unwrap-in-lib)
 }
+
+// no-platform-leak: this fixture tree's `crates/gh-mem/` is NOT the real
+// backend path (`crates/mem/`), so naming the cost-model type here leaks.
+pub fn build_machine(params: &CostParams) -> u64 {
+    params.total_bytes
+}

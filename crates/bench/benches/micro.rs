@@ -14,7 +14,7 @@ use gh_mem::phys::{Node, PhysMem};
 use gh_mem::radix::RadixTable;
 use gh_mem::tlb::Tlb;
 use gh_qsim::{Gate2, StateVector};
-use gh_sim::{Machine, MemMode};
+use gh_sim::{platform, MemMode};
 
 fn iters() -> usize {
     if gh_bench::fast_requested() {
@@ -115,7 +115,7 @@ fn bench_kernel_span() {
     bench(
         "kernel_dense_span_64MiB_system",
         || {
-            let mut m = Machine::default_gh200();
+            let mut m = platform::gh200().machine();
             let buf = m.rt.malloc_system(64 << 20, "x");
             m.rt.cpu_write(&buf, 0, 64 << 20);
             (m, buf)
@@ -199,7 +199,7 @@ free b{i}
         "replay_50_blocks",
         || (),
         |_| {
-            let r = gh_sim::replay(gh_sim::Machine::default_gh200(), &trace, None).unwrap();
+            let r = gh_sim::replay(gh_sim::platform::gh200().machine(), &trace, None).unwrap();
             r.reported_total()
         },
     );
@@ -224,7 +224,7 @@ fn bench_app_end_to_end() {
                     iterations: 5,
                     seed: 1,
                 };
-                gh_apps::hotspot::run(Machine::default_gh200(), mode, &p).checksum
+                gh_apps::hotspot::run(platform::gh200().machine(), mode, &p).checksum
             },
         );
     }

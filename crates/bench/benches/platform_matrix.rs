@@ -1,0 +1,16 @@
+//! `cargo bench -p gh-bench --bench platform_matrix` — every application
+//! on every registered platform backend (GH200 vs MI300A).
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let csv = gh_bench::platform_matrix::run(fast);
+    gh_bench::emit(
+        "Platform matrix: GH200 (two tiers, migration) vs MI300A (one unified pool)",
+        &csv,
+        &[
+            "gh200: first touch places pages per tier; managed memory migrates on fault",
+            "mi300a: CPU and GPU share one HBM3 pool — no migration, no tier choice",
+            "ratio < 1 means the unified pool wins (no migration transient to amortize)",
+        ],
+    );
+}

@@ -4,7 +4,7 @@
 
 use gh_apps::{srad, MemMode};
 use gh_profiler::Csv;
-use gh_sim::{CostParams, Machine, RuntimeOptions};
+use gh_sim::{platform, Machine, MachineConfig, KIB};
 
 /// Sweep of the access-counter notification threshold (paper default
 /// 256; §5.2 suggests tuning it to delay migrations). SRAD, system mode.
@@ -15,11 +15,11 @@ pub fn threshold_sweep(fast: bool) -> Csv {
     // so thresholds must span well past that to delay or suppress
     // migration.
     for threshold in [256u32, 16_384, 65_536, 262_144, 2_000_000] {
-        let params = CostParams {
-            counter_threshold: threshold,
-            ..Default::default()
-        };
-        let m = Machine::new(params, RuntimeOptions::default());
+        let m = platform::gh200()
+            .machine_tweaked(&MachineConfig::default(), &|c| {
+                c.counter_threshold = threshold
+            })
+            .expect("threshold tweak keeps parameters valid");
         let r = srad::run(m, MemMode::System, &p);
         csv.row([
             threshold.to_string(),
@@ -39,11 +39,11 @@ pub fn budget_sweep(fast: bool) -> Csv {
     let p = srad_params(fast);
     let mut csv = Csv::new(["budget", "compute_ms", "iter1_c2c_mib", "iter4_c2c_mib"]);
     for budget in [1usize, 2, 4, 8, 64] {
-        let params = CostParams {
-            counter_budget_per_kernel: budget,
-            ..Default::default()
-        };
-        let m = Machine::new(params, RuntimeOptions::default());
+        let m = platform::gh200()
+            .machine_tweaked(&MachineConfig::default(), &|c| {
+                c.counter_budget_per_kernel = budget
+            })
+            .expect("budget tweak keeps parameters valid");
         let r = srad::run(m, MemMode::System, &p);
         let srads: Vec<_> = r
             .kernel_history
@@ -69,11 +69,11 @@ pub fn fault_batch_sweep(fast: bool) -> Csv {
     let p = srad_params(fast);
     let mut csv = Csv::new(["uvm_fault_batch_us", "compute_ms"]);
     for us in [5u64, 15, 28, 45, 90] {
-        let params = CostParams {
-            uvm_fault_batch: us * 1_000,
-            ..Default::default()
-        };
-        let m = Machine::new(params, RuntimeOptions::default());
+        let m = platform::gh200()
+            .machine_tweaked(&MachineConfig::default(), &|c| {
+                c.uvm_fault_batch = us * 1_000
+            })
+            .expect("fault-batch tweak keeps parameters valid");
         let r = srad::run(m, MemMode::Managed, &p);
         csv.row([
             us.to_string(),
@@ -159,13 +159,9 @@ pub fn numa_placement(fast: bool) -> Csv {
     ] {
         // Hand-rolled hotspot-like loop so the placement policy can be
         // applied (the app API defaults to first touch).
-        let mut m = Machine::new(
-            CostParams::default(),
-            RuntimeOptions {
-                auto_migration: false,
-                ..Default::default()
-            },
-        );
+        let mut m = platform::gh200()
+            .machine_cfg(&MachineConfig::without_migration())
+            .expect("default GH200 configuration is valid");
         m.rt.cuda_init();
         let temp = m.rt.malloc_system_with_policy(bytes, policy, "temp");
         let power = m.rt.malloc_system_with_policy(bytes, policy, "power");
@@ -216,7 +212,7 @@ pub fn fusion_sweep(fast: bool) -> Csv {
                 fuse,
                 ..Default::default()
             };
-            let m = Machine::new(CostParams::default(), RuntimeOptions::default());
+            let m = platform::gh200().machine();
             let r = run_qv(m, mode, &p);
             let gates = r
                 .kernel_times
@@ -247,12 +243,10 @@ fn srad_params(fast: bool) -> srad::SradParams {
 }
 
 fn machine_for(page4k: bool) -> Machine {
-    let params = if page4k {
-        CostParams::with_4k_pages()
-    } else {
-        CostParams::with_64k_pages()
-    };
-    Machine::new(params, RuntimeOptions::default())
+    let page = if page4k { 4 * KIB } else { 64 * KIB };
+    platform::gh200()
+        .machine_cfg(&MachineConfig::with_page_size(page))
+        .expect("GH200 supports both paper page sizes")
 }
 
 #[cfg(test)]

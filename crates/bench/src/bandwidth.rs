@@ -2,7 +2,7 @@
 //! Comm|Scope-style H2D/D2H copies over NVLink-C2C.
 
 use gh_profiler::Csv;
-use gh_sim::Machine;
+use gh_sim::{platform, Machine, MachineConfig};
 
 use crate::util::machine;
 
@@ -36,7 +36,7 @@ pub fn run(fast: bool) -> Csv {
     {
         let m = machine(false, false);
         let p = m.rt.params();
-        let dt = gh_sim::CostParams::transfer_ns(3 * bytes, p.lpddr_bw);
+        let dt = platform::transfer_ns(3 * bytes, p.lpddr_bw);
         csv.row([
             "cpu_lpddr_stream".to_string(),
             gbps(3 * bytes, dt),
@@ -64,10 +64,12 @@ pub fn run(fast: bool) -> Csv {
 
 /// A machine with enough GPU memory for the 3-buffer STREAM kernel.
 fn oversized_machine(bytes: u64) -> Machine {
-    let mut params = gh_sim::CostParams::default();
-    params.gpu_mem_bytes = params.gpu_mem_bytes.max(4 * bytes);
-    params.cpu_mem_bytes = params.cpu_mem_bytes.max(8 * bytes);
-    Machine::new(params, gh_sim::RuntimeOptions::default())
+    platform::gh200()
+        .machine_tweaked(&MachineConfig::default(), &|p| {
+            p.gpu_mem_bytes = p.gpu_mem_bytes.max(4 * bytes);
+            p.cpu_mem_bytes = p.cpu_mem_bytes.max(8 * bytes);
+        })
+        .expect("growing both memories keeps parameters valid")
 }
 
 fn gbps(bytes: u64, dt: u64) -> String {

@@ -19,12 +19,14 @@ pub fn run(fast: bool) -> Csv {
     for mode in [MemMode::System, MemMode::Managed] {
         // Fig 3/4 context: in-memory, automatic migration disabled.
         // Fine-grained sampling so short fast-mode runs still resolve.
-        let opts = gh_sim::RuntimeOptions {
+        let cfg = gh_sim::MachineConfig {
             auto_migration: false,
-            profiler_period: if fast { 2_000 } else { 50_000 },
+            profiler_period: Some(if fast { 2_000 } else { 50_000 }),
             ..Default::default()
         };
-        let m = gh_sim::Machine::new(gh_sim::CostParams::with_64k_pages(), opts);
+        let m = gh_sim::platform::gh200()
+            .machine_cfg(&cfg)
+            .expect("default page size is always supported");
         let r = hotspot::run(m, mode, &p);
         for s in &r.samples {
             csv.row([

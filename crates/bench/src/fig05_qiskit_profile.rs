@@ -17,12 +17,14 @@ pub fn run(fast: bool) -> Csv {
     for mode in [MemMode::System, MemMode::Managed] {
         // Fine-grained sampling (the scaled analogue of the paper's
         // 100 ms wall-clock period) so the init ramp resolves.
-        let opts = gh_sim::RuntimeOptions {
+        let cfg = gh_sim::MachineConfig {
             auto_migration: false,
-            profiler_period: if fast { 2_000 } else { 20_000 },
+            profiler_period: Some(if fast { 2_000 } else { 20_000 }),
             ..Default::default()
         };
-        let m = gh_sim::Machine::new(gh_sim::CostParams::with_64k_pages(), opts);
+        let m = gh_sim::platform::gh200()
+            .machine_cfg(&cfg)
+            .expect("default page size is always supported");
         let r = run_qv(m, mode, &p);
         for s in &r.samples {
             csv.row([

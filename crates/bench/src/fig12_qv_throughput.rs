@@ -26,18 +26,23 @@ pub fn run(fast: bool) -> Csv {
             prefetch,
             ..Default::default()
         };
-        let mut m = machine(page4k, true);
-        if fast {
+        let m = if fast {
             // Shrink the GPU so 21 sim-qubits (16 MiB) oversubscribes at
             // the paper's ~130%.
-            let mut params = m.rt.params().clone();
-            params.gpu_mem_bytes = 13 << 20;
-            params.gpu_driver_baseline = 512 << 10;
-            if page4k {
-                params.system_page_size = 4096;
-            }
-            m = gh_sim::Machine::new(params, gh_sim::RuntimeOptions::default());
-        }
+            let cfg = gh_sim::MachineConfig::with_page_size(if page4k {
+                4 * gh_sim::KIB
+            } else {
+                64 * gh_sim::KIB
+            });
+            gh_sim::platform::gh200()
+                .machine_tweaked(&cfg, &|c| {
+                    c.gpu_mem_bytes = 13 << 20;
+                    c.gpu_driver_baseline = 512 << 10;
+                })
+                .expect("shrunken GPU keeps parameters valid")
+        } else {
+            machine(page4k, true)
+        };
         let r = run_qv(m, MemMode::Managed, &p);
         let gate_time: u64 = r
             .kernel_times

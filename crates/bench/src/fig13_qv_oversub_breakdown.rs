@@ -38,15 +38,17 @@ pub fn run(fast: bool) -> Csv {
             ..Default::default()
         };
         let m = if fast {
-            let mut params = gh_sim::CostParams {
-                gpu_mem_bytes: 13 << 20, // 16 MiB statevector → ~130%
-                gpu_driver_baseline: 512 << 10,
-                ..Default::default()
-            };
-            if page4k {
-                params.system_page_size = 4096;
-            }
-            gh_sim::Machine::new(params, gh_sim::RuntimeOptions::default())
+            let cfg = gh_sim::MachineConfig::with_page_size(if page4k {
+                4 * gh_sim::KIB
+            } else {
+                64 * gh_sim::KIB
+            });
+            gh_sim::platform::gh200()
+                .machine_tweaked(&cfg, &|c| {
+                    c.gpu_mem_bytes = 13 << 20; // 16 MiB statevector → ~130%
+                    c.gpu_driver_baseline = 512 << 10;
+                })
+                .expect("shrunken GPU keeps parameters valid")
         } else {
             machine(page4k, true)
         };

@@ -7,22 +7,9 @@
 use gh_apps::micro::{self, MicroParams};
 use gh_apps::{kmeans, lud, srad, MemMode};
 use gh_profiler::Csv;
-use gh_sim::{CostParams, Machine, RunReport, RuntimeOptions};
+use gh_sim::{Machine, RunReport};
 
-fn machine(page_4k: bool, migration: bool) -> Machine {
-    let params = if page_4k {
-        CostParams::with_4k_pages()
-    } else {
-        CostParams::with_64k_pages()
-    };
-    Machine::new(
-        params,
-        RuntimeOptions {
-            auto_migration: migration,
-            ..Default::default()
-        },
-    )
-}
+use crate::util::machine;
 
 fn run_workload(name: &str, m: Machine, fast: bool) -> RunReport {
     let mp = if fast {

@@ -2,27 +2,18 @@
 
 use gh_apps::{AppId, MemMode};
 use gh_mem::clock::Ns;
-use gh_sim::{CostParams, Machine, RunReport, RuntimeOptions};
+use gh_sim::{platform, Machine, MachineConfig, RunReport, KIB};
 
-/// Builds a machine with the given page size and migration switch.
+/// Builds a GH200 machine with the given page size and migration switch.
 pub fn machine(page_4k: bool, auto_migration: bool) -> Machine {
-    let params = if page_4k {
-        CostParams::with_4k_pages()
-    } else {
-        CostParams::with_64k_pages()
+    let cfg = MachineConfig {
+        page_size: Some(if page_4k { 4 * KIB } else { 64 * KIB }),
+        auto_migration,
+        ..Default::default()
     };
-    Machine::new(
-        params,
-        RuntimeOptions {
-            auto_migration,
-            ..Default::default()
-        },
-    )
-}
-
-/// Builds a machine with fully custom parameters/options.
-pub fn machine_with(params: CostParams, opts: RuntimeOptions) -> Machine {
-    Machine::new(params, opts)
+    platform::gh200()
+        .machine_cfg(&cfg)
+        .expect("GH200 supports both paper page sizes")
 }
 
 /// Runs one application (default or shrunk input) on a fresh machine.
@@ -107,7 +98,7 @@ pub fn export_trace(label: &str, r: &RunReport) {
 pub fn peak_gpu_usage(app: AppId, fast: bool) -> u64 {
     let r = run_app(app, MemMode::Managed, false, true, fast);
     r.peak_gpu
-        .saturating_sub(CostParams::default().gpu_driver_baseline)
+        .saturating_sub(platform::gh200().gpu_driver_baseline())
 }
 
 /// Formats a virtual duration in milliseconds with three decimals.

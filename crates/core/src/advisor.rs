@@ -7,12 +7,11 @@
 //! every (mode × page size) combination and report the ranking together
 //! with the behavioural signals that explain it.
 
-use crate::machine::Machine;
 use crate::mode::MemMode;
+use crate::platform::{self, MachineConfig, Platform, PlatformCaps};
 use crate::replay;
 use crate::report::RunReport;
-use gh_cuda::RuntimeOptions;
-use gh_mem::params::CostParams;
+use gh_mem::params::{KIB, MIB};
 
 /// One evaluated configuration.
 #[derive(Debug, Clone)]
@@ -50,7 +49,7 @@ impl Advice {
             out.push_str(&format!(
                 "{:<9} {:<6} {:<10.3} {:<8} {:<13} {}\n",
                 r.mode.label(),
-                if r.page_size == 4096 { "4k" } else { "64k" },
+                fmt_page(r.page_size),
                 r.total_ns as f64 / 1e6,
                 (r.report.traffic.c2c_read + r.report.traffic.c2c_write) >> 20,
                 r.report.traffic.bytes_migrated_in >> 20,
@@ -72,17 +71,22 @@ impl Advice {
 /// the advisor for the duration of the call: any ambient trace data is
 /// cleared, and the bus is left disabled unless it was already enabled.
 pub fn advise(trace: &str) -> Result<Advice, replay::ReplayError> {
+    advise_on(platform::gh200(), trace)
+}
+
+/// Like [`advise`], but for an explicit platform: the sweep covers the
+/// platform's supported page sizes, and migration-dependent guidance is
+/// reported as not applicable where the hardware cannot migrate.
+pub fn advise_on(p: &'static dyn Platform, trace: &str) -> Result<Advice, replay::ReplayError> {
+    let caps = p.caps();
     let was_enabled = gh_trace::enabled();
     let mut rows = Vec::new();
     for mode in MemMode::ALL {
-        for page_4k in [false, true] {
-            let params = if page_4k {
-                CostParams::with_4k_pages()
-            } else {
-                CostParams::with_64k_pages()
-            };
+        for &page in caps.page_sizes {
             gh_trace::enable();
-            let machine = Machine::new(params.clone(), RuntimeOptions::default());
+            let machine = p
+                .machine_cfg(&MachineConfig::with_page_size(page))
+                .expect("platform advertises this page size"); // gh-audit: allow(no-unwrap-in-lib) -- page comes from the platform's own caps
             let report = replay::replay(machine, trace, Some(mode));
             if !was_enabled {
                 gh_trace::disable();
@@ -90,29 +94,54 @@ pub fn advise(trace: &str) -> Result<Advice, replay::ReplayError> {
             let report = report?;
             rows.push(AdvisorRow {
                 mode,
-                page_size: params.system_page_size,
+                page_size: page,
                 total_ns: report.reported_total(),
                 report,
             });
         }
     }
     rows.sort_by_key(|r| r.total_ns);
-    let notes = derive_notes(&rows);
+    let notes = derive_notes(&caps, &rows);
     Ok(Advice { rows, notes })
 }
 
-fn derive_notes(rows: &[AdvisorRow]) -> Vec<String> {
+/// Compact page-size label for the rendered table (`4k`, `64k`, `2m`).
+fn fmt_page(ps: u64) -> String {
+    if ps.is_multiple_of(MIB) {
+        format!("{}m", ps / MIB)
+    } else if ps.is_multiple_of(KIB) {
+        format!("{}k", ps / KIB)
+    } else {
+        format!("{ps}b")
+    }
+}
+
+/// Long-form page-size label for notes (`4 KiB`, `2 MiB`).
+fn fmt_page_long(ps: u64) -> String {
+    if ps.is_multiple_of(MIB) {
+        format!("{} MiB", ps / MIB)
+    } else if ps.is_multiple_of(KIB) {
+        format!("{} KiB", ps / KIB)
+    } else {
+        format!("{ps} B")
+    }
+}
+
+fn derive_notes(caps: &PlatformCaps, rows: &[AdvisorRow]) -> Vec<String> {
     let mut notes = Vec::new();
     let best = &rows[0];
     notes.push(format!(
         "best configuration: {} memory with {} pages",
         best.mode.label(),
-        if best.page_size == 4096 {
-            "4 KiB"
-        } else {
-            "64 KiB"
-        }
+        fmt_page_long(best.page_size)
     ));
+    if !caps.migration {
+        notes.push(format!(
+            "page-migration guidance not applicable on {}: single physical \
+             pool, pages never migrate",
+            caps.name
+        ));
+    }
     if best.mode == MemMode::System {
         notes.push(
             "system-allocated memory wins: coherent NVLink-C2C access avoids \
@@ -142,7 +171,11 @@ fn derive_notes(rows: &[AdvisorRow]) -> Vec<String> {
             notes.push(note);
         }
     }
-    if let Some(r) = rows.iter().find(|r| r.mode == MemMode::Managed) {
+    if let Some(r) = rows
+        .iter()
+        .find(|r| r.mode == MemMode::Managed)
+        .filter(|_| caps.migration)
+    {
         if r.report.traffic.pages_migrated_out > 0 {
             let mut note = String::from(
                 "managed memory evicted under GPU memory pressure — expect \
@@ -252,5 +285,30 @@ end
             .rows
             .windows(2)
             .all(|w| w[0].total_ns <= w[1].total_ns));
+    }
+
+    #[test]
+    fn advise_on_mi300a_flags_migration_as_not_applicable() {
+        let advice = advise_on(platform::mi300a(), CPU_INIT_TRACE).unwrap();
+        // 3 modes × the platform's 2 page sizes.
+        assert_eq!(advice.rows.len(), 6);
+        assert!(
+            advice.notes.iter().any(|n| n.contains("not applicable")),
+            "\n{}",
+            advice.render()
+        );
+        for r in &advice.rows {
+            assert_eq!(r.report.platform, "mi300a");
+            assert_eq!(r.report.traffic.pages_migrated_in, 0);
+            assert_eq!(r.report.traffic.pages_migrated_out, 0);
+        }
+    }
+
+    #[test]
+    fn render_labels_huge_pages() {
+        let advice = advise_on(platform::mi300a(), CPU_INIT_TRACE).unwrap();
+        let text = advice.render();
+        assert!(text.contains("4k"));
+        assert!(text.contains("2m"), "\n{text}");
     }
 }

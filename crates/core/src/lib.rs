@@ -6,10 +6,12 @@
 //! into the object experiments program against: a [`Machine`].
 //!
 //! ```
-//! use gh_sim::{Machine, MemMode};
+//! use gh_sim::{platform, MemMode};
 //! use gh_profiler::Phase;
 //!
-//! let mut m = Machine::default_gh200();
+//! // Boot the calibrated GH200 backend; `platform::by_name("mi300a")`
+//! // would boot the unified-physical-memory contrast machine instead.
+//! let mut m = platform::gh200().machine();
 //! m.phase(Phase::Alloc);
 //! let buf = m.rt.malloc_system(1 << 20, "data");
 //! m.phase(Phase::CpuInit);
@@ -36,15 +38,17 @@
 pub mod advisor;
 pub mod machine;
 pub mod mode;
+pub mod platform;
 pub mod replay;
 pub mod report;
 
-pub use advisor::{advise, Advice};
-pub use gh_cuda::{BufKind, Buffer, Kernel, KernelReport, Runtime, RuntimeOptions, StreamId};
-pub use gh_mem::params::{CostParams, KIB, MIB};
+pub use advisor::{advise, advise_on, Advice};
+pub use gh_cuda::{BufKind, Buffer, Kernel, KernelReport, Runtime, StreamId};
+pub use gh_mem::params::{ParamError, KIB, MIB};
 pub use gh_mem::phys::Node;
 pub use gh_profiler::{Phase, PhaseTimes, Sample};
 pub use machine::Machine;
 pub use mode::MemMode;
+pub use platform::{MachineConfig, MemoryBackend, Platform, PlatformCaps, PlatformError};
 pub use replay::{replay, replay_on, ReplayError};
 pub use report::RunReport;

@@ -1,14 +1,19 @@
-//! The `Machine`: one simulated GH200 plus experiment bookkeeping.
+//! The `Machine`: one simulated platform plus experiment bookkeeping.
 
 use gh_cuda::{Buffer, Runtime, RuntimeOptions};
 use gh_mem::clock::Ns;
 use gh_mem::params::CostParams;
 use gh_profiler::{Phase, PhaseTimer};
 
+use crate::platform::PlatformCaps;
 use crate::report::RunReport;
 
-/// A simulated Grace Hopper node with the paper's experiment conveniences:
-/// phase timing, the oversubscription balloon, and report extraction.
+/// A simulated machine with the paper's experiment conveniences: phase
+/// timing, the oversubscription balloon, and report extraction. Build
+/// one through a [`Platform`](crate::platform::Platform) — the machine
+/// carries its platform's [`PlatformCaps`] so capability-dependent
+/// experiment steps degrade to "not applicable" instead of silently
+/// reporting zeros.
 #[derive(Debug)]
 pub struct Machine {
     /// The underlying runtime — all allocation/copy/launch APIs live here.
@@ -18,23 +23,48 @@ pub struct Machine {
     checksum: f64,
     /// Whether a phase span is open on the trace bus (mirrors the timer).
     phase_span_open: bool,
+    caps: PlatformCaps,
+    /// Experiment steps that were requested but are meaningless on this
+    /// platform; surfaced verbatim in the run report.
+    not_applicable: Vec<String>,
 }
 
 impl Machine {
-    /// Boots a machine with explicit parameters and options.
+    /// Boots a machine with explicit parameters and options, assuming
+    /// GH200-class capabilities. Prefer building through a
+    /// [`Platform`](crate::platform::Platform).
     pub fn new(params: CostParams, opts: RuntimeOptions) -> Self {
+        Self::with_caps(params, opts, crate::platform::gh200().caps())
+    }
+
+    /// Boots a machine for a specific platform's capability set. This is
+    /// the constructor the backend layer uses.
+    pub fn with_caps(params: CostParams, opts: RuntimeOptions, caps: PlatformCaps) -> Self {
         Self {
             rt: Runtime::new(params, opts),
             timer: PhaseTimer::new(),
             balloon: None,
             checksum: 0.0,
             phase_span_open: false,
+            caps,
+            not_applicable: Vec::new(),
         }
     }
 
     /// Boots the calibrated default GH200 (64 KiB pages, migration on).
     pub fn default_gh200() -> Self {
         Self::new(CostParams::default(), RuntimeOptions::default())
+    }
+
+    /// The capability set of the platform this machine simulates.
+    pub fn caps(&self) -> PlatformCaps {
+        self.caps
+    }
+
+    /// Experiment steps skipped so far as not applicable on this
+    /// platform.
+    pub fn not_applicable(&self) -> &[String] {
+        &self.not_applicable
     }
 
     /// Current virtual time.
@@ -67,6 +97,16 @@ impl Machine {
     pub fn oversubscribe(&mut self, peak_usage: u64, ratio: f64) -> u64 {
         assert!(ratio >= 1.0, "oversubscription ratio must be ≥ 1");
         assert!(self.balloon.is_none(), "balloon already installed");
+        if !self.caps.oversubscription {
+            // A unified pool has no device-only carve-out to shrink:
+            // record the skip instead of pretending a ratio was applied.
+            self.not_applicable.push(format!(
+                "oversubscription (ratio {ratio}) not applicable on {}: \
+                 single physical pool, no balloon to install",
+                self.caps.name
+            ));
+            return self.rt.gpu_free();
+        }
         let target_free = (peak_usage as f64 / ratio) as u64;
         let free_now = self.rt.gpu_free();
         if free_now > target_free {
@@ -111,6 +151,7 @@ impl Machine {
         // metrics dump, explain table) work off one snapshot.
         let trace = gh_trace::enabled().then(gh_trace::take);
         RunReport {
+            platform: self.caps.name,
             phases,
             samples,
             peak_gpu,
@@ -119,6 +160,7 @@ impl Machine {
             kernel_history,
             kernel_times,
             checksum,
+            not_applicable: self.not_applicable,
             trace,
         }
     }
@@ -184,5 +226,26 @@ mod tests {
         let mut m = Machine::default_gh200();
         m.set_checksum(42.5);
         assert_eq!(m.finish().checksum, 42.5);
+    }
+
+    #[test]
+    fn report_names_the_platform() {
+        let m = Machine::default_gh200();
+        assert_eq!(m.caps().name, "gh200");
+        let r = m.finish();
+        assert_eq!(r.platform, "gh200");
+        assert!(r.not_applicable.is_empty());
+    }
+
+    #[test]
+    fn oversubscribe_degrades_without_the_capability() {
+        let mut m = crate::platform::mi300a().machine();
+        let free_before = m.rt.gpu_free();
+        let free = m.oversubscribe(10 * MIB, 2.0);
+        assert_eq!(free, free_before, "no balloon was installed");
+        let r = m.finish();
+        assert_eq!(r.platform, "mi300a");
+        assert_eq!(r.not_applicable.len(), 1);
+        assert!(r.not_applicable[0].contains("not applicable"));
     }
 }

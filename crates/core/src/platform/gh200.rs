@@ -1,0 +1,87 @@
+//! The NVIDIA GH200 backend — the machine of the source paper.
+
+use gh_cuda::RuntimeOptions;
+use gh_mem::params::{CostParams, KIB};
+
+use super::{apply_page_size, MachineConfig, MemoryBackend, Platform, PlatformCaps, PlatformError};
+
+/// The paper's machine: Grace (480 GB LPDDR5X) + Hopper (96 GB HBM3)
+/// joined by NVLink-C2C, scaled 1:1024. Two physical tiers, first-touch
+/// NUMA placement, UVM fault migration, access-counter migration, and a
+/// `cudaMalloc` balloon for simulated oversubscription.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gh200Platform;
+
+/// Page sizes Grace supports, in sweep order (the calibrated default
+/// first, matching the advisor's historical 64 KiB-then-4 KiB ordering).
+const PAGE_SIZES: &[u64] = &[64 * KIB, 4 * KIB];
+
+pub(super) const CAPS: PlatformCaps = PlatformCaps {
+    name: "gh200",
+    description: "NVIDIA GH200: LPDDR5X + HBM3 tiers over NVLink-C2C, migration on",
+    migration: true,
+    oversubscription: true,
+    first_touch_tiering: true,
+    unified_pool: false,
+    page_sizes: PAGE_SIZES,
+    default_page_size: 64 * KIB,
+};
+
+impl MemoryBackend for Gh200Platform {
+    fn cost_params(&self, cfg: &MachineConfig) -> Result<CostParams, PlatformError> {
+        let mut p = CostParams::default();
+        apply_page_size(&mut p, cfg, &CAPS)?;
+        Ok(p)
+    }
+
+    fn runtime_options(&self, cfg: &MachineConfig) -> RuntimeOptions {
+        let mut o = RuntimeOptions {
+            auto_migration: cfg.auto_migration,
+            uvm_prefetch: cfg.uvm_prefetch,
+            ..Default::default()
+        };
+        if let Some(period) = cfg.profiler_period {
+            o.profiler_period = period;
+        }
+        o
+    }
+}
+
+impl Platform for Gh200Platform {
+    fn caps(&self) -> PlatformCaps {
+        CAPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_mem::params::MIB;
+
+    #[test]
+    fn defaults_are_the_calibrated_paper_model() {
+        let p = Gh200Platform
+            .cost_params(&MachineConfig::default())
+            .unwrap();
+        assert_eq!(p.cpu_mem_bytes, 480 * MIB);
+        assert_eq!(p.gpu_mem_bytes, 96 * MIB);
+        assert_eq!(p.system_page_size, 64 * KIB);
+        assert_eq!(p.hbm_bw, 3400.0);
+        assert!(!p.unified_pool);
+    }
+
+    #[test]
+    fn page_size_request_is_honoured() {
+        let p = Gh200Platform
+            .cost_params(&MachineConfig::with_page_size(4 * KIB))
+            .unwrap();
+        assert_eq!(p.system_page_size, 4 * KIB);
+    }
+
+    #[test]
+    fn options_follow_the_config() {
+        let o = Gh200Platform.runtime_options(&MachineConfig::without_migration());
+        assert!(!o.auto_migration);
+        assert!(o.uvm_prefetch);
+    }
+}

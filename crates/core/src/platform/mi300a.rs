@@ -1,0 +1,139 @@
+//! The AMD MI300A backend — a unified-physical-memory contrast machine.
+//!
+//! Modelled after *Dissecting CPU-GPU Unified Physical Memory on AMD
+//! MI300A APUs* (Wahlgren et al., see PAPERS.md): 24 Zen 4 cores and a
+//! CDNA 3 GPU share **one** 128 GB HBM3 pool behind the same Infinity
+//! Fabric mesh. There is no second tier, so the GH200's defining
+//! behaviours — first-touch tier choice, fault/counter page migration,
+//! eviction, the oversubscription balloon — are physically meaningless
+//! here. What remains is mapping cost: a GPU touch of an unmapped page
+//! raises an XNACK retry serviced by the OS (cheaper than a GH200 ATS
+//! fault — no cross-chip translation round trip).
+//!
+//! Cost-model assumptions (documented estimates, not paper-calibrated
+//! measurements; see `docs/platforms.md`):
+//!
+//! * pool size 128 GB scaled 1:1024 → 128 MiB, driver carve-out 512 KiB;
+//! * HBM3 STREAM bandwidth ≈ 3.7 TB/s from the GPU, ≈ 400 GB/s from the
+//!   CPU side (the CPU cannot saturate HBM through its cache hierarchy);
+//! * Infinity Fabric hop latency ≈ 400 ns, below NVLink-C2C's 850 ns;
+//! * XNACK mapping fault ≈ 2.5 µs fixed + 0.05 ns/B zero-fill.
+
+use gh_cuda::RuntimeOptions;
+use gh_mem::params::{CostParams, KIB, MIB};
+
+use super::{apply_page_size, MachineConfig, MemoryBackend, Platform, PlatformCaps, PlatformError};
+
+/// The MI300A APU: one shared physical HBM3 pool, no page migration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mi300aPlatform;
+
+/// Linux 4 KiB base pages plus 2 MiB huge pages (x86-64; no 64 KiB
+/// granule on this architecture).
+const PAGE_SIZES: &[u64] = &[4 * KIB, 2 * MIB];
+
+pub(super) const CAPS: PlatformCaps = PlatformCaps {
+    name: "mi300a",
+    description: "AMD MI300A: one shared HBM3 pool over Infinity Fabric, no migration",
+    migration: false,
+    oversubscription: false,
+    first_touch_tiering: false,
+    unified_pool: true,
+    page_sizes: PAGE_SIZES,
+    default_page_size: 4 * KIB,
+};
+
+impl MemoryBackend for Mi300aPlatform {
+    fn cost_params(&self, cfg: &MachineConfig) -> Result<CostParams, PlatformError> {
+        let mut p = CostParams {
+            unified_pool: true,
+            // One pool: gpu_mem_bytes is its size; cpu_mem_bytes is kept
+            // equal for introspection but never limits anything.
+            gpu_mem_bytes: 128 * MIB,
+            cpu_mem_bytes: 128 * MIB,
+            gpu_driver_baseline: 512 * KIB,
+            // Bandwidths: GPU-side HBM3 STREAM vs CPU-side through the
+            // core cache hierarchy; the "link" numbers model Infinity
+            // Fabric and only matter for the residual paths that still
+            // consult them.
+            hbm_bw: 3700.0,
+            lpddr_bw: 400.0,
+            c2c_h2d_bw: 900.0,
+            c2c_d2h_bw: 900.0,
+            c2c_latency: 400,
+            hbm_latency: 600,
+            // XNACK mapping fault: OS maps the page in the shared pool;
+            // no cross-chip ATS round trip, so both terms sit well below
+            // GH200.
+            ats_fault_fixed: 2_500,
+            ats_fault_per_byte: 0.05,
+            ..Default::default()
+        };
+        apply_page_size(&mut p, cfg, &CAPS)?;
+        Ok(p)
+    }
+
+    fn runtime_options(&self, cfg: &MachineConfig) -> RuntimeOptions {
+        // Migration and speculative prefetch do not exist on a single
+        // pool — clamp regardless of what the config asks for.
+        let mut o = RuntimeOptions {
+            auto_migration: false,
+            uvm_prefetch: false,
+            ..Default::default()
+        };
+        if let Some(period) = cfg.profiler_period {
+            o.profiler_period = period;
+        }
+        o
+    }
+}
+
+impl Platform for Mi300aPlatform {
+    fn caps(&self) -> PlatformCaps {
+        CAPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_describe_one_shared_pool() {
+        let p = Mi300aPlatform
+            .cost_params(&MachineConfig::default())
+            .unwrap();
+        assert!(p.unified_pool);
+        assert_eq!(p.gpu_mem_bytes, 128 * MIB);
+        assert_eq!(p.system_page_size, 4 * KIB);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn huge_pages_are_supported() {
+        let p = Mi300aPlatform
+            .cost_params(&MachineConfig::with_page_size(2 * MIB))
+            .unwrap();
+        assert_eq!(p.system_page_size, 2 * MIB);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn migration_options_are_clamped_off() {
+        let o = Mi300aPlatform.runtime_options(&MachineConfig::default());
+        assert!(!o.auto_migration);
+        assert!(!o.uvm_prefetch);
+    }
+
+    #[test]
+    fn xnack_fault_is_cheaper_than_gh200_ats() {
+        let mi = Mi300aPlatform
+            .cost_params(&MachineConfig::default())
+            .unwrap();
+        let gh = super::super::gh200()
+            .cost_params(&MachineConfig::default())
+            .unwrap();
+        assert!(mi.ats_fault_fixed < gh.ats_fault_fixed);
+        assert!(mi.ats_fault_per_byte < gh.ats_fault_per_byte);
+    }
+}

@@ -28,7 +28,7 @@
 //! freed explicitly are freed at the end of the replay.
 //!
 //! ```
-//! use gh_sim::{replay, Machine, MemMode};
+//! use gh_sim::{platform, replay, MemMode};
 //!
 //! let trace = "
 //! alloc data system 4m
@@ -37,7 +37,8 @@
 //!   read data 0 4m
 //! end
 //! ";
-//! let report = replay(Machine::default_gh200(), trace, Some(MemMode::System)).unwrap();
+//! let machine = platform::gh200().machine();
+//! let report = replay(machine, trace, Some(MemMode::System)).unwrap();
 //! assert_eq!(report.traffic.c2c_read, 4 << 20);
 //! ```
 
@@ -394,6 +395,10 @@ pub fn replay_on(
 mod tests {
     use super::*;
 
+    fn gh200() -> Machine {
+        crate::platform::gh200().machine()
+    }
+
     const TRACE: &str = "
 # a CPU-init-then-GPU-compute workload
 alloc data system 4m
@@ -420,7 +425,7 @@ free out
 
     #[test]
     fn replays_a_trace_end_to_end() {
-        let r = replay(Machine::default_gh200(), TRACE, None).unwrap();
+        let r = replay(gh200(), TRACE, None).unwrap();
         assert!(r.phases.compute > 0);
         assert_eq!(r.traffic.c2c_read >> 20, 4, "data read remotely");
         assert!(r.kernel_times.iter().any(|(n, _)| n.starts_with("step")));
@@ -428,15 +433,15 @@ free out
 
     #[test]
     fn mode_substitution_changes_behaviour() {
-        let sys = replay(Machine::default_gh200(), TRACE, Some(MemMode::System)).unwrap();
-        let man = replay(Machine::default_gh200(), TRACE, Some(MemMode::Managed)).unwrap();
+        let sys = replay(gh200(), TRACE, Some(MemMode::System)).unwrap();
+        let man = replay(gh200(), TRACE, Some(MemMode::Managed)).unwrap();
         assert!(sys.traffic.c2c_read > 0);
         assert!(man.traffic.bytes_migrated_in > 0, "managed migrates");
     }
 
     #[test]
     fn unknown_buffer_is_an_error() {
-        let e = replay(Machine::default_gh200(), "free nope\n", None).unwrap_err();
+        let e = replay(gh200(), "free nope\n", None).unwrap_err();
         assert_eq!(e.line, 1);
         assert!(e.msg.contains("nope"));
     }
@@ -444,27 +449,27 @@ free out
     #[test]
     fn unclosed_kernel_is_an_error() {
         let t = "alloc a system 1m\nkernel k\n  read a 0 1m\n";
-        let e = replay(Machine::default_gh200(), t, None).unwrap_err();
+        let e = replay(gh200(), t, None).unwrap_err();
         assert!(e.msg.contains("not closed"));
     }
 
     #[test]
     fn out_of_range_access_is_an_error() {
         let t = "alloc a system 1m\ncpu_write a 0 2m\n";
-        let e = replay(Machine::default_gh200(), t, None).unwrap_err();
+        let e = replay(gh200(), t, None).unwrap_err();
         assert_eq!(e.line, 2);
     }
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
         let t = "\n# nothing\n   \nalloc a system 64k # trailing\nfree a\n";
-        replay(Machine::default_gh200(), t, None).unwrap();
+        replay(gh200(), t, None).unwrap();
     }
 
     #[test]
     fn leftover_buffers_are_freed() {
         let t = "alloc a system 1m\nalloc b managed 1m\ncpu_write a 0 1m\n";
-        let r = replay(Machine::default_gh200(), t, None).unwrap();
+        let r = replay(gh200(), t, None).unwrap();
         let last = r.samples.last().unwrap();
         assert_eq!(last.rss, 0);
     }

@@ -8,6 +8,8 @@ use std::fmt::Write as _;
 /// Everything a finished run produced, for figure harnesses and tests.
 #[derive(Debug, Clone)]
 pub struct RunReport {
+    /// Registry name of the platform the run simulated.
+    pub platform: &'static str,
     /// Per-phase virtual durations.
     pub phases: PhaseTimes,
     /// Memory-profiler series (virtual time, RSS, GPU used).
@@ -24,6 +26,9 @@ pub struct RunReport {
     pub kernel_times: Vec<(String, Ns)>,
     /// Application-defined checksum for correctness verification.
     pub checksum: f64,
+    /// Experiment steps requested but meaningless on this platform
+    /// (e.g. an oversubscription balloon on a single physical pool).
+    pub not_applicable: Vec<String>,
     /// Structured trace drained from the observability bus at `finish`
     /// (`None` when tracing was disabled for the run).
     pub trace: Option<gh_trace::TraceData>,
@@ -82,7 +87,9 @@ impl RunReport {
     /// is shared with every other exporter via [`gh_trace::json`].
     pub fn to_json(&self) -> String {
         let mut o = String::with_capacity(1024);
-        o.push_str("{\"phases\":");
+        o.push_str("{\"platform\":");
+        gh_trace::json::quote_into(&mut o, self.platform);
+        o.push_str(",\"phases\":");
         json_phases(&mut o, &self.phases);
         o.push_str(",\"samples\":[");
         for (i, s) in self.samples.iter().enumerate() {
@@ -120,6 +127,13 @@ impl RunReport {
             o.push('[');
             gh_trace::json::quote_into(&mut o, name);
             let _ = write!(o, ",{ns}]");
+        }
+        o.push_str("],\"not_applicable\":[");
+        for (i, note) in self.not_applicable.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            gh_trace::json::quote_into(&mut o, note);
         }
         o.push_str("],\"checksum\":");
         o.push_str(&gh_trace::json::f64_value(self.checksum));
@@ -166,6 +180,7 @@ mod tests {
     #[test]
     fn kernel_filters_by_prefix() {
         let r = RunReport {
+            platform: "gh200",
             phases: PhaseTimes::default(),
             samples: vec![],
             peak_gpu: 0,
@@ -177,6 +192,7 @@ mod tests {
             ],
             kernel_times: vec![("srad1#1".into(), 10), ("srad2#2".into(), 20)],
             checksum: 0.0,
+            not_applicable: vec![],
             trace: None,
         };
         assert_eq!(r.kernel_time_named("srad1"), 10);
@@ -191,6 +207,7 @@ mod json_tests {
 
     fn report() -> RunReport {
         RunReport {
+            platform: "gh200",
             phases: PhaseTimes {
                 ctx_init: 1,
                 alloc: 2,
@@ -209,6 +226,7 @@ mod json_tests {
             kernel_history: vec![("k \"x\"#1".into(), KernelTraffic::default())],
             kernel_times: vec![("k \"x\"#1".into(), 7)],
             checksum: 1.5,
+            not_applicable: vec![],
             trace: None,
         }
     }
@@ -217,7 +235,9 @@ mod json_tests {
     fn to_json_produces_valid_structure() {
         let j = report().to_json();
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.starts_with("{\"platform\":\"gh200\""), "{j}");
         assert!(j.contains("\"phases\""));
+        assert!(j.contains("\"not_applicable\":[]"));
         assert!(j.contains("\"compute\":4"));
         assert!(j.contains("\"checksum\":1.5"));
         assert!(j.contains("\\\"x\\\""), "quotes escaped: {j}");

@@ -2,7 +2,7 @@
 //! must execute without leaking memory, deterministically, in every
 //! substituted memory mode.
 
-use gh_sim::{replay, Machine, MemMode};
+use gh_sim::{replay, MemMode};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -85,13 +85,13 @@ proptest! {
     ) {
         let trace = build_trace(&sizes, &stmts);
         for mode in MemMode::ALL {
-            let r = replay(Machine::default_gh200(), &trace, Some(mode))
+            let r = replay(gh_sim::platform::gh200().machine(), &trace, Some(mode))
                 .unwrap_or_else(|e| panic!("{mode}: {e}\n{trace}"));
             let last = r.samples.last().unwrap();
             prop_assert_eq!(last.rss, 0, "{} leaked CPU pages\n{}", mode, &trace);
             prop_assert_eq!(
                 last.gpu_used,
-                Machine::default_gh200().rt.params().gpu_driver_baseline,
+                gh_sim::platform::gh200().gpu_driver_baseline(),
                 "{} leaked GPU bytes\n{}", mode, &trace
             );
         }
@@ -104,8 +104,8 @@ proptest! {
         stmts in proptest::collection::vec(stmt(), 0..8),
     ) {
         let trace = build_trace(&sizes, &stmts);
-        let a = replay(Machine::default_gh200(), &trace, Some(MemMode::Managed)).unwrap();
-        let b = replay(Machine::default_gh200(), &trace, Some(MemMode::Managed)).unwrap();
+        let a = replay(gh_sim::platform::gh200().machine(), &trace, Some(MemMode::Managed)).unwrap();
+        let b = replay(gh_sim::platform::gh200().machine(), &trace, Some(MemMode::Managed)).unwrap();
         prop_assert_eq!(a.phases, b.phases);
         prop_assert_eq!(a.traffic, b.traffic);
         prop_assert_eq!(a.kernel_times, b.kernel_times);
@@ -127,7 +127,7 @@ proptest! {
         );
         let mut l1l2 = Vec::new();
         for mode in MemMode::ALL {
-            let r = replay(Machine::default_gh200(), &trace, Some(mode)).unwrap();
+            let r = replay(gh_sim::platform::gh200().machine(), &trace, Some(mode)).unwrap();
             // Exclude the explicit pair's memcpy (not kernel traffic);
             // l1l2 only counts kernel-side bytes, so it is comparable.
             l1l2.push(r.traffic.l1l2);

@@ -225,6 +225,11 @@ impl<'r> Kernel<'r> {
         );
         match buf.kind {
             BufKind::Device => self.span_device(span, write, random),
+            // In a unified pool every host-visible kind is just mapped
+            // shared memory: no pinned-remote path, no UVM migration.
+            BufKind::Pinned | BufKind::System | BufKind::Managed if self.rt.params.unified_pool => {
+                self.span_system(span, write, random)
+            }
             BufKind::Pinned => self.span_pinned(span, write, random),
             BufKind::System => self.span_system(span, write, random),
             BufKind::Managed => self.span_managed(buf.range, span, write, random),
@@ -355,6 +360,12 @@ impl<'r> Kernel<'r> {
             };
             match node {
                 Node::Gpu => self.account_local(portion, write, random),
+                // Unified pool: "CPU-resident" is attribution only — the
+                // page lives in the same HBM the GPU reads at full speed,
+                // and there are no access counters to trip.
+                Node::Cpu if self.rt.params.unified_pool => {
+                    self.account_local(portion, write, random)
+                }
                 Node::Cpu => {
                     self.account_remote(addr, portion, write, random);
                     // Hardware access counters see remote GPU accesses.

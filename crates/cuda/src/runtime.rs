@@ -99,11 +99,17 @@ impl Runtime {
     /// Boots a simulated machine.
     pub fn new(params: CostParams, opts: RuntimeOptions) -> Self {
         params.validate().expect("invalid cost parameters"); // gh-audit: allow(no-unwrap-in-lib) -- boot-time config validation; fail fast before any state exists
-        let phys = PhysMem::new(
-            params.cpu_mem_bytes,
-            params.gpu_mem_bytes,
-            params.gpu_driver_baseline,
-        );
+        let phys = if params.unified_pool {
+            // MI300A-style single physical pool: `gpu_mem_bytes` is the
+            // whole pool, shared by both nodes; `cpu_mem_bytes` is unused.
+            PhysMem::new_unified(params.gpu_mem_bytes, params.gpu_driver_baseline)
+        } else {
+            PhysMem::new(
+                params.cpu_mem_bytes,
+                params.gpu_mem_bytes,
+                params.gpu_driver_baseline,
+            )
+        };
         let os = Os::new(params.clone(), opts.os.clone());
         let link = Link::new(
             params.c2c_h2d_bw,
@@ -114,10 +120,12 @@ impl Runtime {
         let smmu = Smmu::new(params.smmu_walk, params.ats_translate);
         let gpu_tlb = Tlb::new(params.gpu_tlb_entries);
         let gpu_pt = PageTable::new(params.gpu_page_size);
+        // A unified pool has no second tier to migrate toward, so the
+        // access-counter engine is hard-disabled regardless of options.
         let counters = AccessCounters::new(
             params.counter_region,
             params.counter_threshold,
-            opts.auto_migration,
+            opts.auto_migration && !params.unified_pool,
         );
         let profiler = MemProfiler::new(opts.profiler_period);
         Self {
@@ -462,10 +470,15 @@ impl Runtime {
                 dt = dt.saturating_add(fault_cost);
             }
         }
-        dt = dt.saturating_add(match dir {
-            Some(d) => self.link.bulk(len, d),
-            None => CostParams::transfer_ns(len, self.params.hbm_bw)
-                .max(CostParams::transfer_ns(len, self.params.lpddr_bw)),
+        dt = dt.saturating_add(if self.params.unified_pool {
+            // Single pool: every "copy" is HBM-to-HBM; no interconnect hop.
+            CostParams::transfer_ns(len, self.params.hbm_bw)
+        } else {
+            match dir {
+                Some(d) => self.link.bulk(len, d),
+                None => CostParams::transfer_ns(len, self.params.hbm_bw)
+                    .max(CostParams::transfer_ns(len, self.params.lpddr_bw)),
+            }
         });
         let start = self.now();
         self.tick(dt);
@@ -476,7 +489,7 @@ impl Runtime {
         };
         self.trace(label, "copy", start);
         if gh_trace::enabled() {
-            if let Some(d) = dir {
+            if let (Some(d), false) = (dir, self.params.unified_pool) {
                 let page = self.os.system_pt.page_size();
                 gh_trace::emit(gh_trace::Event::Migration {
                     engine: gh_trace::Engine::Memcpy,
@@ -643,6 +656,21 @@ impl Runtime {
     fn host_access_chunk(&mut self, buf: &Buffer, chunk: gh_os::VaRange, write: bool) -> Ns {
         let mut dt: Ns = 0;
         let line = self.params.cpu_cacheline;
+        if self.params.unified_pool {
+            // One physical pool: there is no remote tier to retrieve from
+            // and no cacheline traffic over an inter-tier link. First touch
+            // maps pages in the shared pool; the host then streams at its
+            // init bandwidth.
+            let (fault, _) = self.os.touch_cpu_range(chunk, &mut self.phys);
+            dt = dt.saturating_add(fault);
+            if write {
+                for vpn in self.os.system_pt.vpn_range(chunk.addr, chunk.len) {
+                    self.os.system_pt.mark_dirty(vpn);
+                }
+            }
+            dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
+            return dt;
+        }
         match buf.kind {
             BufKind::Managed => {
                 // CPU access to GPU-resident managed memory retrieves the
@@ -731,6 +759,13 @@ impl Runtime {
             BufKind::Managed,
             "prefetch is a managed-memory API"
         );
+        if self.params.unified_pool {
+            // Nothing to move in a single physical pool: the API call
+            // costs its fixed overhead and is otherwise a no-op.
+            let dt = self.params.prefetch_fixed;
+            self.tick(dt);
+            return dt;
+        }
         let span = buf.range.slice(off, len);
 
         self.uvm_prefetch_range(span, to)

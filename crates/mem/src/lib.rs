@@ -48,7 +48,7 @@ pub use clock::{Clock, Ns};
 pub use counters::{AccessCounters, Notification};
 pub use link::{Direction, Link};
 pub use pagetable::{PageTable, Pte};
-pub use params::{CostParams, KIB, MIB};
+pub use params::{CostParams, ParamError, KIB, MIB};
 pub use phys::{Node, OutOfMemory, PhysMem};
 pub use smmu::Smmu;
 pub use tlb::Tlb;

@@ -13,6 +13,66 @@
 pub const KIB: u64 = 1024;
 pub const MIB: u64 = 1024 * KIB;
 
+/// A cost-parameter consistency violation found by [`CostParams::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// `system_page_size` is not a power of two.
+    PageSizeNotPowerOfTwo(u64),
+    /// `system_page_size` falls outside `[4 KiB, gpu_page_size]`.
+    PageSizeOutOfRange {
+        /// The offending page size.
+        page: u64,
+        /// The configured GPU page size (upper bound).
+        max: u64,
+    },
+    /// `gpu_driver_baseline` leaves no usable GPU memory.
+    DriverBaselineExceedsCapacity {
+        /// The configured driver baseline.
+        baseline: u64,
+        /// The GPU capacity it must stay below.
+        capacity: u64,
+    },
+    /// `counter_region` is not a multiple of the system page size.
+    CounterRegionMisaligned {
+        /// The configured counter region.
+        region: u64,
+        /// The system page size it must align to.
+        page: u64,
+    },
+    /// A bandwidth/throughput field is zero or negative.
+    NonPositiveBandwidth(&'static str),
+    /// An efficiency factor falls outside `[0, 1]`.
+    EfficiencyOutOfRange(&'static str),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::PageSizeNotPowerOfTwo(page) => {
+                write!(f, "system_page_size must be a power of two (got {page})")
+            }
+            ParamError::PageSizeOutOfRange { page, max } => write!(
+                f,
+                "system_page_size must be in [4 KiB, gpu_page_size = {max}] (got {page})"
+            ),
+            ParamError::DriverBaselineExceedsCapacity { baseline, capacity } => write!(
+                f,
+                "driver baseline exceeds GPU capacity ({baseline} >= {capacity})"
+            ),
+            ParamError::CounterRegionMisaligned { region, page } => write!(
+                f,
+                "counter_region ({region}) must be a multiple of the system page size ({page})"
+            ),
+            ParamError::NonPositiveBandwidth(name) => write!(f, "{name} must be positive"),
+            ParamError::EfficiencyOutOfRange(name) => {
+                write!(f, "{name} must be in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
 /// Every tunable of the memory model in one place.
 ///
 /// Construct with [`CostParams::default`] (the calibrated GH200 model) and
@@ -27,6 +87,12 @@ pub struct CostParams {
     /// GPU memory held by the driver at all times (`nvidia-smi` baseline,
     /// ~600 MB on real hardware; scaled here).
     pub gpu_driver_baseline: u64,
+    /// Unified physical pool: CPU and GPU share one physical memory (the
+    /// MI300A model). When set, `gpu_mem_bytes` is the size of the single
+    /// pool, capacity is shared between the nodes (which remain as
+    /// attribution labels only), and page migration/eviction between tiers
+    /// is physically meaningless and disabled by the runtime.
+    pub unified_pool: bool,
 
     // ---- page sizes ----
     /// System page size (4 KiB or 64 KiB on Grace).
@@ -187,6 +253,7 @@ impl Default for CostParams {
             cpu_mem_bytes: 480 * MIB,
             gpu_mem_bytes: 96 * MIB,
             gpu_driver_baseline: 600 * KIB,
+            unified_pool: false,
 
             system_page_size: 64 * KIB,
             gpu_page_size: 2 * MIB,
@@ -280,18 +347,27 @@ impl CostParams {
     }
 
     /// Validates internal consistency; called by the machine builder.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ParamError> {
         if !self.system_page_size.is_power_of_two() {
-            return Err("system_page_size must be a power of two".into());
+            return Err(ParamError::PageSizeNotPowerOfTwo(self.system_page_size));
         }
         if self.system_page_size < 4 * KIB || self.system_page_size > self.gpu_page_size {
-            return Err("system_page_size must be in [4 KiB, gpu_page_size]".into());
+            return Err(ParamError::PageSizeOutOfRange {
+                page: self.system_page_size,
+                max: self.gpu_page_size,
+            });
         }
         if self.gpu_driver_baseline >= self.gpu_mem_bytes {
-            return Err("driver baseline exceeds GPU capacity".into());
+            return Err(ParamError::DriverBaselineExceedsCapacity {
+                baseline: self.gpu_driver_baseline,
+                capacity: self.gpu_mem_bytes,
+            });
         }
         if !self.counter_region.is_multiple_of(self.system_page_size) {
-            return Err("counter_region must be a multiple of the system page size".into());
+            return Err(ParamError::CounterRegionMisaligned {
+                region: self.counter_region,
+                page: self.system_page_size,
+            });
         }
         for (name, v) in [
             ("hbm_bw", self.hbm_bw),
@@ -302,14 +378,17 @@ impl CostParams {
             ("cpu_init_bw", self.cpu_init_bw),
         ] {
             if v <= 0.0 {
-                return Err(format!("{name} must be positive"));
+                return Err(ParamError::NonPositiveBandwidth(name));
             }
         }
-        if !(0.0..=1.0).contains(&self.c2c_random_eff)
-            || !(0.0..=1.0).contains(&self.c2c_stream_eff)
-            || !(0.0..=1.0).contains(&self.hbm_random_eff)
-        {
-            return Err("efficiency factors must be in [0, 1]".into());
+        for (name, v) in [
+            ("c2c_random_eff", self.c2c_random_eff),
+            ("c2c_stream_eff", self.c2c_stream_eff),
+            ("hbm_random_eff", self.hbm_random_eff),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ParamError::EfficiencyOutOfRange(name));
+            }
         }
         Ok(())
     }
@@ -389,5 +468,117 @@ mod tests {
         let p = CostParams::default();
         assert_eq!(p.counter_threshold, 256);
         assert_eq!(p.counter_region, 2 * MIB);
+    }
+
+    #[test]
+    fn page_presets_differ_only_in_page_size() {
+        let four = CostParams::with_4k_pages();
+        let sixty_four = CostParams::with_64k_pages();
+        assert_eq!(four.system_page_size, 4 * KIB);
+        assert_eq!(sixty_four.system_page_size, 64 * KIB);
+        assert_eq!(four.gpu_page_size, sixty_four.gpu_page_size);
+        assert_eq!(four.hbm_bw, sixty_four.hbm_bw);
+        assert_eq!(four.cpu_mem_bytes, sixty_four.cpu_mem_bytes);
+        assert_eq!(four.counter_region, sixty_four.counter_region);
+        assert!(!four.unified_pool && !sixty_four.unified_pool);
+    }
+
+    #[test]
+    fn transfer_ns_zero_bytes_is_free() {
+        // Zero-byte transfers must not be charged the 1 ns floor.
+        assert_eq!(CostParams::transfer_ns(0, 0.001), 0);
+        assert_eq!(CostParams::transfer_ns(0, 1e12), 0);
+    }
+
+    #[test]
+    fn transfer_ns_sub_page_sizes_hit_the_floor() {
+        // Any non-zero transfer takes at least 1 virtual ns, even when
+        // bytes/bw rounds to zero (one byte over a 3.4 TB/s link).
+        assert_eq!(CostParams::transfer_ns(1, 3400.0), 1);
+        assert_eq!(CostParams::transfer_ns(63, 3400.0), 1);
+        assert_eq!(CostParams::transfer_ns(4 * KIB - 1, 1e9), 1);
+    }
+
+    #[test]
+    fn transfer_ns_rounds_up_at_boundaries() {
+        // Exact multiples divide evenly; one byte more rounds up.
+        assert_eq!(CostParams::transfer_ns(1000, 100.0), 10);
+        assert_eq!(CostParams::transfer_ns(1001, 100.0), 11);
+        assert_eq!(CostParams::transfer_ns(64 * KIB, 64.0), KIB);
+        assert_eq!(CostParams::transfer_ns(64 * KIB + 1, 64.0), KIB + 1);
+    }
+
+    #[test]
+    fn transfer_ns_is_monotone_in_bytes() {
+        let mut prev = 0;
+        for bytes in [0, 1, 64, 4 * KIB, 64 * KIB, MIB, 2 * MIB + 1] {
+            let t = CostParams::transfer_ns(bytes, 486.0);
+            assert!(t >= prev, "transfer_ns not monotone at {bytes} bytes");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn system_pages_rounds_up_at_page_boundaries() {
+        let p = CostParams::with_64k_pages();
+        assert_eq!(p.system_pages(0), 0);
+        assert_eq!(p.system_pages(64 * KIB - 1), 1);
+        assert_eq!(p.system_pages(64 * KIB), 1);
+        assert_eq!(p.system_pages(64 * KIB + 1), 2);
+    }
+
+    #[test]
+    fn validate_errors_are_typed_and_printable() {
+        let bad_pow2 = CostParams {
+            system_page_size: 3000,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad_pow2.validate().unwrap_err(),
+            ParamError::PageSizeNotPowerOfTwo(3000)
+        );
+
+        let bad_range = CostParams {
+            system_page_size: 4 * MIB,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_range.validate().unwrap_err(),
+            ParamError::PageSizeOutOfRange { page, .. } if page == 4 * MIB
+        ));
+
+        let bad_bw = CostParams {
+            lpddr_bw: 0.0,
+            ..Default::default()
+        };
+        let err = bad_bw.validate().unwrap_err();
+        assert_eq!(err, ParamError::NonPositiveBandwidth("lpddr_bw"));
+        assert_eq!(err.to_string(), "lpddr_bw must be positive");
+
+        let bad_region = CostParams {
+            counter_region: 2 * MIB + 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad_region.validate().unwrap_err(),
+            ParamError::CounterRegionMisaligned { .. }
+        ));
+
+        let bad_eff = CostParams {
+            hbm_random_eff: -0.1,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad_eff.validate().unwrap_err(),
+            ParamError::EfficiencyOutOfRange("hbm_random_eff")
+        );
+    }
+
+    #[test]
+    fn validate_error_display_names_the_baseline() {
+        let mut p = CostParams::default();
+        p.gpu_driver_baseline = p.gpu_mem_bytes;
+        let msg = p.validate().unwrap_err().to_string();
+        assert!(msg.contains("driver baseline exceeds GPU capacity"));
     }
 }

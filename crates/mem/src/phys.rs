@@ -60,6 +60,7 @@ pub struct PhysMem {
     capacity: [u64; 2],
     used: [u64; 2],
     next_frame: u64,
+    unified: bool,
 }
 
 impl PhysMem {
@@ -74,23 +75,50 @@ impl PhysMem {
             capacity: [cpu_capacity, gpu_capacity],
             used: [0, gpu_reserved],
             next_frame: 1,
+            unified: false,
         }
     }
 
-    /// Total capacity of `node` in bytes.
+    /// Creates a single physical pool of `total` bytes shared by both
+    /// nodes (the MI300A model). `reserved` is the driver carve-out,
+    /// attributed to the GPU. Nodes become attribution labels only:
+    /// per-node `used` still tracks who allocated what, but capacity and
+    /// `free` are pool-wide.
+    pub fn new_unified(total: u64, reserved: u64) -> Self {
+        assert!(reserved <= total, "driver baseline exceeds GPU capacity");
+        Self {
+            capacity: [total, total],
+            used: [0, reserved],
+            next_frame: 1,
+            unified: true,
+        }
+    }
+
+    /// Whether both nodes draw from one shared physical pool.
+    pub fn is_unified(&self) -> bool {
+        self.unified
+    }
+
+    /// Total capacity of `node` in bytes (the pool size when unified).
     pub fn capacity(&self, node: Node) -> u64 {
         self.capacity[node.idx()]
     }
 
     /// Bytes currently allocated on `node` (for the GPU this includes the
-    /// driver baseline, matching what `nvidia-smi` reports).
+    /// driver baseline, matching what `nvidia-smi` reports). In a unified
+    /// pool this is per-node *attribution* within the shared pool.
     pub fn used(&self, node: Node) -> u64 {
         self.used[node.idx()]
     }
 
-    /// Bytes still free on `node`.
+    /// Bytes still free on `node`. In a unified pool both nodes report the
+    /// same value: whatever is left of the shared pool.
     pub fn free(&self, node: Node) -> u64 {
-        self.capacity[node.idx()] - self.used[node.idx()]
+        if self.unified {
+            self.capacity[0] - self.used[0] - self.used[1]
+        } else {
+            self.capacity[node.idx()] - self.used[node.idx()]
+        }
     }
 
     /// Reserves `bytes` on `node`, returning an opaque frame id for the
@@ -215,5 +243,48 @@ mod tests {
     #[should_panic(expected = "driver baseline")]
     fn reserved_over_capacity_panics() {
         PhysMem::new(10, 10, 11);
+    }
+
+    #[test]
+    fn unified_pool_shares_capacity_between_nodes() {
+        let mut m = PhysMem::new_unified(1000, 100);
+        assert!(m.is_unified());
+        assert_eq!(m.capacity(Node::Cpu), 1000);
+        assert_eq!(m.capacity(Node::Gpu), 1000);
+        assert_eq!(m.free(Node::Cpu), 900);
+        assert_eq!(m.free(Node::Gpu), 900);
+        // A CPU allocation shrinks the GPU's view of free memory too.
+        m.alloc(Node::Cpu, 300).unwrap();
+        assert_eq!(m.free(Node::Gpu), 600);
+        assert_eq!(m.free(Node::Cpu), 600);
+        // Per-node attribution is preserved.
+        assert_eq!(m.used(Node::Cpu), 300);
+        assert_eq!(m.used(Node::Gpu), 100);
+    }
+
+    #[test]
+    fn unified_pool_exhausts_jointly() {
+        let mut m = PhysMem::new_unified(1000, 0);
+        m.alloc(Node::Cpu, 600).unwrap();
+        m.alloc(Node::Gpu, 400).unwrap();
+        let err = m.alloc(Node::Gpu, 1).unwrap_err();
+        assert_eq!(err.free, 0);
+        assert!(m.alloc(Node::Cpu, 1).is_err());
+    }
+
+    #[test]
+    fn unified_pool_release_restores_shared_free() {
+        let mut m = PhysMem::new_unified(1000, 100);
+        m.alloc(Node::Gpu, 500).unwrap();
+        assert_eq!(m.free(Node::Cpu), 400);
+        m.release(Node::Gpu, 500);
+        assert_eq!(m.free(Node::Cpu), 900);
+        assert_eq!(m.used(Node::Gpu), 100);
+    }
+
+    #[test]
+    fn unified_pool_reserved_over_total_panics() {
+        let r = std::panic::catch_unwind(|| PhysMem::new_unified(10, 11));
+        assert!(r.is_err());
     }
 }

@@ -268,7 +268,7 @@ mod tests {
         let p = small(8);
         let mut checks = Vec::new();
         for mode in MemMode::ALL {
-            let r = run_qv(Machine::default_gh200(), mode, &p);
+            let r = run_qv(gh_sim::platform::gh200().machine(), mode, &p);
             checks.push(r.checksum);
         }
         assert!(checks[0] != 0.0);
@@ -293,7 +293,7 @@ mod tests {
             compute_amplitudes: false,
             ..small(16)
         };
-        let r = run_qv(Machine::default_gh200(), MemMode::System, &p);
+        let r = run_qv(gh_sim::platform::gh200().machine(), MemMode::System, &p);
         assert!(r.traffic.ats_faults > 0, "GPU first touch must fault");
         assert_eq!(r.phases.cpu_init, 0, "no CPU-side initialization");
     }
@@ -305,8 +305,8 @@ mod tests {
             compute_amplitudes: false,
             ..small(18)
         };
-        let rs = run_qv(Machine::default_gh200(), MemMode::System, &p);
-        let rm = run_qv(Machine::default_gh200(), MemMode::Managed, &p);
+        let rs = run_qv(gh_sim::platform::gh200().machine(), MemMode::System, &p);
+        let rm = run_qv(gh_sim::platform::gh200().machine(), MemMode::Managed, &p);
         let init_s = rs.kernel_time_named("qv_init");
         let init_m = rm.kernel_time_named("qv_init");
         assert!(
@@ -327,7 +327,7 @@ mod tests {
             chunk_bytes: 8 << 20,
             fuse: false,
         };
-        let r = run_qv(Machine::default_gh200(), MemMode::Explicit, &p);
+        let r = run_qv(gh_sim::platform::gh200().machine(), MemMode::Explicit, &p);
         assert!(r.traffic.hbm_read > 0);
         // Chunk streaming happened (init + per-gate).
         assert!(r.phases.compute > 0);
@@ -340,8 +340,12 @@ mod tests {
             fuse: true,
             ..base.clone()
         };
-        let a = run_qv(Machine::default_gh200(), MemMode::Managed, &base);
-        let b = run_qv(Machine::default_gh200(), MemMode::Managed, &fused);
+        let a = run_qv(gh_sim::platform::gh200().machine(), MemMode::Managed, &base);
+        let b = run_qv(
+            gh_sim::platform::gh200().machine(),
+            MemMode::Managed,
+            &fused,
+        );
         let rel = (a.checksum - b.checksum).abs() / a.checksum.abs().max(1e-9);
         assert!(rel < 1e-3, "{} vs {}", a.checksum, b.checksum);
         assert!(b.kernel_times.len() <= a.kernel_times.len());
@@ -353,8 +357,8 @@ mod tests {
             compute_amplitudes: false,
             ..small(14)
         };
-        let a = run_qv(Machine::default_gh200(), MemMode::Managed, &p);
-        let b = run_qv(Machine::default_gh200(), MemMode::Managed, &p);
+        let a = run_qv(gh_sim::platform::gh200().machine(), MemMode::Managed, &p);
+        let b = run_qv(gh_sim::platform::gh200().machine(), MemMode::Managed, &p);
         assert_eq!(a.phases.compute, b.phases.compute);
         assert_eq!(a.traffic, b.traffic);
     }

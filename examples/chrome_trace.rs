@@ -7,7 +7,7 @@
 //! ```
 
 use grace_mem::apps::srad::{self, SradParams};
-use grace_mem::Machine;
+use grace_mem::platform;
 
 fn main() {
     let p = SradParams {
@@ -16,7 +16,7 @@ fn main() {
         ..Default::default()
     };
     // Run once, steal the runtime's timeline before the machine closes.
-    let mut m = Machine::default_gh200();
+    let mut m = platform::gh200().machine();
     // Inline a small slice of the app so we keep access to the runtime:
     // allocate, init, two iterations of metered kernels.
     let bytes = (p.size * p.size * 4) as u64;

@@ -10,19 +10,19 @@
 //! cliff; the system series stays CPU-resident.
 
 use grace_mem::apps::hotspot::{self, HotspotParams};
-use grace_mem::{CostParams, Machine, MemMode, RuntimeOptions};
+use grace_mem::{platform, MachineConfig, MemMode};
 
 fn main() {
     println!("mode,t_ms,rss_mib,gpu_used_mib");
     for mode in [MemMode::System, MemMode::Managed] {
-        let m = Machine::new(
-            CostParams::with_64k_pages(),
-            RuntimeOptions {
-                auto_migration: false, // Fig 4 context: migration disabled
-                profiler_period: 50_000,
-                ..Default::default()
-            },
-        );
+        let cfg = MachineConfig {
+            auto_migration: false, // Fig 4 context: migration disabled
+            profiler_period: Some(50_000),
+            ..Default::default()
+        };
+        let m = platform::gh200()
+            .machine_cfg(&cfg)
+            .expect("default page size is always supported");
         let r = hotspot::run(m, mode, &HotspotParams::default());
         for s in &r.samples {
             println!(

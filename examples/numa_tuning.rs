@@ -11,7 +11,7 @@
 //! and interleaved placement.
 
 use grace_mem::os::NumaPolicy;
-use grace_mem::{CostParams, Machine, Node, RuntimeOptions};
+use grace_mem::{platform, MachineConfig, Node};
 
 fn main() {
     let n = 1024usize;
@@ -26,13 +26,9 @@ fn main() {
         ("preferred_gpu", NumaPolicy::Preferred(Node::Gpu)),
         ("interleave", NumaPolicy::Interleave),
     ] {
-        let mut m = Machine::new(
-            CostParams::default(),
-            RuntimeOptions {
-                auto_migration: false,
-                ..Default::default()
-            },
-        );
+        let mut m = platform::gh200()
+            .machine_cfg(&MachineConfig::without_migration())
+            .expect("default page size is always supported");
         m.rt.cuda_init();
         let grid = m.rt.malloc_system_with_policy(bytes, policy, "grid");
         let scratch = m.rt.cuda_malloc(bytes, "scratch").unwrap();

@@ -9,22 +9,22 @@
 //! a `cudaMalloc` balloon so only `peak / ratio` bytes stay free, and
 //! compare the system-allocated and managed versions as the ratio grows.
 
-use grace_mem::{AppId, Machine, MemMode};
+use grace_mem::{platform, AppId, MemMode};
 
 fn main() {
     let app = AppId::Hotspot;
     println!("oversubscription study: {}\n", app.name());
 
     // Step 1 (paper §3.2): measure peak GPU usage un-oversubscribed.
-    let baseline = app.run(Machine::default_gh200(), MemMode::Managed);
-    let peak = baseline.peak_gpu - Machine::default_gh200().rt.params().gpu_driver_baseline;
+    let baseline = app.run(platform::gh200().machine(), MemMode::Managed);
+    let peak = baseline.peak_gpu - platform::gh200().gpu_driver_baseline();
     println!("peak GPU usage (managed, in-memory): {} MiB\n", peak >> 20);
 
     println!("ratio   system_ms   managed_ms   system speedup");
     for ratio in [1.0f64, 1.25, 1.5, 2.0, 3.0] {
         let mut times = Vec::new();
         for mode in [MemMode::System, MemMode::Managed] {
-            let mut m = Machine::default_gh200();
+            let mut m = platform::gh200().machine();
             m.oversubscribe(peak, ratio);
             let r = app.run(m, mode);
             times.push(r.reported_total() as f64 / 1e6);

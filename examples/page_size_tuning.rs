@@ -10,15 +10,14 @@
 //! pre-population strategy.
 
 use grace_mem::apps::srad::{self, SradParams};
-use grace_mem::{CostParams, Machine, MemMode, RuntimeOptions};
+use grace_mem::sim::KIB;
+use grace_mem::{platform, Machine, MachineConfig, MemMode};
 
 fn machine(page_4k: bool) -> Machine {
-    let params = if page_4k {
-        CostParams::with_4k_pages()
-    } else {
-        CostParams::with_64k_pages()
-    };
-    Machine::new(params, RuntimeOptions::default())
+    let page = if page_4k { 4 * KIB } else { 64 * KIB };
+    platform::gh200()
+        .machine_cfg(&MachineConfig::with_page_size(page))
+        .expect("GH200 supports both paper page sizes")
 }
 
 fn main() {

@@ -10,7 +10,7 @@
 //! scale: 34 qubits) the statevector exceeds GPU memory and the natural
 //! oversubscription behaviours of §7 appear.
 
-use grace_mem::{run_qv, Machine, MemMode, QsimParams};
+use grace_mem::{platform, run_qv, MemMode, QsimParams};
 
 fn main() {
     let sim_qubits: u32 = std::env::args()
@@ -31,7 +31,7 @@ fn main() {
     };
 
     for mode in MemMode::ALL {
-        let r = run_qv(Machine::default_gh200(), mode, &p);
+        let r = run_qv(platform::gh200().machine(), mode, &p);
         let init = r.kernel_time_named("qv_init");
         let gates = r.kernel_time_named("qv_gate");
         println!("== {mode} ==");

@@ -8,12 +8,12 @@
 //! GPU reduction over it, and prints where the time and the traffic went
 //! — the paper's Figure 2 code transformation in ~30 lines per variant.
 
-use grace_mem::{Machine, MemMode, Phase};
+use grace_mem::{platform, MemMode, Phase};
 
 const N: u64 = 32 << 20; // 32 MiB working set
 
 fn run(mode: MemMode) {
-    let mut m = Machine::default_gh200();
+    let mut m = platform::gh200().machine();
 
     m.phase(Phase::CtxInit);
     m.rt.cuda_init();

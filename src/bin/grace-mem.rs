@@ -6,23 +6,29 @@
 //! cargo run --release --bin grace-mem -- list
 //! ```
 
-use grace_mem::{AppId, CostParams, Machine, MemMode, QsimParams, RuntimeOptions};
+use grace_mem::sim::{KIB, MIB};
+use grace_mem::{platform, AppId, Machine, MachineConfig, MemMode, Platform, QsimParams};
 
 fn usage() -> ! {
     eprintln!(
         "usage:
   grace-mem list
   grace-mem app <needle|pathfinder|bfs|hotspot|srad>
-            [--mode explicit|system|managed] [--page 4k|64k]
-            [--no-migration] [--oversubscribe <ratio>] [--small]
-            [--trace-out <json-file>]
+            [--platform gh200|mi300a] [--mode explicit|system|managed]
+            [--page 4k|64k|2m] [--no-migration] [--oversubscribe <ratio>]
+            [--small] [--trace-out <json-file>]
   grace-mem qv <sim_qubits>
-            [--mode explicit|system|managed] [--page 4k|64k]
-            [--prefetch] [--amplitudes] [--trace-out <json-file>]
+            [--platform gh200|mi300a] [--mode explicit|system|managed]
+            [--page 4k|64k|2m] [--prefetch] [--amplitudes]
+            [--trace-out <json-file>]
   grace-mem replay <trace-file>
-            [--mode explicit|system|managed] [--page 4k|64k]
-            [--no-migration] [--trace-out <json-file>]
-  grace-mem advise <trace-file>
+            [--platform gh200|mi300a] [--mode explicit|system|managed]
+            [--page 4k|64k|2m] [--no-migration] [--trace-out <json-file>]
+  grace-mem advise <trace-file> [--platform gh200|mi300a]
+
+platforms: gh200 (default; two tiers + migration), mi300a (one unified
+           physical pool, no page migration). The default page size is
+           the platform's own (gh200: 64k, mi300a: 4k).
 
 environment:
   GH_TRACE=1  trace the run on the observability bus and print the
@@ -31,9 +37,17 @@ environment:
     std::process::exit(2);
 }
 
+/// Exits with the platform layer's error message on a bad registry name,
+/// unsupported page size, or invalid parameter tweak.
+fn platform_fail(e: grace_mem::PlatformError) -> ! {
+    eprintln!("{e}");
+    std::process::exit(2);
+}
+
 struct Flags {
+    platform: &'static dyn Platform,
     mode: MemMode,
-    page_4k: bool,
+    page: Option<u64>,
     migration: bool,
     oversubscribe: Option<f64>,
     small: bool,
@@ -45,8 +59,9 @@ struct Flags {
 
 fn parse_flags(args: &[String]) -> Flags {
     let mut f = Flags {
+        platform: platform::gh200(),
         mode: MemMode::System,
-        page_4k: false,
+        page: None,
         migration: true,
         oversubscribe: None,
         small: false,
@@ -58,6 +73,10 @@ fn parse_flags(args: &[String]) -> Flags {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--platform" => {
+                let Some(name) = it.next() else { usage() };
+                f.platform = platform::by_name(name).unwrap_or_else(|e| platform_fail(e));
+            }
             "--mode" => {
                 f.mode = match it.next().map(String::as_str) {
                     Some("explicit") => MemMode::Explicit,
@@ -67,9 +86,10 @@ fn parse_flags(args: &[String]) -> Flags {
                 }
             }
             "--page" => {
-                f.page_4k = match it.next().map(String::as_str) {
-                    Some("4k") => true,
-                    Some("64k") => false,
+                f.page = match it.next().map(String::as_str) {
+                    Some("4k") => Some(4 * KIB),
+                    Some("64k") => Some(64 * KIB),
+                    Some("2m") => Some(2 * MIB),
                     _ => usage(),
                 }
             }
@@ -97,18 +117,14 @@ fn parse_flags(args: &[String]) -> Flags {
 }
 
 fn machine(f: &Flags) -> Machine {
-    let params = if f.page_4k {
-        CostParams::with_4k_pages()
-    } else {
-        CostParams::with_64k_pages()
+    let cfg = MachineConfig {
+        page_size: f.page,
+        auto_migration: f.migration,
+        ..Default::default()
     };
-    Machine::new(
-        params,
-        RuntimeOptions {
-            auto_migration: f.migration,
-            ..Default::default()
-        },
-    )
+    f.platform
+        .machine_cfg(&cfg)
+        .unwrap_or_else(|e| platform_fail(e))
 }
 
 fn print_report_maybe_json(label: &str, r: &grace_mem::RunReport, json: bool) {
@@ -151,7 +167,7 @@ fn maybe_dump_trace(r: &grace_mem::RunReport, f: &Flags) {
 }
 
 fn print_report(label: &str, r: &grace_mem::RunReport) {
-    println!("== {label} ==");
+    println!("== {label} [{}] ==", r.platform);
     println!(
         "phases (ms): ctx {:.3} | alloc {:.3} | cpu_init {:.3} | compute {:.3} | dealloc {:.3}",
         r.phases.ctx_init as f64 / 1e6,
@@ -181,6 +197,9 @@ fn print_report(label: &str, r: &grace_mem::RunReport) {
         r.peak_gpu >> 20,
         r.peak_rss >> 20,
     );
+    for note in &r.not_applicable {
+        println!("n/a: {note}");
+    }
 }
 
 fn run_extension(name: &str, flag_args: &[String]) -> Option<grace_mem::RunReport> {
@@ -234,12 +253,12 @@ fn main() {
             let mut m = machine(&f);
             if let Some(ratio) = f.oversubscribe {
                 let peak = if f.small {
-                    app.run_small(Machine::default_gh200(), MemMode::Managed)
+                    app.run_small(f.platform.machine(), MemMode::Managed)
                 } else {
-                    app.run(Machine::default_gh200(), MemMode::Managed)
+                    app.run(f.platform.machine(), MemMode::Managed)
                 }
                 .peak_gpu
-                    - CostParams::default().gpu_driver_baseline;
+                .saturating_sub(f.platform.gpu_driver_baseline());
                 m.oversubscribe(peak, ratio);
             }
             let r = if f.small {
@@ -295,11 +314,12 @@ fn main() {
         }
         Some("advise") => {
             let Some(path) = args.get(1) else { usage() };
+            let f = parse_flags(&args[2..]);
             let trace = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
             });
-            match grace_mem::sim::advise(&trace) {
+            match grace_mem::sim::advise_on(f.platform, &trace) {
                 Ok(a) => print!("{}", a.render()),
                 Err(e) => {
                     eprintln!("{e}");

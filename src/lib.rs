@@ -10,10 +10,12 @@
 //! Quick start:
 //!
 //! ```
-//! use grace_mem::{Machine, MemMode, Phase};
+//! use grace_mem::{platform, MemMode, Phase};
 //!
-//! // Boot a simulated GH200 (480 MiB + 96 MiB, 1:1024 scale).
-//! let mut m = Machine::default_gh200();
+//! // Boot a simulated GH200 (480 MiB + 96 MiB, 1:1024 scale). The
+//! // platform registry also knows the MI300A unified-pool machine:
+//! // `platform::by_name("mi300a")`.
+//! let mut m = platform::gh200().machine();
 //!
 //! // Allocate system memory (malloc) — no CUDA context involved.
 //! m.phase(Phase::Alloc);
@@ -56,4 +58,7 @@ pub use gh_trace as trace;
 pub use gh_apps::AppId;
 pub use gh_profiler::{Phase, Sample};
 pub use gh_qsim::{run_qv, QsimParams};
-pub use gh_sim::{Buffer, CostParams, Machine, MemMode, Node, RunReport, Runtime, RuntimeOptions};
+pub use gh_sim::{
+    platform, Buffer, Machine, MachineConfig, MemMode, Node, Platform, PlatformCaps, PlatformError,
+    RunReport, Runtime,
+};

@@ -2,25 +2,18 @@
 //! results under all three memory-management strategies and across page
 //! sizes — the memory system must never change program semantics.
 
-use grace_mem::{AppId, CostParams, Machine, MemMode, RuntimeOptions};
+use grace_mem::sim::KIB;
+use grace_mem::{platform, AppId, Machine, MachineConfig, MemMode};
 
-fn machines() -> Vec<(&'static str, Machine)> {
+fn gh200() -> Machine {
+    platform::gh200().machine()
+}
+
+fn configs() -> Vec<(&'static str, MachineConfig)> {
     vec![
-        ("64k+mig", Machine::default_gh200()),
-        (
-            "4k+mig",
-            Machine::new(CostParams::with_4k_pages(), RuntimeOptions::default()),
-        ),
-        (
-            "64k-nomig",
-            Machine::new(
-                CostParams::with_64k_pages(),
-                RuntimeOptions {
-                    auto_migration: false,
-                    ..Default::default()
-                },
-            ),
-        ),
+        ("64k+mig", MachineConfig::default()),
+        ("4k+mig", MachineConfig::with_page_size(4 * KIB)),
+        ("64k-nomig", MachineConfig::without_migration()),
     ]
 }
 
@@ -28,11 +21,11 @@ fn machines() -> Vec<(&'static str, Machine)> {
 fn all_apps_agree_across_modes_and_configs() {
     for app in AppId::ALL {
         let mut checksums = Vec::new();
-        for (cfg, m) in machines() {
+        for (name, cfg) in configs() {
             for mode in MemMode::ALL {
-                let extra = Machine::new(m.rt.params().clone(), m.rt.options().clone());
-                let r = app.run_small(extra, mode);
-                checksums.push((cfg, mode, r.checksum));
+                let m = platform::gh200().machine_cfg(&cfg).unwrap();
+                let r = app.run_small(m, mode);
+                checksums.push((name, mode, r.checksum));
             }
         }
         let first = checksums[0].2;
@@ -60,12 +53,12 @@ fn quantum_volume_state_is_mode_independent() {
     };
     let mut checks = Vec::new();
     for mode in MemMode::ALL {
-        let r = grace_mem::run_qv(Machine::default_gh200(), mode, &p);
+        let r = grace_mem::run_qv(gh200(), mode, &p);
         checks.push(r.checksum);
     }
     // Also with prefetch on (managed only).
     let r = grace_mem::run_qv(
-        Machine::default_gh200(),
+        gh200(),
         MemMode::Managed,
         &grace_mem::QsimParams {
             prefetch: true,
@@ -80,8 +73,8 @@ fn quantum_volume_state_is_mode_independent() {
 #[test]
 fn oversubscription_does_not_change_results() {
     for app in [AppId::Hotspot, AppId::Srad] {
-        let base = app.run_small(Machine::default_gh200(), MemMode::Managed);
-        let mut m = Machine::default_gh200();
+        let base = app.run_small(gh200(), MemMode::Managed);
+        let mut m = gh200();
         m.oversubscribe(base.peak_gpu, 2.0);
         let over = app.run_small(m, MemMode::Managed);
         assert_eq!(base.checksum, over.checksum, "{}", app.name());

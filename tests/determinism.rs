@@ -2,14 +2,18 @@
 //! identical configurations produce identical virtual timelines, traffic
 //! and results, regardless of host thread scheduling.
 
-use grace_mem::{AppId, Machine, MemMode, QsimParams};
+use grace_mem::{platform, AppId, Machine, MemMode, QsimParams};
+
+fn gh200() -> Machine {
+    platform::gh200().machine()
+}
 
 #[test]
 fn app_runs_are_bit_deterministic() {
     for app in [AppId::Needle, AppId::Bfs, AppId::Srad] {
         for mode in MemMode::ALL {
-            let a = app.run_small(Machine::default_gh200(), mode);
-            let b = app.run_small(Machine::default_gh200(), mode);
+            let a = app.run_small(gh200(), mode);
+            let b = app.run_small(gh200(), mode);
             assert_eq!(a.checksum, b.checksum, "{}/{mode}", app.name());
             assert_eq!(a.phases, b.phases, "{}/{mode}", app.name());
             assert_eq!(a.traffic, b.traffic, "{}/{mode}", app.name());
@@ -31,8 +35,8 @@ fn qv_timeline_is_deterministic_under_parallel_compute() {
         chunk_bytes: 1 << 20,
         fuse: false,
     };
-    let a = grace_mem::run_qv(Machine::default_gh200(), MemMode::Managed, &p);
-    let b = grace_mem::run_qv(Machine::default_gh200(), MemMode::Managed, &p);
+    let a = grace_mem::run_qv(gh200(), MemMode::Managed, &p);
+    let b = grace_mem::run_qv(gh200(), MemMode::Managed, &p);
     assert_eq!(a.phases, b.phases);
     assert_eq!(a.traffic, b.traffic);
     // Float reductions over the pool are order-sensitive only across
@@ -45,7 +49,7 @@ fn qv_timeline_is_deterministic_under_parallel_compute() {
 #[test]
 fn different_seeds_differ() {
     let a = grace_mem::apps::bfs::run(
-        Machine::default_gh200(),
+        gh200(),
         MemMode::System,
         &grace_mem::apps::bfs::BfsParams {
             nodes: 5000,
@@ -54,7 +58,7 @@ fn different_seeds_differ() {
         },
     );
     let b = grace_mem::apps::bfs::run(
-        Machine::default_gh200(),
+        gh200(),
         MemMode::System,
         &grace_mem::apps::bfs::BfsParams {
             nodes: 5000,

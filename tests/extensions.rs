@@ -3,7 +3,11 @@
 //! and the future-work workloads.
 
 use grace_mem::os::NumaPolicy;
-use grace_mem::{CostParams, Machine, MemMode, Node, RuntimeOptions};
+use grace_mem::{platform, Machine, MachineConfig, MemMode, Node};
+
+fn gh200() -> Machine {
+    platform::gh200().machine()
+}
 
 #[test]
 fn double_buffered_pipeline_beats_serial_copies() {
@@ -11,7 +15,7 @@ fn double_buffered_pipeline_beats_serial_copies() {
     // hypothetical serial-copy implementation; verify through the stream
     // API directly: two streams halve the end-to-end time of
     // copy+compute chains.
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     let h = m.rt.cuda_malloc_host(64 << 20, "host");
     let d0 = m.rt.cuda_malloc(8 << 20, "chunk0").unwrap();
     let d1 = m.rt.cuda_malloc(8 << 20, "chunk1").unwrap();
@@ -47,7 +51,7 @@ fn double_buffered_pipeline_beats_serial_copies() {
 
 #[test]
 fn numa_bound_buffer_is_hbm_local_for_kernels() {
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     m.rt.cuda_init();
     let b =
         m.rt.malloc_system_with_policy(8 << 20, NumaPolicy::Bind(Node::Gpu), "bound");
@@ -63,7 +67,7 @@ fn numa_bound_buffer_is_hbm_local_for_kernels() {
 fn numa_alloc_onnode_matches_table1_row() {
     // Table 1 lists numa_alloc_onnode as a CPU allocation interface:
     // eager CPU residency, coherent remote access from the GPU.
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     let b = m.rt.numa_alloc_onnode(4 << 20, Node::Cpu, "numa_cpu");
     assert_eq!(m.rt.rss(), 4 << 20);
     let mut k = m.rt.launch("probe");
@@ -86,19 +90,14 @@ kernel sweep
 end
 ";
     let sys = grace_mem::sim::replay(
-        Machine::new(
-            CostParams::default(),
-            RuntimeOptions {
-                auto_migration: false,
-                ..Default::default()
-            },
-        ),
+        platform::gh200()
+            .machine_cfg(&MachineConfig::without_migration())
+            .unwrap(),
         trace,
         Some(MemMode::System),
     )
     .unwrap();
-    let man =
-        grace_mem::sim::replay(Machine::default_gh200(), trace, Some(MemMode::Managed)).unwrap();
+    let man = grace_mem::sim::replay(gh200(), trace, Some(MemMode::Managed)).unwrap();
     assert_eq!(sys.traffic.c2c_read, 16 << 20, "system: remote both sweeps");
     assert_eq!(
         man.traffic.bytes_migrated_in,
@@ -110,7 +109,7 @@ end
 
 #[test]
 fn timeline_export_covers_the_run() {
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     let b = m.rt.cuda_malloc(4 << 20, "d").unwrap();
     m.rt.cuda_memset(&b, 0, 4 << 20);
     let mut k = m.rt.launch("work");
@@ -135,7 +134,7 @@ fn timeline_export_covers_the_run() {
 
 #[test]
 fn event_timing_matches_clock() {
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     let h = m.rt.cuda_malloc_host(16 << 20, "h");
     let d = m.rt.cuda_malloc(16 << 20, "d").unwrap();
     let s = m.rt.create_stream();
@@ -175,7 +174,7 @@ fn gate_fusion_reduces_sweep_count_in_simulation() {
 
 #[test]
 fn smaps_accounts_application_buffers() {
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     let a = m.rt.malloc_system(4 << 20, "alpha");
     m.rt.cpu_write(&a, 0, 4 << 20);
     let _b = m.rt.cuda_malloc_managed(2 << 20, "beta");

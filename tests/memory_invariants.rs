@@ -1,7 +1,11 @@
 //! Cross-crate integration: physical-memory accounting invariants must
 //! hold through entire application runs.
 
-use grace_mem::{AppId, Machine, MemMode, Node};
+use grace_mem::{platform, AppId, Machine, MemMode, Node};
+
+fn gh200() -> Machine {
+    platform::gh200().machine()
+}
 
 #[test]
 fn gpu_usage_never_exceeds_capacity() {
@@ -9,7 +13,7 @@ fn gpu_usage_never_exceeds_capacity() {
     // that GPU usage stayed within the physical capacity throughout.
     for app in AppId::ALL {
         for mode in [MemMode::System, MemMode::Managed] {
-            let mut m = Machine::default_gh200();
+            let mut m = gh200();
             let cap = m.rt.params().gpu_mem_bytes;
             m.oversubscribe(4 << 20, 2.0);
             let r = app.run_small(m, mode);
@@ -29,7 +33,7 @@ fn gpu_usage_never_exceeds_capacity() {
 fn all_memory_reclaimed_after_runs() {
     for app in AppId::ALL {
         for mode in MemMode::ALL {
-            let m = Machine::default_gh200();
+            let m = gh200();
             let baseline = m.rt.params().gpu_driver_baseline;
             let r = app.run_small(m, mode);
             let last = r.samples.last().expect("samples exist");
@@ -48,7 +52,7 @@ fn all_memory_reclaimed_after_runs() {
 fn rss_and_gpu_account_for_unified_pages() {
     // A unified buffer's pages must always be accounted on exactly one
     // node: RSS + (GPU used − baseline) == touched bytes.
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     let baseline = m.rt.params().gpu_driver_baseline;
     let b = m.rt.malloc_system(8 << 20, "x");
     m.rt.cpu_write(&b, 0, 4 << 20); // half CPU
@@ -64,7 +68,7 @@ fn rss_and_gpu_account_for_unified_pages() {
 
 #[test]
 fn balloon_is_fully_released() {
-    let mut m = Machine::default_gh200();
+    let mut m = gh200();
     let free0 = m.rt.gpu_free();
     m.oversubscribe(8 << 20, 4.0);
     assert!(m.rt.gpu_free() < free0 / 2);

@@ -4,10 +4,14 @@
 //! trace must be structurally sound.
 
 use grace_mem::trace as bus;
-use grace_mem::{AppId, Machine, MemMode};
+use grace_mem::{platform, AppId, Machine, MemMode};
+
+fn gh200() -> Machine {
+    platform::gh200().machine()
+}
 
 fn run(app: AppId, mode: MemMode) -> grace_mem::RunReport {
-    app.run_small(Machine::default_gh200(), mode)
+    app.run_small(gh200(), mode)
 }
 
 #[test]
@@ -78,7 +82,7 @@ fn cpu_faults_cover_touched_pages() {
     let t = r.trace.as_ref().unwrap();
     // Hotspot's CPU init touches two grid-sized input buffers; every
     // first touch is one fault, so faults ≥ peak RSS / page size.
-    let page = grace_mem::CostParams::default().system_page_size;
+    let page = gh200().rt.params().system_page_size;
     let faults = t.counter("os.cpu_faults");
     assert!(faults > 0, "CPU init must fault pages in");
     assert!(

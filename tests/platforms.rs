@@ -1,0 +1,140 @@
+//! Cross-crate integration for the platform backend layer: every
+//! registered platform must run every app deterministically, report
+//! numerics must be platform-independent (backends change the cost
+//! model, never the computed answer), and the MI300A's unified-pool
+//! invariants must hold end-to-end.
+
+use grace_mem::trace as bus;
+use grace_mem::{platform, AppId, MemMode};
+
+#[test]
+fn registry_roundtrips_every_platform() {
+    for name in platform::names() {
+        let p = platform::by_name(name).expect("listed platform resolves");
+        assert_eq!(p.caps().name, *name);
+    }
+    let err = platform::by_name("tpu-v9").unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("tpu-v9"), "{msg}");
+    for name in platform::names() {
+        assert!(msg.contains(name), "error must list {name}: {msg}");
+    }
+}
+
+#[test]
+fn every_app_is_deterministic_on_every_platform() {
+    for p in platform::all() {
+        for app in AppId::ALL {
+            for mode in [MemMode::System, MemMode::Managed] {
+                let a = app.run_small(p.machine(), mode);
+                let b = app.run_small(p.machine(), mode);
+                assert_eq!(
+                    a.to_json(),
+                    b.to_json(),
+                    "{}/{}/{mode}: reports differ between identical runs",
+                    p.caps().name,
+                    app.name()
+                );
+                assert_eq!(a.platform, p.caps().name);
+            }
+        }
+    }
+}
+
+#[test]
+fn checksums_are_platform_independent() {
+    // Platforms change where time and traffic go, never the numerics.
+    for app in AppId::ALL {
+        for mode in [MemMode::System, MemMode::Managed] {
+            let gh = app.run_small(platform::gh200().machine(), mode);
+            let mi = app.run_small(platform::mi300a().machine(), mode);
+            assert_eq!(
+                gh.checksum.to_bits(),
+                mi.checksum.to_bits(),
+                "{}/{mode}: checksum depends on the platform",
+                app.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mi300a_never_migrates_pages() {
+    for app in AppId::ALL {
+        for mode in [MemMode::System, MemMode::Managed] {
+            let r = app.run_small(platform::mi300a().machine(), mode);
+            let t = &r.traffic;
+            assert_eq!(t.pages_migrated_in, 0, "{}/{mode}", app.name());
+            assert_eq!(t.pages_migrated_out, 0, "{}/{mode}", app.name());
+            assert_eq!(t.bytes_migrated_in, 0, "{}/{mode}", app.name());
+            assert_eq!(t.bytes_migrated_out, 0, "{}/{mode}", app.name());
+            assert_eq!(t.notifications, 0, "{}/{mode}", app.name());
+        }
+    }
+}
+
+#[test]
+fn mi300a_trace_shows_no_migration_machinery() {
+    bus::enable();
+    let r = AppId::Hotspot.run_small(platform::mi300a().machine(), MemMode::Managed);
+    bus::disable();
+    let t = r.trace.as_ref().expect("traced run carries the trace");
+    for counter in [
+        "uvm.pages_migrated_in",
+        "uvm.bytes_migrated_in",
+        "uvm.evictions",
+        "counters.pages_migrated_in",
+        "counters.notifications",
+    ] {
+        assert_eq!(t.counter(counter), 0, "{counter} must stay zero");
+    }
+}
+
+#[test]
+fn mi300a_cpu_allocations_drain_the_shared_pool() {
+    // One physical pool: CPU-resident pages shrink the GPU's free view.
+    let mut m = platform::mi300a().machine();
+    let free0 = m.rt.gpu_free();
+    let b = m.rt.malloc_system(8 << 20, "x");
+    m.rt.cpu_write(&b, 0, 8 << 20);
+    assert_eq!(m.rt.rss(), 8 << 20);
+    assert_eq!(
+        m.rt.gpu_free(),
+        free0 - (8 << 20),
+        "CPU pages must come out of the shared pool"
+    );
+    m.rt.free(b);
+    assert_eq!(m.rt.gpu_free(), free0);
+}
+
+#[test]
+fn mi300a_oversubscription_degrades_to_not_applicable() {
+    let mut m = platform::mi300a().machine();
+    let free0 = m.rt.gpu_free();
+    let left = m.oversubscribe(16 << 20, 2.0);
+    assert_eq!(left, free0, "no balloon may be installed");
+    assert_eq!(m.rt.gpu_free(), free0);
+    let r = AppId::Needle.run_small(m, MemMode::System);
+    assert_eq!(r.not_applicable.len(), 1);
+    assert!(
+        r.not_applicable[0].contains("not applicable"),
+        "{:?}",
+        r.not_applicable
+    );
+    assert!(r.to_json().contains("\"not_applicable\":[\""));
+}
+
+#[test]
+fn caps_reflect_the_hardware_contrast() {
+    let gh = platform::gh200().caps();
+    let mi = platform::mi300a().caps();
+    assert!(gh.migration && gh.oversubscription && gh.first_touch_tiering);
+    assert!(!gh.unified_pool);
+    assert!(!mi.migration && !mi.oversubscription && !mi.first_touch_tiering);
+    assert!(mi.unified_pool);
+    // Page-size menus differ: Grace's 64 KiB granule vs x86's 2 MiB huge
+    // pages — and the sweep order starts at each platform's default.
+    assert_eq!(gh.page_sizes[0], gh.default_page_size);
+    assert_eq!(mi.page_sizes[0], mi.default_page_size);
+    assert_ne!(gh.page_sizes, mi.page_sizes);
+}
