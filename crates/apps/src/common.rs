@@ -25,9 +25,10 @@ impl UBuf {
     pub fn alloc(m: &mut Machine, mode: MemMode, bytes: u64, tag: &str) -> UBuf {
         match mode {
             MemMode::Explicit => {
-                let host = m.rt.malloc_system(bytes, &format!("{tag}.host"));
+                let host =
+                    m.rt.malloc_system(gh_units::Bytes::new(bytes), &format!("{tag}.host"));
                 let dev =
-                    m.rt.cuda_malloc(bytes, &format!("{tag}.dev"))
+                    m.rt.cuda_malloc(gh_units::Bytes::new(bytes), &format!("{tag}.dev"))
                         .expect("explicit version assumes the buffer fits in GPU memory"); // gh-audit: allow(no-unwrap-in-lib) -- explicit mode asserts the working set fits in HBM; oversizing is an experiment-config error
                 UBuf {
                     mode,
@@ -39,13 +40,13 @@ impl UBuf {
             MemMode::System => UBuf {
                 mode,
                 host: None,
-                dev: m.rt.malloc_system(bytes, tag),
+                dev: m.rt.malloc_system(gh_units::Bytes::new(bytes), tag),
                 bytes,
             },
             MemMode::Managed => UBuf {
                 mode,
                 host: None,
-                dev: m.rt.cuda_malloc_managed(bytes, tag),
+                dev: m.rt.cuda_malloc_managed(gh_units::Bytes::new(bytes), tag),
                 bytes,
             },
         }
@@ -63,7 +64,7 @@ impl UBuf {
                 host: None,
                 dev: m
                     .rt
-                    .cuda_malloc(bytes, tag)
+                    .cuda_malloc(gh_units::Bytes::new(bytes), tag)
                     .expect("explicit version assumes scratch fits in GPU memory"), // gh-audit: allow(no-unwrap-in-lib) -- explicit mode asserts scratch fits in HBM; oversizing is an experiment-config error
                 bytes,
             },
@@ -189,7 +190,7 @@ mod tests {
         b.cpu_init(&mut m, 0, MIB);
         let before = m.rt.link().bytes_h2d();
         b.upload(&mut m);
-        assert_eq!(m.rt.link().bytes_h2d() - before, MIB);
+        assert_eq!(m.rt.link().bytes_h2d() - before, gh_units::Bytes::new(MIB));
 
         let mut m2 = gh_sim::platform::gh200().machine();
         let b2 = UBuf::alloc(&mut m2, MemMode::System, MIB, "x");

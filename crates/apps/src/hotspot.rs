@@ -111,7 +111,7 @@ pub fn run(mut m: Machine, mode: MemMode, p: &HotspotParams) -> RunReport {
     // Ping-pong partner: GPU-only scratch in every version (the paper
     // keeps GPU-only intermediates in cudaMalloc).
     let scratch =
-        m.rt.cuda_malloc(bytes, "hotspot.scratch")
+        m.rt.cuda_malloc(gh_units::Bytes::new(bytes), "hotspot.scratch")
             .expect("scaled hotspot fits in GPU memory"); // gh-audit: allow(no-unwrap-in-lib) -- explicit-mode capacity precondition; fail fast on an oversized config
 
     // ---- CPU-side initialization ----

@@ -94,8 +94,12 @@ pub fn gups(mut m: Machine, mode: MemMode, p: &MicroParams) -> RunReport {
         let offsets: Vec<u64> = (0..p.touches)
             .map(|_| (rng_next(&mut st) % (p.bytes - 8)) & !7)
             .collect();
-        k.gather_read(table.gpu(), offsets.iter().copied(), 8);
-        k.scatter_write(table.gpu(), offsets, 8);
+        k.gather_read(
+            table.gpu(),
+            offsets.iter().copied(),
+            gh_units::Bytes::new(8),
+        );
+        k.scatter_write(table.gpu(), offsets, gh_units::Bytes::new(8));
         k.compute(p.touches as u64 * 4);
         k.finish();
     }
@@ -127,7 +131,7 @@ pub fn pointer_chase(mut m: Machine, mode: MemMode, p: &MicroParams) -> RunRepor
                 ((r >> 8) % (span - 8)) & !7
             })
             .collect();
-        k.gather_read(table.gpu(), offsets, 8);
+        k.gather_read(table.gpu(), offsets, gh_units::Bytes::new(8));
         k.compute(p.touches as u64 * 2);
         k.finish();
     }

@@ -85,7 +85,7 @@ pub fn run(mut m: Machine, mode: MemMode, p: &PathfinderParams) -> RunReport {
     let wall_buf = UBuf::alloc(&mut m, mode, wall_bytes, "pathfinder.wall");
     // Two result rows ping-pong on the GPU (GPU-only in all versions).
     let result =
-        m.rt.cuda_malloc(2 * row_bytes, "pathfinder.result")
+        m.rt.cuda_malloc(gh_units::Bytes::new(2 * row_bytes), "pathfinder.result")
             .expect("two rows always fit"); // gh-audit: allow(no-unwrap-in-lib) -- two rows are far below any modelled HBM capacity
 
     // ---- CPU-side initialization ----
@@ -130,7 +130,8 @@ pub fn run(mut m: Machine, mode: MemMode, p: &PathfinderParams) -> RunReport {
         // Rodinia copies the result row to the host at the end; for
         // unified versions the paper keeps GPU-only buffers in cudaMalloc,
         // so this stays an explicit copy in all three variants.
-        let host_row = m.rt.malloc_system(row_bytes, "pathfinder.out");
+        let host_row =
+            m.rt.malloc_system(gh_units::Bytes::new(row_bytes), "pathfinder.out");
         m.rt.memcpy(&host_row, 0, &result, flip * row_bytes, row_bytes);
         m.rt.free(host_row);
     }

@@ -16,9 +16,18 @@
 //! name matches the accounting vocabulary below (bytes, pages, faults,
 //! costs, ...); loop indices and scratch variables are not accounting
 //! state and stay idiomatic.
+//!
+//! Exemption: places declared with a `gh-units` newtype (`Bytes`, `Pages`,
+//! `Lines`, `SimNs`, `Vpn`, `BwGiBs`). Their `+=`/`-=`/`*` operators are
+//! saturating *by construction* (see `crates/units`), so compound
+//! assignment on them is exactly the checked arithmetic this rule wants.
+//! The file's declarations (`field: Bytes`, `x: [Pages; 2]`,
+//! `let mut n = Lines::ZERO`) are scanned to learn which identifiers are
+//! unit-typed.
 
 use crate::rules::{Finding, Rule};
 use crate::source::{FileKind, SourceFile};
+use std::collections::HashSet;
 
 /// Crates whose lib sources carry accounting state.
 pub const ACCOUNTING_CRATES: [&str; 3] = ["gh-mem", "gh-os", "gh-cuda"];
@@ -40,6 +49,67 @@ pub fn is_accounting_ident(ident: &str) -> bool {
     ACCT_EXACT.iter().any(|e| *e == lower) || ACCT_SUBSTRINGS.iter().any(|s| lower.contains(s))
 }
 
+/// The `gh-units` newtypes whose arithmetic saturates by construction.
+pub const UNIT_TYPES: [&str; 6] = ["Bytes", "Pages", "Lines", "SimNs", "Vpn", "BwGiBs"];
+
+/// Scans a file's declarations for identifiers bound to a `gh-units`
+/// newtype: struct fields and parameters (`name: Bytes`, `name: [Pages; 2]`)
+/// and let bindings whose initializer calls into a unit type
+/// (`let mut freed = Bytes::ZERO`, `let pages = gh_units::Pages::new(1)`).
+fn unit_typed_idents(code: &[&crate::lexer::Tok]) -> HashSet<String> {
+    use crate::lexer::TokKind;
+    let mut set = HashSet::new();
+    for i in 0..code.len() {
+        if code[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name: [&] [[]path::]Unit` — fields, params, typed lets.
+        if i + 2 < code.len() && code[i + 1].is_punct(":") {
+            let mut j = i + 2;
+            while j < code.len()
+                && (code[j].is_punct("[") || code[j].is_punct("&") || code[j].is_ident("mut"))
+            {
+                j += 1;
+            }
+            let mut last = None;
+            while j < code.len() && code[j].kind == TokKind::Ident {
+                last = Some(code[j].text.as_str());
+                if j + 1 < code.len() && code[j + 1].is_punct("::") {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            if last.is_some_and(|t| UNIT_TYPES.contains(&t)) {
+                set.insert(code[i].text.clone());
+            }
+        }
+        // `let [mut] name = ... Unit:: ... ;`
+        if code[i].is_ident("let") {
+            let mut j = i + 1;
+            if j < code.len() && code[j].is_ident("mut") {
+                j += 1;
+            }
+            if j + 1 < code.len() && code[j].kind == TokKind::Ident && code[j + 1].is_punct("=") {
+                let name = code[j].text.as_str();
+                let mut k = j + 2;
+                while k < code.len() && !code[k].is_punct(";") {
+                    if code[k].kind == TokKind::Ident
+                        && UNIT_TYPES.contains(&code[k].text.as_str())
+                        && k + 1 < code.len()
+                        && code[k + 1].is_punct("::")
+                    {
+                        set.insert(name.to_string());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+    }
+    set
+}
+
 /// See module docs.
 #[derive(Debug)]
 pub struct UncheckedAccounting;
@@ -58,6 +128,7 @@ impl Rule for UncheckedAccounting {
             return;
         }
         let code: Vec<_> = file.code_tokens().map(|(_, t)| t).collect();
+        let unit_typed = unit_typed_idents(&code);
         for (i, t) in code.iter().enumerate() {
             let op = match t.text.as_str() {
                 "+=" | "-=" | "*=" if t.kind == crate::lexer::TokKind::Punct => &t.text,
@@ -70,6 +141,11 @@ impl Rule for UncheckedAccounting {
                 continue;
             };
             if !is_accounting_ident(subject) {
+                continue;
+            }
+            // Declared as a gh-units newtype: its compound assignment is
+            // saturating by construction — exactly what this rule asks for.
+            if unit_typed.contains(subject) {
                 continue;
             }
             let helper = match op.as_str() {
@@ -179,6 +255,61 @@ mod tests {
             "fn f(s: &mut S, n: u64) { s.bytes = s.bytes.saturating_add(n); }"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn unit_typed_field_is_fine() {
+        assert!(run(
+            "gh-mem",
+            "struct S { bytes_h2d: Bytes }\nfn f(s: &mut S, n: Bytes) { s.bytes_h2d += n; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unit_typed_array_field_is_fine() {
+        assert!(run(
+            "gh-mem",
+            "struct P { used: [Bytes; 2] }\nfn f(p: &mut P, b: Bytes) { p.used[0] += b; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unit_typed_let_binding_is_fine() {
+        assert!(run(
+            "gh-os",
+            "fn f() { let mut pages = gh_units::Pages::ZERO; pages += gh_units::Pages::new(1); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn raw_u64_still_fires_next_to_unit_decl() {
+        let out = run(
+            "gh-cuda",
+            "struct S { lines: Lines }\nfn f(s: &mut S, raw_bytes: u64, n: u64) { s.lines += Lines::new(1); let mut bytes = raw_bytes; bytes += n; }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn unit_vocabulary_scan() {
+        let f = SourceFile::parse(
+            "c/src/lib.rs",
+            "gh-mem",
+            FileKind::Lib,
+            "struct S { a: Bytes, b: [Pages; 2], c: u64 }\nfn f(d: gh_units::Lines) { let mut e = SimNs::ZERO; let g = 0u64; }",
+        );
+        let code: Vec<_> = f.code_tokens().map(|(_, t)| t).collect();
+        let set = unit_typed_idents(&code);
+        for name in ["a", "b", "d", "e"] {
+            assert!(set.contains(name), "{name} should be unit-typed");
+        }
+        for name in ["c", "g"] {
+            assert!(!set.contains(name), "{name} should not be unit-typed");
+        }
     }
 
     #[test]

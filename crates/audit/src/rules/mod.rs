@@ -6,6 +6,7 @@ pub mod accounting;
 pub mod float_eq;
 pub mod no_platform_leak;
 pub mod trace_coverage;
+pub mod units;
 pub mod unordered_iter;
 pub mod unwrap_lib;
 pub mod wall_clock;
@@ -42,6 +43,8 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(wall_clock::WallClock),
         Box::new(unordered_iter::UnorderedIter),
         Box::new(accounting::UncheckedAccounting),
+        Box::new(units::TypedUnits),
+        Box::new(units::NoRawUnitCast),
         Box::new(float_eq::FloatEq),
         Box::new(unwrap_lib::UnwrapInLib),
         Box::new(no_platform_leak::PlatformLeak),

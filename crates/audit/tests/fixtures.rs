@@ -44,6 +44,33 @@ fn seeded_fixture_fires_accounting_arithmetic() {
 }
 
 #[test]
+fn seeded_fixture_fires_typed_units() {
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "typed-units");
+    // `tally(bytes: u64)` plus `span_cost(len_bytes: u64, dur_ns: u64)`.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert!(hits.iter().all(|h| h.path.contains("gh-mem/src/lib.rs")));
+    assert!(
+        hits.iter().any(|h| h.msg.contains("gh_units::Bytes")),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter().any(|h| h.msg.contains("gh_units::SimNs")),
+        "{hits:?}"
+    );
+}
+
+#[test]
+fn seeded_fixture_fires_no_raw_unit_cast() {
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "no-raw-unit-cast");
+    // One `as u64` launder plus one `.0` escape, both in `escape_hatch`.
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().any(|h| h.msg.contains("widen")), "{hits:?}");
+    assert!(hits.iter().any(|h| h.msg.contains(".get()")), "{hits:?}");
+}
+
+#[test]
 fn seeded_fixture_fires_no_float_eq() {
     let f = audit("seeded");
     let hits = rule_hits(&f, "no-float-eq");

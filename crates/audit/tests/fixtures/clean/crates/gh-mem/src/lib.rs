@@ -1,6 +1,7 @@
 //! Clean fixture: the disciplined twin of `seeded`. Same shapes, zero
 //! findings — including one well-formed, reasoned suppression.
 
+use gh_units::{widen, Bytes};
 use std::collections::BTreeMap;
 
 pub struct Counters {
@@ -10,9 +11,11 @@ pub struct Counters {
 }
 
 impl Counters {
-    // Saturating accumulation: overflow clamps instead of wrapping.
-    pub fn tally(&mut self, bytes: u64) {
-        self.total_bytes = self.total_bytes.saturating_add(bytes);
+    // Saturating accumulation: overflow clamps instead of wrapping. The
+    // byte quantity crosses the public API as a gh-units newtype and is
+    // unwrapped through the sanctioned `.get()` accessor.
+    pub fn tally(&mut self, bytes: Bytes) {
+        self.total_bytes = self.total_bytes.saturating_add(bytes.get());
     }
 
     // BTreeMap iterates in key order; no randomness reaches the output.
@@ -51,7 +54,14 @@ impl Counters {
 }
 
 // The platform-respecting twin of seeded's `build_machine`: only the
-// abstract seam is named, never the backend cost-model types.
-pub fn build_machine(pool_bytes: u64) -> u64 {
-    pool_bytes
+// abstract seam is named, never the backend cost-model types, and the
+// byte quantity is typed.
+pub fn build_machine(pool_bytes: Bytes) -> u64 {
+    pool_bytes.get()
+}
+
+// The disciplined twin of seeded's `span_cost`/`escape_hatch`: typed
+// parameters, `widen` for the usize conversion, `.get()` as the exit.
+pub fn span_cost(lens: &[usize]) -> u64 {
+    widen(lens.len())
 }

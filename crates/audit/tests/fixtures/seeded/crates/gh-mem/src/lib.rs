@@ -52,3 +52,16 @@ pub fn suppressed(x: Option<u64>) -> u64 {
 pub fn build_machine(params: &CostParams) -> u64 {
     params.total_bytes
 }
+
+// typed-units: unit-named raw-u64 parameters crossing a public API of a
+// model crate (the third hit is `tally`'s `bytes: u64` above).
+pub fn span_cost(len_bytes: u64, dur_ns: u64) -> u64 {
+    len_bytes.saturating_add(dur_ns)
+}
+
+// no-raw-unit-cast: an `as u64` launder and a `.0` newtype escape.
+pub struct RawBytes(pub u64);
+
+pub fn escape_hatch(count: u32, b: &RawBytes) -> u64 {
+    (count as u64).saturating_add(b.0)
+}

@@ -15,6 +15,7 @@ use gh_mem::radix::RadixTable;
 use gh_mem::tlb::Tlb;
 use gh_qsim::{Gate2, StateVector};
 use gh_sim::{platform, MemMode};
+use gh_units::{Bytes, Vpn};
 
 fn iters() -> usize {
     if gh_bench::fast_requested() {
@@ -67,11 +68,11 @@ fn bench_pagetable() {
         || PageTable::new(4096),
         |mut pt| {
             for v in 0..2048 {
-                pt.populate(v, Node::Cpu, v + 1);
+                pt.populate(Vpn::new(v), Node::Cpu, v + 1);
             }
             let mut hits = 0;
             for v in 0..2048 {
-                if pt.translate(v).is_some() {
+                if pt.translate(Vpn::new(v)).is_some() {
                     hits += 1;
                 }
             }
@@ -87,8 +88,8 @@ fn bench_tlb() {
         |mut tlb| {
             let mut misses = 0;
             for v in 0..10_000u64 {
-                if !tlb.lookup(v) {
-                    tlb.fill(v);
+                if !tlb.lookup(Vpn::new(v)) {
+                    tlb.fill(Vpn::new(v));
                     misses += 1;
                 }
             }
@@ -100,12 +101,12 @@ fn bench_tlb() {
 fn bench_physmem() {
     bench(
         "physmem_alloc_release",
-        || PhysMem::new(1 << 30, 1 << 27, 0),
+        || PhysMem::new(Bytes::new(1 << 30), Bytes::new(1 << 27), Bytes::ZERO),
         |mut pm| {
             for _ in 0..1000 {
-                let f = pm.alloc(Node::Gpu, 65536).unwrap();
+                let f = pm.alloc(Node::Gpu, Bytes::new(65536)).unwrap();
                 black_box(f);
-                pm.release(Node::Gpu, 65536);
+                pm.release(Node::Gpu, Bytes::new(65536));
             }
         },
     );
@@ -116,7 +117,7 @@ fn bench_kernel_span() {
         "kernel_dense_span_64MiB_system",
         || {
             let mut m = platform::gh200().machine();
-            let buf = m.rt.malloc_system(64 << 20, "x");
+            let buf = m.rt.malloc_system(Bytes::new(64 << 20), "x");
             m.rt.cpu_write(&buf, 0, 64 << 20);
             (m, buf)
         },
@@ -143,7 +144,7 @@ fn bench_gate_apply() {
 fn bench_setcache() {
     bench(
         "setcache_stream_64k_lines",
-        || gh_mem::SetCache::new(40 << 20, 128, 16),
+        || gh_mem::SetCache::new(Bytes::new(40 << 20), Bytes::new(128), 16),
         |mut l2| {
             let mut misses = 0;
             for i in 0..65_536u64 {

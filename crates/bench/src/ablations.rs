@@ -95,9 +95,11 @@ pub fn host_register(fast: bool) -> Csv {
         for register in [false, true] {
             let mut m = machine_for(page4k);
             m.rt.cuda_init();
-            let j = m.rt.malloc_system(bytes, "J");
+            let j = m.rt.malloc_system(gh_units::Bytes::new(bytes), "J");
             let derivs: Vec<_> = (0..5)
-                .map(|i| m.rt.malloc_system(bytes, &format!("d{i}")))
+                .map(|i| {
+                    m.rt.malloc_system(gh_units::Bytes::new(bytes), &format!("d{i}"))
+                })
                 .collect();
             m.rt.cpu_write(&j, 0, bytes);
             let mut reg_cost = 0;
@@ -163,9 +165,13 @@ pub fn numa_placement(fast: bool) -> Csv {
             .machine_cfg(&MachineConfig::without_migration())
             .expect("default GH200 configuration is valid");
         m.rt.cuda_init();
-        let temp = m.rt.malloc_system_with_policy(bytes, policy, "temp");
-        let power = m.rt.malloc_system_with_policy(bytes, policy, "power");
-        let scratch = m.rt.cuda_malloc(bytes, "scratch").unwrap();
+        let temp =
+            m.rt.malloc_system_with_policy(gh_units::Bytes::new(bytes), policy, "temp");
+        let power =
+            m.rt.malloc_system_with_policy(gh_units::Bytes::new(bytes), policy, "power");
+        let scratch =
+            m.rt.cuda_malloc(gh_units::Bytes::new(bytes), "scratch")
+                .unwrap();
         m.phase(gh_profiler::Phase::CpuInit);
         m.rt.cpu_write(&temp, 0, bytes);
         m.rt.cpu_write(&power, 0, bytes);

@@ -15,9 +15,9 @@ pub fn run(fast: bool) -> Csv {
     // GPU HBM STREAM triad: a = b + s*c on device memory.
     {
         let mut m = oversized_machine(bytes);
-        let a = m.rt.cuda_malloc(bytes, "a").unwrap();
-        let b = m.rt.cuda_malloc(bytes, "b").unwrap();
-        let c = m.rt.cuda_malloc(bytes, "c").unwrap();
+        let a = m.rt.cuda_malloc(gh_units::Bytes::new(bytes), "a").unwrap();
+        let b = m.rt.cuda_malloc(gh_units::Bytes::new(bytes), "b").unwrap();
+        let c = m.rt.cuda_malloc(gh_units::Bytes::new(bytes), "c").unwrap();
         let mut k = m.rt.launch("triad");
         k.read(&b, 0, bytes);
         k.read(&c, 0, bytes);
@@ -48,8 +48,10 @@ pub fn run(fast: bool) -> Csv {
     // and device memory.
     for (dir, paper) in [("h2d", "375"), ("d2h", "297")] {
         let mut m = oversized_machine(bytes);
-        let h = m.rt.cuda_malloc_host(bytes, "host");
-        let d = m.rt.cuda_malloc(bytes, "dev").unwrap();
+        let h = m.rt.cuda_malloc_host(gh_units::Bytes::new(bytes), "host");
+        let d =
+            m.rt.cuda_malloc(gh_units::Bytes::new(bytes), "dev")
+                .unwrap();
         let t0 = m.rt.now();
         if dir == "h2d" {
             m.rt.memcpy(&d, 0, &h, 0, bytes);

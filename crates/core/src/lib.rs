@@ -13,7 +13,7 @@
 //! // would boot the unified-physical-memory contrast machine instead.
 //! let mut m = platform::gh200().machine();
 //! m.phase(Phase::Alloc);
-//! let buf = m.rt.malloc_system(1 << 20, "data");
+//! let buf = m.rt.malloc_system(gh_units::Bytes::new(1 << 20), "data");
 //! m.phase(Phase::CpuInit);
 //! m.rt.cpu_write(&buf, 0, 1 << 20);
 //! m.phase(Phase::Compute);

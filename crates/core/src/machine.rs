@@ -27,6 +27,18 @@ pub struct Machine {
     /// Experiment steps that were requested but are meaningless on this
     /// platform; surfaced verbatim in the run report.
     not_applicable: Vec<String>,
+    /// Invariant sanitizer (`Some` under `GH_SANITIZE=1`, or always in
+    /// debug builds). Observation-only: checking never advances the
+    /// clock or mutates runtime state, so a sanitized run is bitwise
+    /// identical to an unsanitized one.
+    sanitizer: Option<gh_units::sanitizer::Sanitizer>,
+    /// Label of the phase currently open (snapshots are taken when it
+    /// closes).
+    open_phase: Option<&'static str>,
+    /// Whether the trace bus was recording when the machine booted; the
+    /// sanitizer's link-conservation check needs whole-lifetime counters,
+    /// so it only trusts the bus when this was and stays true.
+    traced_from_boot: bool,
 }
 
 impl Machine {
@@ -48,6 +60,9 @@ impl Machine {
             phase_span_open: false,
             caps,
             not_applicable: Vec::new(),
+            sanitizer: gh_units::sanitizer::enabled().then(gh_units::sanitizer::Sanitizer::new),
+            open_phase: None,
+            traced_from_boot: gh_trace::enabled(),
         }
     }
 
@@ -74,6 +89,7 @@ impl Machine {
 
     /// Enters an experiment phase (closes the previous one).
     pub fn phase(&mut self, p: Phase) {
+        self.sanitize_closed_phase();
         let now = self.rt.now();
         self.timer.enter(p, now);
         if self.phase_span_open {
@@ -81,6 +97,23 @@ impl Machine {
         }
         gh_trace::span_enter(p.label(), "phase");
         self.phase_span_open = gh_trace::enabled();
+        self.open_phase = Some(p.label());
+    }
+
+    /// Feeds the just-closed phase's accounting state to the sanitizer.
+    fn sanitize_closed_phase(&mut self) {
+        let Some(san) = self.sanitizer.as_mut() else {
+            return;
+        };
+        let Some(label) = self.open_phase else {
+            return; // nothing ran yet
+        };
+        let traced = self.traced_from_boot && gh_trace::enabled();
+        san.check(
+            &self
+                .rt
+                .sanitizer_snapshot(label, self.caps.migration, traced),
+        );
     }
 
     /// Records the application's correctness checksum.
@@ -116,7 +149,7 @@ impl Machine {
             if balloon_bytes > 0 {
                 let b = self
                     .rt
-                    .cuda_malloc(balloon_bytes, "balloon")
+                    .cuda_malloc(gh_units::Bytes::new(balloon_bytes), "balloon")
                     .expect("balloon fits in free memory by construction"); // gh-audit: allow(no-unwrap-in-lib) -- balloon size is computed from free memory just above
                 self.balloon = Some(b);
             }
@@ -133,7 +166,18 @@ impl Machine {
 
     /// Closes the run and extracts the report. Consumes the machine.
     pub fn finish(mut self) -> RunReport {
+        self.sanitize_closed_phase();
         self.release_balloon();
+        // Final snapshot after teardown: frees must conserve too.
+        if let Some(san) = self.sanitizer.as_mut() {
+            let traced = self.traced_from_boot && gh_trace::enabled();
+            san.check(
+                &self
+                    .rt
+                    .sanitizer_snapshot("finish", self.caps.migration, traced),
+            );
+        }
+        let sanitizer = self.sanitizer.take().map(|s| s.finish());
         if self.phase_span_open {
             gh_trace::span_exit();
             self.phase_span_open = false;
@@ -162,6 +206,7 @@ impl Machine {
             checksum,
             not_applicable: self.not_applicable,
             trace,
+            sanitizer,
         }
     }
 }
@@ -175,7 +220,7 @@ mod tests {
     fn phases_are_recorded() {
         let mut m = Machine::default_gh200();
         m.phase(Phase::Alloc);
-        let b = m.rt.malloc_system(MIB, "x");
+        let b = m.rt.malloc_system(gh_units::Bytes::new(MIB), "x");
         m.phase(Phase::CpuInit);
         m.rt.cpu_write(&b, 0, MIB);
         m.phase(Phase::Dealloc);
@@ -235,6 +280,65 @@ mod tests {
         let r = m.finish();
         assert_eq!(r.platform, "gh200");
         assert!(r.not_applicable.is_empty());
+    }
+
+    #[test]
+    fn sanitizer_report_is_clean_for_a_simple_run() {
+        let mut m = Machine::default_gh200();
+        m.phase(Phase::Alloc);
+        let b = m.rt.malloc_system(gh_units::Bytes::new(MIB), "x");
+        m.phase(Phase::CpuInit);
+        m.rt.cpu_write(&b, 0, MIB);
+        m.phase(Phase::Dealloc);
+        m.rt.free(b);
+        let r = m.finish();
+        // Sanitizer is on by default in debug builds (GH_SANITIZE may
+        // still force it off, hence the `if let`).
+        if let Some(s) = r.sanitizer {
+            assert!(s.is_clean(), "{s}");
+            assert!(s.snapshots >= 4, "{s}"); // 3 phases + finish
+        }
+    }
+
+    #[test]
+    fn sanitizer_checks_link_conservation_when_traced() {
+        gh_trace::enable();
+        let mut m = Machine::default_gh200();
+        m.phase(Phase::Alloc);
+        let d =
+            m.rt.cuda_malloc(gh_units::Bytes::new(MIB), "d")
+                .expect("fits");
+        let h = m.rt.cuda_malloc_host(gh_units::Bytes::new(MIB), "h");
+        m.phase(Phase::Compute);
+        m.rt.memcpy(&d, 0, &h, 0, MIB); // H2D over the link
+        m.rt.memcpy(&h, 0, &d, 0, MIB); // D2H back
+        m.phase(Phase::Dealloc);
+        m.rt.free(d);
+        m.rt.free(h);
+        let r = m.finish();
+        gh_trace::disable();
+        if let Some(s) = r.sanitizer {
+            assert!(s.is_clean(), "{s}");
+            // Conservation ran: clock + capacity + residency + link per
+            // snapshot (capability gating early-returns on gh200, and
+            // without tracing only the first three would count).
+            assert!(s.checks >= 4 * s.snapshots, "{s}");
+        }
+    }
+
+    #[test]
+    fn sanitizer_is_clean_on_a_unified_pool() {
+        let mut m = crate::platform::mi300a().machine();
+        m.phase(Phase::Alloc);
+        let b = m.rt.malloc_system(gh_units::Bytes::new(MIB), "x");
+        m.phase(Phase::CpuInit);
+        m.rt.cpu_write(&b, 0, MIB);
+        m.phase(Phase::Dealloc);
+        m.rt.free(b);
+        let r = m.finish();
+        if let Some(s) = r.sanitizer {
+            assert!(s.is_clean(), "{s}");
+        }
     }
 
     #[test]

@@ -258,7 +258,7 @@ pub fn by_name(name: &str) -> Result<&'static dyn Platform, PlatformError> {
 /// Time to move `bytes` at `bw` bytes/ns — re-exported here so harness
 /// crates can compute analytic bounds without naming cost-model types.
 pub fn transfer_ns(bytes: u64, bw: f64) -> u64 {
-    CostParams::transfer_ns(bytes, bw)
+    CostParams::transfer_ns(gh_units::Bytes::new(bytes), bw)
 }
 
 /// Applies a [`MachineConfig`] page-size request to a parameter set,

@@ -160,7 +160,7 @@ pub fn replay_on(
                 if bufs.contains_key(&name) {
                     return Err(err(n, format!("buffer '{name}' already exists")));
                 }
-                let bytes = size_at(3)?;
+                let bytes = gh_units::Bytes::new(size_at(3)?);
                 let kind =
                     match (tok[2], mode) {
                         ("system", Some(MemMode::Managed))

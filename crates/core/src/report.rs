@@ -32,6 +32,9 @@ pub struct RunReport {
     /// Structured trace drained from the observability bus at `finish`
     /// (`None` when tracing was disabled for the run).
     pub trace: Option<gh_trace::TraceData>,
+    /// Invariant sanitizer verdict (`None` when the sanitizer was off —
+    /// it runs under `GH_SANITIZE=1`, or always in debug builds).
+    pub sanitizer: Option<gh_units::sanitizer::SanitizerReport>,
 }
 
 impl RunReport {
@@ -137,6 +140,26 @@ impl RunReport {
         }
         o.push_str("],\"checksum\":");
         o.push_str(&gh_trace::json::f64_value(self.checksum));
+        if let Some(s) = &self.sanitizer {
+            let _ = write!(
+                o,
+                ",\"sanitizer\":{{\"snapshots\":{},\"checks\":{},\"violations\":[",
+                s.snapshots, s.checks
+            );
+            for (i, v) in s.violations.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                let _ = write!(o, "{{\"invariant\":");
+                gh_trace::json::quote_into(&mut o, &v.invariant.to_string());
+                o.push_str(",\"phase\":");
+                gh_trace::json::quote_into(&mut o, &v.phase);
+                o.push_str(",\"detail\":");
+                gh_trace::json::quote_into(&mut o, &v.detail);
+                o.push('}');
+            }
+            o.push_str("]}");
+        }
         o.push('}');
         o
     }
@@ -194,6 +217,7 @@ mod tests {
             checksum: 0.0,
             not_applicable: vec![],
             trace: None,
+            sanitizer: None,
         };
         assert_eq!(r.kernel_time_named("srad1"), 10);
         assert_eq!(r.kernel_time_named("srad"), 30);
@@ -228,6 +252,7 @@ mod json_tests {
             checksum: 1.5,
             not_applicable: vec![],
             trace: None,
+            sanitizer: None,
         }
     }
 

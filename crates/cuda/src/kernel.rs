@@ -28,20 +28,21 @@ use gh_mem::params::CostParams;
 use gh_mem::phys::Node;
 use gh_mem::traffic::KernelTraffic;
 use gh_os::VaRange;
+use gh_units::{ns_from_f64, widen, Bytes, Lines, Pages, Vpn};
 
 use crate::buffer::{BufKind, Buffer};
 use crate::runtime::Runtime;
 use crate::uvm::{block_of, block_range};
 
 /// TLB key namespace for system-page-table translations.
-pub(crate) fn tlb_key_sys(vpn: u64) -> u64 {
+pub(crate) fn tlb_key_sys(vpn: Vpn) -> Vpn {
     vpn
 }
 
 /// TLB key namespace for GPU-exclusive-page-table translations
 /// (2 MiB-grain entries).
-pub(crate) fn tlb_key_gpu(vpn: u64) -> u64 {
-    vpn | (1 << 63)
+pub(crate) fn tlb_key_gpu(vpn: Vpn) -> Vpn {
+    Vpn::new(vpn.get() | (1 << 63))
 }
 
 /// How many translation requests the GPU keeps in flight; ATS latency is
@@ -77,6 +78,13 @@ pub struct KernelReport {
     pub by_buffer: Vec<BufferTraffic>,
 }
 
+/// Per-buffer byte attribution accumulator (remote vs. local).
+#[derive(Debug, Clone, Copy, Default)]
+struct BufBytes {
+    c2c: u64,
+    hbm: u64,
+}
+
 /// An in-flight kernel recording.
 #[derive(Debug)]
 pub struct Kernel<'r> {
@@ -86,14 +94,14 @@ pub struct Kernel<'r> {
     compute_units: u64,
     hbm_stream: u64,
     hbm_random: u64,
-    c2c_read_lines: u64,
-    c2c_write_lines: u64,
-    c2c_read_lines_rand: u64,
-    c2c_write_lines_rand: u64,
+    c2c_read_lines: Lines,
+    c2c_write_lines: Lines,
+    c2c_read_lines_rand: Lines,
+    c2c_write_lines_rand: Lines,
     xlat_misses: u64,
     t: KernelTraffic,
-    /// Per-buffer (c2c, hbm) byte attribution.
-    by_buffer: std::collections::BTreeMap<u32, (u64, u64)>,
+    /// Per-buffer byte attribution.
+    by_buffer: std::collections::BTreeMap<u32, BufBytes>,
     /// GPU L2 model for irregular remote accesses: a line fetched once
     /// this kernel is served from cache on re-touch.
     l2: gh_mem::SetCache,
@@ -104,7 +112,11 @@ impl<'r> Kernel<'r> {
     pub(crate) fn new(rt: &'r mut Runtime, name: &str) -> Self {
         rt.uvm.migrated_this_kernel.clear();
         let start = rt.now();
-        let l2 = gh_mem::SetCache::new(rt.params.gpu_l2_bytes, rt.params.gpu_cacheline, 16);
+        let l2 = gh_mem::SetCache::new(
+            Bytes::new(rt.params.gpu_l2_bytes),
+            Bytes::new(rt.params.gpu_cacheline),
+            16,
+        );
         Self {
             rt,
             name: name.to_string(),
@@ -112,10 +124,10 @@ impl<'r> Kernel<'r> {
             compute_units: 0,
             hbm_stream: 0,
             hbm_random: 0,
-            c2c_read_lines: 0,
-            c2c_write_lines: 0,
-            c2c_read_lines_rand: 0,
-            c2c_write_lines_rand: 0,
+            c2c_read_lines: Lines::ZERO,
+            c2c_write_lines: Lines::ZERO,
+            c2c_read_lines_rand: Lines::ZERO,
+            c2c_write_lines_rand: Lines::ZERO,
             xlat_misses: 0,
             t: KernelTraffic::default(),
             by_buffer: std::collections::BTreeMap::new(),
@@ -170,20 +182,22 @@ impl<'r> Kernel<'r> {
     /// apart (the `cudaMemcpy2D` addressing convention). Dense within
     /// rows; the stride classifies it as irregular when rows are narrow
     /// relative to the pitch.
-    pub fn read_2d(&mut self, buf: &Buffer, off: u64, row_bytes: u64, pitch: u64, rows: u64) {
-        if row_bytes == pitch {
-            self.read(buf, off, row_bytes * rows);
+    pub fn read_2d(&mut self, buf: &Buffer, off: u64, row_bytes: Bytes, pitch: u64, rows: u64) {
+        let row = row_bytes.get();
+        if row == pitch {
+            self.read(buf, off, row * rows);
         } else {
-            self.read_strided(buf, off, row_bytes, pitch, rows);
+            self.read_strided(buf, off, row, pitch, rows);
         }
     }
 
     /// 2-D sub-grid write; see [`Kernel::read_2d`].
-    pub fn write_2d(&mut self, buf: &Buffer, off: u64, row_bytes: u64, pitch: u64, rows: u64) {
-        if row_bytes == pitch {
-            self.write(buf, off, row_bytes * rows);
+    pub fn write_2d(&mut self, buf: &Buffer, off: u64, row_bytes: Bytes, pitch: u64, rows: u64) {
+        let row = row_bytes.get();
+        if row == pitch {
+            self.write(buf, off, row * rows);
         } else {
-            self.write_strided(buf, off, row_bytes, pitch, rows);
+            self.write_strided(buf, off, row, pitch, rows);
         }
     }
 
@@ -192,10 +206,10 @@ impl<'r> Kernel<'r> {
         &mut self,
         buf: &Buffer,
         offsets: I,
-        bytes_each: u64,
+        bytes_each: Bytes,
     ) {
         for off in offsets {
-            self.span(buf, off, bytes_each, false, true);
+            self.span(buf, off, bytes_each.get(), false, true);
         }
     }
 
@@ -204,10 +218,10 @@ impl<'r> Kernel<'r> {
         &mut self,
         buf: &Buffer,
         offsets: I,
-        bytes_each: u64,
+        bytes_each: Bytes,
     ) {
         for off in offsets {
-            self.span(buf, off, bytes_each, true, true);
+            self.span(buf, off, bytes_each.get(), true, true);
         }
     }
 
@@ -219,10 +233,10 @@ impl<'r> Kernel<'r> {
         }
         assert!(off + len <= buf.len(), "kernel access out of range");
         let span = buf.range.slice(off, len);
-        let before = (
-            self.t.c2c_read + self.t.c2c_write,
-            self.t.hbm_read + self.t.hbm_write,
-        );
+        let before = BufBytes {
+            c2c: self.t.c2c_read + self.t.c2c_write,
+            hbm: self.t.hbm_read + self.t.hbm_write,
+        };
         match buf.kind {
             BufKind::Device => self.span_device(span, write, random),
             // In a unified pool every host-visible kind is just mapped
@@ -234,9 +248,13 @@ impl<'r> Kernel<'r> {
             BufKind::System => self.span_system(span, write, random),
             BufKind::Managed => self.span_managed(buf.range, span, write, random),
         }
-        let entry = self.by_buffer.entry(buf.id()).or_insert((0, 0));
-        entry.0 += self.t.c2c_read + self.t.c2c_write - before.0;
-        entry.1 += self.t.hbm_read + self.t.hbm_write - before.1;
+        let entry = self.by_buffer.entry(buf.id()).or_default();
+        entry.c2c = entry
+            .c2c
+            .saturating_add((self.t.c2c_read + self.t.c2c_write).saturating_sub(before.c2c));
+        entry.hbm = entry
+            .hbm
+            .saturating_add((self.t.hbm_read + self.t.hbm_write).saturating_sub(before.hbm));
     }
 
     fn account_local(&mut self, bytes: u64, write: bool, random: bool) {
@@ -259,47 +277,44 @@ impl<'r> Kernel<'r> {
         // this kernel is served from cache on re-touch. Dense streams
         // bypass (no reuse; streaming loads are marked non-allocating).
         if random && bytes < 4 * line {
-            let missed = self.l2.access_range(addr, bytes.max(1));
-            if missed == 0 {
+            let missed = self.l2.access_range(addr, Bytes::new(bytes.max(1)));
+            if missed.is_zero() {
                 self.t.l1l2 = self.t.l1l2.saturating_add(bytes); // pure cache hit
                 return;
             }
-            let miss_bytes = missed * line;
+            let miss_bytes = missed.bytes(Bytes::new(line)).get();
             match write {
                 false => {
-                    self.c2c_read_lines_rand = self.c2c_read_lines_rand.saturating_add(missed);
+                    self.c2c_read_lines_rand += missed;
                     self.t.c2c_read = self.t.c2c_read.saturating_add(miss_bytes);
                 }
                 true => {
-                    self.c2c_write_lines_rand = self.c2c_write_lines_rand.saturating_add(missed);
+                    self.c2c_write_lines_rand += missed;
                     self.t.c2c_write = self.t.c2c_write.saturating_add(miss_bytes);
                 }
             }
             self.t.l1l2 = self.t.l1l2.saturating_add(bytes);
             return;
         }
-        let lines = bytes.div_ceil(line);
+        let lines = Lines::new(bytes.div_ceil(line));
         match (write, random) {
-            (false, false) => self.c2c_read_lines = self.c2c_read_lines.saturating_add(lines),
-            (false, true) => {
-                self.c2c_read_lines_rand = self.c2c_read_lines_rand.saturating_add(lines)
-            }
-            (true, false) => self.c2c_write_lines = self.c2c_write_lines.saturating_add(lines),
-            (true, true) => {
-                self.c2c_write_lines_rand = self.c2c_write_lines_rand.saturating_add(lines)
-            }
+            (false, false) => self.c2c_read_lines += lines,
+            (false, true) => self.c2c_read_lines_rand += lines,
+            (true, false) => self.c2c_write_lines += lines,
+            (true, true) => self.c2c_write_lines_rand += lines,
         }
+        let line_bytes = lines.bytes(Bytes::new(line)).get();
         if write {
-            self.t.c2c_write = self.t.c2c_write.saturating_add(lines * line);
+            self.t.c2c_write = self.t.c2c_write.saturating_add(line_bytes);
         } else {
-            self.t.c2c_read = self.t.c2c_read.saturating_add(lines * line);
+            self.t.c2c_read = self.t.c2c_read.saturating_add(line_bytes);
         }
         self.t.l1l2 = self.t.l1l2.saturating_add(bytes);
     }
 
     /// GPU TLB lookup; charges nothing directly, counts misses (latency is
     /// amortized at finish).
-    fn translate(&mut self, key: u64) {
+    fn translate(&mut self, key: Vpn) {
         if !self.rt.gpu_tlb.lookup(key) {
             self.rt.gpu_tlb.fill(key);
             self.xlat_misses = self.xlat_misses.saturating_add(1);
@@ -313,7 +328,7 @@ impl<'r> Kernel<'r> {
         while addr < span.end() {
             let page_end = (addr / gp + 1) * gp;
             let portion = page_end.min(span.end()) - addr;
-            let vpn = addr / gp;
+            let vpn = Vpn::new(addr / gp);
             debug_assert!(
                 self.rt.gpu_pt.is_populated(vpn),
                 "access to unmapped device page"
@@ -344,7 +359,7 @@ impl<'r> Kernel<'r> {
         while addr < span.end() {
             let page_end = (addr / spt + 1) * spt;
             let portion = page_end.min(span.end()) - addr;
-            let vpn = addr / spt;
+            let vpn = self.rt.os.system_pt.vpn(addr);
             self.translate(tlb_key_sys(vpn));
             let node = match self.rt.os.system_pt.translate(vpn) {
                 Some(pte) => pte.node,
@@ -408,24 +423,17 @@ impl<'r> Kernel<'r> {
         // migration attempts) once their pages exist.
         if self.rt.migration_advised_off(buf_range.addr) {
             let vpns = self.rt.os.system_pt.vpn_range(span.addr, span.len);
-            let cpu = self
-                .rt
-                .os
-                .system_pt
-                .count_resident_in(vpns.clone(), Node::Cpu);
-            let gpu = self
-                .rt
-                .os
-                .system_pt
-                .count_resident_in(vpns.clone(), Node::Gpu);
-            if cpu + gpu == vpns.end - vpns.start {
+            let cpu = self.rt.os.system_pt.count_resident_in(vpns, Node::Cpu);
+            let gpu = self.rt.os.system_pt.count_resident_in(vpns, Node::Gpu);
+            if cpu + gpu == vpns.count() {
                 for vpn in vpns {
                     self.translate(tlb_key_sys(vpn));
                     if write {
                         self.rt.os.system_pt.mark_dirty(vpn);
                     }
                 }
-                let gpu_bytes = (gpu * spt).min(span.len);
+                let page = self.rt.os.system_pt.page();
+                let gpu_bytes = (gpu * page).get().min(span.len);
                 if gpu_bytes > 0 {
                     self.account_local(gpu_bytes, write, random);
                 }
@@ -453,17 +461,9 @@ impl<'r> Kernel<'r> {
                 continue;
             }
             let vpns = self.rt.os.system_pt.vpn_range(clip.addr, clip.len);
-            let n_pages = vpns.end - vpns.start;
-            let populated = self
-                .rt
-                .os
-                .system_pt
-                .count_resident_in(vpns.clone(), Node::Cpu)
-                + self
-                    .rt
-                    .os
-                    .system_pt
-                    .count_resident_in(vpns.clone(), Node::Gpu);
+            let n_pages = vpns.count();
+            let populated = self.rt.os.system_pt.count_resident_in(vpns, Node::Cpu)
+                + self.rt.os.system_pt.count_resident_in(vpns, Node::Gpu);
             if populated < n_pages {
                 // GPU first touch: block-granularity population, directly
                 // in GPU memory — the *fast* managed init path (§5.1.2).
@@ -482,12 +482,8 @@ impl<'r> Kernel<'r> {
                     gh_trace::observe("fault.cost_ns", cost);
                 }
             }
-            let cpu_pages = self
-                .rt
-                .os
-                .system_pt
-                .count_resident_in(vpns.clone(), Node::Cpu);
-            if cpu_pages > 0 {
+            let cpu_pages = self.rt.os.system_pt.count_resident_in(vpns, Node::Cpu);
+            if !cpu_pages.is_zero() {
                 // Replayable GPU fault → driver migrates the block in
                 // (or falls back to remote mapping under self-eviction).
                 let fault = self.rt.params.uvm_fault_batch;
@@ -531,23 +527,21 @@ impl<'r> Kernel<'r> {
                 } else {
                     // Remote mapping: cacheline-grain access to the
                     // CPU-resident pages of this block.
-                    let remote_bytes = (cpu_pages * spt).min(clip.len);
+                    let page = self.rt.os.system_pt.page();
+                    let remote_bytes = (cpu_pages * page).get().min(clip.len);
                     self.account_remote(clip.addr, remote_bytes, write, random);
-                    for vpn in vpns.clone() {
+                    for vpn in vpns {
                         self.translate(tlb_key_sys(vpn));
                     }
                 }
             }
             // Whatever is GPU-resident now is read/written locally.
-            let gpu_pages = self
-                .rt
-                .os
-                .system_pt
-                .count_resident_in(vpns.clone(), Node::Gpu);
-            if gpu_pages > 0 {
-                let local_bytes = (gpu_pages * spt).min(clip.len);
+            let gpu_pages = self.rt.os.system_pt.count_resident_in(vpns, Node::Gpu);
+            if !gpu_pages.is_zero() {
+                let page = self.rt.os.system_pt.page();
+                let local_bytes = (gpu_pages * page).get().min(clip.len);
                 self.account_local(local_bytes, write, random);
-                self.translate(tlb_key_gpu(block));
+                self.translate(tlb_key_gpu(Vpn::new(block)));
                 self.rt.uvm.touch_lru(block);
             }
             if write {
@@ -583,9 +577,9 @@ impl<'r> Kernel<'r> {
         // --- pipelined memory time ---
         let p = &self.rt.params;
         let mut mem: Ns = 0;
-        mem += CostParams::transfer_ns(self.hbm_stream, p.hbm_bw);
-        mem += CostParams::transfer_ns(self.hbm_random, p.hbm_bw * p.hbm_random_eff);
-        let line = p.gpu_cacheline;
+        mem += CostParams::transfer_ns(Bytes::new(self.hbm_stream), p.hbm_bw);
+        mem += CostParams::transfer_ns(Bytes::new(self.hbm_random), p.hbm_bw * p.hbm_random_eff);
+        let line = Bytes::new(p.gpu_cacheline);
         let (s_eff, r_eff) = (p.c2c_stream_eff, p.c2c_random_eff);
         mem += self
             .rt
@@ -608,7 +602,7 @@ impl<'r> Kernel<'r> {
             r_eff,
         );
         mem += self.xlat_misses * p.ats_translate / XLAT_OUTSTANDING;
-        let compute = (self.compute_units as f64 / p.gpu_throughput).ceil() as Ns;
+        let compute = ns_from_f64((self.compute_units as f64 / p.gpu_throughput).ceil());
         self.rt.tick(mem.max(compute));
 
         let time = self.rt.now() - self.start;
@@ -619,7 +613,7 @@ impl<'r> Kernel<'r> {
         let mut by_buffer: Vec<BufferTraffic> = self
             .by_buffer
             .iter()
-            .map(|(&id, &(c2c, hbm))| BufferTraffic {
+            .map(|(&id, &BufBytes { c2c, hbm })| BufferTraffic {
                 tag: self.rt.buffer_tag(id).unwrap_or("<freed>").to_string(),
                 c2c,
                 hbm,
@@ -663,7 +657,7 @@ impl<'r> Kernel<'r> {
             }
         };
         let cap = self.rt.params.counter_service_max_pages as usize;
-        let take: Vec<u64> = touched.iter().copied().take(cap).collect();
+        let take: Vec<Vpn> = touched.iter().copied().take(cap).collect();
         for vpn in &take {
             touched.remove(vpn);
         }
@@ -671,7 +665,7 @@ impl<'r> Kernel<'r> {
             self.rt.remote_touched.remove(&region);
         }
         self.rt.counters.clear(region);
-        let movable: Vec<u64> = take
+        let movable: Vec<Vpn> = take
             .into_iter()
             .filter(|&vpn| {
                 self.rt
@@ -681,37 +675,40 @@ impl<'r> Kernel<'r> {
                     .is_some_and(|pte| pte.node == Node::Cpu)
             })
             .collect();
-        let bytes = movable.len() as u64 * spt;
-        if bytes == 0 || self.rt.phys.free(Node::Gpu) < bytes {
+        let page = self.rt.os.system_pt.page();
+        let pages = Pages::new(widen(movable.len()));
+        let bytes = pages * page;
+        if bytes.is_zero() || self.rt.phys.free(Node::Gpu) < bytes {
             return 0;
         }
         for &vpn in &movable {
             self.rt.move_page(vpn, Node::Gpu);
         }
-        self.t.pages_migrated_in = self
-            .t
-            .pages_migrated_in
-            .saturating_add(movable.len() as u64);
-        self.t.bytes_migrated_in = self.t.bytes_migrated_in.saturating_add(bytes);
+        self.t.pages_migrated_in = self.t.pages_migrated_in.saturating_add(pages.get());
+        self.t.bytes_migrated_in = self.t.bytes_migrated_in.saturating_add(bytes.get());
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Counter,
                 dir: gh_trace::Dir::H2D,
-                pages: movable.len() as u64,
-                bytes,
+                pages: pages.get(),
+                bytes: bytes.get(),
             });
-            gh_trace::count("counters.pages_migrated_in", movable.len() as u64);
-            gh_trace::count("counters.bytes_migrated_in", bytes);
-            gh_trace::observe("migration.bytes", bytes);
+            gh_trace::count("counters.pages_migrated_in", pages.get());
+            gh_trace::count("counters.bytes_migrated_in", bytes.get());
+            gh_trace::observe("migration.bytes", bytes.get());
         }
         let transfer = self.rt.link.bulk(bytes, Direction::H2D);
         // In-flight stall (see CostParams::counter_stall_factor): grows
         // with the migration-unit (system page) size.
-        let stall = (transfer as f64
-            * ((spt as f64 / 4096.0) - 1.0).max(0.0)
-            * self.rt.params.counter_stall_factor) as Ns;
+        let stall = ns_from_f64(
+            transfer as f64
+                * ((spt as f64 / 4096.0) - 1.0).max(0.0)
+                * self.rt.params.counter_stall_factor,
+        );
         self.rt.params.counter_region_fixed
-            + movable.len() as u64 * self.rt.params.counter_migrate_fixed
+            + pages
+                .get()
+                .saturating_mul(self.rt.params.counter_migrate_fixed)
             + transfer
             + stall
     }
@@ -748,7 +745,7 @@ mod tests {
     #[test]
     fn device_access_is_local_hbm() {
         let mut r = rt();
-        let d = r.cuda_malloc(4 * MIB, "d").unwrap();
+        let d = r.cuda_malloc(Bytes::new(4 * MIB), "d").unwrap();
         let mut k = r.launch("k");
         k.read(&d, 0, 4 * MIB);
         k.write(&d, 0, MIB);
@@ -762,7 +759,7 @@ mod tests {
     #[test]
     fn system_cpu_resident_access_goes_over_c2c_without_migration() {
         let mut r = rt_nomig();
-        let b = r.malloc_system(4 * MIB, "s");
+        let b = r.malloc_system(Bytes::new(4 * MIB), "s");
         r.cpu_write(&b, 0, 4 * MIB);
         let rss_before = r.rss();
         let mut k = r.launch("k");
@@ -777,7 +774,7 @@ mod tests {
     #[test]
     fn system_gpu_first_touch_raises_ats_faults() {
         let mut r = rt_nomig();
-        let b = r.malloc_system(MIB, "s");
+        let b = r.malloc_system(Bytes::new(MIB), "s");
         let pages = MIB / r.params().system_page_size;
         let mut k = r.launch("init");
         k.write(&b, 0, MIB);
@@ -795,7 +792,7 @@ mod tests {
         // far more expensive than managed memory's block population.
         let sz = 16 * MIB;
         let mut rs = rt_nomig();
-        let bs = rs.malloc_system(sz, "s");
+        let bs = rs.malloc_system(Bytes::new(sz), "s");
         let t0 = rs.now();
         let mut k = rs.launch("init");
         k.write(&bs, 0, sz);
@@ -803,7 +800,7 @@ mod tests {
         let system_time = rs.now() - t0;
 
         let mut rm = rt_nomig();
-        let bm = rm.cuda_malloc_managed(sz, "m");
+        let bm = rm.cuda_malloc_managed(Bytes::new(sz), "m");
         let t0 = rm.now();
         let mut k = rm.launch("init");
         k.write(&bm, 0, sz);
@@ -818,7 +815,7 @@ mod tests {
     #[test]
     fn managed_cpu_resident_pages_migrate_on_gpu_access() {
         let mut r = rt();
-        let b = r.cuda_malloc_managed(8 * MIB, "m");
+        let b = r.cuda_malloc_managed(Bytes::new(8 * MIB), "m");
         r.cpu_write(&b, 0, 8 * MIB);
         assert_eq!(r.rss(), 8 * MIB);
         let mut k = r.launch("k");
@@ -843,7 +840,7 @@ mod tests {
             ..Default::default()
         };
         let mut r = Runtime::new(params, RuntimeOptions::default());
-        let b = r.malloc_system(8 * MIB, "s"); // 4 regions
+        let b = r.malloc_system(Bytes::new(8 * MIB), "s"); // 4 regions
         r.cpu_write(&b, 0, 8 * MIB);
         // Each kernel re-reads everything: regions get hot, driver
         // migrates one region per kernel.
@@ -868,7 +865,7 @@ mod tests {
     #[test]
     fn counter_migration_disabled_means_no_movement() {
         let mut r = rt_nomig();
-        let b = r.malloc_system(8 * MIB, "s");
+        let b = r.malloc_system(Bytes::new(8 * MIB), "s");
         r.cpu_write(&b, 0, 8 * MIB);
         for _ in 0..3 {
             let mut k = r.launch("k");
@@ -882,7 +879,7 @@ mod tests {
     #[test]
     fn strided_access_marks_random_and_touches_pages() {
         let mut r = rt_nomig();
-        let b = r.malloc_system(8 * MIB, "s");
+        let b = r.malloc_system(Bytes::new(8 * MIB), "s");
         r.cpu_write(&b, 0, 8 * MIB);
         let mut k = r.launch("k");
         // 1 KiB segments every 64 KiB: touches every 64K page but only
@@ -895,10 +892,10 @@ mod tests {
     #[test]
     fn gather_touches_individual_lines() {
         let mut r = rt_nomig();
-        let b = r.malloc_system(MIB, "s");
+        let b = r.malloc_system(Bytes::new(MIB), "s");
         r.cpu_write(&b, 0, MIB);
         let mut k = r.launch("k");
-        k.gather_read(&b, (0..100).map(|i| i * 8 * KIB), 8);
+        k.gather_read(&b, (0..100).map(|i| i * 8 * KIB), Bytes::new(8));
         let rep = k.finish();
         // Each 8-byte gather costs one full 128 B line remotely.
         assert_eq!(rep.traffic.c2c_read, 100 * 128);
@@ -918,7 +915,7 @@ mod tests {
     #[test]
     fn memory_and_compute_overlap() {
         let mut r = rt();
-        let d = r.cuda_malloc(34 * MIB, "d").unwrap();
+        let d = r.cuda_malloc(Bytes::new(34 * MIB), "d").unwrap();
         let mut k = r.launch("k");
         k.read(&d, 0, 34 * MIB); // ~10 µs at 3.4 TB/s
         k.compute(900_000_000); // 100 µs
@@ -933,7 +930,7 @@ mod tests {
     #[test]
     fn pinned_access_is_always_remote() {
         let mut r = rt();
-        let b = r.cuda_malloc_host(MIB, "p");
+        let b = r.cuda_malloc_host(Bytes::new(MIB), "p");
         let mut k = r.launch("k");
         k.read(&b, 0, MIB);
         let rep = k.finish();
@@ -952,7 +949,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn kernel_access_oob_panics() {
         let mut r = rt();
-        let b = r.malloc_system(KIB, "s"); // rounds up to one 64 KiB page
+        let b = r.malloc_system(Bytes::new(KIB), "s"); // rounds up to one 64 KiB page
         let mut k = r.launch("k");
         k.read(&b, 0, 128 * KIB);
         k.finish();
@@ -961,7 +958,7 @@ mod tests {
     #[test]
     fn mem_advise_read_mostly_blocks_counter_migration() {
         let mut r = rt();
-        let b = r.malloc_system(6 * MIB, "shared");
+        let b = r.malloc_system(Bytes::new(6 * MIB), "shared");
         r.cpu_write(&b, 0, 6 * MIB);
         r.cuda_mem_advise(&b, crate::runtime::MemAdvise::ReadMostly);
         for _ in 0..8 {
@@ -985,7 +982,7 @@ mod tests {
     #[test]
     fn mem_advise_read_mostly_keeps_managed_remote() {
         let mut r = rt();
-        let b = r.cuda_malloc_managed(4 * MIB, "shared");
+        let b = r.cuda_malloc_managed(Bytes::new(4 * MIB), "shared");
         r.cpu_write(&b, 0, 4 * MIB);
         r.cuda_mem_advise(&b, crate::runtime::MemAdvise::ReadMostly);
         let mut k = r.launch("reader");
@@ -1000,7 +997,7 @@ mod tests {
     #[test]
     fn mem_advise_preferred_gpu_steers_first_touch() {
         let mut r = rt();
-        let b = r.malloc_system(2 * MIB, "pref");
+        let b = r.malloc_system(Bytes::new(2 * MIB), "pref");
         r.cuda_mem_advise(&b, crate::runtime::MemAdvise::PreferredLocation(Node::Gpu));
         r.cpu_write(&b, 0, 2 * MIB);
         assert_eq!(r.rss(), 0, "CPU writes landed on the GPU node");
@@ -1010,13 +1007,13 @@ mod tests {
     #[test]
     fn read_2d_full_pitch_equals_dense() {
         let mut r = rt_nomig();
-        let b = r.malloc_system(MIB, "s");
+        let b = r.malloc_system(Bytes::new(MIB), "s");
         r.cpu_write(&b, 0, MIB);
         let mut k = r.launch("dense");
-        k.read_2d(&b, 0, 1024, 1024, 64);
+        k.read_2d(&b, 0, Bytes::new(1024), 1024, 64);
         let dense = k.finish().traffic;
         let mut k = r.launch("sub");
-        k.read_2d(&b, 0, 256, 1024, 64);
+        k.read_2d(&b, 0, Bytes::new(256), 1024, 64);
         let sub = k.finish().traffic;
         assert_eq!(dense.l1l2, 64 * 1024);
         assert_eq!(sub.l1l2, 64 * 256);
@@ -1026,9 +1023,9 @@ mod tests {
     #[test]
     fn per_buffer_attribution_identifies_top_talker() {
         let mut r = rt_nomig();
-        let remote = r.malloc_system(2 * MIB, "remote_buf");
+        let remote = r.malloc_system(Bytes::new(2 * MIB), "remote_buf");
         r.cpu_write(&remote, 0, 2 * MIB);
-        let local = r.cuda_malloc(4 * MIB, "local_buf").unwrap();
+        let local = r.cuda_malloc(Bytes::new(4 * MIB), "local_buf").unwrap();
         let mut k = r.launch("k");
         k.read(&remote, 0, 2 * MIB);
         k.read(&local, 0, 4 * MIB);
@@ -1045,7 +1042,7 @@ mod tests {
     #[test]
     fn l1l2_includes_local_and_remote() {
         let mut r = rt_nomig();
-        let b = r.malloc_system(2 * MIB, "s");
+        let b = r.malloc_system(Bytes::new(2 * MIB), "s");
         r.cpu_write(&b, 0, MIB); // half CPU-resident
         let mut k = r.launch("init_rest");
         k.write(&b, MIB, MIB); // half GPU first-touch

@@ -32,9 +32,10 @@
 //! ```
 //! use gh_cuda::{Runtime, RuntimeOptions};
 //! use gh_mem::params::CostParams;
+//! use gh_units::Bytes;
 //!
 //! let mut rt = Runtime::new(CostParams::default(), RuntimeOptions::default());
-//! let buf = rt.malloc_system(1 << 20, "data"); // plain malloc
+//! let buf = rt.malloc_system(Bytes::new(1 << 20), "data"); // plain malloc
 //! rt.cpu_write(&buf, 0, 1 << 20);              // CPU first touch
 //! let mut k = rt.launch("sweep");
 //! k.read(&buf, 0, 1 << 20);                    // GPU reads over NVLink-C2C

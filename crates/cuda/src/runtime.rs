@@ -12,6 +12,7 @@ use gh_mem::tlb::Tlb;
 use gh_mem::traffic::TrafficTotals;
 use gh_os::{Os, OsConfig, VmaKind};
 use gh_profiler::MemProfiler;
+use gh_units::{Bytes, Lines, Vpn};
 
 use crate::buffer::{BufKind, Buffer};
 
@@ -84,7 +85,7 @@ pub struct Runtime {
     /// across kernels; the migration driver moves exactly these (touched)
     /// pages, which is what produces 64 KiB-page amplification for
     /// sparse access patterns (Fig 7).
-    pub(crate) remote_touched: HashMap<u64, std::collections::BTreeSet<u64>>,
+    pub(crate) remote_touched: HashMap<u64, std::collections::BTreeSet<Vpn>>,
     /// Per-kernel durations `(name, ns)` in launch order.
     pub(crate) kernel_times: Vec<(String, gh_mem::clock::Ns)>,
     /// Timeline events for Chrome-trace export.
@@ -93,6 +94,10 @@ pub struct Runtime {
     ctx_ready: bool,
     pub(crate) kernel_seq: u64,
     pub(crate) opts: RuntimeOptions,
+    /// Cumulative pages moved between memories (every migration funnels
+    /// through [`Runtime::move_page`]). State-level: available without
+    /// tracing, feeds the sanitizer's capability-gating check.
+    pub(crate) migrated_pages: u64,
 }
 
 impl Runtime {
@@ -102,12 +107,15 @@ impl Runtime {
         let phys = if params.unified_pool {
             // MI300A-style single physical pool: `gpu_mem_bytes` is the
             // whole pool, shared by both nodes; `cpu_mem_bytes` is unused.
-            PhysMem::new_unified(params.gpu_mem_bytes, params.gpu_driver_baseline)
+            PhysMem::new_unified(
+                Bytes::new(params.gpu_mem_bytes),
+                Bytes::new(params.gpu_driver_baseline),
+            )
         } else {
             PhysMem::new(
-                params.cpu_mem_bytes,
-                params.gpu_mem_bytes,
-                params.gpu_driver_baseline,
+                Bytes::new(params.cpu_mem_bytes),
+                Bytes::new(params.gpu_mem_bytes),
+                Bytes::new(params.gpu_driver_baseline),
             )
         };
         let os = Os::new(params.clone(), opts.os.clone());
@@ -152,6 +160,7 @@ impl Runtime {
             ctx_ready: false,
             kernel_seq: 0,
             opts,
+            migrated_pages: 0,
         }
     }
 
@@ -184,12 +193,12 @@ impl Runtime {
 
     /// GPU used memory, `nvidia-smi` style (driver baseline included).
     pub fn gpu_used(&self) -> u64 {
-        self.phys.used(Node::Gpu)
+        self.phys.used(Node::Gpu).get()
     }
 
     /// Free GPU memory.
     pub fn gpu_free(&self) -> u64 {
-        self.phys.free(Node::Gpu)
+        self.phys.free(Node::Gpu).get()
     }
 
     /// Immutable view of the OS (page table inspection in tests).
@@ -200,6 +209,64 @@ impl Runtime {
     /// Immutable view of the interconnect (cumulative byte counters).
     pub fn link(&self) -> &Link {
         &self.link
+    }
+
+    /// Cumulative pages moved between memories over the machine's
+    /// lifetime (state-level counter, available without tracing).
+    pub fn migrated_pages(&self) -> u64 {
+        self.migrated_pages
+    }
+
+    /// Builds the invariant sanitizer's view of the accounting state.
+    /// `phase` labels the snapshot; `migration_supported` comes from the
+    /// platform capability set the machine layer owns; `traced` must only
+    /// be true when the bus was recording for the machine's whole
+    /// lifetime (the conservation right-hand side is cumulative).
+    pub fn sanitizer_snapshot<'a>(
+        &'a self,
+        phase: &'a str,
+        migration_supported: bool,
+        traced: bool,
+    ) -> gh_units::sanitizer::Snapshot<'a> {
+        let spt = &self.os.system_pt;
+        let expected_cpu = spt.resident_bytes(Node::Cpu) + self.gpu_pt.resident_bytes(Node::Cpu);
+        let expected_gpu = spt.resident_bytes(Node::Gpu)
+            + self.gpu_pt.resident_bytes(Node::Gpu)
+            + Bytes::new(self.params.gpu_driver_baseline);
+        // The conservation right-hand side: bytes the semantic call sites
+        // (UVM driver, access-counter driver, explicit copies) accounted
+        // for on the bus — maintained independently of the link's own
+        // bulk counters.
+        let traced_h2d = traced.then(|| {
+            Bytes::new(
+                gh_trace::counter_value("uvm.bytes_migrated_in")
+                    .saturating_add(gh_trace::counter_value("counters.bytes_migrated_in"))
+                    .saturating_add(gh_trace::counter_value("cuda.memcpy_bytes_h2d")),
+            )
+        });
+        let traced_d2h = traced.then(|| {
+            Bytes::new(
+                gh_trace::counter_value("uvm.bytes_migrated_out")
+                    .saturating_add(gh_trace::counter_value("cuda.memcpy_bytes_d2h")),
+            )
+        });
+        gh_units::sanitizer::Snapshot {
+            phase,
+            now: self.now(),
+            unified_pool: self.phys.is_unified(),
+            cpu_capacity: self.phys.capacity(Node::Cpu),
+            gpu_capacity: self.phys.capacity(Node::Gpu),
+            cpu_used: self.phys.used(Node::Cpu),
+            gpu_used: self.phys.used(Node::Gpu),
+            expected_cpu_used: expected_cpu,
+            expected_gpu_used: expected_gpu,
+            bulk_h2d: self.link.bulk_bytes_h2d(),
+            bulk_d2h: self.link.bulk_bytes_d2h(),
+            traced_h2d,
+            traced_d2h,
+            migration_supported,
+            migrated_pages: self.migrated_pages,
+        }
     }
 
     /// Immutable view of the SMMU counters.
@@ -271,8 +338,11 @@ impl Runtime {
     }
 
     pub(crate) fn observe(&mut self) {
-        self.profiler
-            .observe(self.clock.now(), self.os.rss(), self.phys.used(Node::Gpu));
+        self.profiler.observe(
+            self.clock.now(),
+            self.os.rss(),
+            self.phys.used(Node::Gpu).get(),
+        );
     }
 
     /// Charges the one-time GPU context initialization if not yet paid.
@@ -313,8 +383,8 @@ impl Runtime {
     }
 
     /// `malloc`: system-allocated memory. Lazy; no CUDA context involved.
-    pub fn malloc_system(&mut self, bytes: u64, tag: &str) -> Buffer {
-        let (range, cost) = self.os.mmap(bytes, VmaKind::System, tag);
+    pub fn malloc_system(&mut self, bytes: Bytes, tag: &str) -> Buffer {
+        let (range, cost) = self.os.mmap(bytes.get(), VmaKind::System, tag);
         self.tick(cost);
         self.register(range, BufKind::System, tag)
     }
@@ -323,7 +393,7 @@ impl Runtime {
     /// explicit NUMA placement policy (e.g. `numactl --membind=gpu`).
     pub fn malloc_system_with_policy(
         &mut self,
-        bytes: u64,
+        bytes: Bytes,
         policy: gh_os::NumaPolicy,
         tag: &str,
     ) -> Buffer {
@@ -336,26 +406,26 @@ impl Runtime {
 
     /// `numa_alloc_onnode`: system memory eagerly populated on `node`
     /// (Table 1's NUMA allocation interface).
-    pub fn numa_alloc_onnode(&mut self, bytes: u64, node: Node, tag: &str) -> Buffer {
+    pub fn numa_alloc_onnode(&mut self, bytes: Bytes, node: Node, tag: &str) -> Buffer {
         let (range, cost) = self.os.numa_alloc_onnode(bytes, node, tag, &mut self.phys);
         self.tick(cost);
         self.register(range, BufKind::System, tag)
     }
 
     /// `cudaMallocManaged`: unified managed memory. Lazy.
-    pub fn cuda_malloc_managed(&mut self, bytes: u64, tag: &str) -> Buffer {
+    pub fn cuda_malloc_managed(&mut self, bytes: Bytes, tag: &str) -> Buffer {
         self.ensure_ctx();
-        let (range, cost) = self.os.mmap(bytes, VmaKind::Managed, tag);
+        let (range, cost) = self.os.mmap(bytes.get(), VmaKind::Managed, tag);
         self.tick(cost + self.params.cuda_malloc_managed_fixed);
         self.register(range, BufKind::Managed, tag)
     }
 
     /// `cudaMalloc`: GPU-only memory, eagerly backed by HBM frames in the
     /// GPU-exclusive page table (2 MiB pages).
-    pub fn cuda_malloc(&mut self, bytes: u64, tag: &str) -> Result<Buffer, OutOfMemory> {
+    pub fn cuda_malloc(&mut self, bytes: Bytes, tag: &str) -> Result<Buffer, OutOfMemory> {
         self.ensure_ctx();
-        let gpu_page = self.params.gpu_page_size;
-        let rounded = bytes.div_ceil(gpu_page) * gpu_page;
+        let page = self.params.gpu_page();
+        let rounded = bytes.pages_ceil(page) * page;
         if self.phys.free(Node::Gpu) < rounded {
             return Err(OutOfMemory {
                 node: Node::Gpu,
@@ -363,25 +433,28 @@ impl Runtime {
                 free: self.phys.free(Node::Gpu),
             });
         }
-        let (range, _) = self.os.mmap(rounded, VmaKind::DeviceOnly, tag);
+        let (range, _) = self.os.mmap(rounded.get(), VmaKind::DeviceOnly, tag);
         let vpns = self.gpu_pt.vpn_range(range.addr, range.len);
-        let n_pages = vpns.end - vpns.start;
+        let n_pages = vpns.count();
         for vpn in vpns {
             let frame = self
                 .phys
-                .alloc(Node::Gpu, gpu_page)
+                .alloc(Node::Gpu, page.bytes())
                 .expect("free space was checked above"); // gh-audit: allow(no-unwrap-in-lib) -- free space checked by the branch guard above
             self.gpu_pt.populate(vpn, Node::Gpu, frame);
         }
-        let dt = self.params.cuda_malloc_fixed + n_pages * self.params.cuda_malloc_per_page;
+        let dt = self.params.cuda_malloc_fixed
+            + n_pages
+                .get()
+                .saturating_mul(self.params.cuda_malloc_per_page);
         self.tick(dt);
         Ok(self.register(range, BufKind::Device, tag))
     }
 
     /// `cudaMallocHost`: pinned CPU memory, populated eagerly.
-    pub fn cuda_malloc_host(&mut self, bytes: u64, tag: &str) -> Buffer {
+    pub fn cuda_malloc_host(&mut self, bytes: Bytes, tag: &str) -> Buffer {
         self.ensure_ctx();
-        let (range, mmap_cost) = self.os.mmap(bytes, VmaKind::Pinned, tag);
+        let (range, mmap_cost) = self.os.mmap(bytes.get(), VmaKind::Pinned, tag);
         let (pin_cost, _) = self.os.host_register(range, &mut self.phys);
         self.tick(mmap_cost + pin_cost + self.params.cuda_malloc_fixed);
         self.register(range, BufKind::Pinned, tag)
@@ -395,11 +468,11 @@ impl Runtime {
             .unwrap_or_else(|| panic!("double free or unknown buffer {}", buf.id)); // gh-audit: allow(no-unwrap-in-lib) -- double free is a caller bug; fail fast like the driver
         let dt = match buf.kind {
             BufKind::Device => {
-                let gpu_page = self.params.gpu_page_size;
+                let page = self.params.gpu_page();
                 let vpns = self.gpu_pt.vpn_range(buf.range.addr, buf.range.len);
                 let removed = self.gpu_pt.unmap_range(vpns);
                 for (vpn, pte) in &removed {
-                    self.phys.release(pte.node, gpu_page);
+                    self.phys.release(pte.node, page.bytes());
                     self.gpu_tlb.invalidate(crate::kernel::tlb_key_gpu(*vpn));
                 }
                 // Release the VA without system-page teardown (no system
@@ -411,9 +484,8 @@ impl Runtime {
             BufKind::Managed | BufKind::Pinned => {
                 self.uvm.forget_range(buf.range);
                 let os_cost = self.os.munmap(buf.range, &mut self.phys);
-                let spt = self.os.system_pt.page_size();
                 self.gpu_tlb
-                    .invalidate_range(buf.range.addr / spt..buf.range.end().div_ceil(spt));
+                    .invalidate_range(self.os.system_pt.vpn_range(buf.range.addr, buf.range.len));
                 os_cost + self.params.cuda_free_fixed
             }
         };
@@ -472,12 +544,13 @@ impl Runtime {
         }
         dt = dt.saturating_add(if self.params.unified_pool {
             // Single pool: every "copy" is HBM-to-HBM; no interconnect hop.
-            CostParams::transfer_ns(len, self.params.hbm_bw)
+            CostParams::transfer_ns(Bytes::new(len), self.params.hbm_bw)
         } else {
             match dir {
-                Some(d) => self.link.bulk(len, d),
-                None => CostParams::transfer_ns(len, self.params.hbm_bw)
-                    .max(CostParams::transfer_ns(len, self.params.lpddr_bw)),
+                Some(d) => self.link.bulk(Bytes::new(len), d),
+                None => CostParams::transfer_ns(Bytes::new(len), self.params.hbm_bw).max(
+                    CostParams::transfer_ns(Bytes::new(len), self.params.lpddr_bw),
+                ),
             }
         });
         let start = self.now();
@@ -500,6 +573,16 @@ impl Runtime {
                     pages: len.div_ceil(page),
                     bytes: len,
                 });
+                // Direction-split counters feed the sanitizer's link
+                // conservation check: bulk link bytes must equal the sum
+                // of bus-accounted migrations and explicit copies.
+                gh_trace::count(
+                    match d {
+                        Direction::H2D => "cuda.memcpy_bytes_h2d",
+                        Direction::D2H => "cuda.memcpy_bytes_d2h",
+                    },
+                    len,
+                );
             }
             gh_trace::count("cuda.memcpys", 1);
             gh_trace::count("cuda.memcpy_bytes", len);
@@ -560,9 +643,10 @@ impl Runtime {
         src: &Buffer,
         src_off: u64,
         src_pitch: u64,
-        row_bytes: u64,
+        row_bytes: Bytes,
         rows: u64,
     ) -> Ns {
+        let row_bytes = row_bytes.get();
         assert!(
             row_bytes <= dst_pitch && row_bytes <= src_pitch,
             "pitch < row"
@@ -591,7 +675,8 @@ impl Runtime {
         self.ensure_ctx();
         assert_eq!(buf.kind, BufKind::Device, "cuda_memset is a device API");
         assert!(off + len <= buf.len(), "memset out of range");
-        let dt = self.params.memcpy_fixed / 2 + CostParams::transfer_ns(len, self.params.hbm_bw);
+        let dt = self.params.memcpy_fixed / 2
+            + CostParams::transfer_ns(Bytes::new(len), self.params.hbm_bw);
         let start = self.now();
         self.tick(dt);
         self.trace("memset", "copy", start);
@@ -668,7 +753,10 @@ impl Runtime {
                     self.os.system_pt.mark_dirty(vpn);
                 }
             }
-            dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
+            dt = dt.saturating_add(CostParams::transfer_ns(
+                Bytes::new(chunk.len),
+                self.params.cpu_init_bw,
+            ));
             return dt;
         }
         match buf.kind {
@@ -677,12 +765,15 @@ impl Runtime {
                 // pages (on-demand migration back to CPU).
                 let vpns = self.os.system_pt.vpn_range(chunk.addr, chunk.len);
                 let gpu_pages = self.os.system_pt.count_resident_in(vpns, Node::Gpu);
-                if gpu_pages > 0 {
+                if !gpu_pages.is_zero() {
                     dt = dt.saturating_add(self.uvm_retrieve_to_cpu(chunk));
                 }
                 let (fault, _) = self.os.touch_cpu_range(chunk, &mut self.phys);
                 dt = dt.saturating_add(fault);
-                dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
+                dt = dt.saturating_add(CostParams::transfer_ns(
+                    Bytes::new(chunk.len),
+                    self.params.cpu_init_bw,
+                ));
             }
             BufKind::System => {
                 // Faults only for unpopulated pages; GPU-resident pages
@@ -716,18 +807,24 @@ impl Runtime {
                         Direction::D2H
                     };
                     dt = dt.saturating_add(self.link.cacheline_stream(
-                        remote_bytes / line,
-                        line,
+                        Lines::new(remote_bytes / line),
+                        Bytes::new(line),
                         dir,
                     ));
                 }
                 // The single-threaded host loop generates/consumes every
                 // byte at cpu_init_bw regardless of where pages live; the
                 // remote line traffic above is additional stall.
-                dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
+                dt = dt.saturating_add(CostParams::transfer_ns(
+                    Bytes::new(chunk.len),
+                    self.params.cpu_init_bw,
+                ));
             }
             BufKind::Pinned => {
-                dt = dt.saturating_add(CostParams::transfer_ns(chunk.len, self.params.cpu_init_bw));
+                dt = dt.saturating_add(CostParams::transfer_ns(
+                    Bytes::new(chunk.len),
+                    self.params.cpu_init_bw,
+                ));
             }
             BufKind::Device => unreachable!("checked above"), // gh-audit: allow(no-unwrap-in-lib) -- device buffers are rejected at function entry
         }
@@ -784,7 +881,7 @@ mod tests {
     #[test]
     fn malloc_system_skips_ctx_init() {
         let mut r = rt();
-        let b = r.malloc_system(MIB, "x");
+        let b = r.malloc_system(Bytes::new(MIB), "x");
         assert!(!r.ctx_ready());
         assert!(r.now() < 1_000_000, "no 250 ms ctx charge");
         assert_eq!(b.kind, BufKind::System);
@@ -795,10 +892,10 @@ mod tests {
     fn cuda_apis_charge_ctx_once() {
         let mut r = rt();
         let t0 = r.now();
-        r.cuda_malloc_managed(MIB, "a");
+        r.cuda_malloc_managed(Bytes::new(MIB), "a");
         let after_first = r.now();
         assert!(after_first - t0 >= r.params().ctx_init);
-        r.cuda_malloc_managed(MIB, "b");
+        r.cuda_malloc_managed(Bytes::new(MIB), "b");
         assert!(r.now() - after_first < r.params().ctx_init);
     }
 
@@ -806,7 +903,7 @@ mod tests {
     fn cuda_malloc_backs_with_hbm_eagerly() {
         let mut r = rt();
         let before = r.gpu_used();
-        let b = r.cuda_malloc(10 * MIB, "d").unwrap();
+        let b = r.cuda_malloc(Bytes::new(10 * MIB), "d").unwrap();
         assert_eq!(r.gpu_used() - before, 10 * MIB);
         assert_eq!(b.kind, BufKind::Device);
         r.free(b);
@@ -817,10 +914,10 @@ mod tests {
     fn cuda_malloc_oom_is_an_error() {
         let mut r = rt();
         let free = r.gpu_free();
-        let b = r.cuda_malloc(free - 2 * MIB, "big").unwrap();
-        assert!(r.cuda_malloc(4 * MIB, "more").is_err());
+        let b = r.cuda_malloc(Bytes::new(free - 2 * MIB), "big").unwrap();
+        assert!(r.cuda_malloc(Bytes::new(4 * MIB), "more").is_err());
         r.free(b);
-        assert!(r.cuda_malloc(4 * MIB, "now fits").is_ok());
+        assert!(r.cuda_malloc(Bytes::new(4 * MIB), "now fits").is_ok());
     }
 
     #[test]
@@ -832,7 +929,7 @@ mod tests {
     #[test]
     fn cpu_write_populates_system_pages() {
         let mut r = rt();
-        let b = r.malloc_system(256 * KIB, "x");
+        let b = r.malloc_system(Bytes::new(256 * KIB), "x");
         assert_eq!(r.rss(), 0);
         r.cpu_write(&b, 0, 256 * KIB);
         assert_eq!(r.rss(), 256 * KIB);
@@ -842,19 +939,19 @@ mod tests {
     #[test]
     fn memcpy_h2d_moves_bytes_over_link() {
         let mut r = rt();
-        let h = r.malloc_system(MIB, "h");
+        let h = r.malloc_system(Bytes::new(MIB), "h");
         r.cpu_write(&h, 0, MIB);
-        let d = r.cuda_malloc(MIB, "d").unwrap();
+        let d = r.cuda_malloc(Bytes::new(MIB), "d").unwrap();
         let before = r.link().bytes_h2d();
         r.memcpy(&d, 0, &h, 0, MIB);
-        assert_eq!(r.link().bytes_h2d() - before, MIB);
+        assert_eq!(r.link().bytes_h2d() - before, Bytes::new(MIB));
     }
 
     #[test]
     fn memcpy_faults_in_untouched_host_source() {
         let mut r = rt();
-        let h = r.malloc_system(MIB, "h");
-        let d = r.cuda_malloc(MIB, "d").unwrap();
+        let h = r.malloc_system(Bytes::new(MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(MIB), "d").unwrap();
         r.memcpy(&d, 0, &h, 0, MIB); // no prior cpu_write
         assert_eq!(r.rss(), MIB, "memcpy populated the source pages");
     }
@@ -863,8 +960,8 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn memcpy_oob_panics() {
         let mut r = rt();
-        let h = r.malloc_system(MIB, "h");
-        let d = r.cuda_malloc(MIB, "d").unwrap();
+        let h = r.malloc_system(Bytes::new(MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(MIB), "d").unwrap();
         r.memcpy(&d, 0, &h, 512 * KIB, MIB);
     }
 
@@ -872,7 +969,7 @@ mod tests {
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
         let mut r = rt();
-        let b = r.malloc_system(KIB, "x");
+        let b = r.malloc_system(Bytes::new(KIB), "x");
         r.free(b);
         r.free(b);
     }
@@ -880,12 +977,12 @@ mod tests {
     #[test]
     fn free_system_scales_with_touched_pages() {
         let mut r4 = Runtime::new(CostParams::with_4k_pages(), RuntimeOptions::default());
-        let b = r4.malloc_system(16 * MIB, "x");
+        let b = r4.malloc_system(Bytes::new(16 * MIB), "x");
         r4.cpu_write(&b, 0, 16 * MIB);
         let dt_4k = r4.free(b);
 
         let mut r64 = Runtime::new(CostParams::with_64k_pages(), RuntimeOptions::default());
-        let b = r64.malloc_system(16 * MIB, "x");
+        let b = r64.malloc_system(Bytes::new(16 * MIB), "x");
         r64.cpu_write(&b, 0, 16 * MIB);
         let dt_64k = r64.free(b);
         let ratio = dt_4k as f64 / dt_64k as f64;
@@ -896,14 +993,14 @@ mod tests {
     #[should_panic(expected = "host cannot access")]
     fn host_access_to_device_buffer_panics() {
         let mut r = rt();
-        let d = r.cuda_malloc(MIB, "d").unwrap();
+        let d = r.cuda_malloc(Bytes::new(MIB), "d").unwrap();
         r.cpu_write(&d, 0, 16);
     }
 
     #[test]
     fn host_register_prevents_later_faults() {
         let mut r = rt();
-        let b = r.malloc_system(4 * MIB, "x");
+        let b = r.malloc_system(Bytes::new(4 * MIB), "x");
         r.cuda_host_register(&b);
         assert_eq!(r.rss(), 4 * MIB);
         assert_eq!(r.os().cpu_faults(), 0, "bulk path, not the fault path");
@@ -912,7 +1009,7 @@ mod tests {
     #[test]
     fn pinned_alloc_is_cpu_resident() {
         let mut r = rt();
-        let b = r.cuda_malloc_host(MIB, "pinned");
+        let b = r.cuda_malloc_host(Bytes::new(MIB), "pinned");
         assert_eq!(b.kind, BufKind::Pinned);
         assert_eq!(r.rss(), MIB);
     }
@@ -920,7 +1017,7 @@ mod tests {
     #[test]
     fn profiler_sees_rss_ramp() {
         let mut r = rt();
-        let b = r.malloc_system(8 * MIB, "x");
+        let b = r.malloc_system(Bytes::new(8 * MIB), "x");
         r.cpu_write(&b, 0, 8 * MIB);
         let peak = r.profiler.peak_rss();
         assert_eq!(peak, 8 * MIB);

@@ -21,6 +21,7 @@
 use gh_mem::clock::Ns;
 use gh_mem::link::Direction;
 use gh_mem::params::CostParams;
+use gh_units::{ns_from_f64, Bytes};
 use std::collections::BTreeMap;
 
 use crate::buffer::{BufKind, Buffer};
@@ -28,7 +29,9 @@ use crate::runtime::Runtime;
 
 /// Handle to a created stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct StreamId(pub(crate) u32);
+pub struct StreamId {
+    raw: u32,
+}
 
 /// The three hardware engines async work can occupy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -40,7 +43,9 @@ enum Engine {
 
 /// Handle to a recorded event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(pub(crate) u32);
+pub struct EventId {
+    raw: u32,
+}
 
 /// Per-runtime stream state.
 #[derive(Debug, Default)]
@@ -70,7 +75,7 @@ impl Runtime {
         self.streams.next += 1;
         self.streams.tails.insert(id, self.now());
         self.tick(1_000);
-        StreamId(id)
+        StreamId { raw: id }
     }
 
     fn enqueue(&mut self, stream: StreamId, engine: Engine, duration: Ns) -> Ns {
@@ -78,12 +83,12 @@ impl Runtime {
         let tail = *self
             .streams
             .tails
-            .get(&stream.0)
+            .get(&stream.raw)
             .unwrap_or_else(|| panic!("unknown stream {stream:?}"));
         let free = self.streams.engines.get(&engine).copied().unwrap_or(0);
         let start = now.max(tail).max(free);
         let end = start + duration;
-        self.streams.tails.insert(stream.0, end);
+        self.streams.tails.insert(stream.raw, end);
         self.streams.engines.insert(engine, end);
         end
     }
@@ -112,13 +117,25 @@ impl Runtime {
         let (engine, dur) = match (src.kind, dst.kind) {
             (BufKind::Device, BufKind::Device) => (
                 Engine::Compute, // D2D copies ride the compute engine
-                CostParams::transfer_ns(len, self.params.hbm_bw),
+                CostParams::transfer_ns(Bytes::new(len), self.params.hbm_bw),
             ),
-            (_, BufKind::Device) => (Engine::CopyH2d, self.link.bulk(len, Direction::H2D)),
-            (BufKind::Device, _) => (Engine::CopyD2h, self.link.bulk(len, Direction::D2H)),
+            (_, BufKind::Device) => {
+                gh_trace::count("cuda.memcpy_bytes_h2d", len);
+                (
+                    Engine::CopyH2d,
+                    self.link.bulk(Bytes::new(len), Direction::H2D),
+                )
+            }
+            (BufKind::Device, _) => {
+                gh_trace::count("cuda.memcpy_bytes_d2h", len);
+                (
+                    Engine::CopyD2h,
+                    self.link.bulk(Bytes::new(len), Direction::D2H),
+                )
+            }
             _ => (
                 Engine::CopyH2d,
-                CostParams::transfer_ns(len, self.params.lpddr_bw),
+                CostParams::transfer_ns(Bytes::new(len), self.params.lpddr_bw),
             ),
         };
         let dur = dur + self.params.memcpy_fixed / 4; // async submit is cheap
@@ -174,10 +191,10 @@ impl Runtime {
             traffic.l1l2 = traffic.l1l2.saturating_add(*len);
         }
         let p = &self.params;
-        let mem = CostParams::transfer_ns(hbm, p.hbm_bw)
-            + CostParams::transfer_ns(c2c_r, p.c2c_h2d_bw * p.c2c_stream_eff)
-            + CostParams::transfer_ns(c2c_w, p.c2c_d2h_bw * p.c2c_stream_eff);
-        let compute = (compute_units as f64 / p.gpu_throughput).ceil() as Ns;
+        let mem = CostParams::transfer_ns(Bytes::new(hbm), p.hbm_bw)
+            + CostParams::transfer_ns(Bytes::new(c2c_r), p.c2c_h2d_bw * p.c2c_stream_eff)
+            + CostParams::transfer_ns(Bytes::new(c2c_w), p.c2c_d2h_bw * p.c2c_stream_eff);
+        let compute = ns_from_f64((compute_units as f64 / p.gpu_throughput).ceil());
         let dur = p.kernel_launch + mem.max(compute);
         let end = self.enqueue(stream, Engine::Compute, dur);
         let name = format!("{}#{}", name, self.kernel_seq);
@@ -193,12 +210,12 @@ impl Runtime {
         let tail = *self
             .streams
             .tails
-            .get(&stream.0)
+            .get(&stream.raw)
             .unwrap_or_else(|| panic!("unknown stream {stream:?}"));
         let id = self.streams.next_event;
         self.streams.next_event += 1;
         self.streams.events.insert(id, tail.max(self.now()));
-        EventId(id)
+        EventId { raw: id }
     }
 
     /// `cudaEventSynchronize`: blocks until the event has occurred.
@@ -206,7 +223,7 @@ impl Runtime {
         let t = *self
             .streams
             .events
-            .get(&event.0)
+            .get(&event.raw)
             .unwrap_or_else(|| panic!("unknown event {event:?}"));
         if t > self.now() {
             let dt = t - self.now();
@@ -217,8 +234,8 @@ impl Runtime {
     /// `cudaEventElapsedTime`: nanoseconds between two events
     /// (`end - start`; panics if `end` precedes `start`).
     pub fn event_elapsed(&self, start: EventId, end: EventId) -> Ns {
-        let s = self.streams.events[&start.0];
-        let e = self.streams.events[&end.0];
+        let s = self.streams.events[&start.raw];
+        let e = self.streams.events[&end.raw];
         e.checked_sub(s)
             .expect("end event occurs before start event")
     }
@@ -226,11 +243,11 @@ impl Runtime {
     /// `cudaStreamWaitEvent`: makes `stream` wait for `event` (its next
     /// operation starts no earlier than the event's timestamp).
     pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
-        let t = self.streams.events[&event.0];
+        let t = self.streams.events[&event.raw];
         let tail = self
             .streams
             .tails
-            .get_mut(&stream.0)
+            .get_mut(&stream.raw)
             .unwrap_or_else(|| panic!("unknown stream {stream:?}"));
         *tail = (*tail).max(t);
     }
@@ -241,7 +258,7 @@ impl Runtime {
         let tail = *self
             .streams
             .tails
-            .get(&stream.0)
+            .get(&stream.raw)
             .unwrap_or_else(|| panic!("unknown stream {stream:?}"));
         if tail > self.now() {
             let dt = tail - self.now();
@@ -275,8 +292,8 @@ mod tests {
     #[test]
     fn independent_streams_overlap_copy_and_compute() {
         let mut r = rt();
-        let h = r.cuda_malloc_host(32 * MIB, "h");
-        let d = r.cuda_malloc(32 * MIB, "d").unwrap();
+        let h = r.cuda_malloc_host(Bytes::new(32 * MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(32 * MIB), "d").unwrap();
         let s_copy = r.create_stream();
         let s_comp = r.create_stream();
         let t0 = r.now();
@@ -303,8 +320,8 @@ mod tests {
     #[test]
     fn same_stream_operations_serialize() {
         let mut r = rt();
-        let h = r.cuda_malloc_host(16 * MIB, "h");
-        let d = r.cuda_malloc(16 * MIB, "d").unwrap();
+        let h = r.cuda_malloc_host(Bytes::new(16 * MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(16 * MIB), "d").unwrap();
         let s = r.create_stream();
         let t0 = r.now();
         r.memcpy_async(&d, 0, &h, 0, 16 * MIB, s);
@@ -323,8 +340,8 @@ mod tests {
     #[test]
     fn copy_engines_are_independent_directions() {
         let mut r = rt();
-        let h = r.cuda_malloc_host(32 * MIB, "h");
-        let d = r.cuda_malloc(32 * MIB, "d").unwrap();
+        let h = r.cuda_malloc_host(Bytes::new(32 * MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(32 * MIB), "d").unwrap();
         let s1 = r.create_stream();
         let s2 = r.create_stream();
         let t0 = r.now();
@@ -342,8 +359,8 @@ mod tests {
     #[test]
     fn same_engine_contends() {
         let mut r = rt();
-        let h = r.cuda_malloc_host(32 * MIB, "h");
-        let d = r.cuda_malloc(32 * MIB, "d").unwrap();
+        let h = r.cuda_malloc_host(Bytes::new(32 * MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(32 * MIB), "d").unwrap();
         let s1 = r.create_stream();
         let s2 = r.create_stream();
         let t0 = r.now();
@@ -362,8 +379,8 @@ mod tests {
     #[should_panic(expected = "requires device or pinned")]
     fn async_copy_of_managed_memory_panics() {
         let mut r = rt();
-        let m = r.cuda_malloc_managed(MIB, "m");
-        let d = r.cuda_malloc(MIB, "d").unwrap();
+        let m = r.cuda_malloc_managed(Bytes::new(MIB), "m");
+        let d = r.cuda_malloc(Bytes::new(MIB), "d").unwrap();
         let s = r.create_stream();
         r.memcpy_async(&d, 0, &m, 0, MIB, s);
     }
@@ -371,8 +388,8 @@ mod tests {
     #[test]
     fn events_time_stream_work() {
         let mut r = rt();
-        let h = r.cuda_malloc_host(16 * MIB, "h");
-        let d = r.cuda_malloc(16 * MIB, "d").unwrap();
+        let h = r.cuda_malloc_host(Bytes::new(16 * MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(16 * MIB), "d").unwrap();
         let s = r.create_stream();
         let e0 = r.event_record(s);
         r.memcpy_async(&d, 0, &h, 0, 16 * MIB, s);
@@ -389,8 +406,8 @@ mod tests {
     #[test]
     fn stream_wait_event_orders_cross_stream_work() {
         let mut r = rt();
-        let h = r.cuda_malloc_host(8 * MIB, "h");
-        let d = r.cuda_malloc(8 * MIB, "d").unwrap();
+        let h = r.cuda_malloc_host(Bytes::new(8 * MIB), "h");
+        let d = r.cuda_malloc(Bytes::new(8 * MIB), "d").unwrap();
         let s1 = r.create_stream();
         let s2 = r.create_stream();
         r.memcpy_async(&d, 0, &h, 0, 8 * MIB, s1);

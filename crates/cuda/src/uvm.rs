@@ -31,6 +31,7 @@ use gh_mem::link::Direction;
 use gh_mem::params::CostParams;
 use gh_mem::phys::Node;
 use gh_os::VaRange;
+use gh_units::{widen, Bytes, Pages, Vpn};
 use std::collections::VecDeque;
 
 use crate::kernel::tlb_key_sys;
@@ -128,14 +129,15 @@ impl Runtime {
     /// Moves one system page to `dst`, updating frames and shooting down
     /// the GPU TLB. Panics if the destination node cannot hold the page —
     /// callers must have made room first.
-    pub(crate) fn move_page(&mut self, vpn: u64, dst: Node) {
-        let spt = self.os.system_pt.page_size();
+    pub(crate) fn move_page(&mut self, vpn: Vpn, dst: Node) {
+        let page = self.os.system_pt.page();
         let frame = self
             .phys
-            .alloc(dst, spt)
+            .alloc(dst, page.bytes())
             .expect("destination node full: caller must evict first"); // gh-audit: allow(no-unwrap-in-lib) -- caller evicts before migrating; a full destination is a logic error
         let old = self.os.system_pt.remap(vpn, dst, frame);
-        self.phys.release(old.node, spt);
+        self.phys.release(old.node, page.bytes());
+        self.migrated_pages = self.migrated_pages.saturating_add(1);
         self.gpu_tlb.invalidate(tlb_key_sys(vpn));
     }
 
@@ -154,11 +156,12 @@ impl Runtime {
         if clip.len == 0 {
             return (0, 0, 0);
         }
-        let spt = self.os.system_pt.page_size();
-        let vpns: Vec<u64> = self
+        let page = self.os.system_pt.page();
+        let vpns: Vec<Vpn> = self
             .os
             .system_pt
             .vpn_range(clip.addr, clip.len)
+            .into_iter()
             .filter(|&v| !self.os.system_pt.is_populated(v))
             .collect();
         if vpns.is_empty() {
@@ -167,15 +170,15 @@ impl Runtime {
         let mut cost = self.params.uvm_gpu_first_touch_per_page;
         let (mut on_gpu, mut on_cpu) = (0u64, 0u64);
         for vpn in vpns {
-            let frame = match self.phys.alloc(Node::Gpu, spt) {
+            let frame = match self.phys.alloc(Node::Gpu, page.bytes()) {
                 Ok(f) => Some(f),
                 Err(_) => {
                     // Try to make room by evicting the LRU block (any
                     // allocation, this one included).
-                    let (evict_cost, freed) = self.uvm_evict_lru(spt, None, Some(block));
+                    let (evict_cost, freed) = self.uvm_evict_lru(page.bytes(), None, Some(block));
                     cost = cost.saturating_add(evict_cost);
-                    if freed >= spt {
-                        self.phys.alloc(Node::Gpu, spt).ok()
+                    if freed >= page.bytes() {
+                        self.phys.alloc(Node::Gpu, page.bytes()).ok()
                     } else {
                         None
                     }
@@ -189,7 +192,7 @@ impl Runtime {
                 None => {
                     let f = self
                         .phys
-                        .alloc(Node::Cpu, spt)
+                        .alloc(Node::Cpu, page.bytes())
                         .expect("both tiers exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- both tiers exhausted means the experiment exceeds machine memory
                     self.os.system_pt.populate(vpn, Node::Cpu, f);
                     on_cpu += 1;
@@ -199,14 +202,17 @@ impl Runtime {
         }
         if on_gpu > 0 {
             self.uvm.touch_lru(block);
-            cost = cost.saturating_add(CostParams::transfer_ns(on_gpu * spt, self.params.hbm_bw));
+            cost = cost.saturating_add(CostParams::transfer_ns(
+                Pages::new(on_gpu) * page,
+                self.params.hbm_bw,
+            ));
         }
         if gh_trace::enabled() && on_gpu > 0 {
             gh_trace::emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::FirstTouch,
                 dir: gh_trace::Dir::H2D,
                 pages: on_gpu,
-                bytes: on_gpu * spt,
+                bytes: (Pages::new(on_gpu) * page).get(),
             });
             gh_trace::count("uvm.pages_first_touch", on_gpu);
         }
@@ -219,13 +225,13 @@ impl Runtime {
     /// fell back to a remote mapping (self-eviction refused).
     pub(crate) fn uvm_migrate_block_in(&mut self, block: u64, buf_range: VaRange) -> (Ns, u64) {
         let clip = block_range(block, buf_range);
-        let spt = self.os.system_pt.page_size();
+        let page = self.os.system_pt.page();
         let vpns = self.os.system_pt.vpn_range(clip.addr, clip.len);
         let cpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Cpu);
         if cpu_pages.is_empty() {
             return (0, 0);
         }
-        let bytes = cpu_pages.len() as u64 * spt;
+        let bytes = Pages::new(widen(cpu_pages.len())) * page;
         let mut cost: Ns = 0;
         if self.phys.free(Node::Gpu) < bytes {
             // Make room, but never by evicting this same allocation: that
@@ -261,17 +267,17 @@ impl Runtime {
         cost = cost.saturating_add(
             self.params.uvm_migration_fixed + self.link.bulk(bytes, Direction::H2D),
         );
-        let pages = cpu_pages.len() as u64;
+        let pages = widen(cpu_pages.len());
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Fault,
                 dir: gh_trace::Dir::H2D,
                 pages,
-                bytes,
+                bytes: bytes.get(),
             });
             gh_trace::count("uvm.pages_migrated_in", pages);
-            gh_trace::count("uvm.bytes_migrated_in", bytes);
-            gh_trace::observe("migration.bytes", bytes);
+            gh_trace::count("uvm.bytes_migrated_in", bytes.get());
+            gh_trace::observe("migration.bytes", bytes.get());
         }
         (cost, pages)
     }
@@ -282,13 +288,13 @@ impl Runtime {
     /// being serviced. Returns (cost, bytes freed).
     pub(crate) fn uvm_evict_lru(
         &mut self,
-        needed: u64,
+        needed: Bytes,
         exclude: Option<VaRange>,
         skip_block: Option<u64>,
-    ) -> (Ns, u64) {
-        let spt = self.os.system_pt.page_size();
+    ) -> (Ns, Bytes) {
+        let page = self.os.system_pt.page();
         let mut cost: Ns = 0;
-        let mut freed: u64 = 0;
+        let mut freed = Bytes::ZERO;
         // Scan from the cold end; collect victims first to avoid borrowing
         // issues while mutating.
         let mut idx = 0;
@@ -315,7 +321,8 @@ impl Runtime {
             };
             let vpns = self.os.system_pt.vpn_range(clip.addr, clip.len);
             let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
-            let bytes = gpu_pages.len() as u64 * spt;
+            let pages = widen(gpu_pages.len());
+            let bytes = Pages::new(pages) * page;
             for vpn in gpu_pages {
                 self.move_page(vpn, Node::Cpu);
             }
@@ -325,18 +332,20 @@ impl Runtime {
             cost = cost
                 .saturating_add(self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H));
             if gh_trace::enabled() {
-                let pages = bytes / spt;
-                gh_trace::emit(gh_trace::Event::Evict { pages, bytes });
+                gh_trace::emit(gh_trace::Event::Evict {
+                    pages,
+                    bytes: bytes.get(),
+                });
                 gh_trace::emit(gh_trace::Event::Migration {
                     engine: gh_trace::Engine::Evict,
                     dir: gh_trace::Dir::D2H,
                     pages,
-                    bytes,
+                    bytes: bytes.get(),
                 });
                 gh_trace::count("uvm.evictions", 1);
                 gh_trace::count("uvm.pages_migrated_out", pages);
-                gh_trace::count("uvm.bytes_migrated_out", bytes);
-                gh_trace::observe("migration.bytes", bytes);
+                gh_trace::count("uvm.bytes_migrated_out", bytes.get());
+                gh_trace::observe("migration.bytes", bytes.get());
             }
             // idx unchanged: removal shifted the deque.
         }
@@ -346,10 +355,11 @@ impl Runtime {
     /// Evicts every GPU-resident page of the allocation to the CPU and
     /// marks it pinned (thrashing prevention). Returns the cost.
     pub(crate) fn uvm_pin_cpu(&mut self, buf_range: VaRange) -> Ns {
-        let spt = self.os.system_pt.page_size();
+        let page = self.os.system_pt.page();
         let vpns = self.os.system_pt.vpn_range(buf_range.addr, buf_range.len);
         let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
-        let bytes = gpu_pages.len() as u64 * spt;
+        let pages = widen(gpu_pages.len());
+        let bytes = Pages::new(pages) * page;
         for vpn in gpu_pages {
             self.move_page(vpn, Node::Cpu);
         }
@@ -363,12 +373,12 @@ impl Runtime {
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Pin {
                 va: buf_range.addr,
-                bytes,
+                bytes: bytes.get(),
             });
             gh_trace::count("uvm.cpu_pins", 1);
             gh_trace::count("uvm.evictions", 1);
-            gh_trace::count("uvm.pages_migrated_out", bytes / spt);
-            gh_trace::count("uvm.bytes_migrated_out", bytes);
+            gh_trace::count("uvm.pages_migrated_out", pages);
+            gh_trace::count("uvm.bytes_migrated_out", bytes.get());
         }
         self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H)
     }
@@ -376,15 +386,18 @@ impl Runtime {
     /// CPU touched GPU-resident managed pages: retrieve the covered
     /// blocks back to CPU memory (fault batch + D2H transfer).
     pub(crate) fn uvm_retrieve_to_cpu(&mut self, chunk: VaRange) -> Ns {
-        let spt = self.os.system_pt.page_size();
+        let page = self.os.system_pt.page();
         let vpns = self.os.system_pt.vpn_range(chunk.addr, chunk.len);
         let gpu_pages = self.os.system_pt.vpns_on_node(vpns, Node::Gpu);
         if gpu_pages.is_empty() {
             return 0;
         }
-        let bytes = gpu_pages.len() as u64 * spt;
-        let blocks: std::collections::BTreeSet<u64> =
-            gpu_pages.iter().map(|&v| block_of(v * spt)).collect();
+        let pages = widen(gpu_pages.len());
+        let bytes = Pages::new(pages) * page;
+        let blocks: std::collections::BTreeSet<u64> = gpu_pages
+            .iter()
+            .map(|&v| block_of(v.get() * page.get()))
+            .collect();
         for vpn in gpu_pages {
             self.move_page(vpn, Node::Cpu);
         }
@@ -392,18 +405,17 @@ impl Runtime {
             self.uvm.drop_block(*b);
         }
         if gh_trace::enabled() {
-            let pages = bytes / spt;
             gh_trace::emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Fault,
                 dir: gh_trace::Dir::D2H,
                 pages,
-                bytes,
+                bytes: bytes.get(),
             });
             gh_trace::count("uvm.pages_migrated_out", pages);
-            gh_trace::count("uvm.bytes_migrated_out", bytes);
-            gh_trace::observe("migration.bytes", bytes);
+            gh_trace::count("uvm.bytes_migrated_out", bytes.get());
+            gh_trace::observe("migration.bytes", bytes.get());
         }
-        self.params.uvm_fault_batch * blocks.len() as u64 + self.link.bulk(bytes, Direction::D2H)
+        self.params.uvm_fault_batch * widen(blocks.len()) + self.link.bulk(bytes, Direction::D2H)
     }
 
     /// `cudaMemPrefetchAsync` body: bulk migration toward `to`, block by
@@ -420,7 +432,7 @@ impl Runtime {
                 self.uvm.fallback_counts.remove(&addr);
             }
         }
-        let spt = self.os.system_pt.page_size();
+        let page = self.os.system_pt.page();
         let mut total = self.params.prefetch_fixed;
         self.tick(self.params.prefetch_fixed);
         let first = block_of(span.addr);
@@ -438,7 +450,7 @@ impl Runtime {
                     if cpu_pages.is_empty() {
                         continue;
                     }
-                    let bytes = cpu_pages.len() as u64 * spt;
+                    let bytes = Pages::new(widen(cpu_pages.len())) * page;
                     if self.phys.free(Node::Gpu) < bytes {
                         let (c, freed) = self.uvm_evict_lru(
                             bytes - self.phys.free(Node::Gpu),
@@ -461,16 +473,16 @@ impl Runtime {
                     self.uvm.touch_lru(block);
                     dt = dt.saturating_add(self.link.bulk(bytes, Direction::H2D));
                     if gh_trace::enabled() {
-                        let pages = cpu_pages.len() as u64;
+                        let pages = widen(cpu_pages.len());
                         gh_trace::emit(gh_trace::Event::Migration {
                             engine: gh_trace::Engine::Prefetch,
                             dir: gh_trace::Dir::H2D,
                             pages,
-                            bytes,
+                            bytes: bytes.get(),
                         });
                         gh_trace::count("uvm.pages_migrated_in", pages);
-                        gh_trace::count("uvm.bytes_migrated_in", bytes);
-                        gh_trace::observe("migration.bytes", bytes);
+                        gh_trace::count("uvm.bytes_migrated_in", bytes.get());
+                        gh_trace::observe("migration.bytes", bytes.get());
                     }
                 }
                 Node::Cpu => {
@@ -478,23 +490,23 @@ impl Runtime {
                     if gpu_pages.is_empty() {
                         continue;
                     }
-                    let bytes = gpu_pages.len() as u64 * spt;
+                    let pages = widen(gpu_pages.len());
+                    let bytes = Pages::new(pages) * page;
                     for &vpn in &gpu_pages {
                         self.move_page(vpn, Node::Cpu);
                     }
                     self.uvm.drop_block(block);
                     dt = dt.saturating_add(self.link.bulk(bytes, Direction::D2H));
                     if gh_trace::enabled() {
-                        let pages = gpu_pages.len() as u64;
                         gh_trace::emit(gh_trace::Event::Migration {
                             engine: gh_trace::Engine::Prefetch,
                             dir: gh_trace::Dir::D2H,
                             pages,
-                            bytes,
+                            bytes: bytes.get(),
                         });
                         gh_trace::count("uvm.pages_migrated_out", pages);
-                        gh_trace::count("uvm.bytes_migrated_out", bytes);
-                        gh_trace::observe("migration.bytes", bytes);
+                        gh_trace::count("uvm.bytes_migrated_out", bytes.get());
+                        gh_trace::observe("migration.bytes", bytes.get());
                     }
                 }
             }
@@ -544,7 +556,7 @@ mod tests {
     #[test]
     fn first_touch_places_block_on_gpu() {
         let mut r = rt();
-        let b = r.cuda_malloc_managed(4 * MIB, "m");
+        let b = r.cuda_malloc_managed(Bytes::new(4 * MIB), "m");
         let block = block_of(b.range.addr);
         let before = r.gpu_used();
         let (cost, on_gpu, on_cpu) = r.uvm_first_touch_block(block, b.range);
@@ -560,7 +572,7 @@ mod tests {
     #[test]
     fn migrate_in_moves_cpu_pages() {
         let mut r = rt();
-        let b = r.cuda_malloc_managed(2 * MIB, "m");
+        let b = r.cuda_malloc_managed(Bytes::new(2 * MIB), "m");
         r.cpu_write(&b, 0, 2 * MIB); // CPU-resident now
         assert_eq!(r.rss(), 2 * MIB);
         let block = block_of(b.range.addr);
@@ -579,13 +591,13 @@ mod tests {
         };
         let mut r = Runtime::new(params, RuntimeOptions::default());
         // Fill the GPU with one managed allocation.
-        let a = r.cuda_malloc_managed(8 * MIB, "a");
+        let a = r.cuda_malloc_managed(Bytes::new(8 * MIB), "a");
         for blk in 0..4 {
             r.uvm_first_touch_block(block_of(a.range.addr) + blk, a.range);
         }
         assert!(r.gpu_free() < MIB);
         // A second allocation faulting in may evict `a`'s blocks.
-        let b = r.cuda_malloc_managed(2 * MIB, "b");
+        let b = r.cuda_malloc_managed(Bytes::new(2 * MIB), "b");
         r.cpu_write(&b, 0, 2 * MIB);
         let (_, pages) = r.uvm_migrate_block_in(block_of(b.range.addr), b.range);
         assert!(pages > 0, "cross-allocation eviction must succeed");
@@ -605,7 +617,7 @@ mod tests {
             ..Default::default()
         };
         let mut r = Runtime::new(params, RuntimeOptions::default());
-        let a = r.cuda_malloc_managed(16 * MIB, "a");
+        let a = r.cuda_malloc_managed(Bytes::new(16 * MIB), "a");
         let first = block_of(a.range.addr);
         for blk in 0..8 {
             r.uvm_first_touch_block(first + blk, a.range);
@@ -614,7 +626,7 @@ mod tests {
         // was displaced to the CPU.
         let vpns = r.os().system_pt.vpn_range(a.range.addr, 2 * MIB);
         let cpu_pages = r.os().system_pt.count_resident_in(vpns, Node::Cpu);
-        assert!(cpu_pages > 0, "early block must have been displaced");
+        assert!(cpu_pages.get() > 0, "early block must have been displaced");
         // Fault-driven migration of that block: every victim would be
         // `a` itself → refused.
         let (_, pages) = r.uvm_migrate_block_in(first, a.range);
@@ -625,7 +637,7 @@ mod tests {
     #[test]
     fn retrieve_to_cpu_brings_pages_back() {
         let mut r = rt();
-        let b = r.cuda_malloc_managed(2 * MIB, "m");
+        let b = r.cuda_malloc_managed(Bytes::new(2 * MIB), "m");
         r.uvm_first_touch_block(block_of(b.range.addr), b.range);
         assert_eq!(r.rss(), 0);
         let cost = r.uvm_retrieve_to_cpu(b.range);
@@ -638,7 +650,7 @@ mod tests {
     #[test]
     fn prefetch_to_gpu_then_cpu_roundtrip() {
         let mut r = rt();
-        let b = r.cuda_malloc_managed(6 * MIB, "m");
+        let b = r.cuda_malloc_managed(Bytes::new(6 * MIB), "m");
         r.cpu_write(&b, 0, 6 * MIB);
         let dt = r.prefetch(&b, 0, 6 * MIB, Node::Gpu);
         assert!(dt > 0);
@@ -651,7 +663,7 @@ mod tests {
     #[test]
     fn free_managed_reclaims_both_tiers() {
         let mut r = rt();
-        let b = r.cuda_malloc_managed(4 * MIB, "m");
+        let b = r.cuda_malloc_managed(Bytes::new(4 * MIB), "m");
         r.cpu_write(&b, 0, 2 * MIB);
         r.uvm_first_touch_block(block_of(b.range.addr) + 1, b.range);
         let gpu_before_free = r.gpu_used();

@@ -5,6 +5,7 @@
 use gh_cuda::{BufKind, Buffer, Runtime, RuntimeOptions};
 use gh_mem::params::{CostParams, KIB, MIB};
 use gh_mem::phys::Node;
+use gh_units::Bytes;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -49,10 +50,10 @@ proptest! {
                     let bytes = kib * KIB;
                     let tag = "b";
                     let buf = match kind {
-                        0 => Some(rt.malloc_system(bytes, tag)),
-                        1 => Some(rt.cuda_malloc_managed(bytes, tag)),
-                        2 => rt.cuda_malloc(bytes, tag).ok(),
-                        _ => Some(rt.cuda_malloc_host(bytes, tag)),
+                        0 => Some(rt.malloc_system(Bytes::new(bytes), tag)),
+                        1 => Some(rt.cuda_malloc_managed(Bytes::new(bytes), tag)),
+                        2 => rt.cuda_malloc(Bytes::new(bytes), tag).ok(),
+                        _ => Some(rt.cuda_malloc_host(Bytes::new(bytes), tag)),
                     };
                     if let Some(b) = buf {
                         live.push(b);
@@ -117,7 +118,7 @@ proptest! {
             CostParams::default(),
             RuntimeOptions { auto_migration: false, ..Default::default() },
         );
-        let b = rt.malloc_system(512 * KIB, "x");
+        let b = rt.malloc_system(Bytes::new(512 * KIB), "x");
         if cpu_kib > 0 {
             rt.cpu_write(&b, 0, cpu_kib * KIB);
         }
@@ -143,7 +144,7 @@ proptest! {
     #[test]
     fn managed_settles_on_gpu(kib in 64u64..4096) {
         let mut rt = Runtime::new(CostParams::default(), RuntimeOptions::default());
-        let b = rt.cuda_malloc_managed(kib * KIB, "m");
+        let b = rt.cuda_malloc_managed(Bytes::new(kib * KIB), "m");
         rt.cpu_write(&b, 0, b.len());
         let mut k = rt.launch("first");
         k.read(&b, 0, b.len());
@@ -167,7 +168,7 @@ proptest! {
             let mut rt = Runtime::new(params, RuntimeOptions {
                 auto_migration: false, ..Default::default()
             });
-            let b = rt.malloc_system(total_mib * MIB, "x");
+            let b = rt.malloc_system(Bytes::new(total_mib * MIB), "x");
             if cpu_mib > 0 {
                 rt.cpu_write(&b, 0, cpu_mib * MIB);
             }

@@ -7,43 +7,60 @@
 //! sets×ways LRU cache tracking presence only — the simulator keeps data
 //! elsewhere; this answers "would this touch have crossed the link?".
 
+use gh_units::{Bytes, Lines};
+
+/// One cache way: the cached line id plus its LRU stamp.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    line: u64,
+    stamp: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Slot {
+    const VACANT: Slot = Slot {
+        line: EMPTY,
+        stamp: 0,
+    };
+}
+
 /// A set-associative presence cache over line addresses.
 ///
 /// ```
 /// use gh_mem::SetCache;
-/// let mut l2 = SetCache::new(64 * 1024, 128, 8);
+/// use gh_units::{Bytes, Lines};
+/// let mut l2 = SetCache::new(Bytes::new(64 * 1024), Bytes::new(128), 8);
 /// assert!(!l2.access(0));   // miss: crosses the link
 /// assert!(l2.access(64));   // hit: same 128 B line
-/// assert_eq!(l2.access_range(0, 1024), 7); // 7 new lines
+/// assert_eq!(l2.access_range(0, Bytes::new(1024)), Lines::new(7)); // 7 new lines
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetCache {
     ways: usize,
     sets: usize,
-    line_bytes: u64,
-    /// `sets × ways` slots of `(line_id, stamp)`; `u64::MAX` = empty.
-    slots: Vec<(u64, u64)>,
+    line_bytes: Bytes,
+    /// `sets × ways` slots; `line == u64::MAX` = empty.
+    slots: Vec<Slot>,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
 }
 
-const EMPTY: u64 = u64::MAX;
-
 impl SetCache {
     /// Builds a cache of `capacity_bytes` with `line_bytes` lines and
     /// the given associativity. Set count rounds up to a power of two.
-    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two());
+    pub fn new(capacity_bytes: Bytes, line_bytes: Bytes, ways: usize) -> Self {
+        assert!(line_bytes.get().is_power_of_two());
         assert!(ways >= 1);
-        let lines = (capacity_bytes / line_bytes).max(1) as usize;
+        let lines = (capacity_bytes.get() / line_bytes.get()).max(1) as usize;
         let sets = (lines / ways).next_power_of_two().max(1);
         Self {
             ways,
             sets,
             line_bytes,
-            slots: vec![(EMPTY, 0); sets * ways],
+            slots: vec![Slot::VACANT; sets * ways],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -52,7 +69,7 @@ impl SetCache {
     }
 
     /// Line size in bytes.
-    pub fn line_bytes(&self) -> u64 {
+    pub fn line_bytes(&self) -> Bytes {
         self.line_bytes
     }
 
@@ -83,46 +100,49 @@ impl SetCache {
     /// Touches the line containing `addr`: returns `true` on hit,
     /// otherwise inserts it (evicting LRU) and returns `false`.
     pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.line_bytes;
+        let line = addr / self.line_bytes.get();
         self.tick = self.tick.saturating_add(1);
         let base = self.set_of(line) * self.ways;
         let mut victim = base;
         let mut oldest = u64::MAX;
         for w in 0..self.ways {
             let slot = &mut self.slots[base + w];
-            if slot.0 == line {
-                slot.1 = self.tick;
+            if slot.line == line {
+                slot.stamp = self.tick;
                 self.hits = self.hits.saturating_add(1);
                 return true;
             }
-            if slot.0 == EMPTY {
+            if slot.line == EMPTY {
                 victim = base + w;
                 oldest = 0;
-            } else if slot.1 < oldest {
+            } else if slot.stamp < oldest {
                 victim = base + w;
-                oldest = slot.1;
+                oldest = slot.stamp;
             }
         }
         self.misses = self.misses.saturating_add(1);
-        if self.slots[victim].0 != EMPTY {
+        if self.slots[victim].line != EMPTY {
             self.evictions = self.evictions.saturating_add(1);
         }
-        self.slots[victim] = (line, self.tick);
+        self.slots[victim] = Slot {
+            line,
+            stamp: self.tick,
+        };
         false
     }
 
     /// Touches `[addr, addr+bytes)`; returns the number of *missed*
     /// lines (the ones that crossed the link).
-    pub fn access_range(&mut self, addr: u64, bytes: u64) -> u64 {
-        if bytes == 0 {
-            return 0;
+    pub fn access_range(&mut self, addr: u64, bytes: Bytes) -> Lines {
+        if bytes.is_zero() {
+            return Lines::ZERO;
         }
-        let first = addr / self.line_bytes;
-        let last = (addr + bytes - 1) / self.line_bytes;
-        let mut missed: u64 = 0;
+        let first = addr / self.line_bytes.get();
+        let last = (addr + bytes.get() - 1) / self.line_bytes.get();
+        let mut missed = Lines::ZERO;
         for l in first..=last {
-            if !self.access(l * self.line_bytes) {
-                missed = missed.saturating_add(1);
+            if !self.access(l * self.line_bytes.get()) {
+                missed += Lines::new(1);
             }
         }
         missed
@@ -130,7 +150,7 @@ impl SetCache {
 
     /// Drops every line (kernel boundary / invalidation).
     pub fn flush(&mut self) {
-        self.slots.fill((EMPTY, 0));
+        self.slots.fill(Slot::VACANT);
     }
 }
 
@@ -139,14 +159,14 @@ mod tests {
     use super::*;
 
     fn cache() -> SetCache {
-        SetCache::new(64 * 1024, 128, 8)
+        SetCache::new(Bytes::new(64 * 1024), Bytes::new(128), 8)
     }
 
     #[test]
     fn capacity_is_respected() {
         let c = cache();
         assert!(c.capacity_lines() >= 512);
-        assert_eq!(c.line_bytes(), 128);
+        assert_eq!(c.line_bytes(), Bytes::new(128));
     }
 
     #[test]
@@ -162,14 +182,22 @@ mod tests {
     #[test]
     fn range_counts_missed_lines() {
         let mut c = cache();
-        assert_eq!(c.access_range(0, 1024), 8);
-        assert_eq!(c.access_range(0, 1024), 0, "all cached now");
-        assert_eq!(c.access_range(512, 1024), 4, "half new");
+        assert_eq!(c.access_range(0, Bytes::new(1024)), Lines::new(8));
+        assert_eq!(
+            c.access_range(0, Bytes::new(1024)),
+            Lines::new(0),
+            "all cached now"
+        );
+        assert_eq!(
+            c.access_range(512, Bytes::new(1024)),
+            Lines::new(4),
+            "half new"
+        );
     }
 
     #[test]
     fn working_set_larger_than_capacity_evicts() {
-        let mut c = SetCache::new(4096, 128, 4); // 32 lines
+        let mut c = SetCache::new(Bytes::new(4096), Bytes::new(128), 4); // 32 lines
         for i in 0..64u64 {
             c.access(i * 128);
         }
@@ -206,7 +234,7 @@ mod tests {
     #[test]
     fn zero_byte_range_is_free() {
         let mut c = cache();
-        assert_eq!(c.access_range(1234, 0), 0);
+        assert_eq!(c.access_range(1234, Bytes::new(0)), Lines::new(0));
         assert_eq!(c.misses(), 0);
     }
 }

@@ -44,7 +44,8 @@ impl Clock {
 
 /// Formats a virtual duration for human-readable harness output, e.g.
 /// `1.234 ms` or `12.3 s`.
-pub fn format_ns(ns: Ns) -> String {
+pub fn format_ns(ns: gh_units::SimNs) -> String {
+    let ns = ns.get();
     if ns >= 1_000_000_000 {
         format!("{:.3} s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -98,9 +99,30 @@ mod tests {
 
     #[test]
     fn formatting_picks_unit() {
-        assert_eq!(format_ns(12), "12 ns");
-        assert_eq!(format_ns(1_500), "1.500 us");
-        assert_eq!(format_ns(2_500_000), "2.500 ms");
-        assert_eq!(format_ns(3_200_000_000), "3.200 s");
+        let f = |n: u64| format_ns(gh_units::SimNs::new(n));
+        assert_eq!(f(12), "12 ns");
+        assert_eq!(f(1_500), "1.500 us");
+        assert_eq!(f(2_500_000), "2.500 ms");
+        assert_eq!(f(3_200_000_000), "3.200 s");
+    }
+
+    #[test]
+    fn formatting_sub_microsecond_edges() {
+        let f = |n: u64| format_ns(gh_units::SimNs::new(n));
+        assert_eq!(f(0), "0 ns");
+        assert_eq!(f(1), "1 ns");
+        assert_eq!(f(999), "999 ns");
+        assert_eq!(f(1_000), "1.000 us");
+        assert_eq!(f(999_999), "999.999 us");
+        assert_eq!(f(1_000_000), "1.000 ms");
+    }
+
+    #[test]
+    fn formatting_multi_second_durations() {
+        let f = |n: u64| format_ns(gh_units::SimNs::new(n));
+        assert_eq!(f(999_999_999), "1000.000 ms");
+        assert_eq!(f(1_000_000_000), "1.000 s");
+        assert_eq!(f(61_500_000_000), "61.500 s");
+        assert_eq!(f(3_600_000_000_000), "3600.000 s");
     }
 }

@@ -72,7 +72,7 @@ impl AccessCounters {
         let c = self.counts.entry(region).or_insert(0);
         *c += n;
         let fired = self.notified.entry(region).or_insert(false);
-        if !*fired && *c >= self.threshold as u64 {
+        if !*fired && *c >= u64::from(self.threshold) {
             *fired = true;
             self.total_notifications = self.total_notifications.saturating_add(1);
             if gh_trace::enabled() {

@@ -11,6 +11,8 @@
 //! The link also carries ATS translation requests and atomics; their cost
 //! is charged by the [`crate::smmu::Smmu`] model.
 
+use gh_units::{Bytes, Lines};
+
 /// Transfer direction over the C2C link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
@@ -27,8 +29,10 @@ pub struct Link {
     d2h_bw: f64,
     random_eff: f64,
     latency: u64,
-    bytes_h2d: u64,
-    bytes_d2h: u64,
+    bytes_h2d: Bytes,
+    bytes_d2h: Bytes,
+    bulk_h2d: Bytes,
+    bulk_d2h: Bytes,
 }
 
 impl Link {
@@ -41,8 +45,10 @@ impl Link {
             d2h_bw,
             random_eff,
             latency,
-            bytes_h2d: 0,
-            bytes_d2h: 0,
+            bytes_h2d: Bytes::ZERO,
+            bytes_d2h: Bytes::ZERO,
+            bulk_h2d: Bytes::ZERO,
+            bulk_d2h: Bytes::ZERO,
         }
     }
 
@@ -54,11 +60,15 @@ impl Link {
     }
 
     /// Cost of a bulk transfer of `bytes` in `dir`; records traffic.
-    pub fn bulk(&mut self, bytes: u64, dir: Direction) -> u64 {
-        if bytes == 0 {
+    pub fn bulk(&mut self, bytes: Bytes, dir: Direction) -> u64 {
+        if bytes.is_zero() {
             return 0;
         }
         self.record(bytes, dir);
+        match dir {
+            Direction::H2D => self.bulk_h2d += bytes,
+            Direction::D2H => self.bulk_d2h += bytes,
+        }
         let dur = self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir));
         self.emit(bytes, dir, dur);
         dur
@@ -71,15 +81,15 @@ impl Link {
     /// stream vs irregular).
     pub fn cacheline_stream_eff(
         &mut self,
-        lines: u64,
-        line_bytes: u64,
+        lines: Lines,
+        line_bytes: Bytes,
         dir: Direction,
         eff: f64,
     ) -> u64 {
-        if lines == 0 {
+        if lines.is_zero() {
             return 0;
         }
-        let bytes = lines * line_bytes;
+        let bytes = lines.bytes(line_bytes);
         self.record(bytes, dir);
         let dur = self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir) * eff);
         self.emit(bytes, dir, dur);
@@ -88,28 +98,28 @@ impl Link {
 
     /// [`Link::cacheline_stream_eff`] with the link's default
     /// (irregular-access) efficiency.
-    pub fn cacheline_stream(&mut self, lines: u64, line_bytes: u64, dir: Direction) -> u64 {
+    pub fn cacheline_stream(&mut self, lines: Lines, line_bytes: Bytes, dir: Direction) -> u64 {
         self.cacheline_stream_eff(lines, line_bytes, dir, self.random_eff)
     }
 
     /// Cost of one remote atomic operation (single line round trip).
-    pub fn atomic(&mut self, line_bytes: u64, dir: Direction) -> u64 {
+    pub fn atomic(&mut self, line_bytes: Bytes, dir: Direction) -> u64 {
         self.record(line_bytes, dir);
         let dur = 2 * self.latency;
         self.emit(line_bytes, dir, dur);
         dur
     }
 
-    fn record(&mut self, bytes: u64, dir: Direction) {
+    fn record(&mut self, bytes: Bytes, dir: Direction) {
         match dir {
-            Direction::H2D => self.bytes_h2d = self.bytes_h2d.saturating_add(bytes),
-            Direction::D2H => self.bytes_d2h = self.bytes_d2h.saturating_add(bytes),
+            Direction::H2D => self.bytes_h2d += bytes,
+            Direction::D2H => self.bytes_d2h += bytes,
         }
     }
 
     /// Reports the transfer to the observability bus (no-op when tracing
     /// is disabled; never affects costs).
-    fn emit(&self, bytes: u64, dir: Direction, dur: u64) {
+    fn emit(&self, bytes: Bytes, dir: Direction, dur: u64) {
         if !gh_trace::enabled() {
             return;
         }
@@ -119,7 +129,7 @@ impl Link {
         };
         gh_trace::emit(gh_trace::Event::LinkXfer {
             dir: tdir,
-            bytes,
+            bytes: bytes.get(),
             dur,
         });
         gh_trace::count(
@@ -127,33 +137,49 @@ impl Link {
                 Direction::H2D => "link.bytes_h2d",
                 Direction::D2H => "link.bytes_d2h",
             },
-            bytes,
+            bytes.get(),
         );
         gh_trace::count("link.xfers", 1);
-        gh_trace::observe("link.xfer_bytes", bytes);
+        gh_trace::observe("link.xfer_bytes", bytes.get());
     }
 
-    /// Cumulative bytes moved host→device.
-    pub fn bytes_h2d(&self) -> u64 {
+    /// Cumulative bytes moved host→device (bulk + cacheline + atomics).
+    pub fn bytes_h2d(&self) -> Bytes {
         self.bytes_h2d
     }
 
-    /// Cumulative bytes moved device→host.
-    pub fn bytes_d2h(&self) -> u64 {
+    /// Cumulative bytes moved device→host (bulk + cacheline + atomics).
+    pub fn bytes_d2h(&self) -> Bytes {
         self.bytes_d2h
+    }
+
+    /// Cumulative bytes moved host→device by bulk transfers only
+    /// (migrations, memcpys, prefetches). The invariant sanitizer checks
+    /// this against the sum of page migrations and explicit transfers.
+    pub fn bulk_bytes_h2d(&self) -> Bytes {
+        self.bulk_h2d
+    }
+
+    /// Cumulative bytes moved device→host by bulk transfers only.
+    pub fn bulk_bytes_d2h(&self) -> Bytes {
+        self.bulk_d2h
     }
 
     /// Achieved bulk bandwidth for a transfer, bytes/ns (for the
     /// Comm|Scope-style bandwidth bench).
-    pub fn effective_bulk_bw(&self, bytes: u64, dir: Direction) -> f64 {
+    pub fn effective_bulk_bw(&self, bytes: Bytes, dir: Direction) -> f64 {
         let t = self.latency + crate::params::CostParams::transfer_ns(bytes, self.bw(dir));
-        bytes as f64 / t as f64
+        bytes.get() as f64 / t as f64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
 
     fn link() -> Link {
         Link::new(375.0, 297.0, 0.35, 850)
@@ -162,8 +188,8 @@ mod tests {
     #[test]
     fn bulk_cost_scales_with_bytes() {
         let mut l = link();
-        let t1 = l.bulk(375_000, Direction::H2D);
-        let t2 = l.bulk(750_000, Direction::H2D);
+        let t1 = l.bulk(b(375_000), Direction::H2D);
+        let t2 = l.bulk(b(750_000), Direction::H2D);
         assert_eq!(t1, 850 + 1000);
         assert_eq!(t2, 850 + 2000);
     }
@@ -171,24 +197,24 @@ mod tests {
     #[test]
     fn d2h_is_slower_than_h2d() {
         let mut l = link();
-        let h2d = l.bulk(10_000_000, Direction::H2D);
-        let d2h = l.bulk(10_000_000, Direction::D2H);
+        let h2d = l.bulk(b(10_000_000), Direction::H2D);
+        let d2h = l.bulk(b(10_000_000), Direction::D2H);
         assert!(d2h > h2d);
     }
 
     #[test]
     fn zero_bytes_is_free() {
         let mut l = link();
-        assert_eq!(l.bulk(0, Direction::H2D), 0);
-        assert_eq!(l.cacheline_stream(0, 128, Direction::H2D), 0);
-        assert_eq!(l.bytes_h2d(), 0);
+        assert_eq!(l.bulk(b(0), Direction::H2D), 0);
+        assert_eq!(l.cacheline_stream(Lines::new(0), b(128), Direction::H2D), 0);
+        assert_eq!(l.bytes_h2d(), b(0));
     }
 
     #[test]
     fn cacheline_stream_is_derated() {
         let mut l = link();
-        let bulk = l.bulk(1_280_000, Direction::H2D);
-        let stream = l.cacheline_stream(10_000, 128, Direction::H2D);
+        let bulk = l.bulk(b(1_280_000), Direction::H2D);
+        let stream = l.cacheline_stream(Lines::new(10_000), b(128), Direction::H2D);
         assert!(
             stream > bulk * 2,
             "sparse stream ({stream}) must be much slower than bulk ({bulk})"
@@ -198,19 +224,32 @@ mod tests {
     #[test]
     fn traffic_counters_accumulate() {
         let mut l = link();
-        l.bulk(100, Direction::H2D);
-        l.cacheline_stream(2, 64, Direction::D2H);
-        l.atomic(128, Direction::H2D);
-        assert_eq!(l.bytes_h2d(), 100 + 128);
-        assert_eq!(l.bytes_d2h(), 128);
+        l.bulk(b(100), Direction::H2D);
+        l.cacheline_stream(Lines::new(2), b(64), Direction::D2H);
+        l.atomic(b(128), Direction::H2D);
+        assert_eq!(l.bytes_h2d(), b(100 + 128));
+        assert_eq!(l.bytes_d2h(), b(128));
+    }
+
+    #[test]
+    fn bulk_counters_exclude_cacheline_and_atomic_traffic() {
+        let mut l = link();
+        l.bulk(b(100), Direction::H2D);
+        l.bulk(b(40), Direction::D2H);
+        l.cacheline_stream(Lines::new(2), b(64), Direction::H2D);
+        l.atomic(b(128), Direction::D2H);
+        assert_eq!(l.bulk_bytes_h2d(), b(100));
+        assert_eq!(l.bulk_bytes_d2h(), b(40));
+        assert_eq!(l.bytes_h2d(), b(100 + 128));
+        assert_eq!(l.bytes_d2h(), b(40 + 128));
     }
 
     #[test]
     fn effective_bw_approaches_peak_for_large_transfers() {
         let l = link();
-        let bw = l.effective_bulk_bw(1_000_000_000, Direction::H2D);
+        let bw = l.effective_bulk_bw(b(1_000_000_000), Direction::H2D);
         assert!(bw > 370.0 && bw <= 375.0, "got {bw}");
-        let small = l.effective_bulk_bw(4096, Direction::H2D);
+        let small = l.effective_bulk_bw(b(4096), Direction::H2D);
         assert!(
             small < 10.0,
             "latency must dominate small transfers: {small}"
@@ -220,6 +259,6 @@ mod tests {
     #[test]
     fn atomics_pay_round_trip() {
         let mut l = link();
-        assert_eq!(l.atomic(64, Direction::D2H), 1700);
+        assert_eq!(l.atomic(b(64), Direction::D2H), 1700);
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::phys::Node;
 use crate::radix::RadixTable;
+use gh_units::{widen, Bytes, PageSize, Pages, Vpn, VpnRange};
 
 /// A page table entry: where the page physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,88 +31,94 @@ pub struct Pte {
 /// A single page table with fixed page size.
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    page_size: u64,
+    page: PageSize,
     entries: RadixTable<Pte>,
-    resident: [u64; 2], // pages per node
+    resident: [Pages; 2], // pages per node
 }
 
 impl PageTable {
     /// Creates an empty table with the given page size (must be a power of
     /// two).
     pub fn new(page_size: u64) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be 2^k");
         Self {
-            page_size,
+            page: PageSize::new(page_size),
             entries: RadixTable::new(),
-            resident: [0, 0],
+            resident: [Pages::ZERO, Pages::ZERO],
         }
     }
 
     /// The table's page size in bytes.
     pub fn page_size(&self) -> u64 {
-        self.page_size
+        self.page.get()
+    }
+
+    /// The table's page size as a typed unit.
+    pub fn page(&self) -> PageSize {
+        self.page
     }
 
     /// Virtual page number containing `vaddr`.
-    pub fn vpn(&self, vaddr: u64) -> u64 {
-        vaddr / self.page_size
+    pub fn vpn(&self, vaddr: u64) -> Vpn {
+        Vpn::new(vaddr / self.page.get())
     }
 
     /// Inclusive-exclusive VPN range covering `[vaddr, vaddr + len)`.
-    pub fn vpn_range(&self, vaddr: u64, len: u64) -> std::ops::Range<u64> {
+    pub fn vpn_range(&self, vaddr: u64, len: u64) -> VpnRange {
         if len == 0 {
-            let v = self.vpn(vaddr);
-            return v..v;
+            return VpnRange::empty(self.vpn(vaddr));
         }
-        self.vpn(vaddr)..(vaddr + len - 1) / self.page_size + 1
+        VpnRange::new(
+            self.vpn(vaddr),
+            Vpn::new((vaddr + len - 1) / self.page.get() + 1),
+        )
     }
 
     /// Looks up the entry for `vpn`.
-    pub fn translate(&self, vpn: u64) -> Option<&Pte> {
-        self.entries.get(vpn)
+    pub fn translate(&self, vpn: Vpn) -> Option<&Pte> {
+        self.entries.get(vpn.get())
     }
 
     /// Whether `vpn` has a populated entry.
-    pub fn is_populated(&self, vpn: u64) -> bool {
-        self.entries.get(vpn).is_some()
+    pub fn is_populated(&self, vpn: Vpn) -> bool {
+        self.entries.get(vpn.get()).is_some()
     }
 
     /// Installs a fresh entry mapping `vpn` to a frame on `node`.
     ///
     /// Panics if the page is already populated — the OS/driver must unmap
     /// first; double population is always a simulator bug.
-    pub fn populate(&mut self, vpn: u64, node: Node, frame: u64) {
+    pub fn populate(&mut self, vpn: Vpn, node: Node, frame: u64) {
         let old = self.entries.insert(
-            vpn,
+            vpn.get(),
             Pte {
                 node,
                 frame,
                 dirty: false,
             },
         );
-        assert!(old.is_none(), "double population of vpn {vpn}");
-        self.resident[node_idx(node)] += 1;
+        assert!(old.is_none(), "double population of {vpn}");
+        self.resident[node_idx(node)] += Pages::new(1);
     }
 
     /// Removes the entry for `vpn`, returning it.
-    pub fn unmap(&mut self, vpn: u64) -> Option<Pte> {
-        let pte = self.entries.remove(vpn);
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        let pte = self.entries.remove(vpn.get());
         if let Some(p) = pte {
-            self.resident[node_idx(p.node)] -= 1;
+            self.resident[node_idx(p.node)] -= Pages::new(1);
         }
         pte
     }
 
     /// Rewrites the entry for `vpn` to point at `node`/`frame` (migration).
     /// Returns the old entry. Panics if the page was not populated.
-    pub fn remap(&mut self, vpn: u64, node: Node, frame: u64) -> Pte {
+    pub fn remap(&mut self, vpn: Vpn, node: Node, frame: u64) -> Pte {
         let e = self
             .entries
-            .get_mut(vpn)
-            .unwrap_or_else(|| panic!("remap of unpopulated vpn {vpn}")); // gh-audit: allow(no-unwrap-in-lib) -- remap of an unpopulated page is a simulator logic error
+            .get_mut(vpn.get())
+            .unwrap_or_else(|| panic!("remap of unpopulated {vpn}")); // gh-audit: allow(no-unwrap-in-lib) -- remap of an unpopulated page is a simulator logic error
         let old = *e;
-        self.resident[node_idx(old.node)] -= 1;
-        self.resident[node_idx(node)] += 1;
+        self.resident[node_idx(old.node)] -= Pages::new(1);
+        self.resident[node_idx(node)] += Pages::new(1);
         e.node = node;
         e.frame = frame;
         e.dirty = false;
@@ -119,51 +126,53 @@ impl PageTable {
     }
 
     /// Marks `vpn` dirty (a write hit the page). No-op if unpopulated.
-    pub fn mark_dirty(&mut self, vpn: u64) {
-        if let Some(e) = self.entries.get_mut(vpn) {
+    pub fn mark_dirty(&mut self, vpn: Vpn) {
+        if let Some(e) = self.entries.get_mut(vpn.get()) {
             e.dirty = true;
         }
     }
 
     /// Number of populated pages resident on `node`.
-    pub fn resident_pages(&self, node: Node) -> u64 {
+    pub fn resident_pages(&self, node: Node) -> Pages {
         self.resident[node_idx(node)]
     }
 
     /// Bytes resident on `node` (pages × page size).
-    pub fn resident_bytes(&self, node: Node) -> u64 {
-        self.resident_pages(node) * self.page_size
+    pub fn resident_bytes(&self, node: Node) -> Bytes {
+        self.resident_pages(node) * self.page
     }
 
     /// Total populated pages.
-    pub fn populated_pages(&self) -> u64 {
-        self.entries.len() as u64
+    pub fn populated_pages(&self) -> Pages {
+        Pages::new(widen(self.entries.len()))
     }
 
     /// Counts populated pages in `vpns` residing on `node`.
-    pub fn count_resident_in(&self, vpns: std::ops::Range<u64>, node: Node) -> u64 {
-        self.entries
-            .range(vpns.start, vpns.end)
-            .filter(|(_, pte)| pte.node == node)
-            .count() as u64
+    pub fn count_resident_in(&self, vpns: VpnRange, node: Node) -> Pages {
+        Pages::new(widen(
+            self.entries
+                .range(vpns.start.get(), vpns.end.get())
+                .filter(|(_, pte)| pte.node == node)
+                .count(),
+        ))
     }
 
     /// Collects the VPNs in range that are populated on `node`.
-    pub fn vpns_on_node(&self, vpns: std::ops::Range<u64>, node: Node) -> Vec<u64> {
+    pub fn vpns_on_node(&self, vpns: VpnRange, node: Node) -> Vec<Vpn> {
         self.entries
-            .range(vpns.start, vpns.end)
+            .range(vpns.start.get(), vpns.end.get())
             .filter(|(_, pte)| pte.node == node)
-            .map(|(k, _)| k)
+            .map(|(k, _)| Vpn::new(k))
             .collect()
     }
 
     /// Unmaps every populated page in the VPN range, returning the removed
     /// entries (for frame release).
-    pub fn unmap_range(&mut self, vpns: std::ops::Range<u64>) -> Vec<(u64, Pte)> {
-        let keys: Vec<u64> = self
+    pub fn unmap_range(&mut self, vpns: VpnRange) -> Vec<(Vpn, Pte)> {
+        let keys: Vec<Vpn> = self
             .entries
-            .range(vpns.start, vpns.end)
-            .map(|(k, _)| k)
+            .range(vpns.start.get(), vpns.end.get())
+            .map(|(k, _)| Vpn::new(k))
             .collect();
         keys.into_iter()
             .map(|k| {
@@ -186,6 +195,14 @@ mod tests {
     use super::*;
     use crate::params::KIB;
 
+    fn v(n: u64) -> Vpn {
+        Vpn::new(n)
+    }
+
+    fn r(lo: u64, hi: u64) -> VpnRange {
+        VpnRange::new(v(lo), v(hi))
+    }
+
     fn table() -> PageTable {
         PageTable::new(4 * KIB)
     }
@@ -193,100 +210,103 @@ mod tests {
     #[test]
     fn vpn_math() {
         let t = table();
-        assert_eq!(t.vpn(0), 0);
-        assert_eq!(t.vpn(4095), 0);
-        assert_eq!(t.vpn(4096), 1);
-        assert_eq!(t.vpn_range(0, 4096), 0..1);
-        assert_eq!(t.vpn_range(0, 4097), 0..2);
-        assert_eq!(t.vpn_range(100, 0), 0..0);
-        assert_eq!(t.vpn_range(4000, 200), 0..2);
+        assert_eq!(t.vpn(0), v(0));
+        assert_eq!(t.vpn(4095), v(0));
+        assert_eq!(t.vpn(4096), v(1));
+        assert_eq!(t.vpn_range(0, 4096), r(0, 1));
+        assert_eq!(t.vpn_range(0, 4097), r(0, 2));
+        assert_eq!(t.vpn_range(100, 0), r(0, 0));
+        assert_eq!(t.vpn_range(4000, 200), r(0, 2));
     }
 
     #[test]
     fn populate_translate_unmap() {
         let mut t = table();
-        t.populate(5, Node::Gpu, 77);
-        let pte = t.translate(5).unwrap();
+        t.populate(v(5), Node::Gpu, 77);
+        let pte = t.translate(v(5)).unwrap();
         assert_eq!(pte.node, Node::Gpu);
         assert_eq!(pte.frame, 77);
         assert!(!pte.dirty);
-        let removed = t.unmap(5).unwrap();
+        let removed = t.unmap(v(5)).unwrap();
         assert_eq!(removed.frame, 77);
-        assert!(t.translate(5).is_none());
+        assert!(t.translate(v(5)).is_none());
     }
 
     #[test]
     #[should_panic(expected = "double population")]
     fn double_populate_panics() {
         let mut t = table();
-        t.populate(1, Node::Cpu, 1);
-        t.populate(1, Node::Cpu, 2);
+        t.populate(v(1), Node::Cpu, 1);
+        t.populate(v(1), Node::Cpu, 2);
     }
 
     #[test]
     fn residency_accounting() {
         let mut t = table();
-        t.populate(0, Node::Cpu, 1);
-        t.populate(1, Node::Cpu, 2);
-        t.populate(2, Node::Gpu, 3);
-        assert_eq!(t.resident_pages(Node::Cpu), 2);
-        assert_eq!(t.resident_pages(Node::Gpu), 1);
-        assert_eq!(t.resident_bytes(Node::Cpu), 8 * KIB);
-        t.unmap(0);
-        assert_eq!(t.resident_pages(Node::Cpu), 1);
+        t.populate(v(0), Node::Cpu, 1);
+        t.populate(v(1), Node::Cpu, 2);
+        t.populate(v(2), Node::Gpu, 3);
+        assert_eq!(t.resident_pages(Node::Cpu), Pages::new(2));
+        assert_eq!(t.resident_pages(Node::Gpu), Pages::new(1));
+        assert_eq!(t.resident_bytes(Node::Cpu), Bytes::new(8 * KIB));
+        t.unmap(v(0));
+        assert_eq!(t.resident_pages(Node::Cpu), Pages::new(1));
     }
 
     #[test]
     fn remap_moves_residency() {
         let mut t = table();
-        t.populate(9, Node::Cpu, 10);
-        t.mark_dirty(9);
-        let old = t.remap(9, Node::Gpu, 42);
+        t.populate(v(9), Node::Cpu, 10);
+        t.mark_dirty(v(9));
+        let old = t.remap(v(9), Node::Gpu, 42);
         assert_eq!(old.node, Node::Cpu);
         assert!(old.dirty);
-        let new = t.translate(9).unwrap();
+        let new = t.translate(v(9)).unwrap();
         assert_eq!(new.node, Node::Gpu);
         assert_eq!(new.frame, 42);
         assert!(!new.dirty, "remap resets dirty");
-        assert_eq!(t.resident_pages(Node::Cpu), 0);
-        assert_eq!(t.resident_pages(Node::Gpu), 1);
+        assert_eq!(t.resident_pages(Node::Cpu), Pages::new(0));
+        assert_eq!(t.resident_pages(Node::Gpu), Pages::new(1));
     }
 
     #[test]
     #[should_panic(expected = "unpopulated")]
     fn remap_unpopulated_panics() {
         let mut t = table();
-        t.remap(1, Node::Gpu, 1);
+        t.remap(v(1), Node::Gpu, 1);
     }
 
     #[test]
     fn count_and_collect_by_node() {
         let mut t = table();
-        for v in 0..10 {
-            t.populate(v, if v % 2 == 0 { Node::Cpu } else { Node::Gpu }, v);
+        for n in 0..10 {
+            t.populate(v(n), if n % 2 == 0 { Node::Cpu } else { Node::Gpu }, n);
         }
-        assert_eq!(t.count_resident_in(0..10, Node::Cpu), 5);
-        assert_eq!(t.vpns_on_node(0..10, Node::Gpu), vec![1, 3, 5, 7, 9]);
-        assert_eq!(t.count_resident_in(3..5, Node::Gpu), 1);
+        assert_eq!(t.count_resident_in(r(0, 10), Node::Cpu), Pages::new(5));
+        assert_eq!(
+            t.vpns_on_node(r(0, 10), Node::Gpu),
+            vec![v(1), v(3), v(5), v(7), v(9)]
+        );
+        assert_eq!(t.count_resident_in(r(3, 5), Node::Gpu), Pages::new(1));
     }
 
     #[test]
     fn unmap_range_returns_entries() {
         let mut t = table();
-        for v in 0..8 {
-            t.populate(v, Node::Cpu, 100 + v);
+        for n in 0..8 {
+            t.populate(v(n), Node::Cpu, 100 + n);
         }
-        let removed = t.unmap_range(2..6);
+        let removed = t.unmap_range(r(2, 6));
         assert_eq!(removed.len(), 4);
-        assert_eq!(t.populated_pages(), 4);
-        assert!(t.translate(3).is_none());
-        assert!(t.translate(6).is_some());
+        assert_eq!(t.populated_pages(), Pages::new(4));
+        assert!(t.translate(v(3)).is_none());
+        assert!(t.translate(v(6)).is_some());
     }
 
     #[test]
     fn mark_dirty_is_noop_on_unpopulated() {
         let mut t = table();
-        t.mark_dirty(123); // must not panic
-        assert!(t.translate(123).is_none());
+        t.mark_dirty(v(123)); // must not panic
+        assert!(t.translate(v(123)).is_none());
     }
 }

@@ -10,6 +10,8 @@
 //! 4 KB→64 KB dealloc improvement (Fig 6, avg 15.9×) and the 33-qubit
 //! system-memory init speedup at 64 KB pages (Fig 9, ~5×).
 
+use gh_units::{Bytes, PageSize, Pages};
+
 pub const KIB: u64 = 1024;
 pub const MIB: u64 = 1024 * KIB;
 
@@ -327,23 +329,31 @@ impl CostParams {
         Self::default()
     }
 
-    /// Time to move `bytes` at `bw` bytes/ns (rounds up to ≥ 1 ns for any
-    /// non-zero transfer).
-    pub fn transfer_ns(bytes: u64, bw: f64) -> u64 {
-        if bytes == 0 {
-            return 0;
-        }
-        ((bytes as f64 / bw).ceil() as u64).max(1)
+    /// Time to move `bytes` at `bw` bytes/ns: rounds half-up and
+    /// saturates (see [`gh_units::transfer_ns`]), with a 1 ns floor for
+    /// any non-zero transfer.
+    pub fn transfer_ns(bytes: Bytes, bw: f64) -> u64 {
+        gh_units::transfer_ns(bytes, bw)
+    }
+
+    /// The system page size as a typed [`PageSize`].
+    pub fn system_page(&self) -> PageSize {
+        PageSize::new(self.system_page_size)
+    }
+
+    /// The GPU-exclusive page size as a typed [`PageSize`].
+    pub fn gpu_page(&self) -> PageSize {
+        PageSize::new(self.gpu_page_size)
     }
 
     /// Number of system pages spanned by `bytes`.
-    pub fn system_pages(&self, bytes: u64) -> u64 {
-        bytes.div_ceil(self.system_page_size)
+    pub fn system_pages(&self, bytes: Bytes) -> Pages {
+        bytes.pages_ceil(self.system_page())
     }
 
     /// Number of GPU (2 MiB) pages spanned by `bytes`.
-    pub fn gpu_pages(&self, bytes: u64) -> u64 {
-        bytes.div_ceil(self.gpu_page_size)
+    pub fn gpu_pages(&self, bytes: Bytes) -> Pages {
+        bytes.pages_ceil(self.gpu_page())
     }
 
     /// Validates internal consistency; called by the machine builder.
@@ -411,20 +421,20 @@ mod tests {
     }
 
     #[test]
-    fn transfer_time_rounds_up() {
-        assert_eq!(CostParams::transfer_ns(0, 100.0), 0);
-        assert_eq!(CostParams::transfer_ns(1, 1000.0), 1);
-        assert_eq!(CostParams::transfer_ns(1000, 100.0), 10);
+    fn transfer_time_rounds_half_up() {
+        assert_eq!(CostParams::transfer_ns(Bytes::new(0), 100.0), 0);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(1), 1000.0), 1);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(1000), 100.0), 10);
     }
 
     #[test]
     fn page_count_helpers() {
         let p = CostParams::with_4k_pages();
-        assert_eq!(p.system_pages(1), 1);
-        assert_eq!(p.system_pages(4 * KIB), 1);
-        assert_eq!(p.system_pages(4 * KIB + 1), 2);
-        assert_eq!(p.gpu_pages(2 * MIB), 1);
-        assert_eq!(p.gpu_pages(2 * MIB + 1), 2);
+        assert_eq!(p.system_pages(Bytes::new(1)), Pages::new(1));
+        assert_eq!(p.system_pages(Bytes::new(4 * KIB)), Pages::new(1));
+        assert_eq!(p.system_pages(Bytes::new(4 * KIB + 1)), Pages::new(2));
+        assert_eq!(p.gpu_pages(Bytes::new(2 * MIB)), Pages::new(1));
+        assert_eq!(p.gpu_pages(Bytes::new(2 * MIB + 1)), Pages::new(2));
     }
 
     #[test]
@@ -486,33 +496,57 @@ mod tests {
     #[test]
     fn transfer_ns_zero_bytes_is_free() {
         // Zero-byte transfers must not be charged the 1 ns floor.
-        assert_eq!(CostParams::transfer_ns(0, 0.001), 0);
-        assert_eq!(CostParams::transfer_ns(0, 1e12), 0);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(0), 0.001), 0);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(0), 1e12), 0);
     }
 
     #[test]
     fn transfer_ns_sub_page_sizes_hit_the_floor() {
         // Any non-zero transfer takes at least 1 virtual ns, even when
         // bytes/bw rounds to zero (one byte over a 3.4 TB/s link).
-        assert_eq!(CostParams::transfer_ns(1, 3400.0), 1);
-        assert_eq!(CostParams::transfer_ns(63, 3400.0), 1);
-        assert_eq!(CostParams::transfer_ns(4 * KIB - 1, 1e9), 1);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(1), 3400.0), 1);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(63), 3400.0), 1);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(4 * KIB - 1), 1e9), 1);
     }
 
     #[test]
-    fn transfer_ns_rounds_up_at_boundaries() {
-        // Exact multiples divide evenly; one byte more rounds up.
-        assert_eq!(CostParams::transfer_ns(1000, 100.0), 10);
-        assert_eq!(CostParams::transfer_ns(1001, 100.0), 11);
-        assert_eq!(CostParams::transfer_ns(64 * KIB, 64.0), KIB);
-        assert_eq!(CostParams::transfer_ns(64 * KIB + 1, 64.0), KIB + 1);
+    fn transfer_ns_rounds_half_up_at_bandwidth_boundaries() {
+        // Exact multiples divide evenly; fractional quotients round
+        // half-up deterministically instead of always ceiling.
+        assert_eq!(CostParams::transfer_ns(Bytes::new(1000), 100.0), 10);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(1001), 100.0), 10); // 10.01 -> 10
+        assert_eq!(CostParams::transfer_ns(Bytes::new(1049), 100.0), 10); // 10.49 -> 10
+        assert_eq!(CostParams::transfer_ns(Bytes::new(1050), 100.0), 11); // 10.50 -> 11
+        assert_eq!(CostParams::transfer_ns(Bytes::new(64 * KIB), 64.0), KIB);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(64 * KIB + 1), 64.0), KIB); // +1/64 ns
+        assert_eq!(
+            CostParams::transfer_ns(Bytes::new(64 * KIB + 32), 64.0),
+            KIB + 1
+        ); // +.5 ns
+           // Paper bandwidths at exact 1 GiB boundaries.
+        assert_eq!(CostParams::transfer_ns(Bytes::new(375 * 1000), 375.0), 1000);
+        assert_eq!(CostParams::transfer_ns(Bytes::new(297 * 1000), 297.0), 1000);
+    }
+
+    #[test]
+    fn transfer_ns_saturates_instead_of_truncating() {
+        // bytes/bw beyond u64::MAX saturates to the rail; the old
+        // truncating `as u64` produced an arbitrary wrapped value.
+        assert_eq!(
+            CostParams::transfer_ns(Bytes::new(u64::MAX), 1e-12),
+            u64::MAX
+        );
+        assert_eq!(
+            CostParams::transfer_ns(Bytes::new(u64::MAX), f64::MIN_POSITIVE),
+            u64::MAX
+        );
     }
 
     #[test]
     fn transfer_ns_is_monotone_in_bytes() {
         let mut prev = 0;
         for bytes in [0, 1, 64, 4 * KIB, 64 * KIB, MIB, 2 * MIB + 1] {
-            let t = CostParams::transfer_ns(bytes, 486.0);
+            let t = CostParams::transfer_ns(Bytes::new(bytes), 486.0);
             assert!(t >= prev, "transfer_ns not monotone at {bytes} bytes");
             prev = t;
         }
@@ -521,10 +555,10 @@ mod tests {
     #[test]
     fn system_pages_rounds_up_at_page_boundaries() {
         let p = CostParams::with_64k_pages();
-        assert_eq!(p.system_pages(0), 0);
-        assert_eq!(p.system_pages(64 * KIB - 1), 1);
-        assert_eq!(p.system_pages(64 * KIB), 1);
-        assert_eq!(p.system_pages(64 * KIB + 1), 2);
+        assert_eq!(p.system_pages(Bytes::new(0)), Pages::new(0));
+        assert_eq!(p.system_pages(Bytes::new(64 * KIB - 1)), Pages::new(1));
+        assert_eq!(p.system_pages(Bytes::new(64 * KIB)), Pages::new(1));
+        assert_eq!(p.system_pages(Bytes::new(64 * KIB + 1)), Pages::new(2));
     }
 
     #[test]

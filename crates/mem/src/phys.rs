@@ -5,6 +5,8 @@
 //! opaque frame numbers for page-table entries. Exhaustion is an explicit
 //! error so callers (the UVM driver, the OS) can trigger eviction.
 
+use gh_units::Bytes;
+
 /// A NUMA node of the superchip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Node {
@@ -37,16 +39,16 @@ pub struct OutOfMemory {
     /// Node that was exhausted.
     pub node: Node,
     /// Bytes requested.
-    pub requested: u64,
+    pub requested: Bytes,
     /// Bytes that were still free.
-    pub free: u64,
+    pub free: Bytes,
 }
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "out of memory on {:?}: requested {} bytes, {} free",
+            "out of memory on {:?}: requested {}, {} free",
             self.node, self.requested, self.free
         )
     }
@@ -57,8 +59,8 @@ impl std::error::Error for OutOfMemory {}
 /// Byte-granular physical memory accounting for both nodes.
 #[derive(Debug, Clone)]
 pub struct PhysMem {
-    capacity: [u64; 2],
-    used: [u64; 2],
+    capacity: [Bytes; 2],
+    used: [Bytes; 2],
     next_frame: u64,
     unified: bool,
 }
@@ -66,14 +68,14 @@ pub struct PhysMem {
 impl PhysMem {
     /// Creates the two tiers with the given capacities. `gpu_reserved` is
     /// carved out of the GPU immediately (driver baseline).
-    pub fn new(cpu_capacity: u64, gpu_capacity: u64, gpu_reserved: u64) -> Self {
+    pub fn new(cpu_capacity: Bytes, gpu_capacity: Bytes, gpu_reserved: Bytes) -> Self {
         assert!(
             gpu_reserved <= gpu_capacity,
             "driver baseline exceeds GPU capacity"
         );
         Self {
             capacity: [cpu_capacity, gpu_capacity],
-            used: [0, gpu_reserved],
+            used: [Bytes::ZERO, gpu_reserved],
             next_frame: 1,
             unified: false,
         }
@@ -84,11 +86,11 @@ impl PhysMem {
     /// attributed to the GPU. Nodes become attribution labels only:
     /// per-node `used` still tracks who allocated what, but capacity and
     /// `free` are pool-wide.
-    pub fn new_unified(total: u64, reserved: u64) -> Self {
+    pub fn new_unified(total: Bytes, reserved: Bytes) -> Self {
         assert!(reserved <= total, "driver baseline exceeds GPU capacity");
         Self {
             capacity: [total, total],
-            used: [0, reserved],
+            used: [Bytes::ZERO, reserved],
             next_frame: 1,
             unified: true,
         }
@@ -99,21 +101,21 @@ impl PhysMem {
         self.unified
     }
 
-    /// Total capacity of `node` in bytes (the pool size when unified).
-    pub fn capacity(&self, node: Node) -> u64 {
+    /// Total capacity of `node` (the pool size when unified).
+    pub fn capacity(&self, node: Node) -> Bytes {
         self.capacity[node.idx()]
     }
 
     /// Bytes currently allocated on `node` (for the GPU this includes the
     /// driver baseline, matching what `nvidia-smi` reports). In a unified
     /// pool this is per-node *attribution* within the shared pool.
-    pub fn used(&self, node: Node) -> u64 {
+    pub fn used(&self, node: Node) -> Bytes {
         self.used[node.idx()]
     }
 
     /// Bytes still free on `node`. In a unified pool both nodes report the
     /// same value: whatever is left of the shared pool.
-    pub fn free(&self, node: Node) -> u64 {
+    pub fn free(&self, node: Node) -> Bytes {
         if self.unified {
             self.capacity[0] - self.used[0] - self.used[1]
         } else {
@@ -123,7 +125,7 @@ impl PhysMem {
 
     /// Reserves `bytes` on `node`, returning an opaque frame id for the
     /// reservation. Frame ids are unique across the machine's lifetime.
-    pub fn alloc(&mut self, node: Node, bytes: u64) -> Result<u64, OutOfMemory> {
+    pub fn alloc(&mut self, node: Node, bytes: Bytes) -> Result<u64, OutOfMemory> {
         if self.free(node) < bytes {
             return Err(OutOfMemory {
                 node,
@@ -131,24 +133,24 @@ impl PhysMem {
                 free: self.free(node),
             });
         }
-        self.used[node.idx()] = self.used[node.idx()].saturating_add(bytes);
+        self.used[node.idx()] += bytes;
         let frame = self.next_frame;
         self.next_frame += 1;
         Ok(frame)
     }
 
     /// Releases `bytes` previously reserved on `node`.
-    pub fn release(&mut self, node: Node, bytes: u64) {
+    pub fn release(&mut self, node: Node, bytes: Bytes) {
         debug_assert!(
             self.used[node.idx()] >= bytes,
             "releasing more than allocated on {node:?}"
         );
-        self.used[node.idx()] = self.used[node.idx()].saturating_sub(bytes);
+        self.used[node.idx()] -= bytes;
     }
 
     /// Moves a `bytes`-sized reservation from one node to the other,
     /// returning the new frame id. Fails if the destination is full.
-    pub fn migrate(&mut self, from: Node, bytes: u64) -> Result<u64, OutOfMemory> {
+    pub fn migrate(&mut self, from: Node, bytes: Bytes) -> Result<u64, OutOfMemory> {
         let frame = self.alloc(from.peer(), bytes)?;
         self.release(from, bytes);
         Ok(frame)
@@ -159,78 +161,82 @@ impl PhysMem {
 mod tests {
     use super::*;
 
+    fn b(n: u64) -> Bytes {
+        Bytes::new(n)
+    }
+
     fn mem() -> PhysMem {
-        PhysMem::new(1000, 500, 100)
+        PhysMem::new(b(1000), b(500), b(100))
     }
 
     #[test]
     fn reports_capacity_and_baseline() {
         let m = mem();
-        assert_eq!(m.capacity(Node::Cpu), 1000);
-        assert_eq!(m.capacity(Node::Gpu), 500);
-        assert_eq!(m.used(Node::Gpu), 100);
-        assert_eq!(m.free(Node::Gpu), 400);
-        assert_eq!(m.used(Node::Cpu), 0);
+        assert_eq!(m.capacity(Node::Cpu), b(1000));
+        assert_eq!(m.capacity(Node::Gpu), b(500));
+        assert_eq!(m.used(Node::Gpu), b(100));
+        assert_eq!(m.free(Node::Gpu), b(400));
+        assert_eq!(m.used(Node::Cpu), b(0));
     }
 
     #[test]
     fn alloc_and_release_roundtrip() {
         let mut m = mem();
-        let f = m.alloc(Node::Cpu, 300).unwrap();
+        let f = m.alloc(Node::Cpu, b(300)).unwrap();
         assert!(f > 0);
-        assert_eq!(m.used(Node::Cpu), 300);
-        m.release(Node::Cpu, 300);
-        assert_eq!(m.used(Node::Cpu), 0);
+        assert_eq!(m.used(Node::Cpu), b(300));
+        m.release(Node::Cpu, b(300));
+        assert_eq!(m.used(Node::Cpu), b(0));
     }
 
     #[test]
     fn frame_ids_are_unique() {
         let mut m = mem();
-        let a = m.alloc(Node::Cpu, 1).unwrap();
-        let b = m.alloc(Node::Gpu, 1).unwrap();
-        let c = m.alloc(Node::Cpu, 1).unwrap();
-        assert_ne!(a, b);
-        assert_ne!(b, c);
+        let a = m.alloc(Node::Cpu, b(1)).unwrap();
+        let bf = m.alloc(Node::Gpu, b(1)).unwrap();
+        let c = m.alloc(Node::Cpu, b(1)).unwrap();
+        assert_ne!(a, bf);
+        assert_ne!(bf, c);
         assert_ne!(a, c);
     }
 
     #[test]
     fn oom_reports_free_bytes() {
         let mut m = mem();
-        let err = m.alloc(Node::Gpu, 401).unwrap_err();
+        let err = m.alloc(Node::Gpu, b(401)).unwrap_err();
         assert_eq!(err.node, Node::Gpu);
-        assert_eq!(err.requested, 401);
-        assert_eq!(err.free, 400);
+        assert_eq!(err.requested, b(401));
+        assert_eq!(err.free, b(400));
         // Nothing was reserved.
-        assert_eq!(m.used(Node::Gpu), 100);
+        assert_eq!(m.used(Node::Gpu), b(100));
     }
 
     #[test]
     fn exact_fit_succeeds() {
         let mut m = mem();
-        m.alloc(Node::Gpu, 400).unwrap();
-        assert_eq!(m.free(Node::Gpu), 0);
-        assert!(m.alloc(Node::Gpu, 1).is_err());
+        m.alloc(Node::Gpu, b(400)).unwrap();
+        assert_eq!(m.free(Node::Gpu), b(0));
+        assert!(m.alloc(Node::Gpu, b(1)).is_err());
     }
 
     #[test]
     fn migrate_moves_reservation() {
         let mut m = mem();
-        m.alloc(Node::Cpu, 200).unwrap();
-        let f = m.migrate(Node::Cpu, 200).unwrap();
+        m.alloc(Node::Cpu, b(200)).unwrap();
+        let f = m.migrate(Node::Cpu, b(200)).unwrap();
         assert!(f > 0);
-        assert_eq!(m.used(Node::Cpu), 0);
-        assert_eq!(m.used(Node::Gpu), 300);
+        assert_eq!(m.used(Node::Cpu), b(0));
+        assert_eq!(m.used(Node::Gpu), b(300));
     }
 
     #[test]
     fn migrate_fails_when_peer_full() {
         let mut m = mem();
-        m.alloc(Node::Gpu, 400).unwrap();
-        m.alloc(Node::Cpu, 50).unwrap();
-        assert!(m.migrate(Node::Cpu, 50).is_err());
+        m.alloc(Node::Gpu, b(400)).unwrap();
+        m.alloc(Node::Cpu, b(50)).unwrap();
+        assert!(m.migrate(Node::Cpu, b(50)).is_err());
         // Source reservation untouched on failure.
-        assert_eq!(m.used(Node::Cpu), 50);
+        assert_eq!(m.used(Node::Cpu), b(50));
     }
 
     #[test]
@@ -242,49 +248,49 @@ mod tests {
     #[test]
     #[should_panic(expected = "driver baseline")]
     fn reserved_over_capacity_panics() {
-        PhysMem::new(10, 10, 11);
+        PhysMem::new(b(10), b(10), b(11));
     }
 
     #[test]
     fn unified_pool_shares_capacity_between_nodes() {
-        let mut m = PhysMem::new_unified(1000, 100);
+        let mut m = PhysMem::new_unified(b(1000), b(100));
         assert!(m.is_unified());
-        assert_eq!(m.capacity(Node::Cpu), 1000);
-        assert_eq!(m.capacity(Node::Gpu), 1000);
-        assert_eq!(m.free(Node::Cpu), 900);
-        assert_eq!(m.free(Node::Gpu), 900);
+        assert_eq!(m.capacity(Node::Cpu), b(1000));
+        assert_eq!(m.capacity(Node::Gpu), b(1000));
+        assert_eq!(m.free(Node::Cpu), b(900));
+        assert_eq!(m.free(Node::Gpu), b(900));
         // A CPU allocation shrinks the GPU's view of free memory too.
-        m.alloc(Node::Cpu, 300).unwrap();
-        assert_eq!(m.free(Node::Gpu), 600);
-        assert_eq!(m.free(Node::Cpu), 600);
+        m.alloc(Node::Cpu, b(300)).unwrap();
+        assert_eq!(m.free(Node::Gpu), b(600));
+        assert_eq!(m.free(Node::Cpu), b(600));
         // Per-node attribution is preserved.
-        assert_eq!(m.used(Node::Cpu), 300);
-        assert_eq!(m.used(Node::Gpu), 100);
+        assert_eq!(m.used(Node::Cpu), b(300));
+        assert_eq!(m.used(Node::Gpu), b(100));
     }
 
     #[test]
     fn unified_pool_exhausts_jointly() {
-        let mut m = PhysMem::new_unified(1000, 0);
-        m.alloc(Node::Cpu, 600).unwrap();
-        m.alloc(Node::Gpu, 400).unwrap();
-        let err = m.alloc(Node::Gpu, 1).unwrap_err();
-        assert_eq!(err.free, 0);
-        assert!(m.alloc(Node::Cpu, 1).is_err());
+        let mut m = PhysMem::new_unified(b(1000), b(0));
+        m.alloc(Node::Cpu, b(600)).unwrap();
+        m.alloc(Node::Gpu, b(400)).unwrap();
+        let err = m.alloc(Node::Gpu, b(1)).unwrap_err();
+        assert_eq!(err.free, b(0));
+        assert!(m.alloc(Node::Cpu, b(1)).is_err());
     }
 
     #[test]
     fn unified_pool_release_restores_shared_free() {
-        let mut m = PhysMem::new_unified(1000, 100);
-        m.alloc(Node::Gpu, 500).unwrap();
-        assert_eq!(m.free(Node::Cpu), 400);
-        m.release(Node::Gpu, 500);
-        assert_eq!(m.free(Node::Cpu), 900);
-        assert_eq!(m.used(Node::Gpu), 100);
+        let mut m = PhysMem::new_unified(b(1000), b(100));
+        m.alloc(Node::Gpu, b(500)).unwrap();
+        assert_eq!(m.free(Node::Cpu), b(400));
+        m.release(Node::Gpu, b(500));
+        assert_eq!(m.free(Node::Cpu), b(900));
+        assert_eq!(m.used(Node::Gpu), b(100));
     }
 
     #[test]
     fn unified_pool_reserved_over_total_panics() {
-        let r = std::panic::catch_unwind(|| PhysMem::new_unified(10, 11));
+        let r = std::panic::catch_unwind(|| PhysMem::new_unified(b(10), b(11)));
         assert!(r.is_err());
     }
 }

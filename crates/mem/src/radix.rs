@@ -8,7 +8,7 @@
 
 const LEAF_BITS: u32 = 9;
 const LEAF_LEN: usize = 1 << LEAF_BITS;
-const LEAF_MASK: u64 = (LEAF_LEN as u64) - 1;
+const LEAF_MASK: u64 = gh_units::widen(LEAF_LEN) - 1;
 
 /// Sparse map from `u64` keys to `T`, organized as 512-entry leaves.
 #[derive(Debug, Clone)]

@@ -6,6 +6,24 @@
 //! realistic enough to capture capacity behaviour on large working sets
 //! while keeping lookup O(ways).
 
+use gh_units::{widen, Vpn, VpnRange};
+
+/// One TLB way: the cached translation tag plus its LRU stamp.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    tag: u64,
+    stamp: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Slot {
+    const VACANT: Slot = Slot {
+        tag: EMPTY,
+        stamp: 0,
+    };
+}
+
 /// A set-associative translation lookaside buffer over virtual page
 /// numbers. Stores only presence (the simulator keeps PTE payloads in the
 /// page tables); the TLB's job in the cost model is hit/miss accounting.
@@ -13,14 +31,12 @@
 pub struct Tlb {
     ways: usize,
     sets: usize,
-    /// `sets × ways` entries: `(vpn, stamp)`, vpn == u64::MAX means empty.
-    slots: Vec<(u64, u64)>,
+    /// `sets × ways` slots; `tag == u64::MAX` means empty.
+    slots: Vec<Slot>,
     tick: u64,
     hits: u64,
     misses: u64,
 }
-
-const EMPTY: u64 = u64::MAX;
 
 impl Tlb {
     /// Creates a TLB with approximately `entries` capacity, 4-way
@@ -31,7 +47,7 @@ impl Tlb {
         Self {
             ways,
             sets,
-            slots: vec![(EMPTY, 0); sets * ways],
+            slots: vec![Slot::VACANT; sets * ways],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -53,21 +69,22 @@ impl Tlb {
         self.misses
     }
 
-    fn set_of(&self, vpn: u64) -> usize {
+    fn set_of(&self, tag: u64) -> usize {
         // Multiplicative hash spreads sequential VPNs across sets while
         // staying deterministic.
-        ((vpn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
+        ((tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
     }
 
     /// Looks up `vpn`; returns true on hit. Misses do **not** insert — the
     /// caller decides (after walking the page table) whether to `fill`.
-    pub fn lookup(&mut self, vpn: u64) -> bool {
+    pub fn lookup(&mut self, vpn: Vpn) -> bool {
+        let tag = vpn.get();
         self.tick = self.tick.saturating_add(1);
-        let base = self.set_of(vpn) * self.ways;
+        let base = self.set_of(tag) * self.ways;
         for w in 0..self.ways {
             let slot = &mut self.slots[base + w];
-            if slot.0 == vpn {
-                slot.1 = self.tick;
+            if slot.tag == tag {
+                slot.stamp = self.tick;
                 self.hits = self.hits.saturating_add(1);
                 return true;
             }
@@ -78,50 +95,55 @@ impl Tlb {
 
     /// Inserts a translation for `vpn`, evicting the LRU way of its set if
     /// needed.
-    pub fn fill(&mut self, vpn: u64) {
+    pub fn fill(&mut self, vpn: Vpn) {
+        let tag = vpn.get();
         self.tick = self.tick.saturating_add(1);
-        let base = self.set_of(vpn) * self.ways;
+        let base = self.set_of(tag) * self.ways;
         let mut victim = base;
         let mut oldest = u64::MAX;
         for w in 0..self.ways {
             let slot = &self.slots[base + w];
-            if slot.0 == vpn {
+            if slot.tag == tag {
                 // Already present; refresh.
-                self.slots[base + w].1 = self.tick;
+                self.slots[base + w].stamp = self.tick;
                 return;
             }
-            if slot.0 == EMPTY {
+            if slot.tag == EMPTY {
                 victim = base + w;
                 oldest = 0;
-            } else if slot.1 < oldest {
+            } else if slot.stamp < oldest {
                 victim = base + w;
-                oldest = slot.1;
+                oldest = slot.stamp;
             }
         }
-        let evicted = self.slots[victim].0;
+        let evicted = self.slots[victim].tag;
         if evicted != EMPTY && gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::TlbEvict { va: evicted });
             gh_trace::count("tlb.evictions", 1);
         }
-        self.slots[victim] = (vpn, self.tick);
+        self.slots[victim] = Slot {
+            tag,
+            stamp: self.tick,
+        };
     }
 
     /// Invalidates a single translation (TLB shootdown on unmap/migrate).
-    pub fn invalidate(&mut self, vpn: u64) {
-        let base = self.set_of(vpn) * self.ways;
+    pub fn invalidate(&mut self, vpn: Vpn) {
+        let tag = vpn.get();
+        let base = self.set_of(tag) * self.ways;
         for w in 0..self.ways {
-            if self.slots[base + w].0 == vpn {
-                self.slots[base + w] = (EMPTY, 0);
+            if self.slots[base + w].tag == tag {
+                self.slots[base + w] = Slot::VACANT;
                 return;
             }
         }
     }
 
     /// Invalidates every translation in the VPN range.
-    pub fn invalidate_range(&mut self, vpns: std::ops::Range<u64>) {
+    pub fn invalidate_range(&mut self, vpns: VpnRange) {
         // For huge ranges a full flush is cheaper than per-VPN probes,
         // mirroring what real kernels do for large shootdowns.
-        if vpns.end - vpns.start > self.capacity() as u64 * 4 {
+        if vpns.count().get() > widen(self.capacity()) * 4 {
             self.flush();
             return;
         }
@@ -132,7 +154,7 @@ impl Tlb {
 
     /// Drops every translation.
     pub fn flush(&mut self) {
-        self.slots.fill((EMPTY, 0));
+        self.slots.fill(Slot::VACANT);
     }
 
     /// Resets hit/miss statistics (used between kernel launches).
@@ -146,6 +168,14 @@ impl Tlb {
 mod tests {
     use super::*;
 
+    fn v(n: u64) -> Vpn {
+        Vpn::new(n)
+    }
+
+    fn r(lo: u64, hi: u64) -> VpnRange {
+        VpnRange::new(v(lo), v(hi))
+    }
+
     #[test]
     fn capacity_rounds_to_power_of_two_sets() {
         let t = Tlb::new(3000);
@@ -156,9 +186,9 @@ mod tests {
     #[test]
     fn miss_then_fill_then_hit() {
         let mut t = Tlb::new(64);
-        assert!(!t.lookup(42));
-        t.fill(42);
-        assert!(t.lookup(42));
+        assert!(!t.lookup(v(42)));
+        t.fill(v(42));
+        assert!(t.lookup(v(42)));
         assert_eq!(t.hits(), 1);
         assert_eq!(t.misses(), 1);
     }
@@ -166,10 +196,10 @@ mod tests {
     #[test]
     fn invalidate_removes_translation() {
         let mut t = Tlb::new(64);
-        t.fill(7);
-        assert!(t.lookup(7));
-        t.invalidate(7);
-        assert!(!t.lookup(7));
+        t.fill(v(7));
+        assert!(t.lookup(v(7)));
+        t.invalidate(v(7));
+        assert!(!t.lookup(v(7)));
     }
 
     #[test]
@@ -177,68 +207,68 @@ mod tests {
         let mut t = Tlb::new(4); // 1 set × 4 ways after rounding
         assert_eq!(t.capacity(), 4);
         // Find 5 vpns mapping to set 0 (all do: only one set).
-        for v in 0..4u64 {
-            t.fill(v);
+        for n in 0..4u64 {
+            t.fill(v(n));
         }
         // Touch 1..4 so 0 is LRU.
-        for v in 1..4u64 {
-            assert!(t.lookup(v));
+        for n in 1..4u64 {
+            assert!(t.lookup(v(n)));
         }
-        t.fill(100);
-        assert!(!t.lookup(0), "LRU entry must have been evicted");
-        assert!(t.lookup(100));
+        t.fill(v(100));
+        assert!(!t.lookup(v(0)), "LRU entry must have been evicted");
+        assert!(t.lookup(v(100)));
     }
 
     #[test]
     fn fill_is_idempotent() {
         let mut t = Tlb::new(16);
-        t.fill(9);
-        t.fill(9);
-        assert!(t.lookup(9));
-        t.invalidate(9);
-        assert!(!t.lookup(9), "single invalidate removes both fills");
+        t.fill(v(9));
+        t.fill(v(9));
+        assert!(t.lookup(v(9)));
+        t.invalidate(v(9));
+        assert!(!t.lookup(v(9)), "single invalidate removes both fills");
     }
 
     #[test]
     fn flush_clears_everything() {
         let mut t = Tlb::new(64);
-        for v in 0..32 {
-            t.fill(v);
+        for n in 0..32 {
+            t.fill(v(n));
         }
         t.flush();
-        for v in 0..32 {
-            assert!(!t.lookup(v));
+        for n in 0..32 {
+            assert!(!t.lookup(v(n)));
         }
     }
 
     #[test]
     fn invalidate_range_small_and_large() {
         let mut t = Tlb::new(16);
-        for v in 0..8 {
-            t.fill(v);
+        for n in 0..8 {
+            t.fill(v(n));
         }
-        t.invalidate_range(0..4);
-        assert!(!t.lookup(1));
-        assert!(t.lookup(5));
+        t.invalidate_range(r(0, 4));
+        assert!(!t.lookup(v(1)));
+        assert!(t.lookup(v(5)));
         // Very large range triggers the full-flush path.
-        t.invalidate_range(0..1_000_000);
-        assert!(!t.lookup(5));
+        t.invalidate_range(r(0, 1_000_000));
+        assert!(!t.lookup(v(5)));
     }
 
     #[test]
     fn working_set_larger_than_capacity_mostly_misses() {
         let mut t = Tlb::new(64);
         // Stream 10× the capacity twice; second pass should still miss a lot.
-        for v in 0..640u64 {
-            if !t.lookup(v) {
-                t.fill(v);
+        for n in 0..640u64 {
+            if !t.lookup(v(n)) {
+                t.fill(v(n));
             }
         }
         let m1 = t.misses();
         t.reset_stats();
-        for v in 0..640u64 {
-            if !t.lookup(v) {
-                t.fill(v);
+        for n in 0..640u64 {
+            if !t.lookup(v(n)) {
+                t.fill(v(n));
             }
         }
         assert_eq!(m1, 640);
@@ -253,9 +283,9 @@ mod tests {
     fn small_working_set_hits_on_repeat() {
         let mut t = Tlb::new(256);
         for _ in 0..3 {
-            for v in 0..100u64 {
-                if !t.lookup(v) {
-                    t.fill(v);
+            for n in 0..100u64 {
+                if !t.lookup(v(n)) {
+                    t.fill(v(n));
                 }
             }
         }

@@ -4,6 +4,7 @@ use gh_mem::pagetable::PageTable;
 use gh_mem::phys::{Node, PhysMem};
 use gh_mem::radix::RadixTable;
 use gh_mem::tlb::Tlb;
+use gh_units::{Bytes, Pages, Vpn, VpnRange};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -44,26 +45,26 @@ proptest! {
                 0 => {
                     model.entry(vpn).or_insert_with(|| {
                         frame += 1;
-                        pt.populate(vpn, node, frame);
+                        pt.populate(Vpn::new(vpn), node, frame);
                         node
                     });
                 }
                 1 => {
-                    pt.unmap(vpn);
+                    pt.unmap(Vpn::new(vpn));
                     model.remove(&vpn);
                 }
                 _ => {
                     if model.contains_key(&vpn) {
                         frame += 1;
-                        pt.remap(vpn, node, frame);
+                        pt.remap(Vpn::new(vpn), node, frame);
                         model.insert(vpn, node);
                     }
                 }
             }
             let cpu = model.values().filter(|&&n| n == Node::Cpu).count() as u64;
             let gpu = model.values().filter(|&&n| n == Node::Gpu).count() as u64;
-            prop_assert_eq!(pt.resident_pages(Node::Cpu), cpu);
-            prop_assert_eq!(pt.resident_pages(Node::Gpu), gpu);
+            prop_assert_eq!(pt.resident_pages(Node::Cpu), Pages::new(cpu));
+            prop_assert_eq!(pt.resident_pages(Node::Gpu), Pages::new(gpu));
         }
     }
 
@@ -71,13 +72,13 @@ proptest! {
     #[test]
     fn physmem_accounting_invariants(ops in proptest::collection::vec(
         (prop::bool::ANY, prop::bool::ANY, 1u64..5000), 0..200)) {
-        let mut pm = PhysMem::new(100_000, 50_000, 1_000);
-        let mut live: Vec<(Node, u64)> = Vec::new();
+        let mut pm = PhysMem::new(Bytes::new(100_000), Bytes::new(50_000), Bytes::new(1_000));
+        let mut live: Vec<(Node, Bytes)> = Vec::new();
         for (is_alloc, on_gpu, bytes) in ops {
             let node = if on_gpu { Node::Gpu } else { Node::Cpu };
             if is_alloc {
-                if pm.alloc(node, bytes).is_ok() {
-                    live.push((node, bytes));
+                if pm.alloc(node, Bytes::new(bytes)).is_ok() {
+                    live.push((node, Bytes::new(bytes)));
                 }
             } else if let Some(pos) = live.iter().position(|&(n, _)| n == node) {
                 let (_, b) = live.swap_remove(pos);
@@ -96,10 +97,10 @@ proptest! {
     fn tlb_invalidate_is_coherent(vpns in proptest::collection::vec(0u64..10_000, 1..200)) {
         let mut tlb = Tlb::new(4096);
         for &v in &vpns {
-            tlb.fill(v);
-            prop_assert!(tlb.lookup(v), "fresh fill must hit");
-            tlb.invalidate(v);
-            prop_assert!(!tlb.lookup(v), "invalidate must remove");
+            tlb.fill(Vpn::new(v));
+            prop_assert!(tlb.lookup(Vpn::new(v)), "fresh fill must hit");
+            tlb.invalidate(Vpn::new(v));
+            prop_assert!(!tlb.lookup(Vpn::new(v)), "invalidate must remove");
         }
     }
 
@@ -109,15 +110,15 @@ proptest! {
                                    lo in 0u64..500, span in 0u64..200) {
         let mut pt = PageTable::new(65536);
         for (i, &v) in present.iter().enumerate() {
-            pt.populate(v, Node::Cpu, i as u64 + 1);
+            pt.populate(Vpn::new(v), Node::Cpu, i as u64 + 1);
         }
         let hi = lo + span;
-        let removed = pt.unmap_range(lo..hi);
+        let removed = pt.unmap_range(VpnRange::new(Vpn::new(lo), Vpn::new(hi)));
         let expected: Vec<u64> = present.iter().copied().filter(|&v| v >= lo && v < hi).collect();
-        let mut got: Vec<u64> = removed.iter().map(|(v, _)| *v).collect();
+        let mut got: Vec<u64> = removed.iter().map(|(v, _)| v.get()).collect();
         got.sort_unstable();
         prop_assert_eq!(got, expected);
-        prop_assert_eq!(pt.populated_pages() as usize, present.len() - removed.len());
+        prop_assert_eq!(pt.populated_pages().get() as usize, present.len() - removed.len());
     }
 }
 
@@ -126,7 +127,7 @@ proptest! {
     /// working set within capacity is fully retained across passes.
     #[test]
     fn setcache_retention(lines in 1u64..400, passes in 1u8..5) {
-        let mut c = gh_mem::SetCache::new(1 << 20, 128, 8); // 8192 lines
+        let mut c = gh_mem::SetCache::new(Bytes::new(1 << 20), Bytes::new(128), 8); // 8192 lines
         for p in 0..passes {
             for i in 0..lines {
                 let hit = c.access(i * 128);
@@ -145,11 +146,11 @@ proptest! {
         use gh_mem::{Direction, Link};
         let mut l = Link::new(375.0, 297.0, 0.55, 850);
         let (lo, hi) = (a.min(b), a.max(b));
-        let t_lo = l.bulk(lo, Direction::H2D);
-        let t_hi = l.bulk(hi, Direction::H2D);
+        let t_lo = l.bulk(Bytes::new(lo), Direction::H2D);
+        let t_hi = l.bulk(Bytes::new(hi), Direction::H2D);
         prop_assert!(t_lo <= t_hi);
-        let h2d = l.bulk(hi, Direction::H2D);
-        let d2h = l.bulk(hi, Direction::D2H);
+        let h2d = l.bulk(Bytes::new(hi), Direction::H2D);
+        let d2h = l.bulk(Bytes::new(hi), Direction::D2H);
         prop_assert!(d2h >= h2d, "D2H is the slower direction");
     }
 }

@@ -11,6 +11,7 @@
 use gh_mem::clock::Ns;
 use gh_mem::params::CostParams;
 use gh_mem::phys::{Node, PhysMem};
+use gh_units::{Bytes, Vpn};
 
 use crate::os::Os;
 use crate::vma::{VaRange, VmaKind};
@@ -32,13 +33,13 @@ pub enum NumaPolicy {
 impl NumaPolicy {
     /// Picks the target node for `vpn` given the toucher's node.
     /// Returns `(primary, allow_fallback)`.
-    pub fn place(&self, toucher: Node, vpn: u64) -> (Node, bool) {
+    pub fn place(&self, toucher: Node, vpn: Vpn) -> (Node, bool) {
         match self {
             NumaPolicy::FirstTouch => (toucher, true),
             NumaPolicy::Bind(n) => (*n, false),
             NumaPolicy::Preferred(n) => (*n, true),
             NumaPolicy::Interleave => {
-                let n = if vpn.is_multiple_of(2) {
+                let n = if vpn.get().is_multiple_of(2) {
                     Node::Cpu
                 } else {
                     Node::Gpu
@@ -55,21 +56,21 @@ impl Os {
     /// Returns the range and the total cost.
     pub fn numa_alloc_onnode(
         &mut self,
-        bytes: u64,
+        bytes: Bytes,
         node: Node,
         tag: &str,
         phys: &mut PhysMem,
     ) -> (VaRange, Ns) {
         let (range, mut cost) =
             self.mmap_with_policy(bytes, VmaKind::System, NumaPolicy::Bind(node), tag);
-        let page = self.params().system_page_size;
-        let mut pages: u64 = 0;
+        let page = self.system_pt.page();
+        let mut pages = gh_units::Pages::ZERO;
         for vpn in self.system_pt.vpn_range(range.addr, range.len) {
             let frame = phys
-                .alloc(node, page)
+                .alloc(node, page.bytes())
                 .expect("numa_alloc_onnode: bound node exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- bound-node exhaustion fails hard, matching libnuma
             self.system_pt.populate(vpn, node, frame);
-            pages = pages.saturating_add(1);
+            pages += gh_units::Pages::new(1);
         }
         let bw = match node {
             Node::Cpu => self.params().lpddr_bw,
@@ -77,6 +78,7 @@ impl Os {
         };
         cost = cost.saturating_add(
             pages
+                .get()
                 .saturating_mul(self.params().host_register_per_page)
                 .saturating_add(CostParams::transfer_ns(pages * page, bw)),
         );
@@ -87,12 +89,12 @@ impl Os {
     /// `mmap`). Pages stay lazy; the policy applies at first touch.
     pub fn mmap_with_policy(
         &mut self,
-        bytes: u64,
+        bytes: Bytes,
         kind: VmaKind,
         policy: NumaPolicy,
         tag: &str,
     ) -> (VaRange, Ns) {
-        let (range, cost) = self.mmap(bytes, kind, tag);
+        let (range, cost) = self.mmap(bytes.get(), kind, tag);
         self.set_policy(range, policy);
         (range, cost)
     }
@@ -106,38 +108,48 @@ mod tests {
 
     fn setup() -> (Os, PhysMem) {
         let params = CostParams::default();
-        let phys = PhysMem::new(params.cpu_mem_bytes, params.gpu_mem_bytes, 0);
+        let phys = PhysMem::new(
+            Bytes::new(params.cpu_mem_bytes),
+            Bytes::new(params.gpu_mem_bytes),
+            Bytes::ZERO,
+        );
         (Os::new(params, OsConfig::default()), phys)
     }
 
     #[test]
     fn policy_place_semantics() {
         assert_eq!(
-            NumaPolicy::FirstTouch.place(Node::Gpu, 0),
+            NumaPolicy::FirstTouch.place(Node::Gpu, Vpn::new(0)),
             (Node::Gpu, true)
         );
         assert_eq!(
-            NumaPolicy::Bind(Node::Cpu).place(Node::Gpu, 0),
+            NumaPolicy::Bind(Node::Cpu).place(Node::Gpu, Vpn::new(0)),
             (Node::Cpu, false)
         );
         assert_eq!(
-            NumaPolicy::Preferred(Node::Gpu).place(Node::Cpu, 0),
+            NumaPolicy::Preferred(Node::Gpu).place(Node::Cpu, Vpn::new(0)),
             (Node::Gpu, true)
         );
-        assert_eq!(NumaPolicy::Interleave.place(Node::Cpu, 0).0, Node::Cpu);
-        assert_eq!(NumaPolicy::Interleave.place(Node::Cpu, 1).0, Node::Gpu);
+        assert_eq!(
+            NumaPolicy::Interleave.place(Node::Cpu, Vpn::new(0)).0,
+            Node::Cpu
+        );
+        assert_eq!(
+            NumaPolicy::Interleave.place(Node::Cpu, Vpn::new(1)).0,
+            Node::Gpu
+        );
     }
 
     #[test]
     fn numa_alloc_onnode_populates_eagerly() {
         let (mut os, mut phys) = setup();
-        let (r, cost) = os.numa_alloc_onnode(2 * MIB, Node::Gpu, "g", &mut phys);
+        let (r, cost) = os.numa_alloc_onnode(Bytes::new(2 * MIB), Node::Gpu, "g", &mut phys);
         assert!(cost > 0);
-        assert_eq!(phys.used(Node::Gpu), 2 * MIB);
+        assert_eq!(phys.used(Node::Gpu), Bytes::new(2 * MIB));
         let vpns = os.system_pt.vpn_range(r.addr, r.len);
         assert_eq!(
             os.system_pt.count_resident_in(vpns, Node::Gpu),
-            2 * MIB / os.params().system_page_size
+            gh_units::Pages::new(2 * MIB / os.params().system_page_size)
         );
         // RSS counts only CPU-resident pages.
         assert_eq!(os.rss(), 0);
@@ -146,8 +158,12 @@ mod tests {
     #[test]
     fn bound_vma_places_cpu_touches_on_gpu() {
         let (mut os, mut phys) = setup();
-        let (r, _) =
-            os.mmap_with_policy(MIB, VmaKind::System, NumaPolicy::Bind(Node::Gpu), "bound");
+        let (r, _) = os.mmap_with_policy(
+            Bytes::new(MIB),
+            VmaKind::System,
+            NumaPolicy::Bind(Node::Gpu),
+            "bound",
+        );
         let vpn = os.system_pt.vpn(r.addr);
         let o = os.touch_cpu(vpn, &mut phys);
         assert_eq!(o.placed, Node::Gpu, "bind overrides first-touch");
@@ -156,13 +172,21 @@ mod tests {
     #[test]
     fn interleave_alternates_nodes() {
         let (mut os, mut phys) = setup();
-        let (r, _) = os.mmap_with_policy(MIB, VmaKind::System, NumaPolicy::Interleave, "il");
+        let (r, _) = os.mmap_with_policy(
+            Bytes::new(MIB),
+            VmaKind::System,
+            NumaPolicy::Interleave,
+            "il",
+        );
         let (_, faults) = os.touch_cpu_range(r, &mut phys);
         assert!(faults > 0);
         let vpns = os.system_pt.vpn_range(r.addr, r.len);
-        let total = vpns.end - vpns.start;
+        let total = vpns.count();
         let on_cpu = os.system_pt.count_resident_in(vpns, Node::Cpu);
-        assert!(on_cpu > 0 && on_cpu < total, "{on_cpu}/{total}");
+        assert!(
+            on_cpu > gh_units::Pages::ZERO && on_cpu < total,
+            "{on_cpu}/{total}"
+        );
     }
 
     #[test]
@@ -171,7 +195,7 @@ mod tests {
         // VMA lands in LPDDR — what `numactl --membind=0` guarantees.
         let (mut os, mut phys) = setup();
         let (r, _) = os.mmap_with_policy(
-            MIB,
+            Bytes::new(MIB),
             VmaKind::System,
             NumaPolicy::Bind(Node::Cpu),
             "bound_cpu",
@@ -179,23 +203,30 @@ mod tests {
         let vpn = os.system_pt.vpn(r.addr);
         let o = os.ats_fault(vpn, &mut phys);
         assert_eq!(o.placed, Node::Cpu);
-        assert_eq!(phys.used(Node::Gpu), 0);
+        assert_eq!(phys.used(Node::Gpu), Bytes::ZERO);
     }
 
     #[test]
     fn preferred_falls_back_when_full() {
         let params = CostParams::default();
-        let mut phys = PhysMem::new(params.cpu_mem_bytes, 64 * 1024, 0);
+        let mut phys = PhysMem::new(
+            Bytes::new(params.cpu_mem_bytes),
+            Bytes::new(64 * 1024),
+            Bytes::ZERO,
+        );
         let mut os = Os::new(params, OsConfig::default());
         let (r, _) = os.mmap_with_policy(
-            2 * MIB,
+            Bytes::new(2 * MIB),
             VmaKind::System,
             NumaPolicy::Preferred(Node::Gpu),
             "pref",
         );
         os.touch_cpu_range(r, &mut phys);
         let vpns = os.system_pt.vpn_range(r.addr, r.len);
-        assert_eq!(os.system_pt.count_resident_in(vpns.clone(), Node::Gpu), 1);
-        assert!(os.system_pt.count_resident_in(vpns, Node::Cpu) > 0);
+        assert_eq!(
+            os.system_pt.count_resident_in(vpns, Node::Gpu),
+            gh_units::Pages::new(1)
+        );
+        assert!(os.system_pt.count_resident_in(vpns, Node::Cpu) > gh_units::Pages::ZERO);
     }
 }

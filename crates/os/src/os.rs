@@ -5,6 +5,7 @@ use gh_mem::clock::Ns;
 use gh_mem::pagetable::PageTable;
 use gh_mem::params::{CostParams, MIB};
 use gh_mem::phys::{Node, PhysMem};
+use gh_units::{widen, Bytes, Vpn};
 
 use crate::vma::{VaRange, Vma, VmaKind};
 use std::collections::BTreeMap;
@@ -111,7 +112,10 @@ impl Os {
         );
         let mut cost = self.params.vma_create;
         if self.config.init_on_alloc {
-            cost = cost.saturating_add(CostParams::transfer_ns(aligned_len, self.params.lpddr_bw));
+            cost = cost.saturating_add(CostParams::transfer_ns(
+                Bytes::new(aligned_len),
+                self.params.lpddr_bw,
+            ));
         }
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::VmaCreate {
@@ -158,7 +162,7 @@ impl Os {
             .remove(&range.addr)
             .unwrap_or_else(|| panic!("munmap of unknown VMA at {:#x}", range.addr)); // gh-audit: allow(no-unwrap-in-lib) -- an unknown VMA is a caller bug
         assert_eq!(vma.range.len, range.len, "partial munmap not modelled");
-        let page = self.params.system_page_size;
+        let page = Bytes::new(self.params.system_page_size);
         let vpns = self.system_pt.vpn_range(range.addr, range.len);
         let removed = self.system_pt.unmap_range(vpns);
         for (_, pte) in &removed {
@@ -166,30 +170,30 @@ impl Os {
         }
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::VmaDestroy {
-                ptes: removed.len() as u64,
+                ptes: widen(removed.len()),
             });
             gh_trace::count("os.vma_destroyed", 1);
-            gh_trace::count("os.pte_teardowns", removed.len() as u64);
+            gh_trace::count("os.pte_teardowns", widen(removed.len()));
         }
-        self.params.vma_create / 2 + removed.len() as u64 * self.params.pte_teardown
+        self.params.vma_create / 2 + widen(removed.len()) * self.params.pte_teardown
     }
 
     /// Picks the frame node for a first touch honoring the VMA's NUMA
     /// policy. Panics if a `Bind` target (or both tiers) is exhausted.
-    fn place_first_touch(&mut self, vpn: u64, toucher: Node, phys: &mut PhysMem) -> (Node, u64) {
+    fn place_first_touch(&mut self, vpn: Vpn, toucher: Node, phys: &mut PhysMem) -> (Node, u64) {
         let page = self.params.system_page_size;
         let policy = self
-            .vma_at(vpn * page)
+            .vma_at(vpn.get() * page)
             .map(|v| v.policy)
             .unwrap_or_default();
         let (primary, fallback) = policy.place(toucher, vpn);
-        match phys.alloc(primary, page) {
+        match phys.alloc(primary, Bytes::new(page)) {
             Ok(f) => (primary, f),
             Err(e) if !fallback => panic!("NUMA-bound allocation failed: {e}"), // gh-audit: allow(no-unwrap-in-lib) -- Bind policy is documented to fail hard when the node is full
             Err(_) => {
                 let other = primary.peer();
                 let f = phys
-                    .alloc(other, page)
+                    .alloc(other, Bytes::new(page))
                     .expect("both memory tiers exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- both tiers exhausted means the experiment exceeds machine memory
                 (other, f)
             }
@@ -199,7 +203,7 @@ impl Os {
     /// CPU touches one system page (read or write). If unpopulated, a
     /// minor fault places it per the VMA's policy (first-touch default:
     /// the CPU node) and zero-fills.
-    pub fn touch_cpu(&mut self, vpn: u64, phys: &mut PhysMem) -> FaultOutcome {
+    pub fn touch_cpu(&mut self, vpn: Vpn, phys: &mut PhysMem) -> FaultOutcome {
         if let Some(pte) = self.system_pt.translate(vpn) {
             return FaultOutcome {
                 cost: 0,
@@ -215,14 +219,15 @@ impl Os {
             Node::Cpu => self.params.lpddr_bw,
             Node::Gpu => self.params.c2c_h2d_bw,
         };
-        let mut cost = self.params.cpu_fault_fixed + CostParams::transfer_ns(page, zero_bw);
+        let mut cost =
+            self.params.cpu_fault_fixed + CostParams::transfer_ns(Bytes::new(page), zero_bw);
         if self.config.autonuma {
             cost = cost.saturating_add(cost / 4); // NUMA-hinting bookkeeping overhead
         }
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::PageFault {
                 kind: gh_trace::FaultKind::Cpu,
-                va: vpn * page,
+                va: vpn.get() * page,
                 cost,
             });
             gh_trace::count("os.cpu_faults", 1);
@@ -257,7 +262,7 @@ impl Os {
     ///
     /// This path is intentionally expensive (`ats_fault_fixed`, serialized
     /// on the CPU): it is the §5.1.2 GPU-side-initialization bottleneck.
-    pub fn ats_fault(&mut self, vpn: u64, phys: &mut PhysMem) -> FaultOutcome {
+    pub fn ats_fault(&mut self, vpn: Vpn, phys: &mut PhysMem) -> FaultOutcome {
         if let Some(pte) = self.system_pt.translate(vpn) {
             return FaultOutcome {
                 cost: 0,
@@ -269,15 +274,15 @@ impl Os {
         let (node, frame) = self.place_first_touch(vpn, Node::Gpu, phys);
         self.system_pt.populate(vpn, node, frame);
         self.ats_faults = self.ats_faults.saturating_add(1);
-        let mut cost =
-            self.params.ats_fault_fixed + (page as f64 * self.params.ats_fault_per_byte) as Ns;
+        let mut cost = self.params.ats_fault_fixed
+            + gh_units::ns_from_f64(page as f64 * self.params.ats_fault_per_byte);
         if self.config.autonuma {
             cost = cost.saturating_add(cost / 4);
         }
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::PageFault {
                 kind: gh_trace::FaultKind::Ats,
-                va: vpn * page,
+                va: vpn.get() * page,
                 cost,
             });
             gh_trace::count("os.ats_faults", 1);
@@ -299,14 +304,14 @@ impl Os {
         for vpn in self.system_pt.vpn_range(range.addr, range.len) {
             if !self.system_pt.is_populated(vpn) {
                 let frame = phys
-                    .alloc(Node::Cpu, page)
+                    .alloc(Node::Cpu, Bytes::new(page))
                     .expect("CPU physical memory exhausted"); // gh-audit: allow(no-unwrap-in-lib) -- mlock past CPU capacity is an experiment-config error
                 self.system_pt.populate(vpn, Node::Cpu, frame);
                 created = created.saturating_add(1);
             }
         }
         let cost = created * self.params.host_register_per_page
-            + CostParams::transfer_ns(created * page, self.params.lpddr_bw);
+            + CostParams::transfer_ns(Bytes::new(created * page), self.params.lpddr_bw);
         if gh_trace::enabled() && created > 0 {
             gh_trace::emit(gh_trace::Event::Pin {
                 va: range.addr,
@@ -320,7 +325,7 @@ impl Os {
     /// Process RSS as the paper's profiler reports it: bytes of system
     /// pages resident in **CPU** physical memory.
     pub fn rss(&self) -> u64 {
-        self.system_pt.resident_bytes(Node::Cpu)
+        self.system_pt.resident_bytes(Node::Cpu).get()
     }
 
     /// `/proc/<pid>/smaps`-style per-VMA residency breakdown: for every
@@ -328,13 +333,13 @@ impl Os {
     /// bytes)`. The paper's profiler reads `smaps_rollup`; this is the
     /// un-rolled view for diagnosis.
     pub fn smaps(&self) -> Vec<SmapsEntry> {
-        let page = self.params.system_page_size;
+        let page = self.system_pt.page();
         self.vmas
             .values()
             .map(|v| {
                 let vpns = self.system_pt.vpn_range(v.range.addr, v.range.len);
-                let cpu = self.system_pt.count_resident_in(vpns.clone(), Node::Cpu) * page;
-                let gpu = self.system_pt.count_resident_in(vpns, Node::Gpu) * page;
+                let cpu = (self.system_pt.count_resident_in(vpns, Node::Cpu) * page).get();
+                let gpu = (self.system_pt.count_resident_in(vpns, Node::Gpu) * page).get();
                 SmapsEntry {
                     tag: v.tag.clone(),
                     kind: v.kind,
@@ -366,10 +371,15 @@ pub struct SmapsEntry {
 mod tests {
     use super::*;
     use gh_mem::params::KIB;
+    use gh_units::Pages;
 
     fn setup() -> (Os, PhysMem) {
         let params = CostParams::with_4k_pages();
-        let phys = PhysMem::new(params.cpu_mem_bytes, params.gpu_mem_bytes, 0);
+        let phys = PhysMem::new(
+            Bytes::new(params.cpu_mem_bytes),
+            Bytes::new(params.gpu_mem_bytes),
+            Bytes::ZERO,
+        );
         (Os::new(params, OsConfig::default()), phys)
     }
 
@@ -379,7 +389,11 @@ mod tests {
         let (r, cost) = os.mmap(10 * KIB, VmaKind::System, "buf");
         assert_eq!(r.len, 12 * KIB, "rounded to page multiple");
         assert!(cost > 0);
-        assert_eq!(os.system_pt.populated_pages(), 0, "no eager population");
+        assert_eq!(
+            os.system_pt.populated_pages(),
+            Pages::ZERO,
+            "no eager population"
+        );
         assert_eq!(os.rss(), 0);
     }
 
@@ -441,16 +455,20 @@ mod tests {
         assert_eq!(o.placed, Node::Gpu);
         assert_eq!(os.ats_faults(), 1);
         assert_eq!(os.rss(), 0, "GPU-resident pages are not CPU RSS");
-        assert_eq!(phys.used(Node::Gpu), 4 * KIB);
+        assert_eq!(phys.used(Node::Gpu), Bytes::new(4 * KIB));
     }
 
     #[test]
     fn ats_fault_falls_back_to_cpu_when_gpu_full() {
         let params = CostParams::with_4k_pages();
-        let mut phys = PhysMem::new(params.cpu_mem_bytes, 8 * KIB, 0);
+        let mut phys = PhysMem::new(
+            Bytes::new(params.cpu_mem_bytes),
+            Bytes::new(8 * KIB),
+            Bytes::ZERO,
+        );
         let mut os = Os::new(params, OsConfig::default());
         let (r, _) = os.mmap(16 * KIB, VmaKind::System, "x");
-        let vpns: Vec<u64> = os.system_pt.vpn_range(r.addr, r.len).collect();
+        let vpns: Vec<Vpn> = os.system_pt.vpn_range(r.addr, r.len).into_iter().collect();
         assert_eq!(os.ats_fault(vpns[0], &mut phys).placed, Node::Gpu);
         assert_eq!(os.ats_fault(vpns[1], &mut phys).placed, Node::Gpu);
         assert_eq!(os.ats_fault(vpns[2], &mut phys).placed, Node::Cpu);
@@ -462,7 +480,7 @@ mod tests {
         let (r, _) = os.mmap(8 * KIB, VmaKind::System, "x");
         let v0 = os.system_pt.vpn(r.addr);
         let cpu = os.touch_cpu(v0, &mut phys);
-        let gpu = os.ats_fault(v0 + 1, &mut phys);
+        let gpu = os.ats_fault(v0.offset(1), &mut phys);
         assert!(
             gpu.cost > 2 * cpu.cost,
             "ATS fault ({}) must dwarf CPU fault ({})",
@@ -476,10 +494,10 @@ mod tests {
         let (mut os, mut phys) = setup();
         let (r, _) = os.mmap(400 * KIB, VmaKind::System, "x");
         os.touch_cpu_range(r, &mut phys);
-        assert_eq!(phys.used(Node::Cpu), 400 * KIB);
+        assert_eq!(phys.used(Node::Cpu), Bytes::new(400 * KIB));
         let cost_full = os.munmap(r, &mut phys);
-        assert_eq!(phys.used(Node::Cpu), 0);
-        assert_eq!(os.system_pt.populated_pages(), 0);
+        assert_eq!(phys.used(Node::Cpu), Bytes::ZERO);
+        assert_eq!(os.system_pt.populated_pages(), Pages::ZERO);
 
         // An untouched VMA tears down almost for free.
         let (r2, _) = os.mmap(400 * KIB, VmaKind::System, "y");
@@ -496,7 +514,11 @@ mod tests {
             .into_iter()
             .enumerate()
         {
-            let mut phys = PhysMem::new(params.cpu_mem_bytes, params.gpu_mem_bytes, 0);
+            let mut phys = PhysMem::new(
+                Bytes::new(params.cpu_mem_bytes),
+                Bytes::new(params.gpu_mem_bytes),
+                Bytes::ZERO,
+            );
             let mut os = Os::new(params, OsConfig::default());
             let (r, _) = os.mmap(sz, VmaKind::System, "x");
             os.touch_cpu_range(r, &mut phys);
@@ -529,7 +551,11 @@ mod tests {
     #[test]
     fn autonuma_adds_overhead() {
         let params = CostParams::with_4k_pages();
-        let mut phys = PhysMem::new(params.cpu_mem_bytes, params.gpu_mem_bytes, 0);
+        let mut phys = PhysMem::new(
+            Bytes::new(params.cpu_mem_bytes),
+            Bytes::new(params.gpu_mem_bytes),
+            Bytes::ZERO,
+        );
         let mut os_off = Os::new(params.clone(), OsConfig::default());
         let mut os_on = Os::new(
             params,
@@ -588,7 +614,11 @@ mod smaps_tests {
     #[test]
     fn smaps_reports_split_residency() {
         let params = CostParams::default();
-        let mut phys = PhysMem::new(params.cpu_mem_bytes, params.gpu_mem_bytes, 0);
+        let mut phys = PhysMem::new(
+            Bytes::new(params.cpu_mem_bytes),
+            Bytes::new(params.gpu_mem_bytes),
+            Bytes::ZERO,
+        );
         let mut os = Os::new(params, OsConfig::default());
         let (r, _) = os.mmap(4 * MIB, VmaKind::System, "buf");
         // Touch half from CPU, a quarter from GPU.

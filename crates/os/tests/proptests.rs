@@ -3,6 +3,7 @@
 use gh_mem::params::{CostParams, KIB};
 use gh_mem::phys::{Node, PhysMem};
 use gh_os::{Os, OsConfig, VmaKind};
+use gh_units::{Bytes, Pages, Vpn};
 use proptest::prelude::*;
 
 fn setup(page_4k: bool) -> (Os, PhysMem) {
@@ -11,7 +12,11 @@ fn setup(page_4k: bool) -> (Os, PhysMem) {
     } else {
         CostParams::with_64k_pages()
     };
-    let phys = PhysMem::new(params.cpu_mem_bytes, params.gpu_mem_bytes, 0);
+    let phys = PhysMem::new(
+        Bytes::new(params.cpu_mem_bytes),
+        Bytes::new(params.gpu_mem_bytes),
+        Bytes::ZERO,
+    );
     (Os::new(params, OsConfig::default()), phys)
 }
 
@@ -45,8 +50,8 @@ proptest! {
             os.touch_cpu_range(r.slice(0, touched), &mut phys);
         }
         os.munmap(r, &mut phys);
-        prop_assert_eq!(phys.used(Node::Cpu), 0);
-        prop_assert_eq!(os.system_pt.populated_pages(), 0);
+        prop_assert_eq!(phys.used(Node::Cpu), Bytes::ZERO);
+        prop_assert_eq!(os.system_pt.populated_pages(), Pages::ZERO);
         prop_assert_eq!(os.rss(), 0);
     }
 
@@ -72,7 +77,7 @@ proptest! {
         let (mut os, mut phys) = setup(true);
         let page = os.params().system_page_size;
         let (r, _) = os.mmap(pages * page, VmaKind::System, "x");
-        let vpns: Vec<u64> = os.system_pt.vpn_range(r.addr, r.len).collect();
+        let vpns: Vec<Vpn> = os.system_pt.vpn_range(r.addr, r.len).into_iter().collect();
         let split = (gpu_first % pages) as usize;
         for &v in &vpns[..split] {
             let o = os.ats_fault(v, &mut phys);
@@ -82,8 +87,8 @@ proptest! {
             let o = os.touch_cpu(v, &mut phys);
             prop_assert_eq!(o.placed, Node::Cpu);
         }
-        prop_assert_eq!(os.system_pt.resident_pages(Node::Gpu), split as u64);
-        prop_assert_eq!(os.system_pt.resident_pages(Node::Cpu), pages - split as u64);
+        prop_assert_eq!(os.system_pt.resident_pages(Node::Gpu), Pages::new(split as u64));
+        prop_assert_eq!(os.system_pt.resident_pages(Node::Cpu), Pages::new(pages - split as u64));
         // Re-touching from the other side never moves pages.
         for &v in &vpns[..split] {
             let o = os.touch_cpu(v, &mut phys);
@@ -105,6 +110,6 @@ proptest! {
         let (cost_fault, _) = os2.touch_cpu_range(r2, &mut phys2);
         prop_assert!(cost_reg <= cost_fault);
         os.munmap(r, &mut phys);
-        prop_assert_eq!(phys.used(Node::Cpu), 0);
+        prop_assert_eq!(phys.used(Node::Cpu), Bytes::ZERO);
     }
 }

@@ -76,7 +76,7 @@ pub fn run_qv(mut m: Machine, mode: MemMode, p: &QsimParams) -> RunReport {
         MemMode::Explicit => {
             if sv_bytes + (2 << 20) <= m.rt.gpu_free() {
                 SvStorage::Device(
-                    m.rt.cuda_malloc(sv_bytes, "qv.sv")
+                    m.rt.cuda_malloc(gh_units::Bytes::new(sv_bytes), "qv.sv")
                         .expect("fits by the check above"), // gh-audit: allow(no-unwrap-in-lib) -- fits by the branch guard above
                 )
             } else {
@@ -84,11 +84,12 @@ pub fn run_qv(mut m: Machine, mode: MemMode, p: &QsimParams) -> RunReport {
                 // host statevector, double-buffered device chunks, two
                 // streams so copies overlap compute — the paper's
                 // "sophisticated data movement pipeline" (§4).
-                let host = m.rt.cuda_malloc_host(sv_bytes, "qv.sv.host");
+                let host =
+                    m.rt.cuda_malloc_host(gh_units::Bytes::new(sv_bytes), "qv.sv.host");
                 let chunks = [
-                    m.rt.cuda_malloc(p.chunk_bytes, "qv.chunk0")
+                    m.rt.cuda_malloc(gh_units::Bytes::new(p.chunk_bytes), "qv.chunk0")
                         .expect("chunk buffer must fit"), // gh-audit: allow(no-unwrap-in-lib) -- chunk size is bounded by config validation
-                    m.rt.cuda_malloc(p.chunk_bytes, "qv.chunk1")
+                    m.rt.cuda_malloc(gh_units::Bytes::new(p.chunk_bytes), "qv.chunk1")
                         .expect("chunk buffer must fit"), // gh-audit: allow(no-unwrap-in-lib) -- chunk size is bounded by config validation
                 ];
                 let streams = [m.rt.create_stream(), m.rt.create_stream()];
@@ -99,8 +100,12 @@ pub fn run_qv(mut m: Machine, mode: MemMode, p: &QsimParams) -> RunReport {
                 }
             }
         }
-        MemMode::System => SvStorage::Unified(m.rt.malloc_system(sv_bytes, "qv.sv")),
-        MemMode::Managed => SvStorage::Unified(m.rt.cuda_malloc_managed(sv_bytes, "qv.sv")),
+        MemMode::System => {
+            SvStorage::Unified(m.rt.malloc_system(gh_units::Bytes::new(sv_bytes), "qv.sv"))
+        }
+        MemMode::Managed => {
+            SvStorage::Unified(m.rt.cuda_malloc_managed(gh_units::Bytes::new(sv_bytes), "qv.sv"))
+        }
     };
 
     // ---- CPU init: none (GPU-side initialization, §5.1.2) ----

@@ -154,6 +154,14 @@ pub fn count(name: &str, delta: u64) {
     METRICS.with(|m| m.borrow_mut().count(name, delta));
 }
 
+/// Current value of the monotone counter `name` without draining the bus
+/// (0 when never bumped). The invariant sanitizer peeks at migration and
+/// copy counters between phases through this; unlike [`take`], the data
+/// stays in place for the exporter at end of run.
+pub fn counter_value(name: &str) -> u64 {
+    METRICS.with(|m| m.borrow().counter(name))
+}
+
 /// Sets the gauge `name`. No-op when disabled.
 pub fn gauge(name: &str, v: f64) {
     if !enabled() {
@@ -286,6 +294,19 @@ mod tests {
             va: 0,
             cost,
         }
+    }
+
+    #[test]
+    fn counter_value_peeks_without_draining() {
+        enable();
+        count("peek.bytes", 100);
+        count("peek.bytes", 28);
+        assert_eq!(counter_value("peek.bytes"), 128);
+        assert_eq!(counter_value("peek.missing"), 0);
+        // Peeking left the data in place for the exporter.
+        let d = take();
+        assert_eq!(d.metrics.counter("peek.bytes"), 128);
+        disable();
     }
 
     #[test]

@@ -52,9 +52,9 @@ pub mod metrics;
 pub mod ring;
 
 pub use collector::{
-    count, disable, emit, enable, enable_with_capacity, enabled, gauge, now, observe, set_now,
-    span, span_closed, span_enter, span_exit, take, SpanGuard, SpanRec, Stamped, TraceData,
-    DEFAULT_RING_CAPACITY,
+    count, counter_value, disable, emit, enable, enable_with_capacity, enabled, gauge, now,
+    observe, set_now, span, span_closed, span_enter, span_exit, take, SpanGuard, SpanRec, Stamped,
+    TraceData, DEFAULT_RING_CAPACITY,
 };
 pub use event::{Dir, Engine, Event, FaultKind, Ns};
 pub use metrics::{Histogram, Metrics};

@@ -1,0 +1,485 @@
+//! Trace-fed runtime invariant sanitizer.
+//!
+//! The static newtypes in this crate stop unit mixups at compile time;
+//! this module catches the *accounting* bugs that still type-check —
+//! a migration path that moves bytes over the link without counting
+//! them, RSS exceeding physical capacity, a page table disagreeing with
+//! the physical allocator. The machine feeds a [`Snapshot`] of its state
+//! to a [`Sanitizer`] after every simulation phase; the sanitizer checks
+//! conservation invariants and accumulates typed [`Violation`]s into a
+//! [`SanitizerReport`] that lands in the run report.
+//!
+//! Invariants checked per snapshot:
+//!
+//! 1. **Link conservation** — bulk bytes moved over the link per
+//!    direction equal the sum of migrated bytes plus explicit transfers
+//!    recorded on the observability bus (only when tracing is on; the
+//!    bus is the source of the right-hand side).
+//! 2. **Capacity** — per-node usage never exceeds node capacity; on a
+//!    unified pool (MI300A) the *joint* usage must fit the single pool.
+//! 3. **Residency** — bytes the physical allocator attributes to a node
+//!    equal what the page tables (plus fixed carve-outs) say is resident
+//!    there.
+//! 4. **Clock monotonicity** — virtual time never moves backwards.
+//! 5. **Capability gating** — on platforms without migration support,
+//!    migration counters are exactly zero.
+//!
+//! The sanitizer is observation-only: it never mutates simulator state,
+//! never advances the clock, and never force-enables tracing, so a
+//! sanitized run is bitwise-identical to an unsanitized one.
+
+use crate::Bytes;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Whether the sanitizer should run: `GH_SANITIZE=1` in the environment,
+/// or always in debug builds (which is what `cargo test` uses, making the
+/// sanitizer always-on in tests). Read once; checking it never perturbs
+/// the simulation.
+pub fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("GH_SANITIZE")
+            .map(|v| v == "1")
+            .unwrap_or(cfg!(debug_assertions))
+    })
+}
+
+/// Which invariant a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// Link bulk bytes != migrated bytes + explicit transfers.
+    LinkConservation,
+    /// Node usage exceeds physical capacity.
+    Capacity,
+    /// Physical allocator and page tables disagree on residency.
+    Residency,
+    /// Virtual clock moved backwards.
+    ClockMonotone,
+    /// A capability-gated counter is non-zero on a platform lacking the
+    /// capability.
+    CapabilityGated,
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Invariant::LinkConservation => "link-conservation",
+            Invariant::Capacity => "capacity",
+            Invariant::Residency => "residency",
+            Invariant::ClockMonotone => "clock-monotone",
+            Invariant::CapabilityGated => "capability-gated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One broken invariant, with the phase it was observed after.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant class.
+    pub invariant: Invariant,
+    /// Phase label active when the snapshot was taken.
+    pub phase: String,
+    /// Human-readable detail (both sides of the failed equation).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] after phase `{}`: {}",
+            self.invariant, self.phase, self.detail
+        )
+    }
+}
+
+/// The sanitizer's verdict for a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SanitizerReport {
+    /// Snapshots checked.
+    pub snapshots: u64,
+    /// Individual invariant checks evaluated.
+    pub checks: u64,
+    /// Everything that failed (empty on a healthy run).
+    pub violations: Vec<Violation>,
+}
+
+impl SanitizerReport {
+    /// True when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sanitizer: {} snapshots, {} checks, {} violations",
+            self.snapshots,
+            self.checks,
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the sanitizer needs to know about the machine at a phase
+/// boundary. All quantities are cumulative since machine construction.
+/// Plain data: the sanitizer depends on no simulator crate, so every
+/// model layer can feed it.
+#[derive(Debug, Clone)]
+pub struct Snapshot<'a> {
+    /// Label of the phase that just ended.
+    pub phase: &'a str,
+    /// Virtual clock reading.
+    pub now: u64,
+    /// Whether both nodes share one physical pool (MI300A).
+    pub unified_pool: bool,
+    /// CPU node capacity (== pool size when unified).
+    pub cpu_capacity: Bytes,
+    /// GPU node capacity (== pool size when unified).
+    pub gpu_capacity: Bytes,
+    /// Bytes the physical allocator attributes to the CPU node.
+    pub cpu_used: Bytes,
+    /// Bytes the physical allocator attributes to the GPU node
+    /// (driver baseline included).
+    pub gpu_used: Bytes,
+    /// What the page tables say should be resident on the CPU node.
+    pub expected_cpu_used: Bytes,
+    /// What the page tables plus fixed carve-outs (driver baseline,
+    /// oversubscription balloon) say should be resident on the GPU node.
+    pub expected_gpu_used: Bytes,
+    /// Cumulative *bulk* bytes the link moved host→device.
+    pub bulk_h2d: Bytes,
+    /// Cumulative *bulk* bytes the link moved device→host.
+    pub bulk_d2h: Bytes,
+    /// Bus-recorded bytes migrated/copied host→device (`None` when
+    /// tracing is off — the conservation check is skipped then).
+    pub traced_h2d: Option<Bytes>,
+    /// Bus-recorded bytes migrated/copied device→host.
+    pub traced_d2h: Option<Bytes>,
+    /// Whether this platform supports page migration between tiers.
+    pub migration_supported: bool,
+    /// Cumulative pages migrated in either direction (state-level
+    /// counter, available without tracing).
+    pub migrated_pages: u64,
+}
+
+/// Accumulates invariant checks over a run's phase snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct Sanitizer {
+    last_now: u64,
+    report: SanitizerReport,
+}
+
+impl Sanitizer {
+    /// A fresh sanitizer (clock at zero, empty report).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks every invariant against `snap`, accumulating violations.
+    pub fn check(&mut self, snap: &Snapshot<'_>) {
+        self.report.snapshots += 1;
+        self.clock_monotone(snap);
+        self.capacity(snap);
+        self.residency(snap);
+        self.link_conservation(snap);
+        self.capability_gated(snap);
+    }
+
+    /// Consumes the sanitizer and returns the accumulated report.
+    pub fn finish(self) -> SanitizerReport {
+        self.report
+    }
+
+    /// The report so far (for mid-run inspection).
+    pub fn report(&self) -> &SanitizerReport {
+        &self.report
+    }
+
+    fn fail(&mut self, invariant: Invariant, phase: &str, detail: String) {
+        self.report.violations.push(Violation {
+            invariant,
+            phase: phase.to_string(),
+            detail,
+        });
+    }
+
+    fn clock_monotone(&mut self, s: &Snapshot<'_>) {
+        self.report.checks += 1;
+        if s.now < self.last_now {
+            self.fail(
+                Invariant::ClockMonotone,
+                s.phase,
+                format!("clock moved backwards: {} -> {}", self.last_now, s.now),
+            );
+        }
+        self.last_now = s.now;
+    }
+
+    fn capacity(&mut self, s: &Snapshot<'_>) {
+        self.report.checks += 1;
+        if s.unified_pool {
+            let joint = s.cpu_used + s.gpu_used;
+            if joint > s.gpu_capacity {
+                self.fail(
+                    Invariant::Capacity,
+                    s.phase,
+                    format!(
+                        "joint usage {joint} exceeds unified pool {}",
+                        s.gpu_capacity
+                    ),
+                );
+            }
+        } else {
+            if s.cpu_used > s.cpu_capacity {
+                self.fail(
+                    Invariant::Capacity,
+                    s.phase,
+                    format!(
+                        "CPU usage {} exceeds capacity {}",
+                        s.cpu_used, s.cpu_capacity
+                    ),
+                );
+            }
+            if s.gpu_used > s.gpu_capacity {
+                self.fail(
+                    Invariant::Capacity,
+                    s.phase,
+                    format!(
+                        "GPU usage {} exceeds capacity {}",
+                        s.gpu_used, s.gpu_capacity
+                    ),
+                );
+            }
+        }
+    }
+
+    fn residency(&mut self, s: &Snapshot<'_>) {
+        self.report.checks += 1;
+        if s.cpu_used != s.expected_cpu_used {
+            self.fail(
+                Invariant::Residency,
+                s.phase,
+                format!(
+                    "CPU node: allocator says {}, page tables say {}",
+                    s.cpu_used, s.expected_cpu_used
+                ),
+            );
+        }
+        if s.gpu_used != s.expected_gpu_used {
+            self.fail(
+                Invariant::Residency,
+                s.phase,
+                format!(
+                    "GPU node: allocator says {}, page tables + carve-outs say {}",
+                    s.gpu_used, s.expected_gpu_used
+                ),
+            );
+        }
+    }
+
+    fn link_conservation(&mut self, s: &Snapshot<'_>) {
+        let (Some(th2d), Some(td2h)) = (s.traced_h2d, s.traced_d2h) else {
+            return; // tracing off: no right-hand side to compare against
+        };
+        self.report.checks += 1;
+        if s.bulk_h2d != th2d {
+            self.fail(
+                Invariant::LinkConservation,
+                s.phase,
+                format!(
+                    "H2D: link moved {} in bulk, bus accounts for {}",
+                    s.bulk_h2d, th2d
+                ),
+            );
+        }
+        if s.bulk_d2h != td2h {
+            self.fail(
+                Invariant::LinkConservation,
+                s.phase,
+                format!(
+                    "D2H: link moved {} in bulk, bus accounts for {}",
+                    s.bulk_d2h, td2h
+                ),
+            );
+        }
+    }
+
+    fn capability_gated(&mut self, s: &Snapshot<'_>) {
+        if s.migration_supported {
+            return;
+        }
+        self.report.checks += 1;
+        if s.migrated_pages != 0 {
+            self.fail(
+                Invariant::CapabilityGated,
+                s.phase,
+                format!(
+                    "platform does not support migration, yet {} pages migrated",
+                    s.migrated_pages
+                ),
+            );
+        }
+        if !s.bulk_h2d.is_zero() || !s.bulk_d2h.is_zero() {
+            self.fail(
+                Invariant::CapabilityGated,
+                s.phase,
+                format!(
+                    "platform does not support migration, yet the link moved {} H2D / {} D2H in bulk",
+                    s.bulk_h2d, s.bulk_d2h
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy() -> Snapshot<'static> {
+        Snapshot {
+            phase: "compute",
+            now: 100,
+            unified_pool: false,
+            cpu_capacity: Bytes::new(1000),
+            gpu_capacity: Bytes::new(500),
+            cpu_used: Bytes::new(400),
+            gpu_used: Bytes::new(300),
+            expected_cpu_used: Bytes::new(400),
+            expected_gpu_used: Bytes::new(300),
+            bulk_h2d: Bytes::new(128),
+            bulk_d2h: Bytes::new(64),
+            traced_h2d: Some(Bytes::new(128)),
+            traced_d2h: Some(Bytes::new(64)),
+            migration_supported: true,
+            migrated_pages: 3,
+        }
+    }
+
+    #[test]
+    fn healthy_snapshot_is_clean() {
+        let mut s = Sanitizer::new();
+        s.check(&healthy());
+        let r = s.finish();
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.snapshots, 1);
+        assert!(r.checks >= 4);
+    }
+
+    #[test]
+    fn backwards_clock_fires() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.now = 100;
+        s.check(&snap);
+        snap.now = 99;
+        s.check(&snap);
+        let r = s.finish();
+        assert_eq!(r.violations.len(), 1, "{r}");
+        assert_eq!(r.violations[0].invariant, Invariant::ClockMonotone);
+    }
+
+    #[test]
+    fn over_capacity_fires_per_node() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.gpu_used = Bytes::new(501);
+        snap.expected_gpu_used = Bytes::new(501);
+        s.check(&snap);
+        let r = s.finish();
+        assert_eq!(r.violations.len(), 1, "{r}");
+        assert_eq!(r.violations[0].invariant, Invariant::Capacity);
+    }
+
+    #[test]
+    fn unified_pool_checks_joint_usage() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.unified_pool = true;
+        snap.cpu_capacity = Bytes::new(1000);
+        snap.gpu_capacity = Bytes::new(1000);
+        snap.cpu_used = Bytes::new(600);
+        snap.gpu_used = Bytes::new(500); // each fits alone, joint does not
+        snap.expected_cpu_used = snap.cpu_used;
+        snap.expected_gpu_used = snap.gpu_used;
+        s.check(&snap);
+        let r = s.finish();
+        assert_eq!(r.violations.len(), 1, "{r}");
+        assert_eq!(r.violations[0].invariant, Invariant::Capacity);
+    }
+
+    #[test]
+    fn residency_mismatch_fires() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.expected_cpu_used = Bytes::new(399);
+        s.check(&snap);
+        let r = s.finish();
+        assert_eq!(r.violations.len(), 1, "{r}");
+        assert_eq!(r.violations[0].invariant, Invariant::Residency);
+        assert!(
+            r.violations[0].detail.contains("399"),
+            "{}",
+            r.violations[0].detail
+        );
+    }
+
+    #[test]
+    fn link_conservation_fires_on_unaccounted_bytes() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.bulk_h2d = Bytes::new(256); // bus only saw 128
+        s.check(&snap);
+        let r = s.finish();
+        assert_eq!(r.violations.len(), 1, "{r}");
+        assert_eq!(r.violations[0].invariant, Invariant::LinkConservation);
+    }
+
+    #[test]
+    fn link_conservation_skipped_without_tracing() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.bulk_h2d = Bytes::new(999_999);
+        snap.traced_h2d = None;
+        snap.traced_d2h = None;
+        s.check(&snap);
+        assert!(s.finish().is_clean());
+    }
+
+    #[test]
+    fn capability_gating_fires_on_impossible_migration() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.migration_supported = false;
+        snap.migrated_pages = 1;
+        snap.bulk_h2d = Bytes::ZERO;
+        snap.bulk_d2h = Bytes::ZERO;
+        snap.traced_h2d = Some(Bytes::ZERO);
+        snap.traced_d2h = Some(Bytes::ZERO);
+        s.check(&snap);
+        let r = s.finish();
+        assert_eq!(r.violations.len(), 1, "{r}");
+        assert_eq!(r.violations[0].invariant, Invariant::CapabilityGated);
+    }
+
+    #[test]
+    fn report_display_lists_violations() {
+        let mut s = Sanitizer::new();
+        let mut snap = healthy();
+        snap.expected_cpu_used = Bytes::ZERO;
+        s.check(&snap);
+        let text = s.finish().to_string();
+        assert!(text.contains("1 violations"), "{text}");
+        assert!(text.contains("residency"), "{text}");
+        assert!(text.contains("compute"), "{text}");
+    }
+}

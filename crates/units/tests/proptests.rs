@@ -1,0 +1,81 @@
+//! Property tests for the unit newtypes: conversion roundtrips, saturating
+//! arithmetic, ordering/display stability.
+
+use gh_units::{transfer_ns, Bytes, Lines, PageSize, Pages, SimNs, Vpn, VpnRange};
+use proptest::prelude::*;
+
+proptest! {
+    /// Ceil-division never loses bytes: the pages spanned by a byte count
+    /// always cover at least that many bytes, and never a full extra page.
+    #[test]
+    fn bytes_pages_roundtrip_covers(bytes in 0u64..1u64 << 50, shift in 12u32..22) {
+        let page = PageSize::new(1u64 << shift);
+        let pages = Bytes::new(bytes).pages_ceil(page);
+        let covered = pages * page;
+        prop_assert!(covered.get() >= bytes, "ceil must cover: {covered} < {bytes}");
+        prop_assert!(
+            covered.get() - bytes < page.get(),
+            "ceil overshoots by a full page: {covered} for {bytes}"
+        );
+        // Floor division is the exact inverse on page-aligned quantities.
+        prop_assert_eq!(covered / page, pages);
+        prop_assert_eq!(covered.pages_ceil(page), pages);
+    }
+
+    /// Saturating ops never wrap: results are clamped, ordered, and
+    /// subtraction never exceeds the minuend.
+    #[test]
+    fn saturating_ops_never_wrap(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (x, y) = (Bytes::new(a), Bytes::new(b));
+        let sum = x + y;
+        prop_assert!(sum >= x && sum >= y, "saturating add is monotone");
+        prop_assert_eq!(sum.get(), a.saturating_add(b));
+        let diff = x - y;
+        prop_assert!(diff <= x, "saturating sub never exceeds the minuend");
+        prop_assert_eq!(diff.get(), a.saturating_sub(b));
+        let prod = Pages::new(a) * PageSize::new(4096);
+        prop_assert_eq!(prod.get(), a.saturating_mul(4096));
+        let lines = Lines::new(a).bytes(Bytes::new(128));
+        prop_assert_eq!(lines.get(), a.saturating_mul(128));
+    }
+
+    /// Newtype ordering and equality agree with the raw value's, and
+    /// Display output is stable (raw value + fixed suffix).
+    #[test]
+    fn ordering_and_display_stability(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        prop_assert_eq!(Bytes::new(a) < Bytes::new(b), a < b);
+        prop_assert_eq!(Bytes::new(a) == Bytes::new(b), a == b);
+        prop_assert_eq!(Vpn::new(a).cmp(&Vpn::new(b)), a.cmp(&b));
+        prop_assert_eq!(Bytes::new(a).to_string(), format!("{a} B"));
+        prop_assert_eq!(SimNs::new(a).to_string(), format!("{a} ns"));
+    }
+
+    /// VpnRange::count matches iteration, and iteration is ordered.
+    #[test]
+    fn vpn_range_count_matches_iteration(start in 0u64..10_000, span in 0u64..2_000) {
+        let r = VpnRange::new(Vpn::new(start), Vpn::new(start + span));
+        prop_assert_eq!(r.count().get(), span);
+        let vs: Vec<u64> = r.iter().map(Vpn::get).collect();
+        prop_assert_eq!(vs.len() as u64, span);
+        prop_assert!(vs.windows(2).all(|w| w[0] + 1 == w[1]), "iteration is ordered");
+        for &v in &vs {
+            prop_assert!(r.contains(Vpn::new(v)));
+        }
+    }
+
+    /// transfer_ns is monotone in bytes, zero only at zero, and never
+    /// truncates below the rounded quotient.
+    #[test]
+    fn transfer_ns_monotone_and_floored(a in 0u64..1u64 << 48, b in 0u64..1u64 << 48) {
+        let bw = 375.0;
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(transfer_ns(Bytes::new(lo), bw) <= transfer_ns(Bytes::new(hi), bw));
+        let t = transfer_ns(Bytes::new(hi), bw);
+        prop_assert_eq!(t == 0, hi == 0, "only zero bytes are free");
+        if hi > 0 {
+            let exact = hi as f64 / bw;
+            prop_assert!(t as f64 >= exact - 0.5, "never truncates: {t} vs {exact}");
+            prop_assert!(t as f64 <= exact + 1.0, "never overshoots: {t} vs {exact}");
+        }
+    }
+}

@@ -21,8 +21,8 @@ fn main() {
     // allocate, init, two iterations of metered kernels.
     let bytes = (p.size * p.size * 4) as u64;
     m.rt.cuda_init();
-    let j = m.rt.malloc_system(bytes, "J");
-    let c = m.rt.cuda_malloc_managed(bytes, "c");
+    let j = m.rt.malloc_system(gh_units::Bytes::new(bytes), "J");
+    let c = m.rt.cuda_malloc_managed(gh_units::Bytes::new(bytes), "c");
     m.rt.cpu_write(&j, 0, bytes);
     for i in 0..p.iterations {
         let mut k = m.rt.launch(&format!("srad1_iter{i}"));

@@ -30,8 +30,11 @@ fn main() {
             .machine_cfg(&MachineConfig::without_migration())
             .expect("default page size is always supported");
         m.rt.cuda_init();
-        let grid = m.rt.malloc_system_with_policy(bytes, policy, "grid");
-        let scratch = m.rt.cuda_malloc(bytes, "scratch").unwrap();
+        let grid =
+            m.rt.malloc_system_with_policy(gh_units::Bytes::new(bytes), policy, "grid");
+        let scratch =
+            m.rt.cuda_malloc(gh_units::Bytes::new(bytes), "scratch")
+                .unwrap();
 
         let t0 = m.now();
         m.rt.cpu_write(&grid, 0, bytes);

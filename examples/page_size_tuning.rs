@@ -45,7 +45,7 @@ fn main() {
         let mut m = machine(page_4k);
         // Pre-populate a same-sized region to model the strategy's cost.
         let bytes = (p.size * p.size * 4) as u64;
-        let probe = m.rt.malloc_system(6 * bytes, "pre");
+        let probe = m.rt.malloc_system(gh_units::Bytes::new(6 * bytes), "pre");
         let reg_cost = m.rt.cuda_host_register(&probe);
         m.rt.free(probe);
         let r = srad::run(m, MemMode::System, &p);

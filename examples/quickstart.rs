@@ -23,12 +23,17 @@ fn run(mode: MemMode) {
     // unified versions need a single allocation.
     let (host, dev) = match mode {
         MemMode::Explicit => {
-            let h = m.rt.malloc_system(N, "host");
-            let d = m.rt.cuda_malloc(N, "dev").expect("fits");
+            let h = m.rt.malloc_system(gh_units::Bytes::new(N), "host");
+            let d =
+                m.rt.cuda_malloc(gh_units::Bytes::new(N), "dev")
+                    .expect("fits");
             (Some(h), d)
         }
-        MemMode::System => (None, m.rt.malloc_system(N, "unified")),
-        MemMode::Managed => (None, m.rt.cuda_malloc_managed(N, "unified")),
+        MemMode::System => (None, m.rt.malloc_system(gh_units::Bytes::new(N), "unified")),
+        MemMode::Managed => (
+            None,
+            m.rt.cuda_malloc_managed(gh_units::Bytes::new(N), "unified"),
+        ),
     };
 
     m.phase(Phase::CpuInit);

@@ -133,6 +133,21 @@ fn print_report_maybe_json(label: &str, r: &grace_mem::RunReport, json: bool) {
     } else {
         print_report(label, r);
     }
+    report_sanitizer(r);
+}
+
+/// Surfaces invariant-sanitizer violations on stderr (see
+/// `docs/units.md`). Clean runs print nothing, so sanitized stdout
+/// stays bitwise-identical to an unsanitized run.
+fn report_sanitizer(r: &grace_mem::RunReport) {
+    let Some(s) = &r.sanitizer else { return };
+    if s.is_clean() {
+        return;
+    }
+    eprintln!("sanitizer: {s}");
+    for v in &s.violations {
+        eprintln!("  {v}");
+    }
 }
 
 fn trace_env() -> bool {
@@ -241,8 +256,9 @@ fn main() {
             let Some(name) = args.get(1) else { usage() };
             // Extension workloads run through their own entry points.
             if let Some(report) = run_extension(name, &args[2..]) {
-                print_report(&name.to_string(), &report);
-                maybe_dump_trace(&report, &parse_flags(&args[2..]));
+                let f = parse_flags(&args[2..]);
+                print_report_maybe_json(&name.to_string(), &report, f.json);
+                maybe_dump_trace(&report, &f);
                 return;
             }
             let Some(app) = AppId::ALL.iter().find(|a| a.name() == name) else {

@@ -19,7 +19,7 @@
 //!
 //! // Allocate system memory (malloc) — no CUDA context involved.
 //! m.phase(Phase::Alloc);
-//! let buf = m.rt.malloc_system(8 << 20, "data");
+//! let buf = m.rt.malloc_system(gh_units::Bytes::new(8 << 20), "data");
 //!
 //! // Initialize on the CPU (first touch places pages in LPDDR).
 //! m.phase(Phase::CpuInit);

@@ -16,9 +16,14 @@ fn double_buffered_pipeline_beats_serial_copies() {
     // API directly: two streams halve the end-to-end time of
     // copy+compute chains.
     let mut m = gh200();
-    let h = m.rt.cuda_malloc_host(64 << 20, "host");
-    let d0 = m.rt.cuda_malloc(8 << 20, "chunk0").unwrap();
-    let d1 = m.rt.cuda_malloc(8 << 20, "chunk1").unwrap();
+    let h =
+        m.rt.cuda_malloc_host(gh_units::Bytes::new(64 << 20), "host");
+    let d0 =
+        m.rt.cuda_malloc(gh_units::Bytes::new(8 << 20), "chunk0")
+            .unwrap();
+    let d1 =
+        m.rt.cuda_malloc(gh_units::Bytes::new(8 << 20), "chunk1")
+            .unwrap();
     let s0 = m.rt.create_stream();
     let s1 = m.rt.create_stream();
 
@@ -53,8 +58,11 @@ fn double_buffered_pipeline_beats_serial_copies() {
 fn numa_bound_buffer_is_hbm_local_for_kernels() {
     let mut m = gh200();
     m.rt.cuda_init();
-    let b =
-        m.rt.malloc_system_with_policy(8 << 20, NumaPolicy::Bind(Node::Gpu), "bound");
+    let b = m.rt.malloc_system_with_policy(
+        gh_units::Bytes::new(8 << 20),
+        NumaPolicy::Bind(Node::Gpu),
+        "bound",
+    );
     m.rt.cpu_write(&b, 0, 8 << 20);
     let mut k = m.rt.launch("probe");
     k.read(&b, 0, 8 << 20);
@@ -68,7 +76,8 @@ fn numa_alloc_onnode_matches_table1_row() {
     // Table 1 lists numa_alloc_onnode as a CPU allocation interface:
     // eager CPU residency, coherent remote access from the GPU.
     let mut m = gh200();
-    let b = m.rt.numa_alloc_onnode(4 << 20, Node::Cpu, "numa_cpu");
+    let b =
+        m.rt.numa_alloc_onnode(gh_units::Bytes::new(4 << 20), Node::Cpu, "numa_cpu");
     assert_eq!(m.rt.rss(), 4 << 20);
     let mut k = m.rt.launch("probe");
     k.read(&b, 0, 4 << 20);
@@ -110,7 +119,9 @@ end
 #[test]
 fn timeline_export_covers_the_run() {
     let mut m = gh200();
-    let b = m.rt.cuda_malloc(4 << 20, "d").unwrap();
+    let b =
+        m.rt.cuda_malloc(gh_units::Bytes::new(4 << 20), "d")
+            .unwrap();
     m.rt.cuda_memset(&b, 0, 4 << 20);
     let mut k = m.rt.launch("work");
     k.read(&b, 0, 4 << 20);
@@ -135,8 +146,10 @@ fn timeline_export_covers_the_run() {
 #[test]
 fn event_timing_matches_clock() {
     let mut m = gh200();
-    let h = m.rt.cuda_malloc_host(16 << 20, "h");
-    let d = m.rt.cuda_malloc(16 << 20, "d").unwrap();
+    let h = m.rt.cuda_malloc_host(gh_units::Bytes::new(16 << 20), "h");
+    let d =
+        m.rt.cuda_malloc(gh_units::Bytes::new(16 << 20), "d")
+            .unwrap();
     let s = m.rt.create_stream();
     let e0 = m.rt.event_record(s);
     m.rt.memcpy_async(&d, 0, &h, 0, 16 << 20, s);
@@ -175,9 +188,10 @@ fn gate_fusion_reduces_sweep_count_in_simulation() {
 #[test]
 fn smaps_accounts_application_buffers() {
     let mut m = gh200();
-    let a = m.rt.malloc_system(4 << 20, "alpha");
+    let a = m.rt.malloc_system(gh_units::Bytes::new(4 << 20), "alpha");
     m.rt.cpu_write(&a, 0, 4 << 20);
-    let _b = m.rt.cuda_malloc_managed(2 << 20, "beta");
+    let _b =
+        m.rt.cuda_malloc_managed(gh_units::Bytes::new(2 << 20), "beta");
     let maps = m.rt.os().smaps();
     let alpha = maps.iter().find(|e| e.tag == "alpha").unwrap();
     assert_eq!(alpha.resident_cpu, 4 << 20);

@@ -54,7 +54,7 @@ fn rss_and_gpu_account_for_unified_pages() {
     // node: RSS + (GPU used − baseline) == touched bytes.
     let mut m = gh200();
     let baseline = m.rt.params().gpu_driver_baseline;
-    let b = m.rt.malloc_system(8 << 20, "x");
+    let b = m.rt.malloc_system(gh_units::Bytes::new(8 << 20), "x");
     m.rt.cpu_write(&b, 0, 4 << 20); // half CPU
     let mut k = m.rt.launch("init_rest");
     k.write(&b, 4 << 20, 4 << 20); // half GPU (first touch)
@@ -79,4 +79,27 @@ fn balloon_is_fully_released() {
 #[test]
 fn node_peer_roundtrip() {
     assert_eq!(Node::Cpu.peer(), Node::Gpu);
+}
+
+#[test]
+fn sanitizer_is_clean_across_apps_and_platforms() {
+    // The invariant sanitizer (GH_SANITIZE=1, default-on in debug) must
+    // stay silent through entire application runs on both platform
+    // models, with tracing on so the link-conservation check has its
+    // right-hand side.
+    for plat in ["gh200", "mi300a"] {
+        for app in AppId::ALL {
+            for mode in [MemMode::System, MemMode::Managed] {
+                grace_mem::trace::enable();
+                let m = platform::by_name(plat).expect("known platform").machine();
+                let r = app.run_small(m, mode);
+                grace_mem::trace::disable();
+                let Some(s) = r.sanitizer else {
+                    return; // sanitizer forced off via GH_SANITIZE=0
+                };
+                assert!(s.is_clean(), "{plat}/{}/{mode}: {s}", app.name());
+                assert!(s.snapshots > 0);
+            }
+        }
+    }
 }

@@ -95,7 +95,7 @@ fn mi300a_cpu_allocations_drain_the_shared_pool() {
     // One physical pool: CPU-resident pages shrink the GPU's free view.
     let mut m = platform::mi300a().machine();
     let free0 = m.rt.gpu_free();
-    let b = m.rt.malloc_system(8 << 20, "x");
+    let b = m.rt.malloc_system(gh_units::Bytes::new(8 << 20), "x");
     m.rt.cpu_write(&b, 0, 8 << 20);
     assert_eq!(m.rt.rss(), 8 << 20);
     assert_eq!(
