@@ -7,12 +7,22 @@
 //! runs on, breaking the bit-exact determinism contract that
 //! `tests/determinism.rs` enforces end-to-end. Benches and tests may time
 //! themselves; shipped simulator code may not.
+//!
+//! **Sanctioned carve-out:** the `gh-perf` crate is the workspace's
+//! self-profiler — host time is its entire subject matter, and its
+//! quarantine (profile data never reaches a `RunReport`; every entry
+//! point is a no-op until armed) is what the determinism tests verify
+//! instead. It is the *only* crate exempt from this rule; model crates
+//! calling its no-op facade stay covered.
 
 use crate::rules::{Finding, Rule};
 use crate::source::{FileKind, SourceFile};
 
 /// Identifiers that read or represent host time.
 const BANNED: [&str; 4] = ["Instant", "SystemTime", "UNIX_EPOCH", "elapsed"];
+
+/// The one crate sanctioned to read host time (see module docs).
+const EXEMPT_CRATE: &str = "gh-perf";
 
 /// See module docs.
 #[derive(Debug)]
@@ -29,6 +39,9 @@ impl Rule for WallClock {
 
     fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
         if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+            return;
+        }
+        if file.crate_name == EXEMPT_CRATE {
             return;
         }
         let code: Vec<_> = file.code_tokens().collect();
@@ -69,7 +82,11 @@ mod tests {
     use crate::source::SourceFile;
 
     fn run(kind: FileKind, src: &str) -> Vec<Finding> {
-        let f = SourceFile::parse("c/src/lib.rs", "c", kind, src);
+        run_in("c", kind, src)
+    }
+
+    fn run_in(crate_name: &str, kind: FileKind, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("c/src/lib.rs", crate_name, kind, src);
         let mut out = Vec::new();
         WallClock.check_file(&f, &mut out);
         out
@@ -102,5 +119,13 @@ mod tests {
     fn test_mod_is_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n fn t() { let x = Instant::now(); }\n}\n";
         assert!(run(FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn gh_perf_is_the_sanctioned_exemption() {
+        let src = "let t = std::time::Instant::now(); let e = t.elapsed();";
+        assert!(run_in("gh-perf", FileKind::Lib, src).is_empty());
+        // The same source in any other crate still fires (both idents).
+        assert_eq!(run_in("gh-mem", FileKind::Lib, src).len(), 2);
     }
 }

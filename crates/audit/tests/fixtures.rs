@@ -28,6 +28,24 @@ fn seeded_fixture_fires_no_wall_clock() {
 }
 
 #[test]
+fn wall_clock_exemption_is_silent_inside_gh_perf_and_fires_outside() {
+    // The seeded tree plants every banned wall-clock ident in BOTH
+    // gh-mem/src/lib.rs and gh-perf/src/lib.rs; only gh-mem may fire.
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "no-wall-clock");
+    assert!(!hits.is_empty(), "gh-mem's seeded violations must fire");
+    assert!(
+        hits.iter().all(|h| !h.path.contains("gh-perf")),
+        "gh-perf is the sanctioned carve-out: {hits:?}"
+    );
+    // The clean tree's gh-perf also reads Instant (that is its job) —
+    // covered by clean_fixture_has_zero_findings, re-asserted here for
+    // the rule specifically.
+    let clean = audit("clean");
+    assert!(rule_hits(&clean, "no-wall-clock").is_empty(), "{clean:#?}");
+}
+
+#[test]
 fn seeded_fixture_fires_no_unordered_iteration() {
     let f = audit("seeded");
     let hits = rule_hits(&f, "no-unordered-iteration");

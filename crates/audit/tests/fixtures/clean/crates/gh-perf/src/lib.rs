@@ -1,0 +1,12 @@
+//! Clean-fixture twin of the workspace's self-profiler: host-time reads
+//! inside `gh-perf` are the sanctioned `no-wall-clock` carve-out and
+//! must stay silent here.
+
+use std::time::Instant;
+
+/// Measures host nanoseconds spent in `f` — legal only in this crate.
+pub fn host_time_ns<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos())
+}

@@ -1,0 +1,16 @@
+//! Seeded-tree gh-perf twin: even in the violation-seeded workspace the
+//! `no-wall-clock` exemption must keep host-time reads here silent while
+//! the identical idents in `gh-mem/src/lib.rs` fire. No *other* rule is
+//! seeded here, so every wall-clock-looking token below is exercise for
+//! the exemption, not noise for the per-rule counts.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Exercises every banned ident the rule knows about.
+pub fn all_banned_idents() -> u128 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos());
+    wall + t0.elapsed().as_nanos()
+}

@@ -1,0 +1,51 @@
+//! The perf-trajectory suite: runs every app × mode × platform under
+//! `gh-perf`, writes `BENCH_<date>.json` + `.folded` at the repo root
+//! (`GH_BENCH_OUT` overrides), and diffs against `BENCH_baseline.json`.
+//!
+//! Exit status: nonzero only when simulated checksums drift from the
+//! baseline — wall-time movement is reported but advisory.
+
+use gh_bench::perf_suite;
+
+fn main() {
+    let fast = gh_bench::fast_requested();
+    let suite = perf_suite::run(fast);
+    gh_bench::emit(
+        "perf suite (sim-speed trajectory)",
+        &suite.csv(),
+        &[
+            "wall_ms is host time; sim_ms is virtual time; sim_ns_per_host_ms is the headline ratio.",
+            "Set GH_FAST=1 for shrunk inputs, GH_BENCH_OUT=<dir> to redirect output files.",
+        ],
+    );
+    match suite.write() {
+        Ok((json, folded)) => {
+            println!("# wrote {} and {}", json.display(), folded.display());
+        }
+        Err(e) => {
+            eprintln!("perf_suite: failed to write BENCH files: {e}");
+            std::process::exit(1);
+        }
+    }
+    match perf_suite::compare_to_baseline(&suite) {
+        Ok(None) => println!("# no BENCH_baseline.json at repo root; comparison skipped"),
+        Ok(Some(cmp)) => {
+            for w in &cmp.warnings {
+                println!("# WARN {w}");
+            }
+            for e in &cmp.errors {
+                eprintln!("# FAIL {e}");
+            }
+            if cmp.is_clean() {
+                println!("# baseline comparison clean (tolerance ±10%)");
+            }
+            if !cmp.errors.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_suite: baseline unreadable: {e}");
+            std::process::exit(1);
+        }
+    }
+}

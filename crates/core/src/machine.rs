@@ -91,6 +91,7 @@ impl Machine {
     pub fn phase(&mut self, p: Phase) {
         self.sanitize_closed_phase();
         let now = self.rt.now();
+        gh_perf::phase_mark(p.label(), now);
         self.timer.enter(p, now);
         if self.phase_span_open {
             gh_trace::span_exit();
@@ -183,6 +184,7 @@ impl Machine {
             self.phase_span_open = false;
         }
         let now = self.rt.now();
+        gh_perf::run_end(now);
         let phases = self.timer.finish(now);
         let peak_gpu = self.rt.peak_gpu();
         let kernel_times = self.rt.kernel_times().to_vec();

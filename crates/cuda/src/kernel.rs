@@ -106,11 +106,15 @@ pub struct Kernel<'r> {
     /// this kernel is served from cache on re-touch.
     l2: gh_mem::SetCache,
     finished: bool,
+    /// Host-time profiling span covering launch → finish (gh-perf;
+    /// no-op guard when profiling is off).
+    _perf_span: gh_perf::SpanGuard,
 }
 
 impl<'r> Kernel<'r> {
     pub(crate) fn new(rt: &'r mut Runtime, name: &str) -> Self {
         rt.uvm.migrated_this_kernel.clear();
+        let perf_span = gh_perf::span(&format!("kernel:{name}"));
         let start = rt.now();
         let l2 = gh_mem::SetCache::new(
             Bytes::new(rt.params.gpu_l2_bytes),
@@ -133,6 +137,7 @@ impl<'r> Kernel<'r> {
             by_buffer: std::collections::BTreeMap::new(),
             l2,
             finished: false,
+            _perf_span: perf_span,
         }
     }
 
@@ -470,6 +475,7 @@ impl<'r> Kernel<'r> {
                 let (cost, on_gpu, _) = self.rt.uvm_first_touch_block(block, buf_range);
                 self.rt.tick(cost);
                 self.t.gpu_faults = self.t.gpu_faults.saturating_add(1);
+                gh_perf::count(gh_perf::Ctr::Faults, 1);
                 self.t.bytes_migrated_in = self.t.bytes_migrated_in.saturating_add(0); // population, not migration
                 let _ = on_gpu;
                 if gh_trace::enabled() {
@@ -489,6 +495,7 @@ impl<'r> Kernel<'r> {
                 let fault = self.rt.params.uvm_fault_batch;
                 self.rt.tick(fault);
                 self.t.gpu_faults = self.t.gpu_faults.saturating_add(1);
+                gh_perf::count(gh_perf::Ctr::Faults, 1);
                 if gh_trace::enabled() {
                     gh_trace::emit(gh_trace::Event::PageFault {
                         kind: gh_trace::FaultKind::Gpu,

@@ -517,6 +517,8 @@ impl Runtime {
         len: u64,
     ) -> Ns {
         self.ensure_ctx();
+        let _perf = gh_perf::span("memcpy");
+        gh_perf::count(gh_perf::Ctr::Memcpys, 1);
         assert!(src_off + len <= src.len(), "memcpy src out of range");
         assert!(dst_off + len <= dst.len(), "memcpy dst out of range");
         let dir = match (src.kind, dst.kind) {
@@ -646,6 +648,8 @@ impl Runtime {
         row_bytes: Bytes,
         rows: u64,
     ) -> Ns {
+        let _perf = gh_perf::span("memcpy_2d");
+        gh_perf::count(gh_perf::Ctr::Memcpys, 1);
         let row_bytes = row_bytes.get();
         assert!(
             row_bytes <= dst_pitch && row_bytes <= src_pitch,
@@ -838,6 +842,7 @@ impl Runtime {
     /// and (for the first launch) context initialization are charged here.
     pub fn launch(&mut self, name: &str) -> Kernel<'_> {
         self.ensure_ctx();
+        gh_perf::count(gh_perf::Ctr::KernelLaunches, 1);
         let launch_cost = self.params.kernel_launch;
         self.tick(launch_cost);
         self.kernel_seq += 1;

@@ -268,6 +268,7 @@ impl Runtime {
             self.params.uvm_migration_fixed + self.link.bulk(bytes, Direction::H2D),
         );
         let pages = widen(cpu_pages.len());
+        gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Fault,
@@ -331,6 +332,7 @@ impl Runtime {
             freed = freed.saturating_add(bytes);
             cost = cost
                 .saturating_add(self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H));
+            gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
             if gh_trace::enabled() {
                 gh_trace::emit(gh_trace::Event::Evict {
                     pages,
@@ -370,6 +372,7 @@ impl Runtime {
         }
         self.uvm.pinned_cpu.insert(buf_range.addr);
         self.uvm.evictions = self.uvm.evictions.saturating_add(1);
+        gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Pin {
                 va: buf_range.addr,
@@ -404,6 +407,7 @@ impl Runtime {
         for b in &blocks {
             self.uvm.drop_block(*b);
         }
+        gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
         if gh_trace::enabled() {
             gh_trace::emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Fault,
@@ -472,6 +476,7 @@ impl Runtime {
                     }
                     self.uvm.touch_lru(block);
                     dt = dt.saturating_add(self.link.bulk(bytes, Direction::H2D));
+                    gh_perf::count(gh_perf::Ctr::MigratedPages, widen(cpu_pages.len()));
                     if gh_trace::enabled() {
                         let pages = widen(cpu_pages.len());
                         gh_trace::emit(gh_trace::Event::Migration {
@@ -497,6 +502,7 @@ impl Runtime {
                     }
                     self.uvm.drop_block(block);
                     dt = dt.saturating_add(self.link.bulk(bytes, Direction::D2H));
+                    gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
                     if gh_trace::enabled() {
                         gh_trace::emit(gh_trace::Event::Migration {
                             engine: gh_trace::Engine::Prefetch,

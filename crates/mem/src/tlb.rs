@@ -78,6 +78,7 @@ impl Tlb {
     /// Looks up `vpn`; returns true on hit. Misses do **not** insert — the
     /// caller decides (after walking the page table) whether to `fill`.
     pub fn lookup(&mut self, vpn: Vpn) -> bool {
+        gh_perf::count(gh_perf::Ctr::TlbWalks, 1);
         let tag = vpn.get();
         self.tick = self.tick.saturating_add(1);
         let base = self.set_of(tag) * self.ways;
@@ -89,6 +90,7 @@ impl Tlb {
                 return true;
             }
         }
+        gh_perf::count(gh_perf::Ctr::TlbMisses, 1);
         self.misses = self.misses.saturating_add(1);
         false
     }

@@ -215,6 +215,7 @@ impl Os {
         let (node, frame) = self.place_first_touch(vpn, Node::Cpu, phys);
         self.system_pt.populate(vpn, node, frame);
         self.cpu_faults = self.cpu_faults.saturating_add(1);
+        gh_perf::count(gh_perf::Ctr::Faults, 1);
         let zero_bw = match node {
             Node::Cpu => self.params.lpddr_bw,
             Node::Gpu => self.params.c2c_h2d_bw,
@@ -274,6 +275,7 @@ impl Os {
         let (node, frame) = self.place_first_touch(vpn, Node::Gpu, phys);
         self.system_pt.populate(vpn, node, frame);
         self.ats_faults = self.ats_faults.saturating_add(1);
+        gh_perf::count(gh_perf::Ctr::Faults, 1);
         let mut cost = self.params.ats_fault_fixed
             + gh_units::ns_from_f64(page as f64 * self.params.ats_fault_per_byte);
         if self.config.autonuma {

@@ -1,0 +1,513 @@
+//! Thread-local profiling collector, mirroring the `gh-trace` facade
+//! idiom: a `Cell<bool>` armed flag checked first on every hot path, a
+//! `RefCell` collector behind it, free functions as the public surface,
+//! and a drain ([`take`]) that returns plain data.
+//!
+//! The simulator is single-threaded by design (determinism), so
+//! thread-local state is the whole story — no atomics, no locks.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::report::{PerfData, PhasePerf, SpanAgg};
+
+/// Hot-path rate counters. A fixed enum (not string keys) so counting on
+/// the TLB walk / fault / migration paths is an array increment, never a
+/// map lookup or an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ctr {
+    /// TLB lookups in the simulated GMMU (`gh-mem`).
+    TlbWalks,
+    /// TLB lookups that missed and walked the page table.
+    TlbMisses,
+    /// OS-level faults handled (`gh-os`: CPU first-touch, ATS, register).
+    Faults,
+    /// Pages migrated by the UVM policy engine (`gh-cuda`), both ways.
+    MigratedPages,
+    /// Kernel launches through the `gh-cuda` runtime.
+    KernelLaunches,
+    /// `memcpy`/`memcpy_2d` calls through the `gh-cuda` runtime.
+    Memcpys,
+}
+
+const N_CTRS: usize = 6;
+
+impl Ctr {
+    /// All counters in declaration (and export) order.
+    pub const ALL: [Ctr; N_CTRS] = [
+        Ctr::TlbWalks,
+        Ctr::TlbMisses,
+        Ctr::Faults,
+        Ctr::MigratedPages,
+        Ctr::KernelLaunches,
+        Ctr::Memcpys,
+    ];
+
+    /// Stable export name (dotted, matching the gh-trace counter style).
+    pub fn name(self) -> &'static str {
+        match self {
+            Ctr::TlbWalks => "tlb.walks",
+            Ctr::TlbMisses => "tlb.misses",
+            Ctr::Faults => "os.faults",
+            Ctr::MigratedPages => "uvm.migrated_pages",
+            Ctr::KernelLaunches => "cuda.kernel_launches",
+            Ctr::Memcpys => "cuda.memcpys",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Ctr::TlbWalks => 0,
+            Ctr::TlbMisses => 1,
+            Ctr::Faults => 2,
+            Ctr::MigratedPages => 3,
+            Ctr::KernelLaunches => 4,
+            Ctr::Memcpys => 5,
+        }
+    }
+}
+
+/// An open scoped span on the stack.
+struct OpenSpan {
+    /// Full folded path (`phase;parent;name`).
+    path: String,
+    /// Host ns (since `t0`) when the span opened.
+    start: u64,
+    /// Host ns consumed by already-closed children, for self-time.
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct SpanAcc {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+#[derive(Default)]
+struct PhaseAcc {
+    count: u64,
+    host_ns: u64,
+    sim_ns: u64,
+}
+
+struct Collector {
+    t0: Instant,
+    counters: [u64; N_CTRS],
+    stack: Vec<OpenSpan>,
+    spans: BTreeMap<String, SpanAcc>,
+    /// Open phase: (label, host start ns, sim start ns).
+    open_phase: Option<(String, u64, u64)>,
+    /// First-seen phase order, for a stable breakdown table.
+    phase_order: Vec<String>,
+    phases: BTreeMap<String, PhaseAcc>,
+    sim_total_ns: u64,
+    runs: u64,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            t0: Instant::now(),
+            counters: [0; N_CTRS],
+            stack: Vec::new(),
+            spans: BTreeMap::new(),
+            open_phase: None,
+            phase_order: Vec::new(),
+            phases: BTreeMap::new(),
+            sim_total_ns: 0,
+            runs: 0,
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        // u64 ns covers ~584 years of profiling; saturate rather than
+        // panic if a host clock misbehaves.
+        u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn close_phase(&mut self, now: u64, sim_now: u64) {
+        let Some((label, h0, s0)) = self.open_phase.take() else {
+            return;
+        };
+        let acc = self.phases.entry(label).or_default();
+        acc.count += 1;
+        acc.host_ns += now.saturating_sub(h0);
+        acc.sim_ns += sim_now.saturating_sub(s0);
+    }
+
+    fn close_span(&mut self, now: u64) {
+        let Some(open) = self.stack.pop() else { return };
+        let total = now.saturating_sub(open.start);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_ns += total;
+        }
+        let acc = self.spans.entry(open.path).or_default();
+        acc.count += 1;
+        acc.total_ns += total;
+        acc.self_ns += total.saturating_sub(open.child_ns);
+    }
+
+    fn drain(mut self) -> PerfData {
+        let now = self.now_ns();
+        // Close anything left open so the drain never loses time.
+        while !self.stack.is_empty() {
+            self.close_span(now);
+        }
+        let sim_floor = self.open_phase.as_ref().map_or(0, |&(_, _, s0)| s0);
+        self.close_phase(now, sim_floor);
+        let phases = self
+            .phase_order
+            .iter()
+            .filter_map(|label| {
+                let acc = self.phases.get(label)?;
+                Some(PhasePerf {
+                    label: label.clone(),
+                    count: acc.count,
+                    host_ns: acc.host_ns,
+                    sim_ns: acc.sim_ns,
+                })
+            })
+            .collect();
+        let spans = self
+            .spans
+            .into_iter()
+            .map(|(path, acc)| SpanAgg {
+                path,
+                count: acc.count,
+                total_ns: acc.total_ns,
+                self_ns: acc.self_ns,
+            })
+            .collect();
+        let counters = Ctr::ALL
+            .iter()
+            .map(|c| (c.name(), self.counters[c.index()]))
+            .collect();
+        PerfData {
+            host_total_ns: now,
+            sim_total_ns: self.sim_total_ns,
+            runs: self.runs,
+            phases,
+            spans,
+            counters,
+            peak_rss_bytes: crate::host::peak_rss_bytes(),
+        }
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Arms the profiler on this thread, resetting any prior state and
+/// starting the host clock. Idempotent-ish: calling it again restarts
+/// the profiled window.
+pub fn enable() {
+    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::new()));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Disarms the profiler and discards any uncollected state.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+    COLLECTOR.with(|c| *c.borrow_mut() = None);
+}
+
+/// Whether the profiler is armed on this thread.
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Whether the `GH_PERF` environment variable requests profiling
+/// (same convention as `GH_TRACE`: set and not `0`).
+pub fn env_requested() -> bool {
+    std::env::var("GH_PERF").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn with_collector(f: impl FnOnce(&mut Collector)) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            f(col);
+        }
+    });
+}
+
+/// Bumps a hot-path counter. A branch when disabled.
+#[inline]
+pub fn count(ctr: Ctr, n: u64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|c| c.counters[ctr.index()] += n);
+}
+
+/// Marks the start of an experiment phase at virtual time `sim_ns`,
+/// closing the previously open phase (its sim delta is measured against
+/// the same clock reading). Labels repeat freely; occurrences aggregate.
+pub fn phase_mark(label: &str, sim_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|c| {
+        let now = c.now_ns();
+        c.close_phase(now, sim_ns);
+        if !c.phases.contains_key(label) {
+            c.phase_order.push(label.to_string());
+            c.phases.insert(label.to_string(), PhaseAcc::default());
+        }
+        c.open_phase = Some((label.to_string(), now, sim_ns));
+    });
+}
+
+/// Marks the end of a simulation run whose clock reached `sim_ns`:
+/// closes the open phase and folds the run's virtual time into the
+/// window's `sim_total_ns`. A profiled window may contain several runs
+/// (each run's virtual clock starts from its own zero).
+pub fn run_end(sim_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    with_collector(|c| {
+        let now = c.now_ns();
+        c.close_phase(now, sim_ns);
+        c.sim_total_ns += sim_ns;
+        c.runs += 1;
+    });
+}
+
+/// Opens a scoped host-time span nested under the current span (or the
+/// open phase at the root). Dropping the guard closes it.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { armed: false };
+    }
+    with_collector(|c| {
+        let parent = match c.stack.last() {
+            Some(s) => s.path.as_str(),
+            None => c
+                .open_phase
+                .as_ref()
+                .map_or("run", |(label, _, _)| label.as_str()),
+        };
+        let path = format!("{parent};{name}");
+        let start = c.now_ns();
+        c.stack.push(OpenSpan {
+            path,
+            start,
+            child_ns: 0,
+        });
+    });
+    SpanGuard { armed: true }
+}
+
+/// RAII guard returned by [`span`]; closes the span on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed || !enabled() {
+            return;
+        }
+        with_collector(|c| {
+            let now = c.now_ns();
+            c.close_span(now);
+        });
+    }
+}
+
+/// Drains the profile collected since [`enable`], leaving the profiler
+/// armed with a fresh window. Returns an empty default when disarmed.
+pub fn take() -> PerfData {
+    if !enabled() {
+        return PerfData::default();
+    }
+    let mut out = None;
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        if let Some(col) = slot.take() {
+            out = Some(col.drain());
+        }
+        *slot = Some(Collector::new());
+    });
+    out.unwrap_or_default()
+}
+
+/// RAII wrapper for callers that own a profiled window (the CLI, the
+/// bench suite): [`PerfSink::start`] arms the profiler,
+/// [`PerfSink::finish`] drains it and disarms. Dropping without
+/// finishing disarms and discards.
+#[derive(Debug)]
+pub struct PerfSink {
+    active: bool,
+}
+
+impl PerfSink {
+    /// Arms the profiler and starts the window.
+    pub fn start() -> PerfSink {
+        enable();
+        PerfSink { active: true }
+    }
+
+    /// Drains the window and disarms the profiler.
+    pub fn finish(mut self) -> PerfData {
+        self.active = false;
+        let data = take();
+        disable();
+        data
+    }
+}
+
+impl Drop for PerfSink {
+    fn drop(&mut self) {
+        if self.active {
+            disable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_wait_ns(ns: u64) {
+        let t = Instant::now();
+        while u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX) < ns {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn disabled_calls_are_noops() {
+        disable();
+        count(Ctr::TlbWalks, 5);
+        phase_mark("compute", 0);
+        run_end(100);
+        let _g = span("nothing");
+        assert_eq!(take(), PerfData::default());
+    }
+
+    #[test]
+    fn counters_accumulate_in_export_order() {
+        let sink = PerfSink::start();
+        count(Ctr::TlbWalks, 3);
+        count(Ctr::TlbWalks, 2);
+        count(Ctr::Faults, 1);
+        let d = sink.finish();
+        assert_eq!(d.counter("tlb.walks"), 5);
+        assert_eq!(d.counter("os.faults"), 1);
+        assert_eq!(d.counters.len(), Ctr::ALL.len());
+        assert_eq!(d.counters[0].0, "tlb.walks");
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn phases_track_host_and_sim_deltas() {
+        let sink = PerfSink::start();
+        phase_mark("alloc", 0);
+        busy_wait_ns(200_000);
+        phase_mark("compute", 1_000);
+        busy_wait_ns(200_000);
+        run_end(5_000);
+        let d = sink.finish();
+        assert_eq!(d.runs, 1);
+        assert_eq!(d.sim_total_ns, 5_000);
+        let labels: Vec<&str> = d.phases.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels, ["alloc", "compute"]);
+        assert_eq!(d.phases[0].sim_ns, 1_000);
+        assert_eq!(d.phases[1].sim_ns, 4_000);
+        assert!(d.phases.iter().all(|p| p.host_ns > 0), "{:?}", d.phases);
+        assert!(d.host_total_ns > 0);
+    }
+
+    #[test]
+    fn repeated_phase_labels_aggregate() {
+        let sink = PerfSink::start();
+        phase_mark("compute", 0);
+        phase_mark("dealloc", 10);
+        phase_mark("compute", 20);
+        run_end(50);
+        let d = sink.finish();
+        let compute = d.phases.iter().find(|p| p.label == "compute").unwrap();
+        assert_eq!(compute.count, 2);
+        assert_eq!(compute.sim_ns, 10 + 30);
+    }
+
+    #[test]
+    fn spans_nest_and_fold_under_the_open_phase() {
+        let sink = PerfSink::start();
+        phase_mark("compute", 0);
+        {
+            let _k = span("kernel:srad1");
+            busy_wait_ns(100_000);
+            {
+                let _t = span("translate");
+                busy_wait_ns(100_000);
+            }
+        }
+        run_end(1);
+        let d = sink.finish();
+        let paths: Vec<&str> = d.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            ["compute;kernel:srad1", "compute;kernel:srad1;translate"]
+        );
+        let outer = &d.spans[0];
+        let inner = &d.spans[1];
+        assert!(outer.total_ns >= inner.total_ns);
+        // Exclusive time excludes the nested child.
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        assert_eq!(inner.self_ns, inner.total_ns);
+    }
+
+    #[test]
+    fn spans_outside_any_phase_root_at_run() {
+        let sink = PerfSink::start();
+        {
+            let _g = span("setup");
+        }
+        let d = sink.finish();
+        assert_eq!(d.spans[0].path, "run;setup");
+    }
+
+    #[test]
+    fn take_leaves_profiler_armed_with_fresh_window() {
+        enable();
+        count(Ctr::Memcpys, 7);
+        let first = take();
+        assert_eq!(first.counter("cuda.memcpys"), 7);
+        let second = take();
+        assert_eq!(second.counter("cuda.memcpys"), 0);
+        assert!(enabled());
+        disable();
+    }
+
+    #[test]
+    fn multiple_runs_sum_virtual_time() {
+        let sink = PerfSink::start();
+        phase_mark("compute", 0);
+        run_end(100);
+        phase_mark("compute", 0);
+        run_end(250);
+        let d = sink.finish();
+        assert_eq!(d.runs, 2);
+        assert_eq!(d.sim_total_ns, 350);
+        assert_eq!(d.phases[0].count, 2);
+    }
+
+    #[test]
+    fn drain_closes_dangling_spans_and_phase() {
+        let sink = PerfSink::start();
+        phase_mark("compute", 0);
+        let g = span("kernel:left-open");
+        let d = sink.finish();
+        drop(g); // guard after drain: harmless no-op
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.phases.len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! `gh-perf` — the simulator profiling *itself*.
+//!
+//! Everything else in this workspace observes the **simulated machine**
+//! on the virtual clock (`gh-trace`, the sanitizer, the phase timers).
+//! This crate observes the **simulator as a host program**: how many host
+//! milliseconds each experiment phase costs, how fast the hot paths run
+//! (TLB walks/s, faults/s, migrated pages/s), and the headline
+//! **sim-speed ratio** — virtual nanoseconds advanced per host
+//! millisecond. That trajectory is what `BENCH_*.json` at the repo root
+//! tracks across PRs (see `docs/observability.md`).
+//!
+//! # The wall-clock carve-out
+//!
+//! The workspace's `no-wall-clock` audit rule bans host-time reads from
+//! simulator code, because a single `Instant::now()` on a model path can
+//! couple reported numbers to the machine the simulator runs on.
+//! `gh-perf` is the one *sanctioned* exception: it is the only crate
+//! allowed to read host time, and it is quarantined by construction —
+//! nothing here reads or writes simulator state, no virtual-time result
+//! can depend on it, and every entry point is a no-op until [`enable`] is
+//! called (one thread-local flag load). Model crates call the free
+//! functions below (or hold a [`PerfSink`]); with profiling off they cost
+//! a branch. `tests/perf.rs` proves RunReports stay bitwise identical
+//! with profiling on.
+//!
+//! # Usage
+//!
+//! ```
+//! let sink = gh_perf::PerfSink::start();
+//! // ... run a simulation; model crates mark phases/spans/counters ...
+//! gh_perf::phase_mark("compute", 0);
+//! gh_perf::count(gh_perf::Ctr::TlbWalks, 1);
+//! gh_perf::run_end(1_000_000);
+//! let data = sink.finish();
+//! assert!(data.host_total_ns > 0);
+//! println!("{}", gh_perf::export::table(&data));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+mod collector;
+pub mod export;
+mod host;
+mod report;
+
+pub use collector::{
+    count, disable, enable, enabled, env_requested, phase_mark, run_end, span, take, Ctr, PerfSink,
+    SpanGuard,
+};
+pub use host::{host_date, peak_rss_bytes};
+pub use report::{PerfData, PhasePerf, SpanAgg};

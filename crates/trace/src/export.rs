@@ -84,8 +84,8 @@ pub fn chrome_trace(data: &TraceData) -> String {
 }
 
 /// Dumps the metrics registry as CSV: `kind,name,field,value` rows.
-/// Histograms expand to `count`/`sum`/`min`/`max`/`mean` plus one
-/// `bucket_<lo>` row per occupied bucket.
+/// Histograms expand to `count`/`sum`/`min`/`max`/`mean`/`p50`/`p95`/
+/// `p99` plus one `bucket_<lo>` row per occupied bucket.
 pub fn metrics_csv(data: &TraceData) -> String {
     let mut out = String::from("kind,name,field,value\n");
     for (name, v) in data.metrics.counters() {
@@ -100,6 +100,11 @@ pub fn metrics_csv(data: &TraceData) -> String {
         let _ = writeln!(out, "histogram,{name},min,{}", h.min);
         let _ = writeln!(out, "histogram,{name},max,{}", h.max);
         let _ = writeln!(out, "histogram,{name},mean,{}", h.mean());
+        if let Some((p50, p95, p99)) = h.summary_percentiles() {
+            let _ = writeln!(out, "histogram,{name},p50,{p50}");
+            let _ = writeln!(out, "histogram,{name},p95,{p95}");
+            let _ = writeln!(out, "histogram,{name},p99,{p99}");
+        }
         for (lo, c) in h.occupied() {
             let _ = writeln!(out, "histogram,{name},bucket_{lo},{c}");
         }
@@ -143,9 +148,19 @@ pub fn metrics_json(data: &TraceData) -> String {
         json::quote_into(&mut out, name);
         let _ = write!(
             out,
-            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
             h.count, h.sum, h.min, h.max
         );
+        if let Some((p50, p95, p99)) = h.summary_percentiles() {
+            let _ = write!(
+                out,
+                ",\"p50\":{},\"p95\":{},\"p99\":{}",
+                json::f64_value(p50),
+                json::f64_value(p95),
+                json::f64_value(p99)
+            );
+        }
+        out.push_str(",\"buckets\":{");
         let mut bfirst = true;
         for (lo, c) in h.occupied() {
             if !bfirst {
@@ -341,6 +356,7 @@ mod tests {
             },
         });
         d.metrics.count("os.ats_faults", 1);
+        d.metrics.observe("fault.cost_ns", 700);
         d
     }
 
@@ -366,11 +382,22 @@ mod tests {
     }
 
     #[test]
+    fn metrics_csv_includes_percentiles() {
+        let csv = metrics_csv(&sample_data());
+        // One observation of 700: every percentile clamps to it exactly.
+        assert!(csv.contains("histogram,fault.cost_ns,p50,700\n"), "{csv}");
+        assert!(csv.contains("histogram,fault.cost_ns,p95,700\n"), "{csv}");
+        assert!(csv.contains("histogram,fault.cost_ns,p99,700\n"), "{csv}");
+    }
+
+    #[test]
     fn metrics_json_is_balanced() {
         let j = metrics_json(&sample_data());
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"os.ats_faults\":1"));
         assert!(j.contains("\"recorded\":3"));
+        assert!(j.contains("\"p50\":700"), "{j}");
+        assert!(j.contains("\"p99\":700"), "{j}");
     }
 
     #[test]

@@ -79,6 +79,47 @@ impl Histogram {
         }
     }
 
+    /// Estimated `p`-th percentile (`p` in `[0, 1]`), interpolated
+    /// linearly inside the log-2 bucket holding the rank and clamped to
+    /// the observed `[min, max]` so the estimate never leaves the data's
+    /// actual range. `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // 1-based rank of the percentile observation (nearest-rank).
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if idx == 0 {
+                    // Bucket 0 holds exactly the value 0.
+                    return Some(0.0);
+                }
+                let (lo, hi) = Self::bucket_bounds(idx);
+                // Position of the rank inside this bucket, (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+            seen += c;
+        }
+        Some(self.max as f64)
+    }
+
+    /// The conventional summary trio `(p50, p95, p99)`; `None` when empty.
+    pub fn summary_percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.percentile(0.50)?,
+            self.percentile(0.95)?,
+            self.percentile(0.99)?,
+        ))
+    }
+
     /// Non-empty buckets as `(bucket_lo, count)` pairs, for dumps.
     pub fn occupied(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -197,6 +238,54 @@ mod tests {
         let occ: Vec<_> = h.occupied().collect();
         // 0 → bucket 0; 5,7 → [4,8); 100 → [64,128).
         assert_eq!(occ, vec![(0, 1), (4, 2), (64, 1)]);
+    }
+
+    #[test]
+    fn percentiles_of_empty_histogram_are_none() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.summary_percentiles(), None);
+    }
+
+    #[test]
+    fn percentile_of_constant_data_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.record(4096);
+        }
+        // Interpolation would wander inside [4096, 8192); the min/max
+        // clamp pins a constant stream to its one value.
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.percentile(p), Some(4096.0), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_the_data() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p95, p99) = h.summary_percentiles().unwrap();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!((1.0..=1000.0).contains(&p50), "{p50}");
+        assert!((1.0..=1000.0).contains(&p99), "{p99}");
+        // With log-2 buckets the p50 of uniform 1..=1000 must land in
+        // the [256, 1024) region (ranks 500 of 1000 → bucket [256,512)).
+        assert!((256.0..1024.0).contains(&p50), "{p50}");
+        assert!(p99 >= 512.0, "{p99}");
+    }
+
+    #[test]
+    fn percentile_rank_walks_buckets() {
+        let mut h = Histogram::default();
+        // 9 zeros and one huge value: p50 is 0, p99+ reaches the outlier.
+        for _ in 0..9 {
+            h.record(0);
+        }
+        h.record(1 << 20);
+        assert_eq!(h.percentile(0.5), Some(0.0));
+        assert_eq!(h.percentile(1.0), Some((1u64 << 20) as f64));
     }
 
     #[test]

@@ -17,13 +17,15 @@ fn usage() -> ! {
             [--platform gh200|mi300a] [--mode explicit|system|managed]
             [--page 4k|64k|2m] [--no-migration] [--oversubscribe <ratio>]
             [--small] [--trace-out <json-file>]
+            [--perf] [--perf-out <json-file>]
   grace-mem qv <sim_qubits>
             [--platform gh200|mi300a] [--mode explicit|system|managed]
             [--page 4k|64k|2m] [--prefetch] [--amplitudes]
-            [--trace-out <json-file>]
+            [--trace-out <json-file>] [--perf] [--perf-out <json-file>]
   grace-mem replay <trace-file>
             [--platform gh200|mi300a] [--mode explicit|system|managed]
             [--page 4k|64k|2m] [--no-migration] [--trace-out <json-file>]
+            [--perf] [--perf-out <json-file>]
   grace-mem advise <trace-file> [--platform gh200|mi300a]
 
 platforms: gh200 (default; two tiers + migration), mi300a (one unified
@@ -32,7 +34,10 @@ platforms: gh200 (default; two tiers + migration), mi300a (one unified
 
 environment:
   GH_TRACE=1  trace the run on the observability bus and print the
-              per-phase explain table (implied by --trace-out)"
+              per-phase explain table (implied by --trace-out)
+  GH_PERF=1   profile the simulator itself (host wall-clock) and print
+              the gh-perf table on stderr (implied by --perf/--perf-out);
+              never changes simulated output"
     );
     std::process::exit(2);
 }
@@ -41,6 +46,34 @@ environment:
 /// unsupported page size, or invalid parameter tweak.
 fn platform_fail(e: grace_mem::PlatformError) -> ! {
     eprintln!("{e}");
+    std::process::exit(2);
+}
+
+/// Everything that can go wrong after argument parsing. All variants
+/// render as one `grace-mem: ...` line on stderr and exit with status 2,
+/// the same code as usage errors, so scripts can test a single status.
+#[derive(Debug)]
+enum CliError {
+    /// An input file (trace to replay or advise on) could not be read.
+    Read(String, std::io::Error),
+    /// An output file (`--trace-out`, `--perf-out`) could not be written.
+    Write(String, std::io::Error),
+    /// The simulator rejected the run (malformed trace, replay error).
+    Sim(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, w: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Read(path, e) => write!(w, "cannot read {path}: {e}"),
+            CliError::Write(path, e) => write!(w, "cannot write {path}: {e}"),
+            CliError::Sim(e) => write!(w, "{e}"),
+        }
+    }
+}
+
+fn fail(e: CliError) -> ! {
+    eprintln!("grace-mem: {e}");
     std::process::exit(2);
 }
 
@@ -55,6 +88,8 @@ struct Flags {
     amplitudes: bool,
     json: bool,
     trace_out: Option<String>,
+    perf: bool,
+    perf_out: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -69,6 +104,8 @@ fn parse_flags(args: &[String]) -> Flags {
         amplitudes: false,
         json: false,
         trace_out: None,
+        perf: false,
+        perf_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +144,13 @@ fn parse_flags(args: &[String]) -> Flags {
             "--trace-out" => {
                 f.trace_out = it.next().cloned();
                 if f.trace_out.is_none() {
+                    usage();
+                }
+            }
+            "--perf" => f.perf = true,
+            "--perf-out" => {
+                f.perf_out = it.next().cloned();
+                if f.perf_out.is_none() {
                     usage();
                 }
             }
@@ -162,20 +206,45 @@ fn maybe_enable_trace(f: &Flags) {
     }
 }
 
+/// Arms the host-side self-profiler when `--perf`, `--perf-out`, or
+/// `GH_PERF=1` asks for it. Like tracing, this must run before the
+/// machine is built so context-init host time is attributed.
+fn maybe_enable_perf(f: &Flags) {
+    if f.perf || f.perf_out.is_some() || gh_perf::env_requested() {
+        gh_perf::enable();
+    }
+}
+
+/// Prints the gh-perf table on stderr and writes the JSON + folded-stack
+/// files for `--perf-out` (no-op when profiling was never armed).
+/// Everything goes to stderr or side files: stdout carries only the
+/// deterministic RunReport.
+fn maybe_dump_perf(f: &Flags) {
+    if !gh_perf::enabled() {
+        return;
+    }
+    let data = gh_perf::take();
+    eprint!("{}", gh_perf::export::table(&data));
+    if let Some(out) = &f.perf_out {
+        let folded = format!("{out}.folded");
+        std::fs::write(out, gh_perf::export::json(&data))
+            .unwrap_or_else(|e| fail(CliError::Write(out.clone(), e)));
+        std::fs::write(&folded, gh_perf::export::folded(&data))
+            .unwrap_or_else(|e| fail(CliError::Write(folded.clone(), e)));
+        eprintln!("gh-perf profile written to {out} (folded stacks: {folded})");
+    }
+}
+
 /// Writes the Chrome trace + metrics dump and prints the explain table
 /// for a traced run (no-op when the run was not traced).
 fn maybe_dump_trace(r: &grace_mem::RunReport, f: &Flags) {
     let Some(t) = &r.trace else { return };
     if let Some(out) = &f.trace_out {
         let metrics = format!("{out}.metrics.csv");
-        std::fs::write(out, gh_trace::export::chrome_trace(t)).unwrap_or_else(|e| {
-            eprintln!("cannot write {out}: {e}");
-            std::process::exit(1);
-        });
-        std::fs::write(&metrics, gh_trace::export::metrics_csv(t)).unwrap_or_else(|e| {
-            eprintln!("cannot write {metrics}: {e}");
-            std::process::exit(1);
-        });
+        std::fs::write(out, gh_trace::export::chrome_trace(t))
+            .unwrap_or_else(|e| fail(CliError::Write(out.clone(), e)));
+        std::fs::write(&metrics, gh_trace::export::metrics_csv(t))
+            .unwrap_or_else(|e| fail(CliError::Write(metrics.clone(), e)));
         eprintln!("chrome trace written to {out} (metrics: {metrics})");
     }
     eprint!("{}", gh_trace::export::explain(t));
@@ -220,6 +289,7 @@ fn print_report(label: &str, r: &grace_mem::RunReport) {
 fn run_extension(name: &str, flag_args: &[String]) -> Option<grace_mem::RunReport> {
     let f = parse_flags(flag_args);
     maybe_enable_trace(&f);
+    maybe_enable_perf(&f);
     let m = machine(&f);
     use grace_mem::apps::{kmeans, lud, micro};
     let mp = micro::MicroParams::default();
@@ -259,6 +329,7 @@ fn main() {
                 let f = parse_flags(&args[2..]);
                 print_report_maybe_json(&name.to_string(), &report, f.json);
                 maybe_dump_trace(&report, &f);
+                maybe_dump_perf(&f);
                 return;
             }
             let Some(app) = AppId::ALL.iter().find(|a| a.name() == name) else {
@@ -266,6 +337,7 @@ fn main() {
             };
             let f = parse_flags(&args[2..]);
             maybe_enable_trace(&f);
+            maybe_enable_perf(&f);
             let mut m = machine(&f);
             if let Some(ratio) = f.oversubscribe {
                 let peak = if f.small {
@@ -284,6 +356,7 @@ fn main() {
             };
             print_report_maybe_json(&format!("{} ({})", app.name(), f.mode), &r, f.json);
             maybe_dump_trace(&r, &f);
+            maybe_dump_perf(&f);
         }
         Some("qv") => {
             let Some(q) = args.get(1).and_then(|s| s.parse::<u32>().ok()) else {
@@ -291,6 +364,7 @@ fn main() {
             };
             let f = parse_flags(&args[2..]);
             maybe_enable_trace(&f);
+            maybe_enable_perf(&f);
             let p = QsimParams {
                 sim_qubits: q,
                 compute_amplitudes: f.amplitudes,
@@ -304,16 +378,16 @@ fn main() {
                 f.json,
             );
             maybe_dump_trace(&r, &f);
+            maybe_dump_perf(&f);
         }
         Some("replay") => {
             let Some(path) = args.get(1) else { usage() };
             let explicit_mode = args[2..].iter().any(|a| a == "--mode");
             let f = parse_flags(&args[2..]);
             maybe_enable_trace(&f);
-            let trace = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(1);
-            });
+            maybe_enable_perf(&f);
+            let trace = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(CliError::Read(path.clone(), e)));
             let mode = explicit_mode.then_some(f.mode);
             match grace_mem::sim::replay(machine(&f), &trace, mode) {
                 Ok(r) => {
@@ -321,26 +395,19 @@ fn main() {
                     // The bus captured the run as it happened — no second
                     // replay needed to export the timeline.
                     maybe_dump_trace(&r, &f);
+                    maybe_dump_perf(&f);
                 }
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(1);
-                }
+                Err(e) => fail(CliError::Sim(e.to_string())),
             }
         }
         Some("advise") => {
             let Some(path) = args.get(1) else { usage() };
             let f = parse_flags(&args[2..]);
-            let trace = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                std::process::exit(1);
-            });
+            let trace = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(CliError::Read(path.clone(), e)));
             match grace_mem::sim::advise_on(f.platform, &trace) {
                 Ok(a) => print!("{}", a.render()),
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(1);
-                }
+                Err(e) => fail(CliError::Sim(e.to_string())),
             }
         }
         _ => usage(),

@@ -1,0 +1,165 @@
+//! gh-perf quarantine: the host-side self-profiler must measure real
+//! host time without perturbing a single bit of simulated output, and
+//! the CLI surface around it must fail with typed exit codes.
+//!
+//! Note on sanitizer interplay: `cargo test` builds are debug builds, so
+//! the runtime invariant sanitizer is always armed here (the same
+//! machinery `GH_SANITIZE=1` forces in release builds) and its verdict
+//! is part of `RunReport::to_json()` — the byte-equality assertions
+//! below therefore also prove profiling does not disturb sanitized runs.
+
+use grace_mem::{platform, AppId, MemMode, RunReport};
+
+fn run(mode: MemMode) -> RunReport {
+    AppId::Hotspot.run_small(platform::gh200().machine(), mode)
+}
+
+#[test]
+fn profiling_does_not_change_run_reports() {
+    for mode in MemMode::ALL {
+        gh_perf::disable();
+        let plain = run(mode);
+
+        let sink = gh_perf::PerfSink::start();
+        let profiled = run(mode);
+        let perf = sink.finish();
+
+        assert_eq!(
+            plain.to_json(),
+            profiled.to_json(),
+            "{mode}: RunReport must be bitwise-identical with profiling on"
+        );
+        // And the profiler must have actually measured the run.
+        assert!(perf.host_total_ns > 0, "{mode}: host clock must tick");
+        assert!(perf.sim_total_ns > 0, "{mode}: virtual clock must tick");
+        assert!(
+            perf.sim_speed().is_some_and(|s| s > 0.0),
+            "{mode}: sim-speed ratio must be positive"
+        );
+    }
+}
+
+#[test]
+fn perf_data_covers_phases_spans_and_counters() {
+    for p in platform::all() {
+        let sink = gh_perf::PerfSink::start();
+        let r = AppId::Hotspot.run_small(p.machine(), MemMode::Managed);
+        let perf = sink.finish();
+
+        assert!(!perf.phases.is_empty(), "{}: no phases", p.caps().name);
+        assert!(
+            perf.phases.iter().any(|ph| ph.host_ns > 0),
+            "{}: all phase host times zero",
+            p.caps().name
+        );
+        assert!(
+            perf.phases.iter().map(|ph| ph.sim_ns).sum::<u64>() > 0,
+            "{}: phases carry no virtual time",
+            p.caps().name
+        );
+        // Kernel launches open host-time spans and bump the counter.
+        assert!(!perf.spans.is_empty(), "{}: no spans", p.caps().name);
+        assert!(
+            perf.spans.iter().any(|s| s.path.contains("kernel:")),
+            "{}: kernel spans missing: {:?}",
+            p.caps().name,
+            perf.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            perf.counter("cuda.kernel_launches"),
+            r.kernel_times.len() as u64,
+            "{}: launch counter must match the report's kernel list",
+            p.caps().name
+        );
+        assert!(
+            perf.counter("tlb.walks") > 0,
+            "{}: TLB walks must be counted",
+            p.caps().name
+        );
+    }
+}
+
+#[test]
+fn take_rearms_a_fresh_window() {
+    gh_perf::enable();
+    run(MemMode::System);
+    let first = gh_perf::take();
+    run(MemMode::System);
+    let second = gh_perf::take();
+    gh_perf::disable();
+
+    assert_eq!(first.runs, 1);
+    assert_eq!(second.runs, 1, "take() must reset the window");
+    assert!(first.sim_total_ns > 0 && second.sim_total_ns > 0);
+    // Identical simulated work in both windows.
+    assert_eq!(first.sim_total_ns, second.sim_total_ns);
+}
+
+#[test]
+fn disabled_profiler_collects_nothing() {
+    gh_perf::disable();
+    run(MemMode::System);
+    assert!(!gh_perf::enabled());
+    let sink = gh_perf::PerfSink::start();
+    let perf = sink.finish();
+    assert_eq!(perf.runs, 0);
+    assert_eq!(perf.sim_total_ns, 0);
+    assert!(perf.phases.is_empty());
+}
+
+// -- CLI surface: typed errors exit 2, --perf-out writes the profile --
+
+fn bin() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_grace-mem"))
+}
+
+#[test]
+fn cli_usage_and_read_errors_exit_2() {
+    let usage = bin().arg("frobnicate").output().expect("spawn grace-mem");
+    assert_eq!(usage.status.code(), Some(2));
+
+    let replay = bin()
+        .args(["replay", "/nonexistent/trace.txt"])
+        .output()
+        .expect("spawn grace-mem");
+    assert_eq!(replay.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&replay.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+
+    let advise = bin()
+        .args(["advise", "/nonexistent/trace.txt"])
+        .output()
+        .expect("spawn grace-mem");
+    assert_eq!(advise.status.code(), Some(2));
+}
+
+#[test]
+fn cli_perf_out_writes_profile_and_keeps_stdout_deterministic() {
+    let out = std::env::temp_dir().join(format!("gh-perf-cli-{}.json", std::process::id()));
+    let out_s = out.to_str().expect("temp path is UTF-8");
+
+    let plain = bin()
+        .args(["app", "hotspot", "--small", "--json"])
+        .output()
+        .expect("spawn grace-mem");
+    let profiled = bin()
+        .args(["app", "hotspot", "--small", "--json", "--perf-out", out_s])
+        .output()
+        .expect("spawn grace-mem");
+    assert!(plain.status.success() && profiled.status.success());
+    assert_eq!(
+        plain.stdout, profiled.stdout,
+        "--perf-out must not change the deterministic report on stdout"
+    );
+
+    let json = std::fs::read_to_string(&out).expect("profile written");
+    assert!(json.starts_with("{\"schema\":\"gh-perf/1\""), "{json}");
+    let folded = std::fs::read_to_string(format!("{out_s}.folded")).expect("folded written");
+    assert!(!folded.trim().is_empty());
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(format!("{out_s}.folded"));
+
+    let table = String::from_utf8_lossy(&profiled.stderr);
+    assert!(table.contains("-- gh-perf:"), "{table}");
+    assert!(table.contains("sim-ns/host-ms"), "{table}");
+}
