@@ -7,7 +7,7 @@
 use gh_profiler::Phase;
 use gh_sim::{Machine, MemMode, RunReport};
 
-use crate::common::{coalesce, UBuf};
+use crate::common::{coalesce, coalesce_unit_ids, UBuf};
 
 /// Input parameters.
 #[derive(Debug, Clone)]
@@ -166,21 +166,22 @@ pub fn run(mut m: Machine, mode: MemMode, p: &BfsParams) -> RunReport {
             let mut k = m.rt.launch("bfs_kernel1");
             // Dense sweep over the mask to find frontier threads.
             k.read(mask_buf.gpu(), 0, mask_bytes);
-            // Gather node descriptors of the frontier (coalesced).
-            let node_touches: Vec<(u64, u64)> =
-                frontier.iter().map(|&u| ((u as u64) * 8, 8)).collect();
-            for (off, len) in coalesce(node_touches) {
+            // Gather node descriptors of the frontier (coalesced; all
+            // unit-granular touch lists go through the bitmap coalescer,
+            // which produces the same spans as sort+merge without the
+            // per-level sort).
+            for (off, len) in coalesce_unit_ids(&frontier, 8, n) {
                 meter_read(&mut k, nodes_buf.gpu(), off, len);
             }
             // Per-node adjacency segments + neighbour visited checks.
             let mut edge_touches = Vec::with_capacity(frontier.len());
-            let mut neigh_touches = Vec::new();
+            let mut neigh_ids = Vec::new();
             let mut discovered = Vec::new();
             for &u in &frontier {
                 let (s, c) = g.nodes[u as usize];
                 edge_touches.push(((s as u64) * 4, (c as u64) * 4));
                 for &v in &g.edges[s as usize..(s + c) as usize] {
-                    neigh_touches.push((v as u64, 1));
+                    neigh_ids.push(v);
                     if cost[v as usize] < 0 {
                         cost[v as usize] = cost[u as usize] + 1;
                         next.push(v);
@@ -191,16 +192,14 @@ pub fn run(mut m: Machine, mode: MemMode, p: &BfsParams) -> RunReport {
             for (off, len) in coalesce(edge_touches) {
                 meter_read(&mut k, edges_buf.gpu(), off, len);
             }
-            for (off, len) in coalesce(neigh_touches) {
+            for (off, len) in coalesce_unit_ids(&neigh_ids, 1, n) {
                 meter_read(&mut k, vis_buf.gpu(), off, len);
             }
             // Scatter: new costs + updating mask for discovered nodes.
-            let cost_w: Vec<(u64, u64)> = discovered.iter().map(|&v| ((v as u64) * 4, 4)).collect();
-            for (off, len) in coalesce(cost_w) {
+            for (off, len) in coalesce_unit_ids(&discovered, 4, n) {
                 meter_write(&mut k, cost_buf.gpu(), off, len);
             }
-            let upd_w: Vec<(u64, u64)> = discovered.iter().map(|&v| (v as u64, 1)).collect();
-            for (off, len) in coalesce(upd_w) {
+            for (off, len) in coalesce_unit_ids(&discovered, 1, n) {
                 meter_write(&mut k, upd_buf.gpu(), off, len);
             }
             k.compute((n + g.edges.len()) as u64);
@@ -210,8 +209,7 @@ pub fn run(mut m: Machine, mode: MemMode, p: &BfsParams) -> RunReport {
         {
             let mut k = m.rt.launch("bfs_kernel2");
             k.read(upd_buf.gpu(), 0, mask_bytes);
-            let w: Vec<(u64, u64)> = next.iter().map(|&v| (v as u64, 1)).collect();
-            for (off, len) in coalesce(w.clone()) {
+            for (off, len) in coalesce_unit_ids(&next, 1, n) {
                 meter_write(&mut k, mask_buf.gpu(), off, len);
                 meter_write(&mut k, vis_buf.gpu(), off, len);
             }

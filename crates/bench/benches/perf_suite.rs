@@ -27,9 +27,27 @@ fn main() {
             std::process::exit(1);
         }
     }
-    match perf_suite::compare_to_baseline(&suite) {
-        Ok(None) => println!("# no BENCH_baseline.json at repo root; comparison skipped"),
-        Ok(Some(cmp)) => {
+    let baseline = std::fs::read_to_string(perf_suite::repo_root().join("BENCH_baseline.json"));
+    let Ok(baseline) = baseline else {
+        println!("# no BENCH_baseline.json at repo root; comparison skipped");
+        return;
+    };
+    let geomean = match perf_suite::geomean_wall_ratio(&baseline, &suite) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("perf_suite: baseline unreadable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let geomean_line = match geomean {
+        Some(g) => {
+            format!("geomean wall-time ratio vs baseline: {g:.3}x (current/baseline; <1 is faster)")
+        }
+        None => "geomean wall-time ratio vs baseline: n/a (no overlapping rows)".to_string(),
+    };
+    println!("# {geomean_line}");
+    match perf_suite::compare(&baseline, &suite, perf_suite::TOLERANCE) {
+        Ok(cmp) => {
             for w in &cmp.warnings {
                 println!("# WARN {w}");
             }
@@ -39,7 +57,11 @@ fn main() {
             if cmp.is_clean() {
                 println!("# baseline comparison clean (tolerance ±10%)");
             }
+            write_step_summary(&geomean_line, &cmp);
             if !cmp.errors.is_empty() {
+                // Checksum (bit) drift fails the build: host-side
+                // profiling and access-path changes must never change
+                // simulated results.
                 std::process::exit(1);
             }
         }
@@ -47,5 +69,33 @@ fn main() {
             eprintln!("perf_suite: baseline unreadable: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Appends a markdown section to the CI job summary when GitHub Actions
+/// exposes one (`$GITHUB_STEP_SUMMARY`); silently a no-op elsewhere.
+fn write_step_summary(geomean_line: &str, cmp: &perf_suite::Comparison) {
+    let Some(path) = std::env::var_os("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut md = String::new();
+    md.push_str("## Perf trajectory\n\n");
+    md.push_str(&format!("**{geomean_line}**\n\n"));
+    if cmp.errors.is_empty() && cmp.warnings.is_empty() {
+        md.push_str("Baseline comparison clean (tolerance ±10%).\n");
+    }
+    for w in &cmp.warnings {
+        md.push_str(&format!("- WARN: {w}\n"));
+    }
+    for e in &cmp.errors {
+        md.push_str(&format!("- **FAIL**: {e}\n"));
+    }
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()))
+    {
+        eprintln!("perf_suite: could not append job summary: {e}");
     }
 }

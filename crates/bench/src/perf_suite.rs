@@ -126,12 +126,16 @@ impl PerfSuite {
         quote_into(&mut o, &self.date);
         let _ = write!(
             o,
-            ",\"fast\":{},\"peak_rss_bytes\":{},\"test_suite_secs\":{}",
-            self.fast,
-            self.peak_rss_bytes,
-            self.test_suite_secs
-                .map_or_else(|| "null".to_string(), f64_value),
+            ",\"fast\":{},\"peak_rss_bytes\":{}",
+            self.fast, self.peak_rss_bytes,
         );
+        // Canonical optional: the key is *omitted* when unmeasured, never
+        // `null`, so two snapshots of the same suite are byte-identical
+        // regardless of which serializer wrote them. The parser side
+        // treats a missing key and `null` alike.
+        if let Some(t) = self.test_suite_secs {
+            let _ = write!(o, ",\"test_suite_secs\":{}", f64_value(t));
+        }
         o.push_str(",\"rows\":[");
         for (i, r) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -145,11 +149,13 @@ impl PerfSuite {
             quote_into(&mut o, &r.mode);
             let _ = write!(
                 o,
-                ",\"wall_ms\":{},\"sim_ms\":{},\"sim_ns_per_host_ms\":{},\"checksum\":{}",
+                ",\"wall_ms\":{},\"sim_ms\":{},\"sim_ns_per_host_ms\":{},\"checksum\":{},\
+                 \"checksum_bits\":\"0x{:016x}\"",
                 f64_value(r.wall_ms),
                 f64_value(r.sim_ms),
                 f64_value(r.sim_ns_per_host_ms),
                 f64_value(r.checksum),
+                r.checksum.to_bits(),
             );
             o.push_str(",\"phases\":[");
             for (j, (label, host_ns, sim_ns)) in r.phases.iter().enumerate() {
@@ -236,6 +242,11 @@ fn row_key(app: &str, platform: &str, mode: &str) -> String {
     format!("{app}/{platform}/{mode}")
 }
 
+/// Parses a `"0x%016x"` checksum-bits field back to the raw pattern.
+fn parse_checksum_bits(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
 /// Diffs a fresh suite against a serialized baseline (`BENCH_*.json`
 /// contents). Wall-time movement beyond `tolerance` (fractional, e.g.
 /// 0.10) in *either* direction is a warning; checksum bit drift is an
@@ -270,14 +281,31 @@ pub fn compare(
             cmp.warnings.push(format!("{key}: no baseline row"));
             continue;
         };
-        if let Some(base_ck) = b.get("checksum").and_then(Value::as_f64) {
-            if base_ck.to_bits() != r.checksum.to_bits() {
-                cmp.errors.push(format!(
-                    "{key}: checksum drifted from baseline ({base_ck} -> {}); \
-                     simulated output must be bitwise stable",
-                    r.checksum
-                ));
-            }
+        // Bit-level checksum comparison. `checksum_bits` (the exact
+        // `f64::to_bits` pattern, hex) is authoritative: the numeric
+        // `checksum` field roundtrips through shortest-float formatting,
+        // which serializes NaN as `null` — a baseline that drifted to NaN
+        // would silently *pass* a numeric-only diff. An unreadable
+        // baseline checksum is therefore an error, never a skip.
+        let base_bits = b
+            .get("checksum_bits")
+            .and_then(Value::as_str)
+            .and_then(parse_checksum_bits)
+            .or_else(|| b.get("checksum").and_then(Value::as_f64).map(f64::to_bits));
+        match base_bits {
+            None => cmp.errors.push(format!(
+                "{key}: baseline checksum is unreadable (no parseable \
+                 checksum_bits and checksum is not a finite number); \
+                 bitwise stability cannot be verified"
+            )),
+            Some(bb) if bb != r.checksum.to_bits() => cmp.errors.push(format!(
+                "{key}: checksum drifted from baseline \
+                 (0x{bb:016x} -> 0x{:016x}, {}); \
+                 simulated output must be bitwise stable",
+                r.checksum.to_bits(),
+                r.checksum
+            )),
+            Some(_) => {}
         }
         let Some(base_wall) = b.get("wall_ms").and_then(Value::as_f64) else {
             continue;
@@ -303,6 +331,38 @@ pub fn compare(
         }
     }
     Ok(cmp)
+}
+
+/// Geometric-mean ratio of current to baseline wall time over the rows
+/// present in both suites (`current / baseline`, so < 1.0 means the
+/// simulator got faster). `Ok(None)` when no row overlaps or no baseline
+/// row has a positive wall time.
+pub fn geomean_wall_ratio(baseline_json: &str, current: &PerfSuite) -> Result<Option<f64>, String> {
+    let base = Value::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let empty = Vec::new();
+    let base_rows = base.get("rows").and_then(Value::as_arr).unwrap_or(&empty);
+    let mut ln_sum = 0.0_f64;
+    let mut n = 0u32;
+    for r in &current.rows {
+        let key = row_key(&r.app, &r.platform, &r.mode);
+        let base_wall = base_rows.iter().find_map(|b| {
+            let (Some(a), Some(p), Some(m)) = (
+                b.get("app").and_then(Value::as_str),
+                b.get("platform").and_then(Value::as_str),
+                b.get("mode").and_then(Value::as_str),
+            ) else {
+                return None;
+            };
+            (row_key(a, p, m) == key).then(|| b.get("wall_ms").and_then(Value::as_f64))?
+        });
+        if let Some(bw) = base_wall {
+            if bw > 0.0 && r.wall_ms > 0.0 {
+                ln_sum += (r.wall_ms / bw).ln();
+                n += 1;
+            }
+        }
+    }
+    Ok((n > 0).then(|| (ln_sum / f64::from(n)).exp()))
 }
 
 /// Convenience: compare `current` against the committed
@@ -352,11 +412,74 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get("app").and_then(Value::as_str), Some("hotspot"));
         assert_eq!(
+            rows[0].get("checksum_bits").and_then(Value::as_str),
+            Some(format!("0x{:016x}", 1.25_f64.to_bits()).as_str())
+        );
+        assert_eq!(
             rows[0].get("sim_ns_per_host_ms").and_then(Value::as_f64),
             Some(4_000_000.0)
         );
         let phases = rows[0].get("phases").and_then(Value::as_arr).unwrap();
         assert_eq!(phases[0].get("host_ns").and_then(Value::as_f64), Some(9e6));
+    }
+
+    #[test]
+    fn unmeasured_test_suite_secs_is_omitted_not_null() {
+        let mut s = tiny_suite();
+        s.test_suite_secs = None;
+        let json = s.to_json();
+        assert!(
+            !json.contains("test_suite_secs"),
+            "the canonical form omits the key entirely: {json}"
+        );
+        let v = Value::parse(&json).expect("valid JSON");
+        // Missing key reads the same as the old `null` encoding did.
+        assert_eq!(v.get("test_suite_secs").and_then(Value::as_f64), None);
+    }
+
+    #[test]
+    fn checksum_diff_sees_through_lossy_float_roundtrip() {
+        // A NaN checksum serializes as `null` under shortest-float
+        // formatting; the numeric-only diff used to silently skip such
+        // rows. The bit-pattern field must keep them comparable.
+        let mut base = tiny_suite();
+        base.rows[0].checksum = f64::NAN;
+        let mut cur = tiny_suite();
+        cur.rows[0].checksum = f64::NAN;
+        let cmp = compare(&base.to_json(), &cur, TOLERANCE).unwrap();
+        assert!(
+            cmp.is_clean(),
+            "identical NaN bits must compare clean: {cmp:?}"
+        );
+
+        // Same NaN-vs-finite drift must now *fail*, not skip.
+        cur.rows[0].checksum = 1.25;
+        let cmp = compare(&base.to_json(), &cur, TOLERANCE).unwrap();
+        assert_eq!(cmp.errors.len(), 1, "{cmp:?}");
+        assert!(cmp.errors[0].contains("checksum"), "{cmp:?}");
+
+        // A legacy baseline with neither a parseable checksum_bits nor a
+        // finite checksum is an error — never a silent pass.
+        let legacy = base.to_json().replace(
+            &format!("\"checksum_bits\":\"0x{:016x}\",", f64::NAN.to_bits()),
+            "",
+        );
+        assert!(legacy.contains("\"checksum\":null"), "{legacy}");
+        let cmp = compare(&legacy, &cur, TOLERANCE).unwrap();
+        assert_eq!(cmp.errors.len(), 1, "{cmp:?}");
+        assert!(cmp.errors[0].contains("unreadable"), "{cmp:?}");
+    }
+
+    #[test]
+    fn geomean_wall_ratio_averages_overlapping_rows() {
+        let base = tiny_suite();
+        let mut cur = tiny_suite();
+        cur.rows[0].wall_ms = 2.5; // 4x faster than the 10.0 baseline
+        let g = geomean_wall_ratio(&base.to_json(), &cur).unwrap().unwrap();
+        assert!((g - 0.25).abs() < 1e-12, "{g}");
+        cur.rows[0].app = "srad".into(); // no overlap left
+        assert_eq!(geomean_wall_ratio(&base.to_json(), &cur).unwrap(), None);
+        assert!(geomean_wall_ratio("not json", &cur).is_err());
     }
 
     #[test]

@@ -52,6 +52,29 @@ pub(crate) fn tlb_key_gpu(vpn: Vpn) -> Vpn {
 /// to be page-size independent even with 16M live 4 KiB translations.
 const XLAT_OUTSTANDING: u64 = 4096;
 
+/// Spans at or below this many system pages take the reference walk:
+/// run classification costs more than it saves, and both paths are
+/// bit-identical anyway.
+const BATCH_MIN_PAGES: u64 = 4;
+
+/// Σ over the pages of `[x0, x1)` of `ceil(portion / line)`, portions
+/// split on the `spt` page grid — the exact per-page cacheline count the
+/// reference walk feeds the access counters, computed without walking.
+fn lines_per_page_sum(x0: u64, x1: u64, spt: u64, line: u64) -> u64 {
+    let first_page_end = (x0 / spt + 1) * spt;
+    if x1 <= first_page_end {
+        return (x1 - x0).div_ceil(line);
+    }
+    let mut sum = (first_page_end - x0).div_ceil(line);
+    let full = (x1 - first_page_end) / spt;
+    sum = sum.saturating_add(full.saturating_mul(spt / line));
+    let tail = (x1 - first_page_end) % spt;
+    if tail > 0 {
+        sum = sum.saturating_add(tail.div_ceil(line));
+    }
+    sum
+}
+
 /// Per-buffer traffic attribution within one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BufferTraffic {
@@ -116,11 +139,27 @@ impl<'r> Kernel<'r> {
         rt.uvm.migrated_this_kernel.clear();
         let perf_span = gh_perf::span(&format!("kernel:{name}"));
         let start = rt.now();
-        let l2 = gh_mem::SetCache::new(
-            Bytes::new(rt.params.gpu_l2_bytes),
-            Bytes::new(rt.params.gpu_cacheline),
-            16,
-        );
+        // The L2 model's slot array is megabytes; building it fresh per
+        // launch dominated launch cost on the host. The batched path
+        // revives the runtime's parked instance with an O(1) reset
+        // (observationally identical to a fresh cache — see
+        // `SetCache::reset`); the reference walk keeps the original
+        // fresh allocation.
+        let fresh_l2 = |rt: &Runtime| {
+            gh_mem::SetCache::new(
+                Bytes::new(rt.params.gpu_l2_bytes),
+                Bytes::new(rt.params.gpu_cacheline),
+                16,
+            )
+        };
+        let l2 = if crate::accesspath::reference_forced() {
+            fresh_l2(rt)
+        } else if let Some(mut parked) = rt.l2_pool.take() {
+            parked.reset();
+            parked
+        } else {
+            fresh_l2(rt)
+        };
         Self {
             rt,
             name: name.to_string(),
@@ -247,10 +286,10 @@ impl<'r> Kernel<'r> {
             // In a unified pool every host-visible kind is just mapped
             // shared memory: no pinned-remote path, no UVM migration.
             BufKind::Pinned | BufKind::System | BufKind::Managed if self.rt.params.unified_pool => {
-                self.span_system(span, write, random)
+                self.span_system(buf.id(), buf.range, span, write, random)
             }
             BufKind::Pinned => self.span_pinned(span, write, random),
-            BufKind::System => self.span_system(span, write, random),
+            BufKind::System => self.span_system(buf.id(), buf.range, span, write, random),
             BufKind::Managed => self.span_managed(buf.range, span, write, random),
         }
         let entry = self.by_buffer.entry(buf.id()).or_default();
@@ -327,43 +366,171 @@ impl<'r> Kernel<'r> {
         }
     }
 
+    /// Batched TLB walk over contiguous keys; charges miss counts per run.
+    /// Bit-identical to per-key [`Kernel::translate`] calls in key order.
+    fn translate_range(&mut self, keys: gh_units::VpnRange) {
+        let misses = self.rt.gpu_tlb.lookup_range(keys);
+        self.xlat_misses = self.xlat_misses.saturating_add(misses);
+        self.t.tlb_misses = self.t.tlb_misses.saturating_add(misses);
+    }
+
+    /// TLB key range covering the system pages of `[a0, a1)`.
+    fn sys_keys(&self, a0: u64, a1: u64) -> gh_units::VpnRange {
+        let first = self.rt.os.system_pt.vpn(a0);
+        let last = self.rt.os.system_pt.vpn(a1 - 1);
+        gh_units::VpnRange::new(tlb_key_sys(first), Vpn::new(tlb_key_sys(last).get() + 1))
+    }
+
     fn span_device(&mut self, span: VaRange, write: bool, random: bool) {
         let gp = self.rt.params.gpu_page_size;
-        let mut addr = span.addr;
-        while addr < span.end() {
-            let page_end = (addr / gp + 1) * gp;
-            let portion = page_end.min(span.end()) - addr;
-            let vpn = Vpn::new(addr / gp);
+        if crate::accesspath::reference_forced() {
+            let mut addr = span.addr;
+            while addr < span.end() {
+                let page_end = (addr / gp + 1) * gp;
+                let portion = page_end.min(span.end()) - addr;
+                let vpn = Vpn::new(addr / gp);
+                debug_assert!(
+                    self.rt.gpu_pt.is_populated(vpn),
+                    "access to unmapped device page"
+                );
+                self.translate(tlb_key_gpu(vpn));
+                self.account_local(portion, write, random);
+                addr = page_end;
+            }
+            return;
+        }
+        // Batched: one TLB walk per page (keys are contiguous because
+        // `tlb_key_gpu` only sets a high namespace bit), traffic summed —
+        // per-page portions are linear in bytes, so the sums are identical
+        // to the per-page walk.
+        let first = Vpn::new(span.addr / gp);
+        let last = Vpn::new((span.end() - 1) / gp);
+        #[cfg(debug_assertions)]
+        for v in first.get()..=last.get() {
             debug_assert!(
-                self.rt.gpu_pt.is_populated(vpn),
+                self.rt.gpu_pt.is_populated(Vpn::new(v)),
                 "access to unmapped device page"
             );
-            self.translate(tlb_key_gpu(vpn));
-            self.account_local(portion, write, random);
-            addr = page_end;
         }
+        self.translate_range(gh_units::VpnRange::new(
+            tlb_key_gpu(first),
+            Vpn::new(tlb_key_gpu(last).get() + 1),
+        ));
+        self.account_local(span.len, write, random);
     }
 
     fn span_pinned(&mut self, span: VaRange, write: bool, random: bool) {
         // Pinned memory is always CPU-resident: pure remote traffic.
         let spt = self.rt.os.system_pt.page_size();
-        for vpn in self.rt.os.system_pt.vpn_range(span.addr, span.len) {
-            self.translate(tlb_key_sys(vpn));
+        let vpns = self.rt.os.system_pt.vpn_range(span.addr, span.len);
+        if crate::accesspath::reference_forced() {
+            for vpn in vpns {
+                self.translate(tlb_key_sys(vpn));
+                if write {
+                    self.rt.os.system_pt.mark_dirty(vpn);
+                }
+            }
+        } else {
+            // `mark_dirty` cannot affect the TLB, so hoisting the dirty
+            // sweep out of the translate loop preserves state exactly.
+            self.translate_range(self.sys_keys(span.addr, span.end()));
             if write {
-                self.rt.os.system_pt.mark_dirty(vpn);
+                self.rt.os.system_pt.mark_dirty_range(vpns);
             }
         }
         self.account_remote(span.addr, span.len.max(spt.min(span.len)), write, random);
     }
 
-    fn span_system(&mut self, span: VaRange, write: bool, random: bool) {
+    fn span_system(
+        &mut self,
+        buf_id: u32,
+        buf_range: VaRange,
+        span: VaRange,
+        write: bool,
+        random: bool,
+    ) {
         let spt = self.rt.os.system_pt.page_size();
         let line = self.rt.params.gpu_cacheline;
+        let vpns = self.rt.os.system_pt.vpn_range(span.addr, span.len);
+        // The batched core assumes line-aligned page boundaries (so
+        // per-page cacheline counts sum exactly), full pages never taking
+        // the small-irregular L2 path, and page-aligned counter regions
+        // (so counter chunks never split a page). Anything else — and
+        // tiny spans, where batch setup costs more than it saves — takes
+        // the reference walk; both paths are bit-identical.
+        let batchable = !crate::accesspath::reference_forced()
+            && vpns.count().get() > BATCH_MIN_PAGES
+            && spt.is_multiple_of(line)
+            && spt >= 4 * line
+            && self.rt.params.counter_region.is_multiple_of(spt);
+        if !batchable {
+            let (_, fault_cost) =
+                self.span_system_pages(span.addr, span.end(), write, random, 0, false);
+            if fault_cost > 0 {
+                self.rt.tick(fault_cost);
+            }
+            return;
+        }
+        let runs = self.rt.classify_span_cached(buf_id, buf_range, vpns);
+        gh_perf::count(gh_perf::Ctr::BatchRuns, widen(runs.len()));
         let mut fault_cost: Ns = 0;
-        let mut addr = span.addr;
-        while addr < span.end() {
+        for (vr, node) in runs {
+            // Clip the run (vpn-granular) to the accessed byte span.
+            let a0 = span.addr.max(vr.start.get() * spt);
+            let a1 = span.end().min(vr.end.get() * spt);
+            if a0 >= a1 {
+                continue;
+            }
+            match node {
+                Some(node) => {
+                    let mut a = a0;
+                    if fault_cost > 0 {
+                        // Pending fault cost from an earlier run: the
+                        // 256 KiB flush ticks must land at the exact
+                        // virtual times the reference walk produces, so
+                        // walk per page until the flush happens.
+                        let (resume, fc) =
+                            self.span_system_pages(a, a1, write, random, fault_cost, true);
+                        a = resume;
+                        fault_cost = fc;
+                    }
+                    if a < a1 {
+                        self.span_system_resident(a, a1, node, write, random);
+                    }
+                }
+                // Unpopulated pages: fault service is inherently
+                // per-page (SMMU + OS cost accrual + flush cadence).
+                None => {
+                    let (_, fc) = self.span_system_pages(a0, a1, write, random, fault_cost, false);
+                    fault_cost = fc;
+                }
+            }
+        }
+        if fault_cost > 0 {
+            self.rt.tick(fault_cost);
+        }
+    }
+
+    /// The per-page reference walk over `[addr, end)` of system memory —
+    /// the original access path, retained as the behavioural baseline the
+    /// batched core is differentially tested against. Returns the resume
+    /// address and still-pending fault cost. With `stop_after_flush`, the
+    /// walk returns right after a 256 KiB flush tick zeroes the pending
+    /// cost, so a batched caller can take over at the same virtual time.
+    fn span_system_pages(
+        &mut self,
+        mut addr: u64,
+        end: u64,
+        write: bool,
+        random: bool,
+        mut fault_cost: Ns,
+        stop_after_flush: bool,
+    ) -> (u64, Ns) {
+        let spt = self.rt.os.system_pt.page_size();
+        let line = self.rt.params.gpu_cacheline;
+        while addr < end {
             let page_end = (addr / spt + 1) * spt;
-            let portion = page_end.min(span.end()) - addr;
+            let portion = page_end.min(end) - addr;
             let vpn = self.rt.os.system_pt.vpn(addr);
             self.translate(tlb_key_sys(vpn));
             let node = match self.rt.os.system_pt.translate(vpn) {
@@ -414,11 +581,110 @@ impl<'r> Kernel<'r> {
             if fault_cost > 0 && addr.is_multiple_of(256 * 1024) {
                 self.rt.tick(fault_cost);
                 fault_cost = 0;
+                if stop_after_flush {
+                    return (addr, 0);
+                }
             }
         }
-        if fault_cost > 0 {
-            self.rt.tick(fault_cost);
+        (addr, fault_cost)
+    }
+
+    /// Batched accounting for a resident run `[a0, a1)` whose pages all
+    /// live on `node`. Charges exactly what the reference walk charges
+    /// page by page: TLB walks in key order, linear traffic sums, the
+    /// small-irregular L2 path only for the head/tail partial pages
+    /// (full pages never take it under the `spt >= 4 * line` batch
+    /// guard), and access-counter records per region chunk in address
+    /// order with per-page-exact cacheline sums.
+    fn span_system_resident(&mut self, a0: u64, a1: u64, node: Node, write: bool, random: bool) {
+        let spt = self.rt.os.system_pt.page_size();
+        let line = self.rt.params.gpu_cacheline;
+        match node {
+            Node::Gpu => {
+                self.translate_range(self.sys_keys(a0, a1));
+                self.account_local(a1 - a0, write, random);
+            }
+            Node::Cpu if self.rt.params.unified_pool => {
+                self.translate_range(self.sys_keys(a0, a1));
+                self.account_local(a1 - a0, write, random);
+            }
+            Node::Cpu => {
+                // Under tracing with counters armed, CounterNotify events
+                // must interleave with TlbEvict events mid-run exactly as
+                // the per-page walk emits them — fall back.
+                if self.rt.counters.enabled() && gh_trace::enabled() {
+                    let _ = self.span_system_pages(a0, a1, write, random, 0, false);
+                    return; // dirty bits handled per page above
+                }
+                self.translate_range(self.sys_keys(a0, a1));
+                // Head partial / interior full pages / tail partial:
+                // `ceil(total/line)` differs from the per-page sum, so the
+                // split must mirror the page grid.
+                let mut p = a0;
+                let head_end = (a0 / spt + 1) * spt;
+                if !a0.is_multiple_of(spt) {
+                    self.account_remote(a0, head_end.min(a1) - a0, write, random);
+                    p = head_end;
+                }
+                if p < a1 {
+                    let full = (a1 - p) / spt;
+                    if full > 0 {
+                        self.account_remote_full_pages(full, write, random);
+                        p += full * spt;
+                    }
+                    if p < a1 {
+                        self.account_remote(p, a1 - p, write, random);
+                    }
+                }
+                if self.rt.counters.enabled() {
+                    let rsz = self.rt.params.counter_region;
+                    let mut c = a0;
+                    while c < a1 {
+                        let c_end = ((c / rsz + 1) * rsz).min(a1);
+                        let region = self.rt.counters.region_of(c);
+                        let chunk_vpns = self.rt.os.system_pt.vpn_range(c, c_end - c);
+                        let touched = self.rt.remote_touched.entry(region).or_default();
+                        for vpn in chunk_vpns {
+                            touched.insert(vpn);
+                        }
+                        let lines = lines_per_page_sum(c, c_end, spt, line);
+                        if let Some(n) = self.rt.counters.record(region, lines) {
+                            self.rt.pending_notifs.push_back(n.region);
+                            self.t.notifications = self.t.notifications.saturating_add(1);
+                        }
+                        c = c_end;
+                    }
+                }
+            }
         }
+        if write {
+            let vpns = self.rt.os.system_pt.vpn_range(a0, a1 - a0);
+            self.rt.os.system_pt.mark_dirty_range(vpns);
+        }
+    }
+
+    /// Remote accounting for `pages` full system pages in one shot:
+    /// identical sums to `pages` reference calls of
+    /// `account_remote(_, spt, ..)` because full pages never take the
+    /// small-irregular L2 path (`spt >= 4 * line` batch guard) and
+    /// `spt % line == 0` makes the per-page line rounding exact.
+    fn account_remote_full_pages(&mut self, pages: u64, write: bool, random: bool) {
+        let spt = self.rt.os.system_pt.page_size();
+        let line = self.rt.params.gpu_cacheline;
+        let lines = Lines::new(pages.saturating_mul(spt / line));
+        match (write, random) {
+            (false, false) => self.c2c_read_lines += lines,
+            (false, true) => self.c2c_read_lines_rand += lines,
+            (true, false) => self.c2c_write_lines += lines,
+            (true, true) => self.c2c_write_lines_rand += lines,
+        }
+        let bytes = pages.saturating_mul(spt);
+        if write {
+            self.t.c2c_write = self.t.c2c_write.saturating_add(bytes);
+        } else {
+            self.t.c2c_read = self.t.c2c_read.saturating_add(bytes);
+        }
+        self.t.l1l2 = self.t.l1l2.saturating_add(bytes);
     }
 
     fn span_managed(&mut self, buf_range: VaRange, span: VaRange, write: bool, random: bool) {
@@ -431,10 +697,17 @@ impl<'r> Kernel<'r> {
             let cpu = self.rt.os.system_pt.count_resident_in(vpns, Node::Cpu);
             let gpu = self.rt.os.system_pt.count_resident_in(vpns, Node::Gpu);
             if cpu + gpu == vpns.count() {
-                for vpn in vpns {
-                    self.translate(tlb_key_sys(vpn));
+                if crate::accesspath::reference_forced() {
+                    for vpn in vpns {
+                        self.translate(tlb_key_sys(vpn));
+                        if write {
+                            self.rt.os.system_pt.mark_dirty(vpn);
+                        }
+                    }
+                } else {
+                    self.translate_range(self.sys_keys(span.addr, span.end()));
                     if write {
-                        self.rt.os.system_pt.mark_dirty(vpn);
+                        self.rt.os.system_pt.mark_dirty_range(vpns);
                     }
                 }
                 let page = self.rt.os.system_pt.page();
@@ -449,10 +722,18 @@ impl<'r> Kernel<'r> {
             }
         }
         if self.rt.uvm.is_pinned_cpu(buf_range) {
-            for vpn in self.rt.os.system_pt.vpn_range(span.addr, span.len) {
-                self.translate(tlb_key_sys(vpn));
+            if crate::accesspath::reference_forced() {
+                for vpn in self.rt.os.system_pt.vpn_range(span.addr, span.len) {
+                    self.translate(tlb_key_sys(vpn));
+                    if write {
+                        self.rt.os.system_pt.mark_dirty(vpn);
+                    }
+                }
+            } else {
+                self.translate_range(self.sys_keys(span.addr, span.end()));
                 if write {
-                    self.rt.os.system_pt.mark_dirty(vpn);
+                    let vpns = self.rt.os.system_pt.vpn_range(span.addr, span.len);
+                    self.rt.os.system_pt.mark_dirty_range(vpns);
                 }
             }
             self.account_remote(span.addr, span.len, write, random);
@@ -537,8 +818,12 @@ impl<'r> Kernel<'r> {
                     let page = self.rt.os.system_pt.page();
                     let remote_bytes = (cpu_pages * page).get().min(clip.len);
                     self.account_remote(clip.addr, remote_bytes, write, random);
-                    for vpn in vpns {
-                        self.translate(tlb_key_sys(vpn));
+                    if crate::accesspath::reference_forced() {
+                        for vpn in vpns {
+                            self.translate(tlb_key_sys(vpn));
+                        }
+                    } else {
+                        self.translate_range(self.sys_keys(clip.addr, clip.end()));
                     }
                 }
             }
@@ -552,8 +837,12 @@ impl<'r> Kernel<'r> {
                 self.rt.uvm.touch_lru(block);
             }
             if write {
-                for vpn in vpns {
-                    self.rt.os.system_pt.mark_dirty(vpn);
+                if crate::accesspath::reference_forced() {
+                    for vpn in vpns {
+                        self.rt.os.system_pt.mark_dirty(vpn);
+                    }
+                } else {
+                    self.rt.os.system_pt.mark_dirty_range(vpns);
                 }
             }
         }
@@ -564,6 +853,13 @@ impl<'r> Kernel<'r> {
     /// report.
     pub fn finish(mut self) -> KernelReport {
         self.finished = true;
+        // Park the L2 model so the next launch revives it with an O(1)
+        // reset instead of a fresh multi-megabyte allocation. A
+        // zero-capacity stand-in takes its place; no access touches the
+        // L2 after this point.
+        let line = Bytes::new(self.rt.params.gpu_cacheline);
+        let parked = std::mem::replace(&mut self.l2, gh_mem::SetCache::new(Bytes::new(0), line, 1));
+        self.rt.l2_pool = Some(parked);
         // --- access-counter migration driver (system memory, §2.2.1) ---
         let budget = self.rt.params.counter_budget_per_kernel;
         let mut serviced = 0;

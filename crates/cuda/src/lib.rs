@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub mod accesspath;
 pub mod buffer;
 pub mod kernel;
 pub mod runtime;

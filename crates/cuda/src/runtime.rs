@@ -98,6 +98,28 @@ pub struct Runtime {
     /// through [`Runtime::move_page`]). State-level: available without
     /// tracing, feeds the sanitizer's capability-gating check.
     pub(crate) migrated_pages: u64,
+    /// Stable-placement cache for the batched access path: per-buffer
+    /// classification results, validated against the system page table's
+    /// placement epoch. Keyed access only (buffer ids are never reused),
+    /// so the `HashMap` cannot leak iteration order.
+    placement_cache: HashMap<u32, PlacementEntry>,
+    /// Recycled GPU-L2 model for the batched path: `Kernel::finish`
+    /// parks the multi-megabyte [`gh_mem::SetCache`] here and the next
+    /// launch revives it with an O(1) `reset()` instead of re-allocating
+    /// and re-zeroing the whole slot array (the dominant per-launch host
+    /// cost). Reference-forced runs keep the original fresh allocation.
+    pub(crate) l2_pool: Option<gh_mem::SetCache>,
+}
+
+/// Cached whole-buffer placement snapshot (see
+/// [`Runtime::classify_span_cached`]).
+#[derive(Debug, Clone, Copy)]
+struct PlacementEntry {
+    /// `system_pt.placement_epoch()` when this entry was computed.
+    epoch: u64,
+    /// `Some(node)` when the whole buffer was uniformly resident on
+    /// `node`; `None` when placement was mixed or partial.
+    uniform: Option<Node>,
 }
 
 impl Runtime {
@@ -161,7 +183,52 @@ impl Runtime {
             kernel_seq: 0,
             opts,
             migrated_pages: 0,
+            placement_cache: HashMap::new(),
+            l2_pool: None,
         }
+    }
+
+    /// Classifies the pages of a kernel span into placement runs, serving
+    /// spans over buffers with stable placement from a per-buffer cache.
+    ///
+    /// The cache is keyed on the buffer id and validated against the
+    /// system page table's placement epoch: any populate/unmap/remap
+    /// anywhere bumps the epoch and invalidates every entry, so a hit
+    /// guarantees the buffer's placement is exactly what was cached. A
+    /// uniformly resident buffer then answers the whole span in O(1)
+    /// without touching the page table.
+    ///
+    /// Uniformity is only ever *learned* from a span that covers the
+    /// whole buffer and classifies to a single resident run — the cache
+    /// never walks pages the kernel did not touch, so a miss costs
+    /// exactly one span classification.
+    pub(crate) fn classify_span_cached(
+        &mut self,
+        buf_id: u32,
+        buf_range: gh_os::VaRange,
+        vpns: gh_units::VpnRange,
+    ) -> Vec<gh_mem::pagetable::PlacementRun> {
+        let epoch = self.os.system_pt.placement_epoch();
+        if let Some(e) = self.placement_cache.get(&buf_id) {
+            if e.epoch == epoch {
+                if let Some(node) = e.uniform {
+                    gh_perf::count(gh_perf::Ctr::FastSpans, 1);
+                    return vec![(vpns, Some(node))];
+                }
+                return self.os.system_pt.classify_runs(vpns);
+            }
+        }
+        let runs = self.os.system_pt.classify_runs(vpns);
+        let whole = self.os.system_pt.vpn_range(buf_range.addr, buf_range.len);
+        if vpns == whole {
+            let uniform = match runs.as_slice() {
+                [(vr, Some(node))] if *vr == whole => Some(*node),
+                _ => None,
+            };
+            self.placement_cache
+                .insert(buf_id, PlacementEntry { epoch, uniform });
+        }
+        runs
     }
 
     /// Boots with the calibrated defaults and default options.
@@ -753,9 +820,8 @@ impl Runtime {
             let (fault, _) = self.os.touch_cpu_range(chunk, &mut self.phys);
             dt = dt.saturating_add(fault);
             if write {
-                for vpn in self.os.system_pt.vpn_range(chunk.addr, chunk.len) {
-                    self.os.system_pt.mark_dirty(vpn);
-                }
+                let vpns = self.os.system_pt.vpn_range(chunk.addr, chunk.len);
+                self.os.system_pt.mark_dirty_range(vpns);
             }
             dt = dt.saturating_add(CostParams::transfer_ns(
                 Bytes::new(chunk.len),
@@ -786,23 +852,30 @@ impl Runtime {
                 // migration (coherent C2C).
                 let spt = self.os.system_pt.page_size();
                 let mut remote_bytes: u64 = 0;
-                for vpn in self.os.system_pt.vpn_range(chunk.addr, chunk.len) {
-                    match self.os.system_pt.translate(vpn) {
-                        Some(pte) if pte.node == Node::Gpu => {
-                            remote_bytes = remote_bytes.saturating_add(spt)
+                let vpns = self.os.system_pt.vpn_range(chunk.addr, chunk.len);
+                // Batched walk: resident runs are summed per run instead of
+                // probed per page; only unpopulated runs fault per page
+                // (placement policy and frame allocation are per-page).
+                for (vr, state) in self.os.system_pt.classify_runs(vpns) {
+                    match state {
+                        Some(Node::Gpu) => {
+                            remote_bytes =
+                                remote_bytes.saturating_add(vr.count().get().saturating_mul(spt));
                         }
-                        Some(_) => {}
+                        Some(Node::Cpu) => {}
                         None => {
-                            let o = self.os.touch_cpu(vpn, &mut self.phys);
-                            dt = dt.saturating_add(o.cost);
-                            if o.placed == Node::Gpu {
-                                remote_bytes = remote_bytes.saturating_add(spt);
+                            for vpn in vr {
+                                let o = self.os.touch_cpu(vpn, &mut self.phys);
+                                dt = dt.saturating_add(o.cost);
+                                if o.placed == Node::Gpu {
+                                    remote_bytes = remote_bytes.saturating_add(spt);
+                                }
                             }
                         }
                     }
-                    if write {
-                        self.os.system_pt.mark_dirty(vpn);
-                    }
+                }
+                if write {
+                    self.os.system_pt.mark_dirty_range(vpns);
                 }
                 if remote_bytes > 0 {
                     let dir = if write {

@@ -51,8 +51,10 @@ pub struct UvmState {
     /// Statistics: eviction events.
     pub(crate) evictions: u64,
     /// Thrash detection: remote fallbacks per allocation (keyed by the
-    /// allocation's base address).
-    pub(crate) fallback_counts: std::collections::HashMap<u64, u32>,
+    /// allocation's base address). `BTreeMap` so any future iteration is
+    /// deterministic — hash order here would leak into pin decisions and
+    /// thus into RunReports.
+    pub(crate) fallback_counts: std::collections::BTreeMap<u64, u32>,
     /// Allocations the driver has pinned CPU-side after repeated
     /// thrashing (the `uvm_perf_thrashing` behaviour: all access remote
     /// until an explicit prefetch pulls data back).

@@ -9,23 +9,15 @@
 
 use gh_units::{Bytes, Lines};
 
-/// One cache way: the cached line id plus its LRU stamp.
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    line: u64,
-    stamp: u64,
-}
-
-const EMPTY: u64 = u64::MAX;
-
-impl Slot {
-    const VACANT: Slot = Slot {
-        line: EMPTY,
-        stamp: 0,
-    };
-}
-
 /// A set-associative presence cache over line addresses.
+///
+/// Slots live in struct-of-arrays form: a slot `i` is the triple
+/// `(lines[i], stamps[i], gens[i])`, and it is *vacant* unless
+/// `gens[i]` equals the cache's current generation. That layout keeps
+/// the hot hit-scan inside one or two host cachelines per set, and —
+/// because every array starts as all-zeroes while the live generation
+/// starts at 1 — construction is a calloc, not a multi-megabyte
+/// pattern fill.
 ///
 /// ```
 /// use gh_mem::SetCache;
@@ -40,8 +32,17 @@ pub struct SetCache {
     ways: usize,
     sets: usize,
     line_bytes: Bytes,
-    /// `sets × ways` slots; `line == u64::MAX` = empty.
-    slots: Vec<Slot>,
+    /// Cached line id per slot; meaningful only when the slot's
+    /// generation matches [`SetCache::gen`].
+    lines: Vec<u64>,
+    /// LRU stamp per slot.
+    stamps: Vec<u64>,
+    /// Fill generation per slot; `gens[i] != self.gen` = vacant.
+    gens: Vec<u64>,
+    /// Current generation (never 0, so freshly calloc'd slots are
+    /// vacant); bumped by [`SetCache::reset`] to invalidate every slot
+    /// in O(1).
+    gen: u64,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -60,7 +61,10 @@ impl SetCache {
             ways,
             sets,
             line_bytes,
-            slots: vec![Slot::VACANT; sets * ways],
+            lines: vec![0; sets * ways],
+            stamps: vec![0; sets * ways],
+            gens: vec![0; sets * ways],
+            gen: 1,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -106,28 +110,28 @@ impl SetCache {
         let mut victim = base;
         let mut oldest = u64::MAX;
         for w in 0..self.ways {
-            let slot = &mut self.slots[base + w];
-            if slot.line == line {
-                slot.stamp = self.tick;
+            let i = base + w;
+            let vacant = self.gens[i] != self.gen;
+            if !vacant && self.lines[i] == line {
+                self.stamps[i] = self.tick;
                 self.hits = self.hits.saturating_add(1);
                 return true;
             }
-            if slot.line == EMPTY {
-                victim = base + w;
+            if vacant {
+                victim = i;
                 oldest = 0;
-            } else if slot.stamp < oldest {
-                victim = base + w;
-                oldest = slot.stamp;
+            } else if self.stamps[i] < oldest {
+                victim = i;
+                oldest = self.stamps[i];
             }
         }
         self.misses = self.misses.saturating_add(1);
-        if self.slots[victim].line != EMPTY {
+        if self.gens[victim] == self.gen {
             self.evictions = self.evictions.saturating_add(1);
         }
-        self.slots[victim] = Slot {
-            line,
-            stamp: self.tick,
-        };
+        self.lines[victim] = line;
+        self.stamps[victim] = self.tick;
+        self.gens[victim] = self.gen;
         false
     }
 
@@ -148,9 +152,24 @@ impl SetCache {
         missed
     }
 
-    /// Drops every line (kernel boundary / invalidation).
+    /// Drops every line (kernel boundary / invalidation), keeping the
+    /// hit/miss/eviction stats. O(1): bumping the generation vacates
+    /// every slot without touching the slot arrays. (A u64 generation
+    /// cannot wrap in any physically runnable simulation.)
     pub fn flush(&mut self) {
-        self.slots.fill(Slot::VACANT);
+        self.gen = self.gen.wrapping_add(1).max(1);
+    }
+
+    /// O(1) logical flush that also zeroes the stats, leaving the cache
+    /// observationally identical to a freshly built one. Lets a
+    /// multi-megabyte cache model be reused across kernel launches
+    /// instead of re-allocated and re-zeroed each time.
+    pub fn reset(&mut self) {
+        self.flush();
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+        self.evictions = 0;
     }
 }
 
@@ -229,6 +248,27 @@ mod tests {
         c.access(0);
         c.flush();
         assert!(!c.access(0));
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh() {
+        let mut a = SetCache::new(Bytes::new(4096), Bytes::new(128), 4);
+        let mut b = SetCache::new(Bytes::new(4096), Bytes::new(128), 4);
+        // Dirty `a` well past capacity, then reset: every subsequent
+        // access must agree with a freshly built cache, stats included.
+        for i in 0..1000u64 {
+            a.access(i * 128);
+        }
+        a.reset();
+        assert_eq!(a.hits(), 0);
+        assert_eq!(a.misses(), 0);
+        assert_eq!(a.evictions(), 0);
+        for i in (0..600u64).rev() {
+            assert_eq!(a.access(i * 64), b.access(i * 64), "line {i}");
+        }
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.misses(), b.misses());
+        assert_eq!(a.evictions(), b.evictions());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! notification side; the migration decision lives in the driver model
 //! (`gh-cuda::counters_driver`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A notification raised when a region's access count crossed the
 /// threshold.
@@ -25,10 +25,14 @@ pub struct AccessCounters {
     region_size: u64,
     threshold: u32,
     enabled: bool,
-    counts: HashMap<u64, u64>,
+    /// `BTreeMap` (not `HashMap`): any future iteration — and the batched
+    /// notification sweep in the kernel driver — must see deterministic
+    /// region order, or notification order leaks hash-seed nondeterminism
+    /// into RunReports.
+    counts: BTreeMap<u64, u64>,
     /// Regions that already fired and have not been cleared; they do not
     /// fire again until cleared (mirrors the driver acking the interrupt).
-    notified: HashMap<u64, bool>,
+    notified: BTreeMap<u64, bool>,
     total_notifications: u64,
 }
 
@@ -40,8 +44,8 @@ impl AccessCounters {
             region_size,
             threshold,
             enabled,
-            counts: HashMap::new(),
-            notified: HashMap::new(),
+            counts: BTreeMap::new(),
+            notified: BTreeMap::new(),
             total_notifications: 0,
         }
     }

@@ -13,8 +13,13 @@
 //! Entries are keyed by virtual page number (`vaddr / page_size`).
 
 use crate::phys::Node;
-use crate::radix::RadixTable;
+use crate::radix::{self, RadixTable};
 use gh_units::{widen, Bytes, PageSize, Pages, Vpn, VpnRange};
+
+/// One maximal run of pages sharing a placement state: `Some(node)` when
+/// every page is populated and resident on `node`, `None` when every page
+/// is unpopulated.
+pub type PlacementRun = (VpnRange, Option<Node>);
 
 /// A page table entry: where the page physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +39,14 @@ pub struct PageTable {
     page: PageSize,
     entries: RadixTable<Pte>,
     resident: [Pages; 2], // pages per node
+    /// Per-leaf populated-page counts per node, keyed by radix leaf index.
+    /// Lets range queries answer a uniform fully-resident leaf in O(1)
+    /// without touching the 512 slots. Keyed access only — never iterated.
+    summary: std::collections::HashMap<u64, [u32; 2]>,
+    /// Bumped on every placement change (populate/unmap/remap — not
+    /// `mark_dirty`, which doesn't move pages). Callers cache
+    /// classification results keyed on this.
+    epoch: u64,
 }
 
 impl PageTable {
@@ -44,7 +57,15 @@ impl PageTable {
             page: PageSize::new(page_size),
             entries: RadixTable::new(),
             resident: [Pages::ZERO, Pages::ZERO],
+            summary: std::collections::HashMap::new(),
+            epoch: 0,
         }
+    }
+
+    /// Monotonic placement version: changes iff some page was populated,
+    /// unmapped, or remapped since the last observation.
+    pub fn placement_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The table's page size in bytes.
@@ -98,6 +119,12 @@ impl PageTable {
         );
         assert!(old.is_none(), "double population of {vpn}");
         self.resident[node_idx(node)] += Pages::new(1);
+        let c = self
+            .summary
+            .entry(radix::leaf_index(vpn.get()))
+            .or_insert([0u32; 2]);
+        c[node_idx(node)] = c[node_idx(node)].saturating_add(1);
+        self.epoch = self.epoch.saturating_add(1);
     }
 
     /// Removes the entry for `vpn`, returning it.
@@ -105,6 +132,14 @@ impl PageTable {
         let pte = self.entries.remove(vpn.get());
         if let Some(p) = pte {
             self.resident[node_idx(p.node)] -= Pages::new(1);
+            let idx = radix::leaf_index(vpn.get());
+            if let Some(c) = self.summary.get_mut(&idx) {
+                c[node_idx(p.node)] = c[node_idx(p.node)].saturating_sub(1);
+                if c[0] == 0 && c[1] == 0 {
+                    self.summary.remove(&idx);
+                }
+            }
+            self.epoch = self.epoch.saturating_add(1);
         }
         pte
     }
@@ -122,6 +157,11 @@ impl PageTable {
         e.node = node;
         e.frame = frame;
         e.dirty = false;
+        if let Some(c) = self.summary.get_mut(&radix::leaf_index(vpn.get())) {
+            c[node_idx(old.node)] = c[node_idx(old.node)].saturating_sub(1);
+            c[node_idx(node)] = c[node_idx(node)].saturating_add(1);
+        }
+        self.epoch = self.epoch.saturating_add(1);
         old
     }
 
@@ -148,13 +188,125 @@ impl PageTable {
     }
 
     /// Counts populated pages in `vpns` residing on `node`.
+    ///
+    /// Leaves fully covered by the range are answered from the per-leaf
+    /// summary in O(1); only boundary leaves are scanned.
     pub fn count_resident_in(&self, vpns: VpnRange, node: Node) -> Pages {
-        Pages::new(widen(
-            self.entries
-                .range(vpns.start.get(), vpns.end.get())
-                .filter(|(_, pte)| pte.node == node)
-                .count(),
-        ))
+        let (lo, hi) = (vpns.start.get(), vpns.end.get());
+        let mut total: u64 = 0;
+        let mut k = lo;
+        while k < hi {
+            let idx = radix::leaf_index(k);
+            let base = idx << radix::LEAF_BITS;
+            let end = hi.min(base + widen(radix::LEAF_LEN));
+            if let Some(c) = self.summary.get(&idx) {
+                if k == base && end == base + widen(radix::LEAF_LEN) {
+                    total = total.saturating_add(u64::from(c[node_idx(node)]));
+                } else if let Some(leaf) = self.entries.leaf(idx) {
+                    for i in (k - base)..(end - base) {
+                        if leaf[i as usize].is_some_and(|pte| pte.node == node) {
+                            total = total.saturating_add(1);
+                        }
+                    }
+                }
+            }
+            k = end;
+        }
+        Pages::new(total)
+    }
+
+    /// If every page in `vpns` is populated and resident on one node,
+    /// returns that node. Mixed, partially populated, and empty ranges
+    /// return `None`. Uniform fully-covered leaves are answered from the
+    /// summary without touching their slots.
+    pub fn translate_range(&self, vpns: VpnRange) -> Option<Node> {
+        let (lo, hi) = (vpns.start.get(), vpns.end.get());
+        if lo >= hi {
+            return None;
+        }
+        let mut uniform: Option<Node> = None;
+        let mut k = lo;
+        while k < hi {
+            let idx = radix::leaf_index(k);
+            let base = idx << radix::LEAF_BITS;
+            let end = hi.min(base + widen(radix::LEAF_LEN));
+            let c = self.summary.get(&idx)?;
+            let full = k == base && end == base + widen(radix::LEAF_LEN);
+            let leaf_node = if full && u64::from(c[node_idx(Node::Cpu)]) == widen(radix::LEAF_LEN) {
+                Node::Cpu
+            } else if full && u64::from(c[node_idx(Node::Gpu)]) == widen(radix::LEAF_LEN) {
+                Node::Gpu
+            } else {
+                let leaf = self.entries.leaf(idx)?;
+                let mut node: Option<Node> = None;
+                for i in (k - base)..(end - base) {
+                    match (leaf[i as usize], node) {
+                        (None, _) => return None,
+                        (Some(pte), None) => node = Some(pte.node),
+                        (Some(pte), Some(n)) if pte.node != n => return None,
+                        _ => {}
+                    }
+                }
+                node?
+            };
+            match uniform {
+                None => uniform = Some(leaf_node),
+                Some(n) if n != leaf_node => return None,
+                _ => {}
+            }
+            k = end;
+        }
+        uniform
+    }
+
+    /// Classifies `vpns` into maximal [`PlacementRun`]s in ascending
+    /// address order: `Some(node)` runs are populated-and-resident on that
+    /// node, `None` runs are unpopulated. Uniform fully-covered leaves are
+    /// classified from the summary in O(1); mixed leaves are scanned once.
+    pub fn classify_runs(&self, vpns: VpnRange) -> Vec<PlacementRun> {
+        let (lo, hi) = (vpns.start.get(), vpns.end.get());
+        let mut runs: Vec<PlacementRun> = Vec::new();
+        fn push(runs: &mut Vec<PlacementRun>, start: u64, end: u64, state: Option<Node>) {
+            if let Some((vr, s)) = runs.last_mut() {
+                if *s == state && vr.end.get() == start {
+                    vr.end = Vpn::new(end);
+                    return;
+                }
+            }
+            runs.push((VpnRange::new(Vpn::new(start), Vpn::new(end)), state));
+        }
+        let mut k = lo;
+        while k < hi {
+            let idx = radix::leaf_index(k);
+            let base = idx << radix::LEAF_BITS;
+            let end = hi.min(base + widen(radix::LEAF_LEN));
+            let full = k == base && end == base + widen(radix::LEAF_LEN);
+            match self.summary.get(&idx) {
+                None => push(&mut runs, k, end, None),
+                Some(c) if full && u64::from(c[node_idx(Node::Cpu)]) == widen(radix::LEAF_LEN) => {
+                    push(&mut runs, k, end, Some(Node::Cpu));
+                }
+                Some(c) if full && u64::from(c[node_idx(Node::Gpu)]) == widen(radix::LEAF_LEN) => {
+                    push(&mut runs, k, end, Some(Node::Gpu));
+                }
+                Some(_) => {
+                    let leaf = self.entries.leaf(idx);
+                    for key in k..end {
+                        let state = leaf.and_then(|l| l[(key - base) as usize].map(|pte| pte.node));
+                        push(&mut runs, key, key + 1, state);
+                    }
+                }
+            }
+            k = end;
+        }
+        runs
+    }
+
+    /// Marks every populated page in `vpns` dirty (batched
+    /// [`PageTable::mark_dirty`]).
+    pub fn mark_dirty_range(&mut self, vpns: VpnRange) {
+        self.entries
+            .for_each_in_range_mut(vpns.start.get(), vpns.end.get(), |_, e| e.dirty = true);
     }
 
     /// Collects the VPNs in range that are populated on `node`.
@@ -301,6 +453,85 @@ mod tests {
         assert_eq!(t.populated_pages(), Pages::new(4));
         assert!(t.translate(v(3)).is_none());
         assert!(t.translate(v(6)).is_some());
+    }
+
+    #[test]
+    fn classify_runs_splits_by_state() {
+        let mut t = table();
+        // [0,3) on CPU, [3,5) unpopulated, [5,8) on GPU.
+        for n in 0..3 {
+            t.populate(v(n), Node::Cpu, n);
+        }
+        for n in 5..8 {
+            t.populate(v(n), Node::Gpu, n);
+        }
+        assert_eq!(
+            t.classify_runs(r(0, 8)),
+            vec![
+                (r(0, 3), Some(Node::Cpu)),
+                (r(3, 5), None),
+                (r(5, 8), Some(Node::Gpu)),
+            ]
+        );
+        assert_eq!(t.classify_runs(r(1, 2)), vec![(r(1, 2), Some(Node::Cpu))]);
+        assert!(t.classify_runs(r(4, 4)).is_empty());
+    }
+
+    #[test]
+    fn classify_runs_merges_across_leaf_boundaries() {
+        let mut t = table();
+        // Leaf 0 fully CPU-resident, plus the first pages of leaf 1: one
+        // maximal run even though the fast full-leaf path answered leaf 0.
+        for n in 0..520 {
+            t.populate(v(n), Node::Cpu, n);
+        }
+        assert_eq!(
+            t.classify_runs(r(0, 600)),
+            vec![(r(0, 520), Some(Node::Cpu)), (r(520, 600), None),]
+        );
+        assert_eq!(t.count_resident_in(r(0, 600), Node::Cpu), Pages::new(520));
+        assert_eq!(t.count_resident_in(r(100, 514), Node::Cpu), Pages::new(414));
+    }
+
+    #[test]
+    fn translate_range_detects_uniform_placement() {
+        let mut t = table();
+        for n in 0..514 {
+            t.populate(v(n), Node::Gpu, n);
+        }
+        assert_eq!(t.translate_range(r(0, 514)), Some(Node::Gpu));
+        assert_eq!(t.translate_range(r(100, 200)), Some(Node::Gpu));
+        assert_eq!(t.translate_range(r(0, 515)), None, "tail unpopulated");
+        assert_eq!(t.translate_range(r(0, 0)), None, "empty range");
+        t.remap(v(7), Node::Cpu, 999);
+        assert_eq!(t.translate_range(r(0, 514)), None, "mixed placement");
+    }
+
+    #[test]
+    fn placement_epoch_tracks_placement_not_dirtiness() {
+        let mut t = table();
+        let e0 = t.placement_epoch();
+        t.populate(v(1), Node::Cpu, 1);
+        let e1 = t.placement_epoch();
+        assert_ne!(e0, e1);
+        t.mark_dirty(v(1));
+        t.mark_dirty_range(r(0, 10));
+        assert_eq!(t.placement_epoch(), e1, "dirty bits are not placement");
+        t.remap(v(1), Node::Gpu, 2);
+        let e2 = t.placement_epoch();
+        assert_ne!(e1, e2);
+        t.unmap(v(1));
+        assert_ne!(t.placement_epoch(), e2);
+    }
+
+    #[test]
+    fn mark_dirty_range_sets_populated_only() {
+        let mut t = table();
+        t.populate(v(2), Node::Cpu, 1);
+        t.populate(v(4), Node::Gpu, 2);
+        t.mark_dirty_range(r(0, 4));
+        assert!(t.translate(v(2)).unwrap().dirty);
+        assert!(!t.translate(v(4)).unwrap().dirty);
     }
 
     #[test]

@@ -6,9 +6,16 @@
 //! cache-friendly and iteration over a VPN range cheap, which matters
 //! because the simulator translates millions of pages per experiment.
 
-const LEAF_BITS: u32 = 9;
-const LEAF_LEN: usize = 1 << LEAF_BITS;
+/// Number of low key bits covered by one leaf.
+pub const LEAF_BITS: u32 = 9;
+/// Slots per leaf (`1 << LEAF_BITS`).
+pub const LEAF_LEN: usize = 1 << LEAF_BITS;
 const LEAF_MASK: u64 = gh_units::widen(LEAF_LEN) - 1;
+
+/// Directory index of the leaf holding `key`.
+pub fn leaf_index(key: u64) -> u64 {
+    key >> LEAF_BITS
+}
 
 /// Sparse map from `u64` keys to `T`, organized as 512-entry leaves.
 #[derive(Debug, Clone)]
@@ -86,27 +93,85 @@ impl<T> RadixTable<T> {
         old
     }
 
+    /// Borrows the leaf at directory index `idx` (see [`leaf_index`]), if
+    /// allocated. The slot for key `k` is `leaf[(k & LEAF_MASK)]`.
+    pub fn leaf(&self, idx: u64) -> Option<&[Option<T>; LEAF_LEN]> {
+        self.dir.get(&idx).map(|b| &**b)
+    }
+
     /// Iterates over present entries in `[lo, hi)` in ascending key order.
+    ///
+    /// Walks leaf-by-leaf — one directory probe per 512 keys instead of one
+    /// per key — so dense leaves stream out of a contiguous array and leaves
+    /// absent from the directory are skipped in O(1).
     pub fn range(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u64, &T)> + '_ {
-        (lo..hi).filter_map(move |k| self.get(k).map(|v| (k, v)))
+        let first = lo >> LEAF_BITS;
+        let last = if lo >= hi {
+            first
+        } else {
+            ((hi - 1) >> LEAF_BITS) + 1
+        };
+        (first..last).flat_map(move |idx| {
+            let base = idx << LEAF_BITS;
+            let s = lo.max(base) - base;
+            let e = hi.min(base + gh_units::widen(LEAF_LEN)) - base;
+            self.dir.get(&idx).into_iter().flat_map(move |leaf| {
+                leaf[s as usize..e as usize]
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i, v)| {
+                        v.as_ref().map(|v| (base + s + gh_units::widen(i), v))
+                    })
+            })
+        })
     }
 
     /// Applies `f` to every present entry in `[lo, hi)` with mutable access.
+    /// Leaf-wise like [`RadixTable::range`].
     pub fn for_each_in_range_mut(&mut self, lo: u64, hi: u64, mut f: impl FnMut(u64, &mut T)) {
-        for k in lo..hi {
-            if let Some(v) = self.get_mut(k) {
-                f(k, v);
+        let mut k = lo;
+        while k < hi {
+            let idx = k >> LEAF_BITS;
+            let base = idx << LEAF_BITS;
+            let end = hi.min(base + gh_units::widen(LEAF_LEN));
+            if let Some(leaf) = self.dir.get_mut(&idx) {
+                for i in (k - base)..(end - base) {
+                    if let Some(v) = leaf[i as usize].as_mut() {
+                        f(base + i, v);
+                    }
+                }
             }
+            k = end;
         }
     }
 
     /// Removes every entry in `[lo, hi)`, returning how many were removed.
+    /// A fully covered leaf is dropped whole without per-key probing.
     pub fn remove_range(&mut self, lo: u64, hi: u64) -> usize {
         let mut removed: usize = 0;
-        for k in lo..hi {
-            if self.remove(k).is_some() {
-                removed = removed.saturating_add(1);
+        let mut k = lo;
+        while k < hi {
+            let idx = k >> LEAF_BITS;
+            let base = idx << LEAF_BITS;
+            let end = hi.min(base + gh_units::widen(LEAF_LEN));
+            if k == base && end == base + gh_units::widen(LEAF_LEN) {
+                if let Some(leaf) = self.dir.remove(&idx) {
+                    let n = leaf.iter().filter(|e| e.is_some()).count();
+                    removed = removed.saturating_add(n);
+                    self.len -= n;
+                }
+            } else if let Some(leaf) = self.dir.get_mut(&idx) {
+                for i in (k - base)..(end - base) {
+                    if leaf[i as usize].take().is_some() {
+                        removed = removed.saturating_add(1);
+                        self.len -= 1;
+                    }
+                }
+                if leaf.iter().all(|e| e.is_none()) {
+                    self.dir.remove(&idx);
+                }
             }
+            k = end;
         }
         removed
     }
@@ -192,6 +257,48 @@ mod tests {
         assert_eq!(t.get(1), Some(&0));
         assert_eq!(t.get(5), Some(&1));
         assert_eq!(t.get(8), Some(&0));
+    }
+
+    #[test]
+    fn range_matches_per_key_probing() {
+        let mut t = RadixTable::new();
+        let keys = [0u64, 3, 511, 512, 513, 1023, 1024, 5000];
+        for &k in &keys {
+            t.insert(k, k);
+        }
+        for (lo, hi) in [(0, 6000), (1, 513), (512, 512), (513, 512), (511, 1025)] {
+            let fast: Vec<_> = t.range(lo, hi).map(|(k, &v)| (k, v)).collect();
+            let slow: Vec<_> = (lo..hi.max(lo))
+                .filter_map(|k| t.get(k).map(|&v| (k, v)))
+                .collect();
+            assert_eq!(fast, slow, "range({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn remove_range_drops_full_leaf_whole() {
+        let mut t = RadixTable::new();
+        for k in 0..1536u64 {
+            t.insert(k, ());
+        }
+        // [512, 1024) covers leaf 1 exactly; [200, 512) and [1024, 1100) are partial.
+        assert_eq!(t.remove_range(200, 1100), 900);
+        assert_eq!(t.len(), 1536 - 900);
+        assert!(t.get(199).is_some());
+        assert!(t.get(200).is_none());
+        assert!(t.get(700).is_none());
+        assert!(t.get(1099).is_none());
+        assert!(t.get(1100).is_some());
+    }
+
+    #[test]
+    fn leaf_accessor_exposes_slots() {
+        let mut t = RadixTable::new();
+        t.insert(513, 7u32);
+        assert!(t.leaf(0).is_none());
+        let leaf = t.leaf(leaf_index(513)).unwrap();
+        assert_eq!(leaf[1], Some(7));
+        assert_eq!(leaf[0], None);
     }
 
     #[test]

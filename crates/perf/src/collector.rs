@@ -29,9 +29,16 @@ pub enum Ctr {
     KernelLaunches,
     /// `memcpy`/`memcpy_2d` calls through the `gh-cuda` runtime.
     Memcpys,
+    /// Placement runs processed by the batched access core (`gh-cuda`):
+    /// one classified resident/faulting run per increment. High
+    /// runs-per-span ratios mean fragmented placement.
+    BatchRuns,
+    /// Kernel spans served whole by the stable-placement cache (buffer
+    /// placement unchanged since the last epoch — no classification walk).
+    FastSpans,
 }
 
-const N_CTRS: usize = 6;
+const N_CTRS: usize = 8;
 
 impl Ctr {
     /// All counters in declaration (and export) order.
@@ -42,6 +49,8 @@ impl Ctr {
         Ctr::MigratedPages,
         Ctr::KernelLaunches,
         Ctr::Memcpys,
+        Ctr::BatchRuns,
+        Ctr::FastSpans,
     ];
 
     /// Stable export name (dotted, matching the gh-trace counter style).
@@ -53,6 +62,8 @@ impl Ctr {
             Ctr::MigratedPages => "uvm.migrated_pages",
             Ctr::KernelLaunches => "cuda.kernel_launches",
             Ctr::Memcpys => "cuda.memcpys",
+            Ctr::BatchRuns => "access.batch_runs",
+            Ctr::FastSpans => "access.fast_spans",
         }
     }
 
@@ -64,6 +75,8 @@ impl Ctr {
             Ctr::MigratedPages => 3,
             Ctr::KernelLaunches => 4,
             Ctr::Memcpys => 5,
+            Ctr::BatchRuns => 6,
+            Ctr::FastSpans => 7,
         }
     }
 }
