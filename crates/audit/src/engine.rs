@@ -1,7 +1,8 @@
 //! Workspace walker and rule driver: discovers source files, classifies
-//! them, runs every rule, applies allow directives, and reports malformed
-//! directives.
+//! them, runs every token rule and workspace flow rule, applies allow
+//! directives, and reports malformed directives.
 
+use crate::resolve::Workspace;
 use crate::rules::{self, trace_coverage, Finding};
 use crate::source::{FileKind, SourceFile};
 use std::collections::BTreeSet;
@@ -58,6 +59,20 @@ fn io_err(path: &Path, source: std::io::Error) -> AuditError {
 
 /// Runs the full audit and returns findings sorted by path, line, rule.
 pub fn audit_workspace(cfg: &AuditConfig) -> Result<Vec<Finding>, AuditError> {
+    audit_workspace_with_stats(cfg).map(|(findings, _)| findings)
+}
+
+/// Audit statistics alongside the findings (for CI telemetry).
+#[derive(Debug, Clone, Copy)]
+pub struct AuditStats {
+    /// Number of source files collected and scanned.
+    pub files_scanned: usize,
+}
+
+/// Like [`audit_workspace`], also reporting scan statistics.
+pub fn audit_workspace_with_stats(
+    cfg: &AuditConfig,
+) -> Result<(Vec<Finding>, AuditStats), AuditError> {
     let files = collect_files(&cfg.root)?;
     let mut findings = Vec::new();
     let per_file_rules = rules::all_rules();
@@ -67,6 +82,10 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<Vec<Finding>, AuditError> {
         }
     }
     trace_coverage::check_workspace(&files, &mut findings);
+    let ws = Workspace::build(&files);
+    for rule in rules::flow_rules() {
+        rule.check_workspace(&ws, &mut findings);
+    }
     // Allow filtering (trace-coverage findings are suppressible at the use
     // site like any other), then malformed-directive reporting.
     findings.retain(|f| {
@@ -76,23 +95,27 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<Vec<Finding>, AuditError> {
     let known: BTreeSet<&str> = rules::rule_names().into_iter().collect();
     for f in &files {
         for a in &f.allows {
-            let msg = if a.rules.is_empty() {
-                Some(
+            // A directive can be wrong in several ways at once (reasonless
+            // AND naming unknown rules); report each problem, not just the
+            // first.
+            let mut msgs = Vec::new();
+            if a.rules.is_empty() {
+                msgs.push(
                     "malformed gh-audit directive; expected `gh-audit: allow(<rule>) -- <reason>`"
                         .to_string(),
-                )
-            } else if !a.has_reason {
-                Some(format!(
-                    "allow({}) has no `-- <reason>`; suppressions must say why",
-                    a.rules.join(", ")
-                ))
+                );
             } else {
-                a.rules
-                    .iter()
-                    .find(|r| !known.contains(r.as_str()))
-                    .map(|r| format!("allow names unknown rule `{r}`"))
-            };
-            if let Some(msg) = msg {
+                if !a.has_reason {
+                    msgs.push(format!(
+                        "allow({}) has no `-- <reason>`; suppressions must say why",
+                        a.rules.join(", ")
+                    ));
+                }
+                for r in a.rules.iter().filter(|r| !known.contains(r.as_str())) {
+                    msgs.push(format!("allow names unknown rule `{r}`"));
+                }
+            }
+            for msg in msgs {
                 findings.push(Finding {
                     rule: ALLOW_SYNTAX,
                     path: f.rel_path.clone(),
@@ -107,7 +130,13 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<Vec<Finding>, AuditError> {
     }
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(findings)
+    // The dataflow driver runs loop bodies twice, so flow rules can report
+    // the same finding twice; drop exact duplicates post-sort.
+    findings.dedup();
+    let stats = AuditStats {
+        files_scanned: files.len(),
+    };
+    Ok((findings, stats))
 }
 
 /// Discovers and parses every auditable `.rs` file under the workspace.

@@ -1,20 +1,35 @@
 //! `gh-audit` CLI: scan the workspace, print findings, gate CI.
 //!
 //! ```text
-//! gh-audit [--root <dir>] [--rule <name>]... [--deny] [--list-rules]
+//! gh-audit [--root <dir>] [--rule <name>]... [--format text|json|sarif]
+//!          [--deny] [--list-rules]
 //! ```
+//!
+//! Findings go to stdout in the selected format; the `scanned N files`
+//! stats line goes to stderr so machine formats stay parseable. Timing is
+//! left to the caller (CI) — the audit binary itself reads no clocks, by
+//! its own `wall-clock` rules.
 //!
 //! Exit codes: 0 clean (or findings without `--deny`), 1 findings with
 //! `--deny`, 2 usage error.
 
-use gh_audit::{audit_workspace, report, rules, AuditConfig};
+use gh_audit::engine::audit_workspace_with_stats;
+use gh_audit::{report, rules, AuditConfig};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: gh-audit [--root <dir>] [--rule <name>]... [--deny] [--list-rules]";
+const USAGE: &str = "usage: gh-audit [--root <dir>] [--rule <name>]... \
+                     [--format text|json|sarif] [--deny] [--list-rules]";
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut cfg = AuditConfig::new(std::env::current_dir().unwrap_or_else(|_| ".".into()));
     let mut deny = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,8 +47,20 @@ fn main() -> ExitCode {
                 }
                 None => return usage("--rule needs a rule name"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    return usage(&format!("unknown format '{other}' (text, json, sarif)"))
+                }
+                None => return usage("--format needs one of: text, json, sarif"),
+            },
             "--list-rules" => {
                 for r in rules::all_rules() {
+                    println!("{:<38} {}", r.name(), r.describe());
+                }
+                for r in rules::flow_rules() {
                     println!("{:<38} {}", r.name(), r.describe());
                 }
                 println!(
@@ -53,9 +80,19 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument '{other}'")),
         }
     }
-    match audit_workspace(&cfg) {
-        Ok(findings) => {
-            print!("{}", report::render(&findings));
+    match audit_workspace_with_stats(&cfg) {
+        Ok((findings, stats)) => {
+            let rendered = match format {
+                Format::Text => report::render(&findings),
+                Format::Json => report::render_json(&findings),
+                Format::Sarif => report::render_sarif(&findings),
+            };
+            print!("{rendered}");
+            eprintln!(
+                "gh-audit: scanned {} files, {} finding(s)",
+                stats.files_scanned,
+                findings.len()
+            );
             if deny && !findings.is_empty() {
                 ExitCode::FAILURE
             } else {

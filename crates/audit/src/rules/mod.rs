@@ -1,16 +1,27 @@
-//! The audit rules. Each rule walks one file's token stream; the
-//! cross-file `trace-coverage` rule additionally runs over the whole
+//! The audit rules, in two tiers:
+//!
+//! * **token rules** ([`Rule`]) walk one file's token stream — cheap
+//!   shape checks that need no context;
+//! * **flow rules** ([`FlowRule`]) run against the shared [`Workspace`]
+//!   (parsed ASTs, struct/type tables, call graph) and use the
+//!   [`crate::dataflow`] taint driver for value-flow reasoning.
+//!
+//! The cross-file `trace-coverage` rule additionally runs over the whole
 //! workspace (see [`trace_coverage::check_workspace`]).
 
 pub mod accounting;
+pub mod epoch_coherence;
 pub mod float_eq;
 pub mod no_platform_leak;
 pub mod trace_coverage;
+pub mod unit_launder;
 pub mod units;
-pub mod unordered_iter;
+pub mod unordered_flow;
 pub mod unwrap_lib;
 pub mod wall_clock;
+pub mod wall_clock_taint;
 
+use crate::resolve::Workspace;
 use crate::source::SourceFile;
 
 /// One rule violation.
@@ -37,11 +48,22 @@ pub trait Rule {
     fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>);
 }
 
+/// A workspace-level dataflow rule. Flow rules see the whole parsed
+/// workspace at once and typically combine the call graph with a
+/// [`crate::dataflow::TaintSpec`].
+pub trait FlowRule {
+    /// Stable rule name (what `allow(...)` takes).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Appends findings for the whole workspace.
+    fn check_workspace(&self, ws: &Workspace<'_>, out: &mut Vec<Finding>);
+}
+
 /// All per-file rules, in report order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(wall_clock::WallClock),
-        Box::new(unordered_iter::UnorderedIter),
         Box::new(accounting::UncheckedAccounting),
         Box::new(units::TypedUnits),
         Box::new(units::NoRawUnitCast),
@@ -51,10 +73,21 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
-/// Names of every rule (per-file rules plus `trace-coverage` and the
-/// `allow-syntax` meta rule), for `--rule` validation and docs.
+/// All workspace flow rules, in report order.
+pub fn flow_rules() -> Vec<Box<dyn FlowRule>> {
+    vec![
+        Box::new(epoch_coherence::EpochCoherence),
+        Box::new(unit_launder::UnitLaunderFlow),
+        Box::new(wall_clock_taint::WallClockTaint),
+        Box::new(unordered_flow::UnorderedIterFlow),
+    ]
+}
+
+/// Names of every rule (per-file rules, flow rules, `trace-coverage`,
+/// and the `allow-syntax` meta rule), for `--rule` validation and docs.
 pub fn rule_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    names.extend(flow_rules().iter().map(|r| r.name()));
     names.push(trace_coverage::NAME);
     names.push(crate::engine::ALLOW_SYNTAX);
     names

@@ -162,13 +162,14 @@ struct ParsedDirective {
 
 fn parse_directive_text(comment: &str) -> Option<ParsedDirective> {
     let rest = comment.split("gh-audit:").nth(1)?.trim_start();
-    let file_wide = rest.starts_with("allow-file");
-    let rest = rest
-        .strip_prefix("allow-file")
-        .or_else(|| rest.strip_prefix("allow"))?;
-    let rest = rest.trim_start();
-    let inner_end = rest.find(')')?;
-    let inner = rest.strip_prefix('(')?.get(..inner_end.checked_sub(1)?)?;
+    let (file_wide, rest) = match rest.strip_prefix("allow-file") {
+        Some(r) => (true, r),
+        None => (false, rest.strip_prefix("allow")?),
+    };
+    // `(rule, rule, ...)` — whitespace anywhere around names and commas is
+    // fine; the close paren splits the rule list from the reason.
+    let inner = rest.trim_start().strip_prefix('(')?;
+    let (inner, after) = inner.split_once(')')?;
     let rules: Vec<String> = inner
         .split(',')
         .map(|s| s.trim().to_string())
@@ -177,11 +178,9 @@ fn parse_directive_text(comment: &str) -> Option<ParsedDirective> {
     if rules.is_empty() {
         return None;
     }
-    let after = &rest[inner_end + 1..];
     let has_reason = after
-        .split("--")
-        .nth(1)
-        .map(|r| !r.trim().trim_end_matches("*/").trim().is_empty())
+        .split_once("--")
+        .map(|(_, r)| !r.trim().trim_end_matches("*/").trim().is_empty())
         .unwrap_or(false);
     Some(ParsedDirective {
         rules,
@@ -312,6 +311,53 @@ mod tests {
     fn multi_rule_allow() {
         let f = sf("x(); // gh-audit: allow(a, b) -- both\n");
         assert!(f.is_allowed("a", 1) && f.is_allowed("b", 1));
+    }
+
+    #[test]
+    fn multi_rule_allow_file() {
+        let f = sf("// gh-audit: allow-file(a, b) -- harness\nfn f() {}\n");
+        assert!(f.is_allowed("a", 999) && f.is_allowed("b", 999));
+        assert!(f.allows[0].has_reason);
+    }
+
+    #[test]
+    fn whitespace_in_rule_list_is_tolerated() {
+        let f = sf("x(); // gh-audit: allow( a ,  b ) -- spaced\n");
+        assert!(f.is_allowed("a", 1) && f.is_allowed("b", 1));
+        assert!(f.allows[0].has_reason);
+    }
+
+    #[test]
+    fn empty_parens_are_malformed() {
+        let f = sf("x(); // gh-audit: allow() -- why\n");
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allows[0].rules.is_empty(), "recorded for allow-syntax");
+    }
+
+    #[test]
+    fn missing_close_paren_is_malformed() {
+        let f = sf("x(); // gh-audit: allow(a -- why\n");
+        assert_eq!(f.allows.len(), 1);
+        assert!(f.allows[0].rules.is_empty());
+    }
+
+    #[test]
+    fn empty_reason_after_dashes_counts_as_missing() {
+        let f = sf("x(); // gh-audit: allow(a) --\n");
+        assert!(f.is_allowed("a", 1), "still suppresses");
+        assert!(!f.allows[0].has_reason);
+    }
+
+    #[test]
+    fn reason_containing_dashes_is_fine() {
+        let f = sf("x(); // gh-audit: allow(a) -- see ADR-7 -- revisit\n");
+        assert!(f.allows[0].has_reason);
+    }
+
+    #[test]
+    fn block_comment_directive_reason_strips_terminator() {
+        let f = sf("x(); /* gh-audit: allow(a) -- */\n");
+        assert!(!f.allows[0].has_reason, "`*/` alone is not a reason");
     }
 
     #[test]

@@ -46,11 +46,48 @@ fn wall_clock_exemption_is_silent_inside_gh_perf_and_fires_outside() {
 }
 
 #[test]
-fn seeded_fixture_fires_no_unordered_iteration() {
+fn seeded_fixture_fires_unordered_iter_flow() {
+    // `report()` pushes hash-ordered values element-wise into the
+    // returned vec; the flow rule flags the escape, not the iteration.
     let f = audit("seeded");
-    let hits = rule_hits(&f, "no-unordered-iteration");
+    let hits = rule_hits(&f, "unordered-iter-flow");
     assert_eq!(hits.len(), 1, "{hits:?}");
     assert!(hits[0].path.contains("gh-mem/src/lib.rs"));
+    assert!(hits[0].msg.contains("returned"), "{}", hits[0].msg);
+}
+
+#[test]
+fn seeded_fixture_fires_epoch_coherence() {
+    // `PageTable::populate` mutates placement without bumping the epoch;
+    // `retire` bumps and must stay silent.
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "epoch-coherence");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(
+        hits[0].msg.contains("PageTable::populate"),
+        "{}",
+        hits[0].msg
+    );
+}
+
+#[test]
+fn seeded_fixture_fires_unit_launder_flow() {
+    // `Pages::new(b.get())` relabels a byte count as pages.
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "unit-launder-flow");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].msg.contains("`Bytes`"), "{}", hits[0].msg);
+    assert!(hits[0].msg.contains("`Pages`"), "{}", hits[0].msg);
+}
+
+#[test]
+fn seeded_fixture_fires_wall_clock_taint_inside_gh_perf() {
+    // The value-flow rule reaches where the per-crate exemption cannot:
+    // a measured duration leaking into a counter inside gh-perf itself.
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "wall-clock-taint");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].path.contains("gh-perf/src/lib.rs"));
 }
 
 #[test]

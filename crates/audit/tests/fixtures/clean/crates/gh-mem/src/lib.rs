@@ -1,12 +1,13 @@
 //! Clean fixture: the disciplined twin of `seeded`. Same shapes, zero
 //! findings — including one well-formed, reasoned suppression.
 
-use gh_units::{widen, Bytes};
-use std::collections::BTreeMap;
+use gh_units::{widen, Bytes, PageSize, Pages, Vpn};
+use std::collections::{BTreeMap, HashMap};
 
 pub struct Counters {
     pub total_bytes: u64,
     pub by_node: BTreeMap<u32, u64>,
+    pub hot_pages: HashMap<u64, u64>,
     pub now_ns: u64,
 }
 
@@ -42,14 +43,21 @@ impl Counters {
         self.report().first().copied()
     }
 
-    // A reasoned suppression parses cleanly and silences its rule.
+    // A commutative fold over an unordered map: `unordered-iter-flow`
+    // recognizes order-insensitive accumulation, so — unlike under the
+    // retired token rule — no suppression is needed.
     pub fn merged(&self) -> u64 {
         let mut sum = 0u64;
-        // gh-audit: allow(no-unordered-iteration) -- commutative fold; order cannot reach the result
-        for v in self.by_node.values() {
+        for v in self.hot_pages.values() {
             sum = sum.saturating_add(*v);
         }
         sum
+    }
+
+    // A reasoned suppression parses cleanly and silences its rule.
+    pub fn merged_first(&self) -> u64 {
+        // gh-audit: allow(no-unwrap-in-lib) -- by_node is never empty by construction
+        self.report().first().copied().unwrap()
     }
 }
 
@@ -64,4 +72,30 @@ pub fn build_machine(pool_bytes: Bytes) -> u64 {
 // parameters, `widen` for the usize conversion, `.get()` as the exit.
 pub fn span_cost(lens: &[usize]) -> u64 {
     widen(lens.len())
+}
+
+// epoch-coherence's disciplined twin: every placement mutation bumps the
+// epoch before returning.
+pub struct PageTable {
+    entries: BTreeMap<u64, u8>,
+    epoch: u64,
+}
+
+impl PageTable {
+    pub fn populate(&mut self, vpn: Vpn, node: u8) {
+        self.entries.insert(vpn, node);
+        self.epoch = self.epoch.saturating_add(1);
+    }
+
+    pub fn retire(&mut self, vpn: Vpn) {
+        self.entries.remove(&vpn);
+        self.epoch = self.epoch.saturating_add(1);
+    }
+}
+
+// unit-launder-flow's disciplined twin: the byte count is scaled by the
+// page size on its way into the page domain — a real conversion, not a
+// relabeling.
+pub fn pages_from_bytes(b: Bytes, page: PageSize) -> Pages {
+    Pages::new(b.get() / page.get())
 }

@@ -1,7 +1,8 @@
 //! Seeded-violation fixture: every per-file rule must fire on this file.
 //! Never compiled — consumed by `tests/fixtures.rs` through the engine.
 
-use std::collections::HashMap;
+use gh_units::{Bytes, Pages, Vpn};
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 pub struct Counters {
@@ -16,8 +17,8 @@ impl Counters {
         self.total_bytes += bytes;
     }
 
-    // no-unordered-iteration: HashMap iteration order reaches the sum
-    // only by luck of commutativity; the rule cannot know that.
+    // unordered-iter-flow: HashMap iteration order flows element-wise
+    // into the returned vec — genuinely nondeterministic output.
     pub fn report(&self) -> Vec<u64> {
         let mut out = Vec::new();
         for (_, v) in self.by_node.iter() {
@@ -64,4 +65,31 @@ pub struct RawBytes(pub u64);
 
 pub fn escape_hatch(count: u32, b: &RawBytes) -> u64 {
     (count as u64).saturating_add(b.0)
+}
+
+// epoch-coherence: a placement table (struct with `entries` + `epoch`)
+// whose mutator forgets the epoch bump — the span-classification cache
+// would serve stale placement. `retire` is the disciplined shape and
+// must NOT fire.
+pub struct PageTable {
+    entries: BTreeMap<u64, u8>,
+    epoch: u64,
+}
+
+impl PageTable {
+    pub fn populate(&mut self, vpn: Vpn, node: u8) {
+        self.entries.insert(vpn, node);
+    }
+
+    pub fn retire(&mut self, vpn: Vpn) {
+        self.entries.remove(&vpn);
+        self.epoch = self.epoch.saturating_add(1);
+    }
+}
+
+// unit-launder-flow: a byte count escapes through `.get()` and is
+// rewrapped as a page count with no conversion — off by the page size,
+// deterministically wrong.
+pub fn pages_from_bytes(b: Bytes) -> Pages {
+    Pages::new(b.get())
 }

@@ -494,6 +494,46 @@ mod tests {
     }
 
     #[test]
+    fn leaf_boundary_511_vs_512_resident() {
+        // The range walkers answer fully-covered, fully-resident leaves
+        // from the per-leaf summary in O(1) and fall back to slot scans
+        // otherwise. 511 vs 512 resident entries in one leaf is exactly
+        // the edge between those two paths: a one-page hole must be
+        // reported by the scan, and plugging it must flip the leaf onto
+        // the summary fast path with identical semantics.
+        let mut t = table();
+        for n in 0..512 {
+            if n != 511 {
+                t.populate(v(n), Node::Cpu, n);
+            }
+        }
+        // 511 resident: the final page is a hole.
+        assert_eq!(t.count_resident_in(r(0, 512), Node::Cpu), Pages::new(511));
+        assert_eq!(t.translate_range(r(0, 512)), None, "hole breaks uniformity");
+        assert_eq!(t.translate_range(r(0, 511)), Some(Node::Cpu));
+        assert_eq!(
+            t.classify_runs(r(0, 512)),
+            vec![(r(0, 511), Some(Node::Cpu)), (r(511, 512), None)]
+        );
+        // Plug the hole: 512 resident, summary fast path takes over.
+        t.populate(v(511), Node::Cpu, 511);
+        assert_eq!(t.count_resident_in(r(0, 512), Node::Cpu), Pages::new(512));
+        assert_eq!(t.translate_range(r(0, 512)), Some(Node::Cpu));
+        assert_eq!(
+            t.classify_runs(r(0, 512)),
+            vec![(r(0, 512), Some(Node::Cpu))]
+        );
+        // Unmap one page again: back off the fast path, and the hole's
+        // position (first page this time) is reported exactly.
+        t.unmap(v(0));
+        assert_eq!(t.count_resident_in(r(0, 512), Node::Cpu), Pages::new(511));
+        assert_eq!(
+            t.classify_runs(r(0, 512)),
+            vec![(r(0, 1), None), (r(1, 512), Some(Node::Cpu))]
+        );
+    }
+
+    #[test]
     fn translate_range_detects_uniform_placement() {
         let mut t = table();
         for n in 0..514 {
