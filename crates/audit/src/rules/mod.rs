@@ -12,6 +12,7 @@
 pub mod accounting;
 pub mod epoch_coherence;
 pub mod float_eq;
+pub mod no_ambient_state;
 pub mod no_platform_leak;
 pub mod trace_coverage;
 pub mod unit_launder;
@@ -70,6 +71,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(float_eq::FloatEq),
         Box::new(unwrap_lib::UnwrapInLib),
         Box::new(no_platform_leak::PlatformLeak),
+        Box::new(no_ambient_state::AmbientState),
     ]
 }
 

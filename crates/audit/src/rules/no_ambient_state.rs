@@ -1,0 +1,185 @@
+//! `no-ambient-state`: model crates must not grow process-wide state.
+//!
+//! PR 9 evicted every piece of ambient run state into the per-run
+//! `SessionCtx` — the `thread_local!` trace/perf collectors, the
+//! `OnceLock` env latches for the sanitizer and the reference-walk
+//! toggle. That is what lets the `gh-jobs` executor run the whole
+//! experiment matrix concurrently in one process with bitwise-identical
+//! reports. This rule keeps the door shut: library code may not
+//! introduce new `thread_local!`, `static mut`, `OnceLock`/`LazyLock`
+//! cells, or environment reads (`std::env::var*`). Configuration flows
+//! in through `SessionOptions`; env vars are honored only at the
+//! CLI/bench boundary.
+//!
+//! **Sanctioned carve-outs:**
+//!
+//! * binary targets, benches, tests, examples — they *are* the boundary;
+//! * the `gh-bench` harness crate — its `util` module is where
+//!   `GH_TRACE`/`GH_JOBS`/`GH_FAST` seed per-run `SessionOptions`;
+//! * `crates/par/src/pool.rs` — the process-wide work-stealing pool
+//!   (`global()`) is shared *compute*, not per-run state: jobs carry
+//!   their own session handles, so which thread runs them cannot affect
+//!   results.
+
+use crate::rules::{Finding, Rule};
+use crate::source::{FileKind, SourceFile};
+
+/// Crates that are entirely boundary code.
+const EXEMPT_CRATES: [&str; 1] = ["gh-bench"];
+
+/// Specific sanctioned files (workspace-relative suffix match).
+const EXEMPT_PATHS: [&str; 1] = ["par/src/pool.rs"];
+
+/// Cell types whose appearance in a lib file means process-wide state.
+const BANNED_CELLS: [&str; 2] = ["OnceLock", "LazyLock"];
+
+/// See module docs.
+#[derive(Debug)]
+pub struct AmbientState;
+
+impl Rule for AmbientState {
+    fn name(&self) -> &'static str {
+        "no-ambient-state"
+    }
+
+    fn describe(&self) -> &'static str {
+        "model crates must not add thread_local!/static mut/OnceLock cells or env reads; \
+         per-run state belongs on the SessionCtx"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return; // bins/benches/tests/examples are the boundary
+        }
+        if EXEMPT_CRATES.contains(&file.crate_name.as_str())
+            || EXEMPT_PATHS.iter().any(|p| file.rel_path.ends_with(p))
+        {
+            return;
+        }
+        let code: Vec<_> = file.code_tokens().collect();
+        for (pos, (_, t)) in code.iter().enumerate() {
+            if file.in_test_mod(t.line) {
+                continue;
+            }
+            let next_is = |what: &str| {
+                code.get(pos + 1)
+                    .map(|(_, n)| n.is_punct(what) || n.is_ident(what))
+                    .unwrap_or(false)
+            };
+            let offense = if t.is_ident("thread_local") && next_is("!") {
+                Some("`thread_local!` is per-thread ambient state")
+            } else if t.is_ident("static") && next_is("mut") {
+                Some("`static mut` is process-wide mutable state")
+            } else if BANNED_CELLS.iter().any(|b| t.is_ident(b)) {
+                Some("a process-wide lazy cell latches state across runs")
+            } else if t.is_ident("env")
+                && next_is("::")
+                && code
+                    .get(pos + 2)
+                    .map(|(_, n)| n.is_ident("var") || n.is_ident("var_os") || n.is_ident("vars"))
+                    .unwrap_or(false)
+            {
+                Some("library code must not read the environment")
+            } else {
+                None
+            };
+            if let Some(why) = offense {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "{why}; thread per-run configuration and collectors through \
+                         SessionCtx/SessionOptions instead (env vars are honored only at \
+                         the CLI/bench boundary)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn run_at(path: &str, crate_name: &str, kind: FileKind, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(path, crate_name, kind, src);
+        let mut out = Vec::new();
+        AmbientState.check_file(&f, &mut out);
+        out
+    }
+
+    fn run(kind: FileKind, src: &str) -> Vec<Finding> {
+        run_at("c/src/lib.rs", "gh-mem", kind, src)
+    }
+
+    #[test]
+    fn thread_local_in_lib_fires() {
+        let out = run(
+            FileKind::Lib,
+            "thread_local! { static S: RefCell<u32> = RefCell::new(0); }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "no-ambient-state");
+    }
+
+    #[test]
+    fn lazy_cells_fire() {
+        assert_eq!(
+            run(
+                FileKind::Lib,
+                "static ON: OnceLock<bool> = OnceLock::new();"
+            )
+            .len(),
+            2, // both mentions of the cell type
+        );
+        assert_eq!(run(FileKind::Lib, "use std::sync::LazyLock;").len(), 1);
+    }
+
+    #[test]
+    fn static_mut_fires_but_plain_static_does_not() {
+        assert_eq!(run(FileKind::Lib, "static mut X: u32 = 0;").len(), 1);
+        assert!(run(FileKind::Lib, "static X: u32 = 0;").is_empty());
+        // A local named `static_mut` or the words in a string are fine.
+        assert!(run(FileKind::Lib, "let s = \"static mut\";").is_empty());
+    }
+
+    #[test]
+    fn env_reads_fire_in_lib_only() {
+        let src = "let v = std::env::var(\"GH_TRACE\");";
+        assert_eq!(run(FileKind::Lib, src).len(), 1);
+        assert!(run(FileKind::Bin, src).is_empty());
+        assert!(run(FileKind::Bench, src).is_empty());
+        assert!(run(FileKind::Test, src).is_empty());
+    }
+
+    #[test]
+    fn env_module_mention_alone_is_fine() {
+        assert!(run(FileKind::Lib, "use std::env;").is_empty());
+        assert!(run(FileKind::Lib, "let env = 3; let x = env + 1;").is_empty());
+    }
+
+    #[test]
+    fn sanctioned_boundaries_are_exempt() {
+        let src = "static POOL: OnceLock<Pool> = OnceLock::new();";
+        assert!(run_at("crates/par/src/pool.rs", "gh-par", FileKind::Lib, src).is_empty());
+        let env_src = "let v = std::env::var(\"GH_FAST\");";
+        assert!(run_at(
+            "crates/bench/src/lib.rs",
+            "gh-bench",
+            FileKind::Lib,
+            env_src
+        )
+        .is_empty());
+        // The same pool code elsewhere in gh-par still fires.
+        assert!(!run_at("crates/par/src/lib.rs", "gh-par", FileKind::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn test_mods_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { let v = std::env::var(\"X\"); }\n}\n";
+        assert!(run(FileKind::Lib, src).is_empty());
+    }
+}

@@ -149,6 +149,20 @@ fn seeded_fixture_fires_no_platform_leak() {
 }
 
 #[test]
+fn seeded_fixture_fires_no_ambient_state() {
+    // thread_local!, static mut, the OnceLock latch (its two same-line
+    // mentions dedupe to one finding), and one env read.
+    let f = audit("seeded");
+    let hits = rule_hits(&f, "no-ambient-state");
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    assert!(hits.iter().all(|h| h.path.contains("gh-mem/src/lib.rs")));
+    assert!(
+        hits.iter().any(|h| h.msg.contains("SessionCtx")),
+        "{hits:?}"
+    );
+}
+
+#[test]
 fn seeded_fixture_fires_trace_coverage() {
     let f = audit("seeded");
     let hits = rule_hits(&f, "trace-coverage");

@@ -99,3 +99,20 @@ impl PageTable {
 pub fn pages_from_bytes(b: Bytes, page: PageSize) -> Pages {
     Pages::new(b.get() / page.get())
 }
+
+// no-ambient-state's disciplined twin: per-run observability rides an
+// explicit session value owned by the caller — no thread-locals, no
+// process-wide cells, and the env read stays at the CLI boundary.
+pub struct Session {
+    pub trace: bool,
+    pub scratch: Vec<u64>,
+}
+
+impl Session {
+    pub fn with_trace(trace: bool) -> Self {
+        Session {
+            trace,
+            scratch: Vec::new(),
+        }
+    }
+}

@@ -93,3 +93,18 @@ impl PageTable {
 pub fn pages_from_bytes(b: Bytes) -> Pages {
     Pages::new(b.get())
 }
+
+// no-ambient-state: ambient run state in a model crate — a thread-local
+// collector, a process-wide mutable flag, a lazy `OnceLock` env latch,
+// and a library env read. Four hits total; per-run state belongs on the
+// SessionCtx.
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<u64>> = std::cell::RefCell::new(Vec::new());
+}
+
+pub static mut GLOBAL_FLAG: bool = false;
+
+pub fn trace_latched() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("GH_TRACE").is_ok())
+}

@@ -70,42 +70,64 @@ pub struct PerfSuite {
 }
 
 /// Runs the suite: every paper app × {system, managed} × every platform,
-/// each run under its own `gh-perf` window.
+/// each run under its own session with the self-profiler armed. Serial
+/// by default — the wall-time columns are the tracked signal, and
+/// co-scheduled runs would perturb them — but `GH_JOBS=<n>` fans the
+/// matrix over the `gh-jobs` executor for a quick (untracked) pass.
 pub fn run(fast: bool) -> PerfSuite {
-    let mut rows = Vec::new();
+    let so = gh_cuda::SessionOptions {
+        perf: true,
+        ..Default::default()
+    };
+    let workers = crate::util::jobs_requested(1);
+    let mut specs = Vec::new();
     for app in AppId::ALL {
         for mode in [MemMode::System, MemMode::Managed] {
             for p in platform::all() {
-                let sink = gh_perf::PerfSink::start();
-                let m = p.machine();
-                let r = if fast {
-                    app.run_small(m, mode)
-                } else {
-                    app.run(m, mode)
-                };
-                let perf = sink.finish();
-                let root = format!("{}-{}-{}", app.name(), p.caps().name, mode.label());
-                let mut folded = String::new();
-                for line in gh_perf::export::folded(&perf).lines() {
-                    let _ = writeln!(folded, "{root};{line}");
-                }
-                rows.push(PerfRow {
-                    app: app.name().to_string(),
+                specs.push(gh_jobs::JobSpec {
+                    app,
                     platform: p.caps().name.to_string(),
-                    mode: mode.label().to_string(),
-                    wall_ms: perf.host_total_ns as f64 / 1e6,
-                    sim_ms: perf.sim_total_ns as f64 / 1e6,
-                    sim_ns_per_host_ms: perf.sim_speed().unwrap_or(0.0),
-                    checksum: r.checksum,
-                    phases: perf
-                        .phases
-                        .iter()
-                        .map(|ph| (ph.label.clone(), ph.host_ns, ph.sim_ns))
-                        .collect(),
-                    folded,
+                    mode,
+                    page_size: None,
+                    small: fast,
+                    session: so.clone(),
                 });
             }
         }
+    }
+    let cache = std::sync::Arc::new(gh_jobs::JobCache::new());
+    let outcomes = gh_jobs::run_suite(&specs, workers, &cache);
+    let mut rows = Vec::new();
+    for (spec, out) in specs.iter().zip(outcomes) {
+        let out = out.expect("suite specs name registered platforms");
+        let perf = out
+            .perf
+            .expect("fresh cache + perf session: every job simulates and profiles");
+        let root = format!(
+            "{}-{}-{}",
+            spec.app.name(),
+            spec.platform,
+            spec.mode.label()
+        );
+        let mut folded = String::new();
+        for line in gh_perf::export::folded(&perf).lines() {
+            let _ = writeln!(folded, "{root};{line}");
+        }
+        rows.push(PerfRow {
+            app: spec.app.name().to_string(),
+            platform: spec.platform.clone(),
+            mode: spec.mode.label().to_string(),
+            wall_ms: perf.host_total_ns as f64 / 1e6,
+            sim_ms: perf.sim_total_ns as f64 / 1e6,
+            sim_ns_per_host_ms: perf.sim_speed().unwrap_or(0.0),
+            checksum: out.report.checksum,
+            phases: perf
+                .phases
+                .iter()
+                .map(|ph| (ph.label.clone(), ph.host_ns, ph.sim_ns))
+                .collect(),
+            folded,
+        });
     }
     PerfSuite {
         date: gh_perf::host_date(),

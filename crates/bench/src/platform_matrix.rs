@@ -5,12 +5,18 @@
 //! HBM3 pool shared by CPU and GPU, so data never migrates and every
 //! access is local after the initial mapping fault. The ratio column
 //! makes the architectural trade visible per access pattern.
+//!
+//! The matrix runs **concurrently by default** on the `gh-jobs` executor
+//! (one worker per core, `GH_JOBS=<n>` overrides): sessions are per-run,
+//! so the parallel sweep's reports are bitwise-identical to a serial one.
 
 use gh_apps::{AppId, MemMode};
+use gh_jobs::{JobCache, JobSpec};
 use gh_profiler::Csv;
 use gh_sim::platform;
+use std::sync::Arc;
 
-use crate::util::{ratio, traced};
+use crate::util::{export_trace, jobs_requested, ratio, session_opts};
 
 /// Rows: (app, mode, <name>_ms per platform..., mi300a_over_gh200).
 pub fn run(fast: bool) -> Csv {
@@ -22,20 +28,40 @@ pub fn run(fast: bool) -> Csv {
     header.push("mi300a_over_gh200".into());
     let mut csv = Csv::new(header);
 
+    let so = session_opts();
+    let workers = jobs_requested(gh_par::default_parallelism());
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for app in AppId::ALL {
+        for mode in [MemMode::System, MemMode::Managed] {
+            for p in platforms {
+                specs.push(JobSpec {
+                    app,
+                    platform: p.caps().name.to_string(),
+                    mode,
+                    page_size: None,
+                    small: fast,
+                    session: so.clone(),
+                });
+            }
+        }
+    }
+    let cache = Arc::new(JobCache::new());
+    let mut outcomes = gh_jobs::run_suite(&specs, workers, &cache).into_iter();
+
     for app in AppId::ALL {
         for mode in [MemMode::System, MemMode::Managed] {
             let mut totals = Vec::with_capacity(platforms.len());
             let mut checksums = Vec::with_capacity(platforms.len());
             for p in platforms {
                 let label = format!("{}-{}-{}", app.name(), mode.label(), p.caps().name);
-                let r = traced(&label, || {
-                    let m = p.machine();
-                    if fast {
-                        app.run_small(m, mode)
-                    } else {
-                        app.run(m, mode)
-                    }
-                });
+                let r = outcomes
+                    .next()
+                    .expect("one outcome per spec")
+                    .expect("matrix specs name registered platforms")
+                    .report;
+                if so.trace {
+                    export_trace(&label, &r);
+                }
                 totals.push(r.reported_total());
                 checksums.push(r.checksum);
             }

@@ -1,24 +1,36 @@
 //! Shared harness utilities.
+//!
+//! Benches are a *boundary*: this module is where `GH_TRACE`/`GH_JOBS`
+//! env vars are read and folded into per-run
+//! [`SessionOptions`](gh_cuda::SessionOptions). Library code below this
+//! layer never touches the environment (audit rule `no-ambient-state`).
 
 use gh_apps::{AppId, MemMode};
+use gh_cuda::SessionOptions;
 use gh_mem::clock::Ns;
 use gh_sim::{platform, Machine, MachineConfig, RunReport, KIB};
 
-/// Builds a GH200 machine with the given page size and migration switch.
+/// Builds a GH200 machine with the given page size and migration switch
+/// and a quiet session.
 pub fn machine(page_4k: bool, auto_migration: bool) -> Machine {
+    machine_session(page_4k, auto_migration, &SessionOptions::default())
+}
+
+/// Builds a GH200 machine under explicit session options.
+pub fn machine_session(page_4k: bool, auto_migration: bool, so: &SessionOptions) -> Machine {
     let cfg = MachineConfig {
         page_size: Some(if page_4k { 4 * KIB } else { 64 * KIB }),
         auto_migration,
         ..Default::default()
     };
     platform::gh200()
-        .machine_cfg(&cfg)
+        .machine_session(&cfg, so)
         .expect("GH200 supports both paper page sizes")
 }
 
 /// Runs one application (default or shrunk input) on a fresh machine.
-/// With `GH_TRACE=1` the run is traced on the observability bus and the
-/// trace artifacts are exported (see [`traced`]).
+/// With `GH_TRACE=1` the run is traced on its session bus and the trace
+/// artifacts are exported (see [`traced`]).
 pub fn run_app(
     app: AppId,
     mode: MemMode,
@@ -32,8 +44,8 @@ pub fn run_app(
         mode.label(),
         if page_4k { "4k" } else { "64k" }
     );
-    traced(&label, || {
-        let m = machine(page_4k, auto_migration);
+    traced(&label, |so| {
+        let m = machine_session(page_4k, auto_migration, so);
         if fast {
             app.run_small(m, mode)
         } else {
@@ -47,23 +59,35 @@ pub fn trace_requested() -> bool {
     std::env::var("GH_TRACE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
-/// Runs `f` with the observability bus enabled when `GH_TRACE=1`; the
-/// drained trace is exported via [`export_trace`] under `label`. When
-/// tracing is off, `f` runs untouched — recording is no-op-gated, so
-/// virtual-time results are identical either way.
-pub fn traced(label: &str, f: impl FnOnce() -> RunReport) -> RunReport {
-    if !trace_requested() {
-        return f();
+/// Worker count for concurrent harnesses: `GH_JOBS=<n>` wins, otherwise
+/// `default` (pass 1 for serial-by-default suites).
+pub fn jobs_requested(default: usize) -> usize {
+    std::env::var("GH_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// Session options for one harness run: tracing per `GH_TRACE`,
+/// everything else default.
+pub fn session_opts() -> SessionOptions {
+    SessionOptions {
+        trace: trace_requested(),
+        ..Default::default()
     }
-    gh_trace::enable();
-    let mut r = f();
-    gh_trace::disable();
-    // Machine::finish drains the bus into the report; drain here as a
-    // fallback for workloads that bypass finish.
-    if r.trace.is_none() {
-        r.trace = Some(gh_trace::take());
+}
+
+/// Runs `f` under session options seeded from the environment
+/// (`GH_TRACE=1` arms the bus); the report's embedded trace is exported
+/// via [`export_trace`] under `label`. When tracing is off, the bus
+/// no-ops — virtual-time results are identical either way.
+pub fn traced(label: &str, f: impl FnOnce(&SessionOptions) -> RunReport) -> RunReport {
+    let so = session_opts();
+    let r = f(&so);
+    if so.trace {
+        export_trace(label, &r);
     }
-    export_trace(label, &r);
     r
 }
 
@@ -134,6 +158,15 @@ mod tests {
     #[test]
     fn peak_usage_is_positive() {
         assert!(peak_gpu_usage(AppId::Hotspot, true) > 0);
+    }
+
+    #[test]
+    fn jobs_default_applies_without_env() {
+        // GH_JOBS is not set under `cargo test`; the default wins.
+        if std::env::var("GH_JOBS").is_err() {
+            assert_eq!(jobs_requested(1), 1);
+            assert_eq!(jobs_requested(8), 8);
+        }
     }
 
     #[test]

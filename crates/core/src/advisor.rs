@@ -65,11 +65,11 @@ impl Advice {
 
 /// Evaluates `trace` under every (mode × page size) combination.
 ///
-/// Each candidate run is traced on the observability bus so the derived
+/// Each candidate run is traced on its own session bus so the derived
 /// notes can cite *measured* event counts (fault costs, evictions, link
-/// bytes) rather than only end-of-run traffic totals. The bus is owned by
-/// the advisor for the duration of the call: any ambient trace data is
-/// cleared, and the bus is left disabled unless it was already enabled.
+/// bytes) rather than only end-of-run traffic totals. Sessions are
+/// per-machine: the advisor never touches ambient state, so it can run
+/// concurrently with other (traced or untraced) simulations.
 pub fn advise(trace: &str) -> Result<Advice, replay::ReplayError> {
     advise_on(platform::gh200(), trace)
 }
@@ -79,19 +79,17 @@ pub fn advise(trace: &str) -> Result<Advice, replay::ReplayError> {
 /// reported as not applicable where the hardware cannot migrate.
 pub fn advise_on(p: &'static dyn Platform, trace: &str) -> Result<Advice, replay::ReplayError> {
     let caps = p.caps();
-    let was_enabled = gh_trace::enabled();
+    let traced = gh_cuda::SessionOptions {
+        trace: true,
+        ..Default::default()
+    };
     let mut rows = Vec::new();
     for mode in MemMode::ALL {
         for &page in caps.page_sizes {
-            gh_trace::enable();
             let machine = p
-                .machine_cfg(&MachineConfig::with_page_size(page))
+                .machine_session(&MachineConfig::with_page_size(page), &traced)
                 .expect("platform advertises this page size"); // gh-audit: allow(no-unwrap-in-lib) -- page comes from the platform's own caps
-            let report = replay::replay(machine, trace, Some(mode));
-            if !was_enabled {
-                gh_trace::disable();
-            }
-            let report = report?;
+            let report = replay::replay(machine, trace, Some(mode))?;
             rows.push(AdvisorRow {
                 mode,
                 page_size: page,

@@ -27,18 +27,19 @@ pub struct Machine {
     /// Experiment steps that were requested but are meaningless on this
     /// platform; surfaced verbatim in the run report.
     not_applicable: Vec<String>,
-    /// Invariant sanitizer (`Some` under `GH_SANITIZE=1`, or always in
-    /// debug builds). Observation-only: checking never advances the
-    /// clock or mutates runtime state, so a sanitized run is bitwise
-    /// identical to an unsanitized one.
+    /// Invariant sanitizer (`Some` when the session asks for it; the
+    /// default is on in debug builds). Observation-only: checking never
+    /// advances the clock or mutates runtime state, so a sanitized run
+    /// is bitwise identical to an unsanitized one.
     sanitizer: Option<gh_units::sanitizer::Sanitizer>,
     /// Label of the phase currently open (snapshots are taken when it
     /// closes).
     open_phase: Option<&'static str>,
-    /// Whether the trace bus was recording when the machine booted; the
-    /// sanitizer's link-conservation check needs whole-lifetime counters,
-    /// so it only trusts the bus when this was and stays true.
-    traced_from_boot: bool,
+    /// Whether the session's trace bus records; the sanitizer's
+    /// link-conservation check needs whole-lifetime counters, so it only
+    /// trusts the bus when the run was traced from boot (always true for
+    /// a session bus — it cannot be toggled mid-run).
+    traced: bool,
 }
 
 impl Machine {
@@ -49,20 +50,35 @@ impl Machine {
         Self::with_caps(params, opts, crate::platform::gh200().caps())
     }
 
-    /// Boots a machine for a specific platform's capability set. This is
-    /// the constructor the backend layer uses.
+    /// Boots a machine for a specific platform's capability set with a
+    /// quiet session (no tracing/profiling, build-default sanitizing).
     pub fn with_caps(params: CostParams, opts: RuntimeOptions, caps: PlatformCaps) -> Self {
+        Self::with_session(params, gh_cuda::SessionCtx::new(opts), caps)
+    }
+
+    /// Boots a machine under an explicit [`SessionCtx`](gh_cuda::SessionCtx)
+    /// — the constructor every boundary (CLI, benches, gh-jobs workers)
+    /// funnels through. The session decides tracing, profiling, and
+    /// sanitizing for this run; nothing is read from the environment.
+    pub fn with_session(
+        params: CostParams,
+        session: gh_cuda::SessionCtx,
+        caps: PlatformCaps,
+    ) -> Self {
+        let sanitize = session.sanitize;
+        let rt = Runtime::with_session(params, session);
+        let traced = rt.session().bus.is_on();
         Self {
-            rt: Runtime::new(params, opts),
+            rt,
             timer: PhaseTimer::new(),
             balloon: None,
             checksum: 0.0,
             phase_span_open: false,
             caps,
             not_applicable: Vec::new(),
-            sanitizer: gh_units::sanitizer::enabled().then(gh_units::sanitizer::Sanitizer::new),
+            sanitizer: sanitize.then(gh_units::sanitizer::Sanitizer::new),
             open_phase: None,
-            traced_from_boot: gh_trace::enabled(),
+            traced,
         }
     }
 
@@ -91,13 +107,14 @@ impl Machine {
     pub fn phase(&mut self, p: Phase) {
         self.sanitize_closed_phase();
         let now = self.rt.now();
-        gh_perf::phase_mark(p.label(), now);
+        let bus = self.rt.session().bus.clone();
+        self.rt.session().perf.phase_mark(p.label(), now);
         self.timer.enter(p, now);
         if self.phase_span_open {
-            gh_trace::span_exit();
+            bus.span_exit();
         }
-        gh_trace::span_enter(p.label(), "phase");
-        self.phase_span_open = gh_trace::enabled();
+        bus.span_enter(p.label(), "phase");
+        self.phase_span_open = bus.is_on();
         self.open_phase = Some(p.label());
     }
 
@@ -109,7 +126,7 @@ impl Machine {
         let Some(label) = self.open_phase else {
             return; // nothing ran yet
         };
-        let traced = self.traced_from_boot && gh_trace::enabled();
+        let traced = self.traced;
         san.check(
             &self
                 .rt
@@ -171,7 +188,7 @@ impl Machine {
         self.release_balloon();
         // Final snapshot after teardown: frees must conserve too.
         if let Some(san) = self.sanitizer.as_mut() {
-            let traced = self.traced_from_boot && gh_trace::enabled();
+            let traced = self.traced;
             san.check(
                 &self
                     .rt
@@ -179,12 +196,14 @@ impl Machine {
             );
         }
         let sanitizer = self.sanitizer.take().map(|s| s.finish());
+        let bus = self.rt.session().bus.clone();
+        let perf = self.rt.session().perf.clone();
         if self.phase_span_open {
-            gh_trace::span_exit();
+            bus.span_exit();
             self.phase_span_open = false;
         }
         let now = self.rt.now();
-        gh_perf::run_end(now);
+        perf.run_end(now);
         let phases = self.timer.finish(now);
         let peak_gpu = self.rt.peak_gpu();
         let kernel_times = self.rt.kernel_times().to_vec();
@@ -195,7 +214,7 @@ impl Machine {
         let samples = self.rt.into_samples();
         // Drain the bus into the report so exporters (chrome trace,
         // metrics dump, explain table) work off one snapshot.
-        let trace = gh_trace::enabled().then(gh_trace::take);
+        let trace = bus.is_on().then(|| bus.take());
         RunReport {
             platform: self.caps.name,
             phases,
@@ -294,8 +313,8 @@ mod tests {
         m.phase(Phase::Dealloc);
         m.rt.free(b);
         let r = m.finish();
-        // Sanitizer is on by default in debug builds (GH_SANITIZE may
-        // still force it off, hence the `if let`).
+        // Sanitizer is on by default in debug builds (release test runs
+        // leave it off, hence the `if let`).
         if let Some(s) = r.sanitizer {
             assert!(s.is_clean(), "{s}");
             assert!(s.snapshots >= 4, "{s}"); // 3 phases + finish
@@ -304,8 +323,17 @@ mod tests {
 
     #[test]
     fn sanitizer_checks_link_conservation_when_traced() {
-        gh_trace::enable();
-        let mut m = Machine::default_gh200();
+        let so = gh_cuda::SessionOptions {
+            trace: true,
+            sanitize: Some(true),
+            ..Default::default()
+        };
+        let session = gh_cuda::SessionCtx::with_options(RuntimeOptions::default(), &so);
+        let mut m = Machine::with_session(
+            CostParams::default(),
+            session,
+            crate::platform::gh200().caps(),
+        );
         m.phase(Phase::Alloc);
         let d =
             m.rt.cuda_malloc(gh_units::Bytes::new(MIB), "d")
@@ -318,7 +346,6 @@ mod tests {
         m.rt.free(d);
         m.rt.free(h);
         let r = m.finish();
-        gh_trace::disable();
         if let Some(s) = r.sanitizer {
             assert!(s.is_clean(), "{s}");
             // Conservation ran: clock + capacity + residency + link per

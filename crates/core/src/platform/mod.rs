@@ -195,6 +195,21 @@ pub trait Platform: MemoryBackend {
         ))
     }
 
+    /// A machine for an explicit configuration under an explicit
+    /// session spec (tracing, profiling, sanitizing, reference walk).
+    /// Boundaries — the CLI, benches, gh-jobs workers — funnel through
+    /// this so observability is per-run, never ambient: two machines
+    /// with different session options coexist in one process.
+    fn machine_session(
+        &self,
+        cfg: &MachineConfig,
+        so: &gh_cuda::SessionOptions,
+    ) -> Result<Machine, PlatformError> {
+        let params = self.cost_params(cfg)?;
+        let session = gh_cuda::SessionCtx::with_options(self.runtime_options(cfg), so);
+        Ok(Machine::with_session(params, session, self.caps()))
+    }
+
     /// A machine with individual cost parameters overridden (ablation
     /// studies). The tweak runs on the platform's calibrated set and the
     /// result is re-validated.

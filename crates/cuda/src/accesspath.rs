@@ -9,75 +9,13 @@
 //! * the **reference walk**: the original per-page loop, retained for
 //!   differential testing and debugging.
 //!
-//! The reference walk is forced either per-thread (tests, via
-//! [`set_reference`]) or process-wide with `GH_ACCESS_REF=1` (debugging a
-//! suspected fast-path divergence from the CLI). The thread-local flag —
-//! not an env write — is what tests use, so parallel test threads cannot
-//! race each other's setting.
-
-use std::cell::Cell;
-use std::sync::OnceLock;
-
-thread_local! {
-    static FORCE_REF: Cell<bool> = const { Cell::new(false) };
-}
-
-fn env_ref() -> bool {
-    static ENV: OnceLock<bool> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var_os("GH_ACCESS_REF").is_some_and(|v| v != "0" && !v.is_empty())
-    })
-}
-
-/// Forces (or releases) the per-line reference access path for the
-/// current thread. Debug/testing only: both paths produce identical
-/// reports, the reference walk is just line-granular and slow.
-pub fn set_reference(on: bool) {
-    FORCE_REF.with(|f| f.set(on));
-}
-
-/// Whether the per-line reference walk is in force for this thread.
-pub fn reference_forced() -> bool {
-    FORCE_REF.with(Cell::get) || env_ref()
-}
-
-/// RAII guard: forces the reference path for the current thread until
-/// dropped. Keeps test code exception-safe around assertions.
-#[derive(Debug)]
-pub struct ReferenceGuard(());
-
-impl ReferenceGuard {
-    /// Forces the reference path until the guard drops.
-    #[must_use = "the reference path is released when the guard drops"]
-    pub fn new() -> Self {
-        set_reference(true);
-        ReferenceGuard(())
-    }
-}
-
-impl Default for ReferenceGuard {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Drop for ReferenceGuard {
-    fn drop(&mut self) {
-        set_reference(false);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn guard_sets_and_restores() {
-        assert!(!reference_forced());
-        {
-            let _g = ReferenceGuard::new();
-            assert!(reference_forced());
-        }
-        assert!(!reference_forced());
-    }
-}
+//! The selection is a per-session option —
+//! [`RuntimeOptions::access_ref`](crate::RuntimeOptions::access_ref),
+//! settable through
+//! [`SessionOptions::access_ref`](crate::SessionOptions::access_ref) —
+//! not ambient state. The pre-PR-9 `thread_local!` flag, the
+//! `ReferenceGuard` RAII wrapper, and the `GH_ACCESS_REF` `OnceLock` env
+//! latch are gone: reference and fast runs now coexist in one process
+//! (the differential tests simply build two machines). `GH_ACCESS_REF=1`
+//! is still honored as a CLI-boundary alias that seeds the session
+//! option; library code never reads it.

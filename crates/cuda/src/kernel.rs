@@ -137,7 +137,7 @@ pub struct Kernel<'r> {
 impl<'r> Kernel<'r> {
     pub(crate) fn new(rt: &'r mut Runtime, name: &str) -> Self {
         rt.uvm.migrated_this_kernel.clear();
-        let perf_span = gh_perf::span(&format!("kernel:{name}"));
+        let perf_span = rt.session.perf.span(&format!("kernel:{name}"));
         let start = rt.now();
         // The L2 model's slot array is megabytes; building it fresh per
         // launch dominated launch cost on the host. The batched path
@@ -152,7 +152,7 @@ impl<'r> Kernel<'r> {
                 16,
             )
         };
-        let l2 = if crate::accesspath::reference_forced() {
+        let l2 = if rt.session.opts.access_ref {
             fresh_l2(rt)
         } else if let Some(mut parked) = rt.l2_pool.take() {
             parked.reset();
@@ -383,7 +383,7 @@ impl<'r> Kernel<'r> {
 
     fn span_device(&mut self, span: VaRange, write: bool, random: bool) {
         let gp = self.rt.params.gpu_page_size;
-        if crate::accesspath::reference_forced() {
+        if self.rt.session.opts.access_ref {
             let mut addr = span.addr;
             while addr < span.end() {
                 let page_end = (addr / gp + 1) * gp;
@@ -423,7 +423,7 @@ impl<'r> Kernel<'r> {
         // Pinned memory is always CPU-resident: pure remote traffic.
         let spt = self.rt.os.system_pt.page_size();
         let vpns = self.rt.os.system_pt.vpn_range(span.addr, span.len);
-        if crate::accesspath::reference_forced() {
+        if self.rt.session.opts.access_ref {
             for vpn in vpns {
                 self.translate(tlb_key_sys(vpn));
                 if write {
@@ -458,7 +458,7 @@ impl<'r> Kernel<'r> {
         // (so counter chunks never split a page). Anything else — and
         // tiny spans, where batch setup costs more than it saves — takes
         // the reference walk; both paths are bit-identical.
-        let batchable = !crate::accesspath::reference_forced()
+        let batchable = !self.rt.session.opts.access_ref
             && vpns.count().get() > BATCH_MIN_PAGES
             && spt.is_multiple_of(line)
             && spt >= 4 * line
@@ -472,7 +472,10 @@ impl<'r> Kernel<'r> {
             return;
         }
         let runs = self.rt.classify_span_cached(buf_id, buf_range, vpns);
-        gh_perf::count(gh_perf::Ctr::BatchRuns, widen(runs.len()));
+        self.rt
+            .session
+            .perf
+            .count(gh_perf::Ctr::BatchRuns, widen(runs.len()));
         let mut fault_cost: Ns = 0;
         for (vr, node) in runs {
             // Clip the run (vpn-granular) to the accessed byte span.
@@ -612,7 +615,7 @@ impl<'r> Kernel<'r> {
                 // Under tracing with counters armed, CounterNotify events
                 // must interleave with TlbEvict events mid-run exactly as
                 // the per-page walk emits them — fall back.
-                if self.rt.counters.enabled() && gh_trace::enabled() {
+                if self.rt.counters.enabled() && self.rt.session.bus.is_on() {
                     let _ = self.span_system_pages(a0, a1, write, random, 0, false);
                     return; // dirty bits handled per page above
                 }
@@ -697,7 +700,7 @@ impl<'r> Kernel<'r> {
             let cpu = self.rt.os.system_pt.count_resident_in(vpns, Node::Cpu);
             let gpu = self.rt.os.system_pt.count_resident_in(vpns, Node::Gpu);
             if cpu + gpu == vpns.count() {
-                if crate::accesspath::reference_forced() {
+                if self.rt.session.opts.access_ref {
                     for vpn in vpns {
                         self.translate(tlb_key_sys(vpn));
                         if write {
@@ -722,7 +725,7 @@ impl<'r> Kernel<'r> {
             }
         }
         if self.rt.uvm.is_pinned_cpu(buf_range) {
-            if crate::accesspath::reference_forced() {
+            if self.rt.session.opts.access_ref {
                 for vpn in self.rt.os.system_pt.vpn_range(span.addr, span.len) {
                     self.translate(tlb_key_sys(vpn));
                     if write {
@@ -756,17 +759,17 @@ impl<'r> Kernel<'r> {
                 let (cost, on_gpu, _) = self.rt.uvm_first_touch_block(block, buf_range);
                 self.rt.tick(cost);
                 self.t.gpu_faults = self.t.gpu_faults.saturating_add(1);
-                gh_perf::count(gh_perf::Ctr::Faults, 1);
+                self.rt.session.perf.count(gh_perf::Ctr::Faults, 1);
                 self.t.bytes_migrated_in = self.t.bytes_migrated_in.saturating_add(0); // population, not migration
                 let _ = on_gpu;
-                if gh_trace::enabled() {
-                    gh_trace::emit(gh_trace::Event::PageFault {
+                if self.rt.session.bus.is_on() {
+                    self.rt.session.bus.emit(gh_trace::Event::PageFault {
                         kind: gh_trace::FaultKind::Gpu,
                         va: block * crate::uvm::BLOCK,
                         cost,
                     });
-                    gh_trace::count("uvm.gpu_faults", 1);
-                    gh_trace::observe("fault.cost_ns", cost);
+                    self.rt.session.bus.count("uvm.gpu_faults", 1);
+                    self.rt.session.bus.observe("fault.cost_ns", cost);
                 }
             }
             let cpu_pages = self.rt.os.system_pt.count_resident_in(vpns, Node::Cpu);
@@ -776,15 +779,15 @@ impl<'r> Kernel<'r> {
                 let fault = self.rt.params.uvm_fault_batch;
                 self.rt.tick(fault);
                 self.t.gpu_faults = self.t.gpu_faults.saturating_add(1);
-                gh_perf::count(gh_perf::Ctr::Faults, 1);
-                if gh_trace::enabled() {
-                    gh_trace::emit(gh_trace::Event::PageFault {
+                self.rt.session.perf.count(gh_perf::Ctr::Faults, 1);
+                if self.rt.session.bus.is_on() {
+                    self.rt.session.bus.emit(gh_trace::Event::PageFault {
                         kind: gh_trace::FaultKind::Gpu,
                         va: block * crate::uvm::BLOCK,
                         cost: fault,
                     });
-                    gh_trace::count("uvm.gpu_faults", 1);
-                    gh_trace::observe("fault.cost_ns", fault);
+                    self.rt.session.bus.count("uvm.gpu_faults", 1);
+                    self.rt.session.bus.observe("fault.cost_ns", fault);
                 }
                 // Pass the *whole* allocation range: the driver refuses to
                 // evict this same allocation to serve its own fault.
@@ -797,7 +800,7 @@ impl<'r> Kernel<'r> {
                     // Speculative sequential prefetch: after two
                     // consecutive migrated blocks, pull the next one in
                     // without waiting for its fault.
-                    if self.rt.opts.uvm_prefetch
+                    if self.rt.session.opts.uvm_prefetch
                         && self
                             .rt
                             .uvm
@@ -818,7 +821,7 @@ impl<'r> Kernel<'r> {
                     let page = self.rt.os.system_pt.page();
                     let remote_bytes = (cpu_pages * page).get().min(clip.len);
                     self.account_remote(clip.addr, remote_bytes, write, random);
-                    if crate::accesspath::reference_forced() {
+                    if self.rt.session.opts.access_ref {
                         for vpn in vpns {
                             self.translate(tlb_key_sys(vpn));
                         }
@@ -837,7 +840,7 @@ impl<'r> Kernel<'r> {
                 self.rt.uvm.touch_lru(block);
             }
             if write {
-                if crate::accesspath::reference_forced() {
+                if self.rt.session.opts.access_ref {
                     for vpn in vpns {
                         self.rt.os.system_pt.mark_dirty(vpn);
                     }
@@ -989,16 +992,22 @@ impl<'r> Kernel<'r> {
         }
         self.t.pages_migrated_in = self.t.pages_migrated_in.saturating_add(pages.get());
         self.t.bytes_migrated_in = self.t.bytes_migrated_in.saturating_add(bytes.get());
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::Migration {
+        if self.rt.session.bus.is_on() {
+            self.rt.session.bus.emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Counter,
                 dir: gh_trace::Dir::H2D,
                 pages: pages.get(),
                 bytes: bytes.get(),
             });
-            gh_trace::count("counters.pages_migrated_in", pages.get());
-            gh_trace::count("counters.bytes_migrated_in", bytes.get());
-            gh_trace::observe("migration.bytes", bytes.get());
+            self.rt
+                .session
+                .bus
+                .count("counters.pages_migrated_in", pages.get());
+            self.rt
+                .session
+                .bus
+                .count("counters.bytes_migrated_in", bytes.get());
+            self.rt.session.bus.observe("migration.bytes", bytes.get());
         }
         let transfer = self.rt.link.bulk(bytes, Direction::H2D);
         // In-flight stall (see CostParams::counter_stall_factor): grows

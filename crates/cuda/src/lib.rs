@@ -52,10 +52,12 @@ pub mod accesspath;
 pub mod buffer;
 pub mod kernel;
 pub mod runtime;
+pub mod session;
 pub mod streams;
 pub mod uvm;
 
 pub use buffer::{BufKind, Buffer};
 pub use kernel::{BufferTraffic, Kernel, KernelReport};
 pub use runtime::{MemAdvise, Runtime, RuntimeOptions};
+pub use session::{SessionCtx, SessionOptions};
 pub use streams::{EventId, StreamId};

@@ -44,6 +44,11 @@ pub struct RuntimeOptions {
     pub os: OsConfig,
     /// Memory-profiler sampling period in virtual ns.
     pub profiler_period: Ns,
+    /// Force the per-line reference access path instead of the batched
+    /// fast core (see [`crate::accesspath`]). Differential testing and
+    /// debugging only: both paths produce bit-identical reports, the
+    /// reference walk is just page-granular and slow.
+    pub access_ref: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -53,6 +58,7 @@ impl Default for RuntimeOptions {
             uvm_prefetch: true,
             os: OsConfig::default(),
             profiler_period: 100_000, // 100 µs of virtual time
+            access_ref: false,
         }
     }
 }
@@ -93,7 +99,7 @@ pub struct Runtime {
     next_buf: u32,
     ctx_ready: bool,
     pub(crate) kernel_seq: u64,
-    pub(crate) opts: RuntimeOptions,
+    pub(crate) session: crate::session::SessionCtx,
     /// Cumulative pages moved between memories (every migration funnels
     /// through [`Runtime::move_page`]). State-level: available without
     /// tracing, feeds the sanitizer's capability-gating check.
@@ -123,9 +129,19 @@ struct PlacementEntry {
 }
 
 impl Runtime {
-    /// Boots a simulated machine.
+    /// Boots a simulated machine with a quiet session (no tracing, no
+    /// profiling).
     pub fn new(params: CostParams, opts: RuntimeOptions) -> Self {
+        Self::with_session(params, crate::session::SessionCtx::new(opts))
+    }
+
+    /// Boots a simulated machine owned by an explicit session: the
+    /// session's observability handles are injected into every
+    /// instrumented component, so concurrent runtimes in one process
+    /// record independently.
+    pub fn with_session(params: CostParams, session: crate::session::SessionCtx) -> Self {
         params.validate().expect("invalid cost parameters"); // gh-audit: allow(no-unwrap-in-lib) -- boot-time config validation; fail fast before any state exists
+        let opts = &session.opts;
         let phys = if params.unified_pool {
             // MI300A-style single physical pool: `gpu_mem_bytes` is the
             // whole pool, shared by both nodes; `cpu_mem_bytes` is unused.
@@ -140,15 +156,18 @@ impl Runtime {
                 Bytes::new(params.gpu_driver_baseline),
             )
         };
-        let os = Os::new(params.clone(), opts.os.clone());
+        let os = Os::new(params.clone(), opts.os.clone())
+            .with_obs(session.bus.clone(), session.perf.clone());
         let link = Link::new(
             params.c2c_h2d_bw,
             params.c2c_d2h_bw,
             params.c2c_random_eff,
             params.c2c_latency,
-        );
+        )
+        .with_obs(session.bus.clone());
         let smmu = Smmu::new(params.smmu_walk, params.ats_translate);
-        let gpu_tlb = Tlb::new(params.gpu_tlb_entries);
+        let gpu_tlb =
+            Tlb::new(params.gpu_tlb_entries).with_obs(session.bus.clone(), session.perf.clone());
         let gpu_pt = PageTable::new(params.gpu_page_size);
         // A unified pool has no second tier to migrate toward, so the
         // access-counter engine is hard-disabled regardless of options.
@@ -156,7 +175,8 @@ impl Runtime {
             params.counter_region,
             params.counter_threshold,
             opts.auto_migration && !params.unified_pool,
-        );
+        )
+        .with_obs(session.bus.clone());
         let profiler = MemProfiler::new(opts.profiler_period);
         Self {
             params,
@@ -181,7 +201,7 @@ impl Runtime {
             next_buf: 1,
             ctx_ready: false,
             kernel_seq: 0,
-            opts,
+            session,
             migrated_pages: 0,
             placement_cache: HashMap::new(),
             l2_pool: None,
@@ -212,7 +232,7 @@ impl Runtime {
         if let Some(e) = self.placement_cache.get(&buf_id) {
             if e.epoch == epoch {
                 if let Some(node) = e.uniform {
-                    gh_perf::count(gh_perf::Ctr::FastSpans, 1);
+                    self.session.perf.count(gh_perf::Ctr::FastSpans, 1);
                     return vec![(vpns, Some(node))];
                 }
                 return self.os.system_pt.classify_runs(vpns);
@@ -250,7 +270,13 @@ impl Runtime {
 
     /// Options in force.
     pub fn options(&self) -> &RuntimeOptions {
-        &self.opts
+        &self.session.opts
+    }
+
+    /// The session context this runtime runs under (trace bus, profiler,
+    /// sanitizer flag, options).
+    pub fn session(&self) -> &crate::session::SessionCtx {
+        &self.session
     }
 
     /// Process RSS (CPU-resident system pages), as the profiler reports.
@@ -306,15 +332,19 @@ impl Runtime {
         // bulk counters.
         let traced_h2d = traced.then(|| {
             Bytes::new(
-                gh_trace::counter_value("uvm.bytes_migrated_in")
-                    .saturating_add(gh_trace::counter_value("counters.bytes_migrated_in"))
-                    .saturating_add(gh_trace::counter_value("cuda.memcpy_bytes_h2d")),
+                self.session
+                    .bus
+                    .counter_value("uvm.bytes_migrated_in")
+                    .saturating_add(self.session.bus.counter_value("counters.bytes_migrated_in"))
+                    .saturating_add(self.session.bus.counter_value("cuda.memcpy_bytes_h2d")),
             )
         });
         let traced_d2h = traced.then(|| {
             Bytes::new(
-                gh_trace::counter_value("uvm.bytes_migrated_out")
-                    .saturating_add(gh_trace::counter_value("cuda.memcpy_bytes_d2h")),
+                self.session
+                    .bus
+                    .counter_value("uvm.bytes_migrated_out")
+                    .saturating_add(self.session.bus.counter_value("cuda.memcpy_bytes_d2h")),
             )
         });
         gh_units::sanitizer::Snapshot {
@@ -366,7 +396,7 @@ impl Runtime {
         let dur = self.now().saturating_sub(start);
         // Mirror onto the observability bus so exported traces carry the
         // same intervals without a second bookkeeping path.
-        gh_trace::span_closed(name, cat, start);
+        self.session.bus.span_closed(name, cat, start);
         self.timeline.push(gh_profiler::TraceEvent {
             name: name.to_string(),
             cat,
@@ -400,7 +430,7 @@ impl Runtime {
     /// Advances the clock and feeds the profiler.
     pub(crate) fn tick(&mut self, dt: Ns) {
         self.clock.advance(dt);
-        gh_trace::set_now(self.clock.now());
+        self.session.bus.set_now(self.clock.now());
         self.observe();
     }
 
@@ -584,8 +614,8 @@ impl Runtime {
         len: u64,
     ) -> Ns {
         self.ensure_ctx();
-        let _perf = gh_perf::span("memcpy");
-        gh_perf::count(gh_perf::Ctr::Memcpys, 1);
+        let _perf = self.session.perf.span("memcpy");
+        self.session.perf.count(gh_perf::Ctr::Memcpys, 1);
         assert!(src_off + len <= src.len(), "memcpy src out of range");
         assert!(dst_off + len <= dst.len(), "memcpy dst out of range");
         let dir = match (src.kind, dst.kind) {
@@ -630,10 +660,10 @@ impl Runtime {
             None => "memcpy",
         };
         self.trace(label, "copy", start);
-        if gh_trace::enabled() {
+        if self.session.bus.is_on() {
             if let (Some(d), false) = (dir, self.params.unified_pool) {
                 let page = self.os.system_pt.page_size();
-                gh_trace::emit(gh_trace::Event::Migration {
+                self.session.bus.emit(gh_trace::Event::Migration {
                     engine: gh_trace::Engine::Memcpy,
                     dir: match d {
                         Direction::H2D => gh_trace::Dir::H2D,
@@ -645,7 +675,7 @@ impl Runtime {
                 // Direction-split counters feed the sanitizer's link
                 // conservation check: bulk link bytes must equal the sum
                 // of bus-accounted migrations and explicit copies.
-                gh_trace::count(
+                self.session.bus.count(
                     match d {
                         Direction::H2D => "cuda.memcpy_bytes_h2d",
                         Direction::D2H => "cuda.memcpy_bytes_d2h",
@@ -653,8 +683,8 @@ impl Runtime {
                     len,
                 );
             }
-            gh_trace::count("cuda.memcpys", 1);
-            gh_trace::count("cuda.memcpy_bytes", len);
+            self.session.bus.count("cuda.memcpys", 1);
+            self.session.bus.count("cuda.memcpy_bytes", len);
         }
         dt
     }
@@ -715,8 +745,8 @@ impl Runtime {
         row_bytes: Bytes,
         rows: u64,
     ) -> Ns {
-        let _perf = gh_perf::span("memcpy_2d");
-        gh_perf::count(gh_perf::Ctr::Memcpys, 1);
+        let _perf = self.session.perf.span("memcpy_2d");
+        self.session.perf.count(gh_perf::Ctr::Memcpys, 1);
         let row_bytes = row_bytes.get();
         assert!(
             row_bytes <= dst_pitch && row_bytes <= src_pitch,
@@ -915,7 +945,7 @@ impl Runtime {
     /// and (for the first launch) context initialization are charged here.
     pub fn launch(&mut self, name: &str) -> Kernel<'_> {
         self.ensure_ctx();
-        gh_perf::count(gh_perf::Ctr::KernelLaunches, 1);
+        self.session.perf.count(gh_perf::Ctr::KernelLaunches, 1);
         let launch_cost = self.params.kernel_launch;
         self.tick(launch_cost);
         self.kernel_seq += 1;

@@ -120,14 +120,14 @@ impl Runtime {
                 CostParams::transfer_ns(Bytes::new(len), self.params.hbm_bw),
             ),
             (_, BufKind::Device) => {
-                gh_trace::count("cuda.memcpy_bytes_h2d", len);
+                self.session.bus.count("cuda.memcpy_bytes_h2d", len);
                 (
                     Engine::CopyH2d,
                     self.link.bulk(Bytes::new(len), Direction::H2D),
                 )
             }
             (BufKind::Device, _) => {
-                gh_trace::count("cuda.memcpy_bytes_d2h", len);
+                self.session.bus.count("cuda.memcpy_bytes_d2h", len);
                 (
                     Engine::CopyD2h,
                     self.link.bulk(Bytes::new(len), Direction::D2H),

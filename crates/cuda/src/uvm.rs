@@ -209,14 +209,14 @@ impl Runtime {
                 self.params.hbm_bw,
             ));
         }
-        if gh_trace::enabled() && on_gpu > 0 {
-            gh_trace::emit(gh_trace::Event::Migration {
+        if self.session.bus.is_on() && on_gpu > 0 {
+            self.session.bus.emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::FirstTouch,
                 dir: gh_trace::Dir::H2D,
                 pages: on_gpu,
                 bytes: (Pages::new(on_gpu) * page).get(),
             });
-            gh_trace::count("uvm.pages_first_touch", on_gpu);
+            self.session.bus.count("uvm.pages_first_touch", on_gpu);
         }
         (cost, on_gpu, on_cpu)
     }
@@ -257,7 +257,7 @@ impl Runtime {
                 if *n >= PIN_AFTER_FALLBACKS {
                     cost = cost.saturating_add(self.uvm_pin_cpu(buf_range));
                 }
-                gh_trace::count("uvm.remote_fallbacks", 1);
+                self.session.bus.count("uvm.remote_fallbacks", 1);
                 return (cost, 0);
             }
         }
@@ -270,17 +270,17 @@ impl Runtime {
             self.params.uvm_migration_fixed + self.link.bulk(bytes, Direction::H2D),
         );
         let pages = widen(cpu_pages.len());
-        gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::Migration {
+        self.session.perf.count(gh_perf::Ctr::MigratedPages, pages);
+        if self.session.bus.is_on() {
+            self.session.bus.emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Fault,
                 dir: gh_trace::Dir::H2D,
                 pages,
                 bytes: bytes.get(),
             });
-            gh_trace::count("uvm.pages_migrated_in", pages);
-            gh_trace::count("uvm.bytes_migrated_in", bytes.get());
-            gh_trace::observe("migration.bytes", bytes.get());
+            self.session.bus.count("uvm.pages_migrated_in", pages);
+            self.session.bus.count("uvm.bytes_migrated_in", bytes.get());
+            self.session.bus.observe("migration.bytes", bytes.get());
         }
         (cost, pages)
     }
@@ -334,22 +334,24 @@ impl Runtime {
             freed = freed.saturating_add(bytes);
             cost = cost
                 .saturating_add(self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H));
-            gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
-            if gh_trace::enabled() {
-                gh_trace::emit(gh_trace::Event::Evict {
+            self.session.perf.count(gh_perf::Ctr::MigratedPages, pages);
+            if self.session.bus.is_on() {
+                self.session.bus.emit(gh_trace::Event::Evict {
                     pages,
                     bytes: bytes.get(),
                 });
-                gh_trace::emit(gh_trace::Event::Migration {
+                self.session.bus.emit(gh_trace::Event::Migration {
                     engine: gh_trace::Engine::Evict,
                     dir: gh_trace::Dir::D2H,
                     pages,
                     bytes: bytes.get(),
                 });
-                gh_trace::count("uvm.evictions", 1);
-                gh_trace::count("uvm.pages_migrated_out", pages);
-                gh_trace::count("uvm.bytes_migrated_out", bytes.get());
-                gh_trace::observe("migration.bytes", bytes.get());
+                self.session.bus.count("uvm.evictions", 1);
+                self.session.bus.count("uvm.pages_migrated_out", pages);
+                self.session
+                    .bus
+                    .count("uvm.bytes_migrated_out", bytes.get());
+                self.session.bus.observe("migration.bytes", bytes.get());
             }
             // idx unchanged: removal shifted the deque.
         }
@@ -374,16 +376,18 @@ impl Runtime {
         }
         self.uvm.pinned_cpu.insert(buf_range.addr);
         self.uvm.evictions = self.uvm.evictions.saturating_add(1);
-        gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::Pin {
+        self.session.perf.count(gh_perf::Ctr::MigratedPages, pages);
+        if self.session.bus.is_on() {
+            self.session.bus.emit(gh_trace::Event::Pin {
                 va: buf_range.addr,
                 bytes: bytes.get(),
             });
-            gh_trace::count("uvm.cpu_pins", 1);
-            gh_trace::count("uvm.evictions", 1);
-            gh_trace::count("uvm.pages_migrated_out", pages);
-            gh_trace::count("uvm.bytes_migrated_out", bytes.get());
+            self.session.bus.count("uvm.cpu_pins", 1);
+            self.session.bus.count("uvm.evictions", 1);
+            self.session.bus.count("uvm.pages_migrated_out", pages);
+            self.session
+                .bus
+                .count("uvm.bytes_migrated_out", bytes.get());
         }
         self.params.evict_fixed + self.link.bulk(bytes, Direction::D2H)
     }
@@ -409,17 +413,19 @@ impl Runtime {
         for b in &blocks {
             self.uvm.drop_block(*b);
         }
-        gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::Migration {
+        self.session.perf.count(gh_perf::Ctr::MigratedPages, pages);
+        if self.session.bus.is_on() {
+            self.session.bus.emit(gh_trace::Event::Migration {
                 engine: gh_trace::Engine::Fault,
                 dir: gh_trace::Dir::D2H,
                 pages,
                 bytes: bytes.get(),
             });
-            gh_trace::count("uvm.pages_migrated_out", pages);
-            gh_trace::count("uvm.bytes_migrated_out", bytes.get());
-            gh_trace::observe("migration.bytes", bytes.get());
+            self.session.bus.count("uvm.pages_migrated_out", pages);
+            self.session
+                .bus
+                .count("uvm.bytes_migrated_out", bytes.get());
+            self.session.bus.observe("migration.bytes", bytes.get());
         }
         self.params.uvm_fault_batch * widen(blocks.len()) + self.link.bulk(bytes, Direction::D2H)
     }
@@ -478,18 +484,20 @@ impl Runtime {
                     }
                     self.uvm.touch_lru(block);
                     dt = dt.saturating_add(self.link.bulk(bytes, Direction::H2D));
-                    gh_perf::count(gh_perf::Ctr::MigratedPages, widen(cpu_pages.len()));
-                    if gh_trace::enabled() {
+                    self.session
+                        .perf
+                        .count(gh_perf::Ctr::MigratedPages, widen(cpu_pages.len()));
+                    if self.session.bus.is_on() {
                         let pages = widen(cpu_pages.len());
-                        gh_trace::emit(gh_trace::Event::Migration {
+                        self.session.bus.emit(gh_trace::Event::Migration {
                             engine: gh_trace::Engine::Prefetch,
                             dir: gh_trace::Dir::H2D,
                             pages,
                             bytes: bytes.get(),
                         });
-                        gh_trace::count("uvm.pages_migrated_in", pages);
-                        gh_trace::count("uvm.bytes_migrated_in", bytes.get());
-                        gh_trace::observe("migration.bytes", bytes.get());
+                        self.session.bus.count("uvm.pages_migrated_in", pages);
+                        self.session.bus.count("uvm.bytes_migrated_in", bytes.get());
+                        self.session.bus.observe("migration.bytes", bytes.get());
                     }
                 }
                 Node::Cpu => {
@@ -504,17 +512,19 @@ impl Runtime {
                     }
                     self.uvm.drop_block(block);
                     dt = dt.saturating_add(self.link.bulk(bytes, Direction::D2H));
-                    gh_perf::count(gh_perf::Ctr::MigratedPages, pages);
-                    if gh_trace::enabled() {
-                        gh_trace::emit(gh_trace::Event::Migration {
+                    self.session.perf.count(gh_perf::Ctr::MigratedPages, pages);
+                    if self.session.bus.is_on() {
+                        self.session.bus.emit(gh_trace::Event::Migration {
                             engine: gh_trace::Engine::Prefetch,
                             dir: gh_trace::Dir::D2H,
                             pages,
                             bytes: bytes.get(),
                         });
-                        gh_trace::count("uvm.pages_migrated_out", pages);
-                        gh_trace::count("uvm.bytes_migrated_out", bytes.get());
-                        gh_trace::observe("migration.bytes", bytes.get());
+                        self.session.bus.count("uvm.pages_migrated_out", pages);
+                        self.session
+                            .bus
+                            .count("uvm.bytes_migrated_out", bytes.get());
+                        self.session.bus.observe("migration.bytes", bytes.get());
                     }
                 }
             }

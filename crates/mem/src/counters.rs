@@ -34,10 +34,13 @@ pub struct AccessCounters {
     /// fire again until cleared (mirrors the driver acking the interrupt).
     notified: BTreeMap<u64, bool>,
     total_notifications: u64,
+    bus: gh_trace::Bus,
 }
 
 impl AccessCounters {
     /// Creates counters with the given tracking granularity and threshold.
+    /// Observability is off until [`AccessCounters::with_obs`] injects the
+    /// session's bus.
     pub fn new(region_size: u64, threshold: u32, enabled: bool) -> Self {
         assert!(region_size.is_power_of_two());
         Self {
@@ -47,7 +50,15 @@ impl AccessCounters {
             counts: BTreeMap::new(),
             notified: BTreeMap::new(),
             total_notifications: 0,
+            bus: gh_trace::Bus::off(),
         }
+    }
+
+    /// Attaches the owning session's trace bus. Recording is report-only:
+    /// notification decisions are bit-identical either way.
+    pub fn with_obs(mut self, bus: gh_trace::Bus) -> Self {
+        self.bus = bus;
+        self
     }
 
     /// Region granularity in bytes.
@@ -79,11 +90,11 @@ impl AccessCounters {
         if !*fired && *c >= u64::from(self.threshold) {
             *fired = true;
             self.total_notifications = self.total_notifications.saturating_add(1);
-            if gh_trace::enabled() {
-                gh_trace::emit(gh_trace::Event::CounterNotify {
+            if self.bus.is_on() {
+                self.bus.emit(gh_trace::Event::CounterNotify {
                     va: region * self.region_size,
                 });
-                gh_trace::count("counters.notifications", 1);
+                self.bus.count("counters.notifications", 1);
             }
             return Some(Notification { region, count: *c });
         }

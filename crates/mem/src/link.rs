@@ -33,10 +33,12 @@ pub struct Link {
     bytes_d2h: Bytes,
     bulk_h2d: Bytes,
     bulk_d2h: Bytes,
+    bus: gh_trace::Bus,
 }
 
 impl Link {
-    /// Builds the link from calibrated parameters.
+    /// Builds the link from calibrated parameters. Observability is off
+    /// until [`Link::with_obs`] injects the session's bus.
     pub fn new(h2d_bw: f64, d2h_bw: f64, random_eff: f64, latency: u64) -> Self {
         assert!(h2d_bw > 0.0 && d2h_bw > 0.0);
         assert!((0.0..=1.0).contains(&random_eff) && random_eff > 0.0);
@@ -49,7 +51,15 @@ impl Link {
             bytes_d2h: Bytes::ZERO,
             bulk_h2d: Bytes::ZERO,
             bulk_d2h: Bytes::ZERO,
+            bus: gh_trace::Bus::off(),
         }
+    }
+
+    /// Attaches the owning session's trace bus. Recording is report-only:
+    /// costs and counters are bit-identical either way.
+    pub fn with_obs(mut self, bus: gh_trace::Bus) -> Self {
+        self.bus = bus;
+        self
     }
 
     fn bw(&self, dir: Direction) -> f64 {
@@ -120,27 +130,27 @@ impl Link {
     /// Reports the transfer to the observability bus (no-op when tracing
     /// is disabled; never affects costs).
     fn emit(&self, bytes: Bytes, dir: Direction, dur: u64) {
-        if !gh_trace::enabled() {
+        if !self.bus.is_on() {
             return;
         }
         let tdir = match dir {
             Direction::H2D => gh_trace::Dir::H2D,
             Direction::D2H => gh_trace::Dir::D2H,
         };
-        gh_trace::emit(gh_trace::Event::LinkXfer {
+        self.bus.emit(gh_trace::Event::LinkXfer {
             dir: tdir,
             bytes: bytes.get(),
             dur,
         });
-        gh_trace::count(
+        self.bus.count(
             match dir {
                 Direction::H2D => "link.bytes_h2d",
                 Direction::D2H => "link.bytes_d2h",
             },
             bytes.get(),
         );
-        gh_trace::count("link.xfers", 1);
-        gh_trace::observe("link.xfer_bytes", bytes.get());
+        self.bus.count("link.xfers", 1);
+        self.bus.observe("link.xfer_bytes", bytes.get());
     }
 
     /// Cumulative bytes moved host→device (bulk + cacheline + atomics).

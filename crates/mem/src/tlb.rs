@@ -36,11 +36,15 @@ pub struct Tlb {
     tick: u64,
     hits: u64,
     misses: u64,
+    bus: gh_trace::Bus,
+    perf: gh_perf::Perf,
 }
 
 impl Tlb {
     /// Creates a TLB with approximately `entries` capacity, 4-way
     /// set-associative. `entries` is rounded to a power-of-two set count.
+    /// Observability is off until [`Tlb::with_obs`] injects the session's
+    /// handles.
     pub fn new(entries: usize) -> Self {
         let ways = 4usize;
         let sets = (entries / ways).next_power_of_two().max(1);
@@ -51,7 +55,18 @@ impl Tlb {
             tick: 0,
             hits: 0,
             misses: 0,
+            bus: gh_trace::Bus::off(),
+            perf: gh_perf::Perf::off(),
         }
+    }
+
+    /// Attaches the owning session's observability handles. Recording is
+    /// report-only: attached or not, the TLB's hit/miss/evict decisions
+    /// are bit-identical.
+    pub fn with_obs(mut self, bus: gh_trace::Bus, perf: gh_perf::Perf) -> Self {
+        self.bus = bus;
+        self.perf = perf;
+        self
     }
 
     /// Total entry capacity.
@@ -78,7 +93,7 @@ impl Tlb {
     /// Looks up `vpn`; returns true on hit. Misses do **not** insert — the
     /// caller decides (after walking the page table) whether to `fill`.
     pub fn lookup(&mut self, vpn: Vpn) -> bool {
-        gh_perf::count(gh_perf::Ctr::TlbWalks, 1);
+        self.perf.count(gh_perf::Ctr::TlbWalks, 1);
         let tag = vpn.get();
         self.tick = self.tick.saturating_add(1);
         let base = self.set_of(tag) * self.ways;
@@ -90,7 +105,7 @@ impl Tlb {
                 return true;
             }
         }
-        gh_perf::count(gh_perf::Ctr::TlbMisses, 1);
+        self.perf.count(gh_perf::Ctr::TlbMisses, 1);
         self.misses = self.misses.saturating_add(1);
         false
     }
@@ -119,9 +134,9 @@ impl Tlb {
             }
         }
         let evicted = self.slots[victim].tag;
-        if evicted != EMPTY && gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::TlbEvict { va: evicted });
-            gh_trace::count("tlb.evictions", 1);
+        if evicted != EMPTY {
+            self.bus.emit(gh_trace::Event::TlbEvict { va: evicted });
+            self.bus.count("tlb.evictions", 1);
         }
         self.slots[victim] = Slot {
             tag,
@@ -143,8 +158,7 @@ impl Tlb {
         if n == 0 {
             return 0;
         }
-        gh_perf::count(gh_perf::Ctr::TlbWalks, n);
-        let tracing = gh_trace::enabled();
+        self.perf.count(gh_perf::Ctr::TlbWalks, n);
         let mut misses: u64 = 0;
         for vpn in keys {
             let tag = vpn.get();
@@ -180,9 +194,9 @@ impl Tlb {
                 }
             }
             let evicted = self.slots[victim].tag;
-            if evicted != EMPTY && tracing {
-                gh_trace::emit(gh_trace::Event::TlbEvict { va: evicted });
-                gh_trace::count("tlb.evictions", 1);
+            if evicted != EMPTY {
+                self.bus.emit(gh_trace::Event::TlbEvict { va: evicted });
+                self.bus.count("tlb.evictions", 1);
             }
             self.slots[victim] = Slot {
                 tag,
@@ -192,7 +206,7 @@ impl Tlb {
         self.hits = self.hits.saturating_add(n.saturating_sub(misses));
         self.misses = self.misses.saturating_add(misses);
         if misses > 0 {
-            gh_perf::count(gh_perf::Ctr::TlbMisses, misses);
+            self.perf.count(gh_perf::Ctr::TlbMisses, misses);
         }
         misses
     }

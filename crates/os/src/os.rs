@@ -47,10 +47,14 @@ pub struct Os {
     va_cursor: u64,
     cpu_faults: u64,
     ats_faults: u64,
+    bus: gh_trace::Bus,
+    perf: gh_perf::Perf,
 }
 
 impl Os {
     /// Boots the OS with the given cost model and configuration.
+    /// Observability is off until [`Os::with_obs`] injects the session's
+    /// handles.
     pub fn new(params: CostParams, config: OsConfig) -> Self {
         params.validate().expect("invalid cost parameters"); // gh-audit: allow(no-unwrap-in-lib) -- boot-time config validation; fail fast before any state exists
         let page = params.system_page_size;
@@ -62,7 +66,18 @@ impl Os {
             va_cursor: 2 * MIB, // keep null page unmapped; 2 MiB alignment
             cpu_faults: 0,
             ats_faults: 0,
+            bus: gh_trace::Bus::off(),
+            perf: gh_perf::Perf::off(),
         }
+    }
+
+    /// Attaches the owning session's observability handles. Recording is
+    /// report-only: fault costs and placements are bit-identical either
+    /// way.
+    pub fn with_obs(mut self, bus: gh_trace::Bus, perf: gh_perf::Perf) -> Self {
+        self.bus = bus;
+        self.perf = perf;
+        self
     }
 
     /// The cost model in force.
@@ -117,12 +132,12 @@ impl Os {
                 self.params.lpddr_bw,
             ));
         }
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::VmaCreate {
+        if self.bus.is_on() {
+            self.bus.emit(gh_trace::Event::VmaCreate {
                 va: addr,
                 bytes: aligned_len,
             });
-            gh_trace::count("os.vma_created", 1);
+            self.bus.count("os.vma_created", 1);
         }
         (range, cost)
     }
@@ -168,12 +183,12 @@ impl Os {
         for (_, pte) in &removed {
             phys.release(pte.node, page);
         }
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::VmaDestroy {
+        if self.bus.is_on() {
+            self.bus.emit(gh_trace::Event::VmaDestroy {
                 ptes: widen(removed.len()),
             });
-            gh_trace::count("os.vma_destroyed", 1);
-            gh_trace::count("os.pte_teardowns", widen(removed.len()));
+            self.bus.count("os.vma_destroyed", 1);
+            self.bus.count("os.pte_teardowns", widen(removed.len()));
         }
         self.params.vma_create / 2 + widen(removed.len()) * self.params.pte_teardown
     }
@@ -215,7 +230,7 @@ impl Os {
         let (node, frame) = self.place_first_touch(vpn, Node::Cpu, phys);
         self.system_pt.populate(vpn, node, frame);
         self.cpu_faults = self.cpu_faults.saturating_add(1);
-        gh_perf::count(gh_perf::Ctr::Faults, 1);
+        self.perf.count(gh_perf::Ctr::Faults, 1);
         let zero_bw = match node {
             Node::Cpu => self.params.lpddr_bw,
             Node::Gpu => self.params.c2c_h2d_bw,
@@ -225,14 +240,14 @@ impl Os {
         if self.config.autonuma {
             cost = cost.saturating_add(cost / 4); // NUMA-hinting bookkeeping overhead
         }
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::PageFault {
+        if self.bus.is_on() {
+            self.bus.emit(gh_trace::Event::PageFault {
                 kind: gh_trace::FaultKind::Cpu,
                 va: vpn.get() * page,
                 cost,
             });
-            gh_trace::count("os.cpu_faults", 1);
-            gh_trace::observe("fault.cost_ns", cost);
+            self.bus.count("os.cpu_faults", 1);
+            self.bus.observe("fault.cost_ns", cost);
         }
         FaultOutcome {
             cost,
@@ -275,20 +290,20 @@ impl Os {
         let (node, frame) = self.place_first_touch(vpn, Node::Gpu, phys);
         self.system_pt.populate(vpn, node, frame);
         self.ats_faults = self.ats_faults.saturating_add(1);
-        gh_perf::count(gh_perf::Ctr::Faults, 1);
+        self.perf.count(gh_perf::Ctr::Faults, 1);
         let mut cost = self.params.ats_fault_fixed
             + gh_units::ns_from_f64(page as f64 * self.params.ats_fault_per_byte);
         if self.config.autonuma {
             cost = cost.saturating_add(cost / 4);
         }
-        if gh_trace::enabled() {
-            gh_trace::emit(gh_trace::Event::PageFault {
+        if self.bus.is_on() {
+            self.bus.emit(gh_trace::Event::PageFault {
                 kind: gh_trace::FaultKind::Ats,
                 va: vpn.get() * page,
                 cost,
             });
-            gh_trace::count("os.ats_faults", 1);
-            gh_trace::observe("fault.cost_ns", cost);
+            self.bus.count("os.ats_faults", 1);
+            self.bus.observe("fault.cost_ns", cost);
         }
         FaultOutcome {
             cost,
@@ -314,12 +329,12 @@ impl Os {
         }
         let cost = created * self.params.host_register_per_page
             + CostParams::transfer_ns(Bytes::new(created * page), self.params.lpddr_bw);
-        if gh_trace::enabled() && created > 0 {
-            gh_trace::emit(gh_trace::Event::Pin {
+        if self.bus.is_on() && created > 0 {
+            self.bus.emit(gh_trace::Event::Pin {
                 va: range.addr,
                 bytes: created * page,
             });
-            gh_trace::count("os.pages_pinned", created);
+            self.bus.count("os.pages_pinned", created);
         }
         (cost, created)
     }

@@ -1,13 +1,17 @@
-//! Thread-local profiling collector, mirroring the `gh-trace` facade
-//! idiom: a `Cell<bool>` armed flag checked first on every hot path, a
-//! `RefCell` collector behind it, free functions as the public surface,
-//! and a drain ([`take`]) that returns plain data.
+//! The session-owned profiling collector behind the [`Perf`] handle,
+//! mirroring the `gh-trace` `Bus` idiom: a cloneable `Option<Rc<..>>`
+//! handle whose disabled form no-ops after one branch, and a drain
+//! ([`Perf::take`]) that returns plain data.
 //!
-//! The simulator is single-threaded by design (determinism), so
-//! thread-local state is the whole story — no atomics, no locks.
+//! The former `thread_local!` collector is gone (PR 9): profiling state
+//! belongs to one run's session context and is injected by handle, so
+//! concurrent runs in one process profile independently. A session is
+//! single-threaded by design (determinism), so `Rc` + `RefCell` is the
+//! whole story — no atomics, no locks.
 
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::time::Instant;
 
 use crate::report::{PerfData, PhasePerf, SpanAgg};
@@ -209,61 +213,58 @@ impl Collector {
     }
 }
 
-thread_local! {
-    static ENABLED: Cell<bool> = const { Cell::new(false) };
-    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+/// A handle to one run's profiling collector.
+///
+/// Cloning is cheap (one `Rc` bump); every clone shares the same
+/// counters, span stack, and phase table. [`Perf::off`] (also `Default`)
+/// is the disarmed sink: every method is a no-op after a single
+/// `Option` check.
+#[derive(Clone, Default)]
+pub struct Perf {
+    inner: Option<Rc<RefCell<Collector>>>,
 }
 
-/// Arms the profiler on this thread, resetting any prior state and
-/// starting the host clock. Idempotent-ish: calling it again restarts
-/// the profiled window.
-pub fn enable() {
-    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::new()));
-    ENABLED.with(|e| e.set(true));
+impl std::fmt::Debug for Perf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Perf")
+            .field("on", &self.is_on())
+            .finish_non_exhaustive()
+    }
 }
 
-/// Disarms the profiler and discards any uncollected state.
-pub fn disable() {
-    ENABLED.with(|e| e.set(false));
-    COLLECTOR.with(|c| *c.borrow_mut() = None);
-}
+impl Perf {
+    /// A disarmed profiler: records nothing, costs one branch per call.
+    pub fn off() -> Perf {
+        Perf { inner: None }
+    }
 
-/// Whether the profiler is armed on this thread.
-pub fn enabled() -> bool {
-    ENABLED.with(|e| e.get())
-}
-
-/// Whether the `GH_PERF` environment variable requests profiling
-/// (same convention as `GH_TRACE`: set and not `0`).
-pub fn env_requested() -> bool {
-    std::env::var("GH_PERF").is_ok_and(|v| v != "0" && !v.is_empty())
-}
-
-fn with_collector(f: impl FnOnce(&mut Collector)) {
-    COLLECTOR.with(|c| {
-        if let Some(col) = c.borrow_mut().as_mut() {
-            f(col);
+    /// An armed profiler; the host clock starts now.
+    pub fn on() -> Perf {
+        Perf {
+            inner: Some(Rc::new(RefCell::new(Collector::new()))),
         }
-    });
-}
-
-/// Bumps a hot-path counter. A branch when disabled.
-#[inline]
-pub fn count(ctr: Ctr, n: u64) {
-    if !enabled() {
-        return;
     }
-    with_collector(|c| c.counters[ctr.index()] += n);
-}
 
-/// Marks the start of an experiment phase at virtual time `sim_ns`,
-/// closing the previously open phase (its sim delta is measured against
-/// the same clock reading). Labels repeat freely; occurrences aggregate.
-pub fn phase_mark(label: &str, sim_ns: u64) {
-    if !enabled() {
-        return;
+    /// Whether this handle records.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
     }
-    with_collector(|c| {
+
+    /// Bumps a hot-path counter. A branch when disarmed.
+    #[inline]
+    pub fn count(&self, ctr: Ctr, n: u64) {
+        if let Some(i) = &self.inner {
+            i.borrow_mut().counters[ctr.index()] += n;
+        }
+    }
+
+    /// Marks the start of an experiment phase at virtual time `sim_ns`,
+    /// closing the previously open phase (its sim delta is measured
+    /// against the same clock reading). Labels repeat freely;
+    /// occurrences aggregate.
+    pub fn phase_mark(&self, label: &str, sim_ns: u64) {
+        let Some(i) = &self.inner else { return };
+        let mut c = i.borrow_mut();
         let now = c.now_ns();
         c.close_phase(now, sim_ns);
         if !c.phases.contains_key(label) {
@@ -271,115 +272,71 @@ pub fn phase_mark(label: &str, sim_ns: u64) {
             c.phases.insert(label.to_string(), PhaseAcc::default());
         }
         c.open_phase = Some((label.to_string(), now, sim_ns));
-    });
-}
-
-/// Marks the end of a simulation run whose clock reached `sim_ns`:
-/// closes the open phase and folds the run's virtual time into the
-/// window's `sim_total_ns`. A profiled window may contain several runs
-/// (each run's virtual clock starts from its own zero).
-pub fn run_end(sim_ns: u64) {
-    if !enabled() {
-        return;
     }
-    with_collector(|c| {
+
+    /// Marks the end of a simulation run whose clock reached `sim_ns`:
+    /// closes the open phase and folds the run's virtual time into the
+    /// window's `sim_total_ns`. A profiled window may contain several
+    /// runs (each run's virtual clock starts from its own zero).
+    pub fn run_end(&self, sim_ns: u64) {
+        let Some(i) = &self.inner else { return };
+        let mut c = i.borrow_mut();
         let now = c.now_ns();
         c.close_phase(now, sim_ns);
         c.sim_total_ns += sim_ns;
         c.runs += 1;
-    });
-}
-
-/// Opens a scoped host-time span nested under the current span (or the
-/// open phase at the root). Dropping the guard closes it.
-#[must_use = "the span closes when the guard drops"]
-pub fn span(name: &str) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { armed: false };
     }
-    with_collector(|c| {
-        let parent = match c.stack.last() {
-            Some(s) => s.path.as_str(),
-            None => c
-                .open_phase
-                .as_ref()
-                .map_or("run", |(label, _, _)| label.as_str()),
+
+    /// Opens a scoped host-time span nested under the current span (or
+    /// the open phase at the root). Dropping the guard closes it.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        if let Some(i) = &self.inner {
+            let mut c = i.borrow_mut();
+            let parent = match c.stack.last() {
+                Some(s) => s.path.as_str(),
+                None => c
+                    .open_phase
+                    .as_ref()
+                    .map_or("run", |(label, _, _)| label.as_str()),
+            };
+            let path = format!("{parent};{name}");
+            let start = c.now_ns();
+            c.stack.push(OpenSpan {
+                path,
+                start,
+                child_ns: 0,
+            });
+        }
+        SpanGuard { perf: self.clone() }
+    }
+
+    /// Drains the profile collected so far, leaving this handle (and
+    /// every clone of it) armed with a fresh window. Returns an empty
+    /// default when disarmed.
+    pub fn take(&self) -> PerfData {
+        let Some(i) = &self.inner else {
+            return PerfData::default();
         };
-        let path = format!("{parent};{name}");
-        let start = c.now_ns();
-        c.stack.push(OpenSpan {
-            path,
-            start,
-            child_ns: 0,
-        });
-    });
-    SpanGuard { armed: true }
+        let taken = std::mem::replace(&mut *i.borrow_mut(), Collector::new());
+        taken.drain()
+    }
 }
 
-/// RAII guard returned by [`span`]; closes the span on drop.
+/// RAII guard returned by [`Perf::span`]; closes the span on drop. Holds
+/// its own handle, so the guard stays balanced even if the caller's
+/// handle is dropped first. A guard from a disarmed handle is inert.
 #[derive(Debug)]
 pub struct SpanGuard {
-    armed: bool,
+    perf: Perf,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if !self.armed || !enabled() {
-            return;
-        }
-        with_collector(|c| {
+        if let Some(i) = &self.perf.inner {
+            let mut c = i.borrow_mut();
             let now = c.now_ns();
             c.close_span(now);
-        });
-    }
-}
-
-/// Drains the profile collected since [`enable`], leaving the profiler
-/// armed with a fresh window. Returns an empty default when disarmed.
-pub fn take() -> PerfData {
-    if !enabled() {
-        return PerfData::default();
-    }
-    let mut out = None;
-    COLLECTOR.with(|c| {
-        let mut slot = c.borrow_mut();
-        if let Some(col) = slot.take() {
-            out = Some(col.drain());
-        }
-        *slot = Some(Collector::new());
-    });
-    out.unwrap_or_default()
-}
-
-/// RAII wrapper for callers that own a profiled window (the CLI, the
-/// bench suite): [`PerfSink::start`] arms the profiler,
-/// [`PerfSink::finish`] drains it and disarms. Dropping without
-/// finishing disarms and discards.
-#[derive(Debug)]
-pub struct PerfSink {
-    active: bool,
-}
-
-impl PerfSink {
-    /// Arms the profiler and starts the window.
-    pub fn start() -> PerfSink {
-        enable();
-        PerfSink { active: true }
-    }
-
-    /// Drains the window and disarms the profiler.
-    pub fn finish(mut self) -> PerfData {
-        self.active = false;
-        let data = take();
-        disable();
-        data
-    }
-}
-
-impl Drop for PerfSink {
-    fn drop(&mut self) {
-        if self.active {
-            disable();
         }
     }
 }
@@ -396,38 +353,56 @@ mod tests {
     }
 
     #[test]
-    fn disabled_calls_are_noops() {
-        disable();
-        count(Ctr::TlbWalks, 5);
-        phase_mark("compute", 0);
-        run_end(100);
-        let _g = span("nothing");
-        assert_eq!(take(), PerfData::default());
+    fn disarmed_calls_are_noops() {
+        let perf = Perf::off();
+        perf.count(Ctr::TlbWalks, 5);
+        perf.phase_mark("compute", 0);
+        perf.run_end(100);
+        let _g = perf.span("nothing");
+        assert_eq!(perf.take(), PerfData::default());
+        assert!(!perf.is_on());
     }
 
     #[test]
     fn counters_accumulate_in_export_order() {
-        let sink = PerfSink::start();
-        count(Ctr::TlbWalks, 3);
-        count(Ctr::TlbWalks, 2);
-        count(Ctr::Faults, 1);
-        let d = sink.finish();
+        let perf = Perf::on();
+        perf.count(Ctr::TlbWalks, 3);
+        perf.count(Ctr::TlbWalks, 2);
+        perf.count(Ctr::Faults, 1);
+        let d = perf.take();
         assert_eq!(d.counter("tlb.walks"), 5);
         assert_eq!(d.counter("os.faults"), 1);
         assert_eq!(d.counters.len(), Ctr::ALL.len());
         assert_eq!(d.counters[0].0, "tlb.walks");
-        assert!(!enabled());
+    }
+
+    #[test]
+    fn clones_share_one_collector() {
+        let perf = Perf::on();
+        let handle = perf.clone();
+        handle.count(Ctr::Memcpys, 4);
+        assert_eq!(perf.take().counter("cuda.memcpys"), 4);
+    }
+
+    #[test]
+    fn two_handles_profile_independently() {
+        let a = Perf::on();
+        let b = Perf::on();
+        a.count(Ctr::Faults, 1);
+        b.count(Ctr::Faults, 10);
+        assert_eq!(a.take().counter("os.faults"), 1);
+        assert_eq!(b.take().counter("os.faults"), 10);
     }
 
     #[test]
     fn phases_track_host_and_sim_deltas() {
-        let sink = PerfSink::start();
-        phase_mark("alloc", 0);
+        let perf = Perf::on();
+        perf.phase_mark("alloc", 0);
         busy_wait_ns(200_000);
-        phase_mark("compute", 1_000);
+        perf.phase_mark("compute", 1_000);
         busy_wait_ns(200_000);
-        run_end(5_000);
-        let d = sink.finish();
+        perf.run_end(5_000);
+        let d = perf.take();
         assert_eq!(d.runs, 1);
         assert_eq!(d.sim_total_ns, 5_000);
         let labels: Vec<&str> = d.phases.iter().map(|p| p.label.as_str()).collect();
@@ -440,12 +415,12 @@ mod tests {
 
     #[test]
     fn repeated_phase_labels_aggregate() {
-        let sink = PerfSink::start();
-        phase_mark("compute", 0);
-        phase_mark("dealloc", 10);
-        phase_mark("compute", 20);
-        run_end(50);
-        let d = sink.finish();
+        let perf = Perf::on();
+        perf.phase_mark("compute", 0);
+        perf.phase_mark("dealloc", 10);
+        perf.phase_mark("compute", 20);
+        perf.run_end(50);
+        let d = perf.take();
         let compute = d.phases.iter().find(|p| p.label == "compute").unwrap();
         assert_eq!(compute.count, 2);
         assert_eq!(compute.sim_ns, 10 + 30);
@@ -453,18 +428,18 @@ mod tests {
 
     #[test]
     fn spans_nest_and_fold_under_the_open_phase() {
-        let sink = PerfSink::start();
-        phase_mark("compute", 0);
+        let perf = Perf::on();
+        perf.phase_mark("compute", 0);
         {
-            let _k = span("kernel:srad1");
+            let _k = perf.span("kernel:srad1");
             busy_wait_ns(100_000);
             {
-                let _t = span("translate");
+                let _t = perf.span("translate");
                 busy_wait_ns(100_000);
             }
         }
-        run_end(1);
-        let d = sink.finish();
+        perf.run_end(1);
+        let d = perf.take();
         let paths: Vec<&str> = d.spans.iter().map(|s| s.path.as_str()).collect();
         assert_eq!(
             paths,
@@ -480,34 +455,33 @@ mod tests {
 
     #[test]
     fn spans_outside_any_phase_root_at_run() {
-        let sink = PerfSink::start();
+        let perf = Perf::on();
         {
-            let _g = span("setup");
+            let _g = perf.span("setup");
         }
-        let d = sink.finish();
+        let d = perf.take();
         assert_eq!(d.spans[0].path, "run;setup");
     }
 
     #[test]
     fn take_leaves_profiler_armed_with_fresh_window() {
-        enable();
-        count(Ctr::Memcpys, 7);
-        let first = take();
+        let perf = Perf::on();
+        perf.count(Ctr::Memcpys, 7);
+        let first = perf.take();
         assert_eq!(first.counter("cuda.memcpys"), 7);
-        let second = take();
+        let second = perf.take();
         assert_eq!(second.counter("cuda.memcpys"), 0);
-        assert!(enabled());
-        disable();
+        assert!(perf.is_on());
     }
 
     #[test]
     fn multiple_runs_sum_virtual_time() {
-        let sink = PerfSink::start();
-        phase_mark("compute", 0);
-        run_end(100);
-        phase_mark("compute", 0);
-        run_end(250);
-        let d = sink.finish();
+        let perf = Perf::on();
+        perf.phase_mark("compute", 0);
+        perf.run_end(100);
+        perf.phase_mark("compute", 0);
+        perf.run_end(250);
+        let d = perf.take();
         assert_eq!(d.runs, 2);
         assert_eq!(d.sim_total_ns, 350);
         assert_eq!(d.phases[0].count, 2);
@@ -515,11 +489,11 @@ mod tests {
 
     #[test]
     fn drain_closes_dangling_spans_and_phase() {
-        let sink = PerfSink::start();
-        phase_mark("compute", 0);
-        let g = span("kernel:left-open");
-        let d = sink.finish();
-        drop(g); // guard after drain: harmless no-op
+        let perf = Perf::on();
+        perf.phase_mark("compute", 0);
+        let g = perf.span("kernel:left-open");
+        let d = perf.take();
+        drop(g); // guard after drain: folds into the fresh window, harmless
         assert_eq!(d.spans.len(), 1);
         assert_eq!(d.phases.len(), 1);
     }

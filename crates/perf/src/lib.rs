@@ -16,22 +16,29 @@
 //! couple reported numbers to the machine the simulator runs on.
 //! `gh-perf` is the one *sanctioned* exception: it is the only crate
 //! allowed to read host time, and it is quarantined by construction —
-//! nothing here reads or writes simulator state, no virtual-time result
-//! can depend on it, and every entry point is a no-op until [`enable`] is
-//! called (one thread-local flag load). Model crates call the free
-//! functions below (or hold a [`PerfSink`]); with profiling off they cost
-//! a branch. `tests/perf.rs` proves RunReports stay bitwise identical
-//! with profiling on.
+//! nothing here reads or writes simulator state, and no virtual-time
+//! result can depend on it. `tests/perf.rs` proves RunReports stay
+//! bitwise identical with profiling on.
+//!
+//! # Session scoping
+//!
+//! Like `gh-trace`, the collector is **session-scoped, not ambient**
+//! (PR 9): a [`Perf`] is a cloneable handle owned by one run's session
+//! context and injected into each component that profiles. A disarmed
+//! handle ([`Perf::off`]) makes every call a no-op after one branch, so
+//! concurrent runs in one process profile independently or not at all.
 //!
 //! # Usage
 //!
 //! ```
-//! let sink = gh_perf::PerfSink::start();
+//! use gh_perf::{Ctr, Perf};
+//!
+//! let perf = Perf::on();
 //! // ... run a simulation; model crates mark phases/spans/counters ...
-//! gh_perf::phase_mark("compute", 0);
-//! gh_perf::count(gh_perf::Ctr::TlbWalks, 1);
-//! gh_perf::run_end(1_000_000);
-//! let data = sink.finish();
+//! perf.phase_mark("compute", 0);
+//! perf.count(Ctr::TlbWalks, 1);
+//! perf.run_end(1_000_000);
+//! let data = perf.take();
 //! assert!(data.host_total_ns > 0);
 //! println!("{}", gh_perf::export::table(&data));
 //! ```
@@ -44,9 +51,6 @@ pub mod export;
 mod host;
 mod report;
 
-pub use collector::{
-    count, disable, enable, enabled, env_requested, phase_mark, run_end, span, take, Ctr, PerfSink,
-    SpanGuard,
-};
+pub use collector::{Ctr, Perf, SpanGuard};
 pub use host::{host_date, peak_rss_bytes};
 pub use report::{PerfData, PhasePerf, SpanAgg};

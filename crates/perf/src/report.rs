@@ -45,9 +45,9 @@ pub struct SpanAgg {
     pub self_ns: u64,
 }
 
-/// Everything the profiler observed between [`enable`](crate::enable) and
-/// [`take`](crate::take). Quarantine note: none of this ever reaches a
-/// `RunReport` — callers drain and export it on a separate channel.
+/// Everything one armed [`Perf`](crate::Perf) handle observed up to its
+/// `take()`. Quarantine note: none of this ever reaches a `RunReport` —
+/// callers drain and export it on a separate channel.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PerfData {
     /// Host wall-clock from `enable()` to `take()`, in nanoseconds.

@@ -1,20 +1,30 @@
-//! The thread-local collector behind the bus facade.
+//! The session-owned collector behind the [`Bus`] handle.
 //!
-//! The simulator is single-threaded by design (the virtual clock is a plain
-//! counter), so the collector is a `thread_local!` — no locks on the hot
-//! path and no cross-thread ordering questions. The *application kernels*
-//! run on `gh-par` worker threads, but all metering happens on the
-//! simulation thread, which is the only thread that emits.
+//! PR 9 evicted the former `thread_local!` collector: observability state
+//! is no longer ambient. A [`Bus`] is a cheap cloneable handle
+//! (`Option<Rc<..>>`) to one run's collector; every simulator component
+//! that emits holds a clone, all sharing the same ring, span stack, and
+//! metrics registry. A session that does not trace hands out [`Bus::off`]
+//! handles, and every entry point returns after one `Option` check — the
+//! hot path costs the same branch the old thread-local flag did.
+//!
+//! Because the state lives in the handle, two runs with different trace
+//! options can execute concurrently in one process (each on its own
+//! worker thread with its own `Bus`), which is what the `gh-jobs`
+//! executor does. `Rc` (not `Arc`): a session is single-threaded by
+//! design — the virtual clock is a plain counter — so handles never
+//! cross threads; jobs are scheduled by moving the *spec* and building
+//! the session on the executing worker.
 //!
 //! Determinism contract: nothing in this module reads or writes simulator
 //! state. Emitting is record-only, so enabling tracing cannot change any
-//! virtual-time result. When disabled, every entry point returns after one
-//! thread-local flag load.
+//! virtual-time result.
 
 use crate::event::{Event, Ns};
 use crate::metrics::Metrics;
 use crate::ring::Ring;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Default event-ring capacity (events kept before drop-oldest kicks in).
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
@@ -45,7 +55,7 @@ pub struct SpanRec {
     pub depth: u16,
 }
 
-/// Everything one traced run produced, drained via [`take`].
+/// Everything one traced run produced, drained via [`Bus::take`].
 #[derive(Debug, Clone, Default)]
 pub struct TraceData {
     /// Events oldest-first (post ring eviction).
@@ -90,114 +100,124 @@ impl Collector {
     }
 }
 
-thread_local! {
-    static ENABLED: Cell<bool> = const { Cell::new(false) };
-    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new(DEFAULT_RING_CAPACITY));
-    static METRICS: RefCell<Metrics> = RefCell::new(Metrics::default());
+struct BusInner {
+    collector: RefCell<Collector>,
+    metrics: RefCell<Metrics>,
 }
 
-/// Turns the bus on with the default ring capacity, clearing prior state.
-pub fn enable() {
-    enable_with_capacity(DEFAULT_RING_CAPACITY);
+/// A handle to one run's observability collector.
+///
+/// Cloning is cheap (one `Rc` bump) and every clone shares the same
+/// storage, so the session owner and the components it instruments all
+/// see one event stream. [`Bus::off`] (also `Default`) is the disabled
+/// sink: every method is a no-op after a single `Option` check.
+#[derive(Clone, Default)]
+pub struct Bus {
+    inner: Option<Rc<BusInner>>,
 }
 
-/// Turns the bus on with an explicit ring capacity, clearing prior state.
-pub fn enable_with_capacity(cap: usize) {
-    COLLECTOR.with(|c| *c.borrow_mut() = Collector::new(cap));
-    METRICS.with(|m| *m.borrow_mut() = Metrics::default());
-    ENABLED.with(|e| e.set(true));
-}
-
-/// Turns the bus off. Recorded data stays available to [`take`].
-pub fn disable() {
-    ENABLED.with(|e| e.set(false));
-}
-
-/// True when the bus is recording.
-pub fn enabled() -> bool {
-    ENABLED.with(|e| e.get())
-}
-
-/// Advances the bus's notion of virtual time (called from the clock owner;
-/// monotone by construction there).
-pub fn set_now(ns: Ns) {
-    if !enabled() {
-        return;
+impl std::fmt::Debug for Bus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bus")
+            .field("on", &self.is_on())
+            .finish_non_exhaustive()
     }
-    COLLECTOR.with(|c| c.borrow_mut().now = ns);
 }
 
-/// The bus's current virtual time (0 when disabled or never set).
-pub fn now() -> Ns {
-    COLLECTOR.with(|c| c.borrow().now)
-}
-
-/// Records an event. No-op when disabled.
-pub fn emit(event: Event) {
-    if !enabled() {
-        return;
+impl Bus {
+    /// A disabled bus: records nothing, costs one branch per call.
+    pub fn off() -> Bus {
+        Bus { inner: None }
     }
-    COLLECTOR.with(|c| {
-        let mut c = c.borrow_mut();
+
+    /// A recording bus with the default ring capacity.
+    pub fn on() -> Bus {
+        Bus::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recording bus with an explicit event-ring capacity.
+    pub fn with_capacity(cap: usize) -> Bus {
+        Bus {
+            inner: Some(Rc::new(BusInner {
+                collector: RefCell::new(Collector::new(cap)),
+                metrics: RefCell::new(Metrics::default()),
+            })),
+        }
+    }
+
+    /// True when this handle records.
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Advances the bus's notion of virtual time (called from the clock
+    /// owner; monotone by construction there).
+    pub fn set_now(&self, ns: Ns) {
+        if let Some(i) = &self.inner {
+            i.collector.borrow_mut().now = ns;
+        }
+    }
+
+    /// The bus's current virtual time (0 when off or never set).
+    pub fn now(&self) -> Ns {
+        self.inner.as_ref().map_or(0, |i| i.collector.borrow().now)
+    }
+
+    /// Records an event. No-op when off.
+    pub fn emit(&self, event: Event) {
+        let Some(i) = &self.inner else { return };
+        let mut c = i.collector.borrow_mut();
         let ns = c.now;
         let seq = c.seq;
         c.seq += 1;
         c.events.push(Stamped { ns, seq, event });
-    });
-}
-
-/// Bumps the monotone counter `name` by `delta`. No-op when disabled.
-pub fn count(name: &str, delta: u64) {
-    if !enabled() {
-        return;
     }
-    METRICS.with(|m| m.borrow_mut().count(name, delta));
-}
 
-/// Current value of the monotone counter `name` without draining the bus
-/// (0 when never bumped). The invariant sanitizer peeks at migration and
-/// copy counters between phases through this; unlike [`take`], the data
-/// stays in place for the exporter at end of run.
-pub fn counter_value(name: &str) -> u64 {
-    METRICS.with(|m| m.borrow().counter(name))
-}
-
-/// Sets the gauge `name`. No-op when disabled.
-pub fn gauge(name: &str, v: f64) {
-    if !enabled() {
-        return;
+    /// Bumps the monotone counter `name` by `delta`. No-op when off.
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.borrow_mut().count(name, delta);
+        }
     }
-    METRICS.with(|m| m.borrow_mut().gauge(name, v));
-}
 
-/// Records `v` into the log-2 histogram `name`. No-op when disabled.
-pub fn observe(name: &str, v: u64) {
-    if !enabled() {
-        return;
+    /// Current value of the monotone counter `name` without draining the
+    /// bus (0 when never bumped). The invariant sanitizer peeks at
+    /// migration and copy counters between phases through this; unlike
+    /// [`Bus::take`], the data stays in place for the exporter at end of
+    /// run.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.metrics.borrow().counter(name))
     }
-    METRICS.with(|m| m.borrow_mut().observe(name, v));
-}
 
-/// Opens a span at the current virtual time. Pair with [`span_exit`], or
-/// use the RAII [`span`] wrapper.
-pub fn span_enter(name: &str, cat: &'static str) {
-    if !enabled() {
-        return;
+    /// Sets the gauge `name`. No-op when off.
+    pub fn gauge(&self, name: &str, v: f64) {
+        if let Some(i) = &self.inner {
+            i.metrics.borrow_mut().gauge(name, v);
+        }
     }
-    COLLECTOR.with(|c| {
-        let mut c = c.borrow_mut();
+
+    /// Records `v` into the log-2 histogram `name`. No-op when off.
+    pub fn observe(&self, name: &str, v: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.borrow_mut().observe(name, v);
+        }
+    }
+
+    /// Opens a span at the current virtual time. Pair with
+    /// [`Bus::span_exit`], or use the RAII [`Bus::span`] wrapper.
+    pub fn span_enter(&self, name: &str, cat: &'static str) {
+        let Some(i) = &self.inner else { return };
+        let mut c = i.collector.borrow_mut();
         let start = c.now;
         c.open.push((name.to_string(), cat, start));
-    });
-}
-
-/// Closes the innermost open span at the current virtual time.
-pub fn span_exit() {
-    if !enabled() {
-        return;
     }
-    COLLECTOR.with(|c| {
-        let mut c = c.borrow_mut();
+
+    /// Closes the innermost open span at the current virtual time.
+    pub fn span_exit(&self) {
+        let Some(i) = &self.inner else { return };
+        let mut c = i.collector.borrow_mut();
         if let Some((name, cat, start)) = c.open.pop() {
             let end = c.now;
             let depth = c.open.len() as u16;
@@ -209,17 +229,14 @@ pub fn span_exit() {
                 depth,
             });
         }
-    });
-}
-
-/// Records an already-measured interval `[start, now]` as a completed span
-/// (for call sites that know the start time, e.g. kernel launches).
-pub fn span_closed(name: &str, cat: &'static str, start: Ns) {
-    if !enabled() {
-        return;
     }
-    COLLECTOR.with(|c| {
-        let mut c = c.borrow_mut();
+
+    /// Records an already-measured interval `[start, now]` as a completed
+    /// span (for call sites that know the start time, e.g. kernel
+    /// launches).
+    pub fn span_closed(&self, name: &str, cat: &'static str, start: Ns) {
+        let Some(i) = &self.inner else { return };
+        let mut c = i.collector.borrow_mut();
         let end = c.now;
         let depth = c.open.len() as u16;
         c.spans.push(SpanRec {
@@ -229,57 +246,57 @@ pub fn span_closed(name: &str, cat: &'static str, start: Ns) {
             end,
             depth,
         });
-    });
-}
-
-/// RAII span: open on construction, closed on drop.
-pub fn span(name: &str, cat: &'static str) -> SpanGuard {
-    let active = enabled();
-    if active {
-        span_enter(name, cat);
     }
-    SpanGuard { active }
-}
 
-/// Guard returned by [`span`]; closes the span when dropped (only if the
-/// bus was enabled at open time, so enable/disable mid-span stays balanced).
-#[derive(Debug)]
-pub struct SpanGuard {
-    active: bool,
-}
+    /// RAII span: open on construction, closed on drop.
+    pub fn span(&self, name: &str, cat: &'static str) -> SpanGuard {
+        self.span_enter(name, cat);
+        SpanGuard { bus: self.clone() }
+    }
 
-impl Drop for SpanGuard {
-    fn drop(&mut self) {
-        if self.active {
-            span_exit();
+    /// Drains everything recorded so far (events, spans, metrics),
+    /// leaving this bus (and every clone of it) recording into fresh
+    /// empty storage. Still-open spans are closed at the current virtual
+    /// time. Returns the default empty data when off.
+    pub fn take(&self) -> TraceData {
+        let Some(i) = &self.inner else {
+            return TraceData::default();
+        };
+        // Close dangling spans so exports are well-formed.
+        let open_count = i.collector.borrow().open.len();
+        for _ in 0..open_count {
+            self.span_exit();
+        }
+        let (events, dropped, spans) = {
+            let mut c = i.collector.borrow_mut();
+            let cap = c.events.capacity();
+            let now = c.now;
+            let taken = std::mem::replace(&mut *c, Collector::new(cap));
+            c.now = now;
+            let dropped = taken.events.dropped();
+            (taken.events.into_vec(), dropped, taken.spans)
+        };
+        let metrics = std::mem::take(&mut *i.metrics.borrow_mut());
+        TraceData {
+            events,
+            dropped,
+            spans,
+            metrics,
         }
     }
 }
 
-/// Drains everything recorded so far (events, spans, metrics), leaving the
-/// bus in its current enabled/disabled state with fresh empty storage.
-/// Still-open spans are closed at the current virtual time.
-pub fn take() -> TraceData {
-    // Close dangling spans so exports are well-formed.
-    let open_count = COLLECTOR.with(|c| c.borrow().open.len());
-    for _ in 0..open_count {
-        span_exit();
-    }
-    let (events, dropped, spans) = COLLECTOR.with(|c| {
-        let mut c = c.borrow_mut();
-        let cap = c.events.capacity();
-        let now = c.now;
-        let taken = std::mem::replace(&mut *c, Collector::new(cap));
-        c.now = now;
-        let dropped = taken.events.dropped();
-        (taken.events.into_vec(), dropped, taken.spans)
-    });
-    let metrics = METRICS.with(|m| std::mem::take(&mut *m.borrow_mut()));
-    TraceData {
-        events,
-        dropped,
-        spans,
-        metrics,
+/// Guard returned by [`Bus::span`]; closes the span when dropped. Holds
+/// its own handle, so the guard stays balanced even if the caller's
+/// handle is dropped first.
+#[derive(Debug)]
+pub struct SpanGuard {
+    bus: Bus,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.bus.span_exit();
     }
 }
 
@@ -298,39 +315,60 @@ mod tests {
 
     #[test]
     fn counter_value_peeks_without_draining() {
-        enable();
-        count("peek.bytes", 100);
-        count("peek.bytes", 28);
-        assert_eq!(counter_value("peek.bytes"), 128);
-        assert_eq!(counter_value("peek.missing"), 0);
+        let bus = Bus::on();
+        bus.count("peek.bytes", 100);
+        bus.count("peek.bytes", 28);
+        assert_eq!(bus.counter_value("peek.bytes"), 128);
+        assert_eq!(bus.counter_value("peek.missing"), 0);
         // Peeking left the data in place for the exporter.
-        let d = take();
+        let d = bus.take();
         assert_eq!(d.metrics.counter("peek.bytes"), 128);
-        disable();
     }
 
     #[test]
-    fn disabled_bus_records_nothing() {
-        disable();
-        emit(fault(1));
-        count("x", 1);
-        span_enter("s", "phase");
-        span_exit();
-        let d = take();
+    fn off_bus_records_nothing() {
+        let bus = Bus::off();
+        bus.emit(fault(1));
+        bus.count("x", 1);
+        bus.span_enter("s", "phase");
+        bus.span_exit();
+        let d = bus.take();
         assert!(d.events.is_empty());
         assert!(d.spans.is_empty());
         assert!(d.metrics.is_empty());
+        assert!(!bus.is_on());
+    }
+
+    #[test]
+    fn clones_share_one_collector() {
+        let bus = Bus::on();
+        let emitter = bus.clone();
+        emitter.set_now(5);
+        emitter.emit(fault(1));
+        emitter.count("shared", 2);
+        let d = bus.take();
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.counter("shared"), 2);
+    }
+
+    #[test]
+    fn two_buses_are_isolated() {
+        let a = Bus::on();
+        let b = Bus::on();
+        a.count("c", 1);
+        b.count("c", 10);
+        assert_eq!(a.take().counter("c"), 1);
+        assert_eq!(b.take().counter("c"), 10);
     }
 
     #[test]
     fn events_are_stamped_with_virtual_time() {
-        enable();
-        set_now(100);
-        emit(fault(1));
-        set_now(250);
-        emit(fault(2));
-        let d = take();
-        disable();
+        let bus = Bus::on();
+        bus.set_now(100);
+        bus.emit(fault(1));
+        bus.set_now(250);
+        bus.emit(fault(2));
+        let d = bus.take();
         assert_eq!(d.events.len(), 2);
         assert_eq!(d.events[0].ns, 100);
         assert_eq!(d.events[1].ns, 250);
@@ -339,17 +377,16 @@ mod tests {
 
     #[test]
     fn span_nesting_tracks_depth() {
-        enable();
-        set_now(0);
-        span_enter("outer", "phase");
-        set_now(10);
-        span_enter("inner", "kernel");
-        set_now(30);
-        span_exit();
-        set_now(50);
-        span_exit();
-        let d = take();
-        disable();
+        let bus = Bus::on();
+        bus.set_now(0);
+        bus.span_enter("outer", "phase");
+        bus.set_now(10);
+        bus.span_enter("inner", "kernel");
+        bus.set_now(30);
+        bus.span_exit();
+        bus.set_now(50);
+        bus.span_exit();
+        let d = bus.take();
         // Close order: inner first.
         assert_eq!(d.spans.len(), 2);
         assert_eq!(d.spans[0].name, "inner");
@@ -362,39 +399,36 @@ mod tests {
 
     #[test]
     fn raii_guard_closes_span() {
-        enable();
-        set_now(5);
+        let bus = Bus::on();
+        bus.set_now(5);
         {
-            let _g = span("scoped", "api");
-            set_now(9);
+            let _g = bus.span("scoped", "api");
+            bus.set_now(9);
         }
-        let d = take();
-        disable();
+        let d = bus.take();
         assert_eq!(d.spans.len(), 1);
         assert_eq!((d.spans[0].start, d.spans[0].end), (5, 9));
     }
 
     #[test]
     fn take_closes_dangling_spans() {
-        enable();
-        set_now(1);
-        span_enter("never-closed", "phase");
-        set_now(7);
-        let d = take();
-        disable();
+        let bus = Bus::on();
+        bus.set_now(1);
+        bus.span_enter("never-closed", "phase");
+        bus.set_now(7);
+        let d = bus.take();
         assert_eq!(d.spans.len(), 1);
         assert_eq!(d.spans[0].end, 7);
     }
 
     #[test]
     fn ring_overflow_surfaces_dropped_count() {
-        enable_with_capacity(4);
+        let bus = Bus::with_capacity(4);
         for i in 0..10 {
-            set_now(i);
-            emit(fault(i));
+            bus.set_now(i);
+            bus.emit(fault(i));
         }
-        let d = take();
-        disable();
+        let d = bus.take();
         assert_eq!(d.events.len(), 4);
         assert_eq!(d.dropped, 6);
         // Oldest dropped, newest kept.
@@ -404,15 +438,14 @@ mod tests {
 
     #[test]
     fn take_resets_for_next_run() {
-        enable();
-        set_now(3);
-        emit(fault(1));
-        count("c", 2);
-        let first = take();
+        let bus = Bus::on();
+        bus.set_now(3);
+        bus.emit(fault(1));
+        bus.count("c", 2);
+        let first = bus.take();
         assert_eq!(first.events.len(), 1);
         assert_eq!(first.counter("c"), 2);
-        let second = take();
-        disable();
+        let second = bus.take();
         assert!(second.events.is_empty());
         assert_eq!(second.counter("c"), 0);
     }

@@ -1,4 +1,4 @@
-//! `gh-trace` — the simulator-wide observability bus.
+//! `gh-trace` — the simulator's observability bus.
 //!
 //! The paper's conclusions are driven by counts and costs: page faults,
 //! migration bytes, NVLink-C2C traffic, page-table teardown work. This
@@ -10,34 +10,38 @@
 //! * a **metrics registry** ([`metrics::Metrics`]) of monotone counters,
 //!   gauges, and log-2 histograms;
 //! * **hierarchical spans** (phase → API call → kernel → fault batch) via
-//!   [`span`]/[`span_enter`]/[`span_exit`]/[`span_closed`];
+//!   [`Bus::span`]/[`Bus::span_enter`]/[`Bus::span_exit`]/[`Bus::span_closed`];
 //! * **exporters**: Chrome/Perfetto trace JSON ([`export::chrome_trace`]),
 //!   CSV/JSON metrics dumps, and a per-phase "run explain" table
 //!   ([`export::explain`]).
 //!
-//! Everything is a no-op while disabled (one thread-local flag load), and
+//! The collector is **session-scoped, not ambient**: a [`Bus`] is a
+//! cloneable handle owned by one run's session context and injected into
+//! each component that emits. There is no process or thread global, so
+//! runs with different trace options coexist in one process. A disabled
+//! handle ([`Bus::off`]) makes every call a no-op after one branch, and
 //! recording never touches simulator state, so enabling tracing cannot
 //! change any virtual-time result. See `docs/observability.md` for the
-//! event taxonomy and metric-name inventory.
+//! event taxonomy and metric-name inventory, and `docs/sessions.md` for
+//! how sessions own the bus.
 //!
 //! ```
-//! use gh_trace as trace;
+//! use gh_trace::{Bus, Event, FaultKind};
 //!
-//! trace::enable();
-//! trace::set_now(100);
-//! trace::span_enter("compute", "phase");
-//! trace::emit(trace::Event::PageFault {
-//!     kind: trace::FaultKind::Ats,
+//! let bus = Bus::on();
+//! bus.set_now(100);
+//! bus.span_enter("compute", "phase");
+//! bus.emit(Event::PageFault {
+//!     kind: FaultKind::Ats,
 //!     va: 0x1000,
 //!     cost: 700,
 //! });
-//! trace::count("os.ats_faults", 1);
-//! trace::set_now(1_000);
-//! trace::span_exit();
-//! let data = trace::take();
-//! trace::disable();
+//! bus.count("os.ats_faults", 1);
+//! bus.set_now(1_000);
+//! bus.span_exit();
+//! let data = bus.take();
 //! assert_eq!(data.counter("os.ats_faults"), 1);
-//! let perfetto_json = trace::export::chrome_trace(&data);
+//! let perfetto_json = gh_trace::export::chrome_trace(&data);
 //! assert!(perfetto_json.contains("fault.ats"));
 //! ```
 
@@ -51,10 +55,6 @@ pub mod json;
 pub mod metrics;
 pub mod ring;
 
-pub use collector::{
-    count, counter_value, disable, emit, enable, enable_with_capacity, enabled, gauge, now,
-    observe, set_now, span, span_closed, span_enter, span_exit, take, SpanGuard, SpanRec, Stamped,
-    TraceData, DEFAULT_RING_CAPACITY,
-};
+pub use collector::{Bus, SpanGuard, SpanRec, Stamped, TraceData, DEFAULT_RING_CAPACITY};
 pub use event::{Dir, Engine, Event, FaultKind, Ns};
 pub use metrics::{Histogram, Metrics};

@@ -30,20 +30,6 @@
 
 use crate::Bytes;
 use std::fmt;
-use std::sync::OnceLock;
-
-/// Whether the sanitizer should run: `GH_SANITIZE=1` in the environment,
-/// or always in debug builds (which is what `cargo test` uses, making the
-/// sanitizer always-on in tests). Read once; checking it never perturbs
-/// the simulation.
-pub fn enabled() -> bool {
-    static ON: OnceLock<bool> = OnceLock::new();
-    *ON.get_or_init(|| {
-        std::env::var("GH_SANITIZE")
-            .map(|v| v == "1")
-            .unwrap_or(cfg!(debug_assertions))
-    })
-}
 
 /// Which invariant a violation broke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

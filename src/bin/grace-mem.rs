@@ -7,7 +7,11 @@
 //! ```
 
 use grace_mem::sim::{KIB, MIB};
-use grace_mem::{platform, AppId, Machine, MachineConfig, MemMode, Platform, QsimParams};
+use grace_mem::{
+    platform, AppId, JobCache, Machine, MachineConfig, MemMode, Platform, QsimParams,
+    SessionOptions,
+};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -27,17 +31,29 @@ fn usage() -> ! {
             [--page 4k|64k|2m] [--no-migration] [--trace-out <json-file>]
             [--perf] [--perf-out <json-file>]
   grace-mem advise <trace-file> [--platform gh200|mi300a]
+  grace-mem suite [--jobs <n>] [--small]
 
 platforms: gh200 (default; two tiers + migration), mi300a (one unified
            physical pool, no page migration). The default page size is
            the platform's own (gh200: 64k, mi300a: 4k).
 
-environment:
-  GH_TRACE=1  trace the run on the observability bus and print the
-              per-phase explain table (implied by --trace-out)
-  GH_PERF=1   profile the simulator itself (host wall-clock) and print
-              the gh-perf table on stderr (implied by --perf/--perf-out);
-              never changes simulated output"
+suite: the full app x platform x mode matrix on the gh-jobs executor
+       (--jobs <n> worker threads; 1 = serial reference). Reports are
+       bitwise-identical at any worker count; cache hit/miss counts go
+       to stderr.
+
+environment (read HERE, at the CLI boundary, to seed the per-run
+session — library code never reads GH_* variables):
+  GH_TRACE=1       trace the run on its session bus and print the
+                   per-phase explain table (implied by --trace-out)
+  GH_PERF=1        profile the simulator itself (host wall-clock) and
+                   print the gh-perf table on stderr (implied by
+                   --perf/--perf-out); never changes simulated output
+  GH_SANITIZE=0|1  force the invariant sanitizer off/on (default: on in
+                   debug builds only)
+  GH_ACCESS_REF=1  use the per-line reference access path instead of the
+                   batched fast core (differential debugging; reports
+                   are bit-identical either way)"
     );
     std::process::exit(2);
 }
@@ -90,6 +106,7 @@ struct Flags {
     trace_out: Option<String>,
     perf: bool,
     perf_out: Option<String>,
+    jobs: usize,
 }
 
 fn parse_flags(args: &[String]) -> Flags {
@@ -106,6 +123,7 @@ fn parse_flags(args: &[String]) -> Flags {
         trace_out: None,
         perf: false,
         perf_out: None,
+        jobs: 1,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -147,6 +165,12 @@ fn parse_flags(args: &[String]) -> Flags {
                     usage();
                 }
             }
+            "--jobs" => {
+                f.jobs = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage(),
+                }
+            }
             "--perf" => f.perf = true,
             "--perf-out" => {
                 f.perf_out = it.next().cloned();
@@ -160,14 +184,14 @@ fn parse_flags(args: &[String]) -> Flags {
     f
 }
 
-fn machine(f: &Flags) -> Machine {
+fn machine(f: &Flags, so: &SessionOptions) -> Machine {
     let cfg = MachineConfig {
         page_size: f.page,
         auto_migration: f.migration,
         ..Default::default()
     };
     f.platform
-        .machine_cfg(&cfg)
+        .machine_session(&cfg, so)
         .unwrap_or_else(|e| platform_fail(e))
 }
 
@@ -194,36 +218,34 @@ fn report_sanitizer(r: &grace_mem::RunReport) {
     }
 }
 
-fn trace_env() -> bool {
-    std::env::var("GH_TRACE").is_ok_and(|v| v != "0" && !v.is_empty())
+/// Reads a `GH_*` boolean env toggle: `None` when unset, `Some(false)`
+/// for `""`/`"0"`, `Some(true)` otherwise. This is the *only* layer that
+/// reads these variables — they seed the [`SessionOptions`] below and
+/// never leak into library code (audit rule `no-ambient-state`).
+fn env_flag(name: &str) -> Option<bool> {
+    std::env::var(name).ok().map(|v| v != "0" && !v.is_empty())
 }
 
-/// Enables the observability bus when `--trace-out` or `GH_TRACE=1` asks
-/// for it. Must run before the machine is built so allocation is traced.
-fn maybe_enable_trace(f: &Flags) {
-    if f.trace_out.is_some() || trace_env() {
-        gh_trace::enable();
-    }
-}
-
-/// Arms the host-side self-profiler when `--perf`, `--perf-out`, or
-/// `GH_PERF=1` asks for it. Like tracing, this must run before the
-/// machine is built so context-init host time is attributed.
-fn maybe_enable_perf(f: &Flags) {
-    if f.perf || f.perf_out.is_some() || gh_perf::env_requested() {
-        gh_perf::enable();
+/// Folds flags and boundary env vars into the run's session options.
+fn session_opts(f: &Flags) -> SessionOptions {
+    SessionOptions {
+        trace: f.trace_out.is_some() || env_flag("GH_TRACE").unwrap_or(false),
+        perf: f.perf || f.perf_out.is_some() || env_flag("GH_PERF").unwrap_or(false),
+        sanitize: env_flag("GH_SANITIZE"),
+        access_ref: env_flag("GH_ACCESS_REF").unwrap_or(false),
+        ..Default::default()
     }
 }
 
 /// Prints the gh-perf table on stderr and writes the JSON + folded-stack
-/// files for `--perf-out` (no-op when profiling was never armed).
-/// Everything goes to stderr or side files: stdout carries only the
-/// deterministic RunReport.
-fn maybe_dump_perf(f: &Flags) {
-    if !gh_perf::enabled() {
+/// files for `--perf-out` (no-op when the session never armed the
+/// profiler). Everything goes to stderr or side files: stdout carries
+/// only the deterministic RunReport.
+fn maybe_dump_perf(f: &Flags, perf: &gh_perf::Perf) {
+    if !perf.is_on() {
         return;
     }
-    let data = gh_perf::take();
+    let data = perf.take();
     eprint!("{}", gh_perf::export::table(&data));
     if let Some(out) = &f.perf_out {
         let folded = format!("{out}.folded");
@@ -286,21 +308,29 @@ fn print_report(label: &str, r: &grace_mem::RunReport) {
     }
 }
 
-fn run_extension(name: &str, flag_args: &[String]) -> Option<grace_mem::RunReport> {
-    let f = parse_flags(flag_args);
-    maybe_enable_trace(&f);
-    maybe_enable_perf(&f);
-    let m = machine(&f);
+fn run_extension(
+    name: &str,
+    flag_args: &[String],
+) -> Option<(grace_mem::RunReport, gh_perf::Perf)> {
     use grace_mem::apps::{kmeans, lud, micro};
+    // Cheap membership check first so unknown names never boot a machine.
+    if !matches!(name, "kmeans" | "lud" | "stream" | "gups" | "pointer-chase") {
+        return None;
+    }
+    let f = parse_flags(flag_args);
+    let so = session_opts(&f);
+    let m = machine(&f, &so);
+    let perf = m.rt.session().perf.clone();
     let mp = micro::MicroParams::default();
-    Some(match name {
+    let r = match name {
         "kmeans" => kmeans::run(m, f.mode, &kmeans::KmeansParams::default()),
         "lud" => lud::run(m, f.mode, &lud::LudParams::default()),
         "stream" => micro::stream(m, f.mode, &mp),
         "gups" => micro::gups(m, f.mode, &mp),
         "pointer-chase" => micro::pointer_chase(m, f.mode, &mp),
-        _ => return None,
-    })
+        _ => unreachable!("membership checked above"),
+    };
+    Some((r, perf))
 }
 
 fn main() {
@@ -325,20 +355,20 @@ fn main() {
         Some("app") => {
             let Some(name) = args.get(1) else { usage() };
             // Extension workloads run through their own entry points.
-            if let Some(report) = run_extension(name, &args[2..]) {
+            if let Some((report, perf)) = run_extension(name, &args[2..]) {
                 let f = parse_flags(&args[2..]);
                 print_report_maybe_json(&name.to_string(), &report, f.json);
                 maybe_dump_trace(&report, &f);
-                maybe_dump_perf(&f);
+                maybe_dump_perf(&f, &perf);
                 return;
             }
             let Some(app) = AppId::ALL.iter().find(|a| a.name() == name) else {
                 usage()
             };
             let f = parse_flags(&args[2..]);
-            maybe_enable_trace(&f);
-            maybe_enable_perf(&f);
-            let mut m = machine(&f);
+            let so = session_opts(&f);
+            let mut m = machine(&f, &so);
+            let perf = m.rt.session().perf.clone();
             if let Some(ratio) = f.oversubscribe {
                 let peak = if f.small {
                     app.run_small(f.platform.machine(), MemMode::Managed)
@@ -356,49 +386,81 @@ fn main() {
             };
             print_report_maybe_json(&format!("{} ({})", app.name(), f.mode), &r, f.json);
             maybe_dump_trace(&r, &f);
-            maybe_dump_perf(&f);
+            maybe_dump_perf(&f, &perf);
         }
         Some("qv") => {
             let Some(q) = args.get(1).and_then(|s| s.parse::<u32>().ok()) else {
                 usage()
             };
             let f = parse_flags(&args[2..]);
-            maybe_enable_trace(&f);
-            maybe_enable_perf(&f);
+            let so = session_opts(&f);
             let p = QsimParams {
                 sim_qubits: q,
                 compute_amplitudes: f.amplitudes,
                 prefetch: f.prefetch,
                 ..Default::default()
             };
-            let r = grace_mem::run_qv(machine(&f), f.mode, &p);
+            let m = machine(&f, &so);
+            let perf = m.rt.session().perf.clone();
+            let r = grace_mem::run_qv(m, f.mode, &p);
             print_report_maybe_json(
                 &format!("qv {q} sim-qubits / paper {} ({})", q + 10, f.mode),
                 &r,
                 f.json,
             );
             maybe_dump_trace(&r, &f);
-            maybe_dump_perf(&f);
+            maybe_dump_perf(&f, &perf);
         }
         Some("replay") => {
             let Some(path) = args.get(1) else { usage() };
             let explicit_mode = args[2..].iter().any(|a| a == "--mode");
             let f = parse_flags(&args[2..]);
-            maybe_enable_trace(&f);
-            maybe_enable_perf(&f);
+            let so = session_opts(&f);
             let trace = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail(CliError::Read(path.clone(), e)));
             let mode = explicit_mode.then_some(f.mode);
-            match grace_mem::sim::replay(machine(&f), &trace, mode) {
+            let m = machine(&f, &so);
+            let perf = m.rt.session().perf.clone();
+            match grace_mem::sim::replay(m, &trace, mode) {
                 Ok(r) => {
                     print_report_maybe_json(&format!("replay {path}"), &r, f.json);
                     // The bus captured the run as it happened — no second
                     // replay needed to export the timeline.
                     maybe_dump_trace(&r, &f);
-                    maybe_dump_perf(&f);
+                    maybe_dump_perf(&f, &perf);
                 }
                 Err(e) => fail(CliError::Sim(e.to_string())),
             }
+        }
+        Some("suite") => {
+            let f = parse_flags(&args[1..]);
+            let so = session_opts(&f);
+            let specs = grace_mem::jobs::matrix(f.small, &so);
+            let cache = Arc::new(JobCache::new());
+            let outcomes = grace_mem::jobs::run_suite(&specs, f.jobs, &cache);
+            // Deterministic stdout: one line per job, identical at any
+            // worker count (CI diffs `--jobs 8` against `--jobs 1`).
+            println!("app,platform,mode,total_ns,checksum_bits,job_hash");
+            for (spec, out) in specs.iter().zip(outcomes) {
+                let out = out.unwrap_or_else(|e| platform_fail(e));
+                println!(
+                    "{},{},{},{},0x{:016x},0x{:016x}",
+                    spec.app.name(),
+                    spec.platform,
+                    spec.mode.label(),
+                    out.report.reported_total(),
+                    out.report.checksum.to_bits(),
+                    out.hash,
+                );
+                report_sanitizer(&out.report);
+            }
+            eprintln!(
+                "suite: {} jobs on {} worker(s); cache {} hit(s), {} miss(es)",
+                specs.len(),
+                f.jobs,
+                cache.hits(),
+                cache.misses(),
+            );
         }
         Some("advise") => {
             let Some(path) = args.get(1) else { usage() };

@@ -47,6 +47,7 @@
 
 pub use gh_apps as apps;
 pub use gh_cuda as cuda;
+pub use gh_jobs as jobs;
 pub use gh_mem as mem;
 pub use gh_os as os;
 pub use gh_par as par;
@@ -56,6 +57,8 @@ pub use gh_sim as sim;
 pub use gh_trace as trace;
 
 pub use gh_apps::AppId;
+pub use gh_cuda::{SessionCtx, SessionOptions};
+pub use gh_jobs::{JobCache, JobOutcome, JobSpec};
 pub use gh_profiler::{Phase, Sample};
 pub use gh_qsim::{run_qv, QsimParams};
 pub use gh_sim::{

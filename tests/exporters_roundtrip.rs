@@ -4,13 +4,17 @@
 //! ordered, and the gh-perf profile schema complete.
 
 use gh_trace::json::Value;
-use grace_mem::{platform, AppId, MemMode, RunReport};
+use grace_mem::{platform, AppId, MachineConfig, MemMode, RunReport, SessionOptions};
 
 fn traced_run() -> RunReport {
-    gh_trace::enable();
-    let r = AppId::Hotspot.run_small(platform::gh200().machine(), MemMode::Managed);
-    gh_trace::disable();
-    r
+    let so = SessionOptions {
+        trace: true,
+        ..Default::default()
+    };
+    let m = platform::gh200()
+        .machine_session(&MachineConfig::default(), &so)
+        .expect("default config is valid");
+    AppId::Hotspot.run_small(m, MemMode::Managed)
 }
 
 #[test]
@@ -127,9 +131,16 @@ fn metrics_json_parses_with_ordered_percentiles() {
 
 #[test]
 fn perf_json_parses_with_complete_schema() {
-    let sink = gh_perf::PerfSink::start();
-    let _ = AppId::Hotspot.run_small(platform::gh200().machine(), MemMode::Managed);
-    let perf = sink.finish();
+    let so = SessionOptions {
+        perf: true,
+        ..Default::default()
+    };
+    let m = platform::gh200()
+        .machine_session(&MachineConfig::default(), &so)
+        .expect("default config is valid");
+    let perf = m.rt.session().perf.clone();
+    let _ = AppId::Hotspot.run_small(m, MemMode::Managed);
+    let perf = perf.take();
     let doc = Value::parse(&gh_perf::export::json(&perf)).expect("valid JSON");
 
     assert_eq!(doc.get("schema").and_then(Value::as_str), Some("gh-perf/1"));

@@ -8,15 +8,31 @@
 //! pair below is also a sanitizer-on differential pair.
 
 use gh_units::Bytes;
-use grace_mem::cuda::accesspath::ReferenceGuard;
-use grace_mem::{platform, AppId, MemMode};
+use grace_mem::{platform, AppId, MachineConfig, MemMode, SessionOptions};
 
 const MIB: u64 = 1 << 20;
 
-/// Runs `app` on a fresh machine of platform `p` and returns the full
-/// serialized report.
-fn run_json(p: &dyn grace_mem::sim::platform::Platform, app: AppId, mode: MemMode) -> String {
-    app.run_small(p.machine(), mode).to_json()
+/// Runs `app` on a fresh machine of platform `p` under session options
+/// `so` and returns the full serialized report.
+fn run_json(
+    p: &dyn grace_mem::sim::platform::Platform,
+    app: AppId,
+    mode: MemMode,
+    so: &SessionOptions,
+) -> String {
+    let m = p
+        .machine_session(&MachineConfig::default(), so)
+        .expect("platform default configuration is valid");
+    app.run_small(m, mode).to_json()
+}
+
+/// Session spec that forces the per-page reference walk (what the
+/// retired `GH_ACCESS_REF` process latch used to select).
+fn reference_walk() -> SessionOptions {
+    SessionOptions {
+        access_ref: true,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -24,11 +40,8 @@ fn batched_and_reference_paths_agree_for_every_app() {
     for p in platform::all() {
         for app in AppId::ALL {
             for mode in [MemMode::System, MemMode::Managed] {
-                let reference = {
-                    let _g = ReferenceGuard::new();
-                    run_json(p, app, mode)
-                };
-                let batched = run_json(p, app, mode);
+                let reference = run_json(p, app, mode, &reference_walk());
+                let batched = run_json(p, app, mode, &SessionOptions::default());
                 assert_eq!(
                     reference,
                     batched,
@@ -51,14 +64,23 @@ fn batched_and_reference_paths_agree_under_tracing() {
     for app in [AppId::Srad, AppId::Needle] {
         for mode in [MemMode::System, MemMode::Managed] {
             let p = platform::gh200();
-            gh_trace::enable();
-            let reference = {
-                let _g = ReferenceGuard::new();
-                app.run_small(p.machine(), mode)
+            let cfg = MachineConfig::default();
+            let traced_ref = SessionOptions {
+                trace: true,
+                ..reference_walk()
             };
-            gh_trace::enable();
-            let batched = app.run_small(p.machine(), mode);
-            gh_trace::disable();
+            let traced = SessionOptions {
+                trace: true,
+                ..Default::default()
+            };
+            let reference = app.run_small(
+                p.machine_session(&cfg, &traced_ref).expect("valid config"),
+                mode,
+            );
+            let batched = app.run_small(
+                p.machine_session(&cfg, &traced).expect("valid config"),
+                mode,
+            );
             let ref_trace = reference.chrome_trace();
             assert!(
                 ref_trace.is_some(),

@@ -83,20 +83,24 @@ fn node_peer_roundtrip() {
 
 #[test]
 fn sanitizer_is_clean_across_apps_and_platforms() {
-    // The invariant sanitizer (GH_SANITIZE=1, default-on in debug) must
-    // stay silent through entire application runs on both platform
+    // The invariant sanitizer (armed per-session; default-on in debug)
+    // must stay silent through entire application runs on both platform
     // models, with tracing on so the link-conservation check has its
     // right-hand side.
+    let so = grace_mem::SessionOptions {
+        trace: true,
+        sanitize: Some(true),
+        ..Default::default()
+    };
     for plat in ["gh200", "mi300a"] {
         for app in AppId::ALL {
             for mode in [MemMode::System, MemMode::Managed] {
-                grace_mem::trace::enable();
-                let m = platform::by_name(plat).expect("known platform").machine();
+                let m = platform::by_name(plat)
+                    .expect("known platform")
+                    .machine_session(&grace_mem::MachineConfig::default(), &so)
+                    .expect("default config is valid");
                 let r = app.run_small(m, mode);
-                grace_mem::trace::disable();
-                let Some(s) = r.sanitizer else {
-                    return; // sanitizer forced off via GH_SANITIZE=0
-                };
+                let s = r.sanitizer.expect("sanitizer was armed by the session");
                 assert!(s.is_clean(), "{plat}/{}/{mode}: {s}", app.name());
                 assert!(s.snapshots > 0);
             }

@@ -4,7 +4,7 @@
 //! trace must be structurally sound.
 
 use grace_mem::trace as bus;
-use grace_mem::{platform, AppId, Machine, MemMode};
+use grace_mem::{platform, AppId, Machine, MachineConfig, MemMode, SessionOptions};
 
 fn gh200() -> Machine {
     platform::gh200().machine()
@@ -14,16 +14,24 @@ fn run(app: AppId, mode: MemMode) -> grace_mem::RunReport {
     app.run_small(gh200(), mode)
 }
 
+fn traced(app: AppId, mode: MemMode) -> grace_mem::RunReport {
+    let so = SessionOptions {
+        trace: true,
+        ..Default::default()
+    };
+    let m = platform::gh200()
+        .machine_session(&MachineConfig::default(), &so)
+        .expect("default config is valid");
+    app.run_small(m, mode)
+}
+
 #[test]
 fn tracing_does_not_change_virtual_time() {
     for mode in MemMode::ALL {
-        bus::disable();
         let plain = run(AppId::Hotspot, mode);
         assert!(plain.trace.is_none(), "untraced run must carry no trace");
 
-        bus::enable();
-        let traced = run(AppId::Hotspot, mode);
-        bus::disable();
+        let traced = traced(AppId::Hotspot, mode);
 
         assert_eq!(plain.phases, traced.phases, "{mode}: phase times differ");
         assert_eq!(plain.checksum, traced.checksum, "{mode}");
@@ -36,9 +44,7 @@ fn tracing_does_not_change_virtual_time() {
 #[test]
 fn metrics_agree_with_ground_truth_counters() {
     for mode in MemMode::ALL {
-        bus::enable();
-        let r = run(AppId::Hotspot, mode);
-        bus::disable();
+        let r = traced(AppId::Hotspot, mode);
         let t = r.trace.as_ref().unwrap();
 
         // The bus's counters are recorded at the same call sites that feed
@@ -76,9 +82,7 @@ fn metrics_agree_with_ground_truth_counters() {
 
 #[test]
 fn cpu_faults_cover_touched_pages() {
-    bus::enable();
-    let r = run(AppId::Hotspot, MemMode::System);
-    bus::disable();
+    let r = traced(AppId::Hotspot, MemMode::System);
     let t = r.trace.as_ref().unwrap();
     // Hotspot's CPU init touches two grid-sized input buffers; every
     // first touch is one fault, so faults ≥ peak RSS / page size.
@@ -104,9 +108,7 @@ fn cpu_faults_cover_touched_pages() {
 
 #[test]
 fn chrome_trace_is_structurally_sound() {
-    bus::enable();
-    let r = run(AppId::Hotspot, MemMode::Managed);
-    bus::disable();
+    let r = traced(AppId::Hotspot, MemMode::Managed);
     let json = r.chrome_trace().expect("traced run exports chrome trace");
 
     assert!(json.starts_with("{\"traceEvents\":["), "{json}");
@@ -126,9 +128,7 @@ fn chrome_trace_is_structurally_sound() {
 
 #[test]
 fn explain_table_covers_all_phases() {
-    bus::enable();
-    let r = run(AppId::Hotspot, MemMode::System);
-    bus::disable();
+    let r = traced(AppId::Hotspot, MemMode::System);
     let text = r.explain().expect("traced run explains itself");
     for phase in ["ctx_init", "alloc", "cpu_init", "compute", "dealloc"] {
         assert!(text.contains(phase), "{phase} missing from:\n{text}");
@@ -138,9 +138,7 @@ fn explain_table_covers_all_phases() {
 
 #[test]
 fn metrics_exports_are_consistent() {
-    bus::enable();
-    let r = run(AppId::Srad, MemMode::System);
-    bus::disable();
+    let r = traced(AppId::Srad, MemMode::System);
     let t = r.trace.as_ref().unwrap();
     let csv = r.metrics_csv().unwrap();
     let json = r.metrics_json().unwrap();
@@ -160,9 +158,9 @@ fn metrics_exports_are_consistent() {
 
 #[test]
 fn disabled_bus_costs_nothing_and_records_nothing() {
-    bus::disable();
-    bus::emit(bus::Event::TlbEvict { va: 1 });
-    bus::count("x", 1);
-    let d = bus::take();
+    let b = bus::Bus::off();
+    b.emit(bus::Event::TlbEvict { va: 1 });
+    b.count("x", 1);
+    let d = b.take();
     assert!(d.events.is_empty() && d.metrics.is_empty());
 }

@@ -8,21 +8,36 @@
 //! is part of `RunReport::to_json()` — the byte-equality assertions
 //! below therefore also prove profiling does not disturb sanitized runs.
 
-use grace_mem::{platform, AppId, MemMode, RunReport};
+use grace_mem::{platform, AppId, MachineConfig, MemMode, RunReport, SessionOptions};
 
 fn run(mode: MemMode) -> RunReport {
     AppId::Hotspot.run_small(platform::gh200().machine(), mode)
 }
 
+/// Session spec with the self-profiler armed.
+fn perf_opts() -> SessionOptions {
+    SessionOptions {
+        perf: true,
+        ..Default::default()
+    }
+}
+
+/// Runs hotspot under an armed profiler and returns both the report and
+/// the drained profile.
+fn run_profiled(mode: MemMode) -> (RunReport, gh_perf::PerfData) {
+    let m = platform::gh200()
+        .machine_session(&MachineConfig::default(), &perf_opts())
+        .expect("default config is valid");
+    let perf = m.rt.session().perf.clone();
+    let r = AppId::Hotspot.run_small(m, mode);
+    (r, perf.take())
+}
+
 #[test]
 fn profiling_does_not_change_run_reports() {
     for mode in MemMode::ALL {
-        gh_perf::disable();
         let plain = run(mode);
-
-        let sink = gh_perf::PerfSink::start();
-        let profiled = run(mode);
-        let perf = sink.finish();
+        let (profiled, perf) = run_profiled(mode);
 
         assert_eq!(
             plain.to_json(),
@@ -42,9 +57,12 @@ fn profiling_does_not_change_run_reports() {
 #[test]
 fn perf_data_covers_phases_spans_and_counters() {
     for p in platform::all() {
-        let sink = gh_perf::PerfSink::start();
-        let r = AppId::Hotspot.run_small(p.machine(), MemMode::Managed);
-        let perf = sink.finish();
+        let m = p
+            .machine_session(&MachineConfig::default(), &perf_opts())
+            .expect("default config is valid");
+        let perf = m.rt.session().perf.clone();
+        let r = AppId::Hotspot.run_small(m, MemMode::Managed);
+        let perf = perf.take();
 
         assert!(!perf.phases.is_empty(), "{}: no phases", p.caps().name);
         assert!(
@@ -81,12 +99,23 @@ fn perf_data_covers_phases_spans_and_counters() {
 
 #[test]
 fn take_rearms_a_fresh_window() {
-    gh_perf::enable();
-    run(MemMode::System);
-    let first = gh_perf::take();
-    run(MemMode::System);
-    let second = gh_perf::take();
-    gh_perf::disable();
+    // Two machines share one session (cloned handles reach the same
+    // collector); take() between runs must leave the window re-armed.
+    let session = grace_mem::SessionCtx::with_options(Default::default(), &perf_opts());
+    let perf = session.perf.clone();
+    let caps = platform::gh200().caps();
+    let machine = || {
+        grace_mem::Machine::with_session(
+            // gh-audit: allow(no-platform-leak) -- sharing one session across two machines needs the raw constructor; the platform trait builds a fresh session per machine by design
+            grace_mem::mem::params::CostParams::default(),
+            session.clone(),
+            caps,
+        )
+    };
+    AppId::Hotspot.run_small(machine(), MemMode::System);
+    let first = perf.take();
+    AppId::Hotspot.run_small(machine(), MemMode::System);
+    let second = perf.take();
 
     assert_eq!(first.runs, 1);
     assert_eq!(second.runs, 1, "take() must reset the window");
@@ -97,11 +126,12 @@ fn take_rearms_a_fresh_window() {
 
 #[test]
 fn disabled_profiler_collects_nothing() {
-    gh_perf::disable();
-    run(MemMode::System);
-    assert!(!gh_perf::enabled());
-    let sink = gh_perf::PerfSink::start();
-    let perf = sink.finish();
+    // A quiet session's perf handle stays disarmed through a full run.
+    let m = platform::gh200().machine();
+    let perf = m.rt.session().perf.clone();
+    assert!(!perf.is_on());
+    AppId::Hotspot.run_small(m, MemMode::System);
+    let perf = perf.take();
     assert_eq!(perf.runs, 0);
     assert_eq!(perf.sim_total_ns, 0);
     assert!(perf.phases.is_empty());

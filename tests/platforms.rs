@@ -4,8 +4,7 @@
 //! model, never the computed answer), and the MI300A's unified-pool
 //! invariants must hold end-to-end.
 
-use grace_mem::trace as bus;
-use grace_mem::{platform, AppId, MemMode};
+use grace_mem::{platform, AppId, MachineConfig, MemMode, SessionOptions};
 
 #[test]
 fn registry_roundtrips_every_platform() {
@@ -75,9 +74,14 @@ fn mi300a_never_migrates_pages() {
 
 #[test]
 fn mi300a_trace_shows_no_migration_machinery() {
-    bus::enable();
-    let r = AppId::Hotspot.run_small(platform::mi300a().machine(), MemMode::Managed);
-    bus::disable();
+    let so = SessionOptions {
+        trace: true,
+        ..Default::default()
+    };
+    let m = platform::mi300a()
+        .machine_session(&MachineConfig::default(), &so)
+        .expect("default config is valid");
+    let r = AppId::Hotspot.run_small(m, MemMode::Managed);
     let t = r.trace.as_ref().expect("traced run carries the trace");
     for counter in [
         "uvm.pages_migrated_in",
