@@ -1,0 +1,139 @@
+//! Finding baselines: adopt the audit incrementally by accepting the
+//! current findings and failing only on *new* ones.
+//!
+//! A baseline is a plain text file, one accepted finding per line, as
+//! `rule<TAB>path<TAB>message`. Line numbers are deliberately omitted —
+//! unrelated edits shift them, and a baseline that churns on every
+//! refactor gets deleted, not maintained. Blank lines and `#` comments
+//! are ignored, so the file can carry a provenance header.
+//!
+//! Workflow (also documented in `docs/static-analysis.md`):
+//!
+//! ```text
+//! gh-audit --write-baseline audit-baseline.txt   # accept today's debt
+//! gh-audit --deny --baseline audit-baseline.txt  # CI: new findings only
+//! ```
+//!
+//! A finding disappearing from the workspace does not invalidate the
+//! baseline (stale entries are inert); regenerate the file when paying
+//! down debt so the ratchet tightens.
+
+use crate::rules::Finding;
+use std::collections::BTreeSet;
+
+/// A set of accepted findings, keyed line-insensitively.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// The baseline key of one finding: `rule\tpath\tmsg`. Tabs cannot
+    /// appear in rule names or workspace-relative paths, so the key
+    /// splits unambiguously; newlines never appear in messages.
+    pub fn key(f: &Finding) -> String {
+        format!("{}\t{}\t{}", f.rule, f.path, f.msg)
+    }
+
+    /// Renders `findings` as baseline file content (sorted, deduped,
+    /// with a self-describing header).
+    pub fn render(findings: &[Finding]) -> String {
+        let keys: BTreeSet<String> = findings.iter().map(Self::key).collect();
+        let mut out = String::from(
+            "# gh-audit baseline: accepted findings, one per line as\n\
+             # rule<TAB>path<TAB>message (line numbers omitted; they drift).\n\
+             # Regenerate with: gh-audit --write-baseline <this file>\n",
+        );
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses baseline file content. Unparseable lines are kept verbatim
+    /// as keys (they simply never match), so a hand-edited file cannot
+    /// make the audit *more* permissive than its literal entries.
+    pub fn parse(text: &str) -> Baseline {
+        Baseline {
+            entries: text
+                .lines()
+                .map(str::trim_end)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+
+    /// True when `f` is accepted by this baseline.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.entries.contains(&Self::key(f))
+    }
+
+    /// Splits findings into `(new, baselined_count)`, preserving order.
+    pub fn partition(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let total = findings.len();
+        let new: Vec<Finding> = findings.into_iter().filter(|f| !self.contains(f)).collect();
+        let baselined = total - new.len();
+        (new, baselined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            msg: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_accepts_same_findings_at_any_line() {
+        let f = finding("no-float-eq", "crates/sim/src/lib.rs", 10, "exact compare");
+        let b = Baseline::parse(&Baseline::render(std::slice::from_ref(&f)));
+        assert!(b.contains(&f));
+        let moved = finding("no-float-eq", "crates/sim/src/lib.rs", 99, "exact compare");
+        assert!(b.contains(&moved), "keys are line-insensitive");
+    }
+
+    #[test]
+    fn new_findings_pass_through() {
+        let old = finding("no-float-eq", "a.rs", 1, "old");
+        let new = finding("no-float-eq", "a.rs", 2, "new");
+        let b = Baseline::parse(&Baseline::render(std::slice::from_ref(&old)));
+        let (fresh, baselined) = b.partition(vec![old, new.clone()]);
+        assert_eq!(baselined, 1);
+        assert_eq!(fresh, vec![new]);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let b = Baseline::parse("# header\n\nno-float-eq\ta.rs\tmsg\n");
+        assert!(b.contains(&finding("no-float-eq", "a.rs", 5, "msg")));
+        assert_eq!(b.entries.len(), 1);
+    }
+
+    #[test]
+    fn empty_baseline_accepts_nothing() {
+        let b = Baseline::default();
+        let f = finding("no-float-eq", "a.rs", 1, "m");
+        assert!(!b.contains(&f));
+        let (fresh, baselined) = b.partition(vec![f]);
+        assert_eq!((fresh.len(), baselined), (1, 0));
+    }
+
+    #[test]
+    fn render_is_sorted_and_deduped() {
+        let a = finding("z-rule", "b.rs", 1, "m");
+        let c = finding("a-rule", "a.rs", 1, "m");
+        let dup = finding("a-rule", "a.rs", 7, "m");
+        let text = Baseline::render(&[a, c, dup]);
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body, vec!["a-rule\ta.rs\tm", "z-rule\tb.rs\tm"]);
+    }
+}

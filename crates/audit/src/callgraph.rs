@@ -40,6 +40,8 @@ pub struct FnNode {
 pub struct CallGraph {
     /// All graph nodes.
     pub fns: Vec<FnNode>,
+    /// Function name -> node indices, for candidate resolution.
+    name_idx: BTreeMap<String, Vec<usize>>,
 }
 
 /// Iterates exactly the functions [`CallGraph::build`] collects, in node
@@ -95,7 +97,34 @@ impl CallGraph {
                 callees,
             });
         });
-        CallGraph { fns }
+        let mut name_idx: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            name_idx.entry(f.name.clone()).or_default().push(i);
+        }
+        CallGraph { fns, name_idx }
+    }
+
+    /// Candidate callees for a call to `name`. When `recv_ty` is known
+    /// and at least one same-named candidate is associated with that
+    /// type, only those candidates are returned (typed dispatch);
+    /// otherwise every same-named function is a candidate (by-name
+    /// dispatch, the PR-8 behavior). An empty vec means the callee is
+    /// outside the workspace (std, shims).
+    pub fn candidates(&self, name: &str, recv_ty: Option<&str>) -> Vec<usize> {
+        let Some(all) = self.name_idx.get(name) else {
+            return Vec::new();
+        };
+        if let Some(ty) = recv_ty {
+            let typed: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].impl_ty.as_deref() == Some(ty))
+                .collect();
+            if !typed.is_empty() {
+                return typed;
+            }
+        }
+        all.clone()
     }
 
     /// Transitive effect closure: starting from `direct` (parallel to
@@ -103,16 +132,12 @@ impl CallGraph {
     /// every same-named candidate for each of its callees, to fixpoint.
     pub fn propagate(&self, direct: &[u8]) -> Vec<u8> {
         let mut effects = direct.to_vec();
-        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        for (i, f) in self.fns.iter().enumerate() {
-            by_name.entry(f.name.as_str()).or_default().push(i);
-        }
         loop {
             let mut changed = false;
             for i in 0..self.fns.len() {
                 let mut acc = effects[i];
                 for callee in &self.fns[i].callees {
-                    if let Some(cands) = by_name.get(callee.as_str()) {
+                    if let Some(cands) = self.name_idx.get(callee.as_str()) {
                         for &j in cands {
                             acc |= effects[j];
                         }

@@ -65,8 +65,14 @@ pub fn audit_workspace(cfg: &AuditConfig) -> Result<Vec<Finding>, AuditError> {
 /// Audit statistics alongside the findings (for CI telemetry).
 #[derive(Debug, Clone, Copy)]
 pub struct AuditStats {
-    /// Number of source files collected and scanned.
+    /// Number of source files collected and scanned. Fixture trees under
+    /// a `tests/fixtures/` directory are never collected, so seeded
+    /// violations can neither fire nor inflate this count.
     pub files_scanned: usize,
+    /// Iterations the interprocedural summary fixpoint took to converge
+    /// (see [`crate::summary`]); a jump here means deeper call chains or
+    /// a cycle getting close to the iteration cap.
+    pub summary_iterations: usize,
 }
 
 /// Like [`audit_workspace`], also reporting scan statistics.
@@ -135,6 +141,7 @@ pub fn audit_workspace_with_stats(
     findings.dedup();
     let stats = AuditStats {
         files_scanned: files.len(),
+        summary_iterations: ws.summaries.iterations,
     };
     Ok((findings, stats))
 }
@@ -210,7 +217,11 @@ fn collect_rs(
             continue;
         }
         if path.is_dir() {
-            if fname == "fixtures" || fname == "target" {
+            // Fixture trees are skipped only under `tests/`: those hold
+            // seeded violations for the audit's own tests. A `src/`
+            // module that happens to be named `fixtures` is real code
+            // and stays in scope (and in the stats line's file count).
+            if fname == "target" || (fname == "fixtures" && kind == FileKind::Test) {
                 continue;
             }
             let sub_kind = if fname == "bin" && kind == FileKind::Lib {
@@ -295,6 +306,58 @@ mod tests {
         .expect("write");
         assert_eq!(package_name(&p).as_deref(), Some("gh-example"));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixtures_are_skipped_under_tests_but_not_under_src() {
+        let dir = std::env::temp_dir().join("gh-audit-test-fixture-scope");
+        let _ = fs::remove_dir_all(&dir);
+        for sub in ["src/fixtures", "tests/fixtures"] {
+            fs::create_dir_all(dir.join(sub)).expect("tempdir");
+        }
+        fs::write(
+            dir.join("Cargo.toml"),
+            "[package]\nname = \"gh-scope\"\nversion = \"0.0.0\"\n",
+        )
+        .expect("write");
+        fs::write(dir.join("src/lib.rs"), "pub mod fixtures;\n").expect("write");
+        fs::write(dir.join("src/fixtures/mod.rs"), "pub fn real() {}\n").expect("write");
+        fs::write(dir.join("tests/smoke.rs"), "#[test]\nfn t() {}\n").expect("write");
+        fs::write(
+            dir.join("tests/fixtures/seeded.rs"),
+            "pub fn planted() { f64::NAN == 0.0; }\n",
+        )
+        .expect("write");
+        let files = collect_files(&dir).expect("collect");
+        let paths: Vec<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+        assert!(
+            paths.contains(&"src/fixtures/mod.rs"),
+            "src modules named fixtures are real code: {paths:?}"
+        );
+        assert!(
+            paths.contains(&"tests/smoke.rs"),
+            "ordinary tests stay in scope: {paths:?}"
+        );
+        assert!(
+            !paths.iter().any(|p| p.starts_with("tests/fixtures/")),
+            "seeded fixture trees must not be scanned: {paths:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn real_fixture_trees_are_outside_audit_scope() {
+        // The engine auditing this very workspace must not pick up the
+        // seeded/clean twins (which would both fire rules and pad the
+        // stats line's file count).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_files(&root).expect("collect");
+        assert!(
+            files
+                .iter()
+                .all(|f| !f.rel_path.contains("tests/fixtures/")),
+            "fixture files leaked into the audit scope"
+        );
     }
 
     #[test]

@@ -161,6 +161,34 @@ mod tests {
     }
 
     #[test]
+    fn sarif_carries_the_concurrency_rules() {
+        // The renderer derives rule ids from findings, so the PR-9
+        // concurrency rules must surface without any registry edit.
+        let findings: Vec<Finding> = [
+            "cache-key-completeness",
+            "session-isolation",
+            "lock-discipline",
+        ]
+        .iter()
+        .map(|r| Finding {
+            rule: r,
+            path: "crates/jobs/src/lib.rs".into(),
+            line: 1,
+            msg: "m".into(),
+        })
+        .collect();
+        let s = render_sarif(&findings);
+        for r in [
+            "cache-key-completeness",
+            "session-isolation",
+            "lock-discipline",
+        ] {
+            assert!(s.contains(&format!("{{\"id\": \"{r}\"}}")), "{r}");
+            assert!(s.contains(&format!("\"ruleId\": \"{r}\"")), "{r}");
+        }
+    }
+
+    #[test]
     fn sarif_empty_run_is_valid_shape() {
         let s = render_sarif(&[]);
         assert!(s.contains("\"results\": []"));

@@ -68,6 +68,13 @@ impl TypeEnv {
     pub fn get(&self, var: &str) -> Option<&[String]> {
         self.vars.get(var).map(Vec::as_slice)
     }
+
+    /// Records (or overrides) `var`'s type identifiers — used by rules
+    /// that resolve `let` chains the constructor-shape heuristic misses
+    /// (e.g. `let b = ctx.bus.clone()`).
+    pub fn insert(&mut self, var: &str, idents: Vec<String>) {
+        self.vars.insert(var.to_string(), idents);
+    }
 }
 
 /// Methods assumed to preserve their receiver's type (unit arithmetic and
@@ -149,24 +156,48 @@ pub fn expr_type(
     self_fields: Option<&BTreeMap<String, Vec<String>>>,
     fn_returns: &BTreeMap<String, Vec<String>>,
 ) -> Vec<String> {
+    expr_type_deep(e, tenv, self_fields, fn_returns, &StructTable::new())
+}
+
+/// Like [`expr_type`], but additionally resolves `recv.field` for
+/// non-`self` receivers through a (typically workspace-merged) struct
+/// table: the receiver's type identifiers are resolved first, and any
+/// that name a known struct contribute that struct's field type.
+pub fn expr_type_deep(
+    e: &Expr,
+    tenv: &TypeEnv,
+    self_fields: Option<&BTreeMap<String, Vec<String>>>,
+    fn_returns: &BTreeMap<String, Vec<String>>,
+    structs: &StructTable,
+) -> Vec<String> {
     match e {
         Expr::Path { segs, .. } if segs.len() == 1 => tenv
             .get(&segs[0])
             .map(<[String]>::to_vec)
             .unwrap_or_default(),
-        Expr::Unary { expr, .. } => expr_type(expr, tenv, self_fields, fn_returns),
+        Expr::Unary { expr, .. } => expr_type_deep(expr, tenv, self_fields, fn_returns, structs),
         Expr::Field { recv, name, .. } => {
             if matches!(recv.as_ref(), Expr::Path { segs, .. } if segs.len() == 1 && segs[0] == "self")
             {
-                self_fields
+                return self_fields
                     .and_then(|f| f.get(name))
                     .cloned()
-                    .unwrap_or_default()
-            } else {
-                Vec::new()
+                    .unwrap_or_default();
             }
+            let recv_ty = expr_type_deep(recv, tenv, self_fields, fn_returns, structs);
+            let mut out = Vec::new();
+            for ident in &recv_ty {
+                if let Some(ty) = structs.get(ident).and_then(|fields| fields.get(name)) {
+                    for i in ty {
+                        if !out.contains(i) {
+                            out.push(i.clone());
+                        }
+                    }
+                }
+            }
+            out
         }
-        Expr::Index { recv, .. } => expr_type(recv, tenv, self_fields, fn_returns),
+        Expr::Index { recv, .. } => expr_type_deep(recv, tenv, self_fields, fn_returns, structs),
         Expr::Call { callee, .. } => match callee.as_ref() {
             Expr::Path { segs, .. } if segs.len() >= 2 => {
                 let ty = &segs[segs.len() - 2];
@@ -182,7 +213,7 @@ pub fn expr_type(
             _ => Vec::new(),
         },
         Expr::Method { recv, name, .. } if TYPE_PRESERVING.contains(&name.as_str()) => {
-            expr_type(recv, tenv, self_fields, fn_returns)
+            expr_type_deep(recv, tenv, self_fields, fn_returns, structs)
         }
         _ => Vec::new(),
     }
@@ -199,11 +230,18 @@ pub struct Workspace<'a> {
     pub asts: Vec<ast::File>,
     /// `tables[i]` is the struct table of `files[i]`.
     pub tables: Vec<StructTable>,
+    /// Workspace-merged struct table (union across files; on a duplicate
+    /// struct name, the first file's field entry wins — deterministic by
+    /// collection order).
+    pub merged: StructTable,
     /// Function name -> return-type identifiers, library code only,
     /// dropped on cross-file disagreement.
     pub fn_returns: BTreeMap<String, Vec<String>>,
     /// Call graph over `Lib`/`Bin` functions outside test modules.
     pub graph: CallGraph,
+    /// Interprocedural per-function dataflow summaries, parallel to
+    /// `graph.fns` (see [`crate::summary`]).
+    pub summaries: crate::summary::Summaries,
 }
 
 impl<'a> Workspace<'a> {
@@ -234,12 +272,25 @@ impl<'a> Workspace<'a> {
             fn_returns.remove(&name);
         }
         let graph = CallGraph::build(files, &asts);
+        let mut merged = StructTable::new();
+        for table in &tables {
+            for (name, fields) in table {
+                let entry = merged.entry(name.clone()).or_default();
+                for (fname, fty) in fields {
+                    entry.entry(fname.clone()).or_insert_with(|| fty.clone());
+                }
+            }
+        }
+        let summaries =
+            crate::summary::Summaries::build(files, &asts, &tables, &merged, &fn_returns, &graph);
         Workspace {
             files,
             asts,
             tables,
+            merged,
             fn_returns,
             graph,
+            summaries,
         }
     }
 }

@@ -115,7 +115,7 @@ impl TaintSpec for Spec<'_, '_> {
         // takes an argument and never matches.
         if name == "get" && arg_es.is_empty() {
             if let Some(unit) = self.unit_of(recv_e) {
-                return [unit].into();
+                return dataflow::tag(unit);
             }
             return recv;
         }
@@ -142,9 +142,11 @@ impl TaintSpec for Spec<'_, '_> {
                     let ty = &segs[segs.len() - 2];
                     if let Some(dest) = UNIT_TYPES.iter().find(|u| *u == ty) {
                         for a in args {
-                            for from in a.iter() {
-                                if from != dest {
-                                    self.findings.push((*line, from, dest));
+                            for l in a.iter() {
+                                if let dataflow::Label::Tag(from) = l {
+                                    if from != dest {
+                                        self.findings.push((*line, from, dest));
+                                    }
                                 }
                             }
                         }

@@ -1,0 +1,657 @@
+//! Interprocedural dataflow summaries over the call graph.
+//!
+//! PR 8's taint driver is intraprocedural: a call was a black box that
+//! unioned its arguments. This module computes, for every function in
+//! the [`crate::callgraph::CallGraph`], a [`FnSummary`] — which of its
+//! *inputs* (parameter positions, `self` fields) flow to the return
+//! value, to stored state, to branch decisions, and to known sinks —
+//! and propagates the summaries over the graph to a fixpoint, so a
+//! flow that crosses three function boundaries is still attributed to
+//! the original input.
+//!
+//! Candidate resolution is by callee name, narrowed to an `impl` when
+//! the receiver's type resolves (see [`CallGraph::candidates`]); where
+//! several same-named functions remain, their summaries union, which
+//! over-approximates but never drops a flow. Calls with *no* workspace
+//! candidate (std, shims) are the engine's honesty boundary: queries
+//! treat them as consuming every argument ([`Summaries::consumed_slots`]),
+//! so "this value escapes" stays conservative. The `branched` set is the
+//! control-dependence channel: an input that steers an `if`/`match`
+//! changes behavior without flowing into any value, and rules like
+//! `cache-key-completeness` must see that as consumption.
+//!
+//! Known blind spots, shared with the call graph: trait-object dispatch
+//! (no candidate narrowing — falls back to name union), closures stored
+//! and invoked later, and macro-generated calls.
+
+use crate::ast::{self, Expr, FnDef};
+use crate::callgraph::{for_each_graph_fn, CallGraph};
+use crate::dataflow::{self, Label, Labels, TaintEnv, TaintSpec};
+use crate::resolve::{expr_type_deep, fn_type_env, StructTable, TypeEnv};
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Sink kind: trace/telemetry emission (`emit`, `count`, `observe`,
+/// `gauge`).
+pub const SINK_TRACE: &str = "trace";
+/// Sink kind: checksum folding (any `*checksum*`-named callable).
+pub const SINK_CHECKSUM: &str = "checksum";
+/// Sink kind: a `RunReport` struct literal — the value becomes part of
+/// a cached, user-visible result.
+pub const SINK_REPORT: &str = "report";
+
+/// Trace/telemetry sink names (methods or free calls).
+const TRACE_SINKS: [&str; 4] = ["emit", "count", "observe", "gauge"];
+
+/// Container-mutation methods: when the callee cannot be resolved in
+/// the workspace, `recv.push(x)` is assumed to store `x` into `recv`.
+const MUTATORS: [&str; 7] = [
+    "push", "insert", "extend", "append", "push_str", "record", "store",
+];
+
+/// One input of a function, from the caller's point of view.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Input {
+    /// The i-th declared parameter (0-based, `self` included).
+    Param(u16),
+    /// A named field of `self`.
+    SelfField(String),
+}
+
+/// A set of inputs.
+pub type Inputs = BTreeSet<Input>;
+
+/// What a function does with its inputs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// The function's first parameter is `self`.
+    pub has_self: bool,
+    /// Inputs that reach the return value.
+    pub to_ret: Inputs,
+    /// Inputs stored into fields, parameters, or escaping containers.
+    pub to_state: Inputs,
+    /// Inputs that steer a branch (`if`/`while` condition, `match`
+    /// scrutinee) — control influence without value flow.
+    pub branched: Inputs,
+    /// Inputs reaching each known sink kind ([`SINK_TRACE`],
+    /// [`SINK_CHECKSUM`], [`SINK_REPORT`]).
+    pub to_sinks: BTreeMap<&'static str, Inputs>,
+}
+
+impl FnSummary {
+    /// Inputs consumed in any observable way.
+    pub fn consumed(&self) -> Inputs {
+        let mut out = self.to_ret.clone();
+        out.extend(self.to_state.iter().cloned());
+        out.extend(self.branched.iter().cloned());
+        for inputs in self.to_sinks.values() {
+            out.extend(inputs.iter().cloned());
+        }
+        out
+    }
+}
+
+/// All per-function summaries, parallel to `CallGraph::fns`.
+#[derive(Debug, Default)]
+pub struct Summaries {
+    /// `fns[i]` summarizes `graph.fns[i]`.
+    pub fns: Vec<FnSummary>,
+    /// Fixpoint passes until the summaries stabilized (reported in the
+    /// audit stats line and the CI job summary).
+    pub iterations: usize,
+}
+
+impl Summaries {
+    /// Computes summaries for every graph function to a fixpoint.
+    pub fn build(
+        files: &[SourceFile],
+        asts: &[ast::File],
+        tables: &[StructTable],
+        merged: &StructTable,
+        fn_returns: &BTreeMap<String, Vec<String>>,
+        graph: &CallGraph,
+    ) -> Summaries {
+        let mut cur: Vec<FnSummary> = Vec::with_capacity(graph.fns.len());
+        for_each_graph_fn(files, asts, &mut |_, _, _, fd| {
+            cur.push(FnSummary {
+                has_self: fd.params.first().is_some_and(|p| p.pats == ["self"]),
+                ..FnSummary::default()
+            });
+        });
+        let mut iterations = 0usize;
+        // The summary lattice is finite (inputs per fn are bounded by its
+        // parameter and field count), so this terminates; the cap guards
+        // against a non-monotone bug looping forever.
+        while iterations < 64 {
+            iterations += 1;
+            let mut changed = false;
+            for_each_graph_fn(files, asts, &mut |node, fidx, impl_ty, fd| {
+                let computed = summarize_fn(
+                    fd, fidx, impl_ty, tables, merged, fn_returns, graph, &cur, node,
+                );
+                if computed != cur[node] {
+                    cur[node] = computed;
+                    changed = true;
+                }
+            });
+            if !changed {
+                break;
+            }
+        }
+        Summaries {
+            fns: cur,
+            iterations,
+        }
+    }
+
+    /// Which value slots of a call are consumed (reach the callee's
+    /// return, stored state, a branch, or a sink) by at least one
+    /// candidate. Slots are `[receiver, args...]` for method calls and
+    /// `[args...]` for path calls. A call with no workspace candidate
+    /// conservatively consumes every slot — the analysis cannot see
+    /// into std or shims, so "does not escape" is never claimed there.
+    pub fn consumed_slots(
+        &self,
+        graph: &CallGraph,
+        name: &str,
+        recv_ty: Option<&str>,
+        is_method: bool,
+        nslots: usize,
+    ) -> Vec<bool> {
+        let cands = graph.candidates(name, recv_ty);
+        if cands.is_empty() {
+            return vec![true; nslots];
+        }
+        let mut out = vec![false; nslots];
+        for &c in &cands {
+            let cs = &self.fns[c];
+            for input in cs.consumed() {
+                if let Some(slot) = slot_of_input(&input, cs.has_self, is_method) {
+                    if slot < nslots {
+                        out[slot] = true;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Which value slots of a call flow into the callee's *return
+    /// value* (same slot convention as [`Summaries::consumed_slots`]).
+    /// Callers use this to decide which argument labels the call result
+    /// carries; with no workspace candidate every slot flows through.
+    pub fn ret_slots(
+        &self,
+        graph: &CallGraph,
+        name: &str,
+        recv_ty: Option<&str>,
+        is_method: bool,
+        nslots: usize,
+    ) -> Vec<bool> {
+        let cands = graph.candidates(name, recv_ty);
+        if cands.is_empty() {
+            return vec![true; nslots];
+        }
+        let mut out = vec![false; nslots];
+        for &c in &cands {
+            let cs = &self.fns[c];
+            for input in &cs.to_ret {
+                if let Some(slot) = slot_of_input(input, cs.has_self, is_method) {
+                    if slot < nslots {
+                        out[slot] = true;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Maps a callee input to the caller-side slot index it binds to, given
+/// the callee's `self`-ness and the call shape. `None` when the input
+/// has no caller-visible slot (a `self` field of an associated call).
+fn slot_of_input(input: &Input, callee_has_self: bool, is_method: bool) -> Option<usize> {
+    match input {
+        Input::SelfField(_) => (callee_has_self && is_method).then_some(0),
+        Input::Param(i) => {
+            let i = *i as usize;
+            if is_method && !callee_has_self {
+                // `args.iter().map(f)`-style: no receiver slot for the
+                // callee's params; shift past the receiver.
+                Some(i + 1)
+            } else {
+                Some(i)
+            }
+        }
+    }
+}
+
+/// Projects the summary-layer inputs out of a label set (tags from rule
+/// vocabularies are ignored).
+pub fn inputs_of(labels: &Labels) -> Inputs {
+    labels
+        .iter()
+        .filter_map(|l| match l {
+            Label::Param(i) => Some(Input::Param(*i)),
+            Label::Field(f) => Some(Input::SelfField(f.clone())),
+            Label::Tag(_) => None,
+        })
+        .collect()
+}
+
+/// Runs the summary taint spec over one function body.
+#[allow(clippy::too_many_arguments)]
+fn summarize_fn(
+    fd: &FnDef,
+    fidx: usize,
+    impl_ty: Option<&str>,
+    tables: &[StructTable],
+    merged: &StructTable,
+    fn_returns: &BTreeMap<String, Vec<String>>,
+    graph: &CallGraph,
+    cur: &[FnSummary],
+    node: usize,
+) -> FnSummary {
+    let mut env = TaintEnv::default();
+    let mut params = BTreeSet::new();
+    let mut self_idx = None;
+    for (i, p) in fd.params.iter().enumerate() {
+        for pat in &p.pats {
+            env.bind(pat, [Label::Param(i as u16)].into());
+            params.insert(pat.clone());
+            if pat == "self" {
+                self_idx = Some(i as u16);
+            }
+        }
+    }
+    let mut spec = SummarySpec {
+        tenv: fn_type_env(fd, fn_returns),
+        self_fields: impl_ty.and_then(|ty| tables[fidx].get(ty)),
+        merged,
+        fn_returns,
+        graph,
+        cur,
+        params,
+        self_idx,
+        out: FnSummary {
+            has_self: cur[node].has_self,
+            ..FnSummary::default()
+        },
+    };
+    dataflow::run_fn(&mut spec, fd, env);
+    spec.out
+}
+
+/// The [`TaintSpec`] that computes one function's [`FnSummary`]: params
+/// seed `Label::Param`, `self.field` reads become `Label::Field`, and
+/// call/method hooks substitute callee summaries from the previous
+/// fixpoint round.
+struct SummarySpec<'s> {
+    tenv: TypeEnv,
+    self_fields: Option<&'s BTreeMap<String, Vec<String>>>,
+    merged: &'s StructTable,
+    fn_returns: &'s BTreeMap<String, Vec<String>>,
+    graph: &'s CallGraph,
+    cur: &'s [FnSummary],
+    /// Declared parameter names (incl. `self`).
+    params: BTreeSet<String>,
+    /// Index of the `self` parameter, when present.
+    self_idx: Option<u16>,
+    out: FnSummary,
+}
+
+impl<'s> SummarySpec<'s> {
+    /// First receiver-type identifier usable for candidate narrowing.
+    fn recv_type(&self, e: &Expr) -> Option<String> {
+        expr_type_deep(
+            e,
+            &self.tenv,
+            self.self_fields,
+            self.fn_returns,
+            self.merged,
+        )
+        .into_iter()
+        .find(|i| i.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+    }
+
+    fn record_sink(&mut self, kind: &'static str, labels: &Labels) {
+        let inputs = inputs_of(labels);
+        if !inputs.is_empty() {
+            self.out.to_sinks.entry(kind).or_default().extend(inputs);
+        }
+    }
+
+    /// Applies every candidate's summary at a call site: returns the
+    /// labels flowing to the call's value, and folds callee-side state /
+    /// branch / sink flows (mapped back through the argument binding)
+    /// into this function's summary.
+    fn apply_candidates(&mut self, cands: &[usize], is_method: bool, slots: &[Labels]) -> Labels {
+        let mut ret = Labels::new();
+        for &c in cands {
+            let cs = &self.cur[c];
+            let map = |inputs: &Inputs| -> Labels {
+                let mut out = Labels::new();
+                for input in inputs {
+                    if let Some(slot) = slot_of_input(input, cs.has_self, is_method) {
+                        if let Some(labels) = slots.get(slot) {
+                            out.extend(labels.iter().cloned());
+                        }
+                    }
+                }
+                out
+            };
+            ret.extend(map(&cs.to_ret));
+            let to_state = inputs_of(&map(&cs.to_state));
+            let branched = inputs_of(&map(&cs.branched));
+            let sink_flows: Vec<(&'static str, Inputs)> = cs
+                .to_sinks
+                .iter()
+                .map(|(kind, inputs)| (*kind, inputs_of(&map(inputs))))
+                .collect();
+            self.out.to_state.extend(to_state);
+            self.out.branched.extend(branched);
+            for (kind, inputs) in sink_flows {
+                if !inputs.is_empty() {
+                    self.out.to_sinks.entry(kind).or_default().extend(inputs);
+                }
+            }
+        }
+        ret
+    }
+
+    /// True when `e` is a plain local variable (not a parameter).
+    fn local_var<'e>(&self, e: &'e Expr) -> Option<&'e str> {
+        let v = root_var(e)?;
+        (!self.params.contains(v)).then_some(v)
+    }
+}
+
+/// The base variable under a chain of field/index/ref projections.
+fn root_var(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Path { .. } => e.as_var(),
+        Expr::Field { recv, .. } | Expr::Index { recv, .. } | Expr::Unary { expr: recv, .. } => {
+            root_var(recv)
+        }
+        _ => None,
+    }
+}
+
+impl TaintSpec for SummarySpec<'_> {
+    fn field(&mut self, e: &Expr, recv: Labels, _env: &mut TaintEnv) -> Labels {
+        if let Expr::Field { name, .. } = e {
+            if let Some(si) = self.self_idx {
+                if recv.contains(&Label::Param(si)) {
+                    return [Label::Field(name.clone())].into();
+                }
+            }
+        }
+        recv
+    }
+
+    fn method(&mut self, e: &Expr, recv: Labels, args: &[Labels], env: &mut TaintEnv) -> Labels {
+        let Expr::Method {
+            recv: recv_e, name, ..
+        } = e
+        else {
+            return args
+                .iter()
+                .fold(recv, |acc, a| dataflow::union(acc, a.clone()));
+        };
+        let mut slots = Vec::with_capacity(args.len() + 1);
+        slots.push(recv.clone());
+        slots.extend(args.iter().cloned());
+        let all: Labels = slots.iter().cloned().fold(Labels::new(), dataflow::union);
+        if TRACE_SINKS.contains(&name.as_str()) {
+            self.record_sink(SINK_TRACE, &all);
+            return Labels::new();
+        }
+        if name.contains("checksum") {
+            self.record_sink(SINK_CHECKSUM, &all);
+            return Labels::new();
+        }
+        let recv_ty = self.recv_type(recv_e);
+        let cands = self.graph.candidates(name, recv_ty.as_deref());
+        if !cands.is_empty() {
+            return self.apply_candidates(&cands, true, &slots);
+        }
+        if MUTATORS.contains(&name.as_str()) {
+            // Unresolved `recv.push(x)`: the arguments now live in the
+            // receiver. A local accumulator absorbs them (they escape
+            // only if it does); anything else is stored state.
+            let arg_all: Labels = args.iter().cloned().fold(Labels::new(), dataflow::union);
+            match self.local_var(recv_e) {
+                Some(v) => env.add(v, &arg_all),
+                None => self.out.to_state.extend(inputs_of(&arg_all)),
+            }
+            return Labels::new();
+        }
+        all
+    }
+
+    fn call(&mut self, e: &Expr, args: &[Labels], _env: &mut TaintEnv) -> Labels {
+        let all: Labels = args.iter().cloned().fold(Labels::new(), dataflow::union);
+        let Expr::Call { callee, .. } = e else {
+            return all;
+        };
+        let Expr::Path { segs, .. } = callee.as_ref() else {
+            return all;
+        };
+        let Some(name) = segs.last() else { return all };
+        if TRACE_SINKS.contains(&name.as_str()) {
+            self.record_sink(SINK_TRACE, &all);
+            return Labels::new();
+        }
+        if name.contains("checksum") {
+            self.record_sink(SINK_CHECKSUM, &all);
+            return Labels::new();
+        }
+        let qual_ty = (segs.len() >= 2).then(|| segs[segs.len() - 2].clone());
+        let cands = self.graph.candidates(name, qual_ty.as_deref());
+        if !cands.is_empty() {
+            return self.apply_candidates(&cands, false, args);
+        }
+        all
+    }
+
+    fn struct_lit(&mut self, e: &Expr, fields: &[(String, Labels)], _env: &mut TaintEnv) -> Labels {
+        let all: Labels = fields
+            .iter()
+            .map(|(_, l)| l.clone())
+            .fold(Labels::new(), dataflow::union);
+        if let Expr::StructLit { segs, .. } = e {
+            if segs.last().is_some_and(|s| s == "RunReport") {
+                self.record_sink(SINK_REPORT, &all);
+            }
+        }
+        all
+    }
+
+    fn on_branch(&mut self, _e: &Expr, labels: &Labels) {
+        self.out.branched.extend(inputs_of(labels));
+    }
+
+    fn on_return(&mut self, _e: &Expr, labels: &Labels) {
+        self.out.to_ret.extend(inputs_of(labels));
+    }
+
+    fn on_store(&mut self, lhs: &Expr, _rhs: &Expr, labels: &Labels, env: &mut TaintEnv) {
+        // A store through a local projection (`local.field = v`,
+        // `local[i] = v`) stays in the function; through `self`, a
+        // parameter, or a temporary it escapes.
+        match self.local_var(lhs) {
+            Some(v) => {
+                let v = v.to_string();
+                env.add(&v, labels);
+            }
+            None => self.out.to_state.extend(inputs_of(labels)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::Workspace;
+    use crate::source::{FileKind, SourceFile};
+
+    fn ws_of(src: &str) -> (Vec<SourceFile>, ()) {
+        let files = vec![SourceFile::parse(
+            "crates/gh-x/src/lib.rs",
+            "gh-x",
+            FileKind::Lib,
+            src,
+        )];
+        (files, ())
+    }
+
+    fn summary_of<'w>(ws: &'w Workspace<'_>, name: &str) -> &'w FnSummary {
+        let i = ws
+            .graph
+            .fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"));
+        &ws.summaries.fns[i]
+    }
+
+    #[test]
+    fn param_to_return_is_summarized() {
+        let (files, ()) = ws_of("pub fn id(x: u64) -> u64 { x }");
+        let ws = Workspace::build(&files);
+        assert!(summary_of(&ws, "id").to_ret.contains(&Input::Param(0)));
+    }
+
+    #[test]
+    fn self_field_to_return_is_summarized() {
+        let src = "struct S { n: u64 }\nimpl S { pub fn get(&self) -> u64 { self.n } }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        assert!(summary_of(&ws, "get")
+            .to_ret
+            .contains(&Input::SelfField("n".into())));
+    }
+
+    #[test]
+    fn flow_crosses_one_call() {
+        let src = "pub fn inner(x: u64) -> u64 { x + 1 }\n\
+                   pub fn outer(y: u64) -> u64 { inner(y) }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        assert!(summary_of(&ws, "outer").to_ret.contains(&Input::Param(0)));
+    }
+
+    #[test]
+    fn flow_crosses_three_calls_via_fixpoint() {
+        let src = "pub fn a(x: u64) -> u64 { x }\n\
+                   pub fn b(x: u64) -> u64 { a(x) }\n\
+                   pub fn c(x: u64) -> u64 { b(x) }\n\
+                   pub fn d(x: u64) -> u64 { c(x) }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        assert!(summary_of(&ws, "d").to_ret.contains(&Input::Param(0)));
+        assert!(ws.summaries.iterations >= 2, "chain needs multiple rounds");
+    }
+
+    #[test]
+    fn branch_on_param_is_control_consumption() {
+        let src = "pub fn f(flag: bool) -> u64 { if flag { 1 } else { 2 } }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        let s = summary_of(&ws, "f");
+        assert!(s.branched.contains(&Input::Param(0)));
+        assert!(!s.to_ret.contains(&Input::Param(0)), "no value flow");
+    }
+
+    #[test]
+    fn match_scrutinee_binding_flows_to_ret() {
+        let src = "pub fn f(o: Option<u64>) -> u64 { match o { Some(v) => v, None => 0 } }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        let s = summary_of(&ws, "f");
+        assert!(s.to_ret.contains(&Input::Param(0)));
+        assert!(s.branched.contains(&Input::Param(0)));
+    }
+
+    #[test]
+    fn trace_sink_is_recorded_transitively() {
+        let src = "pub fn log(bus: &Bus, v: u64) { bus.emit(v); }\n\
+                   pub fn run(bus: &Bus, n: u64) { log(bus, n); }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        let run = summary_of(&ws, "run");
+        assert!(run.to_sinks[SINK_TRACE].contains(&Input::Param(1)));
+    }
+
+    #[test]
+    fn report_struct_lit_is_a_sink() {
+        let src = "pub fn pack(total: u64) -> RunReport { RunReport { total } }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        let s = summary_of(&ws, "pack");
+        assert!(s.to_sinks[SINK_REPORT].contains(&Input::Param(0)));
+    }
+
+    #[test]
+    fn store_into_self_is_state() {
+        let src = "struct S { n: u64 }\nimpl S { pub fn set(&mut self, v: u64) { self.n = v; } }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        assert!(summary_of(&ws, "set").to_state.contains(&Input::Param(1)));
+    }
+
+    #[test]
+    fn local_accumulator_does_not_escape_by_itself() {
+        let src = "pub fn f(x: u64) { let mut v = Vec::new(); v.push(x); }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        let s = summary_of(&ws, "f");
+        assert!(s.consumed().is_empty(), "local vec never leaves: {s:?}");
+    }
+
+    #[test]
+    fn local_accumulator_escapes_through_return() {
+        let src = "pub fn f(x: u64) -> Vec<u64> { let mut v = Vec::new(); v.push(x); v }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        assert!(summary_of(&ws, "f").to_ret.contains(&Input::Param(0)));
+    }
+
+    #[test]
+    fn consumed_slots_are_conservative_for_unknown_callees() {
+        let (files, ()) = ws_of("pub fn f() {}");
+        let ws = Workspace::build(&files);
+        assert_eq!(
+            ws.summaries
+                .consumed_slots(&ws.graph, "no_such_fn", None, false, 2),
+            vec![true, true]
+        );
+    }
+
+    #[test]
+    fn consumed_slots_track_candidate_summaries() {
+        let src = "pub fn keep(x: u64) -> u64 { x }\npub fn ignore(_x: u64) -> u64 { 0 }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        assert_eq!(
+            ws.summaries
+                .consumed_slots(&ws.graph, "keep", None, false, 1),
+            vec![true]
+        );
+        assert_eq!(
+            ws.summaries
+                .consumed_slots(&ws.graph, "ignore", None, false, 1),
+            vec![false]
+        );
+    }
+
+    #[test]
+    fn method_receiver_maps_to_self() {
+        let src = "struct S { n: u64 }\n\
+                   impl S { pub fn total(&self) -> u64 { self.n } }\n\
+                   pub fn read(s: &S) -> u64 { s.total() }";
+        let (files, ()) = ws_of(src);
+        let ws = Workspace::build(&files);
+        assert!(summary_of(&ws, "read").to_ret.contains(&Input::Param(0)));
+    }
+}
